@@ -1,0 +1,46 @@
+// Shared helpers for the figure/table bench harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/lightator.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+namespace lightator::bench {
+
+/// Parses key=value overrides; prints the active config to stderr.
+inline util::Config parse_args(int argc, char** argv) {
+  const util::Config cfg = util::Config::from_args(argc, argv);
+  const std::string dump = cfg.dump();
+  if (!dump.empty()) std::fprintf(stderr, "overrides:\n%s", dump.c_str());
+  return cfg;
+}
+
+inline void print_header(const std::string& title, const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/// One row of a per-layer component-power table (streaming-phase power,
+/// which is what the paper's Fig. 8/9 bars show).
+inline std::vector<std::string> power_row(const core::LayerReport& l) {
+  const auto& p = l.power.streaming;
+  return {l.name,
+          l.weight_bits > 0 ? std::to_string(l.weight_bits) : "-",
+          util::format_sig(p.adc, 3),
+          util::format_sig(p.dac, 3),
+          util::format_sig(p.dmva, 3),
+          util::format_sig(p.tun, 3),
+          util::format_sig(p.bpd, 3),
+          util::format_sig(p.misc, 3),
+          util::format_sig(p.total(), 4)};
+}
+
+inline std::vector<std::string> power_table_header() {
+  return {"layer", "Wbits", "ADCs(W)", "DACs(W)", "DMVA(W)",
+          "TUN(W)", "BPD(W)", "Misc(W)", "Total(W)"};
+}
+
+}  // namespace lightator::bench

@@ -1,0 +1,63 @@
+// Fig. 9: layer-wise power breakdown of VGG9 on [3:4], the L8 component pie
+// (DACs > 85%), and the CA pre-compression experiment (paper: 42.2% first-
+// layer power reduction).
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "nn/model_desc.hpp"
+
+using namespace lightator;
+
+int main(int argc, char** argv) {
+  const util::Config cfg = bench::parse_args(argc, argv);
+  const core::ArchConfig arch = core::ArchConfig::from_config(cfg);
+  const core::LightatorSystem sys(arch);
+  const auto schedule = nn::PrecisionSchedule::uniform(3);
+
+  bench::print_header(
+      "Fig. 9 - VGG9 layer-wise power breakdown on [3:4]",
+      "DAC 2024 Lightator, Fig. 9 (VGG9 L1..L12, L8 pie, CA front end)");
+
+  const auto report = sys.analyze(nn::vgg9_desc(), schedule);
+  util::TablePrinter table(bench::power_table_header());
+  std::size_t li = 1;
+  for (const auto& layer : report.layers) {
+    auto row = bench::power_row(layer);
+    row[0] = "L" + std::to_string(li++) + " " + row[0];
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("max layer power: %s (paper Table 1: 2.71 W at [3:4])\n\n",
+              util::format_power(report.max_power).c_str());
+
+  // L8 pie chart (index 7: the second 256-channel conv).
+  const auto& l8 = report.layers[7];
+  const auto& p = l8.power.streaming;
+  const double total = p.total();
+  std::printf("--- L8 (%s) component shares (paper pie: DACs 85%%, DMVA 9%%, "
+              "TUN 4%%, BPD 1%%, ADCs <1%%, Misc <1%%) ---\n",
+              l8.name.c_str());
+  std::printf("  DACs: %5.1f%%   DMVA: %4.1f%%   TUN: %4.1f%%   BPD: %4.1f%%   "
+              "ADCs: %4.1f%%   Misc: %4.1f%%\n\n",
+              100 * p.dac / total, 100 * p.dmva / total, 100 * p.tun / total,
+              100 * p.bpd / total, 100 * p.adc / total, 100 * p.misc / total);
+
+  // CA front-end experiment: fused grayscale + 2x2 pool before L1.
+  core::AnalyzeOptions opts;
+  opts.ca_frontend = core::CaOptions{2, true, 4};
+  opts.ca_in_h = 32;
+  opts.ca_in_w = 32;
+  const auto compressed =
+      sys.analyze(nn::vgg9_desc(10, 1.0, 16, 16, 1), schedule, opts);
+  const double l1_plain = report.layers[0].power.average.total();
+  const double l1_ca = compressed.layers[0].power.average.total() +
+                       compressed.layers[1].power.average.total();
+  std::printf("--- CA pre-compression (Eq. 1: gray + 2x2 avg pool) ---\n");
+  std::printf("  L1 power without CA: %s\n",
+              util::format_power(l1_plain).c_str());
+  std::printf("  CA + L1 power with CA front end: %s\n",
+              util::format_power(l1_ca).c_str());
+  std::printf("  first-layer power reduction: %.1f%% (paper: 42.2%%)\n",
+              100.0 * (1.0 - l1_ca / l1_plain));
+  return 0;
+}

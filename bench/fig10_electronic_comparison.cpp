@@ -1,0 +1,64 @@
+// Fig. 10: log-scaled single-frame execution time of Eyeriss, ENVISION,
+// AppCip, and YodaNN vs. Lightator on VGG16 and AlexNet (YodaNN runs VGG13,
+// the paper's substitution for its supported filter sizes).
+#include <cstdio>
+
+#include "accel/electronic_baselines.hpp"
+#include "bench/bench_common.hpp"
+#include "nn/model_desc.hpp"
+
+using namespace lightator;
+
+int main(int argc, char** argv) {
+  const util::Config cfg = bench::parse_args(argc, argv);
+  const core::ArchConfig arch = core::ArchConfig::from_config(cfg);
+  const core::LightatorSystem sys(arch);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+
+  bench::print_header(
+      "Fig. 10 - execution time vs electronic accelerators",
+      "DAC 2024 Lightator, Fig. 10 (VGG16 & AlexNet single-frame latency)");
+
+  const nn::ModelDesc vgg16 = nn::vgg16_desc();
+  const nn::ModelDesc vgg13 = nn::vgg13_desc();
+  const nn::ModelDesc alexnet = nn::alexnet_desc();
+
+  const double lt_vgg16 = sys.analyze(vgg16, schedule).latency;
+  const double lt_alexnet = sys.analyze(alexnet, schedule).latency;
+
+  util::TablePrinter table(
+      {"accelerator", "VGG16 (ms)", "AlexNet (ms)", "AlexNet vs Lightator",
+       "paper ratio"});
+  const char* paper_ratio[] = {"10.7x", "8.8x", "18.1x", "20.4x"};
+  int idx = 0;
+  for (const auto& a : accel::all_electronic_baselines()) {
+    // YodaNN runs VGG13 in place of VGG16 (paper's note).
+    const nn::ModelDesc& big = a.name == "YodaNN" ? vgg13 : vgg16;
+    const double t_big = a.execution_time(big);
+    const double t_alex = a.execution_time(alexnet);
+    table.add_row({a.name + (a.name == "YodaNN" ? " (VGG13)" : ""),
+                   util::format_fixed(t_big * 1e3, 2),
+                   util::format_fixed(t_alex * 1e3, 2),
+                   util::format_fixed(t_alex / lt_alexnet, 1) + "x",
+                   paper_ratio[idx++]});
+  }
+  table.add_row({"Lightator [4:4]", util::format_fixed(lt_vgg16 * 1e3, 2),
+                 util::format_fixed(lt_alexnet * 1e3, 2), "1.0x", "1.0x"});
+  std::printf("%s\n", table.to_text().c_str());
+
+  std::printf("Lightator latency decomposition (remap-dominated, Fig. 10 "
+              "regime):\n");
+  for (const auto* model : {&vgg16, &alexnet}) {
+    const auto report = sys.analyze(*model, schedule);
+    double remap = 0.0, stream = 0.0;
+    for (const auto& l : report.layers) {
+      remap += l.timing.remap_time;
+      stream += l.timing.stream_time;
+    }
+    std::printf("  %-8s remap %s + stream %s = %s\n", model->name.c_str(),
+                util::format_time(remap).c_str(),
+                util::format_time(stream).c_str(),
+                util::format_time(report.latency).c_str());
+  }
+  return 0;
+}

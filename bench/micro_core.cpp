@@ -1,0 +1,85 @@
+// Microbenchmarks of the architecture simulator itself (mapper, power,
+// timing, OC functional layers, full-model analyze).
+#include <benchmark/benchmark.h>
+
+#include "core/lightator.hpp"
+#include "nn/model_desc.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lightator;
+using namespace lightator::core;
+
+void BM_MapConvLayer(benchmark::State& state) {
+  const Mapper mapper(ArchConfig::defaults());
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kConv;
+  l.in_h = l.in_w = 8;
+  l.conv = tensor::ConvSpec{256, 256, 3, 1, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapper.map_layer(l));
+  }
+}
+BENCHMARK(BM_MapConvLayer);
+
+void BM_PowerModelLayer(benchmark::State& state) {
+  const ArchConfig cfg = ArchConfig::defaults();
+  const PowerModel pm(cfg);
+  const Mapper mapper(cfg);
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kConv;
+  l.in_h = l.in_w = 8;
+  l.conv = tensor::ConvSpec{256, 256, 3, 1, 1};
+  const auto m = mapper.map_layer(l);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.layer_power(m, 3));
+  }
+}
+BENCHMARK(BM_PowerModelLayer);
+
+void BM_AnalyzeVgg9(benchmark::State& state) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::vgg9_desc();
+  const auto schedule = nn::PrecisionSchedule::uniform(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.analyze(model, schedule));
+  }
+}
+BENCHMARK(BM_AnalyzeVgg9);
+
+void BM_AnalyzeVgg16(benchmark::State& state) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::vgg16_desc();
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.analyze(model, schedule));
+  }
+}
+BENCHMARK(BM_AnalyzeVgg16);
+
+void BM_OcQuantizedConv(benchmark::State& state) {
+  util::Rng rng(1);
+  const OpticalCore oc{ArchConfig::defaults()};
+  const tensor::ConvSpec spec{16, 16, 3, 1, 1};
+  tensor::Tensor x({1, 16, 16, 16});
+  tensor::Tensor w({16, 16, 3, 3});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  w.fill_normal(rng, 0.3f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(oc.conv2d(xq, wq, tensor::Tensor(), spec));
+  }
+}
+BENCHMARK(BM_OcQuantizedConv);
+
+void BM_ExpectedTuningPower(benchmark::State& state) {
+  const PowerModel pm(ArchConfig::defaults());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pm.expected_tuning_power_per_cell(4));
+  }
+}
+BENCHMARK(BM_ExpectedTuningPower);
+
+}  // namespace

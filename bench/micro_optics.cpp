@@ -1,0 +1,77 @@
+// Microbenchmarks of the photonic device models (regression guards; not a
+// paper artifact).
+#include <benchmark/benchmark.h>
+
+#include "optics/arm.hpp"
+#include "optics/microring.hpp"
+#include "optics/weight_cell.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lightator;
+using namespace lightator::optics;
+
+void BM_MicroRingTransmission(benchmark::State& state) {
+  const MicroRing ring(MicroRingParams{}, 1550e-9);
+  double lambda = 1550e-9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.through_transmission(lambda));
+    lambda += 1e-15;
+  }
+}
+BENCHMARK(BM_MicroRingTransmission);
+
+void BM_MicroRingSetWeight(benchmark::State& state) {
+  MicroRing ring(MicroRingParams{}, 1550e-9);
+  double w = 0.0;
+  for (auto _ : state) {
+    ring.set_weight(w);
+    benchmark::DoNotOptimize(ring.detuning());
+    w += 0.001;
+    if (w > 1.0) w = 0.0;
+  }
+}
+BENCHMARK(BM_MicroRingSetWeight);
+
+void BM_WeightCellProgram(benchmark::State& state) {
+  WeightCell cell(MicroRingParams{}, 1550e-9, 4);
+  double w = -1.0;
+  for (auto _ : state) {
+    cell.set_weight(w);
+    benchmark::DoNotOptimize(cell.tuning_power());
+    w += 0.002;
+    if (w > 1.0) w = -1.0;
+  }
+}
+BENCHMARK(BM_WeightCellProgram);
+
+void BM_ArmPhysicalDotProduct(benchmark::State& state) {
+  util::Rng rng(1);
+  MrArm arm{ArmParams{}};
+  std::vector<double> w(9);
+  std::vector<int> codes(9);
+  for (std::size_t i = 0; i < 9; ++i) {
+    w[i] = rng.uniform(-1.0, 1.0);
+    codes[i] = static_cast<int>(rng.uniform_index(16));
+  }
+  arm.set_weights(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arm.compute(codes));
+  }
+}
+BENCHMARK(BM_ArmPhysicalDotProduct);
+
+void BM_ArmNoisyDotProduct(benchmark::State& state) {
+  util::Rng rng(2);
+  MrArm arm{ArmParams{}};
+  std::vector<double> w(9, 0.5);
+  std::vector<int> codes(9, 10);
+  arm.set_weights(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arm.compute_noisy(codes, rng));
+  }
+}
+BENCHMARK(BM_ArmNoisyDotProduct);
+
+}  // namespace

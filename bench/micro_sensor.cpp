@@ -1,0 +1,55 @@
+// Microbenchmarks of the imager model (capture, CRC readout, CA).
+#include <benchmark/benchmark.h>
+
+#include "core/compressive_acquisitor.hpp"
+#include "sensor/pixel_array.hpp"
+#include "workloads/scenes.hpp"
+
+namespace {
+
+using namespace lightator;
+
+void BM_PixelArrayCapture(benchmark::State& state) {
+  sensor::PixelArrayParams params;
+  params.rows = params.cols = 256;
+  sensor::PixelArray array(params);
+  const auto scene = workloads::make_gradient_scene(256, 256);
+  for (auto _ : state) {
+    array.capture(scene);
+    benchmark::DoNotOptimize(array.voltage(128, 128));
+  }
+}
+BENCHMARK(BM_PixelArrayCapture);
+
+void BM_CrcFrameReadout(benchmark::State& state) {
+  sensor::PixelArrayParams params;
+  params.rows = params.cols = 256;
+  sensor::PixelArray array(params);
+  const auto scene = workloads::make_gradient_scene(256, 256);
+  array.capture(scene);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.read_codes());
+  }
+}
+BENCHMARK(BM_CrcFrameReadout);
+
+void BM_CompressiveAcquisition(benchmark::State& state) {
+  const core::CompressiveAcquisitor ca({2, true, 4},
+                                       core::ArchConfig::defaults());
+  const auto scene = workloads::make_gradient_scene(256, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ca.apply(scene));
+  }
+}
+BENCHMARK(BM_CompressiveAcquisition);
+
+void BM_BayerDemosaic(benchmark::State& state) {
+  const auto scene = workloads::make_gradient_scene(256, 256);
+  const auto raw = sensor::bayer_mosaic(scene);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sensor::bayer_demosaic(raw));
+  }
+}
+BENCHMARK(BM_BayerDemosaic);
+
+}  // namespace

@@ -1,0 +1,81 @@
+// Microbenchmarks of the DNN substrate (GEMM / conv / quantization).
+#include <benchmark/benchmark.h>
+
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lightator;
+using namespace lightator::tensor;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  std::vector<float> a(n * n), b(n * n), c(n * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    gemm(false, false, n, n, n, 1.0f, a.data(), n, b.data(), n, 0.0f, c.data(),
+         n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  util::Rng rng(2);
+  const ConvSpec spec{64, 64, 3, 1, 1};
+  Tensor x({1, 64, 16, 16});
+  Tensor w({64, 64, 3, 3});
+  x.fill_normal(rng, 1.0f);
+  w.fill_normal(rng, 0.1f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d_forward(x, w, Tensor(), spec));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * 16 * 16 * 9);
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  util::Rng rng(3);
+  const ConvSpec spec{32, 32, 3, 1, 1};
+  Tensor x({1, 32, 16, 16});
+  Tensor w({32, 32, 3, 3});
+  x.fill_normal(rng, 1.0f);
+  w.fill_normal(rng, 0.1f);
+  const Tensor dy = conv2d_forward(x, w, Tensor(), spec);
+  for (auto _ : state) {
+    Tensor dx, dw, db;
+    conv2d_backward(x, w, spec, dy, &dx, &dw, &db);
+    benchmark::DoNotOptimize(dx.data());
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_QuantizeSymmetric(benchmark::State& state) {
+  util::Rng rng(4);
+  Tensor x({1 << 16});
+  x.fill_normal(rng, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantize_symmetric(x, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_QuantizeSymmetric);
+
+void BM_MaxPool(benchmark::State& state) {
+  util::Rng rng(5);
+  Tensor x({1, 64, 32, 32});
+  x.fill_normal(rng, 1.0f);
+  std::vector<std::size_t> argmax;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(maxpool_forward(x, 2, 2, &argmax));
+  }
+}
+BENCHMARK(BM_MaxPool);
+
+}  // namespace

@@ -1,0 +1,62 @@
+// Versatile image processing on the optical core (paper's title claim):
+// the FilterBank library maps classic 3x3 kernels onto OC arms — 4-bit MR
+// weights, 4-bit VCSEL activations — and reports fidelity vs. the float
+// reference plus the fabric footprint of the filtering pass.
+//
+//   ./examples/image_filters [out_dir=.] [weight_bits=4]
+#include <cstdio>
+#include <string>
+
+#include "core/filter_bank.hpp"
+#include "core/power_model.hpp"
+#include "core/timing_model.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "workloads/image_io.hpp"
+#include "workloads/scenes.hpp"
+
+using namespace lightator;
+
+int main(int argc, char** argv) {
+  const util::Config cfg = util::Config::from_args(argc, argv);
+  const std::string out_dir = cfg.get_string("out_dir", ".");
+  const int weight_bits = cfg.get_int("weight_bits", 4);
+
+  const core::ArchConfig arch = core::ArchConfig::defaults();
+  const core::FilterBank bank(arch, weight_bits);
+  const sensor::Image gray =
+      workloads::make_checker_scene(128, 128, 8).to_grayscale();
+
+  const auto kinds = core::all_filter_kinds();
+  const auto results = bank.apply_all(kinds, gray);
+
+  std::printf("3x3 kernels on the OC (one arm per kernel, %d-bit MR "
+              "weights):\n\n", weight_bits);
+  util::TablePrinter table({"kernel", "PSNR vs f32", "tap RMS err", "output"});
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    const std::string path =
+        out_dir + "/" + core::filter_name(kinds[i]) + ".pgm";
+    workloads::write_pnm(results[i].output, path);
+    table.add_row({core::filter_name(kinds[i]),
+                   util::format_fixed(results[i].psnr_vs_float, 1) + " dB",
+                   util::format_sig(results[i].weight_rms_error, 3), path});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+
+  // Footprint of running all kernels concurrently over the frame.
+  const auto mapping = bank.mapping(kinds.size(), gray.height(), gray.width());
+  const core::PowerModel pm(arch);
+  const core::TimingModel tm(arch);
+  const auto power = pm.layer_power(mapping, weight_bits);
+  const auto timing = tm.layer_timing(mapping);
+  std::printf("fabric footprint for %zu concurrent kernels on %zux%zu:\n",
+              kinds.size(), gray.height(), gray.width());
+  std::printf("  %zu arms (%zu MRs), %s streaming power, %s per frame\n",
+              mapping.arms_active, mapping.mrs_active,
+              util::format_power(power.streaming.total()).c_str(),
+              util::format_time(timing.latency).c_str());
+  std::printf("\nPSNR is bounded by the 4-bit activation grid; kernels with "
+              "one dominant tap\n(sharpen's center 5) also waste weight "
+              "levels on the outlier.\n");
+  return 0;
+}

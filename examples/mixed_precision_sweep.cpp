@@ -1,0 +1,47 @@
+// Mixed-precision design-space sweep: power / throughput / efficiency of
+// every [W:A] configuration (uniform and Lightator-MX) across the model zoo.
+// This is the knob the paper's §5 observation (4) describes: "trade-offs
+// between power consumption and accuracy that can be readily adjusted".
+//
+//   ./examples/mixed_precision_sweep
+#include <cstdio>
+
+#include "core/lightator.hpp"
+#include "nn/model_desc.hpp"
+#include "util/table.hpp"
+
+using namespace lightator;
+
+int main() {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  const std::vector<nn::PrecisionSchedule> schedules = {
+      nn::PrecisionSchedule::uniform(4), nn::PrecisionSchedule::uniform(3),
+      nn::PrecisionSchedule::uniform(2), nn::PrecisionSchedule::mixed(3),
+      nn::PrecisionSchedule::mixed(2)};
+
+  const std::vector<nn::ModelDesc> models = {
+      nn::lenet_desc(), nn::vgg9_desc(), nn::alexnet_desc()};
+
+  for (const auto& model : models) {
+    std::printf("=== %s (%.1f MMACs, %.1f M weights) ===\n",
+                model.name.c_str(), model.total_macs() / 1e6,
+                model.total_weights() / 1e6);
+    util::TablePrinter table({"config", "max power", "latency",
+                              "batched KFPS", "KFPS/W", "energy/frame"});
+    for (const auto& s : schedules) {
+      const auto r = sys.analyze(model, s);
+      table.add_row({s.label(), util::format_power(r.max_power),
+                     util::format_time(r.latency),
+                     util::format_fixed(r.fps_batched / 1e3, 1),
+                     util::format_fixed(r.kfps_per_watt, 1),
+                     util::format_sig(r.energy_per_frame, 3) + " J"});
+    }
+    std::printf("%s\n", table.to_text().c_str());
+  }
+
+  std::printf("reading the table: weight-bit reduction cuts DAC power "
+              "(the dominant share)\nalmost linearly in (2^W - 1); "
+              "Lightator-MX recovers first-layer fidelity at a\nsmall power "
+              "premium over the uniform low-precision configs.\n");
+  return 0;
+}

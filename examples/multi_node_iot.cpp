@@ -1,0 +1,68 @@
+// Multi-node IoT deployment (paper Fig. 2, steps 4-5 and the intro's
+// cloud-vs-edge argument): what does node i radio to node i+1 / the cloud?
+//
+// Compares four payload strategies for a 256x256 frame over BLE / Zigbee /
+// WiFi radios, then uses the per-layer precision search to pick a mixed-
+// precision operating point under an edge power budget.
+//
+//   ./examples/multi_node_iot [fps=30] [budget_w=2.0]
+#include <cstdio>
+
+#include "core/precision_search.hpp"
+#include "core/transmitter.hpp"
+#include "nn/model_desc.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+using namespace lightator;
+
+int main(int argc, char** argv) {
+  const util::Config cfg = util::Config::from_args(argc, argv);
+  const double fps = cfg.get_double("fps", 30.0);
+  const double budget_w = cfg.get_double("budget_w", 2.8);
+
+  std::printf("=== transmission: what node i sends downstream ===\n");
+  std::printf("(256x256 frame at %.0f fps; energy per frame includes the "
+              "radio burst overhead)\n\n", fps);
+  for (const auto& radio :
+       {core::ble_radio(), core::zigbee_radio(), core::wifi_radio()}) {
+    const core::Transmitter tx(radio);
+    const auto p = core::edge_payloads(tx, 256, 256, /*pool=*/2);
+    util::TablePrinter t({"payload", "bits/frame", "energy/frame", "airtime",
+                          "avg TX power @fps"});
+    auto row = [&](const char* name, const core::TransmissionCost& c) {
+      t.add_row({name, std::to_string(c.bits),
+                 util::format_sig(c.energy, 3) + " J",
+                 util::format_time(c.airtime),
+                 util::format_power(c.energy * fps)});
+    };
+    row("raw RGB 8-bit (cloud-centric)", p.raw_rgb8);
+    row("CRC 4-bit Bayer codes (ADC-less)", p.crc_codes4);
+    row("CA-compressed gray (Eq. 1, p=2)", p.ca_compressed4);
+    row("inference label only (full edge)", p.label);
+    std::printf("--- %s radio ---\n%s\n", radio.name.c_str(),
+                t.to_text().c_str());
+  }
+
+  std::printf("=== precision search: VGG9 under a %.2f W edge budget ===\n",
+              budget_w);
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  const nn::ModelDesc model = nn::vgg9_desc();
+  const core::PrecisionSearch search(sys, model);
+  core::PrecisionSearchOptions opts;
+  opts.power_budget = budget_w;
+  opts.max_accuracy_drop = 0.05;
+  const auto assignment = search.search(opts);
+  std::printf("  chosen per-layer weight bits: %s\n",
+              assignment.label().c_str());
+  std::printf("  peak power %s (budget %.2f W), accuracy-drop proxy %.3f\n",
+              util::format_power(assignment.max_power).c_str(), budget_w,
+              assignment.estimated_drop);
+  const auto report = sys.analyze(model, assignment.weight_bits);
+  std::printf("  batched throughput %.1f KFPS -> %.1f KFPS/W\n",
+              report.fps_batched / 1e3, report.kfps_per_watt);
+  std::printf("\nThe Fig. 2 takeaway: shipping labels instead of frames cuts "
+              "radio energy by\n~4 orders of magnitude, which is what makes "
+              "the optical edge pipeline pay off.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: train a LeNet on the synthetic MNIST stand-in, fine-tune with
+// QAT at [4:4], run inference through the Lightator optical core, and print
+// the architecture report (power / latency / throughput).
+//
+//   ./examples/quickstart [samples=600] [epochs=2]
+#include <cstdio>
+
+#include "core/controller.hpp"
+#include "core/lightator.hpp"
+#include "nn/models.hpp"
+#include "nn/qat.hpp"
+#include "nn/trainer.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+#include "workloads/synth_mnist.hpp"
+
+using namespace lightator;
+
+int main(int argc, char** argv) {
+  const util::Config cfg = util::Config::from_args(argc, argv);
+  const auto samples = static_cast<std::size_t>(cfg.get_int("samples", 600));
+  const auto epochs = static_cast<std::size_t>(cfg.get_int("epochs", 2));
+
+  std::printf("1) generating %zu synthetic MNIST digits...\n", samples);
+  workloads::SynthMnistOptions opts;
+  opts.samples = samples;
+  nn::Dataset data = workloads::make_synth_mnist(opts);
+
+  std::printf("2) training LeNet for %zu epochs (float)...\n", epochs);
+  util::Rng rng(1);
+  nn::Network net = nn::build_lenet(rng);
+  nn::TrainParams tp;
+  tp.epochs = epochs;
+  tp.batch_size = 30;
+  nn::Trainer trainer(tp);
+  const auto stats = trainer.fit(net, data);
+  std::printf("   float train accuracy: %.1f%%\n", 100.0 * stats.accuracy);
+
+  std::printf("3) quantization-aware fine-tune at [4:4]...\n");
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  nn::fine_tune(net, data, schedule, /*epochs=*/1);
+
+  std::printf("4) inference through the Lightator optical core...\n");
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  const double acc = sys.evaluate_on_oc(net, data, schedule, 50, 300);
+  std::printf("   OC-mapped accuracy: %.1f%% (4-bit weights on MRs, 4-bit\n"
+              "   activations on VCSEL intensities, BPD accumulation)\n",
+              100.0 * acc);
+
+  std::printf("5) architecture report for LeNet at %s:\n",
+              schedule.label().c_str());
+  const auto report = sys.analyze(nn::lenet_desc(), schedule);
+  util::TablePrinter table({"layer", "arms", "MRs", "rounds", "power", "latency"});
+  for (const auto& l : report.layers) {
+    table.add_row({l.name, std::to_string(l.mapping.arms_active),
+                   std::to_string(l.mapping.mrs_active),
+                   std::to_string(l.mapping.rounds),
+                   util::format_power(l.power.average.total()),
+                   util::format_time(l.timing.latency)});
+  }
+  std::printf("%s", table.to_text().c_str());
+  std::printf("\nframe latency %s | batched throughput %.1f KFPS | "
+              "max power %s | %.1f KFPS/W\n",
+              util::format_time(report.latency).c_str(),
+              report.fps_batched / 1e3,
+              util::format_power(report.max_power).c_str(),
+              report.kfps_per_watt);
+
+  std::printf("\n6) controller timeline (single frame):\n");
+  const core::Controller ctrl(sys.config());
+  const core::Mapper mapper(sys.config());
+  const auto timeline =
+      ctrl.schedule_frame(mapper.map_model(nn::lenet_desc()));
+  std::printf("%s", timeline.render_timeline(64).c_str());
+  std::printf("optical duty cycle: %.1f%% (single frame; batching raises it)\n",
+              100.0 * timeline.optical_duty());
+  return 0;
+}

@@ -1,0 +1,52 @@
+#include "accel/accel_model.hpp"
+
+#include <stdexcept>
+
+namespace lightator::accel {
+
+double ElectronicAccelerator::execution_time(const nn::ModelDesc& model) const {
+  if (peak_macs_per_s <= 0.0) {
+    throw std::logic_error("electronic accelerator needs a peak MAC rate");
+  }
+  double total = 0.0;
+  for (const auto& layer : model.layers) {
+    const std::size_t macs = layer.macs();
+    if (macs == 0) continue;
+    double util;
+    switch (layer.kind) {
+      case nn::LayerKind::kConv:
+        util = conv_utilization;
+        break;
+      case nn::LayerKind::kLinear:
+        util = fc_utilization;
+        break;
+      default:
+        // Pooling rides along with the preceding conv's dataflow.
+        util = conv_utilization;
+        break;
+    }
+    total += static_cast<double>(macs) / (peak_macs_per_s * util);
+  }
+  return total;
+}
+
+double PhotonicAccelerator::fps(std::size_t macs_per_frame) const {
+  if (mac_units == 0 || macs_per_frame == 0) return 0.0;
+  const double macs_per_s =
+      static_cast<double>(mac_units) * symbol_rate * utilization;
+  return macs_per_s / static_cast<double>(macs_per_frame);
+}
+
+PhotonicSummary PhotonicAccelerator::summarize(
+    std::size_t macs_per_frame) const {
+  PhotonicSummary s;
+  s.name = name;
+  s.precision = precision;
+  s.process_nm = process_nm;
+  s.max_power = total_power();
+  s.fps = fps(macs_per_frame);
+  s.kfps_per_watt = s.max_power > 0.0 ? s.fps / s.max_power / 1000.0 : 0.0;
+  return s;
+}
+
+}  // namespace lightator::accel

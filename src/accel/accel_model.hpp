@@ -1,0 +1,70 @@
+// Common interfaces for the baseline accelerator models.
+//
+// The paper compares Lightator against (a) MR-based photonic accelerators
+// (Table 1: power, KFPS/W, accuracy) and (b) electronic accelerators
+// (Fig. 10: execution time). We rebuild each from its published component
+// inventory — the same "created from the ground up resembling the original
+// design" methodology the paper describes — with constants documented next
+// to each model.
+#pragma once
+
+#include <string>
+
+#include "nn/model_desc.hpp"
+
+namespace lightator::accel {
+
+/// Execution-time model of an electronic accelerator: peak MAC rate derated
+/// by dataflow utilization per layer class (conv vs. memory-bound fc).
+struct ElectronicAccelerator {
+  std::string name;
+  double peak_macs_per_s = 0.0;
+  double conv_utilization = 0.5;
+  double fc_utilization = 0.1;
+
+  /// Single-frame execution time of a model (seconds).
+  double execution_time(const nn::ModelDesc& model) const;
+};
+
+/// Steady-state summary of a photonic accelerator on a DNN workload.
+struct PhotonicSummary {
+  std::string name;
+  std::string precision;  // "[W:A]"
+  int process_nm = 0;
+  double max_power = 0.0;      // W
+  double fps = 0.0;            // frames / s on the reference workload
+  double kfps_per_watt = 0.0;  // 1e3 frames / J
+};
+
+/// Photonic accelerator model: wavelength-parallel MAC fabric plus the
+/// electronic conversion overhead (ADC/DAC arrays) that dominates most
+/// published designs.
+struct PhotonicAccelerator {
+  std::string name;
+  std::string precision;
+  int process_nm = 0;
+
+  // Optical fabric.
+  std::size_t mac_units = 0;     // parallel multiply sites (MRs / XNOR gates)
+  double symbol_rate = 5e9;      // photodetection-limited cycle rate
+  double utilization = 0.5;      // fabric occupancy on the workload
+
+  // Electronic inventory (watts).
+  double adc_array_power = 0.0;
+  double dac_array_power = 0.0;
+  double tuning_power = 0.0;
+  double laser_power = 0.0;
+  double digital_power = 0.0;
+
+  double total_power() const {
+    return adc_array_power + dac_array_power + tuning_power + laser_power +
+           digital_power;
+  }
+
+  /// Frames/s on a workload with `macs_per_frame` MAC operations.
+  double fps(std::size_t macs_per_frame) const;
+
+  PhotonicSummary summarize(std::size_t macs_per_frame) const;
+};
+
+}  // namespace lightator::accel

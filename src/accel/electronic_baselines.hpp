@@ -1,0 +1,32 @@
+// The four electronic accelerators of Fig. 10, as execution-time models.
+//
+// Each model is peak-MACs x per-layer-class utilization; constants follow
+// the published architectures (PE counts / frequencies) with utilizations
+// derated per each design's dataflow story (e.g. Eyeriss' row-stationary
+// conv efficiency vs. its memory-bound FC layers). See the .cpp for the
+// provenance notes.
+#pragma once
+
+#include <vector>
+
+#include "accel/accel_model.hpp"
+
+namespace lightator::accel {
+
+/// Eyeriss (JSSC'17): 168 PEs @ 200 MHz, row-stationary dataflow.
+ElectronicAccelerator eyeriss();
+
+/// YodaNN (TCAD'18): binary-weight ASIC (VGG13 substituted for VGG16 in the
+/// paper's Fig. 10, matching its supported filter sizes).
+ElectronicAccelerator yodann();
+
+/// AppCip (JETCAS'23): analog convolution-in-pixel + digital backend.
+ElectronicAccelerator appcip();
+
+/// ENVISION (ISSCC'17): subword-parallel DVFS CNN processor (28 nm FDSOI).
+ElectronicAccelerator envision();
+
+/// Fig. 10 row order: Eyeriss, ENVISION, AppCip, YodaNN.
+std::vector<ElectronicAccelerator> all_electronic_baselines();
+
+}  // namespace lightator::accel

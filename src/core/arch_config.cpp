@@ -1,0 +1,76 @@
+#include "core/arch_config.hpp"
+
+namespace lightator::core {
+
+ArchConfig ArchConfig::defaults() {
+  ArchConfig c;
+  // MR: high-Q ring with an efficient undercut heater. 4 nm/mW keeps the
+  // whole-core tuning power near the ~4% share of Fig. 9's pie.
+  c.ring.fwhm = 0.1 * units::kNm;
+  c.ring.extinction = 0.05;
+  c.ring.heater_efficiency = 4.0 * units::kNm / units::kMW;
+  c.ring.max_detuning = 0.5 * units::kNm;
+  c.ring.insertion_loss_db = 0.01;
+  c.ring.settle_time = c.remap_settle;
+  // uA-class VCSELs: the edge power budget forces low drive currents
+  // (~0.1 mW electrical per active channel including the driver).
+  c.vcsel.threshold_current = 20 * units::kUA;
+  c.vcsel.step_current = 4 * units::kUA;
+  c.vcsel.slope_efficiency = 0.3;
+  c.vcsel.supply_voltage = 1.8;
+  c.vcsel.levels = 15;
+  c.vcsel.bandwidth = c.modulation_rate;
+  // Current-mode driver switching energy per transistor per symbol; at
+  // 25 GHz the driver dynamic power stays ~10% of the VCSEL bias power.
+  c.vcsel.driver_energy_per_symbol = 0.03 * units::kFJ;
+  // BPD: bandwidth tracks the symbol rate.
+  c.detector.bandwidth = c.modulation_rate;
+  c.detector.static_power = c.bpd_power;
+  // Sensor: 256x256 RGGB, 4-bit CRC.
+  c.sensor.rows = 256;
+  c.sensor.cols = 256;
+  return c;
+}
+
+ArchConfig ArchConfig::from_config(const util::Config& cfg) {
+  ArchConfig c = defaults();
+  c.geometry.bank_rows =
+      static_cast<std::size_t>(cfg.get_int("oc.bank_rows", static_cast<int>(c.geometry.bank_rows)));
+  c.geometry.bank_cols =
+      static_cast<std::size_t>(cfg.get_int("oc.bank_cols", static_cast<int>(c.geometry.bank_cols)));
+  c.geometry.arms_per_bank = static_cast<std::size_t>(
+      cfg.get_int("oc.arms_per_bank", static_cast<int>(c.geometry.arms_per_bank)));
+  c.geometry.mrs_per_arm = static_cast<std::size_t>(
+      cfg.get_int("oc.mrs_per_arm", static_cast<int>(c.geometry.mrs_per_arm)));
+  c.geometry.ca_banks = static_cast<std::size_t>(
+      cfg.get_int("oc.ca_banks", static_cast<int>(c.geometry.ca_banks)));
+  c.modulation_rate = cfg.get_double("oc.modulation_rate_ghz",
+                                     c.modulation_rate / units::kGHz) *
+                      units::kGHz;
+  c.remap_settle =
+      cfg.get_double("oc.remap_settle_ns", c.remap_settle / units::kNs) *
+      units::kNs;
+  c.throughput_batch = static_cast<std::size_t>(
+      cfg.get_int("oc.batch", static_cast<int>(c.throughput_batch)));
+  c.dac_power_4bit =
+      cfg.get_double("power.dac_mw", c.dac_power_4bit / units::kMW) * units::kMW;
+  c.adc_power =
+      cfg.get_double("power.adc_mw", c.adc_power / units::kMW) * units::kMW;
+  c.bpd_power =
+      cfg.get_double("power.bpd_mw", c.bpd_power / units::kMW) * units::kMW;
+  c.controller_power =
+      cfg.get_double("power.ctrl_mw", c.controller_power / units::kMW) *
+      units::kMW;
+  c.ring.heater_efficiency =
+      cfg.get_double("mr.heater_nm_per_mw",
+                     c.ring.heater_efficiency / (units::kNm / units::kMW)) *
+      units::kNm / units::kMW;
+  c.ring.fwhm =
+      cfg.get_double("mr.fwhm_nm", c.ring.fwhm / units::kNm) * units::kNm;
+  c.vcsel.bandwidth = c.modulation_rate;
+  c.detector.bandwidth = c.modulation_rate;
+  c.ring.settle_time = c.remap_settle;
+  return c;
+}
+
+}  // namespace lightator::core

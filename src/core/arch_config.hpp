@@ -1,0 +1,99 @@
+// Architecture configuration: every calibration constant of the
+// device-to-architecture simulator in one traceable place.
+//
+// Defaults are chosen from the paper and the literature it cites (see
+// DESIGN.md §5) so that the component *shares* match the paper's Fig. 9 pie
+// (DACs > 85%, DMVA ~ 9%, TUN ~ 4%, BPD ~ 1%, ADC < 1%) and the [4:4] ->
+// [3:4] -> [2:4] power ladder follows the current-steering DAC scaling the
+// paper attributes its 2.4x claim to. All values can be overridden from a
+// util::Config ("key=value") for sweeps.
+#pragma once
+
+#include <cstddef>
+
+#include "optics/microring.hpp"
+#include "optics/photodetector.hpp"
+#include "optics/vcsel.hpp"
+#include "sensor/pixel_array.hpp"
+#include "util/config.hpp"
+#include "util/units.hpp"
+
+namespace lightator::core {
+
+/// Optical-core geometry (paper §4): 96 banks in an 8x12 array, 6 arms per
+/// bank, 9 MRs per arm -> 5184 MRs / MAC slots per cycle.
+struct OcGeometry {
+  std::size_t bank_rows = 12;
+  std::size_t bank_cols = 8;
+  std::size_t arms_per_bank = 6;
+  std::size_t mrs_per_arm = 9;
+  /// Dedicated compressive-acquisitor banks (pre-set weights), in addition
+  /// to the 96 MVM banks.
+  std::size_t ca_banks = 8;
+
+  std::size_t banks() const { return bank_rows * bank_cols; }
+  std::size_t arms() const { return banks() * arms_per_bank; }
+  std::size_t mrs() const { return arms() * mrs_per_arm; }
+  std::size_t ca_arms() const { return ca_banks * arms_per_bank; }
+};
+
+struct ArchConfig {
+  OcGeometry geometry;
+
+  // ---- rates & times -------------------------------------------------
+  /// Symbol (modulation/detection) rate of the optical datapath. The paper
+  /// cites photodetection rates beyond 100 GHz; we default to a conservative
+  /// 25 GHz directly-modulated-VCSEL rate.
+  double modulation_rate = 25 * units::kGHz;
+  /// MR thermal settle per weight-remap round (all DACs settle in parallel).
+  double remap_settle = 500 * units::kNs;
+  /// Frames sharing one weight-load in batched-throughput mode (Table 1).
+  std::size_t throughput_batch = 256;
+
+  // ---- per-unit electrical powers -------------------------------------
+  /// 4-bit current-steering weight DAC per MR cell, full precision. Scales
+  /// with (2^b - 1)/15 at lower weight precision b (power-gated branches).
+  double dac_power_4bit = 0.92 * units::kMW;
+  /// Output 4-bit ADC per bank (behind the splitter in Fig. 3).
+  double adc_power = 0.2 * units::kMW;
+  /// BPD + TIA static power per arm.
+  double bpd_power = 0.05 * units::kMW;
+  /// Controller / timing / command decoder.
+  double controller_power = 5.0 * units::kMW;
+  /// Selector mux per active VCSEL channel.
+  double selector_power = 2.0 * units::kUW;
+  /// Register-file / FIFO energy per bit for the streaming activation path
+  /// (the SRAM buffer sits behind a line buffer; SRAM dynamic energy is
+  /// charged per frame, not per symbol).
+  double activation_buffer_energy_per_bit = 2.0 * units::kFJ;
+  /// Pooling windows the CA banks process concurrently. The CA is sized for
+  /// the sensor line rate, not the OC symbol rate, so a handful of parallel
+  /// windows suffices and keeps its power in the Fig. 8 "dip" regime.
+  std::size_t ca_parallel_windows = 4;
+
+  // ---- device parameter blocks ----------------------------------------
+  optics::MicroRingParams ring;     // heater efficiency set in defaults()
+  optics::VcselParams vcsel;        // uA-class edge VCSELs, see defaults()
+  optics::PhotodetectorParams detector;
+  sensor::PixelArrayParams sensor;
+
+  // ---- memory (CACTI-class 45 nm approximations) ----------------------
+  double weight_sram_bytes = 2 * 1024 * 1024;
+  double buffer_sram_bytes = 256 * 1024;
+
+  /// Weight-DAC power at `bits` precision (current-steering branch gating).
+  double dac_power(int bits) const {
+    return dac_power_4bit * static_cast<double>((1 << bits) - 1) / 15.0;
+  }
+
+  double cycle_time() const { return 1.0 / modulation_rate; }
+
+  /// Defaults tuned per DESIGN.md §5.
+  static ArchConfig defaults();
+
+  /// defaults() overridden by "key=value" entries (see arch_config.cpp for
+  /// the key list).
+  static ArchConfig from_config(const util::Config& cfg);
+};
+
+}  // namespace lightator::core

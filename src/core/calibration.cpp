@@ -1,0 +1,129 @@
+#include "core/calibration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::core {
+
+const CalibrationEntry& CalibrationTable::entry_for_level(int level) const {
+  for (const auto& e : entries) {
+    if (e.level == level) return e;
+  }
+  throw std::out_of_range("no calibration entry for level");
+}
+
+double CalibrationTable::max_error() const {
+  double m = 0.0;
+  for (const auto& e : entries) m = std::max(m, e.error);
+  return m;
+}
+
+double CalibrationTable::rms_error() const {
+  if (entries.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& e : entries) acc += e.error * e.error;
+  return std::sqrt(acc / static_cast<double>(entries.size()));
+}
+
+double CalibrationTable::mean_heater_power() const {
+  if (entries.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& e : entries) acc += e.heater_power;
+  return acc / static_cast<double>(entries.size());
+}
+
+double Calibrator::measure_weight(int dac_code, int dac_bits) const {
+  const int max_code = (1 << dac_bits) - 1;
+  if (dac_code < 0 || dac_code > max_code) {
+    throw std::out_of_range("DAC code out of range");
+  }
+  optics::MicroRing ring(config_.ring, 1550.0 * units::kNm);
+  const double detuning = config_.ring.max_detuning *
+                          static_cast<double>(dac_code) /
+                          static_cast<double>(max_code);
+  ring.set_detuning(detuning);
+  return ring.realized_weight();
+}
+
+CalibrationTable Calibrator::calibrate(int weight_bits, int dac_bits) const {
+  if (weight_bits < 1 || weight_bits > 8) {
+    throw std::invalid_argument("weight bits must be in [1,8]");
+  }
+  if (dac_bits < 2 || dac_bits > 16) {
+    throw std::invalid_argument("DAC bits must be in [2,16]");
+  }
+  CalibrationTable table;
+  table.weight_bits = weight_bits;
+  table.dac_bits = dac_bits;
+  const int m = weight_bits == 1 ? 1 : (1 << (weight_bits - 1)) - 1;
+  const int max_code = (1 << dac_bits) - 1;
+
+  // Measure the whole transfer curve once (monotone in code).
+  std::vector<double> curve(static_cast<std::size_t>(max_code) + 1);
+  for (int code = 0; code <= max_code; ++code) {
+    curve[static_cast<std::size_t>(code)] = measure_weight(code, dac_bits);
+  }
+
+  optics::MicroRing probe(config_.ring, 1550.0 * units::kNm);
+  for (int level = -m; level <= m; ++level) {
+    CalibrationEntry e;
+    e.level = level;
+    e.target_weight = static_cast<double>(std::abs(level)) / m;
+    // Binary search would work (monotone), linear scan is clearer and this
+    // runs once at bring-up.
+    int best = 0;
+    double best_err = 1e9;
+    for (int code = 0; code <= max_code; ++code) {
+      const double err = std::fabs(curve[static_cast<std::size_t>(code)] -
+                                   e.target_weight);
+      if (err < best_err) {
+        best_err = err;
+        best = code;
+      }
+    }
+    e.dac_code = best;
+    e.realized_weight = curve[static_cast<std::size_t>(best)];
+    e.error = best_err;
+    probe.set_detuning(config_.ring.max_detuning * best /
+                       static_cast<double>(max_code));
+    e.heater_power = probe.tuning_power();
+    table.entries.push_back(e);
+  }
+  return table;
+}
+
+double Calibrator::drift_rms_error(const CalibrationTable& table,
+                                   double drift) const {
+  // Each level: program both rings of the differential pair at their
+  // calibrated detunings, then shift BOTH resonances by `drift` (a common
+  // thermal excursion) and re-measure the differential weight at the
+  // (unshifted) signal wavelength.
+  const double lambda = 1550.0 * units::kNm;
+  const int max_code = (1 << table.dac_bits) - 1;
+  double acc = 0.0;
+  for (const auto& e : table.entries) {
+    optics::MicroRing active(config_.ring, lambda);
+    optics::MicroRing parked(config_.ring, lambda);
+    const double detuning =
+        config_.ring.max_detuning * e.dac_code / static_cast<double>(max_code);
+    // Clamp to the phase-shifter range when drift pushes past it.
+    auto clamped = [&](double d) {
+      return std::min(std::max(d, -config_.ring.max_detuning),
+                      config_.ring.max_detuning);
+    };
+    active.set_detuning(clamped(detuning + drift));
+    parked.set_detuning(clamped(drift));
+    const double norm = (1.0 - config_.ring.extinction) *
+                        config_.ring.weight_headroom;
+    const double differential = (active.through_transmission(lambda) -
+                                 parked.through_transmission(lambda)) /
+                                norm;
+    const double target =
+        (e.level >= 0 ? 1.0 : -1.0) * e.target_weight;
+    const double realized = (e.level >= 0 ? 1.0 : -1.0) * differential;
+    acc += (realized - target) * (realized - target);
+  }
+  return std::sqrt(acc / static_cast<double>(table.entries.size()));
+}
+
+}  // namespace lightator::core

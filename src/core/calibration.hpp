@@ -1,0 +1,73 @@
+// MR weight-bank calibration: builds the weight-level -> DAC-code lookup
+// tables a real MRR system programs at bring-up.
+//
+// The mapper assumes a weight level can be imprinted exactly; hardware gets
+// there by sweeping each ring's heater DAC, measuring the through-port
+// transmission at the home channel, and recording the code whose realized
+// weight is closest to each quantized level. This module performs that sweep
+// on the device models, reports the residual calibration error per level,
+// and exposes the LUT the controller would ship to the DAC array.
+//
+// It also quantifies two practical effects the paper's device level cares
+// about: (i) the DAC's finite code space limits how exactly a level can be
+// hit (tuning resolution), and (ii) thermal drift between calibrations
+// shifts every resonance by a common delta-lambda, which the differential
+// weight cell largely rejects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "optics/microring.hpp"
+
+namespace lightator::core {
+
+struct CalibrationEntry {
+  int level = 0;            // signed weight level
+  int dac_code = 0;         // heater DAC code realizing it best
+  double target_weight = 0.0;
+  double realized_weight = 0.0;
+  double error = 0.0;       // |realized - target|
+  double heater_power = 0.0;  // W at this code
+};
+
+struct CalibrationTable {
+  int weight_bits = 4;
+  int dac_bits = 10;          // heater DAC resolution
+  std::vector<CalibrationEntry> entries;  // levels -m..m in order
+
+  const CalibrationEntry& entry_for_level(int level) const;
+
+  /// Worst and RMS residual over all levels.
+  double max_error() const;
+  double rms_error() const;
+
+  /// Mean heater power across levels (uniform level usage) — cross-checks
+  /// PowerModel::expected_tuning_power_per_cell.
+  double mean_heater_power() const;
+};
+
+class Calibrator {
+ public:
+  explicit Calibrator(ArchConfig config) : config_(config) {}
+
+  /// Sweeps a heater DAC of `dac_bits` codes across the phase-shifter range
+  /// and builds the LUT for `weight_bits` levels. The DAC code maps linearly
+  /// to detuning (heater power ~ detuning for small shifts).
+  CalibrationTable calibrate(int weight_bits, int dac_bits = 10) const;
+
+  /// Realized weight at a given DAC code (the measurement primitive).
+  double measure_weight(int dac_code, int dac_bits) const;
+
+  /// Residual arm-level error when every ring suffers a common thermal
+  /// drift of `drift` meters between calibration and use: returns the RMS
+  /// error of the differential weight over all levels. Demonstrates the
+  /// common-mode rejection of the differential cell.
+  double drift_rms_error(const CalibrationTable& table, double drift) const;
+
+ private:
+  ArchConfig config_;
+};
+
+}  // namespace lightator::core

@@ -1,0 +1,109 @@
+#include "core/compressive_acquisitor.hpp"
+
+#include <stdexcept>
+
+#include "util/quant.hpp"
+
+namespace lightator::core {
+
+CompressiveAcquisitor::CompressiveAcquisitor(CaOptions options,
+                                             const ArchConfig& config)
+    : options_(options), config_(config) {
+  if (options_.pool_factor == 0) {
+    throw std::invalid_argument("CA pool factor must be >= 1");
+  }
+  if (options_.pool_factor == 1 && !options_.to_grayscale) {
+    throw std::invalid_argument("CA with p=1 and no grayscale is a no-op");
+  }
+  mapped_ = mapped_weights();
+}
+
+std::size_t CompressiveAcquisitor::window_size() const {
+  const std::size_t p2 = options_.pool_factor * options_.pool_factor;
+  return options_.to_grayscale ? 3 * p2 : p2;
+}
+
+std::vector<double> CompressiveAcquisitor::ideal_weights() const {
+  const std::size_t p2 = options_.pool_factor * options_.pool_factor;
+  const double pool = 1.0 / static_cast<double>(p2);
+  std::vector<double> w;
+  w.reserve(window_size());
+  for (std::size_t i = 0; i < p2; ++i) {
+    if (options_.to_grayscale) {
+      w.push_back(pool * sensor::kGrayR);
+      w.push_back(pool * sensor::kGrayG);
+      w.push_back(pool * sensor::kGrayB);
+    } else {
+      w.push_back(pool);
+    }
+  }
+  return w;
+}
+
+std::vector<double> CompressiveAcquisitor::mapped_weights() const {
+  // The CA coefficients share one scale so their ratios survive
+  // quantization; scale = the largest coefficient.
+  auto w = ideal_weights();
+  double scale = 0.0;
+  for (double v : w) scale = std::max(scale, v);
+  if (scale <= 0.0) return w;
+  const util::SymmetricQuantizer q{options_.weight_bits, scale};
+  for (double& v : w) v = q.fake_quant(v);
+  return w;
+}
+
+sensor::Image CompressiveAcquisitor::apply(const sensor::Image& rgb) const {
+  if (rgb.channels() != 3) {
+    throw std::invalid_argument("CA expects an RGB input image");
+  }
+  const std::size_t p = options_.pool_factor;
+  if (rgb.height() % p != 0 || rgb.width() % p != 0) {
+    throw std::invalid_argument("CA pool factor must divide image dims");
+  }
+  const std::size_t oh = rgb.height() / p, ow = rgb.width() / p;
+  const std::size_t out_c = options_.to_grayscale ? 1 : 3;
+  sensor::Image out(oh, ow, out_c);
+  for (std::size_t y = 0; y < oh; ++y) {
+    for (std::size_t x = 0; x < ow; ++x) {
+      if (options_.to_grayscale) {
+        double acc = 0.0;
+        std::size_t wi = 0;
+        for (std::size_t dy = 0; dy < p; ++dy) {
+          for (std::size_t dx = 0; dx < p; ++dx) {
+            for (std::size_t c = 0; c < 3; ++c, ++wi) {
+              acc += mapped_[wi] * rgb.at(y * p + dy, x * p + dx, c);
+            }
+          }
+        }
+        out.at(y, x) = static_cast<float>(acc);
+      } else {
+        for (std::size_t c = 0; c < 3; ++c) {
+          double acc = 0.0;
+          std::size_t wi = 0;
+          for (std::size_t dy = 0; dy < p; ++dy) {
+            for (std::size_t dx = 0; dx < p; ++dx, ++wi) {
+              acc += mapped_[wi] * rgb.at(y * p + dy, x * p + dx, c);
+            }
+          }
+          out.at(y, x, c) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+LayerMapping CompressiveAcquisitor::mapping(std::size_t in_h,
+                                            std::size_t in_w) const {
+  const std::size_t p = options_.pool_factor;
+  if (in_h % p != 0 || in_w % p != 0) {
+    throw std::invalid_argument("CA pool factor must divide input dims");
+  }
+  const std::size_t outputs =
+      (options_.to_grayscale ? 1 : 3) * (in_h / p) * (in_w / p);
+  const Mapper mapper(config_);
+  return mapper.map_ca_window(window_size(), outputs, "compressive_acquisitor",
+                              nn::LayerKind::kAvgPool);
+}
+
+}  // namespace lightator::core

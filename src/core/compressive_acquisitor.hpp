@@ -1,0 +1,54 @@
+// Compressive Acquisitor (paper §3.2): fused RGB-to-grayscale conversion and
+// average pooling in a single optical pass over pre-set MR coefficients.
+//
+// Eq. 1: for a pxp pooling window, the output is a weighted sum of the
+// 3*p^2 window values with weights (1/p^2) * {0.299, 0.587, 0.114}. The
+// coefficients are quantized to the CA banks' MR levels once at configuration
+// time; apply() reproduces exactly what the mapped hardware computes.
+#pragma once
+
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/mapper.hpp"
+#include "sensor/image.hpp"
+
+namespace lightator::core {
+
+struct CaOptions {
+  std::size_t pool_factor = 2;   // p (1 = no pooling)
+  bool to_grayscale = true;      // fold in the luma weights
+  int weight_bits = 4;           // MR level precision of the coefficients
+};
+
+class CompressiveAcquisitor {
+ public:
+  CompressiveAcquisitor(CaOptions options, const ArchConfig& config);
+
+  const CaOptions& options() const { return options_; }
+
+  /// The exact (unquantized) fused window coefficients, ordered
+  /// (dy, dx, channel); length 3*p^2 for grayscale, p^2 for channel-wise.
+  std::vector<double> ideal_weights() const;
+
+  /// The coefficients the MR levels actually realize (quantized).
+  std::vector<double> mapped_weights() const;
+
+  /// Runs the compressive acquisition on an RGB scene with the mapped
+  /// (quantized) coefficients. Output: grayscale H/p x W/p (grayscale mode)
+  /// or RGB H/p x W/p (channel-wise mode).
+  sensor::Image apply(const sensor::Image& rgb) const;
+
+  /// Resource/occupancy view for the power & timing models.
+  LayerMapping mapping(std::size_t in_h, std::size_t in_w) const;
+
+  /// MACs per output of the fused window.
+  std::size_t window_size() const;
+
+ private:
+  CaOptions options_;
+  ArchConfig config_;
+  std::vector<double> mapped_;  // quantized coefficients, cached
+};
+
+}  // namespace lightator::core

@@ -1,0 +1,143 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace lightator::core {
+
+double ExecutionSchedule::makespan() const {
+  double end = 0.0;
+  for (const auto& p : phases) end = std::max(end, p.end());
+  return end;
+}
+
+double ExecutionSchedule::total_remap_time() const {
+  double t = 0.0;
+  for (const auto& p : phases) {
+    if (p.kind == PhaseKind::kRemap) t += p.duration;
+  }
+  return t;
+}
+
+double ExecutionSchedule::total_stream_time() const {
+  double t = 0.0;
+  for (const auto& p : phases) {
+    if (p.kind == PhaseKind::kStream) t += p.duration;
+  }
+  return t;
+}
+
+double ExecutionSchedule::optical_duty() const {
+  const double span = makespan();
+  return span > 0.0 ? total_stream_time() / span : 0.0;
+}
+
+std::string ExecutionSchedule::render_timeline(std::size_t columns) const {
+  if (phases.empty()) return "(empty schedule)\n";
+  if (columns < 8) columns = 8;
+  const double span = makespan();
+  if (span <= 0.0) return "(zero-length schedule)\n";
+
+  // Collect layer rows in first-appearance order.
+  std::vector<std::string> layer_names;
+  for (const auto& p : phases) {
+    if (std::find(layer_names.begin(), layer_names.end(), p.layer) ==
+        layer_names.end()) {
+      layer_names.push_back(p.layer);
+    }
+  }
+  std::size_t label_width = 0;
+  for (const auto& n : layer_names) label_width = std::max(label_width, n.size());
+
+  std::ostringstream out;
+  for (const auto& name : layer_names) {
+    std::string row(columns, '.');
+    for (const auto& p : phases) {
+      if (p.layer != name) continue;
+      auto col_of = [&](double t) {
+        auto c = static_cast<std::size_t>(t / span * static_cast<double>(columns));
+        return std::min(c, columns - 1);
+      };
+      const std::size_t c0 = col_of(p.start);
+      const std::size_t c1 = col_of(std::max(p.start, p.end() - 1e-15));
+      const char mark = p.kind == PhaseKind::kRemap ? 'R' : '#';
+      for (std::size_t c = c0; c <= c1; ++c) row[c] = mark;
+    }
+    out << name << std::string(label_width - name.size() + 2, ' ') << row
+        << '\n';
+  }
+  out << "(R = MR remap/settle, # = optical streaming; span = " << span * 1e6
+      << " us)\n";
+  return out.str();
+}
+
+ExecutionSchedule Controller::build(const std::vector<LayerMapping>& mappings,
+                                    std::size_t frames_per_round) const {
+  if (frames_per_round == 0) {
+    throw std::invalid_argument("need >= 1 frame per round");
+  }
+  ExecutionSchedule schedule;
+  schedule.frames = frames_per_round;
+  double clock = 0.0;
+  std::size_t layer_index = 0;
+  for (const auto& m : mappings) {
+    if (m.rounds == 0) continue;  // non-compute layer
+    for (std::size_t round = 0; round < m.rounds; ++round) {
+      if (m.weighted) {
+        SchedulePhase remap;
+        remap.layer = m.layer_name;
+        remap.kind = PhaseKind::kRemap;
+        remap.round = round;
+        remap.start = clock;
+        remap.duration = config_.remap_settle;
+        remap.layer_index = layer_index;
+        clock = remap.end();
+        schedule.phases.push_back(std::move(remap));
+      }
+      SchedulePhase stream;
+      stream.layer = m.layer_name;
+      stream.kind = PhaseKind::kStream;
+      stream.round = round;
+      stream.start = clock;
+      stream.duration = static_cast<double>(m.cycles_per_round) *
+                        static_cast<double>(frames_per_round) *
+                        config_.cycle_time();
+      stream.layer_index = layer_index;
+      clock = stream.end();
+      schedule.phases.push_back(std::move(stream));
+    }
+    ++layer_index;
+  }
+  return schedule;
+}
+
+ExecutionSchedule Controller::schedule_frame(
+    const std::vector<LayerMapping>& mappings) const {
+  return build(mappings, 1);
+}
+
+ExecutionSchedule Controller::schedule_batch(
+    const std::vector<LayerMapping>& mappings, std::size_t batch) const {
+  return build(mappings, batch);
+}
+
+double Controller::peak_buffer_bytes(const nn::ModelDesc& model) const {
+  // Producer/consumer double buffering: layer i's output plus layer i+1's
+  // output coexist. Activations are 4-bit codes.
+  std::vector<std::size_t> outputs;
+  outputs.push_back(model.in_channels * model.in_h * model.in_w);
+  for (const auto& layer : model.layers) {
+    const std::size_t n = layer.output_count();
+    if (n > 0) outputs.push_back(n);
+  }
+  double peak = 0.0;
+  for (std::size_t i = 0; i + 1 < outputs.size(); ++i) {
+    peak = std::max(peak,
+                    static_cast<double>(outputs[i] + outputs[i + 1]) * 0.5);
+  }
+  return peak;
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,86 @@
+// Controller (paper Fig. 3: Ctrl unit, timing control, command decoder):
+// turns layer mappings into an explicit execution schedule.
+//
+// The controller sequences each layer's remap rounds (weight SRAM -> DACs ->
+// MR settle) and streaming phases (DMVA drives activations, BPDs/ADCs drain
+// results), producing a phase-accurate timeline. Two schedules match the two
+// operating points of the evaluation:
+//   * frame schedule  — one frame, phases strictly sequential (Fig. 10);
+//   * batch schedule  — each round streams `batch` frames before the next
+//     remap (Table 1 throughput mode).
+// It also audits the activation I/O buffer: the largest inter-layer feature
+// map (4-bit codes) must fit the configured buffer SRAM.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/mapper.hpp"
+#include "nn/model_desc.hpp"
+
+namespace lightator::core {
+
+enum class PhaseKind { kRemap, kStream };
+
+struct SchedulePhase {
+  std::string layer;
+  PhaseKind kind = PhaseKind::kStream;
+  std::size_t round = 0;       // round index within the layer
+  double start = 0.0;          // s, from frame start
+  double duration = 0.0;       // s
+  std::size_t layer_index = 0; // position in the schedule's layer order
+
+  double end() const { return start + duration; }
+};
+
+struct ExecutionSchedule {
+  std::vector<SchedulePhase> phases;
+  std::size_t frames = 1;  // frames completed by this schedule
+
+  double makespan() const;
+
+  /// Fraction of the makespan during which the optical datapath streams
+  /// symbols (the rest is MR settling — dark time).
+  double optical_duty() const;
+
+  /// Total remap / stream time.
+  double total_remap_time() const;
+  double total_stream_time() const;
+
+  /// ASCII Gantt chart: one row per layer, R = remap, # = stream.
+  std::string render_timeline(std::size_t columns = 72) const;
+};
+
+class Controller {
+ public:
+  explicit Controller(ArchConfig config) : config_(config) {}
+
+  /// Strictly sequential single-frame schedule (latency mode).
+  ExecutionSchedule schedule_frame(
+      const std::vector<LayerMapping>& mappings) const;
+
+  /// Weight-reuse schedule: each remap round streams `batch` frames worth of
+  /// cycles before moving on (throughput mode).
+  ExecutionSchedule schedule_batch(const std::vector<LayerMapping>& mappings,
+                                   std::size_t batch) const;
+
+  /// Peak inter-layer activation footprint of a model (bytes of 4-bit codes,
+  /// double-buffered: producer + consumer maps live simultaneously).
+  double peak_buffer_bytes(const nn::ModelDesc& model) const;
+
+  /// True if the model's activations fit the configured buffer SRAM.
+  bool buffer_fits(const nn::ModelDesc& model) const {
+    return peak_buffer_bytes(model) <= config_.buffer_sram_bytes;
+  }
+
+  const ArchConfig& config() const { return config_; }
+
+ private:
+  ExecutionSchedule build(const std::vector<LayerMapping>& mappings,
+                          std::size_t frames_per_round) const;
+
+  ArchConfig config_;
+};
+
+}  // namespace lightator::core

@@ -1,0 +1,56 @@
+#include "core/dmva.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::core {
+
+Dmva::Dmva(const ArchConfig& config) : config_(config) {}
+
+std::vector<int> Dmva::codes_from_frame(const sensor::CodeFrame& frame) const {
+  std::vector<int> codes;
+  codes.reserve(frame.codes.size());
+  for (std::uint8_t c : frame.codes) {
+    if (c > config_.vcsel.levels) {
+      throw std::out_of_range("pixel code exceeds VCSEL levels");
+    }
+    codes.push_back(static_cast<int>(c));
+  }
+  return codes;
+}
+
+std::vector<int> Dmva::codes_from_activations(const std::vector<float>& acts,
+                                              double scale) const {
+  if (scale <= 0.0) throw std::invalid_argument("activation scale must be > 0");
+  std::vector<int> codes;
+  codes.reserve(acts.size());
+  const int levels = config_.vcsel.levels;
+  for (float a : acts) {
+    const double normalized = static_cast<double>(a) / scale;
+    const int code = static_cast<int>(
+        std::lround(std::clamp(normalized, 0.0, 1.0) * levels));
+    codes.push_back(code);
+  }
+  return codes;
+}
+
+double Dmva::optical_power(int code) const {
+  optics::Vcsel laser(config_.vcsel, 1550.0 * units::kNm);
+  laser.drive_code(code);
+  return laser.optical_power();
+}
+
+double Dmva::max_optical_power() const {
+  const optics::Vcsel laser(config_.vcsel, 1550.0 * units::kNm);
+  return laser.max_optical_power();
+}
+
+double Dmva::symbol_energy() const {
+  optics::Vcsel laser(config_.vcsel, 1550.0 * units::kNm);
+  laser.drive_code(config_.vcsel.levels / 2);
+  return laser.driver_symbol_energy() +
+         laser.electrical_power() / config_.modulation_rate;
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,53 @@
+// Directly-Modulated VCSEL Array (paper Fig. 4): CRC + selector + drivers.
+//
+// The DMVA turns 4-bit digital values — pixel codes from the CRC on the
+// first layer, previous-layer activations from the I/O buffer afterwards —
+// into per-wavelength optical intensities for the OC, with no DAC. The
+// selector (Fig. 4b) picks the source; the driver (Fig. 4c) converts the
+// thermometer code to a drive current.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "optics/vcsel.hpp"
+#include "sensor/pixel_array.hpp"
+
+namespace lightator::core {
+
+enum class DmvaSource { kPixelArray, kLayerBuffer };
+
+class Dmva {
+ public:
+  explicit Dmva(const ArchConfig& config);
+
+  DmvaSource source() const { return source_; }
+  void select(DmvaSource source) { source_ = source; }
+
+  /// Drive codes from a captured pixel frame (first-layer path). The frame's
+  /// 4-bit codes pass straight through — they are already thermometer counts.
+  std::vector<int> codes_from_frame(const sensor::CodeFrame& frame) const;
+
+  /// Drive codes from previous-layer activations in [0, 1] (buffer path):
+  /// binary -> thermometer conversion in the selector.
+  std::vector<int> codes_from_activations(const std::vector<float>& acts,
+                                          double scale) const;
+
+  /// Optical power a VCSEL emits for a drive code (uses the arch VCSEL).
+  double optical_power(int code) const;
+
+  /// Peak optical power (code 15) — the OC's activation full-scale.
+  double max_optical_power() const;
+
+  /// Electrical energy of driving one symbol on one channel.
+  double symbol_energy() const;
+
+  int levels() const { return config_.vcsel.levels; }
+
+ private:
+  ArchConfig config_;
+  DmvaSource source_ = DmvaSource::kPixelArray;
+};
+
+}  // namespace lightator::core

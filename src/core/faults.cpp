@@ -1,0 +1,40 @@
+#include "core/faults.hpp"
+
+#include <stdexcept>
+
+namespace lightator::core {
+
+std::size_t apply_weight_faults(tensor::QuantizedTensor& weights,
+                                const FaultSpec& spec, util::Rng& rng) {
+  if (!weights.is_signed) {
+    throw std::invalid_argument("weight faults expect a signed tensor");
+  }
+  if (spec.stuck_cell_rate <= 0.0) return 0;
+  const int m = weights.max_level();
+  std::size_t hit = 0;
+  for (auto& level : weights.levels) {
+    if (!rng.bernoulli(spec.stuck_cell_rate)) continue;
+    // Stuck anywhere in the level range, independent of the target.
+    level = static_cast<std::int16_t>(
+        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(2 * m + 1))) - m);
+    ++hit;
+  }
+  return hit;
+}
+
+std::size_t apply_activation_faults(tensor::QuantizedTensor& acts,
+                                    const FaultSpec& spec, util::Rng& rng) {
+  if (acts.is_signed) {
+    throw std::invalid_argument("activation faults expect an unsigned tensor");
+  }
+  if (spec.dead_channel_rate <= 0.0) return 0;
+  std::size_t hit = 0;
+  for (auto& code : acts.levels) {
+    if (!rng.bernoulli(spec.dead_channel_rate)) continue;
+    code = 0;  // dark channel
+    ++hit;
+  }
+  return hit;
+}
+
+}  // namespace lightator::core

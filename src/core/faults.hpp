@@ -1,0 +1,39 @@
+// Fault injection for the optical core: manufacturing / runtime defects and
+// their effect on mapped inference.
+//
+// Two defect classes dominate MR weight banks and VCSEL arrays:
+//   * stuck weight cells — a ring whose heater (or DAC) is dead holds an
+//     arbitrary fixed level;
+//   * dead activation channels — a VCSEL that never lases leaves its
+//     wavelength dark (activation reads as 0).
+// Faults are sampled per-element from a seeded RNG so experiments are
+// reproducible; apply_* mutate quantized tensors in place, which composes
+// with the OC functional path (run_network_on_oc).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::core {
+
+struct FaultSpec {
+  double stuck_cell_rate = 0.0;    // fraction of weight cells stuck
+  double dead_channel_rate = 0.0;  // fraction of activation channels dark
+  std::uint64_t seed = 1;
+
+  bool any() const { return stuck_cell_rate > 0.0 || dead_channel_rate > 0.0; }
+};
+
+/// Replaces a `stuck_cell_rate` fraction of weight levels with random stuck
+/// levels (uniform over the level range). Returns the number of cells hit.
+std::size_t apply_weight_faults(tensor::QuantizedTensor& weights,
+                                const FaultSpec& spec, util::Rng& rng);
+
+/// Zeroes a `dead_channel_rate` fraction of activation codes (dark VCSELs).
+/// Returns the number of channels hit.
+std::size_t apply_activation_faults(tensor::QuantizedTensor& acts,
+                                    const FaultSpec& spec, util::Rng& rng);
+
+}  // namespace lightator::core

@@ -1,0 +1,164 @@
+#include "core/filter_bank.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "tensor/quantize.hpp"
+
+namespace lightator::core {
+
+std::vector<FilterKind> all_filter_kinds() {
+  return {FilterKind::kIdentity, FilterKind::kSobelX, FilterKind::kSobelY,
+          FilterKind::kGaussianBlur, FilterKind::kSharpen,
+          FilterKind::kLaplacian, FilterKind::kEmboss, FilterKind::kBoxBlur};
+}
+
+const char* filter_name(FilterKind kind) {
+  switch (kind) {
+    case FilterKind::kIdentity: return "identity";
+    case FilterKind::kSobelX: return "sobel_x";
+    case FilterKind::kSobelY: return "sobel_y";
+    case FilterKind::kGaussianBlur: return "gaussian_blur";
+    case FilterKind::kSharpen: return "sharpen";
+    case FilterKind::kLaplacian: return "laplacian";
+    case FilterKind::kEmboss: return "emboss";
+    case FilterKind::kBoxBlur: return "box_blur";
+  }
+  return "?";
+}
+
+std::array<float, 9> filter_taps(FilterKind kind) {
+  switch (kind) {
+    case FilterKind::kIdentity:
+      return {0, 0, 0, 0, 1, 0, 0, 0, 0};
+    case FilterKind::kSobelX:
+      return {-1, 0, 1, -2, 0, 2, -1, 0, 1};
+    case FilterKind::kSobelY:
+      return {-1, -2, -1, 0, 0, 0, 1, 2, 1};
+    case FilterKind::kGaussianBlur:
+      return {1.f / 16, 2.f / 16, 1.f / 16, 2.f / 16, 4.f / 16,
+              2.f / 16, 1.f / 16, 2.f / 16, 1.f / 16};
+    case FilterKind::kSharpen:
+      return {0, -1, 0, -1, 5, -1, 0, -1, 0};
+    case FilterKind::kLaplacian:
+      return {0, 1, 0, 1, -4, 1, 0, 1, 0};
+    case FilterKind::kEmboss:
+      return {-2, -1, 0, -1, 1, 1, 0, 1, 2};
+    case FilterKind::kBoxBlur:
+      return {1.f / 9, 1.f / 9, 1.f / 9, 1.f / 9, 1.f / 9,
+              1.f / 9, 1.f / 9, 1.f / 9, 1.f / 9};
+  }
+  throw std::invalid_argument("unknown filter kind");
+}
+
+double image_psnr(const sensor::Image& a, const sensor::Image& b) {
+  if (a.height() != b.height() || a.width() != b.width() ||
+      a.channels() != b.channels()) {
+    throw std::invalid_argument("PSNR images must match in shape");
+  }
+  double mse = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - b.data()[i];
+    mse += d * d;
+  }
+  mse /= static_cast<double>(a.data().size());
+  if (mse <= 1e-12) return 99.0;
+  return 10.0 * std::log10(1.0 / mse);
+}
+
+FilterBank::FilterBank(ArchConfig config, int weight_bits)
+    : config_(config), oc_(config), mapper_(config), weight_bits_(weight_bits) {
+  if (weight_bits < 1 || weight_bits > 8) {
+    throw std::invalid_argument("filter weight bits must be in [1,8]");
+  }
+}
+
+namespace {
+
+tensor::Tensor image_to_tensor(const sensor::Image& gray) {
+  if (gray.channels() != 1) {
+    throw std::invalid_argument("filter bank expects a grayscale image");
+  }
+  tensor::Tensor t({1, 1, gray.height(), gray.width()});
+  for (std::size_t y = 0; y < gray.height(); ++y) {
+    for (std::size_t x = 0; x < gray.width(); ++x) {
+      t.at(0, 0, y, x) = gray.at(y, x);
+    }
+  }
+  return t;
+}
+
+sensor::Image tensor_to_image(const tensor::Tensor& t) {
+  sensor::Image img(t.dim(2), t.dim(3), 1);
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      img.at(y, x) = t.at(0, 0, y, x);
+    }
+  }
+  img.clamp();
+  return img;
+}
+
+}  // namespace
+
+FilterResult FilterBank::apply(FilterKind kind,
+                               const sensor::Image& gray) const {
+  const auto results = apply_all({kind}, gray);
+  return results.front();
+}
+
+std::vector<FilterResult> FilterBank::apply_all(
+    const std::vector<FilterKind>& kinds, const sensor::Image& gray) const {
+  if (kinds.empty()) throw std::invalid_argument("no filters given");
+  const tensor::Tensor x = image_to_tensor(gray);
+  const auto xq = tensor::quantize_unsigned(x, 4, 1.0);
+  const tensor::ConvSpec spec{1, 1, 3, 1, 1};
+
+  std::vector<FilterResult> out;
+  out.reserve(kinds.size());
+  for (const FilterKind kind : kinds) {
+    const auto taps = filter_taps(kind);
+    tensor::Tensor w({1, 1, 3, 3});
+    for (std::size_t i = 0; i < 9; ++i) w[i] = taps[i];
+    const auto wq = tensor::quantize_symmetric(w, weight_bits_);
+    const tensor::Tensor reference =
+        tensor::conv2d_forward(x, w, tensor::Tensor(), spec);
+    const tensor::Tensor optical = oc_.conv2d(xq, wq, tensor::Tensor(), spec);
+
+    FilterResult r;
+    r.output = tensor_to_image(optical);
+    r.psnr_vs_float = [&] {
+      // PSNR over the raw (pre-clamp) responses, so signed edge maps are
+      // compared faithfully.
+      double mse = 0.0;
+      for (std::size_t i = 0; i < optical.size(); ++i) {
+        const double d = optical[i] - reference[i];
+        mse += d * d;
+      }
+      mse /= static_cast<double>(optical.size());
+      return mse <= 1e-12 ? 99.0 : 10.0 * std::log10(1.0 / mse);
+    }();
+    const tensor::Tensor wback = tensor::dequantize(wq);
+    double werr = 0.0;
+    for (std::size_t i = 0; i < 9; ++i) {
+      werr += (wback[i] - w[i]) * (wback[i] - w[i]);
+    }
+    r.weight_rms_error = std::sqrt(werr / 9.0);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+LayerMapping FilterBank::mapping(std::size_t num_kernels, std::size_t height,
+                                 std::size_t width) const {
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kConv;
+  l.name = "filter_bank_" + std::to_string(num_kernels) + "x3x3";
+  l.in_h = height;
+  l.in_w = width;
+  l.conv = tensor::ConvSpec{1, num_kernels, 3, 1, 1};
+  return mapper_.map_layer(l);
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,78 @@
+// Versatile image processing on the OC: a library of classic 3x3 kernels
+// and the machinery to run them through the optical MAC path.
+//
+// This is the paper's "versatile image processing at the edge" claim as an
+// API: a named kernel is quantized to MR levels, mapped onto one arm per
+// stride (Fig. 5), and applied to a grayscale image through the quantized
+// functional path. Quality metrics (PSNR, per-kernel quantization error) and
+// the mapping/power footprint of a filtering pass are exposed so users can
+// budget a pipeline without touching the DNN stack.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/mapper.hpp"
+#include "core/optical_core.hpp"
+#include "sensor/image.hpp"
+
+namespace lightator::core {
+
+enum class FilterKind {
+  kIdentity,
+  kSobelX,
+  kSobelY,
+  kGaussianBlur,
+  kSharpen,
+  kLaplacian,
+  kEmboss,
+  kBoxBlur,
+};
+
+/// All supported kinds (iteration order of list_filters()).
+std::vector<FilterKind> all_filter_kinds();
+
+const char* filter_name(FilterKind kind);
+
+/// The 3x3 taps (row-major) of a kernel.
+std::array<float, 9> filter_taps(FilterKind kind);
+
+struct FilterResult {
+  sensor::Image output;     // filtered image, values clamped to [0,1]
+  double psnr_vs_float = 0.0;  // against the float-tap reference
+  double weight_rms_error = 0.0;  // quantization error of the taps
+};
+
+class FilterBank {
+ public:
+  explicit FilterBank(ArchConfig config, int weight_bits = 4);
+
+  int weight_bits() const { return weight_bits_; }
+
+  /// Runs one kernel over a grayscale image through the OC functional path
+  /// (same-size output; zero padding).
+  FilterResult apply(FilterKind kind, const sensor::Image& gray) const;
+
+  /// Runs several kernels in one pass (they share the activation broadcast,
+  /// like multiple filters of a conv layer sharing a window).
+  std::vector<FilterResult> apply_all(const std::vector<FilterKind>& kinds,
+                                      const sensor::Image& gray) const;
+
+  /// Fabric footprint of an n-kernel filtering pass over an HxW image:
+  /// one arm per kernel (Fig. 6a), streaming H*W cycles.
+  LayerMapping mapping(std::size_t num_kernels, std::size_t height,
+                       std::size_t width) const;
+
+ private:
+  ArchConfig config_;
+  OpticalCore oc_;
+  Mapper mapper_;
+  int weight_bits_;
+};
+
+/// Peak signal-to-noise ratio between two equal-size grayscale images,
+/// full scale 1.0 (dB; 99 dB cap for identical inputs).
+double image_psnr(const sensor::Image& a, const sensor::Image& b);
+
+}  // namespace lightator::core

@@ -1,0 +1,279 @@
+#include "core/lightator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/activations.hpp"
+#include "tensor/ops.hpp"
+#include "util/logging.hpp"
+
+namespace lightator::core {
+
+const LayerReport* SystemReport::find_layer(const std::string& name) const {
+  for (const auto& l : layers) {
+    if (l.name == name) return &l;
+  }
+  return nullptr;
+}
+
+LightatorSystem::LightatorSystem(ArchConfig config)
+    : config_(config),
+      oc_(config),
+      mapper_(config),
+      power_(config),
+      timing_(config) {}
+
+SystemReport LightatorSystem::analyze(const nn::ModelDesc& model,
+                                      const nn::PrecisionSchedule& schedule,
+                                      const AnalyzeOptions& options) const {
+  return analyze_impl(
+      model,
+      [&schedule](std::size_t i) { return schedule.weight_bits_for(i); },
+      schedule.label(), options);
+}
+
+SystemReport LightatorSystem::analyze(const nn::ModelDesc& model,
+                                      const std::vector<int>& weight_bits,
+                                      const AnalyzeOptions& options) const {
+  std::string label = "[";
+  for (std::size_t i = 0; i < weight_bits.size(); ++i) {
+    label += std::to_string(weight_bits[i]);
+    if (i + 1 < weight_bits.size()) label += ",";
+  }
+  label += ":4]";
+  return analyze_impl(
+      model,
+      [&weight_bits](std::size_t i) {
+        return i < weight_bits.size() ? weight_bits[i] : weight_bits.back();
+      },
+      std::move(label), options);
+}
+
+SystemReport LightatorSystem::analyze_impl(const nn::ModelDesc& model,
+                                           const BitsFn& weight_bits_for,
+                                           std::string precision_label,
+                                           const AnalyzeOptions& options) const {
+  SystemReport report;
+  report.model = model.name;
+  report.precision = std::move(precision_label);
+  report.total_macs = model.total_macs();
+  report.total_weights = model.total_weights();
+
+  // Optional CA front end ahead of L1.
+  if (options.ca_frontend.has_value()) {
+    const std::size_t in_h = options.ca_in_h ? options.ca_in_h : model.in_h;
+    const std::size_t in_w = options.ca_in_w ? options.ca_in_w : model.in_w;
+    const CompressiveAcquisitor ca(*options.ca_frontend, config_);
+    LayerReport lr;
+    lr.name = "CA";
+    lr.mapping = ca.mapping(in_h, in_w);
+    lr.power = power_.layer_power(lr.mapping, /*weight_bits=*/4,
+                                  /*first_layer=*/true);
+    lr.timing = timing_.layer_timing(lr.mapping);
+    lr.weight_bits = 0;
+    report.total_macs += lr.mapping.macs_per_output * lr.mapping.outputs;
+    report.layers.push_back(std::move(lr));
+  }
+
+  std::size_t weighted_index = 0;
+  bool first_weighted = true;
+  for (const auto& layer : model.layers) {
+    if (!layer.is_weighted() && !layer.is_pool()) continue;
+    LayerReport lr;
+    lr.name = layer.name;
+    lr.mapping = mapper_.map_layer(layer);
+    const int wbits = layer.is_weighted()
+                          ? weight_bits_for(weighted_index)
+                          : 0;
+    lr.weight_bits = wbits;
+    // The CRC pixel path feeds the first weighted layer only when no CA
+    // front end already digested the frame.
+    const bool crc_here = layer.is_weighted() && first_weighted &&
+                          !options.ca_frontend.has_value();
+    lr.power = power_.layer_power(lr.mapping, wbits == 0 ? 4 : wbits, crc_here);
+    lr.timing = timing_.layer_timing(lr.mapping);
+    if (layer.is_weighted()) {
+      ++weighted_index;
+      first_weighted = false;
+    }
+    report.layers.push_back(std::move(lr));
+  }
+
+  double energy = 0.0, duration = 0.0, amortized = 0.0;
+  for (const auto& lr : report.layers) {
+    // "Max Power" (Table 1) is the peak operational draw: the streaming
+    // phase of the hungriest layer.
+    report.max_power = std::max(report.max_power, lr.power.streaming.total());
+    energy += lr.power.energy;
+    duration += lr.timing.latency;
+    amortized += lr.timing.amortized_per_frame;
+  }
+  report.energy_per_frame = energy;
+  report.latency = duration;
+  report.avg_power = duration > 0.0 ? energy / duration : 0.0;
+  report.fps_batched = amortized > 0.0 ? 1.0 / amortized : 0.0;
+  report.kfps_per_watt = report.max_power > 0.0
+                             ? report.fps_batched / report.max_power / 1000.0
+                             : 0.0;
+  return report;
+}
+
+tensor::Tensor LightatorSystem::run_network_on_oc(
+    nn::Network& net, const tensor::Tensor& x,
+    const nn::PrecisionSchedule& schedule, const FaultSpec& faults) const {
+  return run_network_impl(
+      net, x,
+      [&schedule](std::size_t i) { return schedule.weight_bits_for(i); },
+      [&schedule](std::size_t i) { return schedule.act_bits_for(i); }, faults);
+}
+
+tensor::Tensor LightatorSystem::run_network_on_oc(
+    nn::Network& net, const tensor::Tensor& x,
+    const std::vector<int>& weight_bits, int act_bits,
+    const FaultSpec& faults) const {
+  return run_network_impl(
+      net, x,
+      [&weight_bits](std::size_t i) {
+        return i < weight_bits.size() ? weight_bits[i] : weight_bits.back();
+      },
+      [act_bits](std::size_t) { return act_bits; }, faults);
+}
+
+tensor::Tensor LightatorSystem::run_network_impl(
+    nn::Network& net, const tensor::Tensor& x, const BitsFn& weight_bits_for,
+    const BitsFn& act_bits_for, const FaultSpec& faults) const {
+  tensor::Tensor h = x;
+  std::size_t weighted_index = 0;
+  util::Rng fault_rng(faults.seed);
+  // Activations enter through the CRC/DMVA path: unsigned codes with a
+  // per-tensor scale (the paper's configurations keep A = 4 bits; binary-
+  // activation baselines like LightBulb use A = 1).
+  auto quantize_acts = [&](const tensor::Tensor& t, int bits) {
+    float m = 0.0f;
+    for (std::size_t i = 0; i < t.size(); ++i) m = std::max(m, t[i]);
+    return tensor::quantize_unsigned(t, bits, m > 0 ? m : 1.0);
+  };
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    nn::Layer& layer = net.layer(i);
+    switch (layer.kind()) {
+      case nn::LayerKind::kConv: {
+        auto& conv = dynamic_cast<nn::Conv2d&>(layer);
+        const int wbits = weight_bits_for(weighted_index);
+        const int abits = act_bits_for(weighted_index);
+        ++weighted_index;
+        auto xq = quantize_acts(h, abits);
+        auto wq = tensor::quantize_symmetric(conv.weight(), wbits);
+        if (faults.any()) {
+          apply_weight_faults(wq, faults, fault_rng);
+          apply_activation_faults(xq, faults, fault_rng);
+        }
+        h = oc_.conv2d(xq, wq, conv.bias(), conv.spec());
+        break;
+      }
+      case nn::LayerKind::kLinear: {
+        auto& fc = dynamic_cast<nn::Linear&>(layer);
+        const int wbits = weight_bits_for(weighted_index);
+        const int abits = act_bits_for(weighted_index);
+        ++weighted_index;
+        auto xq = quantize_acts(h, abits);
+        auto wq = tensor::quantize_symmetric(fc.weight(), wbits);
+        if (faults.any()) {
+          apply_weight_faults(wq, faults, fault_rng);
+          apply_activation_faults(xq, faults, fault_rng);
+        }
+        h = oc_.linear(xq, wq, fc.bias());
+        break;
+      }
+      default:
+        // Pools, activations, flatten run in the electronic block / CA banks.
+        h = layer.forward(h, /*training=*/false);
+        break;
+    }
+  }
+  return h;
+}
+
+double LightatorSystem::evaluate_on_oc(nn::Network& net,
+                                       const nn::Dataset& data,
+                                       const nn::PrecisionSchedule& schedule,
+                                       std::size_t batch_size,
+                                       std::size_t max_samples,
+                                       const FaultSpec& faults) const {
+  const std::size_t n =
+      max_samples == 0 ? data.size() : std::min(max_samples, data.size());
+  std::size_t correct = 0, seen = 0;
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t count = std::min(batch_size, n - begin);
+    const auto x = data.batch_images(begin, count);
+    const auto y = data.batch_labels(begin, count);
+    const auto logits = run_network_on_oc(net, x, schedule, faults);
+    const auto preds = tensor::predict(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == y[i]) ++correct;
+    }
+    seen += count;
+  }
+  return seen == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(seen);
+}
+
+double LightatorSystem::evaluate_on_oc(nn::Network& net,
+                                       const nn::Dataset& data,
+                                       const std::vector<int>& weight_bits,
+                                       int act_bits, std::size_t batch_size,
+                                       std::size_t max_samples) const {
+  const std::size_t n =
+      max_samples == 0 ? data.size() : std::min(max_samples, data.size());
+  std::size_t correct = 0, seen = 0;
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t count = std::min(batch_size, n - begin);
+    const auto x = data.batch_images(begin, count);
+    const auto y = data.batch_labels(begin, count);
+    const auto logits = run_network_on_oc(net, x, weight_bits, act_bits);
+    const auto preds = tensor::predict(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == y[i]) ++correct;
+    }
+    seen += count;
+  }
+  return seen == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(seen);
+}
+
+tensor::Tensor LightatorSystem::acquire(const sensor::Image& scene,
+                                        const std::optional<CaOptions>& ca,
+                                        util::Rng* noise) const {
+  sensor::PixelArrayParams sensor_params = config_.sensor;
+  sensor_params.rows = scene.height();
+  sensor_params.cols = scene.width();
+  sensor::PixelArray array(sensor_params);
+  array.capture(scene, noise);
+  const sensor::CodeFrame frame = array.read_codes(noise);
+
+  // Reconstruct the RGB view the OC sees: demosaic the 4-bit Bayer codes.
+  sensor::Image raw(frame.rows, frame.cols, 1);
+  const float full_scale = 15.0f;
+  for (std::size_t y = 0; y < frame.rows; ++y) {
+    for (std::size_t x = 0; x < frame.cols; ++x) {
+      raw.at(y, x) = static_cast<float>(frame.at(y, x)) / full_scale;
+    }
+  }
+  sensor::Image rgb = sensor::bayer_demosaic(raw);
+
+  sensor::Image processed = rgb;
+  if (ca.has_value()) {
+    const CompressiveAcquisitor acquisitor(*ca, config_);
+    processed = acquisitor.apply(rgb);
+  }
+  tensor::Tensor out({1, processed.channels(), processed.height(),
+                      processed.width()});
+  for (std::size_t c = 0; c < processed.channels(); ++c) {
+    for (std::size_t y = 0; y < processed.height(); ++y) {
+      for (std::size_t x = 0; x < processed.width(); ++x) {
+        out.at(0, c, y, x) = processed.at(y, x, c);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,135 @@
+// LightatorSystem: the top-level device-to-architecture simulator.
+//
+// Ties together the imager, DMVA, compressive acquisitor, optical core,
+// mapper, and the power/timing models:
+//   * analyze()            — architecture-level report (per-layer mapping,
+//                            power breakdown, timing; Table 1 / Fig. 8-10).
+//   * run_network_on_oc()  — functional quantized inference routed through
+//                            the OpticalCore MAC path (accuracy evaluation,
+//                            equivalence testing against the DNN substrate).
+//   * capture_and_infer()  — end-to-end: scene -> pixel array -> CRC codes ->
+//                            (optional CA) -> network, as in Fig. 2.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/compressive_acquisitor.hpp"
+#include "core/faults.hpp"
+#include "core/mapper.hpp"
+#include "core/optical_core.hpp"
+#include "core/power_model.hpp"
+#include "core/timing_model.hpp"
+#include "nn/model_desc.hpp"
+#include "nn/qat.hpp"
+#include "sensor/pixel_array.hpp"
+
+namespace lightator::core {
+
+struct LayerReport {
+  std::string name;
+  LayerMapping mapping;
+  LayerPower power;
+  LayerTiming timing;
+  int weight_bits = 0;  // 0 for pre-set / pool layers
+};
+
+struct SystemReport {
+  std::string model;
+  std::string precision;
+  std::vector<LayerReport> layers;
+
+  double max_power = 0.0;         // W, max over layers (Table 1 "Max Power")
+  double avg_power = 0.0;         // W, duration-weighted
+  double energy_per_frame = 0.0;  // J
+  double latency = 0.0;           // s, single frame (Fig. 10)
+  double fps_batched = 0.0;       // 1/s, weight-reuse batch (Table 1)
+  double kfps_per_watt = 0.0;     // fps_batched / max_power / 1000
+  std::size_t total_macs = 0;
+  std::size_t total_weights = 0;
+
+  const LayerReport* find_layer(const std::string& name) const;
+};
+
+struct AnalyzeOptions {
+  /// Run the CA front end before L1 (paper Fig. 9 experiment). The model's
+  /// input geometry must already reflect the compressed size.
+  std::optional<CaOptions> ca_frontend;
+  /// Input geometry the CA front end consumes (pre-compression size).
+  std::size_t ca_in_h = 0, ca_in_w = 0;
+};
+
+class LightatorSystem {
+ public:
+  explicit LightatorSystem(ArchConfig config);
+
+  const ArchConfig& config() const { return config_; }
+  const OpticalCore& optical_core() const { return oc_; }
+
+  /// Architecture-level analysis of a model at a precision schedule.
+  SystemReport analyze(const nn::ModelDesc& model,
+                       const nn::PrecisionSchedule& schedule,
+                       const AnalyzeOptions& options = {}) const;
+
+  /// Same, with arbitrary per-weighted-layer weight bits (the generalized
+  /// mixed-precision axis; see precision_search.hpp). `weight_bits[i]`
+  /// applies to the i-th conv/fc layer.
+  SystemReport analyze(const nn::ModelDesc& model,
+                       const std::vector<int>& weight_bits,
+                       const AnalyzeOptions& options = {}) const;
+
+  /// Functional quantized forward pass routed through the OpticalCore:
+  /// conv/fc MACs via arm-segmented integer reduction, pooling/activation
+  /// in the electronic block. Weights/activations quantized per `schedule`;
+  /// an optional FaultSpec injects stuck weight cells / dark VCSELs.
+  tensor::Tensor run_network_on_oc(nn::Network& net, const tensor::Tensor& x,
+                                   const nn::PrecisionSchedule& schedule,
+                                   const FaultSpec& faults = {}) const;
+
+  /// Per-weighted-layer weight bits variant (activations stay `act_bits`).
+  tensor::Tensor run_network_on_oc(nn::Network& net, const tensor::Tensor& x,
+                                   const std::vector<int>& weight_bits,
+                                   int act_bits = 4,
+                                   const FaultSpec& faults = {}) const;
+
+  /// Accuracy at arbitrary per-layer weight bits.
+  double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
+                        const std::vector<int>& weight_bits, int act_bits = 4,
+                        std::size_t batch_size = 64,
+                        std::size_t max_samples = 0) const;
+
+  /// Top-1 accuracy of the OC functional path on a dataset.
+  double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
+                        const nn::PrecisionSchedule& schedule,
+                        std::size_t batch_size = 64,
+                        std::size_t max_samples = 0,
+                        const FaultSpec& faults = {}) const;
+
+  /// End-to-end single-frame pipeline (Fig. 2): expose the pixel array to a
+  /// scene, read CRC codes, optionally compress via CA, and return the
+  /// network input tensor (1 x C x H x W, values in [0, 1]).
+  tensor::Tensor acquire(const sensor::Image& scene,
+                         const std::optional<CaOptions>& ca = std::nullopt,
+                         util::Rng* noise = nullptr) const;
+
+ private:
+  using BitsFn = std::function<int(std::size_t weighted_index)>;
+
+  SystemReport analyze_impl(const nn::ModelDesc& model, const BitsFn& wbits,
+                            std::string precision_label,
+                            const AnalyzeOptions& options) const;
+
+  tensor::Tensor run_network_impl(nn::Network& net, const tensor::Tensor& x,
+                                  const BitsFn& wbits, const BitsFn& abits,
+                                  const FaultSpec& faults) const;
+
+  ArchConfig config_;
+  OpticalCore oc_;
+  Mapper mapper_;
+  PowerModel power_;
+  TimingModel timing_;
+};
+
+}  // namespace lightator::core

@@ -1,0 +1,192 @@
+#include "core/mapper.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lightator::core {
+
+namespace {
+
+std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+std::size_t Mapper::arms_for_reduction(std::size_t macs) const {
+  return ceil_div(macs, config_.geometry.mrs_per_arm);
+}
+
+LayerMapping Mapper::map_layer(const nn::LayerDesc& layer) const {
+  switch (layer.kind) {
+    case nn::LayerKind::kConv:
+      return map_conv(layer);
+    case nn::LayerKind::kLinear:
+      return map_linear(layer);
+    case nn::LayerKind::kMaxPool:
+    case nn::LayerKind::kAvgPool:
+      return map_pool(layer);
+    case nn::LayerKind::kActivation:
+    case nn::LayerKind::kFlatten: {
+      LayerMapping m;
+      m.layer_name = layer.name;
+      m.kind = layer.kind;
+      return m;
+    }
+  }
+  throw std::logic_error("unknown layer kind");
+}
+
+LayerMapping Mapper::map_conv(const nn::LayerDesc& layer) const {
+  const auto& g = config_.geometry;
+  const std::size_t k2 = layer.conv.kernel * layer.conv.kernel;
+  const std::size_t c_in = layer.conv.in_channels;
+  LayerMapping m;
+  m.layer_name = layer.name;
+  m.kind = nn::LayerKind::kConv;
+  m.weighted = true;
+  m.macs_per_output = k2 * c_in;
+
+  std::size_t arms_per_slice;
+  std::size_t idle_per_slice;
+  std::size_t slices;
+  if (layer.conv.kernel == 1) {
+    // 1x1: pack up to 9 input channels per arm.
+    slices = 1;
+    arms_per_slice = arms_for_reduction(c_in);
+    idle_per_slice = arms_per_slice * g.mrs_per_arm - c_in;
+  } else {
+    // One slice per input channel; a slice is the KxK spatial kernel
+    // segmented into 9-MR arms (paper Fig. 6 for K = 3, 5, 7).
+    slices = c_in;
+    arms_per_slice = arms_for_reduction(k2);
+    idle_per_slice = arms_per_slice * g.mrs_per_arm - k2;
+  }
+  m.arms_per_output = arms_per_slice * slices;
+  m.idle_mrs_per_output = idle_per_slice * slices;
+  if (m.arms_per_output == 1) {
+    m.summation_stages = 0;  // BPD result goes straight out (Fig. 6a)
+  } else if (m.arms_per_output <= 3) {
+    m.summation_stages = 1;  // first summation stage only (Fig. 6b)
+  } else {
+    m.summation_stages = 2;  // both stages (Fig. 6c)
+  }
+  m.cross_bank_accumulation = m.arms_per_output > g.arms_per_bank;
+
+  // Distinct weight programmings: every (filter, slice-segment) pair.
+  m.total_arm_groups = layer.conv.out_channels * m.arms_per_output;
+  m.rounds = ceil_div(m.total_arm_groups, g.arms());
+  m.arms_active = std::min(m.total_arm_groups, g.arms());
+  const double idle_frac =
+      static_cast<double>(m.idle_mrs_per_output) /
+      static_cast<double>(m.arms_per_output * g.mrs_per_arm);
+  m.idle_mrs = static_cast<std::size_t>(
+      static_cast<double>(m.arms_active * g.mrs_per_arm) * idle_frac + 0.5);
+  m.mrs_active = m.arms_active * g.mrs_per_arm - m.idle_mrs;
+  m.banks_active = std::min(g.banks(), ceil_div(m.arms_active, g.arms_per_bank));
+
+  const std::size_t oh = layer.conv.out_dim(layer.in_h);
+  const std::size_t ow = layer.conv.out_dim(layer.in_w);
+  m.outputs = layer.conv.out_channels * oh * ow;
+  // Every programmed arm-set streams all output positions of its filter.
+  m.cycles_per_round = oh * ow;
+  // One activation window (C_in x K x K values) is broadcast to all filters
+  // resident in a round.
+  m.vcsels_active = std::min(c_in * k2, g.mrs());
+  // Each resident filter completes one output per cycle.
+  const std::size_t filters_resident =
+      std::max<std::size_t>(1, m.arms_active / m.arms_per_output);
+  m.adc_samples_per_cycle = filters_resident;
+  m.weight_writes = m.total_arm_groups * g.mrs_per_arm -
+                    layer.conv.out_channels * m.idle_mrs_per_output;
+  return m;
+}
+
+LayerMapping Mapper::map_linear(const nn::LayerDesc& layer) const {
+  const auto& g = config_.geometry;
+  LayerMapping m;
+  m.layer_name = layer.name;
+  m.kind = nn::LayerKind::kLinear;
+  m.weighted = true;
+  m.macs_per_output = layer.fc_in;
+  m.arms_per_output = arms_for_reduction(layer.fc_in);
+  m.idle_mrs_per_output = m.arms_per_output * g.mrs_per_arm - layer.fc_in;
+  m.summation_stages = m.arms_per_output == 1 ? 0 : 2;
+  m.cross_bank_accumulation = m.arms_per_output > g.arms_per_bank;
+
+  m.total_arm_groups = layer.fc_out * m.arms_per_output;
+  m.rounds = ceil_div(m.total_arm_groups, g.arms());
+  m.arms_active = std::min(m.total_arm_groups, g.arms());
+  const double idle_frac =
+      static_cast<double>(m.idle_mrs_per_output) /
+      static_cast<double>(m.arms_per_output * g.mrs_per_arm);
+  m.idle_mrs = static_cast<std::size_t>(
+      static_cast<double>(m.arms_active * g.mrs_per_arm) * idle_frac + 0.5);
+  m.mrs_active = m.arms_active * g.mrs_per_arm - m.idle_mrs;
+  m.banks_active = std::min(g.banks(), ceil_div(m.arms_active, g.arms_per_bank));
+
+  m.outputs = layer.fc_out;
+  // All resident outputs complete in one streaming cycle: the whole input
+  // vector is broadcast simultaneously on the WDM channels.
+  m.cycles_per_round = 1;
+  m.vcsels_active = std::min(layer.fc_in, g.mrs());
+  m.adc_samples_per_cycle =
+      std::max<std::size_t>(1, m.arms_active / m.arms_per_output);
+  m.weight_writes = layer.fc_out * layer.fc_in;
+  return m;
+}
+
+LayerMapping Mapper::map_ca_window(std::size_t window, std::size_t outputs,
+                                   std::string name,
+                                   nn::LayerKind kind) const {
+  const auto& g = config_.geometry;
+  LayerMapping m;
+  m.layer_name = std::move(name);
+  m.kind = kind;
+  m.uses_ca_banks = true;
+  m.weighted = false;  // pre-set coefficients: no DAC traffic
+  m.macs_per_output = window;
+  m.arms_per_output = arms_for_reduction(window);
+  m.idle_mrs_per_output = m.arms_per_output * g.mrs_per_arm - window;
+  m.summation_stages = m.arms_per_output == 1 ? 0 : 1;
+  m.cross_bank_accumulation = m.arms_per_output > g.arms_per_bank;
+
+  const std::size_t ca_arms = std::max<std::size_t>(1, g.ca_arms());
+  const std::size_t outputs_per_cycle = std::max<std::size_t>(
+      1, std::min({ca_arms / std::max<std::size_t>(1, m.arms_per_output),
+                   config_.ca_parallel_windows, outputs}));
+  m.outputs = outputs;
+  m.total_arm_groups = m.arms_per_output;  // one pre-set window, reused
+  m.rounds = 1;                            // no remap: coefficients pre-set
+  m.arms_active =
+      std::min(ca_arms, m.arms_per_output * outputs_per_cycle);
+  m.idle_mrs = m.arms_active * g.mrs_per_arm -
+               (m.arms_active / std::max<std::size_t>(1, m.arms_per_output)) *
+                   window;
+  m.mrs_active = m.arms_active * g.mrs_per_arm - m.idle_mrs;
+  m.banks_active = std::min(g.ca_banks, ceil_div(m.arms_active, g.arms_per_bank));
+  m.cycles_per_round = ceil_div(m.outputs, outputs_per_cycle);
+  m.vcsels_active =
+      std::min(outputs_per_cycle * window, g.ca_arms() * g.mrs_per_arm);
+  m.adc_samples_per_cycle = outputs_per_cycle;
+  m.weight_writes = 0;
+  return m;
+}
+
+LayerMapping Mapper::map_pool(const nn::LayerDesc& layer) const {
+  const std::size_t window = layer.pool_kernel * layer.pool_kernel;
+  const std::size_t oh = (layer.in_h - layer.pool_kernel) / layer.pool_stride + 1;
+  const std::size_t ow = (layer.in_w - layer.pool_kernel) / layer.pool_stride + 1;
+  const std::size_t outputs = layer.pool_channels * oh * ow;
+  return map_ca_window(window, outputs, layer.name, layer.kind);
+}
+
+std::vector<LayerMapping> Mapper::map_model(const nn::ModelDesc& model) const {
+  std::vector<LayerMapping> out;
+  for (const auto& layer : model.layers) {
+    if (layer.is_weighted() || layer.is_pool()) {
+      out.push_back(map_layer(layer));
+    }
+  }
+  return out;
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,95 @@
+// Hardware mapper: assigns DNN layers onto the OC's arm/bank fabric
+// following the paper's §4 methodology.
+//
+// Per kernel size (square K, 9-MR arms):
+//   3x3 -> 1 arm per channel-slice, 0 idle MRs, 6 strides/bank (summation
+//          tree bypassed for single-slice kernels);
+//   5x5 -> 3 arms per slice, 2 idle MRs, 2 strides/bank, stage-1 summation;
+//   7x7 -> 6 arms per slice (whole bank), 5 idle MRs, both summation stages;
+//   1x1 -> up to 9 channels packed per arm;
+//   KxK (K^2 > 54, e.g. AlexNet's 11x11) and FC -> segments of 9 MACs with
+//          electronic partial-sum accumulation across banks.
+// Multi-channel kernels use one slice per input channel, reduced through the
+// in-bank summation tree and electronically across banks.
+//
+// A layer whose distinct weight-arm programmings exceed the fabric is
+// processed in multiple *rounds*, each paying one MR-remap (paper: "weight
+// values are stored in a dedicated memory and then mapped to the MRs during
+// the processing of each layer").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/arch_config.hpp"
+#include "nn/model_desc.hpp"
+
+namespace lightator::core {
+
+struct LayerMapping {
+  std::string layer_name;
+  nn::LayerKind kind = nn::LayerKind::kConv;
+  bool uses_ca_banks = false;   // pooling runs on the pre-set CA banks
+  bool weighted = false;        // occupies MVM banks (conv / fc)
+
+  // Geometry of one output's reduction.
+  std::size_t macs_per_output = 0;
+  std::size_t arms_per_output = 0;   // arms one output's reduction occupies
+  std::size_t idle_mrs_per_output = 0;
+  std::size_t summation_stages = 0;  // 0: BPD only, 1/2: in-bank tree stages
+  bool cross_bank_accumulation = false;  // arms_per_output > arms_per_bank
+
+  // Fabric occupancy.
+  std::size_t total_arm_groups = 0;  // distinct weight-arm programmings
+  std::size_t rounds = 0;            // remap rounds to stream all groups
+  std::size_t arms_active = 0;       // concurrently active arms (peak round)
+  std::size_t mrs_active = 0;        // programmed MRs among those arms
+  std::size_t idle_mrs = 0;          // fragmentation losses (peak round)
+  std::size_t banks_active = 0;
+
+  // Work.
+  std::size_t outputs = 0;           // output scalars of the layer
+  std::size_t cycles_per_round = 0;  // streaming cycles per remap round
+  std::size_t vcsels_active = 0;     // distinct activation channels per cycle
+  std::size_t adc_samples_per_cycle = 0;
+  std::size_t weight_writes = 0;     // total DAC programming events (MRs)
+
+  /// Fraction of programmed MRs among occupied arm capacity.
+  double mr_utilization() const {
+    const std::size_t cap = arms_active * 9;
+    return cap == 0 ? 0.0
+                    : static_cast<double>(mrs_active) / static_cast<double>(cap);
+  }
+};
+
+class Mapper {
+ public:
+  explicit Mapper(ArchConfig config) : config_(config) {}
+
+  /// Maps a single layer. Activation/flatten layers map to an empty
+  /// (non-compute) mapping with zero resources.
+  LayerMapping map_layer(const nn::LayerDesc& layer) const;
+
+  /// Maps every compute layer of a model, in order.
+  std::vector<LayerMapping> map_model(const nn::ModelDesc& model) const;
+
+  const ArchConfig& config() const { return config_; }
+
+  /// Arms needed for a reduction of `macs` MACs (segments of mrs_per_arm).
+  std::size_t arms_for_reduction(std::size_t macs) const;
+
+  /// Maps a pre-set weighted-window reduction (pooling / compressive
+  /// acquisition) onto the CA banks: `window` MACs per output, `outputs`
+  /// outputs per frame. No DAC traffic, no remap rounds.
+  LayerMapping map_ca_window(std::size_t window, std::size_t outputs,
+                             std::string name, nn::LayerKind kind) const;
+
+ private:
+  LayerMapping map_conv(const nn::LayerDesc& layer) const;
+  LayerMapping map_linear(const nn::LayerDesc& layer) const;
+  LayerMapping map_pool(const nn::LayerDesc& layer) const;
+
+  ArchConfig config_;
+};
+
+}  // namespace lightator::core

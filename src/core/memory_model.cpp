@@ -1,0 +1,42 @@
+#include "core/memory_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::core {
+
+namespace {
+// 45 nm fits: a small SRAM (1 KiB) reads at ~0.02 pJ/bit and a few-MiB bank
+// approaches ~0.2 pJ/bit; leakage ~ 6 uW per KiB; latency sub-ns to a few ns.
+constexpr double kReadBasePjPerBit = 0.02;
+constexpr double kReadSlopePjPerBit = 0.004;
+constexpr double kWriteFactor = 1.15;     // writes cost slightly more
+constexpr double kLeakUwPerKb = 6.0;
+constexpr double kLatencyBaseNs = 0.35;
+constexpr double kLatencySlopeNs = 0.045;
+}  // namespace
+
+SramModel::SramModel(double capacity_bytes) : capacity_bytes_(capacity_bytes) {
+  if (capacity_bytes <= 0) {
+    throw std::invalid_argument("SRAM capacity must be positive");
+  }
+  sqrt_kb_ = std::sqrt(capacity_bytes / 1024.0);
+}
+
+double SramModel::read_energy_per_bit() const {
+  return (kReadBasePjPerBit + kReadSlopePjPerBit * sqrt_kb_) * units::kPJ;
+}
+
+double SramModel::write_energy_per_bit() const {
+  return kWriteFactor * read_energy_per_bit();
+}
+
+double SramModel::leakage_power() const {
+  return kLeakUwPerKb * (capacity_bytes_ / 1024.0) * units::kUW;
+}
+
+double SramModel::access_latency() const {
+  return (kLatencyBaseNs + kLatencySlopeNs * sqrt_kb_) * units::kNs;
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,44 @@
+// Analytic SRAM energy/latency model (CACTI-class 45 nm approximations).
+//
+// Stands in for the paper's CACTI 5.1 runs: per-bit access energy and
+// leakage grow with the square root of capacity (bitline/wordline length),
+// with constants fitted to published 45 nm CACTI outputs. Used for the
+// weight memory and the in/out activation buffer (Fig. 3, "Misc.").
+#pragma once
+
+#include <cstddef>
+
+#include "util/units.hpp"
+
+namespace lightator::core {
+
+class SramModel {
+ public:
+  explicit SramModel(double capacity_bytes);
+
+  double capacity_bytes() const { return capacity_bytes_; }
+
+  /// Dynamic energy per bit read / written (J).
+  double read_energy_per_bit() const;
+  double write_energy_per_bit() const;
+
+  /// Static leakage power (W).
+  double leakage_power() const;
+
+  /// Random-access latency (s).
+  double access_latency() const;
+
+  /// Convenience: energy of an `bits`-wide read burst.
+  double read_energy(std::size_t bits) const {
+    return read_energy_per_bit() * static_cast<double>(bits);
+  }
+  double write_energy(std::size_t bits) const {
+    return write_energy_per_bit() * static_cast<double>(bits);
+  }
+
+ private:
+  double capacity_bytes_;
+  double sqrt_kb_;  // cached sqrt(capacity in KiB)
+};
+
+}  // namespace lightator::core

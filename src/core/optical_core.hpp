@@ -1,0 +1,71 @@
+// Optical Core: the MR-based MVM engine.
+//
+// Two execution paths over the same arm/bank microarchitecture:
+//   * functional — integer-exact quantized MACs (activation codes x weight
+//     levels), segmented into 9-MR arms with partial-sum reduction exactly
+//     as the mapper prescribes. This is what the system-level accuracy and
+//     bench runs use.
+//   * physical   — routes a segment through the full device models (VCSEL
+//     L-I, Lorentzian rings with crosstalk, lossy rails, BPD), used to
+//     validate the functional path and to study analog non-idealities.
+// A property-test suite asserts the two agree within the analog error
+// budget (tests/test_optical_core.cpp).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/dmva.hpp"
+#include "optics/arm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/quantize.hpp"
+
+namespace lightator::core {
+
+class OpticalCore {
+ public:
+  explicit OpticalCore(ArchConfig config);
+
+  const ArchConfig& config() const { return config_; }
+
+  /// Functional dot product of one arm-segment: activation codes (0..15) x
+  /// signed weight levels. Returns the real-valued partial sum
+  /// (codes/15 . levels/max_level), exact in double.
+  double arm_dot(std::span<const int> codes, std::span<const int> levels,
+                 int weight_bits) const;
+
+  /// Physical dot product of one arm-segment (device models end to end).
+  /// `weights` in [-1,1] are quantized to `weight_bits` inside the arm.
+  double arm_dot_physical(std::span<const double> weights,
+                          std::span<const int> codes, int weight_bits,
+                          util::Rng* noise_rng = nullptr) const;
+
+  /// Full reduction of `macs` >= 1 terms: splits into 9-MR segments, reduces
+  /// segments through the (ideal) summation tree. Functional path.
+  double reduce(std::span<const int> codes, std::span<const int> levels,
+                int weight_bits) const;
+
+  /// Quantized conv2d through the OC (functional): x codes are unsigned
+  /// `act` codes, w levels signed. Returns real-valued outputs
+  /// (scale_x * scale_w applied). Bias (float) added if non-empty.
+  tensor::Tensor conv2d(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias,
+                        const tensor::ConvSpec& spec) const;
+
+  /// Quantized fully-connected layer through the OC (functional).
+  tensor::Tensor linear(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias) const;
+
+  /// Total heater power if `levels` (signed) were programmed (TUN audit).
+  double tuning_power_for_levels(std::span<const int> levels,
+                                 int weight_bits) const;
+
+ private:
+  ArchConfig config_;
+  Dmva dmva_;
+};
+
+}  // namespace lightator::core

@@ -1,0 +1,152 @@
+#include "core/power_model.hpp"
+
+#include <cmath>
+
+#include "optics/microring.hpp"
+#include "optics/vcsel.hpp"
+
+namespace lightator::core {
+
+PowerBreakdown& PowerBreakdown::operator+=(const PowerBreakdown& o) {
+  adc += o.adc;
+  dac += o.dac;
+  dmva += o.dmva;
+  tun += o.tun;
+  bpd += o.bpd;
+  misc += o.misc;
+  return *this;
+}
+
+PowerBreakdown& PowerBreakdown::operator*=(double s) {
+  adc *= s;
+  dac *= s;
+  dmva *= s;
+  tun *= s;
+  bpd *= s;
+  misc *= s;
+  return *this;
+}
+
+PowerModel::PowerModel(ArchConfig config)
+    : config_(config),
+      weight_mem_(config.weight_sram_bytes),
+      buffer_mem_(config.buffer_sram_bytes) {}
+
+double PowerModel::tuning_power_for_weight(double abs_weight) const {
+  optics::MicroRing ring(config_.ring, 1550.0 * units::kNm);
+  ring.set_weight(std::min(1.0, std::max(0.0, abs_weight)));
+  return ring.tuning_power();
+}
+
+double PowerModel::expected_tuning_power_per_cell(int weight_bits) const {
+  // Signed levels -m..m, uniform; |level|/m is the programmed magnitude on
+  // one ring of the pair (the other sits on resonance at zero detuning).
+  const int m = (1 << (weight_bits - 1)) - 1;
+  if (m <= 0) return tuning_power_for_weight(1.0) * 0.5;
+  double acc = 0.0;
+  int count = 0;
+  for (int level = -m; level <= m; ++level, ++count) {
+    acc += tuning_power_for_weight(std::fabs(static_cast<double>(level)) / m);
+  }
+  return acc / static_cast<double>(count);
+}
+
+double PowerModel::vcsel_channel_power() const {
+  optics::Vcsel laser(config_.vcsel, 1550.0 * units::kNm);
+  laser.drive_code(config_.vcsel.levels / 2);  // mid-scale average drive
+  const double driver_dynamic =
+      laser.driver_symbol_energy() * config_.modulation_rate;
+  return laser.electrical_power() + driver_dynamic + config_.selector_power;
+}
+
+LayerPower PowerModel::layer_power(const LayerMapping& mapping, int weight_bits,
+                                   bool first_layer,
+                                   double mean_abs_weight_level_fraction) const {
+  LayerPower out;
+  if (mapping.rounds == 0) return out;  // non-compute layer
+
+  // --- streaming-phase power -----------------------------------------
+  PowerBreakdown s;
+  const auto mrs = static_cast<double>(mapping.mrs_active);
+  if (mapping.weighted) {
+    s.dac = mrs * config_.dac_power(weight_bits);
+  }
+  // TUN: from the actual mapped-weight statistics when available.
+  double tun_per_cell;
+  if (mean_abs_weight_level_fraction >= 0.0) {
+    tun_per_cell = tuning_power_for_weight(mean_abs_weight_level_fraction);
+  } else if (mapping.weighted) {
+    tun_per_cell = expected_tuning_power_per_cell(weight_bits);
+  } else {
+    // CA banks: pooling coefficients are small positive weights (e.g. 0.25),
+    // programmed once; use their actual magnitude class.
+    tun_per_cell = tuning_power_for_weight(0.25);
+  }
+  s.tun = mrs * tun_per_cell;
+  s.dmva = static_cast<double>(mapping.vcsels_active) * vcsel_channel_power();
+  if (first_layer) {
+    // CRC comparators digitize the pixels feeding the current window; a new
+    // kernel-column of pixels is converted per streaming cycle.
+    const double conversions_per_cycle =
+        std::sqrt(static_cast<double>(mapping.vcsels_active));
+    const double crc_energy = 15.0 * 12.0 * units::kFJ;  // 15 comparators
+    s.dmva += conversions_per_cycle * crc_energy * config_.modulation_rate;
+  }
+  s.adc = static_cast<double>(mapping.banks_active) * config_.adc_power;
+  s.bpd = static_cast<double>(mapping.arms_active) * config_.bpd_power;
+
+  // Misc: controller + memories. The streaming activation path goes through
+  // a register-file line buffer (fJ/bit); the SRAM buffer's dynamic energy
+  // is per-activation-per-frame and negligible against it. Weight-SRAM
+  // leakage is power-gated for layers that never touch it (CA/pooling).
+  const double stream_bits_per_s =
+      static_cast<double>(mapping.adc_samples_per_cycle + 1) * 4.0 *
+      config_.modulation_rate;  // outputs written + window column refilled
+  s.misc = config_.controller_power + buffer_mem_.leakage_power() +
+           (mapping.weighted ? weight_mem_.leakage_power() : 0.0) +
+           stream_bits_per_s * config_.activation_buffer_energy_per_bit;
+
+  // --- remap-phase power ----------------------------------------------
+  // While the MRs settle, the optical path is dark: DAC/TUN hold, the weight
+  // SRAM streams the next round's weights, VCSELs/BPDs/ADCs idle.
+  PowerBreakdown r;
+  r.dac = s.dac;
+  r.tun = s.tun;
+  const double writes_per_round =
+      mapping.rounds > 0
+          ? static_cast<double>(mapping.weight_writes) /
+                static_cast<double>(mapping.rounds)
+          : 0.0;
+  const double remap_read_bw =
+      config_.remap_settle > 0.0
+          ? writes_per_round * weight_bits / config_.remap_settle
+          : 0.0;
+  r.misc = config_.controller_power + buffer_mem_.leakage_power() +
+           (mapping.weighted ? weight_mem_.leakage_power() : 0.0) +
+           remap_read_bw * weight_mem_.read_energy_per_bit();
+
+  // --- duration-weighted average ---------------------------------------
+  const double t_stream = static_cast<double>(mapping.rounds) *
+                          static_cast<double>(mapping.cycles_per_round) /
+                          config_.modulation_rate;
+  const double t_remap =
+      mapping.weighted ? static_cast<double>(mapping.rounds) * config_.remap_settle
+                       : 0.0;
+  const double t_total = t_stream + t_remap;
+  out.streaming = s;
+  out.duration = t_total;
+  if (t_total <= 0.0) {
+    out.average = s;
+    return out;
+  }
+  PowerBreakdown avg = s;
+  avg *= t_stream / t_total;
+  PowerBreakdown remap_share = r;
+  remap_share *= t_remap / t_total;
+  avg += remap_share;
+  out.average = avg;
+  out.energy = s.total() * t_stream + r.total() * t_remap;
+  return out;
+}
+
+}  // namespace lightator::core

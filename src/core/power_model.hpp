@@ -1,0 +1,80 @@
+// Power model: the component breakdown of Figs. 8 and 9.
+//
+// Per-layer average power is assembled from the mapper's active-resource
+// counts:
+//   DAC  — weight-tuning DACs, one per programmed MR cell, static
+//          current-steering draw scaled by (2^b - 1)/15 at weight precision b
+//          (power-gated branches: the paper's 2.4x bit-reduction claim).
+//          Pre-set CA/pooling banks draw none.
+//   TUN  — microheater power of programmed cells; computed from the actual
+//          detuning of the mapped weight levels (expected value over a
+//          uniform level distribution when only shapes are known).
+//   DMVA — active VCSELs + drivers + selector, plus the CRC comparator bank
+//          while the first layer streams pixels.
+//   ADC  — one output ADC per active bank.
+//   BPD  — balanced photodetector + TIA per active arm.
+//   Misc — controller, weight/buffer SRAM dynamic + leakage.
+// Layers with remap rounds average the (cheaper) remap phase and the
+// streaming phase over their durations.
+#pragma once
+
+#include "core/arch_config.hpp"
+#include "core/mapper.hpp"
+#include "core/memory_model.hpp"
+
+namespace lightator::core {
+
+struct PowerBreakdown {
+  double adc = 0.0;
+  double dac = 0.0;
+  double dmva = 0.0;
+  double tun = 0.0;
+  double bpd = 0.0;
+  double misc = 0.0;
+
+  double total() const { return adc + dac + dmva + tun + bpd + misc; }
+
+  PowerBreakdown& operator+=(const PowerBreakdown& o);
+  PowerBreakdown& operator*=(double s);
+};
+
+struct LayerPower {
+  PowerBreakdown average;   // duration-weighted mean power (W)
+  PowerBreakdown streaming; // power while symbols stream (W)
+  double energy = 0.0;      // total layer energy, one frame (J)
+  double duration = 0.0;    // latency-mode duration (s)
+};
+
+class PowerModel {
+ public:
+  explicit PowerModel(ArchConfig config);
+
+  /// Average power/energy of one layer at the given weight precision.
+  /// `first_layer` enables the CRC pixel-readout share of DMVA.
+  /// `mean_abs_weight_level_fraction` is E[|w|]/w_max of the mapped weights
+  /// in [0,1]; pass a negative value to use the uniform-level expectation.
+  LayerPower layer_power(const LayerMapping& mapping, int weight_bits,
+                         bool first_layer = false,
+                         double mean_abs_weight_level_fraction = -1.0) const;
+
+  /// Expected heater power per weight cell for `bits`-bit weights with
+  /// uniformly distributed levels (one ring of the differential pair at the
+  /// level's detuning, the other parked on resonance).
+  double expected_tuning_power_per_cell(int weight_bits) const;
+
+  /// Heater power per cell for a given |weight| in [0, 1].
+  double tuning_power_for_weight(double abs_weight) const;
+
+  /// Average electrical power of one active VCSEL channel (device + driver
+  /// dynamic at the modulation rate + selector), at mid-scale drive.
+  double vcsel_channel_power() const;
+
+  const ArchConfig& config() const { return config_; }
+
+ private:
+  ArchConfig config_;
+  SramModel weight_mem_;
+  SramModel buffer_mem_;
+};
+
+}  // namespace lightator::core

@@ -1,0 +1,129 @@
+#include "core/precision_search.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::core {
+
+std::string PrecisionAssignment::label() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < weight_bits.size(); ++i) {
+    out += std::to_string(weight_bits[i]);
+    if (i + 1 < weight_bits.size()) out += ",";
+  }
+  return out + ":4]";
+}
+
+std::vector<const nn::LayerDesc*> PrecisionSearch::weighted_layers() const {
+  std::vector<const nn::LayerDesc*> out;
+  for (const auto& l : model_.layers) {
+    if (l.is_weighted()) out.push_back(&l);
+  }
+  return out;
+}
+
+double PrecisionSearch::layer_sensitivity(std::size_t weighted_index,
+                                          int bits) const {
+  const auto layers = weighted_layers();
+  if (weighted_index >= layers.size()) {
+    throw std::out_of_range("weighted layer index out of range");
+  }
+  if (bits <= 1) return 1e9;  // cannot lower further
+  // Uniform quantization noise power ~ step^2 / 12 with step ~ 1/(2^(b-1)-1).
+  auto noise = [](int b) {
+    const double step = 1.0 / static_cast<double>((1 << (b - 1)) - 1);
+    return step * step / 12.0;
+  };
+  const double noise_increase = noise(bits - 1) - noise(bits);
+  // Early layers poison everything downstream: weight by the fraction of
+  // total MACs computed at or after this layer.
+  double downstream = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const double macs = static_cast<double>(layers[i]->macs());
+    total += macs;
+    if (i >= weighted_index) downstream += macs;
+  }
+  const double position_weight = total > 0.0 ? downstream / total : 1.0;
+  return noise_increase * position_weight;
+}
+
+PrecisionAssignment PrecisionSearch::search(
+    const PrecisionSearchOptions& options, const Evaluator& evaluate) const {
+  if (options.min_bits < 1 || options.max_bits < options.min_bits) {
+    throw std::invalid_argument("invalid bit range");
+  }
+  const auto layers = weighted_layers();
+  PrecisionAssignment current;
+  current.weight_bits.assign(layers.size(), options.max_bits);
+
+  const double base_accuracy =
+      evaluate ? evaluate(current.weight_bits) : 1.0;
+  double proxy_drop = 0.0;
+
+  auto power_of = [&](const std::vector<int>& bits) {
+    return system_.analyze(model_, bits).max_power;
+  };
+  current.max_power = power_of(current.weight_bits);
+
+  while (true) {
+    if (options.power_budget > 0.0 &&
+        current.max_power <= options.power_budget) {
+      break;  // budget met
+    }
+    // Candidate: the layer whose next bit costs least sensitivity per watt
+    // saved. Max-power is a plateau metric (several layers can pin the max),
+    // so when no single step frees power, lower the least-sensitive layer
+    // anyway — progress toward the budget requires clearing the plateau.
+    std::size_t best_layer = layers.size();
+    double best_score = 1e18;
+    std::size_t fallback_layer = layers.size();
+    double fallback_sensitivity = 1e18;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+      if (current.weight_bits[i] <= options.min_bits) continue;
+      const double sensitivity =
+          layer_sensitivity(i, current.weight_bits[i]);
+      if (sensitivity < fallback_sensitivity) {
+        fallback_sensitivity = sensitivity;
+        fallback_layer = i;
+      }
+      std::vector<int> trial = current.weight_bits;
+      --trial[i];
+      const double saved = current.max_power - power_of(trial);
+      if (saved <= 0.0) continue;  // lowering this layer frees no power now
+      const double score = sensitivity / saved;
+      if (score < best_score) {
+        best_score = score;
+        best_layer = i;
+      }
+    }
+    if (best_layer == layers.size()) {
+      if (options.power_budget <= 0.0 ||
+          current.max_power <= options.power_budget ||
+          fallback_layer == layers.size()) {
+        break;  // nothing lowerable (or nothing worth lowering)
+      }
+      best_layer = fallback_layer;  // plateau: step through it
+    }
+
+    std::vector<int> trial = current.weight_bits;
+    --trial[best_layer];
+    // Proxy-to-drop scaling: calibrated so lowering every VGG9 layer from
+    // 4 to 3 bits accumulates ~3% — the paper's observed [4:4] -> [3:4]
+    // accuracy cost (Table 1, CIFAR100: 64.22 -> 61.04).
+    constexpr double kProxyScale = 1.5;
+    const double trial_drop =
+        evaluate ? base_accuracy - evaluate(trial)
+                 : proxy_drop + layer_sensitivity(best_layer,
+                                                  current.weight_bits[best_layer]) *
+                                    kProxyScale;
+    if (trial_drop > options.max_accuracy_drop) break;
+
+    current.weight_bits = std::move(trial);
+    current.max_power = power_of(current.weight_bits);
+    current.estimated_drop = trial_drop;
+    if (!evaluate) proxy_drop = trial_drop;
+  }
+  return current;
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,67 @@
+// Per-layer weight-precision search: the generalization of Lightator-MX.
+//
+// The paper hand-picks two mixed-precision points (L1 at [4:4], the rest at
+// [3:4] or [2:4]). This module automates the choice: starting from uniform
+// max_bits, it greedily lowers the precision of whichever layer buys the
+// most power for the least estimated accuracy damage, until a power budget
+// is met or an accuracy-drop allowance is exhausted.
+//
+// Accuracy damage can be estimated two ways:
+//   * analytic   — layer-wise quantization-noise proxy (weight MSE scaled by
+//     the layer's share of MACs), cheap, no model needed;
+//   * measured   — a user-supplied evaluator callback (e.g. running
+//     LightatorSystem::evaluate_on_oc on a validation set).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/lightator.hpp"
+#include "nn/model_desc.hpp"
+
+namespace lightator::core {
+
+struct PrecisionSearchOptions {
+  int max_bits = 4;
+  int min_bits = 2;
+  /// Stop lowering once peak streaming power is at or below this (W);
+  /// <= 0 disables the power target (lower as far as accuracy allows).
+  double power_budget = 0.0;
+  /// Allowance on the accuracy proxy / measured accuracy drop (absolute).
+  double max_accuracy_drop = 0.03;
+};
+
+struct PrecisionAssignment {
+  std::vector<int> weight_bits;  // per weighted layer, in model order
+  double max_power = 0.0;        // W at this assignment
+  double estimated_drop = 0.0;   // proxy or measured accuracy drop
+  std::string label() const;     // "[4,3,3,...,2:4]"
+};
+
+class PrecisionSearch {
+ public:
+  /// `evaluate` (optional): maps a per-layer bit assignment to accuracy in
+  /// [0,1]. When absent, the analytic proxy drives the search.
+  using Evaluator = std::function<double(const std::vector<int>&)>;
+
+  PrecisionSearch(const LightatorSystem& system, const nn::ModelDesc& model)
+      : system_(system), model_(model) {}
+
+  /// Analytic sensitivity of lowering weighted layer `i` from `bits` to
+  /// `bits-1`: quantization-noise increase weighted by the layer's MAC
+  /// share. Higher = more damaging.
+  double layer_sensitivity(std::size_t weighted_index, int bits) const;
+
+  PrecisionAssignment search(const PrecisionSearchOptions& options,
+                             const Evaluator& evaluate = nullptr) const;
+
+  /// The weighted (conv/fc) layers of the model, in order.
+  std::vector<const nn::LayerDesc*> weighted_layers() const;
+
+ private:
+  const LightatorSystem& system_;
+  const nn::ModelDesc& model_;
+};
+
+}  // namespace lightator::core

@@ -1,0 +1,39 @@
+#include "core/timing_model.hpp"
+
+namespace lightator::core {
+
+LayerTiming TimingModel::layer_timing(const LayerMapping& mapping) const {
+  LayerTiming t;
+  t.rounds = mapping.rounds;
+  // Pre-set CA banks never retune; weighted layers pay one settle per round.
+  const bool remaps = mapping.weighted && mapping.rounds > 0;
+  t.remap_time =
+      remaps ? static_cast<double>(mapping.rounds) * config_.remap_settle : 0.0;
+  t.stream_time = static_cast<double>(mapping.rounds) *
+                  static_cast<double>(mapping.cycles_per_round) *
+                  config_.cycle_time();
+  t.latency = t.remap_time + t.stream_time;
+  const double batch = static_cast<double>(
+      config_.throughput_batch == 0 ? 1 : config_.throughput_batch);
+  t.amortized_per_frame = t.remap_time / batch + t.stream_time;
+  return t;
+}
+
+ModelTiming TimingModel::model_timing(
+    const std::vector<LayerMapping>& mappings) const {
+  ModelTiming out;
+  out.layers.reserve(mappings.size());
+  for (const auto& m : mappings) {
+    LayerTiming t = layer_timing(m);
+    out.latency += t.latency;
+    out.amortized_per_frame += t.amortized_per_frame;
+    out.layers.push_back(t);
+  }
+  if (out.amortized_per_frame > 0.0) {
+    out.fps_batched = 1.0 / out.amortized_per_frame;
+  }
+  if (out.latency > 0.0) out.fps_latency = 1.0 / out.latency;
+  return out;
+}
+
+}  // namespace lightator::core

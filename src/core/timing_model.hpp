@@ -1,0 +1,46 @@
+// Timing model: per-layer latency and batched throughput.
+//
+// A layer runs in `rounds` remap rounds; each pays the MR settle time (all
+// weight DACs retune in parallel) and then streams `cycles_per_round`
+// symbols at the modulation rate. Two operating points:
+//   * latency mode  — one frame, remap on the critical path (Fig. 10);
+//   * batched mode  — `throughput_batch` frames share each weight-load, so
+//     the remap cost is amortized (Table 1 FPS).
+#pragma once
+
+#include "core/arch_config.hpp"
+#include "core/mapper.hpp"
+
+namespace lightator::core {
+
+struct LayerTiming {
+  std::size_t rounds = 0;
+  double remap_time = 0.0;        // total MR-retune time across rounds (s)
+  double stream_time = 0.0;       // total symbol-streaming time, one frame (s)
+  double latency = 0.0;           // remap + stream (single frame)
+  double amortized_per_frame = 0.0;  // remap/B + stream (batched mode)
+};
+
+struct ModelTiming {
+  std::vector<LayerTiming> layers;
+  double latency = 0.0;            // single-frame, sum over layers
+  double amortized_per_frame = 0.0;
+  double fps_batched = 0.0;
+  double fps_latency = 0.0;
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(ArchConfig config) : config_(config) {}
+
+  LayerTiming layer_timing(const LayerMapping& mapping) const;
+
+  ModelTiming model_timing(const std::vector<LayerMapping>& mappings) const;
+
+  const ArchConfig& config() const { return config_; }
+
+ private:
+  ArchConfig config_;
+};
+
+}  // namespace lightator::core

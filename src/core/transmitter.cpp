@@ -1,0 +1,60 @@
+#include "core/transmitter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::core {
+
+RadioParams ble_radio() {
+  return {"ble", 50e-9, 1e6, 5e-6};
+}
+
+RadioParams zigbee_radio() {
+  return {"zigbee", 120e-9, 250e3, 8e-6};
+}
+
+RadioParams wifi_radio() {
+  // Higher rate, higher per-burst cost; competitive only for big payloads.
+  return {"wifi", 12e-9, 72e6, 250e-6};
+}
+
+TransmissionCost Transmitter::cost_for_bits(std::size_t bits) const {
+  if (params_.energy_per_bit < 0 || params_.data_rate <= 0) {
+    throw std::logic_error("radio parameters invalid");
+  }
+  TransmissionCost c;
+  c.bits = bits;
+  c.energy = params_.wakeup_energy +
+             params_.energy_per_bit * static_cast<double>(bits);
+  c.airtime = static_cast<double>(bits) / params_.data_rate;
+  return c;
+}
+
+TransmissionCost Transmitter::cost_for_frame(std::size_t pixels,
+                                             std::size_t bits_per_pixel) const {
+  return cost_for_bits(pixels * bits_per_pixel);
+}
+
+TransmissionCost Transmitter::cost_for_label(std::size_t num_classes) const {
+  // ceil(log2(classes)) label bits + an 8-bit confidence.
+  std::size_t label_bits = 1;
+  while ((std::size_t{1} << label_bits) < num_classes) ++label_bits;
+  return cost_for_bits(label_bits + 8);
+}
+
+EdgePayloads edge_payloads(const Transmitter& tx, std::size_t rows,
+                           std::size_t cols, std::size_t pool_factor,
+                           std::size_t num_classes) {
+  if (pool_factor == 0 || rows % pool_factor != 0 || cols % pool_factor != 0) {
+    throw std::invalid_argument("pool factor must divide the frame");
+  }
+  EdgePayloads p;
+  p.raw_rgb8 = tx.cost_for_frame(rows * cols * 3, 8);
+  p.crc_codes4 = tx.cost_for_frame(rows * cols, 4);  // Bayer: 1 sample/site
+  p.ca_compressed4 =
+      tx.cost_for_frame((rows / pool_factor) * (cols / pool_factor), 4);
+  p.label = tx.cost_for_label(num_classes);
+  return p;
+}
+
+}  // namespace lightator::core

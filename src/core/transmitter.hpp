@@ -1,0 +1,69 @@
+// Output transmitter and the multi-node IoT path of Fig. 2 (steps 4-5).
+//
+// Lightator's pitch is that compressing + processing at the sensor slashes
+// what must be radioed to the next node / cloud. This module models the
+// radio with a standard energy-per-bit + rate abstraction (BLE / 802.15.4 /
+// WiFi class presets) and answers the system question the intro poses:
+// energy & latency to ship (a) raw 8-bit pixels, (b) CRC 4-bit codes,
+// (c) CA-compressed frames, or (d) final inference labels.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/units.hpp"
+
+namespace lightator::core {
+
+struct RadioParams {
+  std::string name = "ble";
+  double energy_per_bit = 50e-9;    // J/bit (TX, incl. overhead)
+  double data_rate = 1e6;           // bit/s
+  double wakeup_energy = 5e-6;      // J per transmission burst
+};
+
+/// Presets: low-power Bluetooth LE, 802.15.4 (Zigbee-class), 802.11n WiFi.
+RadioParams ble_radio();
+RadioParams zigbee_radio();
+RadioParams wifi_radio();
+
+struct TransmissionCost {
+  std::size_t bits = 0;
+  double energy = 0.0;  // J
+  double airtime = 0.0; // s
+};
+
+class Transmitter {
+ public:
+  explicit Transmitter(RadioParams params) : params_(params) {}
+
+  const RadioParams& params() const { return params_; }
+
+  TransmissionCost cost_for_bits(std::size_t bits) const;
+
+  /// A frame of `pixels` samples at `bits_per_pixel`.
+  TransmissionCost cost_for_frame(std::size_t pixels,
+                                  std::size_t bits_per_pixel) const;
+
+  /// A classification result (label index + confidence byte).
+  TransmissionCost cost_for_label(std::size_t num_classes) const;
+
+ private:
+  RadioParams params_;
+};
+
+/// The Fig. 2 payload options for one 256x256 frame, in decreasing size:
+/// raw 8-bit RGB pixels -> ADC-less 4-bit Bayer codes -> CA-compressed
+/// grayscale (factor p pooling) -> a class label.
+struct EdgePayloads {
+  TransmissionCost raw_rgb8;
+  TransmissionCost crc_codes4;
+  TransmissionCost ca_compressed4;
+  TransmissionCost label;
+};
+
+EdgePayloads edge_payloads(const Transmitter& tx, std::size_t rows,
+                           std::size_t cols, std::size_t pool_factor,
+                           std::size_t num_classes = 10);
+
+}  // namespace lightator::core

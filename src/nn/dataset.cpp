@@ -1,0 +1,43 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lightator::nn {
+
+tensor::Tensor Dataset::batch_images(std::size_t begin,
+                                     std::size_t count) const {
+  if (begin + count > size()) throw std::out_of_range("batch out of range");
+  const std::size_t c = images.dim(1), h = images.dim(2), w = images.dim(3);
+  const std::size_t stride = c * h * w;
+  tensor::Tensor out({count, c, h, w});
+  std::copy(images.data() + begin * stride,
+            images.data() + (begin + count) * stride, out.data());
+  return out;
+}
+
+std::vector<std::size_t> Dataset::batch_labels(std::size_t begin,
+                                               std::size_t count) const {
+  if (begin + count > size()) throw std::out_of_range("batch out of range");
+  return {labels.begin() + static_cast<long>(begin),
+          labels.begin() + static_cast<long>(begin + count)};
+}
+
+void Dataset::shuffle(util::Rng& rng) {
+  const std::size_t n = size();
+  if (n == 0) return;
+  const std::size_t stride = images.dim(1) * images.dim(2) * images.dim(3);
+  std::vector<float> tmp(stride);
+  for (std::size_t i = n - 1; i > 0; --i) {
+    const std::size_t j = rng.uniform_index(i + 1);
+    if (i == j) continue;
+    std::swap(labels[i], labels[j]);
+    float* a = images.data() + i * stride;
+    float* b = images.data() + j * stride;
+    std::copy(a, a + stride, tmp.data());
+    std::copy(b, b + stride, a);
+    std::copy(tmp.data(), tmp.data() + stride, b);
+  }
+}
+
+}  // namespace lightator::nn

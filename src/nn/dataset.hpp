@@ -1,0 +1,29 @@
+// Labeled image dataset container shared by the trainer and the synthetic
+// dataset generators in lt_workloads.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::nn {
+
+struct Dataset {
+  tensor::Tensor images;             // [N, C, H, W], values in [0, 1]
+  std::vector<std::size_t> labels;   // size N
+  std::size_t num_classes = 0;
+
+  std::size_t size() const { return labels.size(); }
+
+  /// Copies samples [begin, begin+count) into a contiguous batch.
+  tensor::Tensor batch_images(std::size_t begin, std::size_t count) const;
+  std::vector<std::size_t> batch_labels(std::size_t begin,
+                                        std::size_t count) const;
+
+  /// In-place Fisher–Yates shuffle of samples (images + labels together).
+  void shuffle(util::Rng& rng);
+};
+
+}  // namespace lightator::nn

@@ -1,0 +1,184 @@
+#include "nn/layer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/quantize.hpp"
+
+namespace lightator::nn {
+
+namespace {
+
+/// Kaiming-style fan-in initialization for ReLU networks.
+float kaiming_stddev(std::size_t fan_in) {
+  return std::sqrt(2.0f / static_cast<float>(fan_in));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(ConvSpec spec, util::Rng& rng)
+    : spec_(spec),
+      weight_({spec.out_channels, spec.in_channels, spec.kernel, spec.kernel}),
+      bias_({spec.out_channels}),
+      dweight_(weight_.shape()),
+      dbias_(bias_.shape()) {
+  weight_.fill_normal(rng, kaiming_stddev(spec.weights_per_filter()));
+}
+
+std::string Conv2d::name() const {
+  return "conv" + std::to_string(spec_.kernel) + "x" +
+         std::to_string(spec_.kernel) + "_" + std::to_string(spec_.in_channels) +
+         "->" + std::to_string(spec_.out_channels);
+}
+
+Tensor Conv2d::effective_weight() const {
+  if (weight_qat_bits_ == 0) return weight_;
+  Tensor w = weight_;
+  tensor::fake_quant_symmetric(w, weight_qat_bits_);
+  return w;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool training) {
+  if (training) cached_input_ = x;
+  return tensor::conv2d_forward(x, effective_weight(), bias_, spec_);
+}
+
+Tensor Conv2d::backward(const Tensor& dy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("conv backward without cached forward");
+  }
+  Tensor dx;
+  // Straight-through: gradients computed at the effective (quantized)
+  // weights are applied to the fp32 master weights by the optimizer.
+  tensor::conv2d_backward(cached_input_, effective_weight(), spec_, dy, &dx,
+                          &dweight_, &dbias_);
+  return dx;
+}
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               util::Rng& rng)
+    : in_features_(in_features),
+      out_features_(out_features),
+      weight_({out_features, in_features}),
+      bias_({out_features}),
+      dweight_(weight_.shape()),
+      dbias_(bias_.shape()) {
+  weight_.fill_normal(rng, kaiming_stddev(in_features));
+}
+
+std::string Linear::name() const {
+  return "fc_" + std::to_string(in_features_) + "->" +
+         std::to_string(out_features_);
+}
+
+Tensor Linear::effective_weight() const {
+  if (weight_qat_bits_ == 0) return weight_;
+  Tensor w = weight_;
+  tensor::fake_quant_symmetric(w, weight_qat_bits_);
+  return w;
+}
+
+Tensor Linear::forward(const Tensor& x, bool training) {
+  if (training) cached_input_ = x;
+  return tensor::linear_forward(x, effective_weight(), bias_);
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("linear backward without cached forward");
+  }
+  Tensor dx;
+  tensor::linear_backward(cached_input_, effective_weight(), dy, &dx,
+                          &dweight_, &dbias_);
+  return dx;
+}
+
+// ---------------------------------------------------------------- Pools
+
+MaxPool::MaxPool(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {}
+
+std::string MaxPool::name() const {
+  return "maxpool" + std::to_string(kernel_) + "x" + std::to_string(kernel_);
+}
+
+Tensor MaxPool::forward(const Tensor& x, bool training) {
+  if (training) cached_input_ = x;
+  return tensor::maxpool_forward(x, kernel_, stride_, &argmax_);
+}
+
+Tensor MaxPool::backward(const Tensor& dy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("maxpool backward without cached forward");
+  }
+  return tensor::maxpool_backward(dy, cached_input_, kernel_, stride_, argmax_);
+}
+
+AvgPool::AvgPool(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {}
+
+std::string AvgPool::name() const {
+  return "avgpool" + std::to_string(kernel_) + "x" + std::to_string(kernel_);
+}
+
+Tensor AvgPool::forward(const Tensor& x, bool training) {
+  if (training) cached_input_ = x;
+  return tensor::avgpool_forward(x, kernel_, stride_);
+}
+
+Tensor AvgPool::backward(const Tensor& dy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("avgpool backward without cached forward");
+  }
+  return tensor::avgpool_backward(dy, cached_input_, kernel_, stride_);
+}
+
+// ---------------------------------------------------------------- Activation
+
+Activation::Activation(ActKind act) : act_(act) {}
+
+std::string Activation::name() const { return tensor::act_name(act_); }
+
+Tensor Activation::forward(const Tensor& x, bool training) {
+  if (training) cached_input_ = x;
+  Tensor y = tensor::act_forward(x, act_);
+  if (act_qat_bits_ > 0) {
+    if (training) {
+      // Running max: the hardware's per-layer activation scale.
+      const double batch_max = y.max_abs();
+      act_scale_ = std::max(act_scale_, batch_max);
+    }
+    if (act_scale_ > 0.0) {
+      tensor::fake_quant_unsigned(y, act_qat_bits_, act_scale_);
+    }
+  }
+  return y;
+}
+
+Tensor Activation::backward(const Tensor& dy) {
+  if (cached_input_.empty()) {
+    throw std::logic_error("activation backward without cached forward");
+  }
+  // Fake-quant backward is straight-through (identity inside range).
+  return tensor::act_backward(dy, cached_input_, act_);
+}
+
+// ---------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& x, bool training) {
+  if (training) cached_shape_ = x.shape();
+  else cached_shape_ = x.shape();
+  return tensor::flatten(x);
+}
+
+Tensor Flatten::backward(const Tensor& dy) {
+  Tensor dx = dy;
+  dx.reshape(cached_shape_);
+  return dx;
+}
+
+}  // namespace lightator::nn

@@ -1,0 +1,166 @@
+// Trainable layer abstraction: forward + backward + parameter access.
+//
+// Each layer caches what it needs from the forward pass to run backward.
+// Conv2d and Linear support quantization-aware training: when
+// `set_weight_qat_bits(b)` is non-zero the forward pass uses fake-quantized
+// weights (straight-through estimator in backward — gradients flow to the
+// fp32 master weights). Activation layers can fake-quantize their outputs to
+// the 4-bit VCSEL/CRC code space with a running-max scale.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/activations.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::nn {
+
+using tensor::ActKind;
+using tensor::ConvSpec;
+using tensor::Tensor;
+
+enum class LayerKind { kConv, kLinear, kMaxPool, kAvgPool, kActivation, kFlatten };
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Tensor forward(const Tensor& x, bool training) = 0;
+  virtual Tensor backward(const Tensor& dy) = 0;
+
+  virtual LayerKind kind() const = 0;
+  virtual std::string name() const = 0;
+
+  /// Trainable parameters and their gradients, pairwise aligned.
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+};
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d(ConvSpec spec, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  LayerKind kind() const override { return LayerKind::kConv; }
+  std::string name() const override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&dweight_, &dbias_}; }
+
+  const ConvSpec& spec() const { return spec_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& weight() { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+  /// 0 disables weight fake-quant; otherwise quantize to `bits` in forward.
+  void set_weight_qat_bits(int bits) { weight_qat_bits_ = bits; }
+  int weight_qat_bits() const { return weight_qat_bits_; }
+
+  /// The weights the hardware would map: fake-quantized if QAT is on.
+  Tensor effective_weight() const;
+
+ private:
+  ConvSpec spec_;
+  Tensor weight_, bias_, dweight_, dbias_;
+  Tensor cached_input_;
+  int weight_qat_bits_ = 0;
+};
+
+class Linear final : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, util::Rng& rng);
+
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  LayerKind kind() const override { return LayerKind::kLinear; }
+  std::string name() const override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&dweight_, &dbias_}; }
+
+  std::size_t in_features() const { return in_features_; }
+  std::size_t out_features() const { return out_features_; }
+  const Tensor& weight() const { return weight_; }
+  Tensor& weight() { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+  void set_weight_qat_bits(int bits) { weight_qat_bits_ = bits; }
+  int weight_qat_bits() const { return weight_qat_bits_; }
+  Tensor effective_weight() const;
+
+ private:
+  std::size_t in_features_, out_features_;
+  Tensor weight_, bias_, dweight_, dbias_;
+  Tensor cached_input_;
+  int weight_qat_bits_ = 0;
+};
+
+class MaxPool final : public Layer {
+ public:
+  MaxPool(std::size_t kernel, std::size_t stride);
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  LayerKind kind() const override { return LayerKind::kMaxPool; }
+  std::string name() const override;
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+
+ private:
+  std::size_t kernel_, stride_;
+  Tensor cached_input_;
+  std::vector<std::size_t> argmax_;
+};
+
+class AvgPool final : public Layer {
+ public:
+  AvgPool(std::size_t kernel, std::size_t stride);
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  LayerKind kind() const override { return LayerKind::kAvgPool; }
+  std::string name() const override;
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+
+ private:
+  std::size_t kernel_, stride_;
+  Tensor cached_input_;
+};
+
+class Activation final : public Layer {
+ public:
+  explicit Activation(ActKind act);
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  LayerKind kind() const override { return LayerKind::kActivation; }
+  std::string name() const override;
+  ActKind act() const { return act_; }
+
+  /// Enables output fake-quant to `bits` (unsigned code space). The scale is
+  /// a running max observed during training; frozen at evaluation.
+  void set_act_qat_bits(int bits) { act_qat_bits_ = bits; }
+  int act_qat_bits() const { return act_qat_bits_; }
+  double act_scale() const { return act_scale_; }
+  void set_act_scale(double scale) { act_scale_ = scale; }
+
+ private:
+  ActKind act_;
+  Tensor cached_input_;
+  int act_qat_bits_ = 0;
+  double act_scale_ = 0.0;
+};
+
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool training) override;
+  Tensor backward(const Tensor& dy) override;
+  LayerKind kind() const override { return LayerKind::kFlatten; }
+  std::string name() const override { return "flatten"; }
+
+ private:
+  tensor::Shape cached_shape_;
+};
+
+}  // namespace lightator::nn

@@ -1,0 +1,307 @@
+#include "nn/model_desc.hpp"
+
+#include <stdexcept>
+
+namespace lightator::nn {
+
+std::size_t LayerDesc::macs() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      const std::size_t oh = conv.out_dim(in_h), ow = conv.out_dim(in_w);
+      return conv.out_channels * oh * ow * conv.weights_per_filter();
+    }
+    case LayerKind::kLinear:
+      return fc_in * fc_out;
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      // Pooling "MACs": one multiply-accumulate per window element, which is
+      // exactly how the CA banks realize average pooling.
+      const std::size_t oh = (in_h - pool_kernel) / pool_stride + 1;
+      const std::size_t ow = (in_w - pool_kernel) / pool_stride + 1;
+      return pool_channels * oh * ow * pool_kernel * pool_kernel;
+    }
+    case LayerKind::kActivation:
+    case LayerKind::kFlatten:
+      return 0;
+  }
+  return 0;
+}
+
+std::size_t LayerDesc::weight_count() const {
+  switch (kind) {
+    case LayerKind::kConv:
+      return conv.out_channels * conv.weights_per_filter();
+    case LayerKind::kLinear:
+      return fc_in * fc_out;
+    default:
+      return 0;
+  }
+}
+
+std::size_t LayerDesc::output_count() const {
+  switch (kind) {
+    case LayerKind::kConv: {
+      return conv.out_channels * conv.out_dim(in_h) * conv.out_dim(in_w);
+    }
+    case LayerKind::kLinear:
+      return fc_out;
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool: {
+      const std::size_t oh = (in_h - pool_kernel) / pool_stride + 1;
+      const std::size_t ow = (in_w - pool_kernel) / pool_stride + 1;
+      return pool_channels * oh * ow;
+    }
+    case LayerKind::kActivation:
+    case LayerKind::kFlatten:
+      return 0;
+  }
+  return 0;
+}
+
+std::size_t ModelDesc::total_macs() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.macs();
+  return n;
+}
+
+std::size_t ModelDesc::total_weights() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.weight_count();
+  return n;
+}
+
+std::vector<const LayerDesc*> ModelDesc::compute_layers() const {
+  std::vector<const LayerDesc*> out;
+  for (const auto& l : layers) {
+    if (l.is_weighted() || l.is_pool()) out.push_back(&l);
+  }
+  return out;
+}
+
+namespace {
+
+/// Incremental builder tracking spatial geometry through the stack.
+class DescBuilder {
+ public:
+  DescBuilder(std::string name, std::size_t c, std::size_t h, std::size_t w) {
+    desc_.name = std::move(name);
+    desc_.in_channels = c;
+    desc_.in_h = h;
+    desc_.in_w = w;
+    c_ = c;
+    h_ = h;
+    w_ = w;
+  }
+
+  DescBuilder& conv(std::size_t out_c, std::size_t kernel, std::size_t stride,
+                    std::size_t pad) {
+    LayerDesc l;
+    l.kind = LayerKind::kConv;
+    l.in_h = h_;
+    l.in_w = w_;
+    l.conv = tensor::ConvSpec{c_, out_c, kernel, stride, pad};
+    l.name = "conv" + std::to_string(kernel) + "x" + std::to_string(kernel) +
+             "_" + std::to_string(c_) + "->" + std::to_string(out_c);
+    h_ = l.conv.out_dim(h_);
+    w_ = l.conv.out_dim(w_);
+    c_ = out_c;
+    desc_.layers.push_back(l);
+    return relu();
+  }
+
+  DescBuilder& pool(LayerKind kind, std::size_t kernel, std::size_t stride) {
+    LayerDesc l;
+    l.kind = kind;
+    l.in_h = h_;
+    l.in_w = w_;
+    l.pool_kernel = kernel;
+    l.pool_stride = stride;
+    l.pool_channels = c_;
+    l.name = (kind == LayerKind::kMaxPool ? "maxpool" : "avgpool") +
+             std::to_string(kernel) + "x" + std::to_string(kernel);
+    h_ = (h_ - kernel) / stride + 1;
+    w_ = (w_ - kernel) / stride + 1;
+    desc_.layers.push_back(l);
+    return *this;
+  }
+
+  DescBuilder& flatten() {
+    LayerDesc l;
+    l.kind = LayerKind::kFlatten;
+    l.name = "flatten";
+    desc_.layers.push_back(l);
+    flat_dim_ = c_ * h_ * w_;
+    return *this;
+  }
+
+  DescBuilder& fc(std::size_t out, bool with_relu = true) {
+    LayerDesc l;
+    l.kind = LayerKind::kLinear;
+    l.fc_in = flat_dim_;
+    l.fc_out = out;
+    l.name = "fc_" + std::to_string(flat_dim_) + "->" + std::to_string(out);
+    desc_.layers.push_back(l);
+    flat_dim_ = out;
+    return with_relu ? relu() : *this;
+  }
+
+  DescBuilder& relu() {
+    LayerDesc l;
+    l.kind = LayerKind::kActivation;
+    l.act = ActKind::kReLU;
+    l.name = "relu";
+    desc_.layers.push_back(l);
+    return *this;
+  }
+
+  ModelDesc build() { return desc_; }
+
+ private:
+  ModelDesc desc_;
+  std::size_t c_, h_, w_;
+  std::size_t flat_dim_ = 0;
+};
+
+}  // namespace
+
+ModelDesc lenet_desc(std::size_t num_classes) {
+  DescBuilder b("LeNet", 1, 28, 28);
+  b.conv(6, 5, 1, 2)                        // L1: 28x28x6
+      .pool(LayerKind::kAvgPool, 2, 2)      // L2: 14x14x6 (CA bank)
+      .conv(16, 5, 1, 0)                    // L3: 10x10x16
+      .pool(LayerKind::kAvgPool, 2, 2)      // L4: 5x5x16 (CA bank)
+      .flatten()
+      .fc(120)                              // L5
+      .fc(84)                               // L6
+      .fc(num_classes, /*with_relu=*/false);  // L7
+  return b.build();
+}
+
+ModelDesc vgg9_desc(std::size_t num_classes, double width_mult,
+                    std::size_t in_h, std::size_t in_w,
+                    std::size_t in_channels) {
+  auto ch = [&](std::size_t base) {
+    const auto c = static_cast<std::size_t>(base * width_mult);
+    return c == 0 ? std::size_t{1} : c;
+  };
+  DescBuilder b("VGG9", in_channels, in_h, in_w);
+  b.conv(ch(64), 3, 1, 1)                  // L1
+      .conv(ch(64), 3, 1, 1)               // L2
+      .pool(LayerKind::kMaxPool, 2, 2)     // L3
+      .conv(ch(128), 3, 1, 1)              // L4
+      .conv(ch(128), 3, 1, 1)              // L5
+      .pool(LayerKind::kMaxPool, 2, 2)     // L6
+      .conv(ch(256), 3, 1, 1)              // L7
+      .conv(ch(256), 3, 1, 1)              // L8
+      .pool(LayerKind::kMaxPool, 2, 2)     // L9
+      .flatten()
+      .fc(ch(512))                         // L10
+      .fc(ch(512))                         // L11
+      .fc(num_classes, /*with_relu=*/false);  // L12
+  return b.build();
+}
+
+ModelDesc vgg16_desc(std::size_t num_classes) {
+  DescBuilder b("VGG16", 3, 224, 224);
+  b.conv(64, 3, 1, 1).conv(64, 3, 1, 1).pool(LayerKind::kMaxPool, 2, 2);
+  b.conv(128, 3, 1, 1).conv(128, 3, 1, 1).pool(LayerKind::kMaxPool, 2, 2);
+  b.conv(256, 3, 1, 1).conv(256, 3, 1, 1).conv(256, 3, 1, 1);
+  b.pool(LayerKind::kMaxPool, 2, 2);
+  b.conv(512, 3, 1, 1).conv(512, 3, 1, 1).conv(512, 3, 1, 1);
+  b.pool(LayerKind::kMaxPool, 2, 2);
+  b.conv(512, 3, 1, 1).conv(512, 3, 1, 1).conv(512, 3, 1, 1);
+  b.pool(LayerKind::kMaxPool, 2, 2);
+  b.flatten().fc(4096).fc(4096).fc(num_classes, /*with_relu=*/false);
+  return b.build();
+}
+
+ModelDesc vgg13_desc(std::size_t num_classes) {
+  DescBuilder b("VGG13", 3, 224, 224);
+  b.conv(64, 3, 1, 1).conv(64, 3, 1, 1).pool(LayerKind::kMaxPool, 2, 2);
+  b.conv(128, 3, 1, 1).conv(128, 3, 1, 1).pool(LayerKind::kMaxPool, 2, 2);
+  b.conv(256, 3, 1, 1).conv(256, 3, 1, 1).pool(LayerKind::kMaxPool, 2, 2);
+  b.conv(512, 3, 1, 1).conv(512, 3, 1, 1).pool(LayerKind::kMaxPool, 2, 2);
+  b.conv(512, 3, 1, 1).conv(512, 3, 1, 1).pool(LayerKind::kMaxPool, 2, 2);
+  b.flatten().fc(4096).fc(4096).fc(num_classes, /*with_relu=*/false);
+  return b.build();
+}
+
+ModelDesc alexnet_desc(std::size_t num_classes) {
+  DescBuilder b("AlexNet", 3, 227, 227);
+  b.conv(96, 11, 4, 0).pool(LayerKind::kMaxPool, 3, 2);
+  b.conv(256, 5, 1, 2).pool(LayerKind::kMaxPool, 3, 2);
+  b.conv(384, 3, 1, 1).conv(384, 3, 1, 1).conv(256, 3, 1, 1);
+  b.pool(LayerKind::kMaxPool, 3, 2);
+  b.flatten().fc(4096).fc(4096).fc(num_classes, /*with_relu=*/false);
+  return b.build();
+}
+
+ModelDesc desc_from_network(const Network& net, std::size_t in_channels,
+                            std::size_t in_h, std::size_t in_w) {
+  ModelDesc desc;
+  desc.name = net.name();
+  desc.in_channels = in_channels;
+  desc.in_h = in_h;
+  desc.in_w = in_w;
+  std::size_t c = in_channels, h = in_h, w = in_w;
+  std::size_t flat = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const Layer& layer = net.layer(i);
+    LayerDesc l;
+    l.kind = layer.kind();
+    l.name = layer.name();
+    switch (layer.kind()) {
+      case LayerKind::kConv: {
+        const auto& conv = dynamic_cast<const Conv2d&>(layer);
+        l.in_h = h;
+        l.in_w = w;
+        l.conv = conv.spec();
+        h = l.conv.out_dim(h);
+        w = l.conv.out_dim(w);
+        c = l.conv.out_channels;
+        break;
+      }
+      case LayerKind::kMaxPool:
+      case LayerKind::kAvgPool: {
+        std::size_t kernel, stride;
+        if (layer.kind() == LayerKind::kMaxPool) {
+          const auto& p = dynamic_cast<const MaxPool&>(layer);
+          kernel = p.kernel();
+          stride = p.stride();
+        } else {
+          const auto& p = dynamic_cast<const AvgPool&>(layer);
+          kernel = p.kernel();
+          stride = p.stride();
+        }
+        l.in_h = h;
+        l.in_w = w;
+        l.pool_kernel = kernel;
+        l.pool_stride = stride;
+        l.pool_channels = c;
+        h = (h - kernel) / stride + 1;
+        w = (w - kernel) / stride + 1;
+        break;
+      }
+      case LayerKind::kLinear: {
+        const auto& fc = dynamic_cast<const Linear&>(layer);
+        l.fc_in = fc.in_features();
+        l.fc_out = fc.out_features();
+        flat = fc.out_features();
+        break;
+      }
+      case LayerKind::kActivation: {
+        const auto& act = dynamic_cast<const Activation&>(layer);
+        l.act = act.act();
+        break;
+      }
+      case LayerKind::kFlatten:
+        flat = c * h * w;
+        break;
+    }
+    desc.layers.push_back(std::move(l));
+  }
+  (void)flat;
+  return desc;
+}
+
+}  // namespace lightator::nn

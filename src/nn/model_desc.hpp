@@ -1,0 +1,94 @@
+// Architecture-level model descriptors.
+//
+// The hardware mapper, power model, and timing model consume layer *shapes*,
+// not weights. ModelDesc describes a network structurally, so timing-only
+// workloads (VGG16, AlexNet in Fig. 10) don't need hundreds of MB of weights,
+// and trainable Networks can be described via desc_from_network().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "nn/network.hpp"
+#include "tensor/ops.hpp"
+
+namespace lightator::nn {
+
+struct LayerDesc {
+  LayerKind kind = LayerKind::kConv;
+  std::string name;
+
+  // Input spatial geometry (conv/pool layers).
+  std::size_t in_h = 0, in_w = 0;
+
+  // kConv
+  tensor::ConvSpec conv;
+
+  // kMaxPool / kAvgPool
+  std::size_t pool_kernel = 0, pool_stride = 0, pool_channels = 0;
+
+  // kLinear
+  std::size_t fc_in = 0, fc_out = 0;
+
+  // kActivation
+  ActKind act = ActKind::kReLU;
+
+  /// Multiply-accumulate count of one inference through this layer.
+  std::size_t macs() const;
+
+  /// Trainable weight element count (0 for pool/act/flatten).
+  std::size_t weight_count() const;
+
+  /// Number of output scalars this layer produces.
+  std::size_t output_count() const;
+
+  /// True for layers that occupy OC MVM banks (conv/fc) — pooling runs on
+  /// pre-set CA banks, activations in the electronic block.
+  bool is_weighted() const {
+    return kind == LayerKind::kConv || kind == LayerKind::kLinear;
+  }
+  bool is_pool() const {
+    return kind == LayerKind::kMaxPool || kind == LayerKind::kAvgPool;
+  }
+};
+
+struct ModelDesc {
+  std::string name;
+  std::size_t in_channels = 1, in_h = 0, in_w = 0;
+  std::vector<LayerDesc> layers;
+
+  std::size_t total_macs() const;
+  std::size_t total_weights() const;
+
+  /// Only the compute layers (conv/pool/fc) — the "L1..Ln" the paper's power
+  /// breakdown figures enumerate (activations/flatten are folded into them).
+  std::vector<const LayerDesc*> compute_layers() const;
+};
+
+/// LeNet-5 on 28x28x1 (paper's MNIST model): L1 conv5x5x6, L2 avgpool, L3
+/// conv5x5x16, L4 avgpool, L5..L7 fc — the seven Li of Fig. 8.
+ModelDesc lenet_desc(std::size_t num_classes = 10);
+
+/// VGG9 on 32x32x3 (paper's CIFAR model): 6 conv + 3 maxpool + 3 fc = the 12
+/// Li of Fig. 9. `width_mult` scales channel counts (1.0 = full).
+/// `in_channels` = 1 models the CA-grayscaled front end of Fig. 9.
+ModelDesc vgg9_desc(std::size_t num_classes = 10, double width_mult = 1.0,
+                    std::size_t in_h = 32, std::size_t in_w = 32,
+                    std::size_t in_channels = 3);
+
+/// VGG16 on 224x224x3 (Fig. 10 workload).
+ModelDesc vgg16_desc(std::size_t num_classes = 1000);
+
+/// VGG13 on 224x224x3 — the paper substitutes it for VGG16 on YodaNN
+/// (Fig. 10 note) to match YodaNN's supported filter sizes.
+ModelDesc vgg13_desc(std::size_t num_classes = 1000);
+
+/// AlexNet on 227x227x3 (Fig. 10 workload).
+ModelDesc alexnet_desc(std::size_t num_classes = 1000);
+
+/// Structural description of an existing network given its input geometry.
+ModelDesc desc_from_network(const Network& net, std::size_t in_channels,
+                            std::size_t in_h, std::size_t in_w);
+
+}  // namespace lightator::nn

@@ -1,0 +1,60 @@
+#include "nn/models.hpp"
+
+namespace lightator::nn {
+
+Network build_lenet(util::Rng& rng, std::size_t num_classes) {
+  Network net("LeNet");
+  net.add<Conv2d>(tensor::ConvSpec{1, 6, 5, 1, 2}, rng);
+  net.add<Activation>(ActKind::kReLU);
+  net.add<AvgPool>(2, 2);
+  net.add<Conv2d>(tensor::ConvSpec{6, 16, 5, 1, 0}, rng);
+  net.add<Activation>(ActKind::kReLU);
+  net.add<AvgPool>(2, 2);
+  net.add<Flatten>();
+  net.add<Linear>(16 * 5 * 5, 120, rng);
+  net.add<Activation>(ActKind::kReLU);
+  net.add<Linear>(120, 84, rng);
+  net.add<Activation>(ActKind::kReLU);
+  net.add<Linear>(84, num_classes, rng);
+  return net;
+}
+
+Network build_vgg9(util::Rng& rng, std::size_t num_classes, double width_mult) {
+  auto ch = [&](std::size_t base) {
+    const auto c = static_cast<std::size_t>(base * width_mult);
+    return c == 0 ? std::size_t{1} : c;
+  };
+  Network net("VGG9");
+  auto conv_relu = [&](std::size_t in_c, std::size_t out_c) {
+    net.add<Conv2d>(tensor::ConvSpec{in_c, out_c, 3, 1, 1}, rng);
+    net.add<Activation>(ActKind::kReLU);
+  };
+  conv_relu(3, ch(64));
+  conv_relu(ch(64), ch(64));
+  net.add<MaxPool>(2, 2);
+  conv_relu(ch(64), ch(128));
+  conv_relu(ch(128), ch(128));
+  net.add<MaxPool>(2, 2);
+  conv_relu(ch(128), ch(256));
+  conv_relu(ch(256), ch(256));
+  net.add<MaxPool>(2, 2);
+  net.add<Flatten>();
+  net.add<Linear>(ch(256) * 4 * 4, ch(512), rng);
+  net.add<Activation>(ActKind::kReLU);
+  net.add<Linear>(ch(512), ch(512), rng);
+  net.add<Activation>(ActKind::kReLU);
+  net.add<Linear>(ch(512), num_classes, rng);
+  return net;
+}
+
+Network build_mlp(util::Rng& rng, std::size_t in_features, std::size_t hidden,
+                  std::size_t num_classes) {
+  Network net("MLP");
+  net.add<Flatten>();
+  net.add<Linear>(in_features, hidden, rng);
+  net.add<Activation>(ActKind::kReLU);
+  net.add<Linear>(hidden, num_classes, rng);
+  return net;
+}
+
+}  // namespace lightator::nn

@@ -1,0 +1,27 @@
+// Trainable model zoo matching the paper's workloads.
+//
+// LeNet (MNIST) and VGG9 (CIFAR10/100) are trained from scratch in the
+// benches; VGG9 takes a width multiplier so the accuracy experiments can use
+// a CPU-feasible slim variant (power/timing always use the full-width
+// ModelDesc — see DESIGN.md §3).
+#pragma once
+
+#include "nn/network.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::nn {
+
+/// LeNet-5 (28x28x1 input): conv5x5x6(pad2) -> avgpool2 -> conv5x5x16 ->
+/// avgpool2 -> fc120 -> fc84 -> fc{classes}.
+Network build_lenet(util::Rng& rng, std::size_t num_classes = 10);
+
+/// VGG9 (32x32x3 input): [64,64,M,128,128,M,256,256,M] + fc512 fc512
+/// fc{classes}, channels scaled by width_mult.
+Network build_vgg9(util::Rng& rng, std::size_t num_classes = 10,
+                   double width_mult = 1.0);
+
+/// A tiny MLP for unit tests and the quickstart example.
+Network build_mlp(util::Rng& rng, std::size_t in_features,
+                  std::size_t hidden, std::size_t num_classes);
+
+}  // namespace lightator::nn

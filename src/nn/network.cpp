@@ -1,0 +1,45 @@
+#include "nn/network.hpp"
+
+#include <stdexcept>
+
+namespace lightator::nn {
+
+Tensor Network::forward(const Tensor& x, bool training) {
+  if (layers_.empty()) throw std::logic_error("network has no layers");
+  Tensor h = x;
+  for (auto& layer : layers_) h = layer->forward(h, training);
+  return h;
+}
+
+void Network::backward(const Tensor& dlogits) {
+  Tensor g = dlogits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+std::vector<Tensor*> Network::params() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Network::grads() {
+  std::vector<Tensor*> out;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+std::size_t Network::num_params() const {
+  std::size_t n = 0;
+  for (const auto& layer : layers_) {
+    for (Tensor* p : const_cast<Layer&>(*layer).params()) n += p->size();
+  }
+  return n;
+}
+
+}  // namespace lightator::nn

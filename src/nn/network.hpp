@@ -1,0 +1,58 @@
+// Sequential network container: owns layers, runs forward/backward, exposes
+// parameters for the optimizer and layer structure for the hardware mapper.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace lightator::nn {
+
+class Network {
+ public:
+  Network() = default;
+  explicit Network(std::string name) : name_(std::move(name)) {}
+
+  // Move-only (owns layer state).
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends a layer; returns a reference to it for configuration.
+  template <typename L, typename... Args>
+  L& add(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Full forward pass. `training=true` caches activations for backward.
+  Tensor forward(const Tensor& x, bool training = false);
+
+  /// Backward from dL/dlogits; accumulates gradients in each layer.
+  void backward(const Tensor& dlogits);
+
+  /// All trainable parameters / their gradients, flattened across layers.
+  std::vector<Tensor*> params();
+  std::vector<Tensor*> grads();
+
+  /// Total parameter element count.
+  std::size_t num_params() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace lightator::nn

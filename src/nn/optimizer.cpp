@@ -1,0 +1,51 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+#include <stdexcept>
+
+namespace lightator::nn {
+
+void Sgd::step(const std::vector<tensor::Tensor*>& params,
+               const std::vector<tensor::Tensor*>& grads) {
+  if (params.size() != grads.size()) {
+    throw std::invalid_argument("optimizer params/grads mismatch");
+  }
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    velocity_.reserve(params.size());
+    for (const auto* p : params) velocity_.emplace_back(p->shape());
+  }
+  const auto lr = static_cast<float>(params_.learning_rate);
+  const auto mu = static_cast<float>(params_.momentum);
+  const auto wd = static_cast<float>(params_.weight_decay);
+  float clip = 1.0f;
+  if (params_.max_grad_norm > 0.0) {
+    double norm_sq = 0.0;
+    for (const auto* g : grads) {
+      for (std::size_t j = 0; j < g->size(); ++j) {
+        norm_sq += static_cast<double>((*g)[j]) * (*g)[j];
+      }
+    }
+    const double norm = std::sqrt(norm_sq);
+    if (norm > params_.max_grad_norm) {
+      clip = static_cast<float>(params_.max_grad_norm / norm);
+    }
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    tensor::Tensor& p = *params[i];
+    tensor::Tensor& g = *grads[i];
+    tensor::Tensor& v = velocity_[i];
+    if (p.size() != g.size() || p.size() != v.size()) {
+      throw std::invalid_argument("optimizer tensor size mismatch");
+    }
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const float grad = clip * g[j] + wd * p[j];
+      v[j] = mu * v[j] + grad;
+      p[j] -= lr * v[j];
+      g[j] = 0.0f;
+    }
+  }
+}
+
+}  // namespace lightator::nn

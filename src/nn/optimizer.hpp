@@ -1,0 +1,37 @@
+// SGD with momentum and optional weight decay — everything the from-scratch
+// training and QAT fine-tuning passes need.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace lightator::nn {
+
+struct SgdParams {
+  double learning_rate = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 5e-4;
+  /// Global-norm gradient clipping (0 disables). Keeps deep nets (VGG9)
+  /// from diverging into dead-ReLU territory at aggressive learning rates.
+  double max_grad_norm = 5.0;
+};
+
+class Sgd {
+ public:
+  explicit Sgd(SgdParams params) : params_(params) {}
+
+  /// Applies one update step: params[i] -= lr * (momentum-filtered grads[i]).
+  /// Gradients are consumed (zeroed) by the step.
+  void step(const std::vector<tensor::Tensor*>& params,
+            const std::vector<tensor::Tensor*>& grads);
+
+  void set_learning_rate(double lr) { params_.learning_rate = lr; }
+  double learning_rate() const { return params_.learning_rate; }
+
+ private:
+  SgdParams params_;
+  std::vector<tensor::Tensor> velocity_;  // lazily sized to match params
+};
+
+}  // namespace lightator::nn

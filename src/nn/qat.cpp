@@ -1,0 +1,94 @@
+#include "nn/qat.hpp"
+
+namespace lightator::nn {
+
+std::string PrecisionSchedule::label() const {
+  auto one = [](const PrecisionConfig& c) {
+    return "[" + std::to_string(c.weight_bits) + ":" +
+           std::to_string(c.act_bits) + "]";
+  };
+  if (!is_mixed()) return one(rest);
+  return one(first_layer) + one(rest);
+}
+
+void enable_qat(Network& net, const PrecisionSchedule& schedule) {
+  std::size_t weighted_index = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    Layer& layer = net.layer(i);
+    if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+      conv->set_weight_qat_bits(schedule.weight_bits_for(weighted_index));
+      ++weighted_index;
+    } else if (auto* fc = dynamic_cast<Linear*>(&layer)) {
+      fc->set_weight_qat_bits(schedule.weight_bits_for(weighted_index));
+      ++weighted_index;
+    } else if (auto* act = dynamic_cast<Activation*>(&layer)) {
+      // The activation feeding weighted layer k uses that layer's act bits;
+      // the VCSEL path is 4-bit for every configuration in the paper.
+      act->set_act_qat_bits(schedule.act_bits_for(
+          weighted_index == 0 ? 0 : weighted_index));
+    }
+  }
+}
+
+void disable_qat(Network& net) {
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    Layer& layer = net.layer(i);
+    if (auto* conv = dynamic_cast<Conv2d*>(&layer)) {
+      conv->set_weight_qat_bits(0);
+    } else if (auto* fc = dynamic_cast<Linear*>(&layer)) {
+      fc->set_weight_qat_bits(0);
+    } else if (auto* act = dynamic_cast<Activation*>(&layer)) {
+      act->set_act_qat_bits(0);
+    }
+  }
+}
+
+void reset_activation_scales(Network& net) {
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    if (auto* act = dynamic_cast<Activation*>(&net.layer(i))) {
+      act->set_act_scale(0.0);
+    }
+  }
+}
+
+std::vector<tensor::Tensor> snapshot_params(Network& net) {
+  std::vector<tensor::Tensor> out;
+  for (tensor::Tensor* p : net.params()) out.push_back(*p);
+  return out;
+}
+
+void restore_params(Network& net, const std::vector<tensor::Tensor>& saved) {
+  const auto params = net.params();
+  if (params.size() != saved.size()) {
+    throw std::invalid_argument("snapshot does not match network");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) *params[i] = saved[i];
+}
+
+void calibrate_activations(Network& net, const Dataset& data,
+                           std::size_t num_batches, std::size_t batch_size) {
+  const std::size_t n = data.size();
+  for (std::size_t b = 0; b < num_batches; ++b) {
+    const std::size_t begin = b * batch_size;
+    if (begin + batch_size > n) break;
+    const auto x = data.batch_images(begin, batch_size);
+    // training=true so the running-max scales update; gradients unused.
+    (void)net.forward(x, /*training=*/true);
+  }
+}
+
+EpochStats fine_tune(Network& net, Dataset& train,
+                     const PrecisionSchedule& schedule, std::size_t epochs,
+                     double lr) {
+  enable_qat(net, schedule);
+  calibrate_activations(net, train);
+  TrainParams params;
+  params.epochs = epochs;
+  params.sgd.learning_rate = lr;
+  params.sgd.momentum = 0.9;
+  params.sgd.weight_decay = 0.0;  // don't shrink quantized weights further
+  Trainer trainer(params);
+  return trainer.fit(net, train);
+}
+
+}  // namespace lightator::nn

@@ -1,0 +1,81 @@
+// Quantization-aware training and the [W:A] precision configurations.
+//
+// PrecisionSchedule expresses the paper's configurations: uniform [4:4],
+// [3:4], [2:4], and the mixed-precision Lightator-MX variants where the
+// first layer stays [4:4] and the remaining layers run at [3:4] or [2:4].
+// enable_qat() applies a schedule to a trained float network; fine_tune()
+// runs the paper's "additional six epochs ... employing quantization-aware
+// techniques".
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+#include "nn/trainer.hpp"
+
+namespace lightator::nn {
+
+struct PrecisionConfig {
+  int weight_bits = 4;
+  int act_bits = 4;
+};
+
+struct PrecisionSchedule {
+  PrecisionConfig first_layer;
+  PrecisionConfig rest;
+
+  static PrecisionSchedule uniform(int weight_bits, int act_bits = 4) {
+    return {{weight_bits, act_bits}, {weight_bits, act_bits}};
+  }
+  /// Lightator-MX: L1 at [4:4], remaining layers at [rest_weight_bits:4].
+  static PrecisionSchedule mixed(int rest_weight_bits, int act_bits = 4) {
+    return {{4, act_bits}, {rest_weight_bits, act_bits}};
+  }
+
+  bool is_mixed() const {
+    return first_layer.weight_bits != rest.weight_bits ||
+           first_layer.act_bits != rest.act_bits;
+  }
+
+  /// "[4:4]" or "[4:4][3:4]" in the paper's notation.
+  std::string label() const;
+
+  /// Weight bits for the i-th weighted (conv/fc) layer.
+  int weight_bits_for(std::size_t weighted_layer_index) const {
+    return weighted_layer_index == 0 ? first_layer.weight_bits : rest.weight_bits;
+  }
+  int act_bits_for(std::size_t weighted_layer_index) const {
+    return weighted_layer_index == 0 ? first_layer.act_bits : rest.act_bits;
+  }
+};
+
+/// Applies the schedule: conv/fc layers get weight fake-quant, activation
+/// layers get 4-bit output fake-quant (scale calibrated while training).
+void enable_qat(Network& net, const PrecisionSchedule& schedule);
+
+/// Removes all fake-quant (back to float evaluation).
+void disable_qat(Network& net);
+
+/// Clears every activation layer's running-max scale (use before
+/// re-calibrating after a parameter restore).
+void reset_activation_scales(Network& net);
+
+/// Deep copy of all trainable parameters (for sweeping QAT configurations
+/// from a common float checkpoint).
+std::vector<tensor::Tensor> snapshot_params(Network& net);
+
+/// Restores parameters captured by snapshot_params.
+void restore_params(Network& net, const std::vector<tensor::Tensor>& saved);
+
+/// Runs activation-scale calibration only: a few forward passes in training
+/// mode without weight updates, so the running-max scales settle.
+void calibrate_activations(Network& net, const Dataset& data,
+                           std::size_t num_batches = 4,
+                           std::size_t batch_size = 32);
+
+/// The paper's QAT recipe: enable_qat + a short low-LR fine-tune.
+EpochStats fine_tune(Network& net, Dataset& train,
+                     const PrecisionSchedule& schedule,
+                     std::size_t epochs = 6, double lr = 0.005);
+
+}  // namespace lightator::nn

@@ -1,0 +1,74 @@
+#include "nn/trainer.hpp"
+
+#include <cstdio>
+
+#include "tensor/activations.hpp"
+#include "util/logging.hpp"
+
+namespace lightator::nn {
+
+EpochStats Trainer::fit(Network& net, Dataset& train) {
+  if (!rng_seeded_) {
+    shuffle_rng_ = util::Rng(params_.shuffle_seed);
+    rng_seeded_ = true;
+  }
+  EpochStats stats;
+  for (std::size_t e = 0; e < params_.epochs; ++e) {
+    stats = train_epoch(net, train);
+    if (params_.verbose) {
+      LT_LOG_INFO("%s epoch %zu/%zu: loss=%.4f acc=%.2f%%", net.name().c_str(),
+                  e + 1, params_.epochs, stats.loss, 100.0 * stats.accuracy);
+    }
+    sgd_.set_learning_rate(sgd_.learning_rate() * params_.lr_decay);
+  }
+  return stats;
+}
+
+EpochStats Trainer::train_epoch(Network& net, Dataset& train) {
+  train.shuffle(shuffle_rng_);
+  const std::size_t n = train.size();
+  double loss_sum = 0.0;
+  std::size_t correct = 0, seen = 0;
+  for (std::size_t begin = 0; begin + params_.batch_size <= n;
+       begin += params_.batch_size) {
+    const auto x = train.batch_images(begin, params_.batch_size);
+    const auto y = train.batch_labels(begin, params_.batch_size);
+    const auto logits = net.forward(x, /*training=*/true);
+    tensor::Tensor dlogits;
+    loss_sum += tensor::softmax_cross_entropy(logits, y, &dlogits) *
+                static_cast<double>(params_.batch_size);
+    const auto preds = tensor::predict(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == y[i]) ++correct;
+    }
+    seen += params_.batch_size;
+    net.backward(dlogits);
+    sgd_.step(net.params(), net.grads());
+  }
+  EpochStats stats;
+  if (seen > 0) {
+    stats.loss = loss_sum / static_cast<double>(seen);
+    stats.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  }
+  return stats;
+}
+
+double Trainer::evaluate(Network& net, const Dataset& data,
+                         std::size_t batch_size) {
+  const std::size_t n = data.size();
+  std::size_t correct = 0, seen = 0;
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t count = std::min(batch_size, n - begin);
+    const auto x = data.batch_images(begin, count);
+    const auto y = data.batch_labels(begin, count);
+    const auto logits = net.forward(x, /*training=*/false);
+    const auto preds = tensor::predict(logits);
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == y[i]) ++correct;
+    }
+    seen += count;
+  }
+  return seen == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(seen);
+}
+
+}  // namespace lightator::nn

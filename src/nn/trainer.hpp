@@ -1,0 +1,50 @@
+// Mini-batch training loop and evaluation.
+//
+// This is the application-level stage of the paper's framework (Fig. 7):
+// train a float model, then fine-tune with QAT (qat.hpp) before mapping the
+// quantized weights onto the optical core.
+#pragma once
+
+#include "nn/dataset.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+
+namespace lightator::nn {
+
+struct TrainParams {
+  std::size_t batch_size = 32;
+  std::size_t epochs = 5;
+  SgdParams sgd;
+  bool verbose = false;
+  std::uint64_t shuffle_seed = 7;
+  /// Multiply the learning rate by this factor after each epoch.
+  double lr_decay = 0.85;
+};
+
+struct EpochStats {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainParams params) : params_(params), sgd_(params.sgd) {}
+
+  /// Trains for params.epochs; returns the last epoch's stats.
+  EpochStats fit(Network& net, Dataset& train);
+
+  /// One epoch over (a shuffled copy of the order of) `train`.
+  EpochStats train_epoch(Network& net, Dataset& train);
+
+  /// Top-1 accuracy on `data` (no caching, eval mode).
+  static double evaluate(Network& net, const Dataset& data,
+                         std::size_t batch_size = 64);
+
+ private:
+  TrainParams params_;
+  Sgd sgd_;
+  util::Rng shuffle_rng_{7};
+  bool rng_seeded_ = false;
+};
+
+}  // namespace lightator::nn

@@ -1,0 +1,108 @@
+#include "optics/arm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::optics {
+
+MrArm::MrArm(ArmParams params)
+    : params_(params),
+      grid_(params.num_cells, 1550.0 * units::kNm, 1.6 * units::kNm),
+      bpd_(params.detector),
+      rail_(params.waveguide, params.rail_length,
+            /*num_couplers=*/2)  // input splitter + output combiner
+{
+  if (params_.num_cells == 0) throw std::invalid_argument("arm needs >=1 cell");
+  if (params_.activation_levels < 1) {
+    throw std::invalid_argument("arm needs >=1 activation level");
+  }
+  cells_.reserve(params_.num_cells);
+  for (std::size_t i = 0; i < params_.num_cells; ++i) {
+    cells_.emplace_back(params_.ring, grid_.wavelength(i), params_.weight_bits);
+  }
+  // Calibration: a full-scale activation (P_max) through a weight of exactly
+  // +1 on a lossless arm would produce R * P_max * (1 - T_min). Real rails
+  // add the waveguide loss and one insertion loss per ring pass.
+  const Vcsel reference(params_.vcsel, grid_.wavelength(0));
+  const double per_ring_loss =
+      units::db_loss_to_linear(params_.ring.insertion_loss_db);
+  const double chain_loss =
+      rail_.transmission() *
+      std::pow(per_ring_loss, static_cast<double>(params_.num_cells));
+  calibration_ = params_.detector.responsivity * reference.max_optical_power() *
+                 chain_loss * (1.0 - params_.ring.extinction) *
+                 params_.ring.weight_headroom;
+}
+
+void MrArm::set_weights(std::span<const double> weights) {
+  if (weights.size() != cells_.size()) {
+    throw std::invalid_argument("weight count does not match arm cells");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].set_weight(weights[i]);
+  }
+}
+
+std::vector<double> MrArm::nominal_weights() const {
+  std::vector<double> out;
+  out.reserve(cells_.size());
+  for (const auto& c : cells_) out.push_back(c.nominal_weight());
+  return out;
+}
+
+double MrArm::propagate(std::span<const int> activation_codes,
+                        util::Rng* rng) const {
+  if (activation_codes.size() != cells_.size()) {
+    throw std::invalid_argument("activation count does not match arm cells");
+  }
+  OpticalSignal positive(grid_.num_channels());
+  OpticalSignal negative(grid_.num_channels());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    Vcsel laser(params_.vcsel, grid_.wavelength(i));
+    laser.drive_code(activation_codes[i]);
+    positive.set_power(i, laser.optical_power());
+    negative.set_power(i, laser.optical_power());
+  }
+  rail_.propagate(positive);
+  rail_.propagate(negative);
+  for (const auto& cell : cells_) {
+    cell.positive_ring().propagate_through(positive, grid_);
+    cell.negative_ring().propagate_through(negative, grid_);
+  }
+  return rng == nullptr ? bpd_.net_current(positive, negative)
+                        : bpd_.net_current_noisy(positive, negative, *rng);
+}
+
+double MrArm::compute(std::span<const int> activation_codes) const {
+  return propagate(activation_codes, nullptr) / calibration_;
+}
+
+double MrArm::compute_noisy(std::span<const int> activation_codes,
+                            util::Rng& rng) const {
+  return propagate(activation_codes, &rng) / calibration_;
+}
+
+double MrArm::ideal(std::span<const int> activation_codes) const {
+  if (activation_codes.size() != cells_.size()) {
+    throw std::invalid_argument("activation count does not match arm cells");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const int code = activation_codes[i];
+    if (code < 0 || code > params_.activation_levels) {
+      throw std::out_of_range("activation code out of range");
+    }
+    const double a = static_cast<double>(code) /
+                     static_cast<double>(params_.activation_levels);
+    acc += a * cells_[i].nominal_weight();
+  }
+  return acc;
+}
+
+double MrArm::tuning_power() const {
+  double sum = 0.0;
+  for (const auto& c : cells_) sum += c.tuning_power();
+  return sum;
+}
+
+}  // namespace lightator::optics

@@ -1,0 +1,85 @@
+// One OC arm: the physical optical dot-product unit.
+//
+// An arm holds `num_cells` (paper: 9) differential MR weight cells in series
+// on a positive and a negative rail, terminated by a balanced photodetector.
+// Activations arrive as per-channel optical powers from the DMVA's VCSELs
+// (4-bit codes -> intensity); the BPD's net current, divided by a one-time
+// calibration constant, is the signed dot product
+//     sum_i  a_i * w_i,   a_i in [0,1] (code/15),  w_i in [-1,1] (quantized).
+//
+// The physical path includes every analog non-ideality the device models
+// capture: Lorentzian-tail inter-channel crosstalk, finite-detuning weight
+// saturation, waveguide/coupler/insertion losses, and (optionally) BPD noise.
+// The fast functional simulation in lt_core is validated against this class.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "optics/photodetector.hpp"
+#include "optics/vcsel.hpp"
+#include "optics/waveguide.hpp"
+#include "optics/weight_cell.hpp"
+
+namespace lightator::optics {
+
+struct ArmParams {
+  std::size_t num_cells = 9;
+  int weight_bits = 4;
+  int activation_levels = 15;  // 4-bit thermometer
+  MicroRingParams ring;
+  VcselParams vcsel;
+  PhotodetectorParams detector;
+  WaveguideParams waveguide;
+  double rail_length = 500 * units::kUm;  // per-rail waveguide length
+};
+
+class MrArm {
+ public:
+  explicit MrArm(ArmParams params);
+
+  std::size_t num_cells() const { return cells_.size(); }
+  int weight_bits() const { return params_.weight_bits; }
+
+  /// Programs the arm's weights (size must equal num_cells, each in [-1,1]).
+  void set_weights(std::span<const double> weights);
+
+  /// The quantized weights the cells nominally realize.
+  std::vector<double> nominal_weights() const;
+
+  /// Physical MAC: activation codes (each 0..activation_levels) modulate the
+  /// VCSELs; returns the calibrated dot product. Noiseless analog path.
+  double compute(std::span<const int> activation_codes) const;
+
+  /// Same, with BPD noise sampled from `rng`.
+  double compute_noisy(std::span<const int> activation_codes,
+                       util::Rng& rng) const;
+
+  /// Ideal (digital) dot product of the quantized weights and the code
+  /// activations — the value the analog path approximates.
+  double ideal(std::span<const int> activation_codes) const;
+
+  /// Total heater power of all weight cells (the arm's TUN share, watts).
+  double tuning_power() const;
+
+  /// BPD + TIA static power (watts).
+  double detector_power() const { return bpd_.static_power(); }
+
+  const WdmGrid& grid() const { return grid_; }
+  const WeightCell& cell(std::size_t i) const { return cells_.at(i); }
+
+ private:
+  /// Builds the two rail signals for the given codes and runs them through
+  /// the weight cells; returns the BPD net current.
+  double propagate(std::span<const int> activation_codes,
+                   util::Rng* rng) const;
+
+  ArmParams params_;
+  WdmGrid grid_;
+  std::vector<WeightCell> cells_;
+  BalancedPhotodetector bpd_;
+  Waveguide rail_;
+  double calibration_;  // net-current -> value divisor
+};
+
+}  // namespace lightator::optics

@@ -1,0 +1,82 @@
+#include "optics/microring.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::optics {
+
+MicroRing::MicroRing(MicroRingParams params, double resonance_wavelength)
+    : params_(params), base_resonance_(resonance_wavelength) {
+  if (params_.fwhm <= 0) throw std::invalid_argument("MR FWHM must be positive");
+  if (params_.extinction < 0 || params_.extinction >= 1) {
+    throw std::invalid_argument("MR extinction must be in [0,1)");
+  }
+  if (params_.heater_efficiency <= 0) {
+    throw std::invalid_argument("heater efficiency must be positive");
+  }
+  if (resonance_wavelength <= 0) {
+    throw std::invalid_argument("resonance wavelength must be positive");
+  }
+  loss_linear_ = units::db_loss_to_linear(params_.insertion_loss_db);
+}
+
+double MicroRing::lorentzian(double wavelength) const {
+  const double delta = wavelength - (base_resonance_ + detuning_);
+  const double x = 2.0 * delta / params_.fwhm;
+  return 1.0 / (1.0 + x * x);
+}
+
+double MicroRing::through_transmission(double wavelength) const {
+  const double dip = (1.0 - params_.extinction) * lorentzian(wavelength);
+  return loss_linear_ * (1.0 - dip);
+}
+
+double MicroRing::drop_transmission(double wavelength) const {
+  return loss_linear_ * (1.0 - params_.extinction) * lorentzian(wavelength);
+}
+
+void MicroRing::set_weight(double w) {
+  if (w < 0.0 || w > 1.0) throw std::invalid_argument("MR weight must be in [0,1]");
+  // T(delta) at the home channel: 1 - (1-Tmin)/(1+x^2) with x = 2*delta/FWHM.
+  // Target T = Tmin + h*w*(1-Tmin) (h = headroom)
+  //   =>  1 + x^2 = 1/(1-h*w)  =>  x = sqrt(h*w/(1-h*w)).
+  const double hw = params_.weight_headroom * w;
+  double delta;
+  if (hw >= 1.0) {
+    delta = params_.max_detuning;
+  } else {
+    delta = 0.5 * params_.fwhm * std::sqrt(hw / (1.0 - hw));
+    if (delta > params_.max_detuning) delta = params_.max_detuning;
+  }
+  detuning_ = delta;
+}
+
+double MicroRing::realized_weight() const {
+  // Invert the calibration at the home channel, ignoring insertion loss
+  // (loss is common mode and calibrated out at the arm level).
+  const double x = 2.0 * detuning_ / params_.fwhm;
+  return (x * x) / (1.0 + x * x) / params_.weight_headroom;
+}
+
+double MicroRing::tuning_power() const {
+  return std::fabs(detuning_) / params_.heater_efficiency;
+}
+
+void MicroRing::set_detuning(double delta) {
+  if (std::fabs(delta) > params_.max_detuning + 1e-15) {
+    throw std::out_of_range("detuning exceeds phase-shifter range");
+  }
+  detuning_ = delta;
+}
+
+void MicroRing::propagate_through(OpticalSignal& signal,
+                                  const WdmGrid& grid) const {
+  if (signal.num_channels() != grid.num_channels()) {
+    throw std::invalid_argument("signal does not match WDM grid");
+  }
+  for (std::size_t c = 0; c < grid.num_channels(); ++c) {
+    signal.attenuate(c, through_transmission(grid.wavelength(c)));
+  }
+}
+
+}  // namespace lightator::optics

@@ -1,0 +1,86 @@
+// Add-drop microring resonator (MR) with a Lorentzian resonance.
+//
+// The through-port transmission around a single resonance is modeled as
+//   T_thru(lambda) = 1 - (1 - T_min) / (1 + (2*(lambda - lambda_res)/FWHM)^2)
+// where T_min is the on-resonance extinction floor. The resonance is moved by
+// a thermal phase shifter; detuning costs  P = |delta_lambda| / eta  watts,
+// with eta the micro-heater efficiency (m/W). A weight w in [0, 1] is
+// imprinted by detuning so the through transmission at the ring's own channel
+// equals  T_min + w * (1 - T_min)  (w = 0 on resonance, w -> 1 far detuned).
+//
+// Because the Lorentzian has tails, a ring also slightly attenuates
+// neighboring WDM channels — this inter-channel crosstalk is captured
+// naturally when a full OpticalSignal is propagated through the ring.
+#pragma once
+
+#include "optics/optical_signal.hpp"
+#include "optics/wavelength.hpp"
+#include "util/units.hpp"
+
+namespace lightator::optics {
+
+// Defaults are chosen so the phase-shifter range (5x FWHM, realizing weights
+// up to 0.99) stays well below the 1.6 nm WDM channel pitch — a detuned ring
+// must never wander onto a neighboring channel.
+struct MicroRingParams {
+  double fwhm = 0.1 * units::kNm;          // resonance full width half max
+  double extinction = 0.05;                // T_min: through floor on resonance
+  double heater_efficiency = 0.25 * units::kNm / units::kMW;  // m per watt
+  double max_detuning = 0.5 * units::kNm;  // phase-shifter range (5x FWHM)
+  double insertion_loss_db = 0.01;         // broadband per-pass loss
+  double settle_time = 500 * units::kNs;   // thermal tuning settle time
+  /// Weight-to-transmission headroom: weight w maps to an optical
+  /// transmission swing of headroom*w, so the top quantization level stays
+  /// clear of the detuning asymptote (delta -> inf as T -> 1). The common
+  /// factor is calibrated out at the arm's BPD, costing no accuracy.
+  double weight_headroom = 0.9;
+};
+
+class MicroRing {
+ public:
+  /// A ring parked on `resonance_wavelength` (its WDM channel) at detuning 0.
+  MicroRing(MicroRingParams params, double resonance_wavelength);
+
+  /// Through-port power transmission at `wavelength`, including the current
+  /// detuning and the broadband insertion loss.
+  double through_transmission(double wavelength) const;
+
+  /// Drop-port power transmission at `wavelength` (the complement of the
+  /// Lorentzian dip, scaled by the drop efficiency 1 - T_min).
+  double drop_transmission(double wavelength) const;
+
+  /// Imprints weight w in [0, 1]: solves the Lorentzian for the detuning at
+  /// which the ring's own channel sees T_min + w*(1-T_min). Weights close to
+  /// 1 saturate at the phase-shifter range (realized weight slightly < 1);
+  /// realized_weight() reports what the hardware actually produces.
+  void set_weight(double w);
+
+  /// The weight the current detuning actually realizes at the home channel
+  /// (inverse of the calibration curve, excluding insertion loss).
+  double realized_weight() const;
+
+  /// Electrical heater power for the current detuning (watts).
+  double tuning_power() const;
+
+  /// Detuning currently applied (meters). Signed: we always tune red-shift
+  /// (positive) by convention, but the model accepts both.
+  double detuning() const { return detuning_; }
+  void set_detuning(double delta);
+
+  double resonance_wavelength() const { return base_resonance_; }
+  const MicroRingParams& params() const { return params_; }
+
+  /// Applies the ring to a full WDM signal in place (through port), so
+  /// Lorentzian-tail crosstalk onto other channels is included.
+  void propagate_through(OpticalSignal& signal, const WdmGrid& grid) const;
+
+ private:
+  double lorentzian(double wavelength) const;  // in [0,1], 1 on resonance
+
+  MicroRingParams params_;
+  double base_resonance_;  // untuned resonance (home channel wavelength)
+  double detuning_ = 0.0;  // current resonance shift
+  double loss_linear_;     // cached linear insertion loss factor
+};
+
+}  // namespace lightator::optics

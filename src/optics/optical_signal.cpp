@@ -1,0 +1,46 @@
+#include "optics/optical_signal.hpp"
+
+#include <stdexcept>
+
+namespace lightator::optics {
+
+double OpticalSignal::power(std::size_t channel) const {
+  if (channel >= power_.size()) throw std::out_of_range("channel out of range");
+  return power_[channel];
+}
+
+void OpticalSignal::set_power(std::size_t channel, double watts) {
+  if (channel >= power_.size()) throw std::out_of_range("channel out of range");
+  if (watts < 0.0) throw std::invalid_argument("optical power cannot be negative");
+  power_[channel] = watts;
+}
+
+void OpticalSignal::attenuate(std::size_t channel, double transmission) {
+  if (channel >= power_.size()) throw std::out_of_range("channel out of range");
+  if (transmission < 0.0 || transmission > 1.0 + 1e-12) {
+    throw std::invalid_argument("transmission must be in [0,1]");
+  }
+  power_[channel] *= transmission;
+}
+
+void OpticalSignal::attenuate_all(double transmission) {
+  if (transmission < 0.0 || transmission > 1.0 + 1e-12) {
+    throw std::invalid_argument("transmission must be in [0,1]");
+  }
+  for (auto& p : power_) p *= transmission;
+}
+
+double OpticalSignal::total_power() const {
+  double sum = 0.0;
+  for (double p : power_) sum += p;
+  return sum;
+}
+
+void OpticalSignal::add(const OpticalSignal& other) {
+  if (other.num_channels() != num_channels()) {
+    throw std::invalid_argument("signal channel counts differ");
+  }
+  for (std::size_t i = 0; i < power_.size(); ++i) power_[i] += other.power_[i];
+}
+
+}  // namespace lightator::optics

@@ -1,0 +1,47 @@
+// Multi-wavelength optical signal: per-channel optical power (watts).
+//
+// Non-coherent modeling: we track power, not field amplitude/phase, which is
+// the right abstraction for amplitude-imprinted WDM MAC (see paper §2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "optics/wavelength.hpp"
+
+namespace lightator::optics {
+
+class OpticalSignal {
+ public:
+  explicit OpticalSignal(std::size_t num_channels)
+      : power_(num_channels, 0.0) {}
+
+  static OpticalSignal zeros_like(const OpticalSignal& other) {
+    return OpticalSignal(other.num_channels());
+  }
+
+  std::size_t num_channels() const { return power_.size(); }
+
+  double power(std::size_t channel) const;
+  void set_power(std::size_t channel, double watts);
+
+  /// Multiplies one channel by a transmission factor in [0, 1]-ish
+  /// (factors > 1 throw: a passive device cannot amplify).
+  void attenuate(std::size_t channel, double transmission);
+
+  /// Multiplies every channel by a common factor (waveguide loss).
+  void attenuate_all(double transmission);
+
+  /// Sum of all channel powers — what a (single-ended) photodetector sees.
+  double total_power() const;
+
+  /// Adds another signal's power channel-wise (power combiner).
+  void add(const OpticalSignal& other);
+
+  const std::vector<double>& channels() const { return power_; }
+
+ private:
+  std::vector<double> power_;
+};
+
+}  // namespace lightator::optics

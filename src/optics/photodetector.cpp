@@ -1,0 +1,47 @@
+#include "optics/photodetector.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::optics {
+
+BalancedPhotodetector::BalancedPhotodetector(PhotodetectorParams params)
+    : params_(params) {
+  if (params_.responsivity <= 0) {
+    throw std::invalid_argument("responsivity must be positive");
+  }
+  if (params_.bandwidth <= 0 || params_.tia_feedback_ohms <= 0) {
+    throw std::invalid_argument("bandwidth and TIA resistance must be positive");
+  }
+}
+
+double BalancedPhotodetector::net_current(
+    const OpticalSignal& positive_rail, const OpticalSignal& negative_rail) const {
+  return params_.responsivity *
+         (positive_rail.total_power() - negative_rail.total_power());
+}
+
+double BalancedPhotodetector::noise_sigma(double total_detected_power) const {
+  const double photo_current =
+      params_.responsivity * total_detected_power + params_.dark_current;
+  // Shot noise: 2 q I B.
+  const double shot_var =
+      2.0 * units::kElectronCharge * photo_current * params_.bandwidth;
+  // TIA thermal (Johnson) noise: 4 k T B / R_f.
+  const double thermal_var = 4.0 * units::kBoltzmann * units::kRoomTemperature *
+                             params_.bandwidth / params_.tia_feedback_ohms;
+  // Laser RIN: variance = 10^(RIN/10) * I_ph^2 * B.
+  const double rin_lin = std::pow(10.0, params_.rin_db_per_hz / 10.0);
+  const double rin_var = rin_lin * photo_current * photo_current * params_.bandwidth;
+  return std::sqrt(shot_var + thermal_var + rin_var);
+}
+
+double BalancedPhotodetector::net_current_noisy(
+    const OpticalSignal& positive_rail, const OpticalSignal& negative_rail,
+    util::Rng& rng) const {
+  const double ideal = net_current(positive_rail, negative_rail);
+  const double total = positive_rail.total_power() + negative_rail.total_power();
+  return ideal + rng.normal(0.0, noise_sigma(total));
+}
+
+}  // namespace lightator::optics

@@ -1,0 +1,56 @@
+// Photodetectors: single-ended PD and the balanced pair (BPD) that closes
+// each OC arm, plus the physical noise sources (shot, thermal/TIA, RIN).
+//
+// The BPD subtracts the positive- and negative-rail photocurrents, which both
+// performs the signed accumulation of the differential weight cells and
+// cancels their common-mode extinction floor. A transimpedance stage converts
+// the net current to a voltage for the output ADC.
+#pragma once
+
+#include "optics/optical_signal.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lightator::optics {
+
+struct PhotodetectorParams {
+  double responsivity = 1.0;                  // A/W
+  double dark_current = 10e-9;                // A
+  double bandwidth = 50 * units::kGHz;        // detection bandwidth
+  double tia_feedback_ohms = 5e3;             // TIA feedback resistor
+  double static_power = 0.8 * units::kMW;     // PD bias + TIA per arm
+  double rin_db_per_hz = -140.0;              // laser relative intensity noise
+};
+
+class BalancedPhotodetector {
+ public:
+  explicit BalancedPhotodetector(PhotodetectorParams params);
+
+  /// Net photocurrent (A): R * (sum P_pos - sum P_neg), noiseless.
+  double net_current(const OpticalSignal& positive_rail,
+                     const OpticalSignal& negative_rail) const;
+
+  /// Net photocurrent with physical noise sampled from `rng`:
+  /// shot noise on the *total* detected power of each diode, thermal noise of
+  /// the TIA, and RIN proportional to received power.
+  double net_current_noisy(const OpticalSignal& positive_rail,
+                           const OpticalSignal& negative_rail,
+                           util::Rng& rng) const;
+
+  /// RMS input-referred noise current (A) for a given total detected power.
+  /// Exposed so tests can verify the sampled noise statistics.
+  double noise_sigma(double total_detected_power) const;
+
+  /// TIA output voltage for a given net current.
+  double tia_output(double net_current) const {
+    return net_current * params_.tia_feedback_ohms;
+  }
+
+  double static_power() const { return params_.static_power; }
+  const PhotodetectorParams& params() const { return params_; }
+
+ private:
+  PhotodetectorParams params_;
+};
+
+}  // namespace lightator::optics

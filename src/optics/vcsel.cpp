@@ -1,0 +1,52 @@
+#include "optics/vcsel.hpp"
+
+#include <stdexcept>
+
+namespace lightator::optics {
+
+Vcsel::Vcsel(VcselParams params, double wavelength)
+    : params_(params), wavelength_(wavelength) {
+  if (params_.levels < 1) throw std::invalid_argument("VCSEL needs >=1 level");
+  if (params_.step_current <= 0 || params_.slope_efficiency <= 0) {
+    throw std::invalid_argument("VCSEL L-I parameters must be positive");
+  }
+  if (wavelength <= 0) throw std::invalid_argument("wavelength must be positive");
+}
+
+void Vcsel::drive_thermometer(const std::vector<bool>& code) {
+  if (code.size() != static_cast<std::size_t>(params_.levels)) {
+    throw std::invalid_argument("thermometer code width mismatch");
+  }
+  code_ = util::thermometer_decode(code);
+}
+
+void Vcsel::drive_code(int code) {
+  if (code < 0 || code > params_.levels) {
+    throw std::out_of_range("VCSEL drive code out of range");
+  }
+  code_ = code;
+}
+
+double Vcsel::optical_power() const {
+  // Bias holds the device at threshold; each enabled branch adds step
+  // current entirely above threshold.
+  const double above = static_cast<double>(code_) * params_.step_current;
+  return params_.slope_efficiency * above;
+}
+
+double Vcsel::max_optical_power() const {
+  return params_.slope_efficiency * static_cast<double>(params_.levels) *
+         params_.step_current;
+}
+
+double Vcsel::electrical_power() const {
+  const double current = params_.threshold_current +
+                         static_cast<double>(code_) * params_.step_current;
+  return params_.supply_voltage * current;
+}
+
+double Vcsel::driver_symbol_energy() const {
+  return params_.driver_energy_per_symbol * static_cast<double>(params_.levels);
+}
+
+}  // namespace lightator::optics

@@ -1,0 +1,67 @@
+// Directly-modulated VCSEL and its 16-transistor thermometer driver.
+//
+// The driver (paper Fig. 4(c)) receives a 15-bit thermometer code — either
+// straight from the CRC comparators (first layer) or from a binary 4-bit
+// value converted by the selector (subsequent layers) — and switches that
+// many identical current branches onto the VCSEL, on top of a bias branch
+// holding the device at threshold. Light output follows the L-I curve
+//   P_opt = slope_efficiency * max(I - I_threshold, 0),
+// so the emitted intensity is proportional to the thermometer count: the
+// activation is imprinted on the light with zero DACs.
+#pragma once
+
+#include <vector>
+
+#include "util/quant.hpp"
+#include "util/units.hpp"
+
+namespace lightator::optics {
+
+struct VcselParams {
+  double threshold_current = 0.5 * units::kMA;   // I_th
+  double slope_efficiency = 0.3;                 // W per A above threshold
+  double step_current = 0.1 * units::kMA;        // per driving transistor
+  double supply_voltage = 1.8;                   // driver rail
+  double driver_energy_per_symbol = 5.0 * units::kFJ;  // gate switching
+  int levels = 15;                               // driving transistors
+  double bandwidth = 50 * units::kGHz;           // direct-modulation limit
+};
+
+class Vcsel {
+ public:
+  Vcsel(VcselParams params, double wavelength);
+
+  /// Drives the laser with a thermometer code (vector of `levels` bools).
+  /// Throws on a bubbled (non-monotone) code.
+  void drive_thermometer(const std::vector<bool>& code);
+
+  /// Drives the laser with a binary activation code in [0, levels]
+  /// (the selector's binary-to-thermometer path).
+  void drive_code(int code);
+
+  /// Current activation code (0..levels).
+  int code() const { return code_; }
+
+  /// Emitted optical power (watts) for the current code.
+  double optical_power() const;
+
+  /// Peak optical power (code == levels); arms normalize MAC results by it.
+  double max_optical_power() const;
+
+  /// Electrical power drawn from the supply at the current code, including
+  /// the bias branch (watts). This is the DMVA's VCSEL share.
+  double electrical_power() const;
+
+  /// Driver dynamic energy for one symbol update (joules).
+  double driver_symbol_energy() const;
+
+  double wavelength() const { return wavelength_; }
+  const VcselParams& params() const { return params_; }
+
+ private:
+  VcselParams params_;
+  double wavelength_;
+  int code_ = 0;
+};
+
+}  // namespace lightator::optics

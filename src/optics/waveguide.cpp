@@ -1,0 +1,29 @@
+#include "optics/waveguide.hpp"
+
+#include <stdexcept>
+
+namespace lightator::optics {
+
+Waveguide::Waveguide(WaveguideParams params, double length_m, int num_couplers)
+    : params_(params), length_m_(length_m), num_couplers_(num_couplers) {
+  if (length_m < 0 || num_couplers < 0) {
+    throw std::invalid_argument("waveguide length/couplers must be non-negative");
+  }
+}
+
+double Waveguide::total_loss_db() const {
+  const double cm = length_m_ * 100.0;
+  return params_.laser_to_chip_loss_db +
+         params_.propagation_loss_db_per_cm * cm +
+         params_.coupler_loss_db * static_cast<double>(num_couplers_);
+}
+
+double Waveguide::transmission() const {
+  return units::db_loss_to_linear(total_loss_db());
+}
+
+void Waveguide::propagate(OpticalSignal& signal) const {
+  signal.attenuate_all(transmission());
+}
+
+}  // namespace lightator::optics

@@ -1,0 +1,40 @@
+// Passive waveguide and coupling loss bookkeeping.
+//
+// Losses enter the arm model as a single end-to-end linear factor; they do
+// not change the computed dot product (the arm calibrates them out) but they
+// reduce the detected power and therefore the SNR at the BPD.
+#pragma once
+
+#include "optics/optical_signal.hpp"
+#include "util/units.hpp"
+
+namespace lightator::optics {
+
+struct WaveguideParams {
+  double propagation_loss_db_per_cm = 1.5;  // silicon strip waveguide
+  double coupler_loss_db = 0.1;             // per splitter/combiner
+  double laser_to_chip_loss_db = 1.0;       // VCSEL-to-waveguide coupling
+};
+
+class Waveguide {
+ public:
+  Waveguide(WaveguideParams params, double length_m, int num_couplers);
+
+  /// Total end-to-end loss in dB.
+  double total_loss_db() const;
+
+  /// Linear transmission factor (<= 1).
+  double transmission() const;
+
+  /// Applies the loss to all channels of a signal.
+  void propagate(OpticalSignal& signal) const;
+
+  double length() const { return length_m_; }
+
+ private:
+  WaveguideParams params_;
+  double length_m_;
+  int num_couplers_;
+};
+
+}  // namespace lightator::optics

@@ -1,0 +1,56 @@
+// WDM wavelength grid shared by VCSELs, microrings, and photodetectors.
+//
+// Lightator is a non-coherent architecture: each activation occupies its own
+// wavelength channel, and an MR interacts (mostly) with the channel whose
+// wavelength matches its resonance. The grid is the single source of truth
+// for channel-index -> wavelength mapping.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace lightator::optics {
+
+class WdmGrid {
+ public:
+  /// `base_wavelength` is channel 0 (meters), `spacing` the channel pitch.
+  WdmGrid(std::size_t num_channels, double base_wavelength, double spacing)
+      : num_channels_(num_channels),
+        base_wavelength_(base_wavelength),
+        spacing_(spacing) {
+    if (num_channels == 0) throw std::invalid_argument("WDM grid needs >=1 channel");
+    if (base_wavelength <= 0 || spacing <= 0) {
+      throw std::invalid_argument("WDM grid needs positive wavelength/spacing");
+    }
+  }
+
+  /// C-band grid with 1.6 nm (~200 GHz) pitch starting at 1550 nm — the
+  /// default 9-channel grid matching one OC arm. The pitch is 16x the default
+  /// MR FWHM so Lorentzian-tail crosstalk stays below ~0.5%.
+  static WdmGrid c_band(std::size_t num_channels = 9) {
+    return WdmGrid(num_channels, 1550.0 * units::kNm, 1.6 * units::kNm);
+  }
+
+  std::size_t num_channels() const { return num_channels_; }
+  double spacing() const { return spacing_; }
+
+  double wavelength(std::size_t channel) const {
+    if (channel >= num_channels_) throw std::out_of_range("WDM channel out of range");
+    return base_wavelength_ + spacing_ * static_cast<double>(channel);
+  }
+
+  bool operator==(const WdmGrid& other) const {
+    return num_channels_ == other.num_channels_ &&
+           base_wavelength_ == other.base_wavelength_ &&
+           spacing_ == other.spacing_;
+  }
+
+ private:
+  std::size_t num_channels_;
+  double base_wavelength_;
+  double spacing_;
+};
+
+}  // namespace lightator::optics

@@ -1,0 +1,50 @@
+#include "optics/weight_cell.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::optics {
+
+WeightCell::WeightCell(MicroRingParams params, double channel_wavelength,
+                       int weight_bits)
+    : quantizer_{weight_bits, 1.0},
+      pos_(params, channel_wavelength),
+      neg_(params, channel_wavelength) {
+  if (weight_bits < 1 || weight_bits > 8) {
+    throw std::invalid_argument("weight bits must be in [1,8]");
+  }
+  set_weight(0.0);
+}
+
+void WeightCell::set_weight(double w) {
+  if (w < -1.0 || w > 1.0) {
+    throw std::invalid_argument("weight must be in [-1,1]");
+  }
+  level_ = quantizer_.quantize(w);
+  const double magnitude = std::fabs(quantizer_.dequantize(level_));
+  if (level_ >= 0) {
+    pos_.set_weight(magnitude);
+    neg_.set_weight(0.0);
+  } else {
+    pos_.set_weight(0.0);
+    neg_.set_weight(magnitude);
+  }
+}
+
+double WeightCell::realized_weight() const {
+  return level_ >= 0 ? pos_.realized_weight() : -neg_.realized_weight();
+}
+
+double WeightCell::tuning_power() const {
+  return pos_.tuning_power() + neg_.tuning_power();
+}
+
+double WeightCell::differential_transmission(double wavelength) const {
+  const double t_pos = pos_.through_transmission(wavelength);
+  const double t_neg = neg_.through_transmission(wavelength);
+  const double norm =
+      (1.0 - pos_.params().extinction) * pos_.params().weight_headroom;
+  return (t_pos - t_neg) / norm;
+}
+
+}  // namespace lightator::optics

@@ -1,0 +1,57 @@
+// Differential MR weight cell: one signed, quantized DNN weight.
+//
+// A signed weight w in [-1, 1] is realized as a pair of rings on a positive
+// and a negative rail: w >= 0 programs |w| on the positive-rail ring and 0 on
+// the negative-rail ring (and vice versa). The balanced photodetector at the
+// end of the arm subtracts the two rails, which cancels the extinction floor
+// exactly:  a * (T+ - T-) = a * (1 - T_min) * w.
+//
+// Weights are quantized to `bits` signed levels before being imprinted —
+// this is the [W:A] weight axis of the paper. The cell also reports the DAC
+// code driving its phase shifter and the heater power, which feed the power
+// model (TUN + DAC components).
+#pragma once
+
+#include "optics/microring.hpp"
+#include "util/quant.hpp"
+
+namespace lightator::optics {
+
+class WeightCell {
+ public:
+  /// Both rings park on the same WDM channel wavelength.
+  WeightCell(MicroRingParams params, double channel_wavelength, int weight_bits);
+
+  /// Quantizes `w` in [-1, 1] to the cell's levels and programs the rings.
+  void set_weight(double w);
+
+  /// The signed level currently programmed (in [-max_level, +max_level]).
+  int level() const { return level_; }
+  int weight_bits() const { return quantizer_.bits; }
+
+  /// The ideal (quantized) weight value the cell is supposed to realize.
+  double nominal_weight() const { return quantizer_.dequantize(level_); }
+
+  /// The weight the analog rings actually realize (includes the
+  /// finite-detuning saturation near |w| = 1).
+  double realized_weight() const;
+
+  /// Combined heater power of both rings (watts) — the TUN component.
+  double tuning_power() const;
+
+  /// Differential transmission this cell applies to its own channel:
+  /// T+(lambda) - T-(lambda), normalized by (1 - T_min) so an input
+  /// activation a yields a * realized_weight() at the BPD.
+  double differential_transmission(double wavelength) const;
+
+  const MicroRing& positive_ring() const { return pos_; }
+  const MicroRing& negative_ring() const { return neg_; }
+
+ private:
+  util::SymmetricQuantizer quantizer_;
+  MicroRing pos_;
+  MicroRing neg_;
+  int level_ = 0;
+};
+
+}  // namespace lightator::optics

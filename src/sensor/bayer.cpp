@@ -1,0 +1,77 @@
+#include "sensor/bayer.hpp"
+
+#include <stdexcept>
+
+namespace lightator::sensor {
+
+BayerChannel bayer_channel_at(std::size_t y, std::size_t x) {
+  const bool even_row = (y % 2) == 0;
+  const bool even_col = (x % 2) == 0;
+  if (even_row && even_col) return BayerChannel::kRed;
+  if (!even_row && !even_col) return BayerChannel::kBlue;
+  return BayerChannel::kGreen;
+}
+
+Image bayer_mosaic(const Image& rgb) {
+  if (rgb.channels() != 3) {
+    throw std::invalid_argument("bayer_mosaic expects an RGB image");
+  }
+  Image raw(rgb.height(), rgb.width(), 1);
+  for (std::size_t y = 0; y < rgb.height(); ++y) {
+    for (std::size_t x = 0; x < rgb.width(); ++x) {
+      const auto c = static_cast<std::size_t>(bayer_channel_at(y, x));
+      raw.at(y, x) = rgb.at(y, x, c);
+    }
+  }
+  return raw;
+}
+
+namespace {
+
+/// Averages the raw values at the 4-neighborhood offsets that land in-bounds
+/// and whose Bayer site matches `want`.
+float neighborhood_average(const Image& raw, std::size_t y, std::size_t x,
+                           BayerChannel want) {
+  static constexpr int kOffsets[8][2] = {{-1, -1}, {-1, 0}, {-1, 1}, {0, -1},
+                                         {0, 1},   {1, -1}, {1, 0},  {1, 1}};
+  float acc = 0.0f;
+  int count = 0;
+  for (const auto& off : kOffsets) {
+    const long yy = static_cast<long>(y) + off[0];
+    const long xx = static_cast<long>(x) + off[1];
+    if (yy < 0 || xx < 0 || yy >= static_cast<long>(raw.height()) ||
+        xx >= static_cast<long>(raw.width())) {
+      continue;
+    }
+    const auto uy = static_cast<std::size_t>(yy);
+    const auto ux = static_cast<std::size_t>(xx);
+    if (bayer_channel_at(uy, ux) == want) {
+      acc += raw.at(uy, ux);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0f : acc / static_cast<float>(count);
+}
+
+}  // namespace
+
+Image bayer_demosaic(const Image& raw) {
+  if (raw.channels() != 1) {
+    throw std::invalid_argument("bayer_demosaic expects a raw single-channel image");
+  }
+  Image rgb(raw.height(), raw.width(), 3);
+  for (std::size_t y = 0; y < raw.height(); ++y) {
+    for (std::size_t x = 0; x < raw.width(); ++x) {
+      const BayerChannel own = bayer_channel_at(y, x);
+      for (std::size_t c = 0; c < 3; ++c) {
+        const auto want = static_cast<BayerChannel>(c);
+        rgb.at(y, x, c) = (want == own)
+                              ? raw.at(y, x)
+                              : neighborhood_average(raw, y, x, want);
+      }
+    }
+  }
+  return rgb;
+}
+
+}  // namespace lightator::sensor

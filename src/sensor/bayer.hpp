@@ -1,0 +1,28 @@
+// Bayer color filter array (RGGB) mosaic and reference demosaic.
+//
+// The Lightator imager is a single-photodiode-per-site array behind an RGGB
+// filter (paper Fig. 2); the CA banks consume the mosaiced values directly
+// (Eq. 1 folds the grayscale coefficients per Bayer site), while demosaic is
+// provided as a reference path for full-RGB workloads.
+#pragma once
+
+#include <cstddef>
+
+#include "sensor/image.hpp"
+
+namespace lightator::sensor {
+
+enum class BayerChannel { kRed = 0, kGreen = 1, kBlue = 2 };
+
+/// RGGB pattern: (even,even)=R, (even,odd)=G, (odd,even)=G, (odd,odd)=B.
+BayerChannel bayer_channel_at(std::size_t y, std::size_t x);
+
+/// Samples an RGB scene through the RGGB filter: out(y,x) = scene value of
+/// the site's filter color. Output is single-channel.
+Image bayer_mosaic(const Image& rgb);
+
+/// Bilinear demosaic of an RGGB raw frame back to RGB (reference quality,
+/// used by examples/tests, not on the accelerator datapath).
+Image bayer_demosaic(const Image& raw);
+
+}  // namespace lightator::sensor

@@ -1,0 +1,58 @@
+#include "sensor/crc.hpp"
+
+#include <stdexcept>
+
+namespace lightator::sensor {
+
+Crc::Crc(CrcParams params, const Photodiode& diode)
+    : params_(params),
+      v_min_(diode.min_voltage()),
+      v_max_(diode.max_voltage()) {
+  if (params_.num_comparators < 1) {
+    throw std::invalid_argument("CRC needs >=1 comparator");
+  }
+  if (params_.comparator_offset_sigma < 0) {
+    throw std::invalid_argument("comparator offset sigma must be >=0");
+  }
+}
+
+double Crc::reference(int i) const {
+  if (i < 0 || i >= params_.num_comparators) {
+    throw std::out_of_range("comparator index out of range");
+  }
+  const double swing = v_max_ - v_min_;
+  return v_min_ + swing * static_cast<double>(i + 1) /
+                      static_cast<double>(params_.num_comparators + 1);
+}
+
+std::vector<bool> Crc::read_thermometer(double v_pd, util::Rng* rng) const {
+  std::vector<bool> code(static_cast<std::size_t>(params_.num_comparators));
+  for (int i = 0; i < params_.num_comparators; ++i) {
+    double threshold = reference(i);
+    if (rng != nullptr && params_.comparator_offset_sigma > 0) {
+      threshold += rng->normal(0.0, params_.comparator_offset_sigma);
+    }
+    code[static_cast<std::size_t>(i)] = v_pd > threshold;
+  }
+  // Offset noise could in principle produce a bubble if thresholds cross;
+  // the physical chain is monotone, so repair by majority from the top.
+  for (int i = params_.num_comparators - 1; i > 0; --i) {
+    if (code[static_cast<std::size_t>(i)]) {
+      code[static_cast<std::size_t>(i - 1)] = true;
+    }
+  }
+  return code;
+}
+
+int Crc::read_code(double v_pd, util::Rng* rng) const {
+  const auto code = read_thermometer(v_pd, rng);
+  int n = 0;
+  for (bool b : code) n += b ? 1 : 0;
+  return n;
+}
+
+double Crc::conversion_energy() const {
+  return params_.comparator_energy * static_cast<double>(params_.num_comparators);
+}
+
+}  // namespace lightator::sensor

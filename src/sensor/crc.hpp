@@ -1,0 +1,53 @@
+// Comparator-based pixel Reading Circuit (CRC) — the paper's ADC
+// replacement (Fig. 4(a)).
+//
+// Fifteen clocked comparators compare the pixel photovoltage V_PD against
+// references evenly spanning the pixel swing; the outputs form a 15-bit
+// thermometer code whose population count is the 4-bit pixel value. The
+// thermometer code directly gates the VCSEL driver's transistors — no binary
+// encode/decode, no DAC, no ADC.
+#pragma once
+
+#include <vector>
+
+#include "sensor/photodiode.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace lightator::sensor {
+
+struct CrcParams {
+  int num_comparators = 15;                    // 4-bit thermometer
+  double comparator_offset_sigma = 0.0;        // V, random offset per decision
+  double comparator_energy = 12.0 * units::kFJ;  // per comparator decision
+  double static_power = 0.0;                   // clocked, no static draw
+};
+
+class Crc {
+ public:
+  /// References span (min_voltage, max_voltage) of the photodiode evenly:
+  /// ref_i = min + (i+1) * swing / (num_comparators + 1).
+  Crc(CrcParams params, const Photodiode& diode);
+
+  /// Thermometer readout of a photovoltage. With offset noise the code can
+  /// bubble; the hardware's monotone comparator chain cannot, so we model the
+  /// offset on the *threshold* (still yields a monotone code).
+  std::vector<bool> read_thermometer(double v_pd, util::Rng* rng = nullptr) const;
+
+  /// Population count of the thermometer readout: the 4-bit code (0..15).
+  int read_code(double v_pd, util::Rng* rng = nullptr) const;
+
+  /// Energy of one full conversion (all comparators fire once).
+  double conversion_energy() const;
+
+  int num_comparators() const { return params_.num_comparators; }
+  double reference(int i) const;
+  const CrcParams& params() const { return params_; }
+
+ private:
+  CrcParams params_;
+  double v_min_;
+  double v_max_;
+};
+
+}  // namespace lightator::sensor

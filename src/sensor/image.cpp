@@ -1,0 +1,77 @@
+#include "sensor/image.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lightator::sensor {
+
+Image::Image(std::size_t height, std::size_t width, std::size_t channels,
+             float fill)
+    : height_(height), width_(width), channels_(channels),
+      data_(height * width * channels, fill) {
+  if (height == 0 || width == 0 || (channels != 1 && channels != 3)) {
+    throw std::invalid_argument("image must be non-empty with 1 or 3 channels");
+  }
+}
+
+std::size_t Image::index(std::size_t y, std::size_t x, std::size_t c) const {
+  if (y >= height_ || x >= width_ || c >= channels_) {
+    throw std::out_of_range("image index out of range");
+  }
+  return (y * width_ + x) * channels_ + c;
+}
+
+float& Image::at(std::size_t y, std::size_t x, std::size_t c) {
+  return data_[index(y, x, c)];
+}
+
+float Image::at(std::size_t y, std::size_t x, std::size_t c) const {
+  return data_[index(y, x, c)];
+}
+
+void Image::clamp() {
+  for (auto& v : data_) v = std::clamp(v, 0.0f, 1.0f);
+}
+
+float Image::mean() const {
+  if (data_.empty()) return 0.0f;
+  double sum = 0.0;
+  for (float v : data_) sum += v;
+  return static_cast<float>(sum / static_cast<double>(data_.size()));
+}
+
+Image Image::to_grayscale() const {
+  if (channels_ == 1) return *this;
+  Image out(height_, width_, 1);
+  for (std::size_t y = 0; y < height_; ++y) {
+    for (std::size_t x = 0; x < width_; ++x) {
+      out.at(y, x) = kGrayR * at(y, x, 0) + kGrayG * at(y, x, 1) +
+                     kGrayB * at(y, x, 2);
+    }
+  }
+  return out;
+}
+
+Image Image::average_pool(std::size_t factor) const {
+  if (factor == 0 || height_ % factor != 0 || width_ % factor != 0) {
+    throw std::invalid_argument("pooling factor must divide image dims");
+  }
+  Image out(height_ / factor, width_ / factor, channels_);
+  const float norm = 1.0f / static_cast<float>(factor * factor);
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      for (std::size_t c = 0; c < channels_; ++c) {
+        float acc = 0.0f;
+        for (std::size_t dy = 0; dy < factor; ++dy) {
+          for (std::size_t dx = 0; dx < factor; ++dx) {
+            acc += at(y * factor + dy, x * factor + dx, c);
+          }
+        }
+        out.at(y, x, c) = acc * norm;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lightator::sensor

@@ -1,0 +1,59 @@
+// Scene / frame container: H x W x C float image with values in [0, 1].
+//
+// Channel 0..2 = R, G, B for color images; C == 1 for grayscale. This is the
+// interchange type between the synthetic-scene generators (lt_workloads),
+// the imager model (lt_sensor), and the compressive acquisitor (lt_core).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lightator::sensor {
+
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t height, std::size_t width, std::size_t channels,
+        float fill = 0.0f);
+
+  std::size_t height() const { return height_; }
+  std::size_t width() const { return width_; }
+  std::size_t channels() const { return channels_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t y, std::size_t x, std::size_t c = 0);
+  float at(std::size_t y, std::size_t x, std::size_t c = 0) const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// Clamps every value to [0, 1].
+  void clamp();
+
+  /// Mean pixel value across all channels.
+  float mean() const;
+
+  /// Luma (ITU-R BT.601) grayscale conversion — the same coefficients the
+  /// CA banks implement optically (0.299 R + 0.587 G + 0.114 B).
+  Image to_grayscale() const;
+
+  /// Plain (electronic, reference) 2D average pooling by `factor` on each
+  /// channel. Height/width must be divisible by factor.
+  Image average_pool(std::size_t factor) const;
+
+ private:
+  std::size_t index(std::size_t y, std::size_t x, std::size_t c) const;
+
+  std::size_t height_ = 0;
+  std::size_t width_ = 0;
+  std::size_t channels_ = 0;
+  std::vector<float> data_;
+};
+
+/// Grayscale coefficients used by both Image::to_grayscale and the CA.
+inline constexpr float kGrayR = 0.299f;
+inline constexpr float kGrayG = 0.587f;
+inline constexpr float kGrayB = 0.114f;
+
+}  // namespace lightator::sensor

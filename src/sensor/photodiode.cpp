@@ -1,0 +1,34 @@
+#include "sensor/photodiode.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lightator::sensor {
+
+Photodiode::Photodiode(PhotodiodeParams params) : params_(params) {
+  if (params_.swing <= 0 || params_.full_well_electrons <= 0) {
+    throw std::invalid_argument("photodiode swing/full-well must be positive");
+  }
+  if (params_.read_noise_electrons < 0 || params_.dark_current_fraction < 0) {
+    throw std::invalid_argument("photodiode noise terms must be non-negative");
+  }
+}
+
+double Photodiode::expose(double brightness) const {
+  const double b = std::clamp(brightness, 0.0, 1.0);
+  return params_.dark_voltage + params_.swing * b;
+}
+
+double Photodiode::expose_noisy(double brightness, util::Rng& rng) const {
+  const double b = std::clamp(brightness, 0.0, 1.0);
+  const double mean_electrons =
+      (b + params_.dark_current_fraction) * params_.full_well_electrons;
+  const double shot = static_cast<double>(rng.poisson(mean_electrons));
+  const double read = rng.normal(0.0, params_.read_noise_electrons);
+  const double electrons = std::max(0.0, shot + read);
+  const double fraction =
+      std::min(1.0, electrons / params_.full_well_electrons);
+  return params_.dark_voltage + params_.swing * fraction;
+}
+
+}  // namespace lightator::sensor

@@ -1,0 +1,40 @@
+// Pixel photodiode model: normalized scene brightness -> photovoltage V_PD.
+//
+// The photodiode integrates photocurrent over the (global-shutter) exposure;
+// we model the resulting photovoltage as rising linearly with brightness
+// across the pixel swing, as in paper Fig. 4(d), with optional shot/read
+// noise. The CRC quantizes this voltage with its comparator bank.
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace lightator::sensor {
+
+struct PhotodiodeParams {
+  double dark_voltage = 0.2;        // V_PD at zero light
+  double swing = 1.0;               // full-scale photovoltage swing (V)
+  double full_well_electrons = 8000.0;  // sets shot-noise magnitude
+  double read_noise_electrons = 6.0;    // RMS read noise
+  double dark_current_fraction = 0.002; // dark signal as fraction of swing
+};
+
+class Photodiode {
+ public:
+  explicit Photodiode(PhotodiodeParams params);
+
+  /// Noiseless transfer: brightness in [0,1] -> V_PD (volts).
+  double expose(double brightness) const;
+
+  /// With photon shot noise (Poisson in the electron domain), dark signal,
+  /// and Gaussian read noise. Output clamped to the valid voltage range.
+  double expose_noisy(double brightness, util::Rng& rng) const;
+
+  double min_voltage() const { return params_.dark_voltage; }
+  double max_voltage() const { return params_.dark_voltage + params_.swing; }
+  const PhotodiodeParams& params() const { return params_; }
+
+ private:
+  PhotodiodeParams params_;
+};
+
+}  // namespace lightator::sensor

@@ -1,0 +1,60 @@
+#include "sensor/pixel_array.hpp"
+
+#include <stdexcept>
+
+namespace lightator::sensor {
+
+PixelArray::PixelArray(PixelArrayParams params)
+    : params_(params),
+      diode_(params.diode),
+      crc_(params.crc, diode_),
+      voltages_(params.rows * params.cols, diode_.min_voltage()) {
+  if (params_.rows == 0 || params_.cols == 0) {
+    throw std::invalid_argument("pixel array must be non-empty");
+  }
+}
+
+void PixelArray::capture(const Image& scene, util::Rng* rng) {
+  if (scene.channels() != 3 || scene.height() != params_.rows ||
+      scene.width() != params_.cols) {
+    throw std::invalid_argument("scene must be RGB and match the array size");
+  }
+  const Image raw = bayer_mosaic(scene);
+  for (std::size_t y = 0; y < params_.rows; ++y) {
+    for (std::size_t x = 0; x < params_.cols; ++x) {
+      const double b = raw.at(y, x);
+      voltages_[y * params_.cols + x] =
+          rng == nullptr ? diode_.expose(b) : diode_.expose_noisy(b, *rng);
+    }
+  }
+}
+
+CodeFrame PixelArray::read_codes(util::Rng* rng) const {
+  CodeFrame frame;
+  frame.rows = params_.rows;
+  frame.cols = params_.cols;
+  frame.codes.resize(voltages_.size());
+  for (std::size_t i = 0; i < voltages_.size(); ++i) {
+    frame.codes[i] = static_cast<std::uint8_t>(crc_.read_code(voltages_[i], rng));
+  }
+  return frame;
+}
+
+double PixelArray::voltage(std::size_t y, std::size_t x) const {
+  if (y >= params_.rows || x >= params_.cols) {
+    throw std::out_of_range("pixel index out of range");
+  }
+  return voltages_[y * params_.cols + x];
+}
+
+double PixelArray::readout_energy_per_frame() const {
+  return crc_.conversion_energy() *
+         static_cast<double>(params_.rows * params_.cols);
+}
+
+double PixelArray::static_power() const {
+  return params_.pixel_static_power *
+         static_cast<double>(params_.rows * params_.cols);
+}
+
+}  // namespace lightator::sensor

@@ -1,0 +1,72 @@
+// Global-shutter RGGB pixel array with CRC readout — the ADC-less imager.
+//
+// capture() exposes every photodiode simultaneously (global shutter) to the
+// Bayer-mosaiced scene, then read_codes() runs the per-column CRC bank to
+// produce the 4-bit code map that feeds the DMVA. Energy accounting for the
+// exposure + readout of one frame is reported for the power model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sensor/bayer.hpp"
+#include "sensor/crc.hpp"
+#include "sensor/image.hpp"
+#include "sensor/photodiode.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::sensor {
+
+struct PixelArrayParams {
+  std::size_t rows = 256;
+  std::size_t cols = 256;
+  PhotodiodeParams diode;
+  CrcParams crc;
+  double pixel_static_power = 5e-9;   // W per pixel (bias, follower)
+  double exposure_time = 100e-6;      // global-shutter integration time
+};
+
+/// A frame of 4-bit pixel codes (row-major), the DMVA's first-layer input.
+struct CodeFrame {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<std::uint8_t> codes;  // each 0..15
+
+  std::uint8_t at(std::size_t y, std::size_t x) const {
+    return codes.at(y * cols + x);
+  }
+};
+
+class PixelArray {
+ public:
+  explicit PixelArray(PixelArrayParams params);
+
+  /// Global-shutter capture of an RGB scene (must match the array size).
+  /// Stores the per-pixel photovoltages. Pass an Rng to include photon and
+  /// read noise.
+  void capture(const Image& scene, util::Rng* rng = nullptr);
+
+  /// CRC readout of the captured frame into 4-bit codes. Pass an Rng to
+  /// include comparator offset noise.
+  CodeFrame read_codes(util::Rng* rng = nullptr) const;
+
+  /// Photovoltage of one captured pixel (for tests and waveform dumps).
+  double voltage(std::size_t y, std::size_t x) const;
+
+  /// Energy of one full-frame CRC readout (J).
+  double readout_energy_per_frame() const;
+
+  /// Static power of the array (W).
+  double static_power() const;
+
+  const PixelArrayParams& params() const { return params_; }
+  const Crc& crc() const { return crc_; }
+
+ private:
+  PixelArrayParams params_;
+  Photodiode diode_;
+  Crc crc_;
+  std::vector<double> voltages_;  // row-major, set by capture()
+};
+
+}  // namespace lightator::sensor

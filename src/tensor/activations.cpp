@@ -1,0 +1,121 @@
+#include "tensor/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::tensor {
+
+const char* act_name(ActKind kind) {
+  switch (kind) {
+    case ActKind::kReLU: return "relu";
+    case ActKind::kSign: return "sign";
+    case ActKind::kTanh: return "tanh";
+    case ActKind::kIdentity: return "identity";
+  }
+  return "?";
+}
+
+Tensor act_forward(const Tensor& x, ActKind kind) {
+  Tensor y = x;
+  switch (kind) {
+    case ActKind::kReLU:
+      for (std::size_t i = 0; i < y.size(); ++i) {
+        if (y[i] < 0.0f) y[i] = 0.0f;
+      }
+      break;
+    case ActKind::kSign:
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] = y[i] >= 0.0f ? 1.0f : -1.0f;
+      break;
+    case ActKind::kTanh:
+      for (std::size_t i = 0; i < y.size(); ++i) y[i] = std::tanh(y[i]);
+      break;
+    case ActKind::kIdentity:
+      break;
+  }
+  return y;
+}
+
+Tensor act_backward(const Tensor& dy, const Tensor& x, ActKind kind) {
+  if (dy.size() != x.size()) throw std::invalid_argument("act backward size mismatch");
+  Tensor dx = dy;
+  switch (kind) {
+    case ActKind::kReLU:
+      for (std::size_t i = 0; i < dx.size(); ++i) {
+        if (x[i] <= 0.0f) dx[i] = 0.0f;
+      }
+      break;
+    case ActKind::kSign:
+      // Straight-through estimator with the usual |x| <= 1 clip.
+      for (std::size_t i = 0; i < dx.size(); ++i) {
+        if (std::fabs(x[i]) > 1.0f) dx[i] = 0.0f;
+      }
+      break;
+    case ActKind::kTanh:
+      for (std::size_t i = 0; i < dx.size(); ++i) {
+        const float t = std::tanh(x[i]);
+        dx[i] *= 1.0f - t * t;
+      }
+      break;
+    case ActKind::kIdentity:
+      break;
+  }
+  return dx;
+}
+
+Tensor softmax(const Tensor& logits) {
+  if (logits.rank() != 2) throw std::invalid_argument("softmax expects [N,C]");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (std::size_t i = 0; i < n; ++i) {
+    float maxv = logits.at(i, 0);
+    for (std::size_t j = 1; j < c; ++j) maxv = std::max(maxv, logits.at(i, j));
+    double denom = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      const double e = std::exp(static_cast<double>(logits.at(i, j) - maxv));
+      out.at(i, j) = static_cast<float>(e);
+      denom += e;
+    }
+    for (std::size_t j = 0; j < c; ++j) {
+      out.at(i, j) = static_cast<float>(out.at(i, j) / denom);
+    }
+  }
+  return out;
+}
+
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<std::size_t>& labels,
+                             Tensor* dlogits) {
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  if (labels.size() != n) throw std::invalid_argument("label count mismatch");
+  const Tensor probs = softmax(logits);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (labels[i] >= c) throw std::out_of_range("label out of range");
+    loss -= std::log(std::max(1e-12, static_cast<double>(probs.at(i, labels[i]))));
+  }
+  loss /= static_cast<double>(n);
+  if (dlogits != nullptr) {
+    *dlogits = probs;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dlogits->at(i, labels[i]) -= 1.0f;
+      for (std::size_t j = 0; j < c; ++j) dlogits->at(i, j) *= inv_n;
+    }
+  }
+  return loss;
+}
+
+std::vector<std::size_t> predict(const Tensor& logits) {
+  if (logits.rank() != 2) throw std::invalid_argument("predict expects [N,C]");
+  std::vector<std::size_t> out(logits.dim(0));
+  for (std::size_t i = 0; i < logits.dim(0); ++i) {
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.dim(1); ++j) {
+      if (logits.at(i, j) > logits.at(i, best)) best = j;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace lightator::tensor

@@ -1,0 +1,32 @@
+// Activation functions (the three Lightator's electronic block supports:
+// ReLU, Sign, Tanh) and the softmax cross-entropy training head.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace lightator::tensor {
+
+enum class ActKind { kReLU, kSign, kTanh, kIdentity };
+
+const char* act_name(ActKind kind);
+
+Tensor act_forward(const Tensor& x, ActKind kind);
+
+/// dL/dx given dL/dy and the *input* x. Sign uses the straight-through
+/// estimator (gradient passes where |x| <= 1), the standard trick for
+/// training binarized networks like the ROBIN/LightBulb baselines.
+Tensor act_backward(const Tensor& dy, const Tensor& x, ActKind kind);
+
+/// Row-wise softmax of logits [N, classes].
+Tensor softmax(const Tensor& logits);
+
+/// Mean cross-entropy loss over the batch; also returns dL/dlogits in
+/// `dlogits` if non-null. Labels are class indices.
+double softmax_cross_entropy(const Tensor& logits,
+                             const std::vector<std::size_t>& labels,
+                             Tensor* dlogits);
+
+/// argmax per row of logits [N, classes].
+std::vector<std::size_t> predict(const Tensor& logits);
+
+}  // namespace lightator::tensor

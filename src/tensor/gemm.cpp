@@ -1,0 +1,62 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lightator::tensor {
+
+namespace {
+// Cache-blocking tile sizes: small enough that an A-tile plus a B-panel fit
+// in L1/L2 on any modern core; the inner loop is an (i,k,j) SAXPY ordering
+// that vectorizes well without intrinsics.
+constexpr std::size_t kBlockM = 64;
+constexpr std::size_t kBlockK = 128;
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc) {
+  auto a_at = [&](std::size_t i, std::size_t kk) {
+    return trans_a ? a[kk * lda + i] : a[i * lda + kk];
+  };
+  // Scale C by beta first.
+  for (std::size_t i = 0; i < m; ++i) {
+    float* row = c + i * ldc;
+    if (beta == 0.0f) {
+      std::fill(row, row + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+  // If B is transposed, materialize the contiguous row-major panel once:
+  // the inner j-loop then always streams B rows.
+  std::vector<float> b_buf;
+  const float* b_eff = b;
+  std::size_t ldb_eff = ldb;
+  if (trans_b) {
+    b_buf.resize(k * n);
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      for (std::size_t j = 0; j < n; ++j) b_buf[kk * n + j] = b[j * ldb + kk];
+    }
+    b_eff = b_buf.data();
+    ldb_eff = n;
+  }
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlockM) {
+    const std::size_t i1 = std::min(i0 + kBlockM, m);
+    for (std::size_t k0 = 0; k0 < k; k0 += kBlockK) {
+      const std::size_t k1 = std::min(k0 + kBlockK, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        float* c_row = c + i * ldc;
+        for (std::size_t kk = k0; kk < k1; ++kk) {
+          const float aik = alpha * a_at(i, kk);
+          if (aik == 0.0f) continue;
+          const float* b_row = b_eff + kk * ldb_eff;
+          for (std::size_t j = 0; j < n; ++j) c_row[j] += aik * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lightator::tensor

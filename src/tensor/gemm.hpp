@@ -1,0 +1,17 @@
+// Single-threaded blocked SGEMM: C = alpha * op(A) * op(B) + beta * C.
+//
+// Row-major matrices with explicit leading dimensions. This is the compute
+// kernel under conv2d (im2col) and the fully-connected layers, for both the
+// forward and backward passes.
+#pragma once
+
+#include <cstddef>
+
+namespace lightator::tensor {
+
+void gemm(bool trans_a, bool trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, const float* a, std::size_t lda,
+          const float* b, std::size_t ldb, float beta, float* c,
+          std::size_t ldc);
+
+}  // namespace lightator::tensor

@@ -1,0 +1,330 @@
+#include "tensor/ops.hpp"
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+
+namespace lightator::tensor {
+
+namespace {
+
+void check_conv_inputs(const Tensor& x, const Tensor& w, const ConvSpec& spec) {
+  if (x.rank() != 4) throw std::invalid_argument("conv input must be 4-d");
+  if (w.rank() != 4) throw std::invalid_argument("conv weight must be 4-d");
+  if (x.dim(1) != spec.in_channels) {
+    throw std::invalid_argument("conv input channels mismatch");
+  }
+  if (w.dim(0) != spec.out_channels || w.dim(1) != spec.in_channels ||
+      w.dim(2) != spec.kernel || w.dim(3) != spec.kernel) {
+    throw std::invalid_argument("conv weight shape mismatch");
+  }
+  if (x.dim(2) + 2 * spec.pad < spec.kernel ||
+      x.dim(3) + 2 * spec.pad < spec.kernel) {
+    throw std::invalid_argument("conv input smaller than kernel");
+  }
+}
+
+}  // namespace
+
+void im2col(const Tensor& x, std::size_t n, const ConvSpec& spec, float* cols) {
+  const std::size_t c_in = spec.in_channels;
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t k = spec.kernel;
+  const float* base = x.data() + n * c_in * h * w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < c_in; ++c) {
+    for (std::size_t ky = 0; ky < k; ++ky) {
+      for (std::size_t kx = 0; kx < k; ++kx, ++row) {
+        float* out = cols + row * (oh * ow);
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long iy = static_cast<long>(oy * spec.stride + ky) -
+                          static_cast<long>(spec.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long ix = static_cast<long>(ox * spec.stride + kx) -
+                            static_cast<long>(spec.pad);
+            const bool in_bounds = iy >= 0 && ix >= 0 &&
+                                   iy < static_cast<long>(h) &&
+                                   ix < static_cast<long>(w);
+            out[oy * ow + ox] =
+                in_bounds ? base[(c * h + static_cast<std::size_t>(iy)) * w +
+                                 static_cast<std::size_t>(ix)]
+                          : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, std::size_t n, const ConvSpec& spec, Tensor& dx) {
+  const std::size_t c_in = spec.in_channels;
+  const std::size_t h = dx.dim(2), w = dx.dim(3);
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t k = spec.kernel;
+  float* base = dx.data() + n * c_in * h * w;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < c_in; ++c) {
+    for (std::size_t ky = 0; ky < k; ++ky) {
+      for (std::size_t kx = 0; kx < k; ++kx, ++row) {
+        const float* in = cols + row * (oh * ow);
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long iy = static_cast<long>(oy * spec.stride + ky) -
+                          static_cast<long>(spec.pad);
+          if (iy < 0 || iy >= static_cast<long>(h)) continue;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long ix = static_cast<long>(ox * spec.stride + kx) -
+                            static_cast<long>(spec.pad);
+            if (ix < 0 || ix >= static_cast<long>(w)) continue;
+            base[(c * h + static_cast<std::size_t>(iy)) * w +
+                 static_cast<std::size_t>(ix)] += in[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                      const ConvSpec& spec) {
+  check_conv_inputs(x, w, spec);
+  const std::size_t batch = x.dim(0);
+  const std::size_t oh = spec.out_dim(x.dim(2)), ow = spec.out_dim(x.dim(3));
+  const std::size_t kdim = spec.weights_per_filter();
+  Tensor y({batch, spec.out_channels, oh, ow});
+  std::vector<float> cols(kdim * oh * ow);
+  for (std::size_t n = 0; n < batch; ++n) {
+    im2col(x, n, spec, cols.data());
+    float* y_n = y.data() + n * spec.out_channels * oh * ow;
+    // y_n [OC, OH*OW] = w [OC, kdim] * cols [kdim, OH*OW]
+    gemm(false, false, spec.out_channels, oh * ow, kdim, 1.0f, w.data(), kdim,
+         cols.data(), oh * ow, 0.0f, y_n, oh * ow);
+  }
+  if (!b.empty()) {
+    if (b.size() != spec.out_channels) {
+      throw std::invalid_argument("conv bias size mismatch");
+    }
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+        float* plane = y.data() + (n * spec.out_channels + oc) * oh * ow;
+        const float bias = b[oc];
+        for (std::size_t i = 0; i < oh * ow; ++i) plane[i] += bias;
+      }
+    }
+  }
+  return y;
+}
+
+void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec,
+                     const Tensor& dy, Tensor* dx, Tensor* dw, Tensor* db) {
+  check_conv_inputs(x, w, spec);
+  const std::size_t batch = x.dim(0);
+  const std::size_t oh = spec.out_dim(x.dim(2)), ow = spec.out_dim(x.dim(3));
+  const std::size_t kdim = spec.weights_per_filter();
+  if (dy.rank() != 4 || dy.dim(0) != batch || dy.dim(1) != spec.out_channels ||
+      dy.dim(2) != oh || dy.dim(3) != ow) {
+    throw std::invalid_argument("conv dy shape mismatch");
+  }
+  if (dx != nullptr) *dx = Tensor(x.shape());
+  if (dw != nullptr) *dw = Tensor(w.shape());
+  if (db != nullptr) *db = Tensor({spec.out_channels});
+  std::vector<float> cols(kdim * oh * ow);
+  std::vector<float> dcols(kdim * oh * ow);
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* dy_n = dy.data() + n * spec.out_channels * oh * ow;
+    if (dw != nullptr || dx != nullptr) im2col(x, n, spec, cols.data());
+    if (dw != nullptr) {
+      // dW [OC, kdim] += dy_n [OC, OH*OW] * cols^T [OH*OW, kdim]
+      gemm(false, true, spec.out_channels, kdim, oh * ow, 1.0f, dy_n, oh * ow,
+           cols.data(), oh * ow, 1.0f, dw->data(), kdim);
+    }
+    if (dx != nullptr) {
+      // dcols [kdim, OH*OW] = w^T [kdim, OC] * dy_n [OC, OH*OW]
+      gemm(true, false, kdim, oh * ow, spec.out_channels, 1.0f, w.data(), kdim,
+           dy_n, oh * ow, 0.0f, dcols.data(), oh * ow);
+      col2im(dcols.data(), n, spec, *dx);
+    }
+    if (db != nullptr) {
+      for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+        const float* plane = dy_n + oc * oh * ow;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < oh * ow; ++i) acc += plane[i];
+        (*db)[oc] += static_cast<float>(acc);
+      }
+    }
+  }
+}
+
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b) {
+  if (x.rank() != 2 || w.rank() != 2) {
+    throw std::invalid_argument("linear expects 2-d input and weight");
+  }
+  const std::size_t batch = x.dim(0), d = x.dim(1), out = w.dim(0);
+  if (w.dim(1) != d) throw std::invalid_argument("linear weight shape mismatch");
+  Tensor y({batch, out});
+  // y [N, OUT] = x [N, D] * w^T [D, OUT]
+  gemm(false, true, batch, out, d, 1.0f, x.data(), d, w.data(), d, 0.0f,
+       y.data(), out);
+  if (!b.empty()) {
+    if (b.size() != out) throw std::invalid_argument("linear bias mismatch");
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t o = 0; o < out; ++o) y.at(n, o) += b[o];
+    }
+  }
+  return y;
+}
+
+void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     Tensor* dx, Tensor* dw, Tensor* db) {
+  const std::size_t batch = x.dim(0), d = x.dim(1), out = w.dim(0);
+  if (dy.rank() != 2 || dy.dim(0) != batch || dy.dim(1) != out) {
+    throw std::invalid_argument("linear dy shape mismatch");
+  }
+  if (dx != nullptr) {
+    *dx = Tensor({batch, d});
+    // dx [N, D] = dy [N, OUT] * w [OUT, D]
+    gemm(false, false, batch, d, out, 1.0f, dy.data(), out, w.data(), d, 0.0f,
+         dx->data(), d);
+  }
+  if (dw != nullptr) {
+    *dw = Tensor({out, d});
+    // dw [OUT, D] = dy^T [OUT, N] * x [N, D]
+    gemm(true, false, out, d, batch, 1.0f, dy.data(), out, x.data(), d, 0.0f,
+         dw->data(), d);
+  }
+  if (db != nullptr) {
+    *db = Tensor({out});
+    for (std::size_t n = 0; n < batch; ++n) {
+      for (std::size_t o = 0; o < out; ++o) (*db)[o] += dy.at(n, o);
+    }
+  }
+}
+
+namespace {
+
+void check_pool_input(const Tensor& x, std::size_t kernel, std::size_t stride) {
+  if (x.rank() != 4) throw std::invalid_argument("pool input must be 4-d");
+  if (kernel == 0 || stride == 0) {
+    throw std::invalid_argument("pool kernel/stride must be positive");
+  }
+  if (x.dim(2) < kernel || x.dim(3) < kernel) {
+    throw std::invalid_argument("pool input smaller than kernel");
+  }
+}
+
+}  // namespace
+
+Tensor maxpool_forward(const Tensor& x, std::size_t kernel, std::size_t stride,
+                       std::vector<std::size_t>* argmax) {
+  check_pool_input(x, kernel, stride);
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = (h - kernel) / stride + 1;
+  const std::size_t ow = (w - kernel) / stride + 1;
+  Tensor y({n, c, oh, ow});
+  if (argmax != nullptr) argmax->assign(y.size(), 0);
+  std::size_t out_idx = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (b * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            for (std::size_t kx = 0; kx < kernel; ++kx) {
+              const std::size_t iy = oy * stride + ky;
+              const std::size_t ix = ox * stride + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = (b * c + ch) * h * w + iy * w + ix;
+              }
+            }
+          }
+          y[out_idx] = best;
+          if (argmax != nullptr) (*argmax)[out_idx] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor maxpool_backward(const Tensor& dy, const Tensor& x, std::size_t kernel,
+                        std::size_t stride,
+                        const std::vector<std::size_t>& argmax) {
+  check_pool_input(x, kernel, stride);
+  if (argmax.size() != dy.size()) {
+    throw std::invalid_argument("maxpool argmax size mismatch");
+  }
+  Tensor dx(x.shape());
+  for (std::size_t i = 0; i < dy.size(); ++i) dx[argmax[i]] += dy[i];
+  return dx;
+}
+
+Tensor avgpool_forward(const Tensor& x, std::size_t kernel, std::size_t stride) {
+  check_pool_input(x, kernel, stride);
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = (h - kernel) / stride + 1;
+  const std::size_t ow = (w - kernel) / stride + 1;
+  Tensor y({n, c, oh, ow});
+  const float norm = 1.0f / static_cast<float>(kernel * kernel);
+  std::size_t out_idx = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + (b * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          float acc = 0.0f;
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            for (std::size_t kx = 0; kx < kernel; ++kx) {
+              acc += plane[(oy * stride + ky) * w + (ox * stride + kx)];
+            }
+          }
+          y[out_idx] = acc * norm;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor avgpool_backward(const Tensor& dy, const Tensor& x, std::size_t kernel,
+                        std::size_t stride) {
+  check_pool_input(x, kernel, stride);
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = (h - kernel) / stride + 1;
+  const std::size_t ow = (w - kernel) / stride + 1;
+  Tensor dx(x.shape());
+  const float norm = 1.0f / static_cast<float>(kernel * kernel);
+  std::size_t out_idx = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      float* plane = dx.data() + (b * c + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_idx) {
+          const float g = dy[out_idx] * norm;
+          for (std::size_t ky = 0; ky < kernel; ++ky) {
+            for (std::size_t kx = 0; kx < kernel; ++kx) {
+              plane[(oy * stride + ky) * w + (ox * stride + kx)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return dx;
+}
+
+Tensor flatten(const Tensor& x) {
+  if (x.rank() < 2) throw std::invalid_argument("flatten expects rank >= 2");
+  Tensor y = x;
+  std::size_t rest = 1;
+  for (std::size_t i = 1; i < x.rank(); ++i) rest *= x.dim(i);
+  y.reshape({x.dim(0), rest});
+  return y;
+}
+
+}  // namespace lightator::tensor

@@ -1,0 +1,67 @@
+// Neural-network tensor operations with forward AND backward passes.
+//
+// Everything is NCHW. Convolutions are im2col + GEMM; the backward pass
+// reuses the same column buffers (col2im for dX). These reference kernels are
+// the functional ground truth the Lightator optical datapath is validated
+// against, and the engine used to train models from scratch.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace lightator::tensor {
+
+struct ConvSpec {
+  std::size_t in_channels = 1;
+  std::size_t out_channels = 1;
+  std::size_t kernel = 3;   // square kernels (paper uses 3/5/7/11)
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_dim(std::size_t in_dim) const {
+    return (in_dim + 2 * pad - kernel) / stride + 1;
+  }
+  std::size_t weights_per_filter() const {
+    return in_channels * kernel * kernel;
+  }
+};
+
+/// Unfolds one image (C,H,W view into `x` at batch index n) into columns of
+/// shape [C*K*K, OH*OW]. Zero padding.
+void im2col(const Tensor& x, std::size_t n, const ConvSpec& spec, float* cols);
+
+/// Scatter-adds columns back into dX for batch index n (transpose of im2col).
+void col2im(const float* cols, std::size_t n, const ConvSpec& spec, Tensor& dx);
+
+/// y[N,OC,OH,OW] = conv(x[N,C,H,W], w[OC,C,K,K]) + b[OC]
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
+                      const ConvSpec& spec);
+
+/// Gradients for conv2d. Any of the outputs may be nullptr to skip it.
+void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec,
+                     const Tensor& dy, Tensor* dx, Tensor* dw, Tensor* db);
+
+/// y[N,OUT] = x[N,D] * w[OUT,D]^T + b[OUT]
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor& b);
+
+void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                     Tensor* dx, Tensor* dw, Tensor* db);
+
+/// 2x2-style max pooling; `argmax` (same shape as output) records the winning
+/// flat input offset for the backward pass.
+Tensor maxpool_forward(const Tensor& x, std::size_t kernel, std::size_t stride,
+                       std::vector<std::size_t>* argmax);
+
+Tensor maxpool_backward(const Tensor& dy, const Tensor& x, std::size_t kernel,
+                        std::size_t stride,
+                        const std::vector<std::size_t>& argmax);
+
+/// Average pooling (the CA implements this optically on the first layer).
+Tensor avgpool_forward(const Tensor& x, std::size_t kernel, std::size_t stride);
+
+Tensor avgpool_backward(const Tensor& dy, const Tensor& x, std::size_t kernel,
+                        std::size_t stride);
+
+/// Flattens [N,C,H,W] to [N, C*H*W] (copy, keeps x intact).
+Tensor flatten(const Tensor& x);
+
+}  // namespace lightator::tensor

@@ -1,0 +1,82 @@
+#include "tensor/quantize.hpp"
+
+#include <stdexcept>
+
+#include "util/quant.hpp"
+
+namespace lightator::tensor {
+
+double fake_quant_symmetric(Tensor& x, int bits, double scale) {
+  if (scale <= 0.0) scale = x.max_abs();
+  if (scale == 0.0) return 0.0;
+  const util::SymmetricQuantizer q{bits, scale};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(q.fake_quant(x[i]));
+  }
+  return scale;
+}
+
+double fake_quant_unsigned(Tensor& x, int bits, double scale) {
+  if (scale <= 0.0) {
+    float m = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, x[i]);
+    scale = m;
+  }
+  if (scale == 0.0) return 0.0;
+  const util::UnsignedQuantizer q{bits, scale};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(q.fake_quant(x[i]));
+  }
+  return scale;
+}
+
+QuantizedTensor quantize_symmetric(const Tensor& x, int bits, double scale) {
+  if (scale <= 0.0) scale = x.max_abs();
+  QuantizedTensor out;
+  out.shape = x.shape();
+  out.scale = scale;
+  out.bits = bits;
+  out.is_signed = true;
+  out.levels.resize(x.size());
+  if (scale == 0.0) return out;
+  const util::SymmetricQuantizer q{bits, scale};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.levels[i] = static_cast<std::int16_t>(q.quantize(x[i]));
+  }
+  return out;
+}
+
+QuantizedTensor quantize_unsigned(const Tensor& x, int bits, double scale) {
+  if (scale <= 0.0) {
+    float m = 0.0f;
+    for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, x[i]);
+    scale = m;
+  }
+  QuantizedTensor out;
+  out.shape = x.shape();
+  out.scale = scale;
+  out.bits = bits;
+  out.is_signed = false;
+  out.levels.resize(x.size());
+  if (scale == 0.0) return out;
+  const util::UnsignedQuantizer q{bits, scale};
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out.levels[i] = static_cast<std::int16_t>(q.quantize(x[i]));
+  }
+  return out;
+}
+
+Tensor dequantize(const QuantizedTensor& q) {
+  Tensor out(q.shape);
+  if (out.size() != q.levels.size()) {
+    throw std::invalid_argument("quantized tensor shape/levels mismatch");
+  }
+  // Both schemes share value = scale * level / max_level.
+  const double max_level = static_cast<double>(q.max_level());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(q.scale * q.levels[i] / max_level);
+  }
+  return out;
+}
+
+}  // namespace lightator::tensor

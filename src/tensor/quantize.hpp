@@ -1,0 +1,48 @@
+// Tensor-level quantization used for QAT and quantized (mapped) inference.
+//
+// Weights: symmetric signed, per-tensor scale = max |w| (this is exactly what
+// the MR weight cells realize). Activations: unsigned, per-tensor scale,
+// 4-bit everywhere (the VCSEL/CRC path). fake_quant_* are the QAT forward
+// transforms; quantize_* produce the integer level maps the hardware mapper
+// consumes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace lightator::tensor {
+
+struct QuantizedTensor {
+  std::vector<std::int16_t> levels;  // signed levels or unsigned codes
+  Shape shape;
+  double scale = 1.0;   // real value of the largest level
+  int bits = 4;
+  bool is_signed = true;  // signed levels (weights) vs unsigned codes (acts)
+
+  int max_level() const {
+    if (!is_signed) return (1 << bits) - 1;
+    return bits == 1 ? 1 : (1 << (bits - 1)) - 1;  // 1-bit: {-1, +1}
+  }
+};
+
+/// In-place symmetric fake-quant with per-tensor scale = max|x| (or the given
+/// scale if positive). Returns the scale used.
+double fake_quant_symmetric(Tensor& x, int bits, double scale = -1.0);
+
+/// In-place unsigned fake-quant on [0, scale]; scale defaults to max(x).
+double fake_quant_unsigned(Tensor& x, int bits, double scale = -1.0);
+
+/// Integer weight levels in [-(2^(b-1)-1), +(2^(b-1)-1)].
+QuantizedTensor quantize_symmetric(const Tensor& x, int bits,
+                                   double scale = -1.0);
+
+/// Integer activation codes in [0, 2^b - 1].
+QuantizedTensor quantize_unsigned(const Tensor& x, int bits,
+                                  double scale = -1.0);
+
+/// Reconstructs the real-valued tensor from levels.
+Tensor dequantize(const QuantizedTensor& q);
+
+}  // namespace lightator::tensor

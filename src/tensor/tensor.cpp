@@ -1,0 +1,113 @@
+#include "tensor/tensor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::tensor {
+
+std::size_t shape_size(const Shape& shape) {
+  std::size_t n = 1;
+  for (std::size_t d : shape) n *= d;
+  return n;
+}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(shape_size(shape_), fill) {
+  for (std::size_t d : shape_) {
+    if (d == 0) throw std::invalid_argument("tensor dims must be positive");
+  }
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  if (i >= shape_.size()) throw std::out_of_range("tensor dim out of range");
+  return shape_[i];
+}
+
+float& Tensor::at(std::size_t i) {
+  if (rank() != 1 || i >= shape_[0]) throw std::out_of_range("bad 1-d access");
+  return data_[i];
+}
+float Tensor::at(std::size_t i) const {
+  if (rank() != 1 || i >= shape_[0]) throw std::out_of_range("bad 1-d access");
+  return data_[i];
+}
+
+float& Tensor::at(std::size_t i, std::size_t j) {
+  if (rank() != 2 || i >= shape_[0] || j >= shape_[1]) {
+    throw std::out_of_range("bad 2-d access");
+  }
+  return data_[i * shape_[1] + j];
+}
+float Tensor::at(std::size_t i, std::size_t j) const {
+  if (rank() != 2 || i >= shape_[0] || j >= shape_[1]) {
+    throw std::out_of_range("bad 2-d access");
+  }
+  return data_[i * shape_[1] + j];
+}
+
+std::size_t Tensor::flat_index(std::size_t n, std::size_t c, std::size_t h,
+                               std::size_t w) const {
+  if (rank() != 4 || n >= shape_[0] || c >= shape_[1] || h >= shape_[2] ||
+      w >= shape_[3]) {
+    throw std::out_of_range("bad 4-d access");
+  }
+  return ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w;
+}
+
+float& Tensor::at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) {
+  return data_[flat_index(n, c, h, w)];
+}
+float Tensor::at(std::size_t n, std::size_t c, std::size_t h,
+                 std::size_t w) const {
+  return data_[flat_index(n, c, h, w)];
+}
+
+void Tensor::reshape(Shape new_shape) {
+  if (shape_size(new_shape) != data_.size()) {
+    throw std::invalid_argument("reshape changes element count");
+  }
+  shape_ = std::move(new_shape);
+}
+
+void Tensor::fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Tensor::add_scaled(const Tensor& x, float alpha) {
+  if (x.size() != size()) throw std::invalid_argument("add_scaled size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * x.data_[i];
+}
+
+void Tensor::scale(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+void Tensor::fill_normal(util::Rng& rng, float stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.normal(0.0, stddev));
+}
+
+void Tensor::fill_uniform(util::Rng& rng, float lo, float hi) {
+  for (auto& v : data_) v = static_cast<float>(rng.uniform(lo, hi));
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Tensor::sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+bool Tensor::allclose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace lightator::tensor

@@ -1,0 +1,82 @@
+// Dense float tensor in NCHW layout — the DNN substrate's data type.
+//
+// Deliberately minimal: contiguous float storage with shape bookkeeping and
+// the handful of element-wise helpers the layers need. All heavy math lives
+// in gemm.cpp / ops.cpp.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lightator::tensor {
+
+using Shape = std::vector<std::size_t>;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape, float fill = 0.0f);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+  const Shape& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const;
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Checked multi-dimensional accessors for the common ranks.
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+  float& at(std::size_t i, std::size_t j);
+  float at(std::size_t i, std::size_t j) const;
+  float& at(std::size_t n, std::size_t c, std::size_t h, std::size_t w);
+  float at(std::size_t n, std::size_t c, std::size_t h, std::size_t w) const;
+
+  /// Reinterprets the shape; total element count must be unchanged.
+  void reshape(Shape new_shape);
+
+  void fill(float value);
+
+  /// In-place y += alpha * x (shapes must match).
+  void add_scaled(const Tensor& x, float alpha);
+
+  /// In-place scale by alpha.
+  void scale(float alpha);
+
+  /// Fills with N(0, stddev) samples.
+  void fill_normal(util::Rng& rng, float stddev);
+
+  /// Fills with U(lo, hi) samples.
+  void fill_uniform(util::Rng& rng, float lo, float hi);
+
+  /// Largest |element| (0 for empty).
+  float max_abs() const;
+
+  /// Sum of all elements.
+  double sum() const;
+
+  /// True when shapes and all elements match within `tol`.
+  bool allclose(const Tensor& other, float tol = 1e-5f) const;
+
+ private:
+  std::size_t flat_index(std::size_t n, std::size_t c, std::size_t h,
+                         std::size_t w) const;
+
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape (1 for the empty shape).
+std::size_t shape_size(const Shape& shape);
+
+}  // namespace lightator::tensor

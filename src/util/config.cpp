@@ -1,0 +1,105 @@
+#include "util/config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lightator::util {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string token = argv[i];
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value argument, got: " + token);
+    }
+    cfg.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return cfg;
+}
+
+Config Config::from_string(const std::string& text) {
+  Config cfg;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    if (token.empty() || token[0] == '#') {
+      // Skip the rest of a comment line.
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    const auto eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("expected key=value pair, got: " + token);
+    }
+    cfg.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Config::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "' is not a number: " +
+                                it->second);
+  }
+}
+
+int Config::get_int(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("config key '" + key + "' is not an int: " +
+                                it->second);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("config key '" + key + "' is not a bool: " + v);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+std::string Config::dump() const {
+  std::ostringstream out;
+  for (const auto& [k, v] : values_) out << k << '=' << v << '\n';
+  return out.str();
+}
+
+}  // namespace lightator::util

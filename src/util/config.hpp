@@ -1,0 +1,47 @@
+// Lightweight key=value configuration store with typed accessors.
+//
+// Benches and examples accept "key=value" command-line overrides so sweeps
+// can be scripted without recompiling; ArchConfig and friends pull their
+// defaults through this store when constructed from a Config.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lightator::util {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens (e.g. from argv). Unrecognised tokens throw.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parses a string of newline- or whitespace-separated key=value pairs.
+  /// Lines starting with '#' are comments.
+  static Config from_string(const std::string& text);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters: return `fallback` when the key is absent; throw
+  /// std::invalid_argument when present but malformed.
+  std::string get_string(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  int get_int(const std::string& key, int fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Keys in insertion-independent (sorted) order, for reproducible dumps.
+  std::vector<std::string> keys() const;
+
+  /// "key=value" lines, sorted by key.
+  std::string dump() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace lightator::util

@@ -1,0 +1,40 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace lightator::util {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, const char* file, int line, const char* fmt, ...) {
+  if (level < g_level) return;
+  // Strip directories from __FILE__ for terse output.
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  std::fprintf(stderr, "[%s %s:%d] ", level_name(level), base, line);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace lightator::util

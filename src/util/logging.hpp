@@ -1,0 +1,41 @@
+// Minimal leveled logger for the Lightator simulator.
+//
+// Usage:
+//   LT_LOG_INFO("mapped %zu weights onto %d banks", n, banks);
+//
+// The logger is process-global, thread-compatible (not thread-safe by design:
+// the simulator is single-threaded), and writes to stderr so bench harnesses
+// can keep stdout clean for table output.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace lightator::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style log entry point. Prefer the LT_LOG_* macros.
+void log_message(LogLevel level, const char* file, int line, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+
+/// Returns the short name ("INFO", ...) of a level.
+const char* level_name(LogLevel level);
+
+}  // namespace lightator::util
+
+#define LT_LOG_DEBUG(...) \
+  ::lightator::util::log_message(::lightator::util::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define LT_LOG_INFO(...) \
+  ::lightator::util::log_message(::lightator::util::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define LT_LOG_WARN(...) \
+  ::lightator::util::log_message(::lightator::util::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define LT_LOG_ERROR(...) \
+  ::lightator::util::log_message(::lightator::util::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)

@@ -1,0 +1,76 @@
+#include "util/quant.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::util {
+
+int SymmetricQuantizer::quantize(double value) const {
+  if (bits < 1) throw std::invalid_argument("signed quantizer needs >=1 bit");
+  if (!std::isfinite(value)) return 0;  // NaN/inf inputs park at level 0
+  if (bits == 1) return value >= 0.0 ? 1 : -1;  // binarized: sign(w)
+  if (!std::isfinite(scale) || scale <= 0.0) return 0;
+  const int m = max_level();
+  const double q = std::round(value / scale * m);
+  if (q > m) return m;
+  if (q < -m) return -m;
+  return static_cast<int>(q);
+}
+
+double SymmetricQuantizer::dequantize(int level) const {
+  const int m = max_level();
+  if (level > m || level < -m) throw std::out_of_range("weight level out of range");
+  return scale * static_cast<double>(level) / m;
+}
+
+int UnsignedQuantizer::quantize(double value) const {
+  if (bits < 1) throw std::invalid_argument("unsigned quantizer needs >=1 bit");
+  if (!std::isfinite(value)) return 0;  // NaN/inf inputs park at code 0
+  if (!std::isfinite(scale) || scale <= 0.0) return 0;
+  const int m = max_code();
+  const double q = std::round(value / scale * m);
+  if (q > m) return m;
+  if (q < 0.0) return 0;
+  return static_cast<int>(q);
+}
+
+double UnsignedQuantizer::dequantize(int code) const {
+  if (code < 0 || code > max_code()) throw std::out_of_range("activation code out of range");
+  return scale * static_cast<double>(code) / max_code();
+}
+
+std::vector<bool> thermometer_encode(int code, int width) {
+  if (code < 0 || code > width) throw std::out_of_range("thermometer code out of range");
+  std::vector<bool> bits(static_cast<std::size_t>(width), false);
+  for (int i = 0; i < code; ++i) bits[static_cast<std::size_t>(i)] = true;
+  return bits;
+}
+
+bool thermometer_valid(const std::vector<bool>& code) {
+  bool seen_zero = false;
+  for (bool b : code) {
+    if (b && seen_zero) return false;
+    if (!b) seen_zero = true;
+  }
+  return true;
+}
+
+int thermometer_decode(const std::vector<bool>& code) {
+  if (!thermometer_valid(code)) {
+    throw std::invalid_argument("thermometer code has a bubble");
+  }
+  int n = 0;
+  for (bool b : code) n += b ? 1 : 0;
+  return n;
+}
+
+double max_abs(const float* data, std::size_t n) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = std::fabs(static_cast<double>(data[i]));
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+}  // namespace lightator::util

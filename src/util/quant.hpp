@@ -1,0 +1,62 @@
+// Uniform quantization helpers shared by the DNN substrate (QAT / quantized
+// inference) and the hardware models (MR weight levels, 4-bit VCSEL
+// activation levels, thermometer codes for the CRC and VCSEL driver).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lightator::util {
+
+/// Symmetric signed quantizer: values in [-scale, scale] map to integer
+/// levels in [-(2^(bits-1)-1), +(2^(bits-1)-1)]. This is the weight scheme:
+/// the MR weight cell realizes signed levels as a differential pair.
+/// bits == 1 is the binarized case (levels {-1, +1}, sign(w) * scale) used
+/// by the LightBulb / ROBIN baselines.
+struct SymmetricQuantizer {
+  int bits = 4;
+  double scale = 1.0;  // |value| that maps to the largest level
+
+  int max_level() const { return bits == 1 ? 1 : (1 << (bits - 1)) - 1; }
+
+  /// Nearest-level quantization, saturating.
+  int quantize(double value) const;
+
+  /// Level -> real value.
+  double dequantize(int level) const;
+
+  /// quantize-then-dequantize ("fake quant"), the QAT forward transform.
+  double fake_quant(double value) const { return dequantize(quantize(value)); }
+};
+
+/// Unsigned affine quantizer for activations: [0, scale] maps to
+/// [0, 2^bits - 1]. The CRC and VCSEL driver realize exactly this with
+/// thermometer codes for bits == 4.
+struct UnsignedQuantizer {
+  int bits = 4;
+  double scale = 1.0;  // value that maps to the largest code
+
+  int max_code() const { return (1 << bits) - 1; }
+
+  int quantize(double value) const;  // clamps to [0, max_code]
+  double dequantize(int code) const;
+  double fake_quant(double value) const { return dequantize(quantize(value)); }
+};
+
+/// Thermometer (unary) code of `code` in `width` bits: the lowest `code`
+/// bits set. The CRC emits this from its comparator bank and the VCSEL
+/// driver consumes it to enable driving transistors.
+std::vector<bool> thermometer_encode(int code, int width);
+
+/// Number of set bits == decoded value. Throws on a non-monotone code
+/// (a bubble), which would indicate a comparator offset fault.
+int thermometer_decode(const std::vector<bool>& code);
+
+/// True if the code is monotone non-increasing (1...10...0).
+bool thermometer_valid(const std::vector<bool>& code);
+
+/// Largest absolute value in a span; returns 0 for empty input. Used to pick
+/// per-tensor quantizer scales.
+double max_abs(const float* data, std::size_t n);
+
+}  // namespace lightator::util

@@ -1,0 +1,118 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace lightator::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("table needs >=1 column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> row) {
+  if (row.size() > header_.size()) {
+    throw std::invalid_argument("row has more cells than header");
+  }
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::to_text() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << cells[c];
+      if (c + 1 < cells.size()) {
+        out << std::string(width[c] - cells[c].size() + 2, ' ');
+      }
+    }
+    out << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c + 1 < width.size() ? 2 : 0);
+  }
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string TablePrinter::to_csv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << escape(cells[c]);
+      if (c + 1 < cells.size()) out << ',';
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+std::string format_sig(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+  return buf;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_power(double watts) {
+  const double a = std::fabs(watts);
+  char buf[64];
+  if (a >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f W", watts);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f mW", watts * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f uW", watts * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f nW", watts * 1e9);
+  }
+  return buf;
+}
+
+std::string format_time(double seconds) {
+  const double a = std::fabs(seconds);
+  char buf[64];
+  if (a >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace lightator::util

@@ -1,0 +1,47 @@
+// Plain-text and CSV table emitters used by the figure/table bench harnesses.
+//
+// TablePrinter renders the aligned, human-readable tables the benches print to
+// stdout; the same rows can be dumped as CSV for downstream plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lightator::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; it may have fewer cells than the header (padded empty).
+  /// Extra cells throw.
+  void add_row(std::vector<std::string> row);
+
+  /// Aligned fixed-width text rendering with a header separator.
+  std::string to_text() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string to_csv() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (benches use this for
+/// compact scientific-style cells).
+std::string format_sig(double value, int digits = 4);
+
+/// Formats a double in fixed notation with `decimals` places.
+std::string format_fixed(double value, int decimals = 2);
+
+/// Formats a power in watts with an auto-selected unit (W / mW / uW / nW).
+std::string format_power(double watts);
+
+/// Formats a time in seconds with an auto-selected unit (s / ms / us / ns).
+std::string format_time(double seconds);
+
+}  // namespace lightator::util

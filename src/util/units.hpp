@@ -1,0 +1,60 @@
+// Physical constants and unit-conversion helpers.
+//
+// All simulator-internal quantities are SI doubles (seconds, watts, meters,
+// amps). These named constants make intent explicit at construction sites,
+// e.g. `fwhm = 0.4 * units::kNm`.
+#pragma once
+
+namespace lightator::units {
+
+// Lengths (meters).
+inline constexpr double kNm = 1e-9;
+inline constexpr double kUm = 1e-6;
+inline constexpr double kMm = 1e-3;
+
+// Times (seconds).
+inline constexpr double kNs = 1e-9;
+inline constexpr double kUs = 1e-6;
+inline constexpr double kMs = 1e-3;
+inline constexpr double kPs = 1e-12;
+
+// Frequencies (hertz).
+inline constexpr double kKHz = 1e3;
+inline constexpr double kMHz = 1e6;
+inline constexpr double kGHz = 1e9;
+
+// Powers (watts).
+inline constexpr double kNW = 1e-9;
+inline constexpr double kUW = 1e-6;
+inline constexpr double kMW = 1e-3;
+
+// Currents (amps).
+inline constexpr double kUA = 1e-6;
+inline constexpr double kMA = 1e-3;
+
+// Energies (joules).
+inline constexpr double kPJ = 1e-12;
+inline constexpr double kFJ = 1e-15;
+inline constexpr double kNJ = 1e-9;
+
+// Physics.
+inline constexpr double kElectronCharge = 1.602176634e-19;  // C
+inline constexpr double kBoltzmann = 1.380649e-23;          // J/K
+inline constexpr double kPlanck = 6.62607015e-34;           // J s
+inline constexpr double kSpeedOfLight = 2.99792458e8;       // m/s
+inline constexpr double kRoomTemperature = 300.0;           // K
+
+/// Converts decibels of loss to a linear transmission factor (<= 1).
+inline constexpr double db_loss_to_linear(double db) {
+  // 10^(-db/10) without <cmath> so it stays constexpr-friendly in C++20:
+  // callers use it with runtime values; for those we fall back to a small
+  // series-free implementation via __builtin_pow at runtime.
+  return __builtin_pow(10.0, -db / 10.0);
+}
+
+/// Photon energy (J) at vacuum wavelength `lambda_m` (meters).
+inline constexpr double photon_energy(double lambda_m) {
+  return kPlanck * kSpeedOfLight / lambda_m;
+}
+
+}  // namespace lightator::units

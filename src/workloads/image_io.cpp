@@ -1,0 +1,90 @@
+#include "workloads/image_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace lightator::workloads {
+
+void write_pnm(const sensor::Image& image, const std::string& path) {
+  if (image.channels() != 1 && image.channels() != 3) {
+    throw std::invalid_argument("PNM supports 1 or 3 channels");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << (image.channels() == 3 ? "P6" : "P5") << '\n'
+      << image.width() << ' ' << image.height() << "\n255\n";
+  std::vector<unsigned char> row(image.width() * image.channels());
+  for (std::size_t y = 0; y < image.height(); ++y) {
+    std::size_t i = 0;
+    for (std::size_t x = 0; x < image.width(); ++x) {
+      for (std::size_t c = 0; c < image.channels(); ++c) {
+        const float v = std::clamp(image.at(y, x, c), 0.0f, 1.0f);
+        row[i++] = static_cast<unsigned char>(v * 255.0f + 0.5f);
+      }
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+namespace {
+
+int read_pnm_int(std::istream& in) {
+  // Skips whitespace and '#' comments per the PNM grammar.
+  int ch = in.get();
+  while (ch == '#' || std::isspace(ch)) {
+    if (ch == '#') {
+      while (ch != '\n' && ch != EOF) ch = in.get();
+    }
+    ch = in.get();
+  }
+  int value = 0;
+  bool any = false;
+  while (std::isdigit(ch)) {
+    value = value * 10 + (ch - '0');
+    any = true;
+    ch = in.get();
+  }
+  if (!any) throw std::runtime_error("malformed PNM header");
+  return value;
+}
+
+}  // namespace
+
+sensor::Image read_pnm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  char p, kind;
+  in.get(p);
+  in.get(kind);
+  if (p != 'P' || (kind != '5' && kind != '6')) {
+    throw std::runtime_error("not a binary PGM/PPM file: " + path);
+  }
+  const std::size_t channels = kind == '6' ? 3 : 1;
+  const int width = read_pnm_int(in);
+  const int height = read_pnm_int(in);
+  const int maxval = read_pnm_int(in);
+  if (width <= 0 || height <= 0 || maxval != 255) {
+    throw std::runtime_error("unsupported PNM geometry/depth: " + path);
+  }
+  sensor::Image img(static_cast<std::size_t>(height),
+                    static_cast<std::size_t>(width), channels);
+  std::vector<unsigned char> row(static_cast<std::size_t>(width) * channels);
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    if (!in) throw std::runtime_error("truncated PNM data: " + path);
+    std::size_t i = 0;
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      for (std::size_t c = 0; c < channels; ++c) {
+        img.at(y, x, c) = static_cast<float>(row[i++]) / 255.0f;
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace lightator::workloads

@@ -1,0 +1,18 @@
+// Binary PPM (P6) / PGM (P5) image I/O so examples can dump frames that any
+// image viewer opens. 8-bit depth; values clamped from the [0,1] float range.
+#pragma once
+
+#include <string>
+
+#include "sensor/image.hpp"
+
+namespace lightator::workloads {
+
+/// Writes a 3-channel image as P6 or a 1-channel image as P5. Throws on I/O
+/// failure or unsupported channel count.
+void write_pnm(const sensor::Image& image, const std::string& path);
+
+/// Reads a P5/P6 file back into a float image in [0, 1].
+sensor::Image read_pnm(const std::string& path);
+
+}  // namespace lightator::workloads

@@ -1,0 +1,90 @@
+#include "workloads/scenes.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightator::workloads {
+
+sensor::Image make_gradient_scene(std::size_t height, std::size_t width) {
+  sensor::Image img(height, width, 3);
+  const double cx = 0.7 * static_cast<double>(width);
+  const double cy = 0.3 * static_cast<double>(height);
+  const double radius = 0.18 * static_cast<double>(std::min(height, width));
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const float u = static_cast<float>(x) / static_cast<float>(width - 1);
+      const float v = static_cast<float>(y) / static_cast<float>(height - 1);
+      float r = 0.15f + 0.6f * u;
+      float g = 0.15f + 0.6f * v;
+      float b = 0.55f - 0.35f * u * v;
+      const double d = std::hypot(static_cast<double>(x) - cx,
+                                  static_cast<double>(y) - cy);
+      if (d < radius) {
+        const float glow =
+            static_cast<float>(1.0 - d / radius) * 0.8f;
+        r = std::min(1.0f, r + glow);
+        g = std::min(1.0f, g + glow);
+        b = std::min(1.0f, b + glow);
+      }
+      img.at(y, x, 0) = r;
+      img.at(y, x, 1) = g;
+      img.at(y, x, 2) = b;
+    }
+  }
+  return img;
+}
+
+sensor::Image make_checker_scene(std::size_t height, std::size_t width,
+                                 std::size_t tiles) {
+  sensor::Image img(height, width, 3);
+  const std::size_t th = std::max<std::size_t>(1, height / tiles);
+  const std::size_t tw = std::max<std::size_t>(1, width / tiles);
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const bool on = ((y / th) + (x / tw)) % 2 == 0;
+      const float v = on ? 0.9f : 0.1f;
+      img.at(y, x, 0) = v;
+      img.at(y, x, 1) = v;
+      img.at(y, x, 2) = on ? 0.75f : 0.2f;
+    }
+  }
+  return img;
+}
+
+sensor::Image make_blob_scene(std::size_t height, std::size_t width,
+                              util::Rng& rng, std::size_t num_blobs) {
+  sensor::Image img(height, width, 3);
+  // Low-frequency background.
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      const double u = static_cast<double>(x) / width;
+      const double v = static_cast<double>(y) / height;
+      img.at(y, x, 0) = static_cast<float>(0.25 + 0.1 * std::sin(3.0 * u));
+      img.at(y, x, 1) = static_cast<float>(0.3 + 0.1 * std::cos(2.0 * v));
+      img.at(y, x, 2) = static_cast<float>(0.35 + 0.05 * std::sin(4.0 * (u + v)));
+    }
+  }
+  for (std::size_t b = 0; b < num_blobs; ++b) {
+    const double cx = rng.uniform(0.0, static_cast<double>(width));
+    const double cy = rng.uniform(0.0, static_cast<double>(height));
+    const double radius = rng.uniform(0.04, 0.15) * std::min(height, width);
+    const float cr = static_cast<float>(rng.uniform(0.2, 1.0));
+    const float cg = static_cast<float>(rng.uniform(0.2, 1.0));
+    const float cb = static_cast<float>(rng.uniform(0.2, 1.0));
+    for (std::size_t y = 0; y < height; ++y) {
+      for (std::size_t x = 0; x < width; ++x) {
+        const double d = std::hypot(static_cast<double>(x) - cx,
+                                    static_cast<double>(y) - cy);
+        if (d >= radius) continue;
+        const float w = static_cast<float>(
+            0.5 * (1.0 + std::cos(std::numbers::pi * d / radius)));
+        img.at(y, x, 0) = std::clamp(img.at(y, x, 0) * (1 - w) + cr * w, 0.0f, 1.0f);
+        img.at(y, x, 1) = std::clamp(img.at(y, x, 1) * (1 - w) + cg * w, 0.0f, 1.0f);
+        img.at(y, x, 2) = std::clamp(img.at(y, x, 2) * (1 - w) + cb * w, 0.0f, 1.0f);
+      }
+    }
+  }
+  return img;
+}
+
+}  // namespace lightator::workloads

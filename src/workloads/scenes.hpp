@@ -1,0 +1,23 @@
+// Synthetic full-resolution scenes for the end-to-end imager pipeline
+// (256x256 RGB test patterns for the examples and integration tests).
+#pragma once
+
+#include "sensor/image.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::workloads {
+
+/// Smooth color gradient with a bright disc — exercises the full pixel
+/// dynamic range and the Bayer/demosaic path.
+sensor::Image make_gradient_scene(std::size_t height, std::size_t width);
+
+/// Checkerboard of `tiles` x `tiles` squares — sharp edges for testing the
+/// CA's pooling behaviour and edge-detection example kernels.
+sensor::Image make_checker_scene(std::size_t height, std::size_t width,
+                                 std::size_t tiles);
+
+/// Natural-ish scene: low-frequency color field + random soft blobs.
+sensor::Image make_blob_scene(std::size_t height, std::size_t width,
+                              util::Rng& rng, std::size_t num_blobs = 12);
+
+}  // namespace lightator::workloads

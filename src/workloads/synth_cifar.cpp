@@ -1,0 +1,116 @@
+#include "workloads/synth_cifar.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace lightator::workloads {
+
+namespace {
+
+constexpr std::size_t kDim = 32;
+
+/// SplitMix64 — deterministic per-class signature derivation.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+struct ClassSignature {
+  float base_rgb[3];
+  float alt_rgb[3];
+  double freq;       // texture spatial frequency (cycles per image)
+  double theta;      // texture orientation
+  int shape;         // 0 disc, 1 box, 2 stripes
+  double shape_size; // relative size of the shape mask
+};
+
+ClassSignature signature_for(std::size_t label, std::uint64_t seed) {
+  ClassSignature s;
+  std::uint64_t h = mix(seed ^ (0x51ed2701u + label * 0x9E3779B9u));
+  for (float& c : s.base_rgb) {
+    c = static_cast<float>(0.15 + 0.7 * unit(h = mix(h)));
+  }
+  for (float& c : s.alt_rgb) {
+    c = static_cast<float>(0.15 + 0.7 * unit(h = mix(h)));
+  }
+  s.freq = 2.0 + 6.0 * unit(h = mix(h));
+  s.theta = std::numbers::pi * unit(h = mix(h));
+  s.shape = static_cast<int>((h = mix(h)) % 3);
+  s.shape_size = 0.25 + 0.2 * unit(h = mix(h));
+  return s;
+}
+
+}  // namespace
+
+void render_cifar_sample(std::size_t label, std::size_t num_classes,
+                         util::Rng& rng, double noise_stddev, float* out) {
+  if (label >= num_classes) throw std::out_of_range("label out of range");
+  const ClassSignature sig = signature_for(label, 0xC1FA5EEDull + num_classes);
+  // Per-sample jitter.
+  const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double theta = sig.theta + rng.uniform(-0.15, 0.15);
+  const double freq = sig.freq * (1.0 + rng.uniform(-0.1, 0.1));
+  const double cx = 0.5 + rng.uniform(-0.12, 0.12);
+  const double cy = 0.5 + rng.uniform(-0.12, 0.12);
+  const double size = sig.shape_size * (1.0 + rng.uniform(-0.15, 0.15));
+  const double kx = std::cos(theta) * freq * 2.0 * std::numbers::pi;
+  const double ky = std::sin(theta) * freq * 2.0 * std::numbers::pi;
+
+  for (std::size_t y = 0; y < kDim; ++y) {
+    for (std::size_t x = 0; x < kDim; ++x) {
+      const double u = (static_cast<double>(x) + 0.5) / kDim;
+      const double v = (static_cast<double>(y) + 0.5) / kDim;
+      const double tex = 0.5 + 0.5 * std::sin(kx * u + ky * v + phase);
+      bool inside = false;
+      switch (sig.shape) {
+        case 0:
+          inside = std::hypot(u - cx, v - cy) < size;
+          break;
+        case 1:
+          inside = std::fabs(u - cx) < size && std::fabs(v - cy) < size;
+          break;
+        default:
+          inside = std::fmod(std::fabs(u - v + 4.0), 0.25) < 0.125 * 2 * size / 0.45;
+          break;
+      }
+      const double mixing = inside ? tex : 1.0 - tex;
+      for (std::size_t c = 0; c < 3; ++c) {
+        const double base = sig.base_rgb[c];
+        const double alt = sig.alt_rgb[c];
+        double val = base * mixing + alt * (1.0 - mixing);
+        val += rng.normal(0.0, noise_stddev);
+        out[c * kDim * kDim + y * kDim + x] =
+            static_cast<float>(std::clamp(val, 0.0, 1.0));
+      }
+    }
+  }
+}
+
+nn::Dataset make_synth_cifar(const SynthCifarOptions& options) {
+  if (options.num_classes == 0) {
+    throw std::invalid_argument("need >= 1 class");
+  }
+  util::Rng rng(options.seed);
+  nn::Dataset data;
+  data.num_classes = options.num_classes;
+  data.images = tensor::Tensor({options.samples, 3, kDim, kDim});
+  data.labels.resize(options.samples);
+  const std::size_t stride = 3 * kDim * kDim;
+  for (std::size_t i = 0; i < options.samples; ++i) {
+    const std::size_t label = i % options.num_classes;
+    data.labels[i] = label;
+    render_cifar_sample(label, options.num_classes, rng, options.noise_stddev,
+                        data.images.data() + i * stride);
+  }
+  return data;
+}
+
+}  // namespace lightator::workloads

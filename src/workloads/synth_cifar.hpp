@@ -1,0 +1,30 @@
+// Procedural CIFAR-like color datasets (10 or 100 classes).
+//
+// Stands in for CIFAR-10/100 (DESIGN.md §3). Each class k deterministically
+// derives a visual signature from a hash of (seed, k): a base color pair, an
+// oriented sinusoidal texture, and a shape mask (disc / box / diagonal
+// stripes). Samples jitter all of these plus additive noise, so classes
+// overlap enough that accuracy degrades smoothly with precision — the
+// property the paper's [W:A] sweep measures.
+#pragma once
+
+#include "nn/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::workloads {
+
+struct SynthCifarOptions {
+  std::size_t samples = 2000;
+  std::size_t num_classes = 10;  // 10 or 100
+  std::uint64_t seed = 1234;
+  double noise_stddev = 0.06;
+};
+
+/// Generates labeled 32x32x3 images.
+nn::Dataset make_synth_cifar(const SynthCifarOptions& options);
+
+/// Renders one sample of class `label` into `out` (3*32*32 floats, CHW).
+void render_cifar_sample(std::size_t label, std::size_t num_classes,
+                         util::Rng& rng, double noise_stddev, float* out);
+
+}  // namespace lightator::workloads

@@ -1,0 +1,129 @@
+#include "workloads/synth_mnist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace lightator::workloads {
+
+namespace {
+
+constexpr std::size_t kDim = 28;
+
+struct Segment {
+  float x0, y0, x1, y1;  // in [0,1]^2 glyph coordinates
+};
+
+/// Stroke templates per digit in a unit box (y grows downward).
+const std::vector<Segment>& digit_segments(int digit) {
+  static const std::vector<std::vector<Segment>> kTemplates = {
+      // 0: rounded rectangle approximated by 8 segments
+      {{0.3f, 0.1f, 0.7f, 0.1f}, {0.7f, 0.1f, 0.8f, 0.3f},
+       {0.8f, 0.3f, 0.8f, 0.7f}, {0.8f, 0.7f, 0.7f, 0.9f},
+       {0.7f, 0.9f, 0.3f, 0.9f}, {0.3f, 0.9f, 0.2f, 0.7f},
+       {0.2f, 0.7f, 0.2f, 0.3f}, {0.2f, 0.3f, 0.3f, 0.1f}},
+      // 1
+      {{0.35f, 0.25f, 0.55f, 0.1f}, {0.55f, 0.1f, 0.55f, 0.9f},
+       {0.35f, 0.9f, 0.75f, 0.9f}},
+      // 2
+      {{0.2f, 0.25f, 0.35f, 0.1f}, {0.35f, 0.1f, 0.65f, 0.1f},
+       {0.65f, 0.1f, 0.8f, 0.3f}, {0.8f, 0.3f, 0.2f, 0.9f},
+       {0.2f, 0.9f, 0.8f, 0.9f}},
+      // 3
+      {{0.2f, 0.1f, 0.75f, 0.1f}, {0.75f, 0.1f, 0.5f, 0.45f},
+       {0.5f, 0.45f, 0.8f, 0.7f}, {0.8f, 0.7f, 0.65f, 0.9f},
+       {0.65f, 0.9f, 0.2f, 0.88f}},
+      // 4
+      {{0.6f, 0.1f, 0.2f, 0.6f}, {0.2f, 0.6f, 0.85f, 0.6f},
+       {0.65f, 0.3f, 0.65f, 0.9f}},
+      // 5
+      {{0.75f, 0.1f, 0.25f, 0.1f}, {0.25f, 0.1f, 0.25f, 0.45f},
+       {0.25f, 0.45f, 0.7f, 0.45f}, {0.7f, 0.45f, 0.8f, 0.65f},
+       {0.8f, 0.65f, 0.7f, 0.9f}, {0.7f, 0.9f, 0.2f, 0.88f}},
+      // 6
+      {{0.7f, 0.1f, 0.35f, 0.35f}, {0.35f, 0.35f, 0.22f, 0.65f},
+       {0.22f, 0.65f, 0.3f, 0.9f}, {0.3f, 0.9f, 0.7f, 0.9f},
+       {0.7f, 0.9f, 0.78f, 0.65f}, {0.78f, 0.65f, 0.25f, 0.55f}},
+      // 7
+      {{0.2f, 0.1f, 0.8f, 0.1f}, {0.8f, 0.1f, 0.4f, 0.9f},
+       {0.35f, 0.5f, 0.7f, 0.5f}},
+      // 8
+      {{0.5f, 0.1f, 0.25f, 0.28f}, {0.25f, 0.28f, 0.5f, 0.48f},
+       {0.5f, 0.48f, 0.75f, 0.28f}, {0.75f, 0.28f, 0.5f, 0.1f},
+       {0.5f, 0.48f, 0.22f, 0.7f}, {0.22f, 0.7f, 0.5f, 0.9f},
+       {0.5f, 0.9f, 0.78f, 0.7f}, {0.78f, 0.7f, 0.5f, 0.48f}},
+      // 9
+      {{0.75f, 0.45f, 0.3f, 0.45f}, {0.3f, 0.45f, 0.22f, 0.25f},
+       {0.22f, 0.25f, 0.35f, 0.1f}, {0.35f, 0.1f, 0.7f, 0.1f},
+       {0.7f, 0.1f, 0.78f, 0.35f}, {0.78f, 0.35f, 0.72f, 0.9f},
+       {0.72f, 0.9f, 0.35f, 0.88f}},
+  };
+  if (digit < 0 || digit > 9) throw std::out_of_range("digit must be 0..9");
+  return kTemplates[static_cast<std::size_t>(digit)];
+}
+
+float point_segment_distance(float px, float py, const Segment& s) {
+  const float dx = s.x1 - s.x0, dy = s.y1 - s.y0;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 > 0 ? ((px - s.x0) * dx + (py - s.y0) * dy) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float cx = s.x0 + t * dx, cy = s.y0 + t * dy;
+  return std::hypot(px - cx, py - cy);
+}
+
+}  // namespace
+
+void render_digit(int digit, util::Rng& rng, const SynthMnistOptions& options,
+                  float* out) {
+  const auto& segments = digit_segments(digit);
+  // Per-sample affine jitter.
+  const double angle = rng.uniform(-options.rotation_radians,
+                                   options.rotation_radians);
+  const double scale = 1.0 + rng.uniform(-options.scale_jitter,
+                                         options.scale_jitter);
+  const double shift_x = rng.uniform(-options.jitter_pixels,
+                                     options.jitter_pixels) / kDim;
+  const double shift_y = rng.uniform(-options.jitter_pixels,
+                                     options.jitter_pixels) / kDim;
+  const double thickness = 0.045 + rng.uniform(0.0, 0.025);
+  const float ca = static_cast<float>(std::cos(angle));
+  const float sa = static_cast<float>(std::sin(angle));
+
+  for (std::size_t y = 0; y < kDim; ++y) {
+    for (std::size_t x = 0; x < kDim; ++x) {
+      // Map the pixel into glyph coordinates (inverse affine about center).
+      const float px0 = (static_cast<float>(x) + 0.5f) / kDim - 0.5f -
+                        static_cast<float>(shift_x);
+      const float py0 = (static_cast<float>(y) + 0.5f) / kDim - 0.5f -
+                        static_cast<float>(shift_y);
+      const float px = (ca * px0 + sa * py0) / static_cast<float>(scale) + 0.5f;
+      const float py = (-sa * px0 + ca * py0) / static_cast<float>(scale) + 0.5f;
+      float dist = 1e9f;
+      for (const auto& s : segments) {
+        dist = std::min(dist, point_segment_distance(px, py, s));
+      }
+      // Soft stroke profile.
+      const float v = std::clamp(
+          1.0f - (dist - static_cast<float>(thickness)) / 0.03f, 0.0f, 1.0f);
+      float noisy = v + static_cast<float>(rng.normal(0.0, options.noise_stddev));
+      out[y * kDim + x] = std::clamp(noisy, 0.0f, 1.0f);
+    }
+  }
+}
+
+nn::Dataset make_synth_mnist(const SynthMnistOptions& options) {
+  util::Rng rng(options.seed);
+  nn::Dataset data;
+  data.num_classes = 10;
+  data.images = tensor::Tensor({options.samples, 1, kDim, kDim});
+  data.labels.resize(options.samples);
+  for (std::size_t i = 0; i < options.samples; ++i) {
+    const int digit = static_cast<int>(i % 10);
+    data.labels[i] = static_cast<std::size_t>(digit);
+    render_digit(digit, rng, options, data.images.data() + i * kDim * kDim);
+  }
+  return data;
+}
+
+}  // namespace lightator::workloads

@@ -1,0 +1,33 @@
+// Procedural MNIST-like digit dataset.
+//
+// Stands in for MNIST (see DESIGN.md §3): each digit class 0-9 is rendered
+// from a stroke-segment template onto a 28x28 grid with per-sample random
+// affine jitter (shift / scale / rotation), stroke-thickness variation, and
+// pixel noise. The task is learnable (LeNet reaches high accuracy) yet not
+// trivially separable, which is what the quantization-accuracy experiments
+// need.
+#pragma once
+
+#include "nn/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::workloads {
+
+struct SynthMnistOptions {
+  std::size_t samples = 2000;
+  std::uint64_t seed = 42;
+  double noise_stddev = 0.05;     // additive pixel noise
+  double jitter_pixels = 2.0;     // max |shift| in pixels
+  double rotation_radians = 0.2;  // max |rotation|
+  double scale_jitter = 0.12;     // max relative scale deviation
+};
+
+/// Generates `options.samples` labeled 28x28x1 digit images.
+nn::Dataset make_synth_mnist(const SynthMnistOptions& options);
+
+/// Renders a single digit (0-9) into a 28x28 single-channel image stored in
+/// `out` (must point at 28*28 floats). Exposed for tests and examples.
+void render_digit(int digit, util::Rng& rng, const SynthMnistOptions& options,
+                  float* out);
+
+}  // namespace lightator::workloads

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "accel/electronic_baselines.hpp"
+#include "accel/photonic_baselines.hpp"
+#include "nn/model_desc.hpp"
+
+namespace lightator::accel {
+namespace {
+
+TEST(ElectronicAccel, ExecutionTimeScalesWithWork) {
+  const auto eyeriss_model = eyeriss();
+  const double alexnet = eyeriss_model.execution_time(nn::alexnet_desc());
+  const double vgg16 = eyeriss_model.execution_time(nn::vgg16_desc());
+  EXPECT_GT(vgg16, alexnet);  // 15.5 GMACs vs 0.7 GMACs
+}
+
+TEST(ElectronicAccel, FcSlowerPerMacThanConv) {
+  ElectronicAccelerator a{"x", 1e9, 0.5, 0.05};
+  nn::ModelDesc conv_model = nn::alexnet_desc();
+  // Pure-FC model: same MACs all in fc.
+  nn::ModelDesc fc_model;
+  fc_model.name = "fc";
+  nn::LayerDesc fc;
+  fc.kind = nn::LayerKind::kLinear;
+  fc.fc_in = 1000;
+  fc.fc_out = 1000;
+  fc_model.layers.push_back(fc);
+  nn::ModelDesc conv_only;
+  nn::LayerDesc conv;
+  conv.kind = nn::LayerKind::kConv;
+  conv.in_h = conv.in_w = 102;
+  conv.conv = tensor::ConvSpec{1, 100, 3, 1, 0};
+  conv_only.layers.push_back(conv);
+  // conv: 100*100*100*9 = 9e6 MACs; fc: 1e6 MACs but 10x lower utilization.
+  const double t_fc = a.execution_time(fc_model);
+  EXPECT_NEAR(t_fc, 1e6 / (1e9 * 0.05), 1e-9);
+  const double t_conv = a.execution_time(conv_only);
+  EXPECT_NEAR(t_conv, 9e6 / (1e9 * 0.5), 1e-6);
+}
+
+TEST(ElectronicAccel, AllBaselinesOrderedOnAlexNet) {
+  // Fig. 10: ENVISION < Eyeriss < AppCip < YodaNN on AlexNet.
+  const auto model = nn::alexnet_desc();
+  const double t_eyeriss = eyeriss().execution_time(model);
+  const double t_envision = envision().execution_time(model);
+  const double t_appcip = appcip().execution_time(model);
+  const double t_yodann = yodann().execution_time(model);
+  EXPECT_LT(t_envision, t_eyeriss);
+  EXPECT_LT(t_eyeriss, t_appcip);
+  EXPECT_LT(t_appcip, t_yodann);
+}
+
+TEST(ElectronicAccel, AlexNetTimesInFig10Range) {
+  // Fig. 10 y-axis: 1e0 .. 1e3 ms.
+  const auto model = nn::alexnet_desc();
+  for (const auto& a : all_electronic_baselines()) {
+    const double t = a.execution_time(model);
+    EXPECT_GT(t, 1e-3) << a.name;
+    EXPECT_LT(t, 1.0) << a.name;
+  }
+}
+
+TEST(ElectronicAccel, ZeroPeakThrows) {
+  ElectronicAccelerator a{"bad", 0.0, 0.5, 0.1};
+  EXPECT_THROW(a.execution_time(nn::lenet_desc()), std::logic_error);
+}
+
+TEST(PhotonicAccel, PowerIsComponentSum) {
+  const auto a = lightbulb();
+  EXPECT_NEAR(a.total_power(),
+              a.adc_array_power + a.dac_array_power + a.tuning_power +
+                  a.laser_power + a.digital_power,
+              1e-12);
+}
+
+TEST(PhotonicAccel, Table1PowerTargets) {
+  // Rebuilt inventories must land near Table 1's reported max powers.
+  EXPECT_NEAR(lightbulb().total_power(), 68.3, 2.0);
+  EXPECT_NEAR(holylight().total_power(), 66.9, 2.0);
+  EXPECT_NEAR(robin().total_power(), 106.0, 3.0);
+  EXPECT_NEAR(crosslight_low().total_power(), 84.0, 3.0);
+  EXPECT_NEAR(crosslight_high().total_power(), 390.0, 10.0);
+}
+
+TEST(PhotonicAccel, Table1KfpsPerWattTargets) {
+  const std::size_t macs = nn::vgg9_desc().total_macs();
+  EXPECT_NEAR(lightbulb().summarize(macs).kfps_per_watt, 57.75, 12.0);
+  EXPECT_NEAR(holylight().summarize(macs).kfps_per_watt, 3.3, 1.0);
+  EXPECT_NEAR(hqnna().summarize(macs).kfps_per_watt, 34.6, 8.0);
+  EXPECT_NEAR(robin().summarize(macs).kfps_per_watt, 46.5, 10.0);
+  EXPECT_NEAR(crosslight_low().summarize(macs).kfps_per_watt, 10.78, 3.0);
+  EXPECT_NEAR(crosslight_high().summarize(macs).kfps_per_watt, 52.59, 12.0);
+}
+
+TEST(PhotonicAccel, SummaryFields) {
+  const auto s = robin().summarize(nn::vgg9_desc().total_macs());
+  EXPECT_EQ(s.name, "Robin");
+  EXPECT_EQ(s.precision, "[1:4]");
+  EXPECT_EQ(s.process_nm, 45);
+  EXPECT_GT(s.fps, 0.0);
+}
+
+TEST(PhotonicAccel, ZeroWorkloadSafe) {
+  EXPECT_DOUBLE_EQ(lightbulb().fps(0), 0.0);
+}
+
+TEST(GpuBaseline, RooflineThroughput) {
+  const GpuBaseline gpu;
+  EXPECT_NEAR(gpu.board_power, 200.0, 1e-12);
+  const double fps = gpu.fps(nn::vgg9_desc().total_macs());
+  // ~18 KFPS on a 155-MMAC VGG9 at 35% of 8.1 TMAC/s.
+  EXPECT_GT(fps, 5e3);
+  EXPECT_LT(fps, 5e4);
+}
+
+TEST(PhotonicAccel, AllBaselinesListedInOrder) {
+  const auto all = all_photonic_baselines();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "LightBulb");
+  EXPECT_EQ(all[1].name, "HolyLight");
+  EXPECT_EQ(all[5].name, "CrossLight-H");
+}
+
+}  // namespace
+}  // namespace lightator::accel

@@ -1,0 +1,184 @@
+// Property tests for the physical optical dot-product unit (MrArm):
+// analog-vs-ideal agreement across random weights/activations, crosstalk
+// budgets, noise statistics, and calibration invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "optics/arm.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::optics {
+namespace {
+
+ArmParams device_params(int weight_bits = 4) {
+  // Device-level (mA-class VCSEL) operating point: high SNR, the regime the
+  // published MRR weight-bank measurements use.
+  ArmParams p;
+  p.weight_bits = weight_bits;
+  p.ring.fwhm = 0.1 * units::kNm;
+  p.ring.max_detuning = 0.5 * units::kNm;
+  return p;
+}
+
+std::vector<double> random_weights(util::Rng& rng, std::size_t n) {
+  std::vector<double> w(n);
+  for (auto& v : w) v = rng.uniform(-1.0, 1.0);
+  return w;
+}
+
+std::vector<int> random_codes(util::Rng& rng, std::size_t n) {
+  std::vector<int> c(n);
+  for (auto& v : c) v = static_cast<int>(rng.uniform_index(16));
+  return c;
+}
+
+TEST(MrArm, SingleCellMultiplication) {
+  MrArm arm(device_params());
+  std::vector<double> w(9, 0.0);
+  w[0] = 1.0;
+  arm.set_weights(w);
+  std::vector<int> codes(9, 0);
+  codes[0] = 15;
+  EXPECT_NEAR(arm.compute(codes), 1.0, 0.02);
+  codes[0] = 5;
+  EXPECT_NEAR(arm.compute(codes), 5.0 / 15.0, 0.02);
+}
+
+TEST(MrArm, NegativeWeightsProduceNegativeCurrent) {
+  MrArm arm(device_params());
+  std::vector<double> w(9, 0.0);
+  w[3] = -1.0;
+  arm.set_weights(w);
+  std::vector<int> codes(9, 0);
+  codes[3] = 15;
+  EXPECT_NEAR(arm.compute(codes), -1.0, 0.02);
+}
+
+TEST(MrArm, DarkInputGivesZero) {
+  MrArm arm(device_params());
+  arm.set_weights(std::vector<double>(9, 0.7));
+  const std::vector<int> codes(9, 0);
+  EXPECT_NEAR(arm.compute(codes), 0.0, 1e-6);
+}
+
+TEST(MrArm, ZeroWeightsGiveZero) {
+  MrArm arm(device_params());
+  arm.set_weights(std::vector<double>(9, 0.0));
+  const std::vector<int> codes(9, 15);
+  // Residual is pure differential-pair mismatch via crosstalk tails.
+  EXPECT_NEAR(arm.compute(codes), 0.0, 5e-3);
+}
+
+TEST(MrArm, MatchesIdealWithinAnalogBudget) {
+  util::Rng rng(99);
+  MrArm arm(device_params());
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto w = random_weights(rng, 9);
+    const auto codes = random_codes(rng, 9);
+    arm.set_weights(w);
+    const double physical = arm.compute(codes);
+    const double ideal = arm.ideal(codes);
+    // 9-term dot product, full-scale up to 9: allow 2% of full scale.
+    EXPECT_NEAR(physical, ideal, 0.18) << "trial " << trial;
+  }
+}
+
+TEST(MrArm, ErrorSmallRelativeToTerm) {
+  // Single active term: tight relative agreement.
+  util::Rng rng(7);
+  MrArm arm(device_params());
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<double> w(9, 0.0);
+    std::vector<int> codes(9, 0);
+    const std::size_t i = rng.uniform_index(9);
+    w[i] = rng.uniform(-1.0, 1.0);
+    codes[i] = 1 + static_cast<int>(rng.uniform_index(15));
+    arm.set_weights(w);
+    EXPECT_NEAR(arm.compute(codes), arm.ideal(codes), 0.02);
+  }
+}
+
+TEST(MrArm, NominalWeightsAreQuantized) {
+  MrArm arm(device_params(3));
+  std::vector<double> w(9);
+  for (std::size_t i = 0; i < 9; ++i) w[i] = -1.0 + 2.0 * i / 8.0;
+  arm.set_weights(w);
+  const auto nominal = arm.nominal_weights();
+  for (double v : nominal) {
+    const double level = v * 3.0;  // 3-bit max level
+    EXPECT_NEAR(level, std::round(level), 1e-9);
+  }
+}
+
+TEST(MrArm, TuningPowerZeroAtZeroWeights) {
+  MrArm arm(device_params());
+  arm.set_weights(std::vector<double>(9, 0.0));
+  EXPECT_DOUBLE_EQ(arm.tuning_power(), 0.0);
+  arm.set_weights(std::vector<double>(9, 1.0));
+  EXPECT_GT(arm.tuning_power(), 0.0);
+}
+
+TEST(MrArm, NoiseIsZeroMeanAroundNoiselessValue) {
+  util::Rng rng(21);
+  MrArm arm(device_params());
+  const auto w = random_weights(rng, 9);
+  const auto codes = random_codes(rng, 9);
+  arm.set_weights(w);
+  const double clean = arm.compute(codes);
+  double sum = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) sum += arm.compute_noisy(codes, rng) - clean;
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+}
+
+TEST(MrArm, RejectsSizeMismatches) {
+  MrArm arm(device_params());
+  EXPECT_THROW(arm.set_weights(std::vector<double>(5, 0.0)),
+               std::invalid_argument);
+  arm.set_weights(std::vector<double>(9, 0.0));
+  EXPECT_THROW(arm.compute(std::vector<int>(4, 0)), std::invalid_argument);
+}
+
+// Parameterized sweep: agreement must hold at every weight precision.
+class ArmPrecisionTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArmPrecisionTest, PhysicalTracksIdealAtEveryPrecision) {
+  const int bits = GetParam();
+  util::Rng rng(1000 + bits);
+  MrArm arm(device_params(bits));
+  double worst = 0.0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto w = random_weights(rng, 9);
+    const auto codes = random_codes(rng, 9);
+    arm.set_weights(w);
+    worst = std::max(worst, std::fabs(arm.compute(codes) - arm.ideal(codes)));
+  }
+  EXPECT_LT(worst, 0.2) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightBits, ArmPrecisionTest,
+                         ::testing::Values(2, 3, 4, 5, 6));
+
+// Parameterized sweep over arm length (segmentation sizes).
+class ArmLengthTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArmLengthTest, CalibrationHoldsForAnyLength) {
+  const std::size_t n = GetParam();
+  ArmParams p = device_params();
+  p.num_cells = n;
+  MrArm arm(p);
+  util::Rng rng(2000 + n);
+  const auto w = random_weights(rng, n);
+  const auto codes = random_codes(rng, n);
+  arm.set_weights(w);
+  EXPECT_NEAR(arm.compute(codes), arm.ideal(codes),
+              0.02 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Cells, ArmLengthTest,
+                         ::testing::Values(1u, 2u, 4u, 9u, 16u));
+
+}  // namespace
+}  // namespace lightator::optics

@@ -1,0 +1,131 @@
+// Compressive Acquisitor tests: Eq. 1 weight synthesis and the fused
+// grayscale+pool optical pass against the electronic reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/compressive_acquisitor.hpp"
+#include "util/rng.hpp"
+#include "workloads/scenes.hpp"
+
+namespace lightator::core {
+namespace {
+
+ArchConfig cfg() { return ArchConfig::defaults(); }
+
+TEST(CompressiveAcquisitor, Eq1WeightsForPool2Grayscale) {
+  const CompressiveAcquisitor ca({2, true, 8}, cfg());
+  const auto w = ca.ideal_weights();
+  ASSERT_EQ(w.size(), 12u);  // 3 * 2 * 2 (Eq. 1 terms)
+  EXPECT_NEAR(w[0], 0.25 * 0.299, 1e-7);  // float luma coefficients
+  EXPECT_NEAR(w[1], 0.25 * 0.587, 1e-7);
+  EXPECT_NEAR(w[2], 0.25 * 0.114, 1e-7);
+  double sum = 0.0;
+  for (double v : w) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-6);  // luma weights sum to 1, pooling preserves it
+}
+
+TEST(CompressiveAcquisitor, PoolOnlyWeights) {
+  const CompressiveAcquisitor ca({2, false, 8}, cfg());
+  const auto w = ca.ideal_weights();
+  ASSERT_EQ(w.size(), 4u);
+  for (double v : w) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(CompressiveAcquisitor, MappedWeightsQuantized) {
+  const CompressiveAcquisitor ca({2, true, 4}, cfg());
+  const auto ideal = ca.ideal_weights();
+  const auto mapped = ca.mapped_weights();
+  ASSERT_EQ(ideal.size(), mapped.size());
+  double scale = 0.0;
+  for (double v : ideal) scale = std::max(scale, v);
+  for (std::size_t i = 0; i < mapped.size(); ++i) {
+    const double level = mapped[i] / scale * 7.0;
+    EXPECT_NEAR(level, std::round(level), 1e-9) << i;
+    EXPECT_NEAR(mapped[i], ideal[i], scale / 14.0 + 1e-12);
+  }
+}
+
+TEST(CompressiveAcquisitor, ApplyMatchesReferenceGrayPool) {
+  util::Rng rng(1);
+  const auto scene = workloads::make_blob_scene(32, 32, rng);
+  const CompressiveAcquisitor ca({2, true, 8}, cfg());  // 8-bit: tiny quant error
+  const auto out = ca.apply(scene);
+  const auto ref = scene.to_grayscale().average_pool(2);
+  ASSERT_EQ(out.height(), 16u);
+  ASSERT_EQ(out.width(), 16u);
+  ASSERT_EQ(out.channels(), 1u);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      EXPECT_NEAR(out.at(y, x), ref.at(y, x), 0.01) << y << "," << x;
+    }
+  }
+}
+
+TEST(CompressiveAcquisitor, FourBitQuantizationErrorBounded) {
+  util::Rng rng(2);
+  const auto scene = workloads::make_blob_scene(32, 32, rng);
+  const CompressiveAcquisitor ca({2, true, 4}, cfg());
+  const auto out = ca.apply(scene);
+  const auto ref = scene.to_grayscale().average_pool(2);
+  double worst = 0.0;
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 16; ++x) {
+      worst = std::max(worst, std::fabs(static_cast<double>(out.at(y, x)) -
+                                        ref.at(y, x)));
+    }
+  }
+  EXPECT_LT(worst, 0.06);  // 4-bit coefficient error budget
+}
+
+TEST(CompressiveAcquisitor, PoolOnlyPreservesChannels) {
+  util::Rng rng(3);
+  const auto scene = workloads::make_blob_scene(16, 16, rng);
+  const CompressiveAcquisitor ca({2, false, 8}, cfg());
+  const auto out = ca.apply(scene);
+  EXPECT_EQ(out.channels(), 3u);
+  const auto ref = scene.average_pool(2);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(out.at(3, 4, c), ref.at(3, 4, c), 0.01);
+  }
+}
+
+TEST(CompressiveAcquisitor, GrayscaleOnlyMode) {
+  util::Rng rng(4);
+  const auto scene = workloads::make_blob_scene(8, 8, rng);
+  const CompressiveAcquisitor ca({1, true, 8}, cfg());
+  const auto out = ca.apply(scene);
+  EXPECT_EQ(out.height(), 8u);
+  EXPECT_EQ(out.channels(), 1u);
+  const auto ref = scene.to_grayscale();
+  EXPECT_NEAR(out.at(2, 2), ref.at(2, 2), 0.01);
+}
+
+TEST(CompressiveAcquisitor, CompressionRatio) {
+  // 2x2 pool + grayscale: 12 input values -> 1 output (12x data reduction).
+  const CompressiveAcquisitor ca({2, true, 4}, cfg());
+  EXPECT_EQ(ca.window_size(), 12u);
+}
+
+TEST(CompressiveAcquisitor, MappingOnCaBanks) {
+  const CompressiveAcquisitor ca({2, true, 4}, cfg());
+  const auto m = ca.mapping(32, 32);
+  EXPECT_TRUE(m.uses_ca_banks);
+  EXPECT_FALSE(m.weighted);
+  EXPECT_EQ(m.outputs, 16u * 16u);
+  EXPECT_EQ(m.macs_per_output, 12u);
+  EXPECT_EQ(m.weight_writes, 0u);
+}
+
+TEST(CompressiveAcquisitor, RejectsBadGeometry) {
+  EXPECT_THROW(CompressiveAcquisitor({0, true, 4}, cfg()),
+               std::invalid_argument);
+  EXPECT_THROW(CompressiveAcquisitor({1, false, 4}, cfg()),
+               std::invalid_argument);
+  const CompressiveAcquisitor ca({2, true, 4}, cfg());
+  EXPECT_THROW(ca.apply(sensor::Image(15, 16, 3)), std::invalid_argument);
+  EXPECT_THROW(ca.apply(sensor::Image(16, 16, 1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lightator::core

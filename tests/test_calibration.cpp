@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "core/power_model.hpp"
+
+namespace lightator::core {
+namespace {
+
+Calibrator make_calibrator() { return Calibrator(ArchConfig::defaults()); }
+
+TEST(Calibrator, TableCoversAllLevels) {
+  const auto table = make_calibrator().calibrate(4);
+  EXPECT_EQ(table.entries.size(), 15u);  // -7..7
+  EXPECT_EQ(table.entries.front().level, -7);
+  EXPECT_EQ(table.entries.back().level, 7);
+  EXPECT_NO_THROW(table.entry_for_level(0));
+  EXPECT_THROW(table.entry_for_level(8), std::out_of_range);
+}
+
+TEST(Calibrator, ResidualErrorSmallWith10BitDac) {
+  const auto table = make_calibrator().calibrate(4, 10);
+  // A 10-bit heater DAC resolves every 4-bit weight level to well under
+  // half an LSB of the weight grid (1/14).
+  EXPECT_LT(table.max_error(), 0.5 / 7.0);
+  EXPECT_LT(table.rms_error(), table.max_error() + 1e-12);
+}
+
+TEST(Calibrator, CoarseDacDegradesCalibration) {
+  const Calibrator cal = make_calibrator();
+  const double fine = cal.calibrate(4, 12).rms_error();
+  const double coarse = cal.calibrate(4, 4).rms_error();
+  EXPECT_GT(coarse, fine);
+}
+
+TEST(Calibrator, DacCodesMonotoneInLevelMagnitude) {
+  const auto table = make_calibrator().calibrate(3);
+  // |level| up => more detuning => larger DAC code.
+  int prev_code = -1;
+  for (int level = 0; level <= 3; ++level) {
+    const auto& e = table.entry_for_level(level);
+    EXPECT_GT(e.dac_code, prev_code);
+    prev_code = e.dac_code;
+  }
+}
+
+TEST(Calibrator, ZeroLevelCostsNoHeaterPower) {
+  const auto table = make_calibrator().calibrate(4);
+  EXPECT_NEAR(table.entry_for_level(0).heater_power, 0.0, 1e-9);
+  EXPECT_GT(table.entry_for_level(7).heater_power, 0.0);
+}
+
+TEST(Calibrator, MeanHeaterPowerMatchesPowerModelExpectation) {
+  const ArchConfig cfg = ArchConfig::defaults();
+  const auto table = Calibrator(cfg).calibrate(4);
+  const PowerModel pm(cfg);
+  // One ring of the differential pair is active per level; the power model's
+  // per-cell expectation assumes the same uniform level usage.
+  EXPECT_NEAR(table.mean_heater_power(),
+              pm.expected_tuning_power_per_cell(4),
+              0.15 * pm.expected_tuning_power_per_cell(4));
+}
+
+TEST(Calibrator, MeasureWeightMonotoneInCode) {
+  const Calibrator cal = make_calibrator();
+  double prev = -1.0;
+  for (int code = 0; code <= 255; code += 16) {
+    const double w = cal.measure_weight(code, 8);
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+  EXPECT_THROW(cal.measure_weight(-1, 8), std::out_of_range);
+  EXPECT_THROW(cal.measure_weight(256, 8), std::out_of_range);
+}
+
+TEST(Calibrator, DifferentialRejectsCommonModeDrift) {
+  const Calibrator cal = make_calibrator();
+  const auto table = cal.calibrate(4);
+  const double baseline = cal.drift_rms_error(table, 0.0);
+  // 10 pm of common-mode drift (a fraction of the 100 pm FWHM): the
+  // differential cell must keep the error well under one weight LSB.
+  const double drifted = cal.drift_rms_error(table, 0.01e-9);
+  EXPECT_LT(baseline, 0.02);
+  EXPECT_LT(drifted, 1.0 / 7.0);
+  // More drift, more error.
+  EXPECT_GT(cal.drift_rms_error(table, 0.05e-9), drifted);
+}
+
+TEST(Calibrator, RejectsBadArguments) {
+  const Calibrator cal = make_calibrator();
+  EXPECT_THROW(cal.calibrate(0), std::invalid_argument);
+  EXPECT_THROW(cal.calibrate(9), std::invalid_argument);
+  EXPECT_THROW(cal.calibrate(4, 1), std::invalid_argument);
+  EXPECT_THROW(cal.calibrate(4, 17), std::invalid_argument);
+}
+
+class CalibratorBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CalibratorBitsSweep, AllPrecisionsCalibratable) {
+  const int bits = GetParam();
+  const auto table = make_calibrator().calibrate(bits, 10);
+  const int m = bits == 1 ? 1 : (1 << (bits - 1)) - 1;
+  EXPECT_EQ(table.entries.size(), static_cast<std::size_t>(2 * m + 1));
+  EXPECT_LT(table.max_error(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CalibratorBitsSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace lightator::core

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "core/controller.hpp"
+#include "core/timing_model.hpp"
+#include "nn/model_desc.hpp"
+
+namespace lightator::core {
+namespace {
+
+Controller make_controller() { return Controller(ArchConfig::defaults()); }
+
+std::vector<LayerMapping> lenet_mappings() {
+  const Mapper mapper(ArchConfig::defaults());
+  return mapper.map_model(nn::lenet_desc());
+}
+
+TEST(Controller, FrameScheduleMatchesTimingModel) {
+  const Controller ctrl = make_controller();
+  const auto mappings = lenet_mappings();
+  const auto schedule = ctrl.schedule_frame(mappings);
+  const TimingModel tm(ArchConfig::defaults());
+  const auto mt = tm.model_timing(mappings);
+  EXPECT_NEAR(schedule.makespan(), mt.latency, mt.latency * 1e-9);
+  EXPECT_NEAR(schedule.total_remap_time() + schedule.total_stream_time(),
+              schedule.makespan(), 1e-12);
+}
+
+TEST(Controller, PhasesAreSequentialAndNonOverlapping) {
+  const auto schedule = make_controller().schedule_frame(lenet_mappings());
+  for (std::size_t i = 1; i < schedule.phases.size(); ++i) {
+    EXPECT_GE(schedule.phases[i].start,
+              schedule.phases[i - 1].end() - 1e-15);
+  }
+}
+
+TEST(Controller, EveryRemapPrecedesItsStream) {
+  const auto schedule = make_controller().schedule_frame(lenet_mappings());
+  for (std::size_t i = 0; i < schedule.phases.size(); ++i) {
+    const auto& p = schedule.phases[i];
+    if (p.kind != PhaseKind::kStream) continue;
+    // A weighted layer's stream phase of round r must directly follow a
+    // remap of the same layer/round.
+    bool weighted = false;
+    for (const auto& q : schedule.phases) {
+      if (q.layer == p.layer && q.kind == PhaseKind::kRemap) weighted = true;
+    }
+    if (!weighted) continue;
+    ASSERT_GT(i, 0u);
+    const auto& prev = schedule.phases[i - 1];
+    EXPECT_EQ(prev.kind, PhaseKind::kRemap);
+    EXPECT_EQ(prev.layer, p.layer);
+    EXPECT_EQ(prev.round, p.round);
+  }
+}
+
+TEST(Controller, CaLayersHaveNoRemapPhases) {
+  const auto schedule = make_controller().schedule_frame(lenet_mappings());
+  for (const auto& p : schedule.phases) {
+    if (p.layer.find("avgpool") != std::string::npos) {
+      EXPECT_EQ(p.kind, PhaseKind::kStream);
+    }
+  }
+}
+
+TEST(Controller, BatchScheduleStretchesStreamOnly) {
+  const Controller ctrl = make_controller();
+  const auto mappings = lenet_mappings();
+  const auto one = ctrl.schedule_frame(mappings);
+  const auto batch = ctrl.schedule_batch(mappings, 64);
+  EXPECT_EQ(batch.frames, 64u);
+  EXPECT_NEAR(batch.total_remap_time(), one.total_remap_time(), 1e-12);
+  EXPECT_NEAR(batch.total_stream_time(), 64.0 * one.total_stream_time(),
+              1e-9);
+  // Per-frame time shrinks with batching.
+  EXPECT_LT(batch.makespan() / 64.0, one.makespan());
+}
+
+TEST(Controller, OpticalDutyLowInLatencyMode) {
+  // FC-heavy LeNet in single-frame mode: the optical path is mostly dark
+  // (remap-bound) — the Fig. 10 regime.
+  const auto schedule = make_controller().schedule_frame(lenet_mappings());
+  EXPECT_LT(schedule.optical_duty(), 0.5);
+  // Batching flips it.
+  const auto batch = make_controller().schedule_batch(lenet_mappings(), 256);
+  EXPECT_GT(batch.optical_duty(), schedule.optical_duty());
+}
+
+TEST(Controller, TimelineRenders) {
+  const auto schedule = make_controller().schedule_frame(lenet_mappings());
+  const std::string art = schedule.render_timeline(60);
+  EXPECT_NE(art.find('R'), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find("conv5x5_1->6"), std::string::npos);
+}
+
+TEST(Controller, EmptyScheduleSafe) {
+  ExecutionSchedule empty;
+  EXPECT_DOUBLE_EQ(empty.makespan(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.optical_duty(), 0.0);
+  EXPECT_EQ(empty.render_timeline(), "(empty schedule)\n");
+}
+
+TEST(Controller, BufferAudit) {
+  const Controller ctrl = make_controller();
+  // LeNet's biggest adjacent activation maps easily fit 256 KiB.
+  EXPECT_TRUE(ctrl.buffer_fits(nn::lenet_desc()));
+  EXPECT_GT(ctrl.peak_buffer_bytes(nn::lenet_desc()), 0.0);
+  // VGG16 at 224x224: conv1 produces 64x224x224 (1.6M codes) — the biggest
+  // pair exceeds a 256 KiB buffer; the audit must catch it.
+  EXPECT_FALSE(ctrl.buffer_fits(nn::vgg16_desc()));
+  // VGG9 at 32x32 fits.
+  EXPECT_TRUE(ctrl.buffer_fits(nn::vgg9_desc()));
+}
+
+TEST(Controller, RejectsZeroFrames) {
+  const Controller ctrl = make_controller();
+  EXPECT_THROW(ctrl.schedule_batch(lenet_mappings(), 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lightator::core

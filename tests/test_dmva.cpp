@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "core/dmva.hpp"
+
+namespace lightator::core {
+namespace {
+
+Dmva make_dmva() { return Dmva(ArchConfig::defaults()); }
+
+TEST(Dmva, FrameCodesPassThrough) {
+  const Dmva dmva = make_dmva();
+  sensor::CodeFrame frame;
+  frame.rows = 1;
+  frame.cols = 4;
+  frame.codes = {0, 7, 15, 3};
+  const auto codes = dmva.codes_from_frame(frame);
+  ASSERT_EQ(codes.size(), 4u);
+  EXPECT_EQ(codes[1], 7);
+  EXPECT_EQ(codes[2], 15);
+}
+
+TEST(Dmva, FrameCodeOutOfRangeThrows) {
+  const Dmva dmva = make_dmva();
+  sensor::CodeFrame frame;
+  frame.rows = 1;
+  frame.cols = 1;
+  frame.codes = {16};
+  EXPECT_THROW(dmva.codes_from_frame(frame), std::out_of_range);
+}
+
+TEST(Dmva, ActivationCodesScaledAndClamped) {
+  const Dmva dmva = make_dmva();
+  const auto codes = dmva.codes_from_activations({0.0f, 1.0f, 2.0f, 0.5f, -1.0f},
+                                                 /*scale=*/2.0);
+  ASSERT_EQ(codes.size(), 5u);
+  EXPECT_EQ(codes[0], 0);
+  EXPECT_EQ(codes[1], 8);   // 0.5 of scale -> round(0.5*15)
+  EXPECT_EQ(codes[2], 15);  // full scale
+  EXPECT_EQ(codes[3], 4);   // 0.25 of scale -> round(3.75)
+  EXPECT_EQ(codes[4], 0);   // negative clamped
+}
+
+TEST(Dmva, RejectsNonPositiveScale) {
+  const Dmva dmva = make_dmva();
+  EXPECT_THROW(dmva.codes_from_activations({0.5f}, 0.0), std::invalid_argument);
+}
+
+TEST(Dmva, OpticalPowerLinearInCode) {
+  const Dmva dmva = make_dmva();
+  EXPECT_DOUBLE_EQ(dmva.optical_power(0), 0.0);
+  EXPECT_NEAR(dmva.optical_power(15), dmva.max_optical_power(), 1e-18);
+  EXPECT_NEAR(dmva.optical_power(5), dmva.max_optical_power() / 3.0, 1e-12);
+}
+
+TEST(Dmva, SourceSelection) {
+  Dmva dmva = make_dmva();
+  EXPECT_EQ(dmva.source(), DmvaSource::kPixelArray);
+  dmva.select(DmvaSource::kLayerBuffer);
+  EXPECT_EQ(dmva.source(), DmvaSource::kLayerBuffer);
+}
+
+TEST(Dmva, SymbolEnergyPositiveAndTiny) {
+  const Dmva dmva = make_dmva();
+  EXPECT_GT(dmva.symbol_energy(), 0.0);
+  EXPECT_LT(dmva.symbol_energy(), 1e-11);  // femtojoule-class per symbol
+}
+
+}  // namespace
+}  // namespace lightator::core

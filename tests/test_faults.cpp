@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "core/faults.hpp"
+#include "core/lightator.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "workloads/synth_mnist.hpp"
+
+namespace lightator::core {
+namespace {
+
+tensor::QuantizedTensor weights_of(std::size_t n, util::Rng& rng) {
+  tensor::Tensor t({n});
+  t.fill_normal(rng, 1.0f);
+  return tensor::quantize_symmetric(t, 4);
+}
+
+tensor::QuantizedTensor acts_of(std::size_t n, util::Rng& rng) {
+  tensor::Tensor t({n});
+  t.fill_uniform(rng, 0.0f, 1.0f);
+  return tensor::quantize_unsigned(t, 4);
+}
+
+TEST(Faults, ZeroRateIsNoOp) {
+  util::Rng rng(1);
+  auto w = weights_of(100, rng);
+  const auto before = w.levels;
+  FaultSpec spec;
+  EXPECT_EQ(apply_weight_faults(w, spec, rng), 0u);
+  EXPECT_EQ(w.levels, before);
+}
+
+TEST(Faults, HitCountTracksRate) {
+  util::Rng rng(2);
+  auto w = weights_of(20000, rng);
+  FaultSpec spec;
+  spec.stuck_cell_rate = 0.1;
+  const auto hits = apply_weight_faults(w, spec, rng);
+  EXPECT_NEAR(static_cast<double>(hits), 2000.0, 200.0);
+}
+
+TEST(Faults, StuckLevelsStayInRange) {
+  util::Rng rng(3);
+  auto w = weights_of(5000, rng);
+  FaultSpec spec;
+  spec.stuck_cell_rate = 0.5;
+  apply_weight_faults(w, spec, rng);
+  for (auto l : w.levels) {
+    EXPECT_GE(l, -7);
+    EXPECT_LE(l, 7);
+  }
+}
+
+TEST(Faults, DeadChannelsGoDark) {
+  util::Rng rng(4);
+  auto a = acts_of(5000, rng);
+  FaultSpec spec;
+  spec.dead_channel_rate = 1.0;  // kill everything
+  apply_activation_faults(a, spec, rng);
+  for (auto code : a.levels) EXPECT_EQ(code, 0);
+}
+
+TEST(Faults, SchemeMixupsRejected) {
+  util::Rng rng(5);
+  auto w = weights_of(10, rng);
+  auto a = acts_of(10, rng);
+  FaultSpec spec;
+  spec.stuck_cell_rate = 0.1;
+  spec.dead_channel_rate = 0.1;
+  EXPECT_THROW(apply_weight_faults(a, spec, rng), std::invalid_argument);
+  EXPECT_THROW(apply_activation_faults(w, spec, rng), std::invalid_argument);
+}
+
+TEST(Faults, AccuracyDegradesGracefullyWithFaultRate) {
+  // End-to-end: a trained LeNet through the OC with increasing defect rates.
+  util::Rng rng(6);
+  workloads::SynthMnistOptions opts;
+  opts.samples = 400;
+  nn::Dataset data = workloads::make_synth_mnist(opts);
+  nn::Network net = nn::build_lenet(rng);
+  nn::TrainParams tp;
+  tp.epochs = 2;
+  tp.batch_size = 25;
+  nn::Trainer(tp).fit(net, data);
+
+  const LightatorSystem sys(ArchConfig::defaults());
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  FaultSpec clean;
+  const double acc_clean =
+      sys.evaluate_on_oc(net, data, schedule, 50, 200, clean);
+  FaultSpec mild;
+  mild.stuck_cell_rate = 0.002;
+  const double acc_mild = sys.evaluate_on_oc(net, data, schedule, 50, 200, mild);
+  FaultSpec severe;
+  severe.stuck_cell_rate = 0.3;
+  severe.dead_channel_rate = 0.3;
+  const double acc_severe =
+      sys.evaluate_on_oc(net, data, schedule, 50, 200, severe);
+  // Mild defects barely matter; severe defects wreck the model.
+  EXPECT_GT(acc_clean, 0.6);
+  EXPECT_GT(acc_mild, acc_clean - 0.15);
+  EXPECT_LT(acc_severe, acc_clean - 0.2);
+}
+
+TEST(Faults, ReproducibleWithSeed) {
+  util::Rng rng_a(7), rng_b(7);
+  auto wa = weights_of(1000, rng_a);
+  util::Rng rng_a2(99), rng_b2(99);
+  auto wb = wa;
+  FaultSpec spec;
+  spec.stuck_cell_rate = 0.2;
+  apply_weight_faults(wa, spec, rng_a2);
+  apply_weight_faults(wb, spec, rng_b2);
+  EXPECT_EQ(wa.levels, wb.levels);
+}
+
+}  // namespace
+}  // namespace lightator::core

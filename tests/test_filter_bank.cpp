@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/filter_bank.hpp"
+#include "workloads/scenes.hpp"
+
+namespace lightator::core {
+namespace {
+
+FilterBank make_bank(int bits = 4) {
+  return FilterBank(ArchConfig::defaults(), bits);
+}
+
+sensor::Image test_image() {
+  return workloads::make_checker_scene(32, 32, 4).to_grayscale();
+}
+
+TEST(FilterBank, AllKindsHaveNamesAndTaps) {
+  for (const auto kind : all_filter_kinds()) {
+    EXPECT_STRNE(filter_name(kind), "?");
+    const auto taps = filter_taps(kind);
+    double mag = 0.0;
+    for (float t : taps) mag += std::fabs(t);
+    EXPECT_GT(mag, 0.0) << filter_name(kind);
+  }
+}
+
+TEST(FilterBank, IdentityPassesThrough) {
+  const auto r = make_bank(8).apply(FilterKind::kIdentity, test_image());
+  const auto img = test_image();
+  // 8-bit weights + 4-bit activations: fidelity is bounded by the 4-bit
+  // activation grid (~1/15 steps -> low-30s dB).
+  EXPECT_GT(image_psnr(r.output, img), 25.0);
+  EXPECT_GT(r.psnr_vs_float, 30.0);
+}
+
+TEST(FilterBank, BlurSmoothsEdges) {
+  const auto img = test_image();
+  const auto r = make_bank().apply(FilterKind::kBoxBlur, img);
+  // Total variation must shrink under blurring.
+  auto variation = [](const sensor::Image& im) {
+    double tv = 0.0;
+    for (std::size_t y = 0; y < im.height(); ++y) {
+      for (std::size_t x = 1; x < im.width(); ++x) {
+        tv += std::fabs(static_cast<double>(im.at(y, x)) - im.at(y, x - 1));
+      }
+    }
+    return tv;
+  };
+  EXPECT_LT(variation(r.output), variation(img));
+}
+
+TEST(FilterBank, SobelRespondsToEdges) {
+  // Vertical-edge image: sobel_x responds, sobel_y ~ 0 away from borders.
+  sensor::Image img(16, 16, 1);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 8; x < 16; ++x) img.at(y, x) = 1.0f;
+  }
+  const FilterBank bank = make_bank();
+  const auto rx = bank.apply(FilterKind::kSobelX, img);
+  const auto ry = bank.apply(FilterKind::kSobelY, img);
+  EXPECT_GT(rx.output.at(8, 7), 0.5f);   // clamped positive response
+  EXPECT_LT(ry.output.at(8, 4), 0.05f);  // interior: no horizontal edge
+}
+
+TEST(FilterBank, MorePrecisionBetterFidelity) {
+  const auto img = test_image();
+  const auto lo = make_bank(2).apply(FilterKind::kGaussianBlur, img);
+  const auto hi = make_bank(6).apply(FilterKind::kGaussianBlur, img);
+  EXPECT_GT(hi.psnr_vs_float, lo.psnr_vs_float);
+  EXPECT_LT(hi.weight_rms_error, lo.weight_rms_error);
+}
+
+TEST(FilterBank, ApplyAllMatchesIndividualApply) {
+  const auto img = test_image();
+  const FilterBank bank = make_bank();
+  const std::vector<FilterKind> kinds = {FilterKind::kSobelX,
+                                         FilterKind::kSharpen};
+  const auto batch = bank.apply_all(kinds, img);
+  ASSERT_EQ(batch.size(), 2u);
+  const auto single = bank.apply(FilterKind::kSobelX, img);
+  EXPECT_NEAR(batch[0].psnr_vs_float, single.psnr_vs_float, 1e-9);
+}
+
+TEST(FilterBank, MappingOneArmPerKernel) {
+  const FilterBank bank = make_bank();
+  const auto m = bank.mapping(5, 64, 64);
+  EXPECT_EQ(m.arms_per_output, 1u);  // 3x3 -> one arm per stride (Fig. 6a)
+  EXPECT_EQ(m.total_arm_groups, 5u);
+  EXPECT_EQ(m.idle_mrs, 0u);
+  EXPECT_EQ(m.cycles_per_round, 64u * 64u);
+}
+
+TEST(FilterBank, RejectsBadInput) {
+  const FilterBank bank = make_bank();
+  EXPECT_THROW(bank.apply(FilterKind::kSobelX, sensor::Image(8, 8, 3)),
+               std::invalid_argument);
+  EXPECT_THROW(bank.apply_all({}, test_image()), std::invalid_argument);
+  EXPECT_THROW(FilterBank(ArchConfig::defaults(), 0), std::invalid_argument);
+}
+
+TEST(ImagePsnr, IdenticalImagesCap) {
+  const auto img = test_image();
+  EXPECT_DOUBLE_EQ(image_psnr(img, img), 99.0);
+  EXPECT_THROW(image_psnr(img, sensor::Image(4, 4, 1)), std::invalid_argument);
+}
+
+class FilterKindSweep : public ::testing::TestWithParam<FilterKind> {};
+
+TEST_P(FilterKindSweep, OutputInRangeAndFiniteFidelity) {
+  const auto r = make_bank().apply(GetParam(), test_image());
+  for (float v : r.output.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  EXPECT_GT(r.psnr_vs_float, 0.0);
+  EXPECT_GE(r.weight_rms_error, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, FilterKindSweep,
+                         ::testing::ValuesIn(all_filter_kinds()));
+
+}  // namespace
+}  // namespace lightator::core

@@ -1,0 +1,185 @@
+// Numerical gradient checks: every backward pass is verified against central
+// finite differences. These guard the from-scratch training engine that the
+// accuracy experiments depend on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "tensor/activations.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::tensor {
+namespace {
+
+/// Central-difference gradient of scalar_fn wrt x, compared element-wise
+/// against analytic_grad.
+void check_gradient(Tensor& x, const std::function<double()>& scalar_fn,
+                    const Tensor& analytic_grad, float eps = 1e-3f,
+                    float tol = 2e-2f) {
+  ASSERT_EQ(x.size(), analytic_grad.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float saved = x[i];
+    x[i] = saved + eps;
+    const double up = scalar_fn();
+    x[i] = saved - eps;
+    const double down = scalar_fn();
+    x[i] = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic_grad[i], numeric,
+                tol * std::max(1.0, std::fabs(numeric)))
+        << "element " << i;
+  }
+}
+
+/// Weighted sum of all elements — a scalar "loss" with known gradient w.
+double weighted_sum(const Tensor& y, const Tensor& coeff) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    acc += static_cast<double>(y[i]) * coeff[i];
+  }
+  return acc;
+}
+
+TEST(Gradient, Conv2dInput) {
+  util::Rng rng(1);
+  const ConvSpec spec{2, 3, 3, 1, 1};
+  Tensor x({1, 2, 5, 5}), w({3, 2, 3, 3}), b({3});
+  x.fill_normal(rng, 1.0f);
+  w.fill_normal(rng, 0.5f);
+  b.fill_normal(rng, 0.5f);
+  Tensor coeff(conv2d_forward(x, w, b, spec).shape());
+  coeff.fill_normal(rng, 1.0f);
+  Tensor dx;
+  conv2d_backward(x, w, spec, coeff, &dx, nullptr, nullptr);
+  check_gradient(
+      x, [&] { return weighted_sum(conv2d_forward(x, w, b, spec), coeff); },
+      dx);
+}
+
+TEST(Gradient, Conv2dWeightAndBias) {
+  util::Rng rng(2);
+  const ConvSpec spec{2, 2, 3, 2, 1};
+  Tensor x({2, 2, 6, 6}), w({2, 2, 3, 3}), b({2});
+  x.fill_normal(rng, 1.0f);
+  w.fill_normal(rng, 0.5f);
+  b.fill_normal(rng, 0.5f);
+  Tensor coeff(conv2d_forward(x, w, b, spec).shape());
+  coeff.fill_normal(rng, 1.0f);
+  Tensor dw, db;
+  conv2d_backward(x, w, spec, coeff, nullptr, &dw, &db);
+  check_gradient(
+      w, [&] { return weighted_sum(conv2d_forward(x, w, b, spec), coeff); },
+      dw);
+  check_gradient(
+      b, [&] { return weighted_sum(conv2d_forward(x, w, b, spec), coeff); },
+      db);
+}
+
+TEST(Gradient, Linear) {
+  util::Rng rng(3);
+  Tensor x({3, 7}), w({4, 7}), b({4});
+  x.fill_normal(rng, 1.0f);
+  w.fill_normal(rng, 0.5f);
+  b.fill_normal(rng, 0.5f);
+  Tensor coeff({3, 4});
+  coeff.fill_normal(rng, 1.0f);
+  Tensor dx, dw, db;
+  linear_backward(x, w, coeff, &dx, &dw, &db);
+  check_gradient(
+      x, [&] { return weighted_sum(linear_forward(x, w, b), coeff); }, dx);
+  check_gradient(
+      w, [&] { return weighted_sum(linear_forward(x, w, b), coeff); }, dw);
+  check_gradient(
+      b, [&] { return weighted_sum(linear_forward(x, w, b), coeff); }, db);
+}
+
+TEST(Gradient, MaxPool) {
+  util::Rng rng(4);
+  Tensor x({1, 2, 4, 4});
+  x.fill_normal(rng, 1.0f);
+  std::vector<std::size_t> argmax;
+  Tensor y = maxpool_forward(x, 2, 2, &argmax);
+  Tensor coeff(y.shape());
+  coeff.fill_normal(rng, 1.0f);
+  const Tensor dx = maxpool_backward(coeff, x, 2, 2, argmax);
+  check_gradient(
+      x,
+      [&] {
+        std::vector<std::size_t> am;
+        return weighted_sum(maxpool_forward(x, 2, 2, &am), coeff);
+      },
+      dx, 1e-4f);
+}
+
+TEST(Gradient, AvgPool) {
+  util::Rng rng(5);
+  Tensor x({2, 1, 4, 4});
+  x.fill_normal(rng, 1.0f);
+  Tensor y = avgpool_forward(x, 2, 2);
+  Tensor coeff(y.shape());
+  coeff.fill_normal(rng, 1.0f);
+  const Tensor dx = avgpool_backward(coeff, x, 2, 2);
+  check_gradient(
+      x, [&] { return weighted_sum(avgpool_forward(x, 2, 2), coeff); }, dx);
+}
+
+TEST(Gradient, ReLU) {
+  util::Rng rng(6);
+  Tensor x({20});
+  x.fill_normal(rng, 1.0f);
+  // Keep points away from the kink where finite differences are invalid.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::fabs(x[i]) < 0.05f) x[i] = 0.1f;
+  }
+  Tensor coeff({20});
+  coeff.fill_normal(rng, 1.0f);
+  const Tensor dx = act_backward(coeff, x, ActKind::kReLU);
+  check_gradient(
+      x, [&] { return weighted_sum(act_forward(x, ActKind::kReLU), coeff); },
+      dx, 1e-4f);
+}
+
+TEST(Gradient, Tanh) {
+  util::Rng rng(7);
+  Tensor x({20});
+  x.fill_normal(rng, 1.0f);
+  Tensor coeff({20});
+  coeff.fill_normal(rng, 1.0f);
+  const Tensor dx = act_backward(coeff, x, ActKind::kTanh);
+  check_gradient(
+      x, [&] { return weighted_sum(act_forward(x, ActKind::kTanh), coeff); },
+      dx);
+}
+
+TEST(Gradient, SoftmaxCrossEntropy) {
+  util::Rng rng(8);
+  Tensor logits({4, 6});
+  logits.fill_normal(rng, 2.0f);
+  const std::vector<std::size_t> labels = {1, 0, 5, 3};
+  Tensor dlogits;
+  softmax_cross_entropy(logits, labels, &dlogits);
+  check_gradient(
+      logits,
+      [&] { return softmax_cross_entropy(logits, labels, nullptr); }, dlogits,
+      1e-3f, 1e-2f);
+}
+
+TEST(Gradient, SignStraightThroughIsClipped) {
+  // Not a numeric check (sign has zero derivative a.e.): assert the STE
+  // window — gradient passes inside |x|<=1, blocked outside.
+  Tensor x({3});
+  x[0] = 0.5f;
+  x[1] = -0.5f;
+  x[2] = 2.0f;
+  Tensor dy({3});
+  dy.fill(1.0f);
+  const Tensor dx = act_backward(dy, x, ActKind::kSign);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+  EXPECT_FLOAT_EQ(dx[1], 1.0f);
+  EXPECT_FLOAT_EQ(dx[2], 0.0f);
+}
+
+}  // namespace
+}  // namespace lightator::tensor

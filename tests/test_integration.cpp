@@ -1,0 +1,165 @@
+// Cross-module integration sweeps: invariants that must hold for every
+// (model, precision) combination, end-to-end acquisition -> inference, and
+// consistency between the independent views of the same hardware (mapper vs
+// power vs timing vs controller).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/controller.hpp"
+#include "core/filter_bank.hpp"
+#include "core/lightator.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
+#include "workloads/scenes.hpp"
+#include "workloads/synth_mnist.hpp"
+
+namespace lightator::core {
+namespace {
+
+struct SweepCase {
+  const char* model;
+  int weight_bits;
+};
+
+class SystemSweep : public ::testing::TestWithParam<SweepCase> {
+ protected:
+  nn::ModelDesc model_desc() const {
+    const std::string name = GetParam().model;
+    if (name == "lenet") return nn::lenet_desc();
+    if (name == "vgg9") return nn::vgg9_desc();
+    if (name == "vgg13") return nn::vgg13_desc();
+    if (name == "vgg16") return nn::vgg16_desc();
+    return nn::alexnet_desc();
+  }
+};
+
+TEST_P(SystemSweep, ReportInvariants) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const auto schedule = nn::PrecisionSchedule::uniform(GetParam().weight_bits);
+  const auto report = sys.analyze(model_desc(), schedule);
+
+  EXPECT_GT(report.max_power, 0.0);
+  EXPECT_GT(report.latency, 0.0);
+  EXPECT_GT(report.fps_batched, 0.0);
+  EXPECT_GT(report.energy_per_frame, 0.0);
+  // Average power can never exceed the peak streaming power.
+  EXPECT_LE(report.avg_power, report.max_power * (1.0 + 1e-9));
+  // Throughput mode can only be faster than latency mode.
+  EXPECT_GE(report.fps_batched, 1.0 / report.latency - 1e-9);
+  // Every compute layer got a mapping that fits the fabric.
+  const auto& g = sys.config().geometry;
+  for (const auto& l : report.layers) {
+    EXPECT_LE(l.mapping.arms_active, std::max(g.arms(), g.ca_arms()));
+    EXPECT_EQ(l.mapping.mrs_active + l.mapping.idle_mrs,
+              l.mapping.arms_active * g.mrs_per_arm);
+    if (l.mapping.weighted) {
+      EXPECT_GT(l.mapping.rounds, 0u);
+      EXPECT_GT(l.power.streaming.dac, 0.0);
+    } else if (l.mapping.rounds > 0) {
+      EXPECT_DOUBLE_EQ(l.power.streaming.dac, 0.0);
+    }
+  }
+}
+
+TEST_P(SystemSweep, ControllerAgreesWithTimingModel) {
+  const ArchConfig cfg = ArchConfig::defaults();
+  const Mapper mapper(cfg);
+  const TimingModel tm(cfg);
+  const Controller ctrl(cfg);
+  const auto mappings = mapper.map_model(model_desc());
+  const auto schedule = ctrl.schedule_frame(mappings);
+  const auto timing = tm.model_timing(mappings);
+  EXPECT_NEAR(schedule.makespan(), timing.latency,
+              timing.latency * 1e-9 + 1e-15);
+}
+
+TEST_P(SystemSweep, PowerMonotoneInWeightBits) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const auto desc = model_desc();
+  const int bits = GetParam().weight_bits;
+  if (bits <= 2) GTEST_SKIP() << "no lower precision to compare";
+  const double hi =
+      sys.analyze(desc, nn::PrecisionSchedule::uniform(bits)).max_power;
+  const double lo =
+      sys.analyze(desc, nn::PrecisionSchedule::uniform(bits - 1)).max_power;
+  EXPECT_GT(hi, lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndBits, SystemSweep,
+    ::testing::Values(SweepCase{"lenet", 4}, SweepCase{"lenet", 3},
+                      SweepCase{"lenet", 2}, SweepCase{"vgg9", 4},
+                      SweepCase{"vgg9", 3}, SweepCase{"vgg9", 2},
+                      SweepCase{"vgg13", 4}, SweepCase{"vgg16", 4},
+                      SweepCase{"alexnet", 4}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return std::string(info.param.model) + "_w" +
+             std::to_string(info.param.weight_bits);
+    });
+
+// ---------------------------------------------------------------- E2E
+
+TEST(EndToEnd, AcquireCompressTrainInfer) {
+  // The full Fig. 2 pipeline against a digit "poster" scene: render a digit
+  // into a 28x28 tile, upscale to a 56x56 scene, capture through the pixel
+  // array, CA-compress 2x back to 28x28 grayscale, and classify with a
+  // LeNet trained on the synthetic digits.
+  util::Rng rng(3);
+  workloads::SynthMnistOptions opts;
+  opts.samples = 500;
+  opts.noise_stddev = 0.02;
+  nn::Dataset data = workloads::make_synth_mnist(opts);
+  nn::Network net = nn::build_lenet(rng);
+  nn::TrainParams tp;
+  tp.epochs = 3;
+  tp.batch_size = 25;
+  nn::Trainer(tp).fit(net, data);
+
+  const LightatorSystem sys(ArchConfig::defaults());
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  std::size_t correct = 0, total = 0;
+  for (int digit = 0; digit < 10; ++digit) {
+    // Render a clean digit and blow it up to a 2x scene (RGB).
+    std::vector<float> tile(28 * 28);
+    workloads::SynthMnistOptions clean;
+    clean.noise_stddev = 0.0;
+    clean.jitter_pixels = 0.0;
+    clean.rotation_radians = 0.0;
+    clean.scale_jitter = 0.0;
+    workloads::render_digit(digit, rng, clean, tile.data());
+    sensor::Image scene(56, 56, 3);
+    for (std::size_t y = 0; y < 56; ++y) {
+      for (std::size_t x = 0; x < 56; ++x) {
+        const float v = tile[(y / 2) * 28 + (x / 2)];
+        scene.at(y, x, 0) = v;
+        scene.at(y, x, 1) = v;
+        scene.at(y, x, 2) = v;
+      }
+    }
+    const auto input = sys.acquire(scene, CaOptions{2, true, 4});
+    ASSERT_EQ(input.dim(2), 28u);
+    const auto logits = sys.run_network_on_oc(net, input, schedule);
+    const auto pred = tensor::predict(logits);
+    if (pred[0] == static_cast<std::size_t>(digit)) ++correct;
+    ++total;
+  }
+  // The capture/CA path adds Bayer + 4-bit CRC + pooling distortion; most
+  // digits must still classify.
+  EXPECT_GE(correct, total - 4);
+}
+
+TEST(EndToEnd, FilteringAndInferenceShareTheFabric) {
+  // The "versatile" claim: the same OC that classifies also runs image
+  // kernels. Check both mappings are legal simultaneously (filters fit in
+  // the arms a LeNet L1 leaves free).
+  const ArchConfig cfg = ArchConfig::defaults();
+  const Mapper mapper(cfg);
+  const auto l1 = mapper.map_layer(nn::lenet_desc().layers.front());
+  const FilterBank bank(cfg);
+  const auto filters = bank.mapping(8, 64, 64);
+  EXPECT_LE(l1.arms_active + filters.arms_active, cfg.geometry.arms());
+}
+
+}  // namespace
+}  // namespace lightator::core

@@ -1,0 +1,219 @@
+// Tests of the paper's §4 hardware-mapping methodology.
+#include <gtest/gtest.h>
+
+#include "core/mapper.hpp"
+#include "nn/model_desc.hpp"
+
+namespace lightator::core {
+namespace {
+
+nn::LayerDesc conv_layer(std::size_t in_c, std::size_t out_c, std::size_t k,
+                         std::size_t in_dim, std::size_t stride = 1,
+                         std::size_t pad = 0) {
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kConv;
+  l.name = "conv";
+  l.in_h = in_dim;
+  l.in_w = in_dim;
+  l.conv = tensor::ConvSpec{in_c, out_c, k, stride, pad};
+  return l;
+}
+
+nn::LayerDesc fc_layer(std::size_t in, std::size_t out) {
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kLinear;
+  l.name = "fc";
+  l.fc_in = in;
+  l.fc_out = out;
+  return l;
+}
+
+Mapper make_mapper() { return Mapper(ArchConfig::defaults()); }
+
+// --------------------------------------------------- paper Fig. 6 rules
+
+TEST(Mapper, Kernel3x3UsesOneArmPerSlice) {
+  const auto m = make_mapper().map_layer(conv_layer(1, 1, 3, 8));
+  EXPECT_EQ(m.arms_per_output, 1u);
+  EXPECT_EQ(m.idle_mrs_per_output, 0u);
+  EXPECT_EQ(m.summation_stages, 0u);  // BPD result goes straight out
+}
+
+TEST(Mapper, Kernel3x3SixStridesPerBank) {
+  // 6 single-slice filters fill exactly one bank: 6 parallel strides.
+  const auto m = make_mapper().map_layer(conv_layer(1, 6, 3, 8));
+  EXPECT_EQ(m.arms_active, 6u);
+  EXPECT_EQ(m.banks_active, 1u);
+  EXPECT_EQ(m.adc_samples_per_cycle, 6u);  // 6 strides per cycle (Fig. 6a)
+}
+
+TEST(Mapper, Kernel5x5ThreeArmsTwoIdle) {
+  const auto m = make_mapper().map_layer(conv_layer(1, 1, 5, 10));
+  EXPECT_EQ(m.arms_per_output, 3u);   // 25 MACs in 3 arms
+  EXPECT_EQ(m.idle_mrs_per_output, 2u);  // 27 - 25 (Fig. 6b)
+  EXPECT_EQ(m.summation_stages, 1u);
+}
+
+TEST(Mapper, Kernel5x5TwoStridesPerBank) {
+  const auto m = make_mapper().map_layer(conv_layer(1, 2, 5, 10));
+  EXPECT_EQ(m.arms_active, 6u);
+  EXPECT_EQ(m.banks_active, 1u);
+  EXPECT_EQ(m.adc_samples_per_cycle, 2u);  // 2 strides per bank (Fig. 6b)
+}
+
+TEST(Mapper, Kernel7x7WholeBankFiveIdle) {
+  const auto m = make_mapper().map_layer(conv_layer(1, 1, 7, 14));
+  EXPECT_EQ(m.arms_per_output, 6u);      // 49 MACs in 6 arms = whole bank
+  EXPECT_EQ(m.idle_mrs_per_output, 5u);  // 54 - 49 (Fig. 6c)
+  EXPECT_EQ(m.summation_stages, 2u);
+  EXPECT_EQ(m.adc_samples_per_cycle, 1u);  // 1 stride per bank
+  EXPECT_FALSE(m.cross_bank_accumulation);
+}
+
+TEST(Mapper, Kernel11x11SpansBanks) {
+  // AlexNet L1: 121 MACs/slice -> 14 arms -> cross-bank accumulation.
+  const auto m = make_mapper().map_layer(conv_layer(1, 1, 11, 22));
+  EXPECT_EQ(m.arms_per_output, 14u);
+  EXPECT_EQ(m.idle_mrs_per_output, 5u);  // 126 - 121
+  EXPECT_TRUE(m.cross_bank_accumulation);
+}
+
+TEST(Mapper, Kernel1x1PacksChannels) {
+  const auto m = make_mapper().map_layer(conv_layer(27, 4, 1, 8));
+  EXPECT_EQ(m.arms_per_output, 3u);  // ceil(27/9)
+  EXPECT_EQ(m.idle_mrs_per_output, 0u);
+}
+
+TEST(Mapper, MultiChannelConvUsesOneSlicePerChannel) {
+  const auto m = make_mapper().map_layer(conv_layer(64, 1, 3, 8, 1, 1));
+  EXPECT_EQ(m.arms_per_output, 64u);
+  EXPECT_TRUE(m.cross_bank_accumulation);
+}
+
+// --------------------------------------------------- rounds & capacity
+
+TEST(Mapper, SmallLayerSingleRound) {
+  const auto m = make_mapper().map_layer(conv_layer(3, 64, 3, 32, 1, 1));
+  EXPECT_EQ(m.total_arm_groups, 192u);  // 64 filters x 3 slices
+  EXPECT_EQ(m.rounds, 1u);
+  EXPECT_EQ(m.arms_active, 192u);
+  EXPECT_EQ(m.cycles_per_round, 32u * 32u);
+}
+
+TEST(Mapper, LargeLayerMultipleRounds) {
+  const auto m = make_mapper().map_layer(conv_layer(256, 256, 3, 8, 1, 1));
+  EXPECT_EQ(m.total_arm_groups, 65536u);
+  EXPECT_EQ(m.rounds, (65536u + 575u) / 576u);
+  EXPECT_EQ(m.arms_active, 576u);      // fabric saturated
+  EXPECT_EQ(m.mrs_active, 5184u);      // all MRs busy, zero idle at K=3
+  EXPECT_EQ(m.idle_mrs, 0u);
+}
+
+TEST(Mapper, FcSegmentation) {
+  const auto m = make_mapper().map_layer(fc_layer(400, 120));
+  EXPECT_EQ(m.arms_per_output, 45u);       // ceil(400/9)
+  EXPECT_EQ(m.idle_mrs_per_output, 5u);    // 405 - 400
+  EXPECT_EQ(m.total_arm_groups, 45u * 120u);
+  EXPECT_EQ(m.cycles_per_round, 1u);       // whole input broadcast at once
+  EXPECT_EQ(m.weight_writes, 400u * 120u);
+}
+
+TEST(Mapper, FcSmallFitsOneRound) {
+  const auto m = make_mapper().map_layer(fc_layer(84, 10));
+  EXPECT_EQ(m.arms_per_output, 10u);
+  EXPECT_EQ(m.rounds, 1u);
+}
+
+TEST(Mapper, UtilizationPerfectFor3x3) {
+  const auto m = make_mapper().map_layer(conv_layer(8, 8, 3, 16, 1, 1));
+  EXPECT_DOUBLE_EQ(m.mr_utilization(), 1.0);
+}
+
+TEST(Mapper, UtilizationDegradedFor5x5) {
+  const auto m = make_mapper().map_layer(conv_layer(8, 8, 5, 16));
+  EXPECT_NEAR(m.mr_utilization(), 25.0 / 27.0, 1e-9);
+}
+
+// --------------------------------------------------- pooling / CA banks
+
+TEST(Mapper, PoolingUsesCaBanksNoDac) {
+  nn::LayerDesc pool;
+  pool.kind = nn::LayerKind::kAvgPool;
+  pool.name = "avgpool";
+  pool.in_h = 28;
+  pool.in_w = 28;
+  pool.pool_kernel = 2;
+  pool.pool_stride = 2;
+  pool.pool_channels = 6;
+  const auto m = make_mapper().map_layer(pool);
+  EXPECT_TRUE(m.uses_ca_banks);
+  EXPECT_FALSE(m.weighted);
+  EXPECT_EQ(m.weight_writes, 0u);
+  EXPECT_EQ(m.rounds, 1u);
+  EXPECT_EQ(m.outputs, 6u * 14 * 14);
+}
+
+TEST(Mapper, CaWindowMapping) {
+  const Mapper mapper = make_mapper();
+  // Fused CA: 2x2 pool + grayscale = 12-MAC window.
+  const auto m = mapper.map_ca_window(12, 16 * 16, "ca", nn::LayerKind::kAvgPool);
+  EXPECT_EQ(m.arms_per_output, 2u);       // ceil(12/9)
+  EXPECT_EQ(m.idle_mrs_per_output, 6u);   // 18 - 12
+  EXPECT_EQ(m.outputs, 256u);
+  EXPECT_GE(m.adc_samples_per_cycle, 1u);
+}
+
+TEST(Mapper, NonComputeLayersMapEmpty) {
+  nn::LayerDesc act;
+  act.kind = nn::LayerKind::kActivation;
+  const auto m = make_mapper().map_layer(act);
+  EXPECT_EQ(m.rounds, 0u);
+  EXPECT_EQ(m.arms_active, 0u);
+}
+
+TEST(Mapper, MapModelCoversComputeLayers) {
+  const auto mappings = make_mapper().map_model(nn::lenet_desc());
+  EXPECT_EQ(mappings.size(), 7u);
+  EXPECT_TRUE(mappings[1].uses_ca_banks);   // L2 pool
+  EXPECT_TRUE(mappings[3].uses_ca_banks);   // L4 pool
+  EXPECT_TRUE(mappings[4].weighted);        // L5 fc
+}
+
+// --------------------------------------------------- property sweeps
+
+class MapperKernelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MapperKernelSweep, InvariantsHoldForAllKernels) {
+  const std::size_t k = GetParam();
+  const auto m = make_mapper().map_layer(
+      conv_layer(4, 8, k, std::max<std::size_t>(k, 16)));
+  const auto& g = ArchConfig::defaults().geometry;
+  // Arm accounting: active MRs + idle MRs = occupied arm capacity.
+  EXPECT_EQ(m.mrs_active + m.idle_mrs, m.arms_active * g.mrs_per_arm);
+  // Idle fraction bounded by (9-1)/9 per arm.
+  EXPECT_LT(m.idle_mrs, m.arms_active * g.mrs_per_arm);
+  // Every output's reduction covers all its MACs.
+  EXPECT_GE(m.arms_per_output * g.mrs_per_arm, m.macs_per_output);
+  // Rounds cover all groups.
+  EXPECT_GE(m.rounds * g.arms(), m.total_arm_groups);
+  EXPECT_LE(m.arms_active, g.arms());
+  EXPECT_LE(m.banks_active, g.banks());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, MapperKernelSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 9u, 11u));
+
+class MapperChannelSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MapperChannelSweep, GroupsScaleWithChannels) {
+  const std::size_t c = GetParam();
+  const auto m = make_mapper().map_layer(conv_layer(c, 16, 3, 16, 1, 1));
+  EXPECT_EQ(m.total_arm_groups, 16u * c);
+  EXPECT_EQ(m.macs_per_output, 9u * c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, MapperChannelSweep,
+                         ::testing::Values(1u, 3u, 16u, 64u, 256u));
+
+}  // namespace
+}  // namespace lightator::core

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include "core/memory_model.hpp"
+
+namespace lightator::core {
+namespace {
+
+TEST(SramModel, EnergyGrowsWithCapacity) {
+  const SramModel small(1024);
+  const SramModel big(2 * 1024 * 1024);
+  EXPECT_GT(big.read_energy_per_bit(), small.read_energy_per_bit());
+  EXPECT_GT(big.access_latency(), small.access_latency());
+}
+
+TEST(SramModel, ValuesInCactiClassRange) {
+  const SramModel mem(256 * 1024);  // 256 KiB buffer
+  // 45 nm CACTI-class: 0.02-0.3 pJ/bit, sub-5-ns access.
+  EXPECT_GT(mem.read_energy_per_bit(), 0.01e-12);
+  EXPECT_LT(mem.read_energy_per_bit(), 0.5e-12);
+  EXPECT_LT(mem.access_latency(), 5e-9);
+}
+
+TEST(SramModel, WritesCostMoreThanReads) {
+  const SramModel mem(64 * 1024);
+  EXPECT_GT(mem.write_energy_per_bit(), mem.read_energy_per_bit());
+}
+
+TEST(SramModel, LeakageProportionalToCapacity) {
+  const SramModel a(64 * 1024), b(128 * 1024);
+  EXPECT_NEAR(b.leakage_power() / a.leakage_power(), 2.0, 1e-9);
+}
+
+TEST(SramModel, BurstEnergyScalesWithBits) {
+  const SramModel mem(64 * 1024);
+  EXPECT_NEAR(mem.read_energy(128), 128 * mem.read_energy_per_bit(), 1e-20);
+}
+
+TEST(SramModel, RejectsNonPositiveCapacity) {
+  EXPECT_THROW(SramModel(0.0), std::invalid_argument);
+  EXPECT_THROW(SramModel(-5.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lightator::core

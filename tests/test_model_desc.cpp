@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "nn/model_desc.hpp"
+#include "nn/models.hpp"
+
+namespace lightator::nn {
+namespace {
+
+TEST(LeNetDesc, HasSevenComputeLayers) {
+  const ModelDesc d = lenet_desc();
+  // L1 conv, L2 pool, L3 conv, L4 pool, L5-L7 fc — the Fig. 8 layers.
+  EXPECT_EQ(d.compute_layers().size(), 7u);
+}
+
+TEST(LeNetDesc, Geometry) {
+  const ModelDesc d = lenet_desc();
+  const auto layers = d.compute_layers();
+  EXPECT_EQ(layers[0]->conv.out_channels, 6u);
+  EXPECT_EQ(layers[0]->conv.kernel, 5u);
+  EXPECT_EQ(layers[2]->conv.in_channels, 6u);
+  EXPECT_EQ(layers[4]->fc_in, 400u);   // 16*5*5
+  EXPECT_EQ(layers[6]->fc_out, 10u);
+}
+
+TEST(LeNetDesc, WeightsMatchTrainableModel) {
+  util::Rng rng(1);
+  const Network net = build_lenet(rng);
+  const ModelDesc d = lenet_desc();
+  EXPECT_EQ(d.total_weights() +
+                (6 + 16 + 120 + 84 + 10),  // descs exclude biases
+            const_cast<Network&>(net).num_params());
+}
+
+TEST(Vgg9Desc, HasTwelveComputeLayers) {
+  const ModelDesc d = vgg9_desc();
+  // 6 conv + 3 pool + 3 fc = the 12 Li of Fig. 9.
+  EXPECT_EQ(d.compute_layers().size(), 12u);
+}
+
+TEST(Vgg9Desc, L8IsLargeConv) {
+  const ModelDesc d = vgg9_desc();
+  const auto layers = d.compute_layers();
+  const auto* l8 = layers[7];
+  EXPECT_EQ(l8->kind, LayerKind::kConv);
+  EXPECT_EQ(l8->conv.in_channels, 256u);
+  EXPECT_EQ(l8->conv.out_channels, 256u);
+  EXPECT_EQ(l8->in_h, 8u);
+}
+
+TEST(Vgg9Desc, WidthMultScalesChannels) {
+  const ModelDesc slim = vgg9_desc(10, 0.25);
+  const auto layers = slim.compute_layers();
+  EXPECT_EQ(layers[0]->conv.out_channels, 16u);
+  EXPECT_LT(slim.total_weights(), vgg9_desc().total_weights() / 10);
+}
+
+TEST(Vgg9Desc, MacCount) {
+  const ModelDesc d = vgg9_desc();
+  // Conv MACs dominate; sanity check the total is in the 150-170 M range
+  // for 32x32 CIFAR geometry.
+  EXPECT_GT(d.total_macs(), 140u * 1000 * 1000);
+  EXPECT_LT(d.total_macs(), 180u * 1000 * 1000);
+}
+
+TEST(Vgg16Desc, StandardParameterCount) {
+  const ModelDesc d = vgg16_desc();
+  // VGG16 has ~138M weights (conv ~14.7M + fc ~123.6M).
+  EXPECT_GT(d.total_weights(), 130u * 1000 * 1000);
+  EXPECT_LT(d.total_weights(), 140u * 1000 * 1000);
+}
+
+TEST(Vgg16Desc, MacCount) {
+  const ModelDesc d = vgg16_desc();
+  // ~15.5 GMACs at 224x224.
+  EXPECT_GT(d.total_macs(), 14ull * 1000 * 1000 * 1000);
+  EXPECT_LT(d.total_macs(), 16ull * 1000 * 1000 * 1000);
+}
+
+TEST(AlexNetDesc, Geometry) {
+  const ModelDesc d = alexnet_desc();
+  const auto layers = d.compute_layers();
+  EXPECT_EQ(layers[0]->conv.kernel, 11u);
+  EXPECT_EQ(layers[0]->conv.stride, 4u);
+  EXPECT_EQ(layers[0]->conv.out_dim(227), 55u);
+  // fc6 input: 256 * 6 * 6.
+  bool found_fc6 = false;
+  for (const auto* l : layers) {
+    if (l->kind == LayerKind::kLinear && l->fc_in == 9216) found_fc6 = true;
+  }
+  EXPECT_TRUE(found_fc6);
+}
+
+TEST(AlexNetDesc, MacAndWeightCounts) {
+  const ModelDesc d = alexnet_desc();
+  // ~1.1 GMACs (we model the ungrouped single-GPU AlexNet: the original's
+  // two-group conv2/4/5 halve its MACs to ~0.7 G), ~62M weights.
+  EXPECT_GT(d.total_macs(), 1000ull * 1000 * 1000);
+  EXPECT_LT(d.total_macs(), 1250ull * 1000 * 1000);
+  EXPECT_GT(d.total_weights(), 55u * 1000 * 1000);
+  EXPECT_LT(d.total_weights(), 65u * 1000 * 1000);
+}
+
+TEST(DescFromNetwork, MatchesBuilderDesc) {
+  util::Rng rng(2);
+  const Network net = build_lenet(rng);
+  const ModelDesc from_net = desc_from_network(net, 1, 28, 28);
+  const ModelDesc direct = lenet_desc();
+  ASSERT_EQ(from_net.compute_layers().size(), direct.compute_layers().size());
+  EXPECT_EQ(from_net.total_macs(), direct.total_macs());
+  EXPECT_EQ(from_net.total_weights(), direct.total_weights());
+}
+
+TEST(LayerDesc, OutputCounts) {
+  const ModelDesc d = lenet_desc();
+  const auto layers = d.compute_layers();
+  EXPECT_EQ(layers[0]->output_count(), 6u * 28 * 28);
+  EXPECT_EQ(layers[1]->output_count(), 6u * 14 * 14);
+  EXPECT_EQ(layers[6]->output_count(), 10u);
+}
+
+TEST(LayerDesc, PoolMacsCountWindowElements) {
+  LayerDesc pool;
+  pool.kind = LayerKind::kAvgPool;
+  pool.in_h = 4;
+  pool.in_w = 4;
+  pool.pool_kernel = 2;
+  pool.pool_stride = 2;
+  pool.pool_channels = 3;
+  EXPECT_EQ(pool.macs(), 3u * 2 * 2 * 2 * 2);
+}
+
+}  // namespace
+}  // namespace lightator::nn

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/models.hpp"
+#include "nn/network.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/qat.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/activations.hpp"
+#include "workloads/synth_mnist.hpp"
+
+namespace lightator::nn {
+namespace {
+
+// ----------------------------------------------------------------- Layers
+
+TEST(Conv2dLayer, ForwardShape) {
+  util::Rng rng(1);
+  Conv2d conv(tensor::ConvSpec{3, 8, 3, 1, 1}, rng);
+  const Tensor x({2, 3, 16, 16});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.dim(1), 8u);
+  EXPECT_EQ(y.dim(2), 16u);
+}
+
+TEST(Conv2dLayer, BackwardRequiresForward) {
+  util::Rng rng(2);
+  Conv2d conv(tensor::ConvSpec{1, 1, 3, 1, 1}, rng);
+  EXPECT_THROW(conv.backward(Tensor({1, 1, 4, 4})), std::logic_error);
+}
+
+TEST(Conv2dLayer, QatWeightsAreQuantized) {
+  util::Rng rng(3);
+  Conv2d conv(tensor::ConvSpec{1, 4, 3, 1, 0}, rng);
+  conv.set_weight_qat_bits(3);
+  const Tensor w = conv.effective_weight();
+  const float scale = conv.weight().max_abs();
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const float level = w[i] / scale * 3.0f;
+    EXPECT_NEAR(level, std::round(level), 1e-4);
+  }
+}
+
+TEST(LinearLayer, ParamsAndGradsAligned) {
+  util::Rng rng(4);
+  Linear fc(10, 5, rng);
+  const auto params = fc.params();
+  const auto grads = fc.grads();
+  ASSERT_EQ(params.size(), 2u);
+  ASSERT_EQ(grads.size(), 2u);
+  EXPECT_EQ(params[0]->size(), grads[0]->size());
+  EXPECT_EQ(params[1]->size(), grads[1]->size());
+}
+
+TEST(ActivationLayer, QatRunningScaleGrows) {
+  Activation act(ActKind::kReLU);
+  act.set_act_qat_bits(4);
+  Tensor x1({4});
+  x1.fill(0.5f);
+  act.forward(x1, /*training=*/true);
+  EXPECT_NEAR(act.act_scale(), 0.5, 1e-6);
+  Tensor x2({4});
+  x2.fill(2.0f);
+  act.forward(x2, /*training=*/true);
+  EXPECT_NEAR(act.act_scale(), 2.0, 1e-6);
+  // Scale does not shrink.
+  act.forward(x1, /*training=*/true);
+  EXPECT_NEAR(act.act_scale(), 2.0, 1e-6);
+}
+
+TEST(ActivationLayer, QatQuantizesOutput) {
+  Activation act(ActKind::kReLU);
+  act.set_act_qat_bits(4);
+  act.set_act_scale(1.0);
+  Tensor x({1});
+  x[0] = 0.512f;
+  const Tensor y = act.forward(x, false);
+  EXPECT_NEAR(y[0], std::round(0.512 * 15.0) / 15.0, 1e-6);
+}
+
+TEST(FlattenLayer, RoundTripShape) {
+  Flatten flat;
+  Tensor x({2, 3, 4, 4});
+  const Tensor y = flat.forward(x, true);
+  EXPECT_EQ(y.dim(1), 48u);
+  const Tensor dx = flat.backward(y);
+  EXPECT_EQ(dx.shape(), x.shape());
+}
+
+// ----------------------------------------------------------------- Network
+
+TEST(Network, ForwardThroughMlp) {
+  util::Rng rng(5);
+  Network net = build_mlp(rng, 16, 8, 3);
+  const Tensor x({4, 1, 4, 4});
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.dim(0), 4u);
+  EXPECT_EQ(y.dim(1), 3u);
+}
+
+TEST(Network, ParamCountLenet) {
+  util::Rng rng(6);
+  Network net = build_lenet(rng);
+  // Classic LeNet-5: conv1 156, conv2 2416, fc1 48120, fc2 10164, fc3 850.
+  EXPECT_EQ(net.num_params(), 156u + 2416u + 48120u + 10164u + 850u);
+}
+
+TEST(Network, EmptyThrows) {
+  Network net;
+  EXPECT_THROW(net.forward(Tensor({1, 1})), std::logic_error);
+}
+
+// ----------------------------------------------------------------- Sgd
+
+TEST(Sgd, PlainGradientStep) {
+  SgdParams p;
+  p.learning_rate = 0.1;
+  p.momentum = 0.0;
+  p.weight_decay = 0.0;
+  Sgd sgd(p);
+  Tensor w({2}), g({2});
+  w.fill(1.0f);
+  g.fill(2.0f);
+  sgd.step({&w}, {&g});
+  EXPECT_FLOAT_EQ(w[0], 0.8f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);  // gradient consumed
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  SgdParams p;
+  p.learning_rate = 1.0;
+  p.momentum = 0.5;
+  p.weight_decay = 0.0;
+  Sgd sgd(p);
+  Tensor w({1}), g({1});
+  w[0] = 0.0f;
+  g[0] = 1.0f;
+  sgd.step({&w}, {&g});
+  EXPECT_FLOAT_EQ(w[0], -1.0f);  // v = 1
+  g[0] = 1.0f;
+  sgd.step({&w}, {&g});
+  EXPECT_FLOAT_EQ(w[0], -2.5f);  // v = 1.5
+}
+
+TEST(Sgd, WeightDecayShrinks) {
+  SgdParams p;
+  p.learning_rate = 0.1;
+  p.momentum = 0.0;
+  p.weight_decay = 0.5;
+  Sgd sgd(p);
+  Tensor w({1}), g({1});
+  w[0] = 1.0f;
+  g[0] = 0.0f;
+  sgd.step({&w}, {&g});
+  EXPECT_NEAR(w[0], 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+// ----------------------------------------------------------------- Training
+
+TEST(Trainer, LearnsLinearlySeparableTask) {
+  // Two Gaussian blobs in 2-D; an MLP must reach >95% quickly.
+  util::Rng rng(7);
+  Dataset data;
+  data.num_classes = 2;
+  const std::size_t n = 256;
+  data.images = Tensor({n, 1, 1, 2});
+  data.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t label = i % 2;
+    const double cx = label == 0 ? -1.0 : 1.0;
+    data.images[i * 2 + 0] = static_cast<float>(cx + rng.normal(0.0, 0.4));
+    data.images[i * 2 + 1] = static_cast<float>(cx + rng.normal(0.0, 0.4));
+    data.labels[i] = label;
+  }
+  Network net = build_mlp(rng, 2, 8, 2);
+  TrainParams params;
+  params.epochs = 20;
+  params.batch_size = 16;
+  params.sgd.learning_rate = 0.1;
+  params.sgd.weight_decay = 0.0;
+  Trainer trainer(params);
+  trainer.fit(net, data);
+  EXPECT_GT(Trainer::evaluate(net, data), 0.95);
+}
+
+TEST(Trainer, LossDecreases) {
+  util::Rng rng(8);
+  workloads::SynthMnistOptions opts;
+  opts.samples = 200;
+  Dataset data = workloads::make_synth_mnist(opts);
+  Network net = build_mlp(rng, 28 * 28, 32, 10);
+  TrainParams params;
+  params.epochs = 1;
+  params.batch_size = 20;
+  params.sgd.learning_rate = 0.05;
+  Trainer trainer(params);
+  const auto first = trainer.train_epoch(net, data);
+  EpochStats last{};
+  for (int e = 0; e < 4; ++e) last = trainer.train_epoch(net, data);
+  EXPECT_LT(last.loss, first.loss);
+}
+
+// ----------------------------------------------------------------- QAT
+
+TEST(Qat, ScheduleLabels) {
+  EXPECT_EQ(PrecisionSchedule::uniform(4).label(), "[4:4]");
+  EXPECT_EQ(PrecisionSchedule::uniform(2).label(), "[2:4]");
+  EXPECT_EQ(PrecisionSchedule::mixed(3).label(), "[4:4][3:4]");
+  EXPECT_FALSE(PrecisionSchedule::uniform(3).is_mixed());
+  EXPECT_TRUE(PrecisionSchedule::mixed(2).is_mixed());
+}
+
+TEST(Qat, MixedAssignsFirstLayerSeparately) {
+  const auto s = PrecisionSchedule::mixed(2);
+  EXPECT_EQ(s.weight_bits_for(0), 4);
+  EXPECT_EQ(s.weight_bits_for(1), 2);
+  EXPECT_EQ(s.weight_bits_for(5), 2);
+}
+
+TEST(Qat, EnableDisableTogglesLayers) {
+  util::Rng rng(9);
+  Network net = build_lenet(rng);
+  enable_qat(net, PrecisionSchedule::uniform(3));
+  int quantized = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    if (auto* conv = dynamic_cast<Conv2d*>(&net.layer(i))) {
+      EXPECT_EQ(conv->weight_qat_bits(), 3);
+      ++quantized;
+    }
+    if (auto* fc = dynamic_cast<Linear*>(&net.layer(i))) {
+      EXPECT_EQ(fc->weight_qat_bits(), 3);
+      ++quantized;
+    }
+  }
+  EXPECT_EQ(quantized, 5);
+  disable_qat(net);
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    if (auto* conv = dynamic_cast<Conv2d*>(&net.layer(i))) {
+      EXPECT_EQ(conv->weight_qat_bits(), 0);
+    }
+  }
+}
+
+TEST(Qat, MixedScheduleFirstConvKeeps4Bits) {
+  util::Rng rng(10);
+  Network net = build_lenet(rng);
+  enable_qat(net, PrecisionSchedule::mixed(2));
+  bool first = true;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    if (auto* conv = dynamic_cast<Conv2d*>(&net.layer(i))) {
+      EXPECT_EQ(conv->weight_qat_bits(), first ? 4 : 2);
+      first = false;
+    }
+  }
+}
+
+TEST(Qat, CalibrationSetsActivationScales) {
+  util::Rng rng(11);
+  workloads::SynthMnistOptions opts;
+  opts.samples = 64;
+  Dataset data = workloads::make_synth_mnist(opts);
+  Network net = build_lenet(rng);
+  enable_qat(net, PrecisionSchedule::uniform(4));
+  calibrate_activations(net, data, 2, 16);
+  int scaled = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    if (auto* act = dynamic_cast<Activation*>(&net.layer(i))) {
+      if (act->act_scale() > 0.0) ++scaled;
+    }
+  }
+  EXPECT_GE(scaled, 3);
+}
+
+}  // namespace
+}  // namespace lightator::nn

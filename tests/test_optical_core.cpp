@@ -1,0 +1,168 @@
+// Optical-core equivalence tests: the functional quantized path must match
+// (a) exact integer math, (b) the reference tensor kernels, and (c) the
+// physical device-model path within the analog error budget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optical_core.hpp"
+#include "tensor/ops.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::core {
+namespace {
+
+OpticalCore make_oc() { return OpticalCore(ArchConfig::defaults()); }
+
+TEST(OpticalCore, ArmDotExactIntegerMath) {
+  const OpticalCore oc = make_oc();
+  const std::vector<int> codes = {15, 0, 7, 3, 1, 0, 0, 0, 0};
+  const std::vector<int> levels = {7, -7, 3, 0, -1, 0, 0, 0, 0};
+  // sum(code*level) = 105 + 21 - 1 = 125; normalize by 15*7.
+  EXPECT_NEAR(oc.arm_dot(codes, levels, 4), 125.0 / 105.0, 1e-12);
+}
+
+TEST(OpticalCore, ArmDotValidatesRanges) {
+  const OpticalCore oc = make_oc();
+  EXPECT_THROW(oc.arm_dot(std::vector<int>{16}, std::vector<int>{1}, 4),
+               std::out_of_range);
+  EXPECT_THROW(oc.arm_dot(std::vector<int>{1}, std::vector<int>{8}, 4),
+               std::out_of_range);
+  EXPECT_THROW(oc.arm_dot(std::vector<int>(10, 0), std::vector<int>(10, 0), 4),
+               std::invalid_argument);
+}
+
+TEST(OpticalCore, ReduceSegmentsMatchesFlatSum) {
+  util::Rng rng(1);
+  const OpticalCore oc = make_oc();
+  std::vector<int> codes(31), levels(31);
+  for (auto& c : codes) c = static_cast<int>(rng.uniform_index(16));
+  for (auto& l : levels) l = static_cast<int>(rng.uniform_index(15)) - 7;
+  double flat = 0.0;
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    flat += codes[i] * levels[i] / (15.0 * 7.0);
+  }
+  EXPECT_NEAR(oc.reduce(codes, levels, 4), flat, 1e-9);
+}
+
+TEST(OpticalCore, PhysicalMatchesFunctionalArm) {
+  util::Rng rng(2);
+  const OpticalCore oc = make_oc();
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<double> w(9);
+    std::vector<int> codes(9), levels(9);
+    for (std::size_t i = 0; i < 9; ++i) {
+      w[i] = rng.uniform(-1.0, 1.0);
+      codes[i] = static_cast<int>(rng.uniform_index(16));
+      levels[i] = static_cast<int>(std::lround(w[i] * 7.0));
+    }
+    const double functional = oc.arm_dot(codes, levels, 4);
+    const double physical = oc.arm_dot_physical(w, codes, 4);
+    EXPECT_NEAR(physical, functional, 0.15) << "trial " << trial;
+  }
+}
+
+TEST(OpticalCore, Conv2dMatchesDequantizedReference) {
+  util::Rng rng(3);
+  const OpticalCore oc = make_oc();
+  const tensor::ConvSpec spec{3, 4, 3, 1, 1};
+  tensor::Tensor x({2, 3, 8, 8});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w({4, 3, 3, 3});
+  w.fill_normal(rng, 0.4f);
+  tensor::Tensor b({4});
+  b.fill_normal(rng, 0.1f);
+
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  const auto via_oc = oc.conv2d(xq, wq, b, spec);
+  // Reference: conv of the dequantized tensors must be bit-identical in
+  // float (integer products < 2^24 are exact).
+  const auto ref = tensor::conv2d_forward(tensor::dequantize(xq),
+                                          tensor::dequantize(wq), b, spec);
+  EXPECT_TRUE(via_oc.allclose(ref, 2e-5f));
+}
+
+TEST(OpticalCore, Conv2dStridedAndPadded) {
+  util::Rng rng(4);
+  const OpticalCore oc = make_oc();
+  const tensor::ConvSpec spec{2, 3, 5, 2, 2};
+  tensor::Tensor x({1, 2, 12, 12});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w({3, 2, 5, 5});
+  w.fill_normal(rng, 0.3f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 3);
+  const auto via_oc = oc.conv2d(xq, wq, tensor::Tensor(), spec);
+  const auto ref = tensor::conv2d_forward(tensor::dequantize(xq),
+                                          tensor::dequantize(wq),
+                                          tensor::Tensor(), spec);
+  EXPECT_EQ(via_oc.dim(2), 6u);
+  EXPECT_TRUE(via_oc.allclose(ref, 2e-5f));
+}
+
+TEST(OpticalCore, LinearMatchesDequantizedReference) {
+  util::Rng rng(5);
+  const OpticalCore oc = make_oc();
+  tensor::Tensor x({4, 40});
+  x.fill_uniform(rng, 0.0f, 2.0f);
+  tensor::Tensor w({10, 40});
+  w.fill_normal(rng, 0.5f);
+  tensor::Tensor b({10});
+  b.fill_normal(rng, 0.2f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  const auto via_oc = oc.linear(xq, wq, b);
+  const auto ref = tensor::linear_forward(tensor::dequantize(xq),
+                                          tensor::dequantize(wq), b);
+  EXPECT_TRUE(via_oc.allclose(ref, 2e-5f));
+}
+
+TEST(OpticalCore, RejectsSchemeMixups) {
+  const OpticalCore oc = make_oc();
+  tensor::Tensor x({1, 4});
+  tensor::Tensor w({2, 4});
+  const auto xq = tensor::quantize_unsigned(x, 4, 1.0);
+  const auto wq = tensor::quantize_symmetric(w, 4, 1.0);
+  // Acts must be unsigned, weights signed.
+  EXPECT_THROW(oc.linear(wq, wq, tensor::Tensor()), std::invalid_argument);
+  EXPECT_THROW(oc.linear(xq, xq, tensor::Tensor()), std::invalid_argument);
+}
+
+TEST(OpticalCore, TuningPowerAudit) {
+  const OpticalCore oc = make_oc();
+  const std::vector<int> zeros(10, 0);
+  EXPECT_DOUBLE_EQ(oc.tuning_power_for_levels(zeros, 4), 0.0);
+  const std::vector<int> maxed(10, 7);
+  EXPECT_GT(oc.tuning_power_for_levels(maxed, 4), 0.0);
+  // Symmetric in sign.
+  const std::vector<int> negated(10, -7);
+  EXPECT_NEAR(oc.tuning_power_for_levels(maxed, 4),
+              oc.tuning_power_for_levels(negated, 4), 1e-15);
+}
+
+class OcPrecisionEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(OcPrecisionEquivalence, ConvEquivalentAtAllWeightPrecisions) {
+  const int bits = GetParam();
+  util::Rng rng(100 + bits);
+  const OpticalCore oc = make_oc();
+  const tensor::ConvSpec spec{2, 2, 3, 1, 0};
+  tensor::Tensor x({1, 2, 6, 6});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w({2, 2, 3, 3});
+  w.fill_normal(rng, 0.5f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, bits);
+  const auto via_oc = oc.conv2d(xq, wq, tensor::Tensor(), spec);
+  const auto ref = tensor::conv2d_forward(tensor::dequantize(xq),
+                                          tensor::dequantize(wq),
+                                          tensor::Tensor(), spec);
+  EXPECT_TRUE(via_oc.allclose(ref, 2e-5f)) << "bits=" << bits;
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, OcPrecisionEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+}  // namespace
+}  // namespace lightator::core

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optics/microring.hpp"
+#include "optics/optical_signal.hpp"
+#include "optics/photodetector.hpp"
+#include "optics/vcsel.hpp"
+#include "optics/waveguide.hpp"
+#include "optics/wavelength.hpp"
+#include "optics/weight_cell.hpp"
+
+namespace lightator::optics {
+namespace {
+
+using lightator::units::kNm;
+
+// ----------------------------------------------------------------- WdmGrid
+
+TEST(WdmGrid, ChannelSpacing) {
+  const WdmGrid grid = WdmGrid::c_band(9);
+  EXPECT_EQ(grid.num_channels(), 9u);
+  EXPECT_DOUBLE_EQ(grid.wavelength(0), 1550.0 * kNm);
+  EXPECT_NEAR(grid.wavelength(1) - grid.wavelength(0), 1.6 * kNm, 1e-15);
+}
+
+TEST(WdmGrid, OutOfRangeThrows) {
+  const WdmGrid grid = WdmGrid::c_band(4);
+  EXPECT_THROW(grid.wavelength(4), std::out_of_range);
+}
+
+TEST(WdmGrid, InvalidConstruction) {
+  EXPECT_THROW(WdmGrid(0, 1550 * kNm, kNm), std::invalid_argument);
+  EXPECT_THROW(WdmGrid(4, -1.0, kNm), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Signal
+
+TEST(OpticalSignal, PowerAccounting) {
+  OpticalSignal s(3);
+  s.set_power(0, 1e-3);
+  s.set_power(2, 2e-3);
+  EXPECT_DOUBLE_EQ(s.total_power(), 3e-3);
+  s.attenuate(0, 0.5);
+  EXPECT_DOUBLE_EQ(s.power(0), 0.5e-3);
+  s.attenuate_all(0.5);
+  EXPECT_DOUBLE_EQ(s.total_power(), (0.25 + 1.0) * 1e-3);
+}
+
+TEST(OpticalSignal, RejectsNegativePowerAndGain) {
+  OpticalSignal s(1);
+  EXPECT_THROW(s.set_power(0, -1.0), std::invalid_argument);
+  EXPECT_THROW(s.attenuate(0, 1.5), std::invalid_argument);
+  EXPECT_THROW(s.set_power(1, 0.0), std::out_of_range);
+}
+
+TEST(OpticalSignal, AddCombinesChannelwise) {
+  OpticalSignal a(2), b(2);
+  a.set_power(0, 1e-3);
+  b.set_power(0, 2e-3);
+  b.set_power(1, 1e-3);
+  a.add(b);
+  EXPECT_DOUBLE_EQ(a.power(0), 3e-3);
+  EXPECT_DOUBLE_EQ(a.power(1), 1e-3);
+  OpticalSignal c(3);
+  EXPECT_THROW(a.add(c), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- MicroRing
+
+MicroRingParams test_ring_params() {
+  MicroRingParams p;
+  p.fwhm = 0.1 * kNm;
+  p.extinction = 0.05;
+  p.max_detuning = 0.5 * kNm;
+  p.heater_efficiency = 4.0 * kNm / units::kMW;
+  p.insertion_loss_db = 0.0;  // isolate the Lorentzian in unit tests
+  return p;
+}
+
+TEST(MicroRing, OnResonanceExtinction) {
+  const MicroRing ring(test_ring_params(), 1550 * kNm);
+  EXPECT_NEAR(ring.through_transmission(1550 * kNm), 0.05, 1e-9);
+  EXPECT_NEAR(ring.drop_transmission(1550 * kNm), 0.95, 1e-9);
+}
+
+TEST(MicroRing, FarDetunedTransparent) {
+  const MicroRing ring(test_ring_params(), 1550 * kNm);
+  EXPECT_NEAR(ring.through_transmission(1560 * kNm), 1.0, 1e-3);
+  EXPECT_NEAR(ring.drop_transmission(1560 * kNm), 0.0, 1e-3);
+}
+
+TEST(MicroRing, FwhmIsHalfDepthWidth) {
+  const MicroRing ring(test_ring_params(), 1550 * kNm);
+  // At +/- FWHM/2 the dip is half depth: T = 1 - 0.95/2.
+  const double half = 1.0 - 0.95 / 2.0;
+  EXPECT_NEAR(ring.through_transmission(1550 * kNm + 0.05 * kNm), half, 1e-9);
+  EXPECT_NEAR(ring.through_transmission(1550 * kNm - 0.05 * kNm), half, 1e-9);
+}
+
+TEST(MicroRing, WeightCalibrationInvertsExactlyInRange) {
+  MicroRing ring(test_ring_params(), 1550 * kNm);
+  for (double w : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    ring.set_weight(w);
+    EXPECT_NEAR(ring.realized_weight(), w, 1e-9) << "w=" << w;
+  }
+}
+
+TEST(MicroRing, TopWeightSaturatesAtDetuningRange) {
+  MicroRing ring(test_ring_params(), 1550 * kNm);
+  ring.set_weight(1.0);
+  EXPECT_LE(ring.detuning(), ring.params().max_detuning + 1e-18);
+  // Headroom 0.9 keeps w=1 realizable within the 5x-FWHM range.
+  EXPECT_NEAR(ring.realized_weight(), 1.0, 0.01);
+}
+
+TEST(MicroRing, TuningPowerProportionalToDetuning) {
+  MicroRing ring(test_ring_params(), 1550 * kNm);
+  ring.set_detuning(0.4 * kNm);
+  EXPECT_NEAR(ring.tuning_power(), 0.1 * units::kMW, 1e-9);
+  ring.set_detuning(0.0);
+  EXPECT_DOUBLE_EQ(ring.tuning_power(), 0.0);
+}
+
+TEST(MicroRing, TuningPowerMonotoneInWeight) {
+  MicroRing ring(test_ring_params(), 1550 * kNm);
+  double prev = -1.0;
+  for (double w = 0.0; w <= 1.0; w += 0.05) {
+    ring.set_weight(w);
+    EXPECT_GE(ring.tuning_power(), prev);
+    prev = ring.tuning_power();
+  }
+}
+
+TEST(MicroRing, DetuningRangeEnforced) {
+  MicroRing ring(test_ring_params(), 1550 * kNm);
+  EXPECT_THROW(ring.set_detuning(1.0 * kNm), std::out_of_range);
+  EXPECT_THROW(ring.set_weight(1.5), std::invalid_argument);
+  EXPECT_THROW(ring.set_weight(-0.1), std::invalid_argument);
+}
+
+TEST(MicroRing, NeighborChannelCrosstalkSmall) {
+  MicroRing ring(test_ring_params(), 1550 * kNm);
+  ring.set_weight(0.0);  // parked on resonance: worst case for own channel
+  // Neighbor 1.6 nm away: attenuation must stay below 0.5%.
+  EXPECT_GT(ring.through_transmission(1551.6 * kNm), 0.995);
+  ring.set_weight(1.0);  // maximally detuned toward the neighbor
+  EXPECT_GT(ring.through_transmission(1551.6 * kNm), 0.99);
+}
+
+TEST(MicroRing, PropagateAppliesPerChannel) {
+  const WdmGrid grid = WdmGrid::c_band(3);
+  MicroRing ring(test_ring_params(), grid.wavelength(1));
+  ring.set_weight(0.0);
+  OpticalSignal s(3);
+  for (std::size_t i = 0; i < 3; ++i) s.set_power(i, 1e-3);
+  ring.propagate_through(s, grid);
+  EXPECT_NEAR(s.power(1), 0.05e-3, 1e-8);  // own channel suppressed
+  EXPECT_GT(s.power(0), 0.99e-3);          // neighbors nearly untouched
+  EXPECT_GT(s.power(2), 0.99e-3);
+}
+
+// ----------------------------------------------------------------- WeightCell
+
+TEST(WeightCell, QuantizesToLevels) {
+  WeightCell cell(test_ring_params(), 1550 * kNm, 4);
+  cell.set_weight(0.5);
+  EXPECT_EQ(cell.level(), 4);  // round(0.5 * 7)
+  EXPECT_NEAR(cell.nominal_weight(), 4.0 / 7.0, 1e-12);
+}
+
+TEST(WeightCell, SignSelectsRail) {
+  WeightCell cell(test_ring_params(), 1550 * kNm, 4);
+  cell.set_weight(0.7);
+  EXPECT_GT(cell.positive_ring().detuning(), 0.0);
+  EXPECT_DOUBLE_EQ(cell.negative_ring().detuning(), 0.0);
+  cell.set_weight(-0.7);
+  EXPECT_DOUBLE_EQ(cell.positive_ring().detuning(), 0.0);
+  EXPECT_GT(cell.negative_ring().detuning(), 0.0);
+}
+
+TEST(WeightCell, DifferentialTransmissionMatchesWeight) {
+  WeightCell cell(test_ring_params(), 1550 * kNm, 4);
+  for (double w : {-1.0, -0.5, 0.0, 0.5, 1.0}) {
+    cell.set_weight(w);
+    EXPECT_NEAR(cell.differential_transmission(1550 * kNm),
+                cell.nominal_weight(), 0.015)
+        << "w=" << w;
+  }
+}
+
+TEST(WeightCell, ZeroWeightCancelsDifferentially) {
+  WeightCell cell(test_ring_params(), 1550 * kNm, 4);
+  cell.set_weight(0.0);
+  EXPECT_NEAR(cell.differential_transmission(1550 * kNm), 0.0, 1e-12);
+}
+
+TEST(WeightCell, RejectsBadInputs) {
+  EXPECT_THROW(WeightCell(test_ring_params(), 1550 * kNm, 0),
+               std::invalid_argument);
+  EXPECT_THROW(WeightCell(test_ring_params(), 1550 * kNm, 9),
+               std::invalid_argument);
+  WeightCell cell(test_ring_params(), 1550 * kNm, 3);
+  EXPECT_THROW(cell.set_weight(1.2), std::invalid_argument);
+}
+
+TEST(WeightCell, BinaryWeightsSupported) {
+  // The ROBIN / LightBulb baselines use binary MR weights: level {-1, +1}.
+  WeightCell cell(test_ring_params(), 1550 * kNm, 1);
+  cell.set_weight(0.3);
+  EXPECT_EQ(cell.level(), 1);
+  EXPECT_DOUBLE_EQ(cell.nominal_weight(), 1.0);
+  cell.set_weight(-0.3);
+  EXPECT_EQ(cell.level(), -1);
+}
+
+// ----------------------------------------------------------------- Vcsel
+
+TEST(Vcsel, LICurveLinearAboveThreshold) {
+  VcselParams p;
+  Vcsel laser(p, 1550 * kNm);
+  laser.drive_code(0);
+  EXPECT_DOUBLE_EQ(laser.optical_power(), 0.0);
+  laser.drive_code(15);
+  EXPECT_NEAR(laser.optical_power(), laser.max_optical_power(), 1e-15);
+  laser.drive_code(5);
+  EXPECT_NEAR(laser.optical_power(), laser.max_optical_power() * 5.0 / 15.0,
+              1e-12);
+}
+
+TEST(Vcsel, ElectricalPowerIncludesBias) {
+  VcselParams p;
+  Vcsel laser(p, 1550 * kNm);
+  laser.drive_code(0);
+  EXPECT_NEAR(laser.electrical_power(), p.supply_voltage * p.threshold_current,
+              1e-15);
+  laser.drive_code(15);
+  EXPECT_GT(laser.electrical_power(),
+            p.supply_voltage * p.threshold_current * 2.0);
+}
+
+TEST(Vcsel, ThermometerDriveMatchesCode) {
+  VcselParams p;
+  Vcsel laser(p, 1550 * kNm);
+  laser.drive_thermometer(util::thermometer_encode(9, 15));
+  EXPECT_EQ(laser.code(), 9);
+  EXPECT_THROW(laser.drive_thermometer(std::vector<bool>(14, false)),
+               std::invalid_argument);
+  EXPECT_THROW(laser.drive_code(16), std::out_of_range);
+}
+
+// ----------------------------------------------------------------- BPD
+
+TEST(BalancedPhotodetector, SubtractsRails) {
+  PhotodetectorParams p;
+  p.responsivity = 0.8;
+  const BalancedPhotodetector bpd(p);
+  OpticalSignal pos(2), neg(2);
+  pos.set_power(0, 2e-3);
+  neg.set_power(1, 0.5e-3);
+  EXPECT_NEAR(bpd.net_current(pos, neg), 0.8 * 1.5e-3, 1e-12);
+}
+
+TEST(BalancedPhotodetector, NoiseSigmaGrowsWithPower) {
+  const BalancedPhotodetector bpd(PhotodetectorParams{});
+  EXPECT_GT(bpd.noise_sigma(1e-3), bpd.noise_sigma(1e-6));
+  EXPECT_GT(bpd.noise_sigma(0.0), 0.0);  // thermal floor
+}
+
+TEST(BalancedPhotodetector, NoisyCurrentStatistics) {
+  PhotodetectorParams p;
+  const BalancedPhotodetector bpd(p);
+  OpticalSignal pos(1), neg(1);
+  pos.set_power(0, 1e-3);
+  util::Rng rng(5);
+  const double ideal = bpd.net_current(pos, neg);
+  const double sigma = bpd.noise_sigma(1e-3);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = bpd.net_current_noisy(pos, neg, rng) - ideal;
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 4.0 * sigma / std::sqrt(n));
+  EXPECT_NEAR(std::sqrt(sq / n), sigma, sigma * 0.05);
+}
+
+// ----------------------------------------------------------------- Waveguide
+
+TEST(Waveguide, LossComposition) {
+  WaveguideParams p;
+  p.propagation_loss_db_per_cm = 2.0;
+  p.coupler_loss_db = 0.5;
+  p.laser_to_chip_loss_db = 1.0;
+  const Waveguide wg(p, /*length=*/0.01 /* 1 cm */, /*couplers=*/2);
+  EXPECT_NEAR(wg.total_loss_db(), 1.0 + 2.0 + 1.0, 1e-12);
+  EXPECT_NEAR(wg.transmission(), std::pow(10.0, -4.0 / 10.0), 1e-9);
+}
+
+TEST(Waveguide, PropagateAttenuatesAllChannels) {
+  const Waveguide wg(WaveguideParams{}, 0.001, 1);
+  OpticalSignal s(2);
+  s.set_power(0, 1e-3);
+  s.set_power(1, 2e-3);
+  const double t = wg.transmission();
+  wg.propagate(s);
+  EXPECT_NEAR(s.power(0), t * 1e-3, 1e-12);
+  EXPECT_NEAR(s.power(1), t * 2e-3, 1e-12);
+}
+
+}  // namespace
+}  // namespace lightator::optics

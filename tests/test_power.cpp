@@ -1,0 +1,187 @@
+// Power-model tests: component shares, the DAC precision ladder, and the
+// pre-set-CA exemption — the mechanics behind Figs. 8/9 and Table 1.
+#include <gtest/gtest.h>
+
+#include "core/mapper.hpp"
+#include "core/power_model.hpp"
+#include "nn/model_desc.hpp"
+
+namespace lightator::core {
+namespace {
+
+LayerMapping big_conv_mapping() {
+  // VGG9 L8-class layer: saturates the OC.
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kConv;
+  l.name = "conv3x3_256->256";
+  l.in_h = 8;
+  l.in_w = 8;
+  l.conv = tensor::ConvSpec{256, 256, 3, 1, 1};
+  return Mapper(ArchConfig::defaults()).map_layer(l);
+}
+
+TEST(PowerBreakdown, Accumulates) {
+  PowerBreakdown a{1, 2, 3, 4, 5, 6};
+  const PowerBreakdown b{1, 1, 1, 1, 1, 1};
+  a += b;
+  EXPECT_DOUBLE_EQ(a.total(), 27.0);
+  a *= 0.5;
+  EXPECT_DOUBLE_EQ(a.dac, 1.5);
+}
+
+TEST(PowerModel, DacLadderFollowsCurrentSteering) {
+  const ArchConfig cfg = ArchConfig::defaults();
+  // (2^b - 1)/15 branch gating.
+  EXPECT_DOUBLE_EQ(cfg.dac_power(4), cfg.dac_power_4bit);
+  EXPECT_NEAR(cfg.dac_power(3) / cfg.dac_power(4), 7.0 / 15.0, 1e-12);
+  EXPECT_NEAR(cfg.dac_power(2) / cfg.dac_power(4), 3.0 / 15.0, 1e-12);
+}
+
+TEST(PowerModel, DacDominatesSaturatedLayer) {
+  const PowerModel pm(ArchConfig::defaults());
+  const auto p = pm.layer_power(big_conv_mapping(), 3);
+  const double share = p.streaming.dac / p.streaming.total();
+  // Paper Fig. 9 pie: DACs > 85% of a [3:4] VGG9 layer.
+  EXPECT_GT(share, 0.80);
+  EXPECT_LT(share, 0.95);
+}
+
+TEST(PowerModel, ComponentSharesMatchPaperPie) {
+  // Fig. 9 L8 pie at [3:4]: DAC 85%, DMVA 9%, TUN 4%, BPD 1%, ADC <1%.
+  const PowerModel pm(ArchConfig::defaults());
+  const auto p = pm.layer_power(big_conv_mapping(), 3);
+  const double total = p.streaming.total();
+  EXPECT_NEAR(p.streaming.dmva / total, 0.09, 0.05);
+  EXPECT_NEAR(p.streaming.tun / total, 0.04, 0.03);
+  EXPECT_LT(p.streaming.adc / total, 0.02);
+  EXPECT_LT(p.streaming.bpd / total, 0.03);
+  EXPECT_LT(p.streaming.misc / total, 0.02);
+}
+
+TEST(PowerModel, PowerLadderAcrossPrecisions) {
+  // Total power must drop 4 -> 3 -> 2 bits, with ratios in the
+  // neighborhood of the paper's 5.28 / 2.71 / 1.46 W ladder.
+  const PowerModel pm(ArchConfig::defaults());
+  const auto m = big_conv_mapping();
+  const double p4 = pm.layer_power(m, 4).streaming.total();
+  const double p3 = pm.layer_power(m, 3).streaming.total();
+  const double p2 = pm.layer_power(m, 2).streaming.total();
+  EXPECT_GT(p4, p3);
+  EXPECT_GT(p3, p2);
+  EXPECT_NEAR(p4 / p3, 5.28 / 2.71, 0.4);
+  EXPECT_NEAR(p4 / p2, 5.28 / 1.46, 0.9);
+}
+
+TEST(PowerModel, AveragePowerEfficiencyGainNearPaper) {
+  // The paper reports ~2.4x average power-efficiency gain per bit step
+  // (4->3 and 4->2 averaged ~2.78x on the ladder). Accept 2-3.5x.
+  const PowerModel pm(ArchConfig::defaults());
+  const auto m = big_conv_mapping();
+  const double p4 = pm.layer_power(m, 4).streaming.total();
+  const double p3 = pm.layer_power(m, 3).streaming.total();
+  const double p2 = pm.layer_power(m, 2).streaming.total();
+  const double avg_gain = (p4 / p3 + p4 / p2) / 2.0;
+  EXPECT_GT(avg_gain, 2.0);
+  EXPECT_LT(avg_gain, 3.5);
+}
+
+TEST(PowerModel, PresetCaBanksDrawNoDacPower) {
+  const ArchConfig cfg = ArchConfig::defaults();
+  const Mapper mapper(cfg);
+  const auto m = mapper.map_ca_window(12, 256, "ca", nn::LayerKind::kAvgPool);
+  const PowerModel pm(cfg);
+  const auto p = pm.layer_power(m, 4);
+  EXPECT_DOUBLE_EQ(p.streaming.dac, 0.0);
+  EXPECT_GT(p.streaming.tun, 0.0);  // heaters still hold the coefficients
+  EXPECT_GT(p.streaming.total(), 0.0);
+}
+
+TEST(PowerModel, PoolingOrdersOfMagnitudeBelowConv) {
+  // The Fig. 8 dips: CA-mapped pooling draws orders of magnitude less than
+  // a saturated conv layer.
+  const ArchConfig cfg = ArchConfig::defaults();
+  const PowerModel pm(cfg);
+  const Mapper mapper(cfg);
+  const auto pool = mapper.map_ca_window(4, 6 * 14 * 14, "pool",
+                                         nn::LayerKind::kAvgPool);
+  const double p_pool = pm.layer_power(pool, 4).streaming.total();
+  const double p_conv = pm.layer_power(big_conv_mapping(), 4).streaming.total();
+  EXPECT_LT(p_pool * 20.0, p_conv);
+}
+
+TEST(PowerModel, CrcChargedToFirstLayerOnly) {
+  const PowerModel pm(ArchConfig::defaults());
+  const auto m = big_conv_mapping();
+  const auto with_crc = pm.layer_power(m, 4, /*first_layer=*/true);
+  const auto without = pm.layer_power(m, 4, /*first_layer=*/false);
+  EXPECT_GT(with_crc.streaming.dmva, without.streaming.dmva);
+  EXPECT_DOUBLE_EQ(with_crc.streaming.dac, without.streaming.dac);
+}
+
+TEST(PowerModel, TuningPowerUsesActualWeightStats) {
+  const PowerModel pm(ArchConfig::defaults());
+  const auto m = big_conv_mapping();
+  const auto small_w = pm.layer_power(m, 4, false, 0.1);
+  const auto large_w = pm.layer_power(m, 4, false, 0.9);
+  EXPECT_LT(small_w.streaming.tun, large_w.streaming.tun);
+}
+
+TEST(PowerModel, ExpectedTuningMonotoneishAcrossExtremes) {
+  const PowerModel pm(ArchConfig::defaults());
+  // Fewer bits -> levels concentrated at larger |w| -> more heater power.
+  EXPECT_GT(pm.expected_tuning_power_per_cell(2),
+            pm.expected_tuning_power_per_cell(4));
+  EXPECT_GT(pm.expected_tuning_power_per_cell(2),
+            pm.expected_tuning_power_per_cell(6));
+}
+
+TEST(PowerModel, RemapPhaseCheaperThanStreaming) {
+  const PowerModel pm(ArchConfig::defaults());
+  nn::LayerDesc fc;
+  fc.kind = nn::LayerKind::kLinear;
+  fc.name = "fc";
+  fc.fc_in = 4096;
+  fc.fc_out = 512;
+  const auto m = Mapper(ArchConfig::defaults()).map_layer(fc);
+  const auto p = pm.layer_power(m, 4);
+  // FC layers are remap-dominated; average power must sit below the pure
+  // streaming power because the optical path idles while MRs settle.
+  EXPECT_LT(p.average.total(), p.streaming.total());
+  EXPECT_GT(p.energy, 0.0);
+  EXPECT_GT(p.duration, 0.0);
+}
+
+TEST(PowerModel, NonComputeLayerIsFree) {
+  const PowerModel pm(ArchConfig::defaults());
+  LayerMapping empty;
+  const auto p = pm.layer_power(empty, 4);
+  EXPECT_DOUBLE_EQ(p.average.total(), 0.0);
+  EXPECT_DOUBLE_EQ(p.energy, 0.0);
+}
+
+TEST(PowerModel, VcselChannelPowerIsSubMilliwatt) {
+  const PowerModel pm(ArchConfig::defaults());
+  // uA-class edge VCSELs: ~0.1 mW per active channel (DESIGN.md §5).
+  EXPECT_LT(pm.vcsel_channel_power(), 0.3e-3);
+  EXPECT_GT(pm.vcsel_channel_power(), 0.02e-3);
+}
+
+class PowerPrecisionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerPrecisionSweep, AllComponentsNonNegative) {
+  const int bits = GetParam();
+  const PowerModel pm(ArchConfig::defaults());
+  const auto p = pm.layer_power(big_conv_mapping(), bits);
+  EXPECT_GE(p.streaming.adc, 0.0);
+  EXPECT_GE(p.streaming.dac, 0.0);
+  EXPECT_GE(p.streaming.dmva, 0.0);
+  EXPECT_GE(p.streaming.tun, 0.0);
+  EXPECT_GE(p.streaming.bpd, 0.0);
+  EXPECT_GE(p.streaming.misc, 0.0);
+  EXPECT_GT(p.streaming.total(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, PowerPrecisionSweep, ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace lightator::core

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/precision_search.hpp"
+#include "nn/model_desc.hpp"
+
+namespace lightator::core {
+namespace {
+
+TEST(PrecisionSearch, UniformStartRespectsBounds) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::vgg9_desc();
+  const PrecisionSearch search(sys, model);
+  PrecisionSearchOptions opts;
+  opts.max_accuracy_drop = 0.0;  // no lowering allowed
+  const auto a = search.search(opts);
+  ASSERT_EQ(a.weight_bits.size(), 9u);  // 6 conv + 3 fc
+  for (int b : a.weight_bits) EXPECT_EQ(b, 4);
+}
+
+TEST(PrecisionSearch, PowerBudgetDrivesLowering) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::vgg9_desc();
+  const PrecisionSearch search(sys, model);
+  const double p44 =
+      sys.analyze(model, nn::PrecisionSchedule::uniform(4)).max_power;
+  PrecisionSearchOptions opts;
+  opts.power_budget = p44 * 0.6;
+  opts.max_accuracy_drop = 1.0;  // accuracy unconstrained
+  const auto a = search.search(opts);
+  EXPECT_LE(a.max_power, opts.power_budget * 1.001);
+  bool lowered = false;
+  for (int b : a.weight_bits) {
+    EXPECT_GE(b, opts.min_bits);
+    if (b < 4) lowered = true;
+  }
+  EXPECT_TRUE(lowered);
+}
+
+TEST(PrecisionSearch, EarlyLayersMoreSensitive) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::vgg9_desc();
+  const PrecisionSearch search(sys, model);
+  // Lowering L1 poisons all downstream MACs; lowering the last FC does not.
+  EXPECT_GT(search.layer_sensitivity(0, 4), search.layer_sensitivity(8, 4));
+}
+
+TEST(PrecisionSearch, SensitivityGrowsAsBitsShrink) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::lenet_desc();
+  const PrecisionSearch search(sys, model);
+  EXPECT_GT(search.layer_sensitivity(0, 3), search.layer_sensitivity(0, 4));
+  EXPECT_GT(search.layer_sensitivity(0, 2), search.layer_sensitivity(0, 3));
+}
+
+TEST(PrecisionSearch, EvaluatorVetoesDamage) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::lenet_desc();
+  const PrecisionSearch search(sys, model);
+  PrecisionSearchOptions opts;
+  opts.power_budget = 0.01;      // unreachable: would lower everything
+  opts.max_accuracy_drop = 0.02;
+  // Evaluator: any lowering of layer 0 costs 10% accuracy; others are free.
+  const auto a = search.search(opts, [](const std::vector<int>& bits) {
+    return bits[0] < 4 ? 0.9 : 1.0;
+  });
+  EXPECT_EQ(a.weight_bits[0], 4);  // layer 0 protected by the evaluator
+}
+
+TEST(PrecisionSearch, AnalyzePerLayerBitsConsistent) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::vgg9_desc();
+  // All-4 vector must equal the uniform [4:4] analysis.
+  const std::vector<int> all4(9, 4);
+  const auto via_vec = sys.analyze(model, all4);
+  const auto via_sched = sys.analyze(model, nn::PrecisionSchedule::uniform(4));
+  EXPECT_NEAR(via_vec.max_power, via_sched.max_power, 1e-12);
+  EXPECT_NEAR(via_vec.latency, via_sched.latency, 1e-15);
+}
+
+TEST(PrecisionSearch, MixedVectorMatchesMxSchedule) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::vgg9_desc();
+  std::vector<int> mx(9, 3);
+  mx[0] = 4;
+  const auto via_vec = sys.analyze(model, mx);
+  const auto via_sched = sys.analyze(model, nn::PrecisionSchedule::mixed(3));
+  EXPECT_NEAR(via_vec.max_power, via_sched.max_power, 1e-12);
+}
+
+TEST(PrecisionSearch, LabelFormat) {
+  PrecisionAssignment a;
+  a.weight_bits = {4, 3, 2};
+  EXPECT_EQ(a.label(), "[4,3,2:4]");
+}
+
+TEST(PrecisionSearch, RejectsBadBitRange) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::lenet_desc();
+  const PrecisionSearch search(sys, model);
+  PrecisionSearchOptions opts;
+  opts.min_bits = 5;
+  opts.max_bits = 4;
+  EXPECT_THROW(search.search(opts), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lightator::core

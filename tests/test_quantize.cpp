@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/quantize.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::tensor {
+namespace {
+
+TEST(FakeQuant, SymmetricBoundedError) {
+  util::Rng rng(1);
+  Tensor x({256});
+  x.fill_normal(rng, 1.0f);
+  Tensor original = x;
+  const double scale = fake_quant_symmetric(x, 4);
+  EXPECT_GT(scale, 0.0);
+  const double step = scale / 7.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(std::fabs(x[i] - original[i]), step / 2 + 1e-6);
+  }
+}
+
+TEST(FakeQuant, IdempotentOnQuantizedValues) {
+  util::Rng rng(2);
+  Tensor x({64});
+  x.fill_normal(rng, 1.0f);
+  const double scale = fake_quant_symmetric(x, 3);
+  Tensor once = x;
+  fake_quant_symmetric(x, 3, scale);
+  EXPECT_TRUE(x.allclose(once, 1e-7f));
+}
+
+TEST(FakeQuant, FewerBitsMoreError) {
+  util::Rng rng(3);
+  Tensor base({512});
+  base.fill_normal(rng, 1.0f);
+  auto error_at = [&](int bits) {
+    Tensor x = base;
+    fake_quant_symmetric(x, bits);
+    double err = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      err += std::fabs(x[i] - base[i]);
+    }
+    return err;
+  };
+  EXPECT_GT(error_at(2), error_at(3));
+  EXPECT_GT(error_at(3), error_at(4));
+  EXPECT_GT(error_at(4), error_at(6));
+}
+
+TEST(FakeQuant, UnsignedClampsNegatives) {
+  Tensor x({2});
+  x[0] = -0.5f;
+  x[1] = 0.5f;
+  fake_quant_unsigned(x, 4, 1.0);
+  EXPECT_FLOAT_EQ(x[0], 0.0f);
+  // 0.5 sits exactly between codes 7 and 8; either neighbor is one half-step.
+  EXPECT_NEAR(x[1], 0.5f, 1.0 / 28.0);
+}
+
+TEST(FakeQuant, ZeroTensorNoOp) {
+  Tensor x({8});
+  EXPECT_DOUBLE_EQ(fake_quant_symmetric(x, 4), 0.0);
+  EXPECT_DOUBLE_EQ(fake_quant_unsigned(x, 4), 0.0);
+}
+
+TEST(QuantizeTensor, SymmetricLevelsInRange) {
+  util::Rng rng(4);
+  Tensor x({128});
+  x.fill_normal(rng, 2.0f);
+  const QuantizedTensor q = quantize_symmetric(x, 4);
+  EXPECT_TRUE(q.is_signed);
+  EXPECT_EQ(q.max_level(), 7);
+  for (auto l : q.levels) {
+    EXPECT_GE(l, -7);
+    EXPECT_LE(l, 7);
+  }
+}
+
+TEST(QuantizeTensor, UnsignedCodesInRange) {
+  util::Rng rng(5);
+  Tensor x({128});
+  x.fill_uniform(rng, 0.0f, 3.0f);
+  const QuantizedTensor q = quantize_unsigned(x, 4);
+  EXPECT_FALSE(q.is_signed);
+  EXPECT_EQ(q.max_level(), 15);
+  for (auto l : q.levels) {
+    EXPECT_GE(l, 0);
+    EXPECT_LE(l, 15);
+  }
+}
+
+TEST(QuantizeTensor, DequantizeRoundTrip) {
+  util::Rng rng(6);
+  Tensor x({64});
+  x.fill_normal(rng, 1.0f);
+  const QuantizedTensor q = quantize_symmetric(x, 5);
+  const Tensor back = dequantize(q);
+  const double step = q.scale / q.max_level();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_LE(std::fabs(back[i] - x[i]), step / 2 + 1e-6);
+  }
+}
+
+TEST(QuantizeTensor, BinaryWeights) {
+  Tensor x({4});
+  x[0] = 0.3f;
+  x[1] = -0.2f;
+  x[2] = 0.9f;
+  x[3] = -0.9f;
+  const QuantizedTensor q = quantize_symmetric(x, 1);
+  EXPECT_EQ(q.max_level(), 1);
+  EXPECT_EQ(q.levels[0], 1);
+  EXPECT_EQ(q.levels[1], -1);
+  const Tensor back = dequantize(q);
+  EXPECT_FLOAT_EQ(std::fabs(back[0]), static_cast<float>(q.scale));
+}
+
+TEST(QuantizeTensor, ExplicitScaleRespected) {
+  Tensor x({2});
+  x[0] = 10.0f;  // beyond explicit scale -> saturates
+  x[1] = 0.5f;
+  const QuantizedTensor q = quantize_symmetric(x, 4, 1.0);
+  EXPECT_EQ(q.levels[0], 7);
+  EXPECT_NEAR(q.scale, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lightator::tensor

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensor/bayer.hpp"
+#include "sensor/crc.hpp"
+#include "sensor/image.hpp"
+#include "sensor/photodiode.hpp"
+#include "sensor/pixel_array.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::sensor {
+namespace {
+
+// ----------------------------------------------------------------- Image
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 6, 3, 0.5f);
+  EXPECT_EQ(img.height(), 4u);
+  EXPECT_EQ(img.width(), 6u);
+  EXPECT_EQ(img.channels(), 3u);
+  EXPECT_EQ(img.size(), 72u);
+  img.at(1, 2, 0) = 0.9f;
+  EXPECT_FLOAT_EQ(img.at(1, 2, 0), 0.9f);
+  EXPECT_THROW(img.at(4, 0, 0), std::out_of_range);
+  EXPECT_THROW(Image(0, 4, 3), std::invalid_argument);
+  EXPECT_THROW(Image(4, 4, 2), std::invalid_argument);
+}
+
+TEST(Image, GrayscaleUsesLumaWeights) {
+  Image img(1, 1, 3);
+  img.at(0, 0, 0) = 1.0f;  // pure red
+  const Image gray = img.to_grayscale();
+  EXPECT_NEAR(gray.at(0, 0), 0.299f, 1e-6);
+}
+
+TEST(Image, GrayscaleOfWhiteIsOne) {
+  Image img(2, 2, 3, 1.0f);
+  const Image gray = img.to_grayscale();
+  EXPECT_NEAR(gray.at(1, 1), 1.0f, 1e-5);
+}
+
+TEST(Image, AveragePool) {
+  Image img(2, 2, 1);
+  img.at(0, 0) = 0.0f;
+  img.at(0, 1) = 1.0f;
+  img.at(1, 0) = 1.0f;
+  img.at(1, 1) = 0.0f;
+  const Image pooled = img.average_pool(2);
+  EXPECT_EQ(pooled.height(), 1u);
+  EXPECT_NEAR(pooled.at(0, 0), 0.5f, 1e-6);
+  EXPECT_THROW(img.average_pool(3), std::invalid_argument);
+}
+
+TEST(Image, ClampAndMean) {
+  Image img(1, 2, 1);
+  img.at(0, 0) = -0.5f;
+  img.at(0, 1) = 1.5f;
+  img.clamp();
+  EXPECT_FLOAT_EQ(img.at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(img.at(0, 1), 1.0f);
+  EXPECT_NEAR(img.mean(), 0.5f, 1e-6);
+}
+
+// ----------------------------------------------------------------- Photodiode
+
+TEST(Photodiode, LinearTransfer) {
+  const Photodiode pd(PhotodiodeParams{});
+  EXPECT_DOUBLE_EQ(pd.expose(0.0), pd.min_voltage());
+  EXPECT_DOUBLE_EQ(pd.expose(1.0), pd.max_voltage());
+  EXPECT_NEAR(pd.expose(0.5), (pd.min_voltage() + pd.max_voltage()) / 2, 1e-12);
+}
+
+TEST(Photodiode, ClampsBrightness) {
+  const Photodiode pd(PhotodiodeParams{});
+  EXPECT_DOUBLE_EQ(pd.expose(-1.0), pd.min_voltage());
+  EXPECT_DOUBLE_EQ(pd.expose(2.0), pd.max_voltage());
+}
+
+TEST(Photodiode, NoisyExposeUnbiasedAndBounded) {
+  const Photodiode pd(PhotodiodeParams{});
+  util::Rng rng(3);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double v = pd.expose_noisy(0.5, rng);
+    EXPECT_GE(v, pd.min_voltage());
+    EXPECT_LE(v, pd.max_voltage());
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, pd.expose(0.5), 0.01);
+}
+
+TEST(Photodiode, ShotNoiseScalesWithSignal) {
+  PhotodiodeParams params;
+  params.read_noise_electrons = 0.0;
+  params.dark_current_fraction = 0.0;
+  const Photodiode pd(params);
+  util::Rng rng(9);
+  auto stddev_at = [&](double b) {
+    double sum = 0.0, sq = 0.0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      const double v = pd.expose_noisy(b, rng);
+      sum += v;
+      sq += v * v;
+    }
+    const double mean = sum / n;
+    return std::sqrt(std::max(0.0, sq / n - mean * mean));
+  };
+  // Poisson: sigma ~ sqrt(signal); 0.64 vs 0.16 brightness -> 2x sigma.
+  EXPECT_NEAR(stddev_at(0.64) / stddev_at(0.16), 2.0, 0.35);
+}
+
+// ----------------------------------------------------------------- CRC
+
+TEST(Crc, ReferencesSpanSwing) {
+  const Photodiode pd(PhotodiodeParams{});
+  const Crc crc(CrcParams{}, pd);
+  EXPECT_EQ(crc.num_comparators(), 15);
+  EXPECT_GT(crc.reference(0), pd.min_voltage());
+  EXPECT_LT(crc.reference(14), pd.max_voltage());
+  for (int i = 1; i < 15; ++i) {
+    EXPECT_GT(crc.reference(i), crc.reference(i - 1));
+  }
+}
+
+TEST(Crc, CodeMonotoneInVoltage) {
+  const Photodiode pd(PhotodiodeParams{});
+  const Crc crc(CrcParams{}, pd);
+  int prev = -1;
+  for (double b = 0.0; b <= 1.0; b += 0.01) {
+    const int code = crc.read_code(pd.expose(b));
+    EXPECT_GE(code, prev);
+    prev = code;
+  }
+  EXPECT_EQ(crc.read_code(pd.expose(0.0)), 0);
+  EXPECT_EQ(crc.read_code(pd.expose(1.0)), 15);
+}
+
+TEST(Crc, ThermometerOutputValid) {
+  const Photodiode pd(PhotodiodeParams{});
+  const Crc crc(CrcParams{}, pd);
+  for (double b : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+    const auto code = crc.read_thermometer(pd.expose(b));
+    bool seen_zero = false;
+    for (bool bit : code) {
+      EXPECT_FALSE(bit && seen_zero) << "bubble at brightness " << b;
+      if (!bit) seen_zero = true;
+    }
+  }
+}
+
+TEST(Crc, MidScaleQuantizationError) {
+  // The 15-level flash gives ~1/15 resolution across the swing.
+  const Photodiode pd(PhotodiodeParams{});
+  const Crc crc(CrcParams{}, pd);
+  for (double b = 0.03; b < 1.0; b += 0.07) {
+    const int code = crc.read_code(pd.expose(b));
+    EXPECT_NEAR(static_cast<double>(code) / 15.0, b, 1.0 / 15.0);
+  }
+}
+
+TEST(Crc, OffsetNoiseStaysMonotone) {
+  const Photodiode pd(PhotodiodeParams{});
+  CrcParams params;
+  params.comparator_offset_sigma = 0.05;
+  const Crc crc(params, pd);
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto code = crc.read_thermometer(pd.expose(0.5), &rng);
+    bool seen_zero = false;
+    for (bool bit : code) {
+      EXPECT_FALSE(bit && seen_zero);
+      if (!bit) seen_zero = true;
+    }
+  }
+}
+
+TEST(Crc, ConversionEnergy) {
+  const Photodiode pd(PhotodiodeParams{});
+  const Crc crc(CrcParams{}, pd);
+  EXPECT_NEAR(crc.conversion_energy(), 15 * 12e-15, 1e-20);
+}
+
+// ----------------------------------------------------------------- Bayer
+
+TEST(Bayer, RggbPattern) {
+  EXPECT_EQ(bayer_channel_at(0, 0), BayerChannel::kRed);
+  EXPECT_EQ(bayer_channel_at(0, 1), BayerChannel::kGreen);
+  EXPECT_EQ(bayer_channel_at(1, 0), BayerChannel::kGreen);
+  EXPECT_EQ(bayer_channel_at(1, 1), BayerChannel::kBlue);
+  EXPECT_EQ(bayer_channel_at(2, 2), BayerChannel::kRed);
+}
+
+TEST(Bayer, MosaicPicksFilterChannel) {
+  Image rgb(2, 2, 3);
+  rgb.at(0, 0, 0) = 0.9f;  // R site
+  rgb.at(0, 1, 1) = 0.8f;  // G site
+  rgb.at(1, 1, 2) = 0.7f;  // B site
+  const Image raw = bayer_mosaic(rgb);
+  EXPECT_FLOAT_EQ(raw.at(0, 0), 0.9f);
+  EXPECT_FLOAT_EQ(raw.at(0, 1), 0.8f);
+  EXPECT_FLOAT_EQ(raw.at(1, 1), 0.7f);
+}
+
+TEST(Bayer, DemosaicRecoversUniformColor) {
+  Image rgb(8, 8, 3);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      rgb.at(y, x, 0) = 0.6f;
+      rgb.at(y, x, 1) = 0.3f;
+      rgb.at(y, x, 2) = 0.1f;
+    }
+  }
+  const Image back = bayer_demosaic(bayer_mosaic(rgb));
+  for (std::size_t y = 1; y < 7; ++y) {
+    for (std::size_t x = 1; x < 7; ++x) {
+      EXPECT_NEAR(back.at(y, x, 0), 0.6f, 1e-5);
+      EXPECT_NEAR(back.at(y, x, 1), 0.3f, 1e-5);
+      EXPECT_NEAR(back.at(y, x, 2), 0.1f, 1e-5);
+    }
+  }
+}
+
+TEST(Bayer, RejectsWrongChannelCounts) {
+  EXPECT_THROW(bayer_mosaic(Image(2, 2, 1)), std::invalid_argument);
+  EXPECT_THROW(bayer_demosaic(Image(2, 2, 3)), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- PixelArray
+
+PixelArrayParams small_array() {
+  PixelArrayParams p;
+  p.rows = 8;
+  p.cols = 8;
+  return p;
+}
+
+TEST(PixelArray, CaptureAndReadCodes) {
+  PixelArray array(small_array());
+  Image scene(8, 8, 3, 1.0f);  // white
+  array.capture(scene);
+  const CodeFrame frame = array.read_codes();
+  EXPECT_EQ(frame.rows, 8u);
+  for (auto c : frame.codes) EXPECT_EQ(c, 15);
+}
+
+TEST(PixelArray, DarkSceneReadsZero) {
+  PixelArray array(small_array());
+  Image scene(8, 8, 3, 0.0f);
+  array.capture(scene);
+  const CodeFrame frame = array.read_codes();
+  for (auto c : frame.codes) EXPECT_EQ(c, 0);
+}
+
+TEST(PixelArray, GradientPreservedThroughBayerAndCrc) {
+  PixelArray array(small_array());
+  Image scene(8, 8, 3);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      const float v = static_cast<float>(x) / 7.0f;
+      scene.at(y, x, 0) = v;
+      scene.at(y, x, 1) = v;
+      scene.at(y, x, 2) = v;
+    }
+  }
+  array.capture(scene);
+  const CodeFrame frame = array.read_codes();
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 1; x < 8; ++x) {
+      EXPECT_GE(frame.at(y, x), frame.at(y, x - 1));
+    }
+  }
+}
+
+TEST(PixelArray, RejectsWrongScene) {
+  PixelArray array(small_array());
+  EXPECT_THROW(array.capture(Image(4, 4, 3)), std::invalid_argument);
+}
+
+TEST(PixelArray, EnergyAndPowerScaleWithPixels) {
+  PixelArrayParams p = small_array();
+  const PixelArray small(p);
+  p.rows = 16;
+  p.cols = 16;
+  const PixelArray big(p);
+  EXPECT_NEAR(big.readout_energy_per_frame() / small.readout_energy_per_frame(),
+              4.0, 1e-9);
+  EXPECT_NEAR(big.static_power() / small.static_power(), 4.0, 1e-9);
+}
+
+TEST(PixelArray, NoisyCaptureStaysInCodeRange) {
+  PixelArray array(small_array());
+  Image scene(8, 8, 3, 0.5f);
+  util::Rng rng(11);
+  array.capture(scene, &rng);
+  const CodeFrame frame = array.read_codes(&rng);
+  for (auto c : frame.codes) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 15);
+  }
+}
+
+}  // namespace
+}  // namespace lightator::sensor

@@ -1,0 +1,145 @@
+// Spectral-domain property tests for the photonic device models: passive
+// energy conservation, resonance symmetry, and the WDM budget that makes a
+// 9-channel arm viable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "optics/microring.hpp"
+#include "optics/wavelength.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::optics {
+namespace {
+
+using lightator::units::kNm;
+
+MicroRingParams lossless_ring() {
+  MicroRingParams p;
+  p.fwhm = 0.1 * kNm;
+  p.extinction = 0.05;
+  p.max_detuning = 0.5 * kNm;
+  p.insertion_loss_db = 0.0;
+  return p;
+}
+
+TEST(Spectra, PassiveRingConservesEnergy) {
+  // A lossless add-drop ring must never emit more than it receives:
+  // T_through + T_drop <= 1 everywhere on the spectrum.
+  const MicroRing ring(lossless_ring(), 1550 * kNm);
+  for (double d = -2.0; d <= 2.0; d += 0.01) {
+    const double lambda = 1550 * kNm + d * kNm;
+    const double total =
+        ring.through_transmission(lambda) + ring.drop_transmission(lambda);
+    EXPECT_LE(total, 1.0 + 1e-9) << "detune " << d << " nm";
+    EXPECT_GE(total, 0.0);
+  }
+}
+
+TEST(Spectra, LossyRingStrictlyBelowUnity) {
+  MicroRingParams p = lossless_ring();
+  p.insertion_loss_db = 0.05;
+  const MicroRing ring(p, 1550 * kNm);
+  for (double d = -1.0; d <= 1.0; d += 0.05) {
+    const double lambda = 1550 * kNm + d * kNm;
+    EXPECT_LT(ring.through_transmission(lambda) + ring.drop_transmission(lambda),
+              1.0);
+  }
+}
+
+TEST(Spectra, ResonanceSymmetricAboutCenter) {
+  const MicroRing ring(lossless_ring(), 1550 * kNm);
+  for (double d = 0.01; d <= 1.0; d += 0.03) {
+    EXPECT_NEAR(ring.through_transmission(1550 * kNm + d * kNm),
+                ring.through_transmission(1550 * kNm - d * kNm), 1e-12);
+  }
+}
+
+TEST(Spectra, DetuningShiftsTheWholeLineShape) {
+  MicroRing ring(lossless_ring(), 1550 * kNm);
+  const double t_at_center_before = ring.through_transmission(1550 * kNm);
+  ring.set_detuning(0.2 * kNm);
+  // The dip moved: center recovers, the shifted point now sits in the dip.
+  EXPECT_GT(ring.through_transmission(1550 * kNm), t_at_center_before);
+  EXPECT_NEAR(ring.through_transmission(1550.2 * kNm), t_at_center_before,
+              1e-9);
+}
+
+TEST(Spectra, MonotoneTransmissionAwayFromResonance) {
+  const MicroRing ring(lossless_ring(), 1550 * kNm);
+  double prev = ring.through_transmission(1550 * kNm);
+  for (double d = 0.01; d <= 2.0; d += 0.01) {
+    const double t = ring.through_transmission(1550 * kNm + d * kNm);
+    EXPECT_GE(t, prev - 1e-12);
+    prev = t;
+  }
+}
+
+TEST(Spectra, NineChannelWorstCaseAggregateCrosstalk) {
+  // The arm budget: for channel 4 (center of a 9-channel grid), the product
+  // of 8 parked neighbors' through transmissions must stay above 0.98 —
+  // otherwise the functional==physical property tests could not hold.
+  const WdmGrid grid = WdmGrid::c_band(9);
+  const double lambda4 = grid.wavelength(4);
+  double product = 1.0;
+  for (std::size_t c = 0; c < 9; ++c) {
+    if (c == 4) continue;
+    MicroRing neighbor(lossless_ring(), grid.wavelength(c));
+    neighbor.set_weight(0.0);  // parked on resonance: widest dip
+    product *= neighbor.through_transmission(lambda4);
+  }
+  EXPECT_GT(product, 0.98);
+}
+
+TEST(Spectra, DetunedNeighborsLeanTowardButDontReachChannel) {
+  // Worst detuning case: all lower neighbors maximally red-shifted toward
+  // channel 4. Aggregate crosstalk must still stay in budget.
+  const WdmGrid grid = WdmGrid::c_band(9);
+  const double lambda4 = grid.wavelength(4);
+  double product = 1.0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    MicroRing neighbor(lossless_ring(), grid.wavelength(c));
+    neighbor.set_weight(1.0);  // max detuning, toward higher wavelengths
+    product *= neighbor.through_transmission(lambda4);
+  }
+  EXPECT_GT(product, 0.985);
+}
+
+TEST(Spectra, FwhmScalesDipWidth) {
+  MicroRingParams narrow = lossless_ring();
+  MicroRingParams wide = lossless_ring();
+  wide.fwhm = 0.4 * kNm;
+  const MicroRing rn(narrow, 1550 * kNm);
+  const MicroRing rw(wide, 1550 * kNm);
+  // At 0.2 nm off resonance the wide ring still dips, the narrow is clear.
+  const double off = 1550.2 * kNm;
+  EXPECT_GT(rn.through_transmission(off), rw.through_transmission(off));
+}
+
+TEST(Spectra, HeadroomLimitsTopTransmission) {
+  // With headroom h, weight 1.0 targets T = Tmin + h*(1-Tmin), not 1.0:
+  // the detuning stays finite and inside the phase-shifter range.
+  MicroRingParams p = lossless_ring();
+  p.weight_headroom = 0.9;
+  MicroRing ring(p, 1550 * kNm);
+  ring.set_weight(1.0);
+  EXPECT_LT(ring.detuning(), p.max_detuning - 1e-15);
+  const double t = ring.through_transmission(1550 * kNm);
+  EXPECT_NEAR(t, 0.05 + 0.9 * 0.95, 1e-9);
+}
+
+class SpectraWeightSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SpectraWeightSweep, CalibrationRoundTripsAcrossTheRange) {
+  MicroRing ring(lossless_ring(), 1550 * kNm);
+  const double w = GetParam();
+  ring.set_weight(w);
+  EXPECT_NEAR(ring.realized_weight(), w, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Weights, SpectraWeightSweep,
+                         ::testing::Values(0.0, 0.01, 0.1, 1.0 / 3.0, 0.5,
+                                           6.0 / 7.0, 0.99, 1.0));
+
+}  // namespace
+}  // namespace lightator::optics

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/activations.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::tensor {
+namespace {
+
+// ----------------------------------------------------------------- Tensor
+
+TEST(Tensor, ShapeAndAccess) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.size(), 120u);
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2, 3, 4), 7.0f);
+  EXPECT_THROW(t.at(2, 0, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 0), std::out_of_range);  // wrong rank
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t.at(1, 5) = 3.0f;
+  t.reshape({3, 4});
+  EXPECT_FLOAT_EQ(t.at(2, 3), 3.0f);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, Arithmetic) {
+  Tensor a({4}), b({4});
+  a.fill(2.0f);
+  b.fill(3.0f);
+  a.add_scaled(b, 0.5f);
+  EXPECT_FLOAT_EQ(a[0], 3.5f);
+  a.scale(2.0f);
+  EXPECT_FLOAT_EQ(a[3], 7.0f);
+  EXPECT_DOUBLE_EQ(a.sum(), 28.0);
+  EXPECT_FLOAT_EQ(a.max_abs(), 7.0f);
+}
+
+TEST(Tensor, Allclose) {
+  Tensor a({3}), b({3});
+  a.fill(1.0f);
+  b.fill(1.0f + 1e-7f);
+  EXPECT_TRUE(a.allclose(b));
+  b.fill(1.1f);
+  EXPECT_FALSE(a.allclose(b));
+  EXPECT_FALSE(a.allclose(Tensor({4})));
+}
+
+TEST(Tensor, ZeroDimThrows) {
+  EXPECT_THROW(Tensor({2, 0, 3}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Gemm
+
+void reference_gemm(bool ta, bool tb, std::size_t m, std::size_t n,
+                    std::size_t k, float alpha, const float* a, std::size_t lda,
+                    const float* b, std::size_t ldb, float beta, float* c,
+                    std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a[kk * lda + i] : a[i * lda + kk];
+        const float bv = tb ? b[j * ldb + kk] : b[kk * ldb + j];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * ldc + j] = static_cast<float>(alpha * acc + beta * c[i * ldc + j]);
+    }
+  }
+}
+
+class GemmTest : public ::testing::TestWithParam<std::tuple<bool, bool>> {};
+
+TEST_P(GemmTest, MatchesReference) {
+  const auto [ta, tb] = GetParam();
+  util::Rng rng(42);
+  const std::size_t m = 17, n = 23, k = 31;
+  std::vector<float> a(m * k), b(k * n), c1(m * n), c2(m * n);
+  for (auto& v : a) v = static_cast<float>(rng.normal());
+  for (auto& v : b) v = static_cast<float>(rng.normal());
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    c1[i] = c2[i] = static_cast<float>(rng.normal());
+  }
+  const std::size_t lda = ta ? m : k;
+  const std::size_t ldb = tb ? k : n;
+  gemm(ta, tb, m, n, k, 1.5f, a.data(), lda, b.data(), ldb, 0.5f, c1.data(), n);
+  reference_gemm(ta, tb, m, n, k, 1.5f, a.data(), lda, b.data(), ldb, 0.5f,
+                 c2.data(), n);
+  for (std::size_t i = 0; i < c1.size(); ++i) {
+    EXPECT_NEAR(c1[i], c2[i], 1e-3f) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TransposeModes, GemmTest,
+                         ::testing::Combine(::testing::Bool(),
+                                            ::testing::Bool()));
+
+TEST(Gemm, BetaZeroClearsGarbage) {
+  std::vector<float> a = {1.0f}, b = {2.0f},
+                     c = {std::numeric_limits<float>::quiet_NaN()};
+  gemm(false, false, 1, 1, 1, 1.0f, a.data(), 1, b.data(), 1, 0.0f, c.data(), 1);
+  EXPECT_FLOAT_EQ(c[0], 2.0f);
+}
+
+// ----------------------------------------------------------------- Conv
+
+TEST(Conv2d, IdentityKernel) {
+  const ConvSpec spec{1, 1, 3, 1, 1};
+  Tensor x({1, 1, 5, 5});
+  util::Rng rng(1);
+  x.fill_normal(rng, 1.0f);
+  Tensor w({1, 1, 3, 3});
+  w.at(0, 0, 1, 1) = 1.0f;  // center tap only
+  const Tensor y = conv2d_forward(x, w, Tensor({1}), spec);
+  EXPECT_TRUE(y.allclose(x, 1e-6f));
+}
+
+TEST(Conv2d, KnownSmallCase) {
+  // 2x2 input, 2x2 kernel, no pad: single output = sum of products.
+  const ConvSpec spec{1, 1, 2, 1, 0};
+  Tensor x({1, 1, 2, 2});
+  x.at(0, 0, 0, 0) = 1;
+  x.at(0, 0, 0, 1) = 2;
+  x.at(0, 0, 1, 0) = 3;
+  x.at(0, 0, 1, 1) = 4;
+  Tensor w({1, 1, 2, 2});
+  w.at(0, 0, 0, 0) = 10;
+  w.at(0, 0, 0, 1) = 20;
+  w.at(0, 0, 1, 0) = 30;
+  w.at(0, 0, 1, 1) = 40;
+  Tensor b({1});
+  b[0] = 5.0f;
+  const Tensor y = conv2d_forward(x, w, b, spec);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 10 + 40 + 90 + 160 + 5);
+}
+
+TEST(Conv2d, StrideAndPaddingGeometry) {
+  const ConvSpec spec{3, 8, 5, 2, 2};
+  Tensor x({2, 3, 32, 32});
+  Tensor w({8, 3, 5, 5});
+  const Tensor y = conv2d_forward(x, w, Tensor(), spec);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 8u);
+  EXPECT_EQ(y.dim(2), 16u);
+  EXPECT_EQ(y.dim(3), 16u);
+}
+
+TEST(Conv2d, MultiChannelSumsAcrossChannels) {
+  const ConvSpec spec{2, 1, 1, 1, 0};
+  Tensor x({1, 2, 2, 2}, 1.0f);
+  Tensor w({1, 2, 1, 1});
+  w[0] = 2.0f;
+  w[1] = 3.0f;
+  const Tensor y = conv2d_forward(x, w, Tensor(), spec);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 5.0f);
+}
+
+TEST(Conv2d, ShapeValidation) {
+  const ConvSpec spec{1, 1, 3, 1, 0};
+  EXPECT_THROW(
+      conv2d_forward(Tensor({1, 2, 5, 5}), Tensor({1, 1, 3, 3}), Tensor(), spec),
+      std::invalid_argument);
+  EXPECT_THROW(
+      conv2d_forward(Tensor({1, 1, 2, 2}), Tensor({1, 1, 3, 3}), Tensor(), spec),
+      std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Pools
+
+TEST(MaxPool, SelectsMaximum) {
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 5;
+  x[2] = 3;
+  x[3] = 2;
+  std::vector<std::size_t> argmax;
+  const Tensor y = maxpool_forward(x, 2, 2, &argmax);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_EQ(argmax[0], 1u);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  Tensor x({1, 1, 2, 2});
+  x[1] = 5;
+  std::vector<std::size_t> argmax;
+  const Tensor y = maxpool_forward(x, 2, 2, &argmax);
+  Tensor dy(y.shape());
+  dy[0] = 2.0f;
+  const Tensor dx = maxpool_backward(dy, x, 2, 2, argmax);
+  EXPECT_FLOAT_EQ(dx[1], 2.0f);
+  EXPECT_FLOAT_EQ(dx[0], 0.0f);
+}
+
+TEST(AvgPool, Averages) {
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  x[3] = 6;
+  const Tensor y = avgpool_forward(x, 2, 2);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+}
+
+TEST(AvgPool, BackwardSpreadsUniformly) {
+  Tensor x({1, 1, 2, 2});
+  Tensor dy({1, 1, 1, 1});
+  dy[0] = 4.0f;
+  const Tensor dx = avgpool_backward(dy, x, 2, 2);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(dx[i], 1.0f);
+}
+
+TEST(Pools, GeometryChecks) {
+  Tensor x({1, 1, 4, 4});
+  EXPECT_THROW(maxpool_forward(x, 5, 1, nullptr), std::invalid_argument);
+  EXPECT_THROW(avgpool_forward(x, 2, 0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Linear
+
+TEST(Linear, MatchesManual) {
+  Tensor x({2, 3});
+  Tensor w({2, 3});
+  Tensor b({2});
+  for (std::size_t i = 0; i < 6; ++i) {
+    x[i] = static_cast<float>(i + 1);
+    w[i] = static_cast<float>(i % 3);
+  }
+  b[0] = 0.5f;
+  b[1] = -0.5f;
+  const Tensor y = linear_forward(x, w, b);
+  // row0 . w0 = 1*0+2*1+3*2 = 8
+  EXPECT_FLOAT_EQ(y.at(0, 0), 8.5f);
+  // row1 . w1 = 4*0+5*1+6*2 = 17
+  EXPECT_FLOAT_EQ(y.at(1, 1), 16.5f);
+}
+
+TEST(Flatten, Shape) {
+  Tensor x({2, 3, 4, 5});
+  const Tensor y = flatten(x);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 60u);
+}
+
+// ----------------------------------------------------------------- Acts
+
+TEST(Activations, ReLU) {
+  Tensor x({4});
+  x[0] = -1;
+  x[1] = 0;
+  x[2] = 2;
+  x[3] = -0.5;
+  const Tensor y = act_forward(x, ActKind::kReLU);
+  EXPECT_FLOAT_EQ(y[0], 0);
+  EXPECT_FLOAT_EQ(y[2], 2);
+}
+
+TEST(Activations, Sign) {
+  Tensor x({2});
+  x[0] = -0.1f;
+  x[1] = 0.1f;
+  const Tensor y = act_forward(x, ActKind::kSign);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], 1.0f);
+}
+
+TEST(Activations, TanhBounded) {
+  Tensor x({3});
+  x[0] = -10;
+  x[1] = 0;
+  x[2] = 10;
+  const Tensor y = act_forward(x, ActKind::kTanh);
+  EXPECT_NEAR(y[0], -1.0f, 1e-4);
+  EXPECT_FLOAT_EQ(y[1], 0.0f);
+  EXPECT_NEAR(y[2], 1.0f, 1e-4);
+}
+
+TEST(Softmax, RowsSumToOne) {
+  Tensor logits({3, 5});
+  util::Rng rng(2);
+  logits.fill_normal(rng, 3.0f);
+  const Tensor p = softmax(logits);
+  for (std::size_t i = 0; i < 3; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_GE(p.at(i, j), 0.0f);
+      sum += p.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(SoftmaxXent, PerfectPredictionLowLoss) {
+  Tensor logits({1, 3});
+  logits.at(0, 1) = 50.0f;
+  const double loss = softmax_cross_entropy(logits, {1}, nullptr);
+  EXPECT_LT(loss, 1e-6);
+}
+
+TEST(SoftmaxXent, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4});
+  const double loss = softmax_cross_entropy(logits, {0, 3}, nullptr);
+  EXPECT_NEAR(loss, std::log(4.0), 1e-6);
+}
+
+TEST(Predict, Argmax) {
+  Tensor logits({2, 3});
+  logits.at(0, 2) = 1.0f;
+  logits.at(1, 0) = 1.0f;
+  const auto preds = predict(logits);
+  EXPECT_EQ(preds[0], 2u);
+  EXPECT_EQ(preds[1], 0u);
+}
+
+}  // namespace
+}  // namespace lightator::tensor

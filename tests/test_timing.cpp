@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/mapper.hpp"
+#include "core/timing_model.hpp"
+#include "nn/model_desc.hpp"
+
+namespace lightator::core {
+namespace {
+
+ArchConfig cfg() { return ArchConfig::defaults(); }
+
+LayerMapping map_conv(std::size_t in_c, std::size_t out_c, std::size_t k,
+                      std::size_t dim) {
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kConv;
+  l.in_h = dim;
+  l.in_w = dim;
+  l.conv = tensor::ConvSpec{in_c, out_c, k, 1, 1};
+  return Mapper(cfg()).map_layer(l);
+}
+
+LayerMapping map_fc(std::size_t in, std::size_t out) {
+  nn::LayerDesc l;
+  l.kind = nn::LayerKind::kLinear;
+  l.fc_in = in;
+  l.fc_out = out;
+  return Mapper(cfg()).map_layer(l);
+}
+
+TEST(Timing, StreamTimeMatchesCycles) {
+  const TimingModel tm(cfg());
+  const auto m = map_conv(3, 64, 3, 32);
+  const auto t = tm.layer_timing(m);
+  EXPECT_NEAR(t.stream_time,
+              static_cast<double>(m.rounds * m.cycles_per_round) /
+                  cfg().modulation_rate,
+              1e-15);
+}
+
+TEST(Timing, RemapChargedPerRound) {
+  const TimingModel tm(cfg());
+  const auto m = map_conv(256, 256, 3, 8);
+  const auto t = tm.layer_timing(m);
+  EXPECT_NEAR(t.remap_time, static_cast<double>(m.rounds) * cfg().remap_settle,
+              1e-12);
+  EXPECT_DOUBLE_EQ(t.latency, t.remap_time + t.stream_time);
+}
+
+TEST(Timing, CaLayersNeverRemap) {
+  const TimingModel tm(cfg());
+  const auto m =
+      Mapper(cfg()).map_ca_window(12, 1024, "ca", nn::LayerKind::kAvgPool);
+  const auto t = tm.layer_timing(m);
+  EXPECT_DOUBLE_EQ(t.remap_time, 0.0);
+  EXPECT_GT(t.stream_time, 0.0);
+}
+
+TEST(Timing, FcLayersRemapDominated) {
+  const TimingModel tm(cfg());
+  const auto t = tm.layer_timing(map_fc(4096, 4096));
+  EXPECT_GT(t.remap_time, 100.0 * t.stream_time);
+}
+
+TEST(Timing, BatchingAmortizesRemap) {
+  const TimingModel tm(cfg());
+  const auto t = tm.layer_timing(map_fc(4096, 512));
+  EXPECT_LT(t.amortized_per_frame, t.latency);
+  const double batch = static_cast<double>(cfg().throughput_batch);
+  EXPECT_NEAR(t.amortized_per_frame, t.remap_time / batch + t.stream_time,
+              1e-15);
+}
+
+TEST(Timing, ModelTimingSumsLayers) {
+  const TimingModel tm(cfg());
+  const Mapper mapper(cfg());
+  const auto mappings = mapper.map_model(nn::lenet_desc());
+  const auto mt = tm.model_timing(mappings);
+  double latency = 0.0;
+  for (const auto& lt : mt.layers) latency += lt.latency;
+  EXPECT_NEAR(mt.latency, latency, 1e-12);
+  EXPECT_GT(mt.fps_batched, mt.fps_latency);
+}
+
+TEST(Timing, Vgg9BatchedThroughputInPaperBallpark) {
+  // Table 1 implies ~300 KFPS batched for VGG9-class workloads; our
+  // calibration should land within 3x either way.
+  const TimingModel tm(cfg());
+  const Mapper mapper(cfg());
+  const auto mt = tm.model_timing(mapper.map_model(nn::vgg9_desc()));
+  EXPECT_GT(mt.fps_batched, 1.0e5);
+  EXPECT_LT(mt.fps_batched, 1.0e6);
+}
+
+TEST(Timing, LatencyOrderingLenetVgg9Alexnet) {
+  const TimingModel tm(cfg());
+  const Mapper mapper(cfg());
+  const double lenet =
+      tm.model_timing(mapper.map_model(nn::lenet_desc())).latency;
+  const double vgg9 =
+      tm.model_timing(mapper.map_model(nn::vgg9_desc())).latency;
+  const double alexnet =
+      tm.model_timing(mapper.map_model(nn::alexnet_desc())).latency;
+  const double vgg16 =
+      tm.model_timing(mapper.map_model(nn::vgg16_desc())).latency;
+  EXPECT_LT(lenet, vgg9);
+  EXPECT_LT(vgg9, alexnet);
+  EXPECT_LT(alexnet, vgg16);  // 138M weights -> heaviest remap load
+}
+
+TEST(Timing, AlexnetLatencyMilliseconds) {
+  // Fig. 10 regime: single-frame AlexNet latency is remap-bound, in the
+  // milliseconds (the electronic baselines sit 9-20x above it).
+  const TimingModel tm(cfg());
+  const Mapper mapper(cfg());
+  const double alexnet =
+      tm.model_timing(mapper.map_model(nn::alexnet_desc())).latency;
+  EXPECT_GT(alexnet, 1e-3);
+  EXPECT_LT(alexnet, 50e-3);
+}
+
+TEST(Timing, FasterModulationShortensStreaming) {
+  ArchConfig fast = cfg();
+  fast.modulation_rate *= 2.0;
+  const auto m = map_conv(64, 64, 3, 16);
+  const auto slow_t = TimingModel(cfg()).layer_timing(m);
+  const auto fast_t = TimingModel(fast).layer_timing(m);
+  EXPECT_NEAR(fast_t.stream_time * 2.0, slow_t.stream_time, 1e-12);
+  EXPECT_DOUBLE_EQ(fast_t.remap_time, slow_t.remap_time);
+}
+
+}  // namespace
+}  // namespace lightator::core

@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "core/transmitter.hpp"
+
+namespace lightator::core {
+namespace {
+
+TEST(Transmitter, CostScalesWithBits) {
+  const Transmitter tx(ble_radio());
+  const auto small = tx.cost_for_bits(1000);
+  const auto big = tx.cost_for_bits(2000);
+  EXPECT_GT(big.energy, small.energy);
+  EXPECT_NEAR(big.airtime, 2.0 * small.airtime, 1e-12);
+  // Energy = wakeup + per-bit.
+  EXPECT_NEAR(small.energy,
+              ble_radio().wakeup_energy + 1000 * ble_radio().energy_per_bit,
+              1e-15);
+}
+
+TEST(Transmitter, FrameCost) {
+  const Transmitter tx(ble_radio());
+  const auto c = tx.cost_for_frame(256 * 256, 4);
+  EXPECT_EQ(c.bits, 256u * 256u * 4u);
+}
+
+TEST(Transmitter, LabelCostUsesLog2Classes) {
+  const Transmitter tx(ble_radio());
+  EXPECT_EQ(tx.cost_for_label(10).bits, 4u + 8u);     // ceil(log2 10) = 4
+  EXPECT_EQ(tx.cost_for_label(100).bits, 7u + 8u);    // ceil(log2 100) = 7
+  EXPECT_EQ(tx.cost_for_label(2).bits, 1u + 8u);
+}
+
+TEST(Transmitter, PayloadLadderShrinksMonotonically) {
+  // The Fig. 2 story: each processing stage cuts what must be radioed.
+  const Transmitter tx(ble_radio());
+  const auto p = edge_payloads(tx, 256, 256, 2);
+  EXPECT_GT(p.raw_rgb8.bits, p.crc_codes4.bits);
+  EXPECT_GT(p.crc_codes4.bits, p.ca_compressed4.bits);
+  EXPECT_GT(p.ca_compressed4.bits, p.label.bits);
+  EXPECT_GT(p.raw_rgb8.energy, p.label.energy);
+  // Raw RGB8 -> CRC 4-bit Bayer: 6x fewer bits.
+  EXPECT_EQ(p.raw_rgb8.bits, 6u * p.crc_codes4.bits);
+  // CRC -> CA at p=2: 4x fewer.
+  EXPECT_EQ(p.crc_codes4.bits, 4u * p.ca_compressed4.bits);
+}
+
+TEST(Transmitter, RadioPresetsOrdered) {
+  // WiFi: cheapest per bit, priciest per burst.
+  EXPECT_LT(wifi_radio().energy_per_bit, ble_radio().energy_per_bit);
+  EXPECT_GT(wifi_radio().wakeup_energy, ble_radio().wakeup_energy);
+  EXPECT_LT(zigbee_radio().data_rate, ble_radio().data_rate);
+}
+
+TEST(Transmitter, WifiWinsOnlyForLargePayloads) {
+  const Transmitter ble(ble_radio());
+  const Transmitter wifi(wifi_radio());
+  // Tiny label: BLE cheaper (burst overhead dominates).
+  EXPECT_LT(ble.cost_for_label(10).energy, wifi.cost_for_label(10).energy);
+  // Full raw frame: WiFi cheaper (per-bit dominates).
+  EXPECT_GT(ble.cost_for_frame(256 * 256 * 3, 8).energy,
+            wifi.cost_for_frame(256 * 256 * 3, 8).energy);
+}
+
+TEST(Transmitter, RejectsBadPoolFactor) {
+  const Transmitter tx(ble_radio());
+  EXPECT_THROW(edge_payloads(tx, 256, 256, 0), std::invalid_argument);
+  EXPECT_THROW(edge_payloads(tx, 256, 256, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lightator::core

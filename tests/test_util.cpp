@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/config.hpp"
+#include "util/logging.hpp"
+#include "util/quant.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace lightator::util {
+namespace {
+
+// ----------------------------------------------------------------- Rng
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, PoissonMeanMatchesLambda) {
+  Rng rng(17);
+  for (double lambda : {0.5, 3.0, 25.0, 200.0}) {
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(lambda));
+    EXPECT_NEAR(sum / n, lambda, lambda * 0.1 + 0.1) << "lambda=" << lambda;
+  }
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(19);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+  Rng rng(23);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+// ----------------------------------------------------------------- Config
+
+TEST(Config, FromArgsParsesKeyValues) {
+  const char* argv[] = {"prog", "a=1", "b.c=hello", "x=2.5"};
+  const Config cfg = Config::from_args(4, argv);
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_string("b.c", ""), "hello");
+  EXPECT_DOUBLE_EQ(cfg.get_double("x", 0.0), 2.5);
+}
+
+TEST(Config, FromArgsRejectsMalformed) {
+  const char* argv[] = {"prog", "novalue"};
+  EXPECT_THROW(Config::from_args(2, argv), std::invalid_argument);
+}
+
+TEST(Config, FallbacksWhenAbsent) {
+  const Config cfg;
+  EXPECT_EQ(cfg.get_int("missing", 42), 42);
+  EXPECT_EQ(cfg.get_string("missing", "d"), "d");
+  EXPECT_TRUE(cfg.get_bool("missing", true));
+}
+
+TEST(Config, MalformedValueThrows) {
+  Config cfg;
+  cfg.set("n", "12abc");
+  EXPECT_THROW(cfg.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(cfg.get_double("n", 0.0), std::invalid_argument);
+}
+
+TEST(Config, BoolParsing) {
+  Config cfg;
+  cfg.set("t1", "true");
+  cfg.set("t2", "1");
+  cfg.set("f1", "off");
+  EXPECT_TRUE(cfg.get_bool("t1", false));
+  EXPECT_TRUE(cfg.get_bool("t2", false));
+  EXPECT_FALSE(cfg.get_bool("f1", true));
+  cfg.set("bad", "maybe");
+  EXPECT_THROW(cfg.get_bool("bad", false), std::invalid_argument);
+}
+
+TEST(Config, FromStringSkipsComments) {
+  const Config cfg = Config::from_string("# comment line\na=1\nb=2");
+  EXPECT_EQ(cfg.get_int("a", 0), 1);
+  EXPECT_EQ(cfg.get_int("b", 0), 2);
+}
+
+TEST(Config, DumpSortedRoundTrips) {
+  Config cfg;
+  cfg.set("z", "1");
+  cfg.set("a", "2");
+  const Config back = Config::from_string(cfg.dump());
+  EXPECT_EQ(back.get_int("z", 0), 1);
+  EXPECT_EQ(back.get_int("a", 0), 2);
+  EXPECT_EQ(back.keys().front(), "a");
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(Table, TextAlignsColumns) {
+  TablePrinter t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, ShortRowsPadded) {
+  TablePrinter t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.num_cols(), 3u);
+  EXPECT_NO_THROW(t.to_csv());
+}
+
+TEST(Table, OverlongRowThrows) {
+  TablePrinter t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), std::invalid_argument);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  TablePrinter t({"a"});
+  t.add_row({"va,l\"ue"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"va,l\"\"ue\""), std::string::npos);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(format_power(2.5), "2.500 W");
+  EXPECT_EQ(format_power(2.5e-3), "2.500 mW");
+  EXPECT_EQ(format_power(2.5e-6), "2.500 uW");
+  EXPECT_EQ(format_time(1.5e-3), "1.500 ms");
+  EXPECT_EQ(format_time(3.2e-6), "3.200 us");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+// ----------------------------------------------------------------- Quant
+
+TEST(SymmetricQuantizer, RoundTripLevels) {
+  const SymmetricQuantizer q{4, 1.0};
+  EXPECT_EQ(q.max_level(), 7);
+  for (int l = -7; l <= 7; ++l) {
+    EXPECT_EQ(q.quantize(q.dequantize(l)), l);
+  }
+}
+
+TEST(SymmetricQuantizer, Saturates) {
+  const SymmetricQuantizer q{4, 1.0};
+  EXPECT_EQ(q.quantize(5.0), 7);
+  EXPECT_EQ(q.quantize(-5.0), -7);
+}
+
+TEST(SymmetricQuantizer, BinaryIsSign) {
+  const SymmetricQuantizer q{1, 1.0};
+  EXPECT_EQ(q.max_level(), 1);
+  EXPECT_EQ(q.quantize(0.3), 1);
+  EXPECT_EQ(q.quantize(-0.3), -1);
+  EXPECT_EQ(q.quantize(0.0), 1);
+}
+
+TEST(SymmetricQuantizer, ErrorBoundedByHalfStep) {
+  const SymmetricQuantizer q{4, 2.0};
+  const double step = 2.0 / 7.0;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 2.0);
+    EXPECT_LE(std::fabs(q.fake_quant(v) - v), step / 2 + 1e-12);
+  }
+}
+
+TEST(UnsignedQuantizer, RoundTripCodes) {
+  const UnsignedQuantizer q{4, 1.0};
+  EXPECT_EQ(q.max_code(), 15);
+  for (int c = 0; c <= 15; ++c) EXPECT_EQ(q.quantize(q.dequantize(c)), c);
+}
+
+TEST(UnsignedQuantizer, ClampsNegative) {
+  const UnsignedQuantizer q{4, 1.0};
+  EXPECT_EQ(q.quantize(-0.5), 0);
+  EXPECT_EQ(q.quantize(2.0), 15);
+}
+
+TEST(Thermometer, EncodeDecodeRoundTrip) {
+  for (int code = 0; code <= 15; ++code) {
+    const auto bits = thermometer_encode(code, 15);
+    EXPECT_TRUE(thermometer_valid(bits));
+    EXPECT_EQ(thermometer_decode(bits), code);
+  }
+}
+
+TEST(Thermometer, BubbleDetected) {
+  std::vector<bool> bits = {true, false, true};
+  EXPECT_FALSE(thermometer_valid(bits));
+  EXPECT_THROW(thermometer_decode(bits), std::invalid_argument);
+}
+
+TEST(Thermometer, OutOfRangeThrows) {
+  EXPECT_THROW(thermometer_encode(16, 15), std::out_of_range);
+  EXPECT_THROW(thermometer_encode(-1, 15), std::out_of_range);
+}
+
+TEST(MaxAbs, FindsLargestMagnitude) {
+  const float data[] = {0.5f, -2.0f, 1.5f};
+  EXPECT_DOUBLE_EQ(max_abs(data, 3), 2.0);
+  EXPECT_DOUBLE_EQ(max_abs(data, 0), 0.0);
+}
+
+// ----------------------------------------------------------------- Units
+
+TEST(Units, DbLossToLinear) {
+  EXPECT_NEAR(units::db_loss_to_linear(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(units::db_loss_to_linear(3.0103), 0.5, 1e-4);
+  EXPECT_NEAR(units::db_loss_to_linear(10.0), 0.1, 1e-12);
+}
+
+TEST(Units, PhotonEnergyAt1550nm) {
+  // ~0.8 eV = 1.28e-19 J.
+  EXPECT_NEAR(units::photon_energy(1550e-9), 1.28e-19, 0.02e-19);
+}
+
+TEST(Logging, LevelsFilter) {
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  LT_LOG_INFO("should be suppressed %d", 1);
+  set_log_level(LogLevel::kWarn);
+  EXPECT_STREQ(level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(level_name(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace lightator::util

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "workloads/image_io.hpp"
+#include "workloads/scenes.hpp"
+#include "workloads/synth_cifar.hpp"
+#include "workloads/synth_mnist.hpp"
+
+namespace lightator::workloads {
+namespace {
+
+TEST(SynthMnist, ShapesAndLabels) {
+  SynthMnistOptions opts;
+  opts.samples = 50;
+  const nn::Dataset data = make_synth_mnist(opts);
+  EXPECT_EQ(data.size(), 50u);
+  EXPECT_EQ(data.num_classes, 10u);
+  EXPECT_EQ(data.images.dim(1), 1u);
+  EXPECT_EQ(data.images.dim(2), 28u);
+  std::set<std::size_t> labels(data.labels.begin(), data.labels.end());
+  EXPECT_EQ(labels.size(), 10u);
+}
+
+TEST(SynthMnist, PixelsInRange) {
+  SynthMnistOptions opts;
+  opts.samples = 20;
+  const nn::Dataset data = make_synth_mnist(opts);
+  for (std::size_t i = 0; i < data.images.size(); ++i) {
+    EXPECT_GE(data.images[i], 0.0f);
+    EXPECT_LE(data.images[i], 1.0f);
+  }
+}
+
+TEST(SynthMnist, Deterministic) {
+  SynthMnistOptions opts;
+  opts.samples = 10;
+  const nn::Dataset a = make_synth_mnist(opts);
+  const nn::Dataset b = make_synth_mnist(opts);
+  EXPECT_TRUE(a.images.allclose(b.images, 0.0f));
+}
+
+TEST(SynthMnist, DigitsVisuallyDistinct) {
+  // Mean per-class images must differ pairwise: strokes occupy different
+  // pixels for different digits.
+  SynthMnistOptions opts;
+  opts.samples = 200;
+  opts.noise_stddev = 0.0;
+  const nn::Dataset data = make_synth_mnist(opts);
+  std::vector<std::vector<double>> mean(10, std::vector<double>(28 * 28, 0.0));
+  std::vector<int> count(10, 0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto label = data.labels[i];
+    ++count[label];
+    for (std::size_t p = 0; p < 28 * 28; ++p) {
+      mean[label][p] += data.images[i * 28 * 28 + p];
+    }
+  }
+  for (int d = 0; d < 10; ++d) {
+    for (auto& v : mean[d]) v /= count[d];
+  }
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      double diff = 0.0;
+      for (std::size_t p = 0; p < 28 * 28; ++p) {
+        diff += std::abs(mean[a][p] - mean[b][p]);
+      }
+      EXPECT_GT(diff, 5.0) << "digits " << a << " vs " << b;
+    }
+  }
+}
+
+TEST(SynthMnist, RenderDigitRejectsBadInput) {
+  util::Rng rng(1);
+  SynthMnistOptions opts;
+  float buf[28 * 28];
+  EXPECT_THROW(render_digit(10, rng, opts, buf), std::out_of_range);
+  EXPECT_THROW(render_digit(-1, rng, opts, buf), std::out_of_range);
+}
+
+TEST(SynthCifar, ShapesAndClasses) {
+  SynthCifarOptions opts;
+  opts.samples = 60;
+  opts.num_classes = 10;
+  const nn::Dataset data = make_synth_cifar(opts);
+  EXPECT_EQ(data.images.dim(1), 3u);
+  EXPECT_EQ(data.images.dim(2), 32u);
+  std::set<std::size_t> labels(data.labels.begin(), data.labels.end());
+  EXPECT_EQ(labels.size(), 10u);
+}
+
+TEST(SynthCifar, SupportsHundredClasses) {
+  SynthCifarOptions opts;
+  opts.samples = 200;
+  opts.num_classes = 100;
+  const nn::Dataset data = make_synth_cifar(opts);
+  std::set<std::size_t> labels(data.labels.begin(), data.labels.end());
+  EXPECT_EQ(labels.size(), 100u);
+}
+
+TEST(SynthCifar, ClassSignaturesDiffer) {
+  util::Rng rng(3);
+  std::vector<float> a(3 * 32 * 32), b(3 * 32 * 32);
+  render_cifar_sample(0, 10, rng, 0.0, a.data());
+  render_cifar_sample(1, 10, rng, 0.0, b.data());
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 50.0);
+}
+
+TEST(SynthCifar, PixelsInRange) {
+  SynthCifarOptions opts;
+  opts.samples = 20;
+  const nn::Dataset data = make_synth_cifar(opts);
+  for (std::size_t i = 0; i < data.images.size(); ++i) {
+    EXPECT_GE(data.images[i], 0.0f);
+    EXPECT_LE(data.images[i], 1.0f);
+  }
+}
+
+TEST(Scenes, GradientScene) {
+  const auto img = make_gradient_scene(64, 64);
+  EXPECT_EQ(img.channels(), 3u);
+  // Gradient: right side brighter in red than left.
+  EXPECT_GT(img.at(32, 60, 0), img.at(32, 3, 0));
+}
+
+TEST(Scenes, CheckerSceneAlternates) {
+  const auto img = make_checker_scene(64, 64, 8);
+  EXPECT_NE(img.at(0, 0, 0), img.at(0, 8, 0));
+  EXPECT_FLOAT_EQ(img.at(0, 0, 0), img.at(0, 16, 0));
+}
+
+TEST(Scenes, BlobSceneInRange) {
+  util::Rng rng(5);
+  const auto img = make_blob_scene(64, 64, rng);
+  for (float v : img.data()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(ImageIo, PpmRoundTrip) {
+  util::Rng rng(7);
+  const auto img = make_blob_scene(16, 24, rng);
+  const std::string path = ::testing::TempDir() + "/roundtrip.ppm";
+  write_pnm(img, path);
+  const auto back = read_pnm(path);
+  ASSERT_EQ(back.height(), 16u);
+  ASSERT_EQ(back.width(), 24u);
+  ASSERT_EQ(back.channels(), 3u);
+  for (std::size_t y = 0; y < 16; ++y) {
+    for (std::size_t x = 0; x < 24; ++x) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        EXPECT_NEAR(back.at(y, x, c), img.at(y, x, c), 1.0f / 255.0f + 1e-5f);
+      }
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmRoundTrip) {
+  util::Rng rng(8);
+  auto rgb = make_blob_scene(8, 8, rng);
+  const auto gray = rgb.to_grayscale();
+  const std::string path = ::testing::TempDir() + "/roundtrip.pgm";
+  write_pnm(gray, path);
+  const auto back = read_pnm(path);
+  ASSERT_EQ(back.channels(), 1u);
+  EXPECT_NEAR(back.at(4, 4), gray.at(4, 4), 1.0f / 255.0f + 1e-5f);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, ReadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/garbage.ppm";
+  {
+    std::ofstream out(path);
+    out << "not a pnm";
+  }
+  EXPECT_THROW(read_pnm(path), std::runtime_error);
+  EXPECT_THROW(read_pnm("/nonexistent/file.ppm"), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lightator::workloads
