@@ -1,0 +1,133 @@
+// Reference-vs-GEMM conv throughput comparison, with JSON output so future
+// PRs can track the perf trajectory.
+//
+// Times the "reference" (scalar arm-segmented loop) and "gemm" (im2col +
+// segment-blocked int16 GEMM) backends on a VGG9-scale conv layer at batch 8,
+// verifies bit-exactness on the same inputs, and prints a JSON record:
+//   { "bench": "backend_compare", "layers": [ {...}, ... ] }
+// Overrides (key=value): batch=8 reps=3 threads=0 out=path.json
+//   threads=0 sizes the pool from hardware_concurrency; out= additionally
+//   writes the JSON to a file.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/optical_core.hpp"
+#include "tensor/quantize.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace lightator;
+
+struct LayerCase {
+  std::string name;
+  tensor::ConvSpec spec;
+  std::size_t in_h, in_w;
+};
+
+double time_conv(const core::ComputeBackend& backend,
+                 const tensor::QuantizedTensor& xq,
+                 const tensor::QuantizedTensor& wq,
+                 const tensor::ConvSpec& spec, const core::ExecutionContext& ctx,
+                 int reps, tensor::Tensor* out) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    auto y = backend.conv2d(xq, wq, tensor::Tensor(), spec, ctx);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (s < best) best = s;
+    if (out != nullptr && r == 0) *out = std::move(y);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Config cfg = bench::parse_args(argc, argv);
+  const std::size_t batch = static_cast<std::size_t>(cfg.get_int("batch", 8));
+  const int reps = cfg.get_int("reps", 3);
+  const std::size_t threads =
+      static_cast<std::size_t>(cfg.get_int("threads", 0));
+  const std::string out_path = cfg.get_string("out", "");
+
+  bench::print_header("backend_compare",
+                      "OC datapath: reference vs im2col+int16-GEMM backends");
+
+  util::ThreadPool pool(threads);
+  core::ExecutionContext ctx;
+  ctx.pool = &pool;
+
+  const core::ArchConfig arch = core::ArchConfig::defaults();
+  const core::OpticalCore oc(arch);
+
+  // VGG9-scale conv layers (CIFAR geometry): the acceptance workload is the
+  // 128->128 3x3 mid-network layer; the others bracket it.
+  const std::vector<LayerCase> cases = {
+      {"vgg9_L1_3x64_32x32", {3, 64, 3, 1, 1}, 32, 32},
+      {"vgg9_L4_128x128_16x16", {128, 128, 3, 1, 1}, 16, 16},
+      {"vgg9_L6_256x256_8x8", {256, 256, 3, 1, 1}, 8, 8},
+  };
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"backend_compare\",\n"
+       << "  \"batch\": " << batch << ",\n"
+       << "  \"threads\": " << pool.size() << ",\n"
+       << "  \"reps\": " << reps << ",\n  \"layers\": [\n";
+
+  util::Rng rng(1);
+  bool first = true;
+  for (const auto& c : cases) {
+    tensor::Tensor x({batch, c.spec.in_channels, c.in_h, c.in_w});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    tensor::Tensor w({c.spec.out_channels, c.spec.in_channels, c.spec.kernel,
+                      c.spec.kernel});
+    w.fill_normal(rng, 0.3f);
+    const auto xq = tensor::quantize_unsigned(x, 4);
+    const auto wq = tensor::quantize_symmetric(w, 4);
+
+    tensor::Tensor y_ref, y_gemm;
+    const double ref_s = time_conv(oc.backend("reference"), xq, wq, c.spec,
+                                   ctx, reps, &y_ref);
+    const double gemm_s =
+        time_conv(oc.backend("gemm"), xq, wq, c.spec, ctx, reps, &y_gemm);
+
+    bool exact = y_ref.size() == y_gemm.size();
+    for (std::size_t i = 0; exact && i < y_ref.size(); ++i) {
+      exact = y_ref[i] == y_gemm[i];
+    }
+    const double speedup = gemm_s > 0.0 ? ref_s / gemm_s : 0.0;
+    const std::size_t macs = batch * c.spec.out_channels *
+                             c.spec.out_dim(c.in_h) * c.spec.out_dim(c.in_w) *
+                             c.spec.weights_per_filter();
+
+    std::printf("%-26s reference %8.2f ms   gemm %8.2f ms   speedup %6.2fx   "
+                "bit-exact %s\n",
+                c.name.c_str(), ref_s * 1e3, gemm_s * 1e3, speedup,
+                exact ? "yes" : "NO");
+
+    if (!first) json << ",\n";
+    first = false;
+    json << "    {\"name\": \"" << c.name << "\", \"macs\": " << macs
+         << ", \"reference_ms\": " << ref_s * 1e3
+         << ", \"gemm_ms\": " << gemm_s * 1e3 << ", \"speedup\": " << speedup
+         << ", \"bit_exact\": " << (exact ? "true" : "false") << "}";
+  }
+  json << "\n  ]\n}\n";
+
+  std::printf("\n%s", json.str().c_str());
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << json.str();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}

@@ -74,6 +74,48 @@ void BM_OcQuantizedConv(benchmark::State& state) {
 }
 BENCHMARK(BM_OcQuantizedConv);
 
+// Reference-vs-GEMM backend comparison on the same VGG9-scale conv layer
+// (batch 8) the backend_compare driver reports; run both to track the
+// datapath speedup over time.
+void BM_OcConvBackend(benchmark::State& state, const char* backend_name) {
+  util::Rng rng(1);
+  const OpticalCore oc{ArchConfig::defaults()};
+  const tensor::ConvSpec spec{128, 128, 3, 1, 1};
+  tensor::Tensor x({8, 128, 16, 16});
+  tensor::Tensor w({128, 128, 3, 3});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  w.fill_normal(rng, 0.3f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  const ExecutionContext ctx;
+  const ComputeBackend& backend = oc.backend(backend_name);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backend.conv2d(xq, wq, tensor::Tensor(), spec, ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 128 * 128 * 16 * 16 * 9);
+}
+BENCHMARK_CAPTURE(BM_OcConvBackend, reference, "reference");
+BENCHMARK_CAPTURE(BM_OcConvBackend, gemm, "gemm");
+
+void BM_OcLinearGemmBackend(benchmark::State& state) {
+  util::Rng rng(2);
+  const OpticalCore oc{ArchConfig::defaults()};
+  tensor::Tensor x({8, 512});
+  tensor::Tensor w({512, 512});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  w.fill_normal(rng, 0.3f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  const ExecutionContext ctx;
+  const ComputeBackend& backend = oc.backend("gemm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.linear(xq, wq, tensor::Tensor(), ctx));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 512 * 512);
+}
+BENCHMARK(BM_OcLinearGemmBackend);
+
 void BM_ExpectedTuningPower(benchmark::State& state) {
   const PowerModel pm(ArchConfig::defaults());
   for (auto _ : state) {

@@ -2,6 +2,7 @@
 #include <benchmark/benchmark.h>
 
 #include "tensor/gemm.hpp"
+#include "tensor/gemm_s16.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/quantize.hpp"
 #include "util/rng.hpp"
@@ -25,6 +26,24 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+// The segment-blocked int16 GEMM under the OC "gemm" backend, at the K
+// blocking the 9-MR arms impose.
+void BM_GemmS16Segmented(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(6);
+  std::vector<std::int16_t> a(n * n), b(n * n);
+  for (auto& v : a) v = static_cast<std::int16_t>(rng.uniform_index(15)) - 7;
+  for (auto& v : b) v = static_cast<std::int16_t>(rng.uniform_index(16));
+  std::vector<double> c(n * n);
+  for (auto _ : state) {
+    gemm_s16_segmented(n, n, n, a.data(), n, b.data(), n, /*segment=*/9,
+                       c.data(), n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_GemmS16Segmented)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_Conv2dForward(benchmark::State& state) {
   util::Rng rng(2);

@@ -1,0 +1,73 @@
+#include "core/backends/gemm_backend.hpp"
+
+#include <vector>
+
+#include "tensor/gemm_s16.hpp"
+
+namespace lightator::core {
+
+tensor::Tensor GemmBackend::conv2d(const tensor::QuantizedTensor& x,
+                                   const tensor::QuantizedTensor& w,
+                                   const tensor::Tensor& bias,
+                                   const tensor::ConvSpec& spec,
+                                   const ExecutionContext& ctx) const {
+  validate_oc_conv_inputs(x, w, spec);
+  const std::size_t batch = x.shape[0], c_in = x.shape[1], h = x.shape[2],
+                    w_in = x.shape[3];
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w_in);
+  const std::size_t npix = oh * ow;
+  const std::size_t kdim = spec.weights_per_filter();
+  tensor::Tensor y({batch, spec.out_channels, oh, ow});
+  const double scale = oc_output_scale(x, w);
+  const std::size_t seg = config_.geometry.mrs_per_arm;
+  ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    std::vector<std::int16_t> cols(kdim * npix);
+    std::vector<double> acc(spec.out_channels * npix);
+    tensor::im2col_s16(x.levels.data() + n * c_in * h * w_in, h, w_in, spec,
+                       cols.data());
+    tensor::gemm_s16_segmented(spec.out_channels, npix, kdim, w.levels.data(),
+                               kdim, cols.data(), npix, seg, acc.data(), npix);
+    float* y_n = y.data() + n * spec.out_channels * npix;
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      const double* a_row = acc.data() + oc * npix;
+      float* y_row = y_n + oc * npix;
+      if (bias.empty()) {
+        for (std::size_t j = 0; j < npix; ++j) {
+          y_row[j] = static_cast<float>(a_row[j] * scale);
+        }
+      } else {
+        const float b = bias[oc];
+        for (std::size_t j = 0; j < npix; ++j) {
+          float out = static_cast<float>(a_row[j] * scale);
+          out += b;
+          y_row[j] = out;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+tensor::Tensor GemmBackend::linear(const tensor::QuantizedTensor& x,
+                                   const tensor::QuantizedTensor& w,
+                                   const tensor::Tensor& bias,
+                                   const ExecutionContext& ctx) const {
+  validate_oc_linear_inputs(x, w);
+  const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
+  tensor::Tensor y({batch, out_f});
+  const double scale = oc_output_scale(x, w);
+  const std::size_t seg = config_.geometry.mrs_per_arm;
+  ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    const std::int16_t* row = x.levels.data() + n * d;
+    for (std::size_t o = 0; o < out_f; ++o) {
+      const double acc =
+          tensor::dot_s16_segmented(row, w.levels.data() + o * d, d, seg);
+      float v = static_cast<float>(acc * scale);
+      if (!bias.empty()) v += bias[o];
+      y.at(n, o) = v;
+    }
+  });
+  return y;
+}
+
+}  // namespace lightator::core

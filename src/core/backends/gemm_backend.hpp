@@ -1,0 +1,39 @@
+// GemmBackend: im2col + blocked int16 GEMM datapath.
+//
+// The fast functional engine: each batch item's receptive fields are
+// unfolded once into an int16 column matrix (tensor::im2col_s16) and the
+// whole layer reduces as one integer GEMM whose K dimension is blocked on
+// mrs_per_arm segment boundaries (tensor::gemm_s16_segmented). Partial sums
+// are therefore emitted at exactly the same BPD points, in the same order,
+// with the same integer arithmetic as ReferenceBackend — the outputs are
+// bit-for-bit identical (asserted by tests/test_backends.cpp) while the
+// inner loops stream contiguous rows instead of recomputing window indices
+// per MAC. Batch items are sharded across the thread pool.
+#pragma once
+
+#include "core/compute_backend.hpp"
+
+namespace lightator::core {
+
+class GemmBackend final : public ComputeBackend {
+ public:
+  explicit GemmBackend(ArchConfig config) : config_(config) {}
+
+  std::string name() const override { return "gemm"; }
+
+  tensor::Tensor conv2d(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias,
+                        const tensor::ConvSpec& spec,
+                        const ExecutionContext& ctx) const override;
+
+  tensor::Tensor linear(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias,
+                        const ExecutionContext& ctx) const override;
+
+ private:
+  ArchConfig config_;
+};
+
+}  // namespace lightator::core

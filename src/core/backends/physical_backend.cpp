@@ -1,0 +1,179 @@
+#include "core/backends/physical_backend.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "optics/arm.hpp"
+
+namespace lightator::core {
+
+namespace {
+
+optics::ArmParams arm_params_for(const ArchConfig& config, int weight_bits) {
+  optics::ArmParams params;
+  params.num_cells = config.geometry.mrs_per_arm;
+  params.weight_bits = weight_bits;
+  params.activation_levels = config.vcsel.levels;
+  params.ring = config.ring;
+  params.vcsel = config.vcsel;
+  params.detector = config.detector;
+  return params;
+}
+
+void check_code_range(const tensor::QuantizedTensor& x,
+                      const ArchConfig& config) {
+  if (x.max_level() > config.vcsel.levels) {
+    throw std::invalid_argument(
+        "physical backend: activation codes exceed the VCSEL level range");
+  }
+}
+
+/// Stateless mix of (seed, stream, item) -> per-item RNG seed, so noise is a
+/// pure function of the configuration and not of thread scheduling.
+std::uint64_t item_seed(std::uint64_t seed, std::uint64_t stream,
+                        std::size_t item) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1) +
+                    0xD1B54A32D192ED03ull * (item + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// One arm-segment evaluation: programs the segment's weights (levels/wmax in
+/// [-1,1]) and computes the calibrated analog dot product of the codes.
+/// `weights`/`codes` must already be full arm-length buffers with any tail
+/// beyond the live segment padded (zero weights / dark channels) by the
+/// caller — this runs per output pixel, so it allocates nothing.
+double segment_compute(optics::MrArm& arm, std::span<const double> weights,
+                       std::span<const int> codes, util::Rng* rng) {
+  arm.set_weights(weights);
+  return rng == nullptr ? arm.compute(codes)
+                        : arm.compute_noisy(codes, *rng);
+}
+
+}  // namespace
+
+tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
+                                       const tensor::QuantizedTensor& w,
+                                       const tensor::Tensor& bias,
+                                       const tensor::ConvSpec& spec,
+                                       const ExecutionContext& ctx) const {
+  validate_oc_conv_inputs(x, w, spec);
+  check_code_range(x, config_);
+  const std::size_t batch = x.shape[0], c_in = x.shape[1], h = x.shape[2],
+                    w_in = x.shape[3];
+  const std::size_t k = spec.kernel;
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w_in);
+  const std::size_t kdim = spec.weights_per_filter();
+  tensor::Tensor y({batch, spec.out_channels, oh, ow});
+  // Arm results are already normalized (acts in [0,1], weights in [-1,1]);
+  // only the tensor scales remain.
+  const double norm = x.scale * w.scale;
+  const double wmax = static_cast<double>(w.max_level());
+  const std::size_t seg = config_.geometry.mrs_per_arm;
+  const std::uint64_t stream = ctx.next_noise_stream();
+  ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    optics::MrArm arm(arm_params_for(config_, w.bits));
+    std::unique_ptr<util::Rng> rng;
+    if (ctx.noise_seed != 0) {
+      rng = std::make_unique<util::Rng>(item_seed(ctx.noise_seed, stream, n));
+    }
+    std::vector<double> seg_w(seg);
+    std::vector<int> seg_c(seg);
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      const std::int16_t* filter = w.levels.data() + oc * kdim;
+      for (std::size_t k0 = 0; k0 < kdim; k0 += seg) {
+        const std::size_t len = std::min(seg, kdim - k0);
+        for (std::size_t i = 0; i < len; ++i) {
+          seg_w[i] = static_cast<double>(filter[k0 + i]) / wmax;
+        }
+        // Pad the trailing cells: zero weights / dark channels.
+        std::fill(seg_w.begin() + len, seg_w.end(), 0.0);
+        std::fill(seg_c.begin() + len, seg_c.end(), 0);
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            // Gather this segment's slice of the receptive field; padding
+            // reads are dark channels (code 0).
+            for (std::size_t i = 0; i < len; ++i) {
+              const std::size_t kk = k0 + i;
+              const std::size_t c = kk / (k * k);
+              const std::size_t ky = (kk / k) % k;
+              const std::size_t kx = kk % k;
+              const long iy = static_cast<long>(oy * spec.stride + ky) -
+                              static_cast<long>(spec.pad);
+              const long ix = static_cast<long>(ox * spec.stride + kx) -
+                              static_cast<long>(spec.pad);
+              int code = 0;
+              if (iy >= 0 && ix >= 0 && iy < static_cast<long>(h) &&
+                  ix < static_cast<long>(w_in)) {
+                code = x.levels[((n * c_in + c) * h +
+                                 static_cast<std::size_t>(iy)) *
+                                    w_in +
+                                static_cast<std::size_t>(ix)];
+              }
+              seg_c[i] = code;
+            }
+            const double partial =
+                segment_compute(arm, seg_w, seg_c, rng.get());
+            y.at(n, oc, oy, ox) += static_cast<float>(partial * norm);
+          }
+        }
+      }
+      if (!bias.empty()) {
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            y.at(n, oc, oy, ox) += bias[oc];
+          }
+        }
+      }
+    }
+  });
+  return y;
+}
+
+tensor::Tensor PhysicalBackend::linear(const tensor::QuantizedTensor& x,
+                                       const tensor::QuantizedTensor& w,
+                                       const tensor::Tensor& bias,
+                                       const ExecutionContext& ctx) const {
+  validate_oc_linear_inputs(x, w);
+  check_code_range(x, config_);
+  const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
+  tensor::Tensor y({batch, out_f});
+  const double norm = x.scale * w.scale;
+  const double wmax = static_cast<double>(w.max_level());
+  const std::size_t seg = config_.geometry.mrs_per_arm;
+  const std::uint64_t stream = ctx.next_noise_stream();
+  ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    optics::MrArm arm(arm_params_for(config_, w.bits));
+    std::unique_ptr<util::Rng> rng;
+    if (ctx.noise_seed != 0) {
+      rng = std::make_unique<util::Rng>(item_seed(ctx.noise_seed, stream, n));
+    }
+    const std::int16_t* row = x.levels.data() + n * d;
+    std::vector<double> seg_w(seg);
+    std::vector<int> seg_c(seg);
+    for (std::size_t o = 0; o < out_f; ++o) {
+      const std::int16_t* filter = w.levels.data() + o * d;
+      double acc = 0.0;
+      for (std::size_t k0 = 0; k0 < d; k0 += seg) {
+        const std::size_t len = std::min(seg, d - k0);
+        for (std::size_t i = 0; i < len; ++i) {
+          seg_w[i] = static_cast<double>(filter[k0 + i]) / wmax;
+          seg_c[i] = row[k0 + i];
+        }
+        // Pad the trailing cells: zero weights / dark channels.
+        std::fill(seg_w.begin() + len, seg_w.end(), 0.0);
+        std::fill(seg_c.begin() + len, seg_c.end(), 0);
+        acc += segment_compute(arm, seg_w, seg_c, rng.get());
+      }
+      float v = static_cast<float>(acc * norm);
+      if (!bias.empty()) v += bias[o];
+      y.at(n, o) = v;
+    }
+  });
+  return y;
+}
+
+}  // namespace lightator::core

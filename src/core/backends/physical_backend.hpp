@@ -1,0 +1,38 @@
+// PhysicalBackend: the MrArm device-model datapath.
+//
+// Routes every arm segment through the full analog stack — VCSEL L-I curves,
+// Lorentzian rings with inter-channel crosstalk, lossy rails, balanced
+// photodetection — instead of integer math. With ExecutionContext::noise_seed
+// set, BPD noise is sampled from a per-batch-item RNG derived from
+// (noise_seed, invocation stream, batch index), so results are bit-identical
+// for a given seed regardless of how many threads the pool shards the batch
+// across. This is the slow validation/Monte-Carlo engine: use it for
+// analog-error and noise studies, not accuracy sweeps.
+#pragma once
+
+#include "core/compute_backend.hpp"
+
+namespace lightator::core {
+
+class PhysicalBackend final : public ComputeBackend {
+ public:
+  explicit PhysicalBackend(ArchConfig config) : config_(config) {}
+
+  std::string name() const override { return "physical"; }
+
+  tensor::Tensor conv2d(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias,
+                        const tensor::ConvSpec& spec,
+                        const ExecutionContext& ctx) const override;
+
+  tensor::Tensor linear(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias,
+                        const ExecutionContext& ctx) const override;
+
+ private:
+  ArchConfig config_;
+};
+
+}  // namespace lightator::core

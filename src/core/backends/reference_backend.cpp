@@ -1,0 +1,99 @@
+#include "core/backends/reference_backend.hpp"
+
+namespace lightator::core {
+
+tensor::Tensor ReferenceBackend::conv2d(const tensor::QuantizedTensor& x,
+                                        const tensor::QuantizedTensor& w,
+                                        const tensor::Tensor& bias,
+                                        const tensor::ConvSpec& spec,
+                                        const ExecutionContext& ctx) const {
+  validate_oc_conv_inputs(x, w, spec);
+  const std::size_t batch = x.shape[0], c_in = x.shape[1], h = x.shape[2],
+                    w_in = x.shape[3];
+  const std::size_t k = spec.kernel;
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w_in);
+  tensor::Tensor y({batch, spec.out_channels, oh, ow});
+  const double scale = oc_output_scale(x, w);
+  const std::size_t seg = config_.geometry.mrs_per_arm;
+  ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+      const std::int16_t* filter = w.levels.data() + oc * c_in * k * k;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          // Gather the window codes; out-of-bounds (padding) reads are dark
+          // channels (code 0).
+          double acc = 0.0;
+          long seg_acc = 0;
+          std::size_t in_seg = 0;
+          for (std::size_t c = 0; c < c_in; ++c) {
+            for (std::size_t ky = 0; ky < k; ++ky) {
+              for (std::size_t kx = 0; kx < k; ++kx) {
+                const long iy = static_cast<long>(oy * spec.stride + ky) -
+                                static_cast<long>(spec.pad);
+                const long ix = static_cast<long>(ox * spec.stride + kx) -
+                                static_cast<long>(spec.pad);
+                int code = 0;
+                if (iy >= 0 && ix >= 0 && iy < static_cast<long>(h) &&
+                    ix < static_cast<long>(w_in)) {
+                  code = x.levels[((n * c_in + c) * h +
+                                   static_cast<std::size_t>(iy)) *
+                                      w_in +
+                                  static_cast<std::size_t>(ix)];
+                }
+                const int level = filter[(c * k + ky) * k + kx];
+                seg_acc += static_cast<long>(code) * level;
+                if (++in_seg == seg) {
+                  // Arm boundary: the BPD emits this partial sum.
+                  acc += static_cast<double>(seg_acc);
+                  seg_acc = 0;
+                  in_seg = 0;
+                }
+              }
+            }
+          }
+          acc += static_cast<double>(seg_acc);
+          float out = static_cast<float>(acc * scale);
+          if (!bias.empty()) out += bias[oc];
+          y.at(n, oc, oy, ox) = out;
+        }
+      }
+    }
+  });
+  return y;
+}
+
+tensor::Tensor ReferenceBackend::linear(const tensor::QuantizedTensor& x,
+                                        const tensor::QuantizedTensor& w,
+                                        const tensor::Tensor& bias,
+                                        const ExecutionContext& ctx) const {
+  validate_oc_linear_inputs(x, w);
+  const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
+  tensor::Tensor y({batch, out_f});
+  const double scale = oc_output_scale(x, w);
+  const std::size_t seg = config_.geometry.mrs_per_arm;
+  ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    const std::int16_t* row = x.levels.data() + n * d;
+    for (std::size_t o = 0; o < out_f; ++o) {
+      const std::int16_t* filter = w.levels.data() + o * d;
+      double acc = 0.0;
+      long seg_acc = 0;
+      std::size_t in_seg = 0;
+      for (std::size_t i = 0; i < d; ++i) {
+        seg_acc += static_cast<long>(row[i]) * filter[i];
+        if (++in_seg == seg) {
+          // Arm boundary: the BPD emits this partial sum.
+          acc += static_cast<double>(seg_acc);
+          seg_acc = 0;
+          in_seg = 0;
+        }
+      }
+      acc += static_cast<double>(seg_acc);
+      float v = static_cast<float>(acc * scale);
+      if (!bias.empty()) v += bias[o];
+      y.at(n, o) = v;
+    }
+  });
+  return y;
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,39 @@
+// ReferenceBackend: the scalar arm-segmented loop, kept as the correctness
+// oracle for every other compute backend.
+//
+// This is (batch-parallelism aside) the seed implementation of
+// OpticalCore::conv2d verbatim: a seven-deep loop that walks each output's
+// receptive field in (channel, ky, kx) order, accumulates integer
+// code x level products into a per-segment partial sum, and emits the
+// partial at every mrs_per_arm boundary — exactly where the BPDs sit.
+// linear runs the same segmented reduction over the feature dimension
+// (the seed's flat fc loop ignored arm segmentation; that bug is fixed
+// here, identically in every backend).
+#pragma once
+
+#include "core/compute_backend.hpp"
+
+namespace lightator::core {
+
+class ReferenceBackend final : public ComputeBackend {
+ public:
+  explicit ReferenceBackend(ArchConfig config) : config_(config) {}
+
+  std::string name() const override { return "reference"; }
+
+  tensor::Tensor conv2d(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias,
+                        const tensor::ConvSpec& spec,
+                        const ExecutionContext& ctx) const override;
+
+  tensor::Tensor linear(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias,
+                        const ExecutionContext& ctx) const override;
+
+ private:
+  ArchConfig config_;
+};
+
+}  // namespace lightator::core

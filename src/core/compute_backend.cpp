@@ -1,0 +1,108 @@
+#include "core/compute_backend.hpp"
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/backends/gemm_backend.hpp"
+#include "core/backends/physical_backend.hpp"
+#include "core/backends/reference_backend.hpp"
+
+namespace lightator::core {
+
+struct BackendRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, BackendFactory> factories;
+};
+
+BackendRegistry::BackendRegistry() : impl_(std::make_unique<Impl>()) {
+  impl_->factories["reference"] = [](const ArchConfig& cfg) {
+    return std::make_unique<ReferenceBackend>(cfg);
+  };
+  impl_->factories["gemm"] = [](const ArchConfig& cfg) {
+    return std::make_unique<GemmBackend>(cfg);
+  };
+  impl_->factories["physical"] = [](const ArchConfig& cfg) {
+    return std::make_unique<PhysicalBackend>(cfg);
+  };
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_factory(const std::string& name,
+                                       BackendFactory factory) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->factories[name] = std::move(factory);
+}
+
+std::unique_ptr<ComputeBackend> BackendRegistry::create(
+    const std::string& name, const ArchConfig& config) const {
+  BackendFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->factories.find(name);
+    if (it == impl_->factories.end()) {
+      std::string known;
+      for (const auto& [n, _] : impl_->factories) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw std::invalid_argument("unknown compute backend '" + name +
+                                  "' (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  return factory(config);
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->factories.size());
+  for (const auto& [name, _] : impl_->factories) out.push_back(name);
+  return out;
+}
+
+void validate_oc_conv_inputs(const tensor::QuantizedTensor& x,
+                             const tensor::QuantizedTensor& w,
+                             const tensor::ConvSpec& spec) {
+  if (x.is_signed || !w.is_signed) {
+    throw std::invalid_argument("OC conv expects unsigned acts, signed weights");
+  }
+  if (x.shape.size() != 4 || w.shape.size() != 4) {
+    throw std::invalid_argument("OC conv expects 4-d tensors");
+  }
+  if (x.shape[1] != spec.in_channels || w.shape[0] != spec.out_channels) {
+    throw std::invalid_argument("OC conv shape mismatch");
+  }
+  if (w.shape[1] != spec.in_channels || w.shape[2] != spec.kernel ||
+      w.shape[3] != spec.kernel) {
+    throw std::invalid_argument("OC conv weight shape mismatch");
+  }
+}
+
+void validate_oc_linear_inputs(const tensor::QuantizedTensor& x,
+                               const tensor::QuantizedTensor& w) {
+  if (x.is_signed || !w.is_signed) {
+    throw std::invalid_argument(
+        "OC linear expects unsigned acts, signed weights");
+  }
+  if (x.shape.size() != 2 || w.shape.size() != 2) {
+    throw std::invalid_argument("OC linear expects 2-d tensors");
+  }
+  if (w.shape[1] != x.shape[1]) {
+    throw std::invalid_argument("OC linear shape mismatch");
+  }
+}
+
+double oc_output_scale(const tensor::QuantizedTensor& x,
+                       const tensor::QuantizedTensor& w) {
+  return x.scale * w.scale /
+         (static_cast<double>(x.max_level()) *
+          static_cast<double>(w.max_level()));
+}
+
+}  // namespace lightator::core

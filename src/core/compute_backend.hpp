@@ -1,0 +1,152 @@
+// Pluggable OC compute backends: one datapath contract, three engines.
+//
+// Every quantized conv/fc MAC of the optical core flows through a
+// ComputeBackend:
+//   * "reference" — the scalar arm-segmented loop, kept as the correctness
+//                   oracle (bit-for-bit the original seed semantics);
+//   * "gemm"      — im2col + blocked int16 GEMM (tensor/gemm_s16.hpp) with
+//                   segment-aware K-blocking, bit-exact with "reference" and
+//                   an order of magnitude faster;
+//   * "physical"  — the noisy MrArm device-model path with a per-batch-item
+//                   seeded RNG, deterministic regardless of thread count.
+// Backends are looked up by name through BackendRegistry (the op-registry
+// idiom), so downstream code — LightatorSystem, benches, tests — selects a
+// datapath with a string in the ExecutionContext and new engines can be
+// registered without touching the core.
+//
+// All backends shard work over the batch dimension on a util::ThreadPool;
+// quantization scales are computed over the full batch *before* dispatch, so
+// results are independent of the thread count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/arch_config.hpp"
+#include "core/faults.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/quantize.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lightator::core {
+
+/// Per-layer execution record accumulated by run_network_on_oc when
+/// ExecutionContext::collect_stats is set: the modeled architecture numbers
+/// next to the simulator's own wall time. One entry per weighted layer;
+/// repeated invocations (e.g. evaluate_on_oc batches) accumulate into the
+/// same entry, so wall_seconds / frames is the measured per-frame cost to
+/// compare against the per-frame modeled numbers.
+struct LayerExecStats {
+  std::size_t layer_index = 0;    // weighted-layer index within the network
+  std::string name;
+  int weight_bits = 0;            // precision the modeled numbers assume
+  std::size_t macs = 0;           // MACs per frame
+  std::size_t frames = 0;         // frames accumulated into wall_seconds
+  double wall_seconds = 0.0;      // simulator wall time, all frames
+  double modeled_latency = 0.0;   // TimingModel single-frame latency (s)
+  double modeled_energy = 0.0;    // PowerModel per-frame energy (J)
+};
+
+/// Everything a datapath invocation needs beyond the tensors: which backend,
+/// the noise/fault configuration, the thread pool, and where to accumulate
+/// per-layer stats. Passed by reference through LightatorSystem and
+/// OpticalCore down to the backend kernels.
+struct ExecutionContext {
+  std::string backend = "gemm";
+  /// Physical backend: BPD noise seed; 0 runs the noiseless analog path.
+  std::uint64_t noise_seed = 0;
+  FaultSpec faults;
+  /// Pool for batch-parallel dispatch; nullptr uses ThreadPool::global().
+  util::ThreadPool* pool = nullptr;
+
+  bool collect_stats = false;
+  std::vector<LayerExecStats> stats;
+
+  ExecutionContext() = default;
+  ExecutionContext(const ExecutionContext&) = delete;
+  ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+  util::ThreadPool& thread_pool() const {
+    return pool != nullptr ? *pool : util::ThreadPool::global();
+  }
+
+  /// Distinct noise stream per backend invocation, so successive layers draw
+  /// independent noise even though each batch item reseeds from (seed, item).
+  std::uint64_t next_noise_stream() const {
+    return noise_stream_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::atomic<std::uint64_t> noise_stream_{0};
+};
+
+class ComputeBackend {
+ public:
+  virtual ~ComputeBackend() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Quantized conv2d: x unsigned act codes [N,C,H,W], w signed levels
+  /// [OC,C,K,K]. Returns real-valued outputs with scales applied and float
+  /// bias added — the contract of the original OpticalCore::conv2d.
+  virtual tensor::Tensor conv2d(const tensor::QuantizedTensor& x,
+                                const tensor::QuantizedTensor& w,
+                                const tensor::Tensor& bias,
+                                const tensor::ConvSpec& spec,
+                                const ExecutionContext& ctx) const = 0;
+
+  /// Quantized fully-connected layer: x [N,D], w [OUT,D]. Reduction is
+  /// arm-segmented exactly like conv2d (mrs_per_arm partial-sum boundaries).
+  virtual tensor::Tensor linear(const tensor::QuantizedTensor& x,
+                                const tensor::QuantizedTensor& w,
+                                const tensor::Tensor& bias,
+                                const ExecutionContext& ctx) const = 0;
+};
+
+using BackendFactory =
+    std::function<std::unique_ptr<ComputeBackend>(const ArchConfig&)>;
+
+/// Name -> factory registry. The three built-in backends are registered on
+/// first access; additional engines may be registered at runtime (last
+/// registration wins, so a builtin can be shadowed for experiments).
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  void register_factory(const std::string& name, BackendFactory factory);
+
+  /// Instantiates `name` for `config`. Throws std::invalid_argument for an
+  /// unknown name (message lists the registered ones).
+  std::unique_ptr<ComputeBackend> create(const std::string& name,
+                                         const ArchConfig& config) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// ---- shared input validation (one contract for every backend) -------------
+
+/// Throws unless x/w are a valid unsigned-act / signed-weight conv pair for
+/// `spec`.
+void validate_oc_conv_inputs(const tensor::QuantizedTensor& x,
+                             const tensor::QuantizedTensor& w,
+                             const tensor::ConvSpec& spec);
+
+/// Throws unless x/w are a valid unsigned-act / signed-weight fc pair.
+void validate_oc_linear_inputs(const tensor::QuantizedTensor& x,
+                               const tensor::QuantizedTensor& w);
+
+/// Output scaling shared by all backends: real value of one integer MAC
+/// count, i.e. x.scale * w.scale / (x.max_level() * w.max_level()).
+double oc_output_scale(const tensor::QuantizedTensor& x,
+                       const tensor::QuantizedTensor& w);
+
+}  // namespace lightator::core

@@ -1,6 +1,7 @@
 #include "core/lightator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -122,37 +123,85 @@ SystemReport LightatorSystem::analyze_impl(const nn::ModelDesc& model,
 tensor::Tensor LightatorSystem::run_network_on_oc(
     nn::Network& net, const tensor::Tensor& x,
     const nn::PrecisionSchedule& schedule, const FaultSpec& faults) const {
-  return run_network_impl(
-      net, x,
-      [&schedule](std::size_t i) { return schedule.weight_bits_for(i); },
-      [&schedule](std::size_t i) { return schedule.act_bits_for(i); }, faults);
+  ExecutionContext ctx;
+  ctx.faults = faults;
+  return run_network_on_oc(net, x, schedule, ctx);
 }
 
 tensor::Tensor LightatorSystem::run_network_on_oc(
     nn::Network& net, const tensor::Tensor& x,
     const std::vector<int>& weight_bits, int act_bits,
     const FaultSpec& faults) const {
+  ExecutionContext ctx;
+  ctx.faults = faults;
+  return run_network_on_oc(net, x, weight_bits, act_bits, ctx);
+}
+
+tensor::Tensor LightatorSystem::run_network_on_oc(
+    nn::Network& net, const tensor::Tensor& x,
+    const nn::PrecisionSchedule& schedule, ExecutionContext& ctx) const {
+  return run_network_impl(
+      net, x,
+      [&schedule](std::size_t i) { return schedule.weight_bits_for(i); },
+      [&schedule](std::size_t i) { return schedule.act_bits_for(i); }, ctx);
+}
+
+tensor::Tensor LightatorSystem::run_network_on_oc(
+    nn::Network& net, const tensor::Tensor& x,
+    const std::vector<int>& weight_bits, int act_bits,
+    ExecutionContext& ctx) const {
   return run_network_impl(
       net, x,
       [&weight_bits](std::size_t i) {
         return i < weight_bits.size() ? weight_bits[i] : weight_bits.back();
       },
-      [act_bits](std::size_t) { return act_bits; }, faults);
+      [act_bits](std::size_t) { return act_bits; }, ctx);
 }
 
 tensor::Tensor LightatorSystem::run_network_impl(
     nn::Network& net, const tensor::Tensor& x, const BitsFn& weight_bits_for,
-    const BitsFn& act_bits_for, const FaultSpec& faults) const {
+    const BitsFn& act_bits_for, ExecutionContext& ctx) const {
   tensor::Tensor h = x;
   std::size_t weighted_index = 0;
-  util::Rng fault_rng(faults.seed);
+  util::Rng fault_rng(ctx.faults.seed);
   // Activations enter through the CRC/DMVA path: unsigned codes with a
   // per-tensor scale (the paper's configurations keep A = 4 bits; binary-
-  // activation baselines like LightBulb use A = 1).
+  // activation baselines like LightBulb use A = 1). The scale is the max
+  // over the whole batch, so sharding the batch across threads inside the
+  // backend cannot change the quantization.
   auto quantize_acts = [&](const tensor::Tensor& t, int bits) {
     float m = 0.0f;
     for (std::size_t i = 0; i < t.size(); ++i) m = std::max(m, t[i]);
     return tensor::quantize_unsigned(t, bits, m > 0 ? m : 1.0);
+  };
+  const std::size_t frames = x.dim(0);
+  // Per-layer power/timing accumulators: the architecture models evaluated
+  // at the layer's mapped shape, next to the simulator's own wall time.
+  // Entries are keyed by weighted-layer index so repeated batches accumulate
+  // wall time / frame counts instead of duplicating the (batch-invariant)
+  // modeled numbers.
+  auto record_stats = [&](std::size_t layer_index, const nn::LayerDesc& desc,
+                          int wbits, double wall_seconds) {
+    if (!ctx.collect_stats) return;
+    for (auto& s : ctx.stats) {
+      if (s.layer_index == layer_index && s.name == desc.name &&
+          s.weight_bits == wbits) {
+        s.wall_seconds += wall_seconds;
+        s.frames += frames;
+        return;
+      }
+    }
+    LayerExecStats s;
+    s.layer_index = layer_index;
+    s.name = desc.name;
+    s.weight_bits = wbits;
+    s.macs = desc.macs();
+    s.frames = frames;
+    s.wall_seconds = wall_seconds;
+    const LayerMapping mapping = mapper_.map_layer(desc);
+    s.modeled_latency = timing_.layer_timing(mapping).latency;
+    s.modeled_energy = power_.layer_power(mapping, wbits).energy;
+    ctx.stats.push_back(std::move(s));
   };
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     nn::Layer& layer = net.layer(i);
@@ -164,11 +213,22 @@ tensor::Tensor LightatorSystem::run_network_impl(
         ++weighted_index;
         auto xq = quantize_acts(h, abits);
         auto wq = tensor::quantize_symmetric(conv.weight(), wbits);
-        if (faults.any()) {
-          apply_weight_faults(wq, faults, fault_rng);
-          apply_activation_faults(xq, faults, fault_rng);
+        if (ctx.faults.any()) {
+          apply_weight_faults(wq, ctx.faults, fault_rng);
+          apply_activation_faults(xq, ctx.faults, fault_rng);
         }
-        h = oc_.conv2d(xq, wq, conv.bias(), conv.spec());
+        nn::LayerDesc desc;
+        desc.kind = nn::LayerKind::kConv;
+        desc.name = conv.name();
+        desc.in_h = h.dim(2);
+        desc.in_w = h.dim(3);
+        desc.conv = conv.spec();
+        const auto start = std::chrono::steady_clock::now();
+        h = oc_.conv2d(xq, wq, conv.bias(), conv.spec(), ctx);
+        record_stats(weighted_index - 1, desc, wbits,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
         break;
       }
       case nn::LayerKind::kLinear: {
@@ -178,11 +238,21 @@ tensor::Tensor LightatorSystem::run_network_impl(
         ++weighted_index;
         auto xq = quantize_acts(h, abits);
         auto wq = tensor::quantize_symmetric(fc.weight(), wbits);
-        if (faults.any()) {
-          apply_weight_faults(wq, faults, fault_rng);
-          apply_activation_faults(xq, faults, fault_rng);
+        if (ctx.faults.any()) {
+          apply_weight_faults(wq, ctx.faults, fault_rng);
+          apply_activation_faults(xq, ctx.faults, fault_rng);
         }
-        h = oc_.linear(xq, wq, fc.bias());
+        nn::LayerDesc desc;
+        desc.kind = nn::LayerKind::kLinear;
+        desc.name = fc.name();
+        desc.fc_in = fc.in_features();
+        desc.fc_out = fc.out_features();
+        const auto start = std::chrono::steady_clock::now();
+        h = oc_.linear(xq, wq, fc.bias(), ctx);
+        record_stats(weighted_index - 1, desc, wbits,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
         break;
       }
       default:
@@ -200,6 +270,17 @@ double LightatorSystem::evaluate_on_oc(nn::Network& net,
                                        std::size_t batch_size,
                                        std::size_t max_samples,
                                        const FaultSpec& faults) const {
+  ExecutionContext ctx;
+  ctx.faults = faults;
+  return evaluate_on_oc(net, data, schedule, ctx, batch_size, max_samples);
+}
+
+double LightatorSystem::evaluate_on_oc(nn::Network& net,
+                                       const nn::Dataset& data,
+                                       const nn::PrecisionSchedule& schedule,
+                                       ExecutionContext& ctx,
+                                       std::size_t batch_size,
+                                       std::size_t max_samples) const {
   const std::size_t n =
       max_samples == 0 ? data.size() : std::min(max_samples, data.size());
   std::size_t correct = 0, seen = 0;
@@ -207,7 +288,7 @@ double LightatorSystem::evaluate_on_oc(nn::Network& net,
     const std::size_t count = std::min(batch_size, n - begin);
     const auto x = data.batch_images(begin, count);
     const auto y = data.batch_labels(begin, count);
-    const auto logits = run_network_on_oc(net, x, schedule, faults);
+    const auto logits = run_network_on_oc(net, x, schedule, ctx);
     const auto preds = tensor::predict(logits);
     for (std::size_t i = 0; i < preds.size(); ++i) {
       if (preds[i] == y[i]) ++correct;

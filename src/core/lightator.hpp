@@ -94,6 +94,17 @@ class LightatorSystem {
                                    int act_bits = 4,
                                    const FaultSpec& faults = {}) const;
 
+  /// ExecutionContext variants: choose the compute backend ("reference" /
+  /// "gemm" / "physical"), the thread pool for batch-parallel dispatch, the
+  /// fault/noise configuration, and (optionally) collect per-layer
+  /// power/timing/wall-time stats into `ctx.stats`.
+  tensor::Tensor run_network_on_oc(nn::Network& net, const tensor::Tensor& x,
+                                   const nn::PrecisionSchedule& schedule,
+                                   ExecutionContext& ctx) const;
+  tensor::Tensor run_network_on_oc(nn::Network& net, const tensor::Tensor& x,
+                                   const std::vector<int>& weight_bits,
+                                   int act_bits, ExecutionContext& ctx) const;
+
   /// Accuracy at arbitrary per-layer weight bits.
   double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
                         const std::vector<int>& weight_bits, int act_bits = 4,
@@ -106,6 +117,14 @@ class LightatorSystem {
                         std::size_t batch_size = 64,
                         std::size_t max_samples = 0,
                         const FaultSpec& faults = {}) const;
+
+  /// Accuracy through an explicit ExecutionContext (backend choice, thread
+  /// pool, faults/noise, stats). Batches shard over the batch dimension
+  /// inside the backend kernels, so accuracy is thread-count invariant.
+  double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
+                        const nn::PrecisionSchedule& schedule,
+                        ExecutionContext& ctx, std::size_t batch_size = 64,
+                        std::size_t max_samples = 0) const;
 
   /// End-to-end single-frame pipeline (Fig. 2): expose the pixel array to a
   /// scene, read CRC codes, optionally compress via CA, and return the
@@ -123,7 +142,7 @@ class LightatorSystem {
 
   tensor::Tensor run_network_impl(nn::Network& net, const tensor::Tensor& x,
                                   const BitsFn& wbits, const BitsFn& abits,
-                                  const FaultSpec& faults) const;
+                                  ExecutionContext& ctx) const;
 
   ArchConfig config_;
   OpticalCore oc_;

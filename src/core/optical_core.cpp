@@ -7,6 +7,15 @@
 
 namespace lightator::core {
 
+namespace {
+
+const ExecutionContext& default_context() {
+  static const ExecutionContext ctx;  // backend "gemm", global pool
+  return ctx;
+}
+
+}  // namespace
+
 OpticalCore::OpticalCore(ArchConfig config)
     : config_(config), dmva_(config) {}
 
@@ -76,104 +85,43 @@ double OpticalCore::reduce(std::span<const int> codes,
   return acc;
 }
 
+const ComputeBackend& OpticalCore::backend(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(backends_mutex_);
+  auto it = backends_.find(name);
+  if (it == backends_.end()) {
+    it = backends_
+             .emplace(name, BackendRegistry::instance().create(name, config_))
+             .first;
+  }
+  return *it->second;
+}
+
 tensor::Tensor OpticalCore::conv2d(const tensor::QuantizedTensor& x,
                                    const tensor::QuantizedTensor& w,
                                    const tensor::Tensor& bias,
                                    const tensor::ConvSpec& spec) const {
-  if (x.is_signed || !w.is_signed) {
-    throw std::invalid_argument("OC conv expects unsigned acts, signed weights");
-  }
-  if (x.shape.size() != 4 || w.shape.size() != 4) {
-    throw std::invalid_argument("OC conv expects 4-d tensors");
-  }
-  const std::size_t batch = x.shape[0], c_in = x.shape[1], h = x.shape[2],
-                    w_in = x.shape[3];
-  if (c_in != spec.in_channels || w.shape[0] != spec.out_channels) {
-    throw std::invalid_argument("OC conv shape mismatch");
-  }
-  const std::size_t k = spec.kernel;
-  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w_in);
-  tensor::Tensor y({batch, spec.out_channels, oh, ow});
-  const double scale = x.scale * w.scale /
-                       (static_cast<double>(x.max_level()) *
-                        static_cast<double>(w.max_level()));
-  const std::size_t seg = config_.geometry.mrs_per_arm;
-  for (std::size_t n = 0; n < batch; ++n) {
-    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
-      const std::int16_t* filter = w.levels.data() + oc * c_in * k * k;
-      for (std::size_t oy = 0; oy < oh; ++oy) {
-        for (std::size_t ox = 0; ox < ow; ++ox) {
-          // Gather the window codes; out-of-bounds (padding) reads are dark
-          // channels (code 0).
-          double acc = 0.0;
-          long seg_acc = 0;
-          std::size_t in_seg = 0;
-          for (std::size_t c = 0; c < c_in; ++c) {
-            for (std::size_t ky = 0; ky < k; ++ky) {
-              for (std::size_t kx = 0; kx < k; ++kx) {
-                const long iy = static_cast<long>(oy * spec.stride + ky) -
-                                static_cast<long>(spec.pad);
-                const long ix = static_cast<long>(ox * spec.stride + kx) -
-                                static_cast<long>(spec.pad);
-                int code = 0;
-                if (iy >= 0 && ix >= 0 && iy < static_cast<long>(h) &&
-                    ix < static_cast<long>(w_in)) {
-                  code = x.levels[((n * c_in + c) * h +
-                                   static_cast<std::size_t>(iy)) *
-                                      w_in +
-                                  static_cast<std::size_t>(ix)];
-                }
-                const int level = filter[(c * k + ky) * k + kx];
-                seg_acc += static_cast<long>(code) * level;
-                if (++in_seg == seg) {
-                  // Arm boundary: the BPD emits this partial sum.
-                  acc += static_cast<double>(seg_acc);
-                  seg_acc = 0;
-                  in_seg = 0;
-                }
-              }
-            }
-          }
-          acc += static_cast<double>(seg_acc);
-          float out = static_cast<float>(acc * scale);
-          if (!bias.empty()) out += bias[oc];
-          y.at(n, oc, oy, ox) = out;
-        }
-      }
-    }
-  }
-  return y;
+  return conv2d(x, w, bias, spec, default_context());
+}
+
+tensor::Tensor OpticalCore::conv2d(const tensor::QuantizedTensor& x,
+                                   const tensor::QuantizedTensor& w,
+                                   const tensor::Tensor& bias,
+                                   const tensor::ConvSpec& spec,
+                                   const ExecutionContext& ctx) const {
+  return backend(ctx.backend).conv2d(x, w, bias, spec, ctx);
 }
 
 tensor::Tensor OpticalCore::linear(const tensor::QuantizedTensor& x,
                                    const tensor::QuantizedTensor& w,
                                    const tensor::Tensor& bias) const {
-  if (x.is_signed || !w.is_signed) {
-    throw std::invalid_argument("OC linear expects unsigned acts, signed weights");
-  }
-  if (x.shape.size() != 2 || w.shape.size() != 2) {
-    throw std::invalid_argument("OC linear expects 2-d tensors");
-  }
-  const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
-  if (w.shape[1] != d) throw std::invalid_argument("OC linear shape mismatch");
-  tensor::Tensor y({batch, out_f});
-  const double scale = x.scale * w.scale /
-                       (static_cast<double>(x.max_level()) *
-                        static_cast<double>(w.max_level()));
-  for (std::size_t n = 0; n < batch; ++n) {
-    const std::int16_t* row = x.levels.data() + n * d;
-    for (std::size_t o = 0; o < out_f; ++o) {
-      const std::int16_t* filter = w.levels.data() + o * d;
-      long acc = 0;
-      for (std::size_t i = 0; i < d; ++i) {
-        acc += static_cast<long>(row[i]) * filter[i];
-      }
-      float v = static_cast<float>(static_cast<double>(acc) * scale);
-      if (!bias.empty()) v += bias[o];
-      y.at(n, o) = v;
-    }
-  }
-  return y;
+  return linear(x, w, bias, default_context());
+}
+
+tensor::Tensor OpticalCore::linear(const tensor::QuantizedTensor& x,
+                                   const tensor::QuantizedTensor& w,
+                                   const tensor::Tensor& bias,
+                                   const ExecutionContext& ctx) const {
+  return backend(ctx.backend).linear(x, w, bias, ctx);
 }
 
 double OpticalCore::tuning_power_for_levels(std::span<const int> levels,

@@ -1,21 +1,30 @@
 // Optical Core: the MR-based MVM engine.
 //
-// Two execution paths over the same arm/bank microarchitecture:
-//   * functional — integer-exact quantized MACs (activation codes x weight
-//     levels), segmented into 9-MR arms with partial-sum reduction exactly
-//     as the mapper prescribes. This is what the system-level accuracy and
-//     bench runs use.
-//   * physical   — routes a segment through the full device models (VCSEL
-//     L-I, Lorentzian rings with crosstalk, lossy rails, BPD), used to
-//     validate the functional path and to study analog non-idealities.
-// A property-test suite asserts the two agree within the analog error
-// budget (tests/test_optical_core.cpp).
+// Tensor-level execution (conv2d / linear) is delegated to a pluggable
+// ComputeBackend (see core/compute_backend.hpp):
+//   * "reference" — scalar arm-segmented loop, the correctness oracle;
+//   * "gemm"      — im2col + segment-blocked int16 GEMM, bit-exact with the
+//                   reference and the default engine;
+//   * "physical"  — full device models (VCSEL L-I, Lorentzian rings with
+//                   crosstalk, lossy rails, BPD) with optional seeded noise.
+// All backends shard the batch dimension over a thread pool. The scalar
+// arm-level entry points (arm_dot / arm_dot_physical / reduce) remain here
+// as the single-segment primitives the property tests and calibration use.
+// A property-test suite asserts the functional and physical paths agree
+// within the analog error budget (tests/test_optical_core.cpp), and a
+// backend-equivalence suite asserts reference/gemm bit-exactness
+// (tests/test_backends.cpp).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <span>
+#include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/arch_config.hpp"
+#include "core/compute_backend.hpp"
 #include "core/dmva.hpp"
 #include "optics/arm.hpp"
 #include "tensor/ops.hpp"
@@ -46,18 +55,33 @@ class OpticalCore {
   double reduce(std::span<const int> codes, std::span<const int> levels,
                 int weight_bits) const;
 
-  /// Quantized conv2d through the OC (functional): x codes are unsigned
-  /// `act` codes, w levels signed. Returns real-valued outputs
-  /// (scale_x * scale_w applied). Bias (float) added if non-empty.
+  /// Quantized conv2d through the OC: x codes are unsigned `act` codes, w
+  /// levels signed. Returns real-valued outputs (scale_x * scale_w applied).
+  /// Bias (float) added if non-empty. Runs on `ctx`'s backend; the
+  /// ctx-less overload uses the default ("gemm") functional engine.
   tensor::Tensor conv2d(const tensor::QuantizedTensor& x,
                         const tensor::QuantizedTensor& w,
                         const tensor::Tensor& bias,
                         const tensor::ConvSpec& spec) const;
+  tensor::Tensor conv2d(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias,
+                        const tensor::ConvSpec& spec,
+                        const ExecutionContext& ctx) const;
 
-  /// Quantized fully-connected layer through the OC (functional).
+  /// Quantized fully-connected layer through the OC. The reduction is
+  /// arm-segmented exactly like conv2d (mrs_per_arm partial-sum boundaries).
   tensor::Tensor linear(const tensor::QuantizedTensor& x,
                         const tensor::QuantizedTensor& w,
                         const tensor::Tensor& bias) const;
+  tensor::Tensor linear(const tensor::QuantizedTensor& x,
+                        const tensor::QuantizedTensor& w,
+                        const tensor::Tensor& bias,
+                        const ExecutionContext& ctx) const;
+
+  /// The backend instance for `name` ("reference" / "gemm" / "physical" or
+  /// anything registered), instantiated for this core's config and cached.
+  const ComputeBackend& backend(const std::string& name) const;
 
   /// Total heater power if `levels` (signed) were programmed (TUN audit).
   double tuning_power_for_levels(std::span<const int> levels,
@@ -66,6 +90,9 @@ class OpticalCore {
  private:
   ArchConfig config_;
   Dmva dmva_;
+  mutable std::mutex backends_mutex_;
+  mutable std::unordered_map<std::string, std::unique_ptr<ComputeBackend>>
+      backends_;
 };
 
 }  // namespace lightator::core

@@ -1,0 +1,146 @@
+#include "tensor/gemm_s16.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <cstdlib>
+#include <limits>
+
+namespace lightator::tensor {
+
+namespace {
+
+std::int32_t max_abs_s16(const std::int16_t* v, std::size_t count,
+                         std::size_t stride = 1) {
+  std::int32_t m = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int32_t a = std::abs(static_cast<std::int32_t>(v[i * stride]));
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+/// True when `seg` products of magnitudes up to `max_a * max_b` are
+/// guaranteed to fit an int32 accumulator. Arm-length segments of quantized
+/// codes/levels always do; the flat-segment (segment >= k) mode with large k
+/// or full-range int16 inputs falls back to int64 accumulation.
+bool int32_accumulation_safe(std::int32_t max_a, std::int32_t max_b,
+                             std::size_t seg) {
+  const std::int64_t worst = static_cast<std::int64_t>(max_a) * max_b;
+  if (worst == 0) return true;
+  return static_cast<std::int64_t>(seg) <=
+         std::numeric_limits<std::int32_t>::max() / worst;
+}
+
+template <typename Acc>
+void gemm_s16_segmented_impl(std::size_t m, std::size_t n, std::size_t k,
+                             const std::int16_t* a, std::size_t lda,
+                             const std::int16_t* b, std::size_t ldb,
+                             std::size_t seg, double* c, std::size_t ldc) {
+  std::vector<Acc> acc(n);
+  for (std::size_t i = 0; i < m; ++i) {
+    double* c_row = c + i * ldc;
+    std::fill(c_row, c_row + n, 0.0);
+    const std::int16_t* a_row = a + i * lda;
+    for (std::size_t k0 = 0; k0 < k; k0 += seg) {
+      const std::size_t k1 = std::min(k0 + seg, k);
+      std::fill(acc.begin(), acc.end(), Acc{0});
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        const Acc a_ik = a_row[kk];
+        if (a_ik == 0) continue;  // quantized weights are sparse at low bits
+        const std::int16_t* b_row = b + kk * ldb;
+        for (std::size_t j = 0; j < n; ++j) {
+          acc[j] += a_ik * static_cast<Acc>(b_row[j]);
+        }
+      }
+      // Arm boundary: the BPD emits these partial sums.
+      for (std::size_t j = 0; j < n; ++j) {
+        c_row[j] += static_cast<double>(acc[j]);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_s16_segmented(std::size_t m, std::size_t n, std::size_t k,
+                        const std::int16_t* a, std::size_t lda,
+                        const std::int16_t* b, std::size_t ldb,
+                        std::size_t segment, double* c, std::size_t ldc) {
+  const std::size_t seg = (segment == 0 || segment > k) ? k : segment;
+  // Cheap O(mk + kn) magnitude scan picks the accumulator width; the int32
+  // fast path vectorizes better and covers every quantized workload.
+  std::int32_t max_a = 0, max_b = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    max_a = std::max(max_a, max_abs_s16(a + i * lda, k));
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    max_b = std::max(max_b, max_abs_s16(b + kk * ldb, n));
+  }
+  if (int32_accumulation_safe(max_a, max_b, seg)) {
+    gemm_s16_segmented_impl<std::int32_t>(m, n, k, a, lda, b, ldb, seg, c,
+                                          ldc);
+  } else {
+    gemm_s16_segmented_impl<std::int64_t>(m, n, k, a, lda, b, ldb, seg, c,
+                                          ldc);
+  }
+}
+
+double dot_s16_segmented(const std::int16_t* a, const std::int16_t* b,
+                         std::size_t k, std::size_t segment) {
+  const std::size_t seg = (segment == 0 || segment > k) ? k : segment;
+  const bool narrow =
+      int32_accumulation_safe(max_abs_s16(a, k), max_abs_s16(b, k), seg);
+  double total = 0.0;
+  for (std::size_t k0 = 0; k0 < k; k0 += seg) {
+    const std::size_t k1 = std::min(k0 + seg, k);
+    if (narrow) {
+      std::int32_t acc = 0;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        acc += static_cast<std::int32_t>(a[kk]) *
+               static_cast<std::int32_t>(b[kk]);
+      }
+      total += static_cast<double>(acc);
+    } else {
+      std::int64_t acc = 0;
+      for (std::size_t kk = k0; kk < k1; ++kk) {
+        acc += static_cast<std::int64_t>(a[kk]) *
+               static_cast<std::int64_t>(b[kk]);
+      }
+      total += static_cast<double>(acc);
+    }
+  }
+  return total;
+}
+
+void im2col_s16(const std::int16_t* x, std::size_t h, std::size_t w,
+                const ConvSpec& spec, std::int16_t* cols) {
+  const std::size_t c_in = spec.in_channels;
+  const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w);
+  const std::size_t k = spec.kernel;
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < c_in; ++c) {
+    for (std::size_t ky = 0; ky < k; ++ky) {
+      for (std::size_t kx = 0; kx < k; ++kx, ++row) {
+        std::int16_t* out = cols + row * (oh * ow);
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const long iy = static_cast<long>(oy * spec.stride + ky) -
+                          static_cast<long>(spec.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const long ix = static_cast<long>(ox * spec.stride + kx) -
+                            static_cast<long>(spec.pad);
+            const bool in_bounds = iy >= 0 && ix >= 0 &&
+                                   iy < static_cast<long>(h) &&
+                                   ix < static_cast<long>(w);
+            out[oy * ow + ox] =
+                in_bounds ? x[(c * h + static_cast<std::size_t>(iy)) * w +
+                              static_cast<std::size_t>(ix)]
+                          : std::int16_t{0};
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace lightator::tensor

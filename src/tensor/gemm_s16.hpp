@@ -1,0 +1,42 @@
+// Blocked integer GEMM over quantized int16 codes/levels — the compute
+// kernel of the OC GemmBackend.
+//
+// The optical core reduces MACs in arm segments of `mrs_per_arm` terms: each
+// segment's integer partial sum is emitted by a BPD and the partials are
+// accumulated downstream. gemm_s16_segmented reproduces those emission
+// points bit-for-bit: the K dimension is blocked on segment boundaries, each
+// segment accumulates exactly in integer arithmetic (int32 fast path when a
+// magnitude scan proves the segment cannot overflow it — always true for
+// arm-length segments of quantized codes/levels — int64 otherwise), and
+// segment partials are added into a double accumulator in segment order —
+// the same arithmetic the scalar reference loop performs, three loop levels
+// deep instead of seven.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/ops.hpp"
+
+namespace lightator::tensor {
+
+/// C[m x n] (double, row-major, ld `ldc`) = A[m x k] * B[k x n] with
+/// segment-blocked integer accumulation. `segment` is the arm length
+/// (0 or >= k means one flat segment). C is overwritten.
+void gemm_s16_segmented(std::size_t m, std::size_t n, std::size_t k,
+                        const std::int16_t* a, std::size_t lda,
+                        const std::int16_t* b, std::size_t ldb,
+                        std::size_t segment, double* c, std::size_t ldc);
+
+/// Segmented dot product of two int16 rows (the fc-layer kernel): integer
+/// partials per `segment` terms, summed in double in segment order.
+double dot_s16_segmented(const std::int16_t* a, const std::int16_t* b,
+                         std::size_t k, std::size_t segment);
+
+/// im2col over int16 activation codes: unfolds the (C,H,W) image at `x` into
+/// columns [C*K*K, OH*OW]. Out-of-bounds (padding) reads are dark channels
+/// (code 0), exactly as the OC sees them.
+void im2col_s16(const std::int16_t* x, std::size_t h, std::size_t w,
+                const ConvSpec& spec, std::int16_t* cols);
+
+}  // namespace lightator::tensor

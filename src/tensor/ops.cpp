@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tensor/gemm.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lightator::tensor {
 
@@ -94,14 +95,16 @@ Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor& b,
   const std::size_t oh = spec.out_dim(x.dim(2)), ow = spec.out_dim(x.dim(3));
   const std::size_t kdim = spec.weights_per_filter();
   Tensor y({batch, spec.out_channels, oh, ow});
-  std::vector<float> cols(kdim * oh * ow);
-  for (std::size_t n = 0; n < batch; ++n) {
+  // Batch items are independent: shard them over the global pool (each with
+  // its own column buffer). The forward pass of nn::Network inherits this.
+  util::ThreadPool::global().parallel_for(0, batch, [&](std::size_t n) {
+    std::vector<float> cols(kdim * oh * ow);
     im2col(x, n, spec, cols.data());
     float* y_n = y.data() + n * spec.out_channels * oh * ow;
     // y_n [OC, OH*OW] = w [OC, kdim] * cols [kdim, OH*OW]
     gemm(false, false, spec.out_channels, oh * ow, kdim, 1.0f, w.data(), kdim,
          cols.data(), oh * ow, 0.0f, y_n, oh * ow);
-  }
+  });
   if (!b.empty()) {
     if (b.size() != spec.out_channels) {
       throw std::invalid_argument("conv bias size mismatch");

@@ -1,0 +1,167 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lightator::util {
+
+namespace {
+
+std::size_t resolve_size(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("LIGHTATOR_THREADS")) {
+    const long n = std::atol(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+// Set while a thread is executing pool work: nested parallel_for calls from
+// inside a work item run inline instead of deadlocking on the job slot.
+thread_local bool t_in_pool_work = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  // Serializes external parallel_for callers: the pool runs one job at a
+  // time, and a second caller must wait for the first job to fully drain
+  // before installing its own (its thread still contributes work then).
+  std::mutex submit_mutex;
+  std::mutex mutex;
+  std::condition_variable wake;     // workers wait for a job / shutdown
+  std::condition_variable done;     // parallel_for waits for completion
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::size_t end = 0;
+  std::atomic<std::size_t> cursor{0};
+  std::size_t active = 0;           // workers still draining the cursor
+  std::uint64_t generation = 0;     // bumped per job so workers run it once
+  bool stop = false;
+  std::exception_ptr error;
+  std::vector<std::thread> workers;
+
+  void drain(const std::function<void(std::size_t)>& f, std::size_t job_end) {
+    for (;;) {
+      const std::size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job_end) break;
+      try {
+        t_in_pool_work = true;
+        f(i);
+        t_in_pool_work = false;
+      } catch (...) {
+        t_in_pool_work = false;
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  }
+
+  void worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t)>* job;
+      std::size_t job_end;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait(lock, [&] { return stop || generation != seen; });
+        if (stop) return;
+        seen = generation;
+        job = fn;
+        job_end = end;
+        // The caller may have fully drained the job and cleared `fn` before
+        // this worker ever woke; there is nothing left to do then.
+        if (job == nullptr) continue;
+        ++active;
+      }
+      drain(*job, job_end);
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (--active == 0) done.notify_all();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : size_(resolve_size(num_threads)) {
+  if (size_ <= 1) return;  // inline execution, no machinery needed
+  impl_ = std::make_unique<Impl>();
+  impl_->workers.reserve(size_ - 1);
+  for (std::size_t i = 0; i + 1 < size_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stop = true;
+  }
+  impl_->wake.notify_all();
+  for (auto& t : impl_->workers) t.join();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  if (end <= begin) return;
+  if (!impl_ || end - begin == 1 || t_in_pool_work) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+  // Shift the range to start at `begin` via a wrapper so the cursor can be a
+  // plain counter from 0.
+  const std::size_t count = end - begin;
+  const std::function<void(std::size_t)> shifted =
+      [&](std::size_t i) { fn(begin + i); };
+  const std::lock_guard<std::mutex> submit_lock(impl_->submit_mutex);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->fn = &shifted;
+    impl_->end = count;
+    impl_->cursor.store(0, std::memory_order_relaxed);
+    impl_->error = nullptr;
+    ++impl_->generation;
+  }
+  impl_->wake.notify_all();
+  impl_->drain(shifted, count);
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->done.wait(lock, [&] { return impl_->active == 0; });
+    impl_->fn = nullptr;
+    if (impl_->error) {
+      auto err = impl_->error;
+      impl_->error = nullptr;
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+namespace {
+std::mutex g_global_mutex;
+std::unique_ptr<ThreadPool> g_global_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  if (!g_global_pool) g_global_pool = std::make_unique<ThreadPool>();
+  return *g_global_pool;
+}
+
+void ThreadPool::set_global_threads(std::size_t num_threads) {
+  std::lock_guard<std::mutex> lock(g_global_mutex);
+  g_global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  (pool != nullptr ? *pool : ThreadPool::global()).parallel_for(begin, end, fn);
+}
+
+}  // namespace lightator::util

@@ -1,0 +1,58 @@
+// Minimal work-sharing thread pool for batch-parallel execution.
+//
+// The simulator's hot loops (OC backend conv/fc, tensor conv2d_forward) are
+// embarrassingly parallel over the batch dimension, so the only primitive we
+// need is a blocking parallel_for. The pool follows the NNPACK idiom: one
+// lazily-created process-global pool shared by every caller, sized from
+// hardware_concurrency (override with LIGHTATOR_THREADS or
+// set_global_threads). Work items are handed out via an atomic cursor, so
+// the partition adapts to uneven per-item cost; the calling thread
+// participates, which makes a size-1 pool exactly equivalent to a serial
+// loop (no worker threads, no locks on that path).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace lightator::util {
+
+class ThreadPool {
+ public:
+  /// `num_threads` counts the caller as one of the workers; 0 means
+  /// hardware_concurrency. A pool of size <= 1 spawns no threads and runs
+  /// everything inline.
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return size_; }
+
+  /// Runs fn(i) for every i in [begin, end), sharded across the pool, and
+  /// blocks until all items complete. The caller participates in the work.
+  /// The first exception thrown by any item is rethrown here.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// The shared process-global pool (created on first use). Size comes from
+  /// set_global_threads() if called, else LIGHTATOR_THREADS, else
+  /// hardware_concurrency.
+  static ThreadPool& global();
+
+  /// Replaces the global pool with one of `num_threads` (0 = auto). Not safe
+  /// to call while another thread is inside the global pool.
+  static void set_global_threads(std::size_t num_threads);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t size_ = 1;
+};
+
+/// parallel_for on `pool`, or on the global pool when `pool` is null.
+void parallel_for(ThreadPool* pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace lightator::util

@@ -1,0 +1,386 @@
+// Backend-equivalence suite for the pluggable OC compute backends.
+//
+// GemmBackend must be *bit-exact* with ReferenceBackend — the segment-blocked
+// int16 GEMM emits partial sums at the same BPD boundaries with the same
+// arithmetic — across kernel/stride/pad/segment-boundary geometries and
+// thread counts. PhysicalBackend must track the reference within the analog
+// error budget and be deterministic under a fixed noise seed regardless of
+// thread count.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/backends/reference_backend.hpp"
+#include "core/compute_backend.hpp"
+#include "core/lightator.hpp"
+#include "core/optical_core.hpp"
+#include "nn/models.hpp"
+#include "tensor/gemm_s16.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lightator::core {
+namespace {
+
+struct ConvCase {
+  std::string label;
+  tensor::ConvSpec spec;
+  std::size_t in_h, in_w;
+  int act_bits = 4;
+  int weight_bits = 4;
+};
+
+// Segment-boundary coverage for 9-MR arms: K = C*k*k below one segment (4),
+// exactly one (9), an exact multiple (18), and off-boundary remainders
+// (27 exact, 50 = 5*9+5, 75 = 8*9+3), plus stride/pad/kernel variety.
+const ConvCase kConvCases[] = {
+    {"k1_pointwise", {3, 4, 1, 1, 0}, 6, 6},         // K=3, sub-segment
+    {"k2_subsegment", {1, 2, 2, 1, 0}, 5, 5},        // K=4 < 9
+    {"k3_one_segment", {1, 3, 3, 1, 1}, 8, 8},       // K=9 exactly one arm
+    {"k3_two_segments", {2, 3, 3, 1, 1}, 8, 8},      // K=18 exact multiple
+    {"k3_three_segments", {3, 4, 3, 1, 1}, 8, 8},    // K=27 exact multiple
+    {"k5_remainder", {2, 3, 5, 2, 2}, 12, 12},       // K=50 = 5*9+5
+    {"k5_remainder3", {3, 2, 5, 1, 0}, 9, 9},        // K=75 = 8*9+3
+    {"k3_stride2_nopad", {4, 4, 3, 2, 0}, 11, 11},   // odd input, stride 2
+    {"k7_big_window", {2, 2, 7, 1, 3}, 10, 10},      // K=98, heavy padding
+    {"w8_bits", {2, 3, 3, 1, 1}, 8, 8, 4, 8},        // 8-bit weight levels
+    {"w2_bits", {2, 3, 3, 1, 1}, 8, 8, 4, 2},        // 2-bit weight levels
+};
+
+struct QuantConvInputs {
+  tensor::QuantizedTensor x, w;
+  tensor::Tensor bias;
+};
+
+QuantConvInputs make_conv_inputs(const ConvCase& c, std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor x({3, c.spec.in_channels, c.in_h, c.in_w});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w(
+      {c.spec.out_channels, c.spec.in_channels, c.spec.kernel, c.spec.kernel});
+  w.fill_normal(rng, 0.4f);
+  tensor::Tensor b({c.spec.out_channels});
+  b.fill_normal(rng, 0.1f);
+  return {tensor::quantize_unsigned(x, c.act_bits),
+          tensor::quantize_symmetric(w, c.weight_bits), b};
+}
+
+void expect_bit_exact(const tensor::Tensor& a, const tensor::Tensor& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+TEST(BackendRegistry, BuiltinsRegistered) {
+  const auto names = BackendRegistry::instance().names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "reference"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "gemm"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "physical"), names.end());
+}
+
+TEST(BackendRegistry, UnknownNameThrows) {
+  EXPECT_THROW(
+      BackendRegistry::instance().create("no-such-engine",
+                                         ArchConfig::defaults()),
+      std::invalid_argument);
+}
+
+TEST(BackendRegistry, RuntimeRegistration) {
+  BackendRegistry::instance().register_factory(
+      "reference-alias", [](const ArchConfig& cfg) {
+        return std::make_unique<ReferenceBackend>(cfg);
+      });
+  const auto backend = BackendRegistry::instance().create(
+      "reference-alias", ArchConfig::defaults());
+  EXPECT_EQ(backend->name(), "reference");
+}
+
+TEST(BackendEquivalence, GemmBitExactWithReferenceAcrossGeometries) {
+  const OpticalCore oc(ArchConfig::defaults());
+  ExecutionContext ctx;
+  std::uint64_t seed = 10;
+  for (const auto& c : kConvCases) {
+    const auto in = make_conv_inputs(c, seed++);
+    const auto ref =
+        oc.backend("reference").conv2d(in.x, in.w, in.bias, c.spec, ctx);
+    const auto gemm =
+        oc.backend("gemm").conv2d(in.x, in.w, in.bias, c.spec, ctx);
+    expect_bit_exact(ref, gemm, c.label);
+  }
+}
+
+TEST(BackendEquivalence, GemmBitExactWithoutBias) {
+  const OpticalCore oc(ArchConfig::defaults());
+  ExecutionContext ctx;
+  const ConvCase c = kConvCases[5];
+  const auto in = make_conv_inputs(c, 99);
+  const auto ref = oc.backend("reference")
+                       .conv2d(in.x, in.w, tensor::Tensor(), c.spec, ctx);
+  const auto gemm =
+      oc.backend("gemm").conv2d(in.x, in.w, tensor::Tensor(), c.spec, ctx);
+  expect_bit_exact(ref, gemm, c.label + "_nobias");
+}
+
+TEST(BackendEquivalence, GemmInvariantUnderThreadCount) {
+  const OpticalCore oc(ArchConfig::defaults());
+  util::ThreadPool serial(1), wide(4);
+  ExecutionContext ctx1, ctx4;
+  ctx1.pool = &serial;
+  ctx4.pool = &wide;
+  for (const auto& c : {kConvCases[3], kConvCases[5]}) {
+    const auto in = make_conv_inputs(c, 42);
+    const auto y1 = oc.backend("gemm").conv2d(in.x, in.w, in.bias, c.spec, ctx1);
+    const auto y4 = oc.backend("gemm").conv2d(in.x, in.w, in.bias, c.spec, ctx4);
+    expect_bit_exact(y1, y4, c.label + "_threads");
+  }
+}
+
+TEST(BackendEquivalence, LinearBitExactAndSegmented) {
+  const OpticalCore oc(ArchConfig::defaults());
+  ExecutionContext ctx;
+  util::Rng rng(7);
+  // 40 features = 4*9+4: exercises the segment remainder in the fc path.
+  tensor::Tensor x({5, 40});
+  x.fill_uniform(rng, 0.0f, 2.0f);
+  tensor::Tensor w({10, 40});
+  w.fill_normal(rng, 0.5f);
+  tensor::Tensor b({10});
+  b.fill_normal(rng, 0.2f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  const auto ref = oc.backend("reference").linear(xq, wq, b, ctx);
+  const auto gemm = oc.backend("gemm").linear(xq, wq, b, ctx);
+  expect_bit_exact(ref, gemm, "linear");
+  // The fc reduction must use the same arm segmentation as conv: a KxK conv
+  // producing a single output pixel is exactly an fc row.
+  for (std::size_t o = 0; o < 10; ++o) {
+    double acc = 0.0;
+    std::int32_t seg_acc = 0;
+    for (std::size_t i = 0; i < 40; ++i) {
+      seg_acc += static_cast<std::int32_t>(xq.levels[i]) * wq.levels[o * 40 + i];
+      if ((i + 1) % oc.config().geometry.mrs_per_arm == 0) {
+        acc += seg_acc;
+        seg_acc = 0;
+      }
+    }
+    acc += seg_acc;
+    float expected = static_cast<float>(
+        acc * xq.scale * wq.scale / (15.0 * 7.0));
+    expected += b[o];
+    EXPECT_EQ(ref.at(0, o), expected) << "output " << o;
+  }
+}
+
+TEST(BackendEquivalence, ConvOfFullWindowMatchesLinear) {
+  // conv with kernel == input and no padding is one output pixel per filter:
+  // it must reduce identically to the fc path over the flattened features.
+  const OpticalCore oc(ArchConfig::defaults());
+  ExecutionContext ctx;
+  util::Rng rng(8);
+  const tensor::ConvSpec spec{2, 3, 4, 1, 0};
+  tensor::Tensor x({2, 2, 4, 4});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w({3, 2, 4, 4});
+  w.fill_normal(rng, 0.4f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  const auto conv =
+      oc.backend("gemm").conv2d(xq, wq, tensor::Tensor(), spec, ctx);
+  auto xq_flat = xq;
+  xq_flat.shape = {2, 32};
+  auto wq_flat = wq;
+  wq_flat.shape = {3, 32};
+  const auto fc =
+      oc.backend("gemm").linear(xq_flat, wq_flat, tensor::Tensor(), ctx);
+  ASSERT_EQ(conv.size(), fc.size());
+  for (std::size_t i = 0; i < fc.size(); ++i) {
+    EXPECT_EQ(conv[i], fc[i]) << "flat index " << i;
+  }
+}
+
+TEST(BackendEquivalence, DefaultOpticalCorePathIsGemm) {
+  const OpticalCore oc(ArchConfig::defaults());
+  ExecutionContext ctx;
+  ctx.backend = "reference";
+  const ConvCase c = kConvCases[4];
+  const auto in = make_conv_inputs(c, 5);
+  const auto via_default = oc.conv2d(in.x, in.w, in.bias, c.spec);
+  const auto via_reference = oc.conv2d(in.x, in.w, in.bias, c.spec, ctx);
+  expect_bit_exact(via_default, via_reference, "default_path");
+}
+
+TEST(PhysicalBackend, NoiselessTracksReferenceWithinAnalogBudget) {
+  const OpticalCore oc(ArchConfig::defaults());
+  ExecutionContext ctx;
+  const tensor::ConvSpec spec{1, 2, 3, 1, 0};
+  util::Rng rng(21);
+  tensor::Tensor x({1, 1, 5, 5});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w({2, 1, 3, 3});
+  w.fill_normal(rng, 0.4f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  const auto ref =
+      oc.backend("reference").conv2d(xq, wq, tensor::Tensor(), spec, ctx);
+  const auto phys =
+      oc.backend("physical").conv2d(xq, wq, tensor::Tensor(), spec, ctx);
+  ASSERT_EQ(ref.shape(), phys.shape());
+  // Per-arm analog error budget (see OpticalCore.PhysicalMatchesFunctionalArm)
+  // scaled by the tensor scales.
+  const float budget =
+      static_cast<float>(0.15 * xq.scale * wq.scale) + 1e-6f;
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(ref[i], phys[i], budget) << "flat index " << i;
+  }
+}
+
+TEST(PhysicalBackend, DeterministicUnderFixedSeedAcrossThreadCounts) {
+  const OpticalCore oc(ArchConfig::defaults());
+  const tensor::ConvSpec spec{1, 2, 3, 1, 1};
+  util::Rng rng(22);
+  tensor::Tensor x({4, 1, 6, 6});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w({2, 1, 3, 3});
+  w.fill_normal(rng, 0.4f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+
+  util::ThreadPool serial(1), wide(4);
+  ExecutionContext ctx1, ctx4;
+  ctx1.noise_seed = ctx4.noise_seed = 77;
+  ctx1.pool = &serial;
+  ctx4.pool = &wide;
+  const auto y1 =
+      oc.backend("physical").conv2d(xq, wq, tensor::Tensor(), spec, ctx1);
+  const auto y4 =
+      oc.backend("physical").conv2d(xq, wq, tensor::Tensor(), spec, ctx4);
+  expect_bit_exact(y1, y4, "physical_threads");
+
+  // A different seed must produce different noise.
+  ExecutionContext ctx_other;
+  ctx_other.noise_seed = 78;
+  ctx_other.pool = &serial;
+  const auto y_other =
+      oc.backend("physical").conv2d(xq, wq, tensor::Tensor(), spec, ctx_other);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < y1.size() && !any_diff; ++i) {
+    any_diff = y1[i] != y_other[i];
+  }
+  EXPECT_TRUE(any_diff) << "noise seed had no effect";
+}
+
+TEST(PhysicalBackend, SuccessiveCallsDrawFreshNoiseStreams) {
+  const OpticalCore oc(ArchConfig::defaults());
+  const tensor::ConvSpec spec{1, 1, 3, 1, 0};
+  util::Rng rng(23);
+  tensor::Tensor x({1, 1, 5, 5});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w({1, 1, 3, 3});
+  w.fill_normal(rng, 0.4f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  ExecutionContext ctx;
+  ctx.noise_seed = 5;
+  const auto first =
+      oc.backend("physical").conv2d(xq, wq, tensor::Tensor(), spec, ctx);
+  const auto second =
+      oc.backend("physical").conv2d(xq, wq, tensor::Tensor(), spec, ctx);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < first.size() && !any_diff; ++i) {
+    any_diff = first[i] != second[i];
+  }
+  EXPECT_TRUE(any_diff) << "successive layers reused the same noise stream";
+}
+
+TEST(ExecutionContext, RunNetworkCollectsPerLayerStats) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(31);
+  nn::Network net = nn::build_lenet(rng);
+  tensor::Tensor x({2, 1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  ExecutionContext ctx;
+  ctx.collect_stats = true;
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  const auto logits = sys.run_network_on_oc(net, x, schedule, ctx);
+  EXPECT_EQ(logits.dim(0), 2u);
+  // LeNet: 2 conv + 3 fc weighted layers.
+  ASSERT_EQ(ctx.stats.size(), 5u);
+  for (const auto& s : ctx.stats) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GT(s.macs, 0u);
+    EXPECT_EQ(s.frames, 2u);
+    EXPECT_GE(s.wall_seconds, 0.0);
+    EXPECT_GT(s.modeled_latency, 0.0);
+    EXPECT_GT(s.modeled_energy, 0.0);
+  }
+  // A second batch through the same context accumulates into the same five
+  // entries (per-frame modeled numbers unchanged, frame counts summed).
+  sys.run_network_on_oc(net, x, schedule, ctx);
+  ASSERT_EQ(ctx.stats.size(), 5u);
+  for (const auto& s : ctx.stats) {
+    EXPECT_EQ(s.frames, 4u);
+  }
+}
+
+TEST(ExecutionContext, BackendChoiceFlowsThroughRunNetwork) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(32);
+  nn::Network net = nn::build_lenet(rng);
+  tensor::Tensor x({1, 1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  ExecutionContext ref_ctx, gemm_ctx;
+  ref_ctx.backend = "reference";
+  gemm_ctx.backend = "gemm";
+  const auto ref = sys.run_network_on_oc(net, x, schedule, ref_ctx);
+  const auto gemm = sys.run_network_on_oc(net, x, schedule, gemm_ctx);
+  expect_bit_exact(ref, gemm, "run_network");
+}
+
+TEST(GemmS16, FlatSegmentFullRangeDoesNotOverflow) {
+  // segment=0 (one flat segment) with full-range int16 magnitudes exceeds an
+  // int32 accumulator; the kernel must detect this and widen.
+  const std::size_t m = 2, n = 3, k = 32;
+  std::vector<std::int16_t> a(m * k, 32767), b(k * n, 32767);
+  a[1] = -32768;
+  std::vector<double> c(m * n);
+  tensor::gemm_s16_segmented(m, n, k, a.data(), k, b.data(), n, /*segment=*/0,
+                             c.data(), n);
+  for (std::size_t i = 0; i < m; ++i) {
+    double want = 0.0;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      want += static_cast<double>(a[i * k + kk]) * 32767.0;
+    }
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(c[i * n + j], want) << i << "," << j;
+    }
+  }
+  std::vector<std::int16_t> b_col(k, 32767);
+  EXPECT_EQ(tensor::dot_s16_segmented(a.data(), b_col.data(), k, 0),
+            c[0 * n + 0]);
+}
+
+TEST(GemmS16, SegmentedKernelMatchesNaive) {
+  util::Rng rng(41);
+  const std::size_t m = 4, n = 13, k = 31, seg = 9;
+  std::vector<std::int16_t> a(m * k), b(k * n);
+  for (auto& v : a) v = static_cast<std::int16_t>(rng.uniform_index(15)) - 7;
+  for (auto& v : b) v = static_cast<std::int16_t>(rng.uniform_index(16));
+  std::vector<double> c(m * n);
+  tensor::gemm_s16_segmented(m, n, k, a.data(), k, b.data(), n, seg, c.data(),
+                             n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double want = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        want += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      }
+      EXPECT_EQ(c[i * n + j], want) << i << "," << j;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lightator::core

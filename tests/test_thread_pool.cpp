@@ -1,0 +1,97 @@
+// util::ThreadPool: the batch-parallel dispatch primitive under every
+// compute backend and the float conv forward pass.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace lightator::util {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(0, hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, HonoursRangeOffset) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(20);
+  pool.parallel_for(5, 15, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 5 && i < 15) ? 1 : 0) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(3, 3, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, MoreThreadsThanItems) {
+  ThreadPool pool(8);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 3, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 64,
+                                 [&](std::size_t i) {
+                                   if (i == 13) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must survive a throwing job and accept new work.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 8, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 4, [&](std::size_t) {
+    pool.parallel_for(0, 4, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPool, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::size_t total = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(0, 10, [&](std::size_t i) { sum.fetch_add(i); });
+    total += sum.load();
+  }
+  EXPECT_EQ(total, 50u * 45u);
+}
+
+TEST(ThreadPool, GlobalPoolResizable) {
+  ThreadPool::set_global_threads(2);
+  EXPECT_EQ(ThreadPool::global().size(), 2u);
+  std::atomic<int> count{0};
+  parallel_for(nullptr, 0, 12, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 12);
+  ThreadPool::set_global_threads(0);  // back to auto for the rest of the suite
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+}  // namespace
+}  // namespace lightator::util
