@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
 #include "nn/model_desc.hpp"
 
 using namespace lightator;
@@ -34,6 +35,10 @@ int main(int argc, char** argv) {
 
   bench::print_header("Ablation - hardware mapping design choices",
                       "paper §4 (Fig. 5/6) design rationale");
+
+  // Every sweep below analyzes an independent architecture variant, so the
+  // configurations run concurrently on one shared pool.
+  core::ExperimentRunner runner;
 
   // ---- (a) kernel-size fragmentation ---------------------------------
   {
@@ -63,14 +68,24 @@ int main(int argc, char** argv) {
   {
     util::TablePrinter t({"arms/bank x MRs/arm", "total MRs", "VGG9 KFPS",
                           "max power (W)", "KFPS/W"});
-    for (const auto& [arms, mrs] : std::vector<std::pair<int, int>>{
-             {6, 9}, {6, 5}, {6, 25}, {4, 9}, {12, 9}, {3, 18}}) {
+    const std::vector<std::pair<int, int>> geometries{
+        {6, 9}, {6, 5}, {6, 25}, {4, 9}, {12, 9}, {3, 18}};
+    const auto reports = runner.sweep(
+        geometries,
+        [&](const std::pair<int, int>& g, core::ExecutionContext&) {
+          core::ArchConfig c = base;
+          c.geometry.arms_per_bank = static_cast<std::size_t>(g.first);
+          c.geometry.mrs_per_arm = static_cast<std::size_t>(g.second);
+          const core::LightatorSystem sys(c);
+          return sys.analyze(nn::vgg9_desc(),
+                             nn::PrecisionSchedule::uniform(3));
+        });
+    for (std::size_t i = 0; i < geometries.size(); ++i) {
+      const auto& [arms, mrs] = geometries[i];
       core::ArchConfig c = base;
       c.geometry.arms_per_bank = static_cast<std::size_t>(arms);
       c.geometry.mrs_per_arm = static_cast<std::size_t>(mrs);
-      const core::LightatorSystem sys(c);
-      const auto r = sys.analyze(nn::vgg9_desc(),
-                                 nn::PrecisionSchedule::uniform(3));
+      const auto& r = reports[i];
       t.add_row({std::to_string(arms) + "x" + std::to_string(mrs),
                  std::to_string(c.geometry.mrs()),
                  util::format_fixed(r.fps_batched / 1e3, 1),
@@ -86,21 +101,40 @@ int main(int argc, char** argv) {
   {
     util::TablePrinter t({"remap settle", "batch", "AlexNet latency",
                           "VGG9 KFPS (batched)"});
+    struct SettleCase {
+      double settle_ns;
+      std::size_t batch;
+    };
+    std::vector<SettleCase> cases;
     for (const double settle_ns : {100.0, 500.0, 2000.0}) {
       for (const std::size_t batch : {std::size_t{1}, std::size_t{256}}) {
-        core::ArchConfig c = base;
-        c.remap_settle = settle_ns * 1e-9;
-        c.throughput_batch = batch;
-        const core::LightatorSystem sys(c);
-        const auto alex = sys.analyze(nn::alexnet_desc(),
-                                      nn::PrecisionSchedule::uniform(4));
-        const auto vgg = sys.analyze(nn::vgg9_desc(),
-                                     nn::PrecisionSchedule::uniform(3));
-        t.add_row({util::format_fixed(settle_ns, 0) + " ns",
-                   std::to_string(batch),
-                   util::format_time(alex.latency),
-                   util::format_fixed(vgg.fps_batched / 1e3, 1)});
+        cases.push_back({settle_ns, batch});
       }
+    }
+    struct SettleRow {
+      double alex_latency = 0.0, vgg_kfps = 0.0;
+    };
+    const auto rows = runner.sweep(
+        cases, [&](const SettleCase& sc, core::ExecutionContext&) {
+          core::ArchConfig c = base;
+          c.remap_settle = sc.settle_ns * 1e-9;
+          c.throughput_batch = sc.batch;
+          const core::LightatorSystem sys(c);
+          SettleRow row;
+          row.alex_latency = sys.analyze(nn::alexnet_desc(),
+                                         nn::PrecisionSchedule::uniform(4))
+                                 .latency;
+          row.vgg_kfps = sys.analyze(nn::vgg9_desc(),
+                                     nn::PrecisionSchedule::uniform(3))
+                             .fps_batched /
+                         1e3;
+          return row;
+        });
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+      t.add_row({util::format_fixed(cases[i].settle_ns, 0) + " ns",
+                 std::to_string(cases[i].batch),
+                 util::format_time(rows[i].alex_latency),
+                 util::format_fixed(rows[i].vgg_kfps, 1)});
     }
     std::printf("(c) MR settle time & weight-reuse batch (Fig. 10 latency is "
                 "remap-bound; Table 1\n    throughput amortizes remap over "
@@ -112,18 +146,23 @@ int main(int argc, char** argv) {
   {
     util::TablePrinter t({"modulation", "VGG9 KFPS", "KFPS/W",
                           "stream/remap time ratio"});
-    for (const double ghz : {5.0, 10.0, 25.0, 50.0, 100.0}) {
-      core::ArchConfig c = base;
-      c.modulation_rate = ghz * 1e9;
-      const core::LightatorSystem sys(c);
-      const auto r = sys.analyze(nn::vgg9_desc(),
-                                 nn::PrecisionSchedule::uniform(3));
+    const std::vector<double> rates = {5.0, 10.0, 25.0, 50.0, 100.0};
+    const auto reports = runner.sweep(
+        rates, [&](double ghz, core::ExecutionContext&) {
+          core::ArchConfig c = base;
+          c.modulation_rate = ghz * 1e9;
+          const core::LightatorSystem sys(c);
+          return sys.analyze(nn::vgg9_desc(),
+                             nn::PrecisionSchedule::uniform(3));
+        });
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const auto& r = reports[i];
       double remap = 0.0, stream = 0.0;
       for (const auto& l : r.layers) {
         remap += l.timing.remap_time;
         stream += l.timing.stream_time;
       }
-      t.add_row({util::format_fixed(ghz, 0) + " GHz",
+      t.add_row({util::format_fixed(rates[i], 0) + " GHz",
                  util::format_fixed(r.fps_batched / 1e3, 1),
                  util::format_fixed(r.kfps_per_watt, 1),
                  util::format_fixed(stream / remap, 3)});

@@ -6,15 +6,27 @@
 //       drive currents at the device level vs uA-class at the edge);
 //   (b) Lorentzian-tail crosstalk vs. WDM channel spacing;
 //   (c) weight-quantization + finite-detuning error vs. weight bits;
-//   (d) comparator offset in the CRC vs. pixel-code error.
+//   (d) comparator offset in the CRC vs. pixel-code error;
+//   (e) fault Monte-Carlo on the physical backend: end-to-end accuracy under
+//       sampled stuck weight cells, dark VCSELs, and ring drift, with BPD
+//       noise, run as an ExperimentRunner campaign on a shared pool —
+//       trials execute in parallel and the numbers are thread-count
+//       invariant.
+//
+// Runtime knobs (key=value): mc.skip=1, mc.trials, mc.samples, mc.train,
+// mc.backend=gemm (functional fault-only MC), threads=N.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
+#include "nn/models.hpp"
+#include "nn/trainer.hpp"
 #include "optics/arm.hpp"
 #include "sensor/crc.hpp"
 #include "util/rng.hpp"
+#include "workloads/synth_mnist.hpp"
 
 using namespace lightator;
 
@@ -46,7 +58,6 @@ double rms_arm_error(optics::ArmParams params, bool noisy, util::Rng& rng,
 
 int main(int argc, char** argv) {
   const util::Config cfg = bench::parse_args(argc, argv);
-  (void)cfg;
   util::Rng rng(99);
 
   bench::print_header("Ablation - analog non-idealities (physical path)",
@@ -140,8 +151,78 @@ int main(int argc, char** argv) {
                  util::format_fixed(err / trials, 3)});
     }
     std::printf("(d) CRC comparator offset vs pixel-code error (15 refs "
-                "across a 1 V swing -> 1 LSB\n    = 62.5 mV):\n%s",
+                "across a 1 V swing -> 1 LSB\n    = 62.5 mV):\n%s\n",
                 t.to_text().c_str());
+  }
+
+  // ---- (e) fault Monte-Carlo through the physical backend --------------
+  if (!cfg.get_bool("mc.skip", false)) {
+    const auto trials = static_cast<std::size_t>(cfg.get_int("mc.trials", 6));
+    const auto samples =
+        static_cast<std::size_t>(cfg.get_int("mc.samples", 16));
+    const auto train_samples =
+        static_cast<std::size_t>(cfg.get_int("mc.train", 300));
+    const std::string backend = cfg.get_string("mc.backend", "physical");
+
+    core::ExperimentOptions eo;
+    eo.backend = backend;
+    eo.threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
+    eo.noise_seed = backend == "physical" ? 2024 : 0;  // BPD noise per trial
+    core::ExperimentRunner runner(eo);
+
+    // A briefly-trained LeNet on synthetic MNIST: enough signal that fault
+    // damage is visible as an accuracy delta, cheap enough for a bench.
+    workloads::SynthMnistOptions mo;
+    mo.samples = train_samples + samples;
+    nn::Dataset full = workloads::make_synth_mnist(mo);
+    nn::Dataset train, test;
+    train.num_classes = test.num_classes = 10;
+    train.images = full.batch_images(0, train_samples);
+    train.labels = full.batch_labels(0, train_samples);
+    test.images = full.batch_images(train_samples, samples);
+    test.labels = full.batch_labels(train_samples, samples);
+    util::Rng wrng(7);
+    nn::Network net = nn::build_lenet(wrng);
+    nn::TrainParams tp;
+    tp.epochs = 2;
+    tp.grad_shards = 4;
+    runner.fit(net, train, tp);
+
+    const auto schedule = nn::PrecisionSchedule::uniform(4);
+    const core::LightatorSystem sys(core::ArchConfig::defaults());
+    const double clean = sys.evaluate_on_oc(net, test, schedule);
+
+    struct Severity {
+      const char* label;
+      core::FaultSpec faults;
+    };
+    const std::vector<Severity> rows = {
+        {"no faults (noise only)", {}},
+        {"stuck cells 1%", {0.01, 0.0, 0.0, 1}},
+        {"dark VCSELs 2%", {0.0, 0.02, 0.0, 1}},
+        {"ring drift sigma 5%", {0.0, 0.0, 0.05, 1}},
+        {"combined 1%/2%/5%", {0.01, 0.02, 0.05, 1}},
+    };
+
+    util::TablePrinter t({"fault severity", "mean acc", "stddev", "p10",
+                          "p90"});
+    for (const auto& row : rows) {
+      core::MonteCarloOptions mco;
+      mco.trials = trials;
+      mco.faults = row.faults;
+      mco.base_seed = 11;
+      mco.max_samples = samples;
+      const auto result = runner.monte_carlo(sys, net, test, schedule, mco);
+      t.add_row({row.label, util::format_fixed(100.0 * result.mean, 1) + "%",
+                 util::format_fixed(100.0 * result.stddev, 1),
+                 util::format_fixed(100.0 * result.quantile(0.1), 1),
+                 util::format_fixed(100.0 * result.quantile(0.9), 1)});
+    }
+    std::printf("(e) fault Monte-Carlo, %zu trials x %zu frames on the "
+                "'%s' backend (%zu threads);\n    functional-path clean "
+                "accuracy %.1f%%:\n%s",
+                trials, samples, backend.c_str(), runner.pool().size(),
+                100.0 * clean, t.to_text().c_str());
   }
   return 0;
 }

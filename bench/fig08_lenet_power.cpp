@@ -1,9 +1,11 @@
 // Fig. 8: layer-wise power breakdown of LeNet on Lightator at [4:4], [3:4],
 // and [2:4], components {ADCs, DACs, DMVA, TUN, BPD, Misc}. Pooling layers
-// run on CA banks with pre-set coefficients (the paper's note).
+// run on CA banks with pre-set coefficients (the paper's note). The three
+// configurations are analyzed as one ExperimentRunner sweep.
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
 #include "nn/model_desc.hpp"
 
 using namespace lightator;
@@ -18,12 +20,18 @@ int main(int argc, char** argv) {
       "Fig. 8 - LeNet layer-wise power breakdown",
       "DAC 2024 Lightator, Fig. 8 (LeNet L1..L7 on [4:4], [3:4], [2:4])");
 
-  double total_prev = 0.0;
+  core::ExperimentRunner runner;
+  const std::vector<int> bit_ladder = {4, 3, 2};
+  const auto reports = runner.sweep(
+      bit_ladder, [&](int bits, core::ExecutionContext&) {
+        return sys.analyze(model, nn::PrecisionSchedule::uniform(bits));
+      });
+
   std::vector<double> max_power;
-  for (const int bits : {4, 3, 2}) {
-    const auto schedule = nn::PrecisionSchedule::uniform(bits);
-    const auto report = sys.analyze(model, schedule);
-    std::printf("--- configuration %s ---\n", schedule.label().c_str());
+  for (std::size_t i = 0; i < bit_ladder.size(); ++i) {
+    const auto& report = reports[i];
+    std::printf("--- configuration %s ---\n",
+                nn::PrecisionSchedule::uniform(bit_ladder[i]).label().c_str());
     util::TablePrinter table(bench::power_table_header());
     std::size_t li = 1;
     for (const auto& layer : report.layers) {
@@ -36,9 +44,7 @@ int main(int argc, char** argv) {
                 util::format_power(report.max_power).c_str(),
                 util::format_sig(report.energy_per_frame, 4).c_str());
     max_power.push_back(report.max_power);
-    total_prev = report.max_power;
   }
-  (void)total_prev;
 
   // Paper claim: reducing weight bit-width yields ~2.4x average power
   // efficiency (we report the measured ladder).

@@ -1,10 +1,15 @@
 // Fig. 9: layer-wise power breakdown of VGG9 on [3:4], the L8 component pie
-// (DACs > 85%), and the CA pre-compression experiment (paper: 42.2% first-
-// layer power reduction).
+// (DACs > 85%), the CA pre-compression experiment (paper: 42.2% first-
+// layer power reduction), and a modeled-vs-measured per-layer report from a
+// functional inference through the shared ExperimentRunner context.
+//
+// Runtime knobs (key=value): meas.batch, meas.width, meas.skip=1.
 #include <cstdio>
 
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
 #include "nn/model_desc.hpp"
+#include "nn/models.hpp"
 
 using namespace lightator;
 
@@ -13,6 +18,10 @@ int main(int argc, char** argv) {
   const core::ArchConfig arch = core::ArchConfig::from_config(cfg);
   const core::LightatorSystem sys(arch);
   const auto schedule = nn::PrecisionSchedule::uniform(3);
+
+  core::ExperimentOptions eo;
+  eo.collect_stats = true;
+  core::ExperimentRunner runner(eo);
 
   bench::print_header(
       "Fig. 9 - VGG9 layer-wise power breakdown on [3:4]",
@@ -57,7 +66,27 @@ int main(int argc, char** argv) {
               util::format_power(l1_plain).c_str());
   std::printf("  CA + L1 power with CA front end: %s\n",
               util::format_power(l1_ca).c_str());
-  std::printf("  first-layer power reduction: %.1f%% (paper: 42.2%%)\n",
+  std::printf("  first-layer power reduction: %.1f%% (paper: 42.2%%)\n\n",
               100.0 * (1.0 - l1_ca / l1_plain));
+
+  // Modeled-vs-measured: a functional VGG9 inference through the runner's
+  // context puts the architecture models' per-layer latency/energy next to
+  // the simulator's own wall clock. The slim width keeps the functional pass
+  // CPU-feasible; the modeled numbers describe the same slim geometry.
+  if (!cfg.get_bool("meas.skip", false)) {
+    const auto batch =
+        static_cast<std::size_t>(cfg.get_int("meas.batch", 8));
+    const double width = cfg.get_double("meas.width", 0.25);
+    util::Rng rng(7);
+    nn::Network net = nn::build_vgg9(rng, 10, width);
+    tensor::Tensor x({batch, 3, 32, 32});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    sys.run_network_on_oc(net, x, schedule, runner.context());
+    std::printf("--- modeled vs measured (VGG9 width=%.2f, batch=%zu, "
+                "backend=%s, %zu threads) ---\n%s",
+                width, batch, runner.options().backend.c_str(),
+                runner.pool().size(),
+                core::format_stats_report(runner.context().stats).c_str());
+  }
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "accel/electronic_baselines.hpp"
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
 #include "nn/model_desc.hpp"
 
 using namespace lightator;
@@ -23,24 +24,43 @@ int main(int argc, char** argv) {
   const nn::ModelDesc vgg13 = nn::vgg13_desc();
   const nn::ModelDesc alexnet = nn::alexnet_desc();
 
-  const double lt_vgg16 = sys.analyze(vgg16, schedule).latency;
-  const double lt_alexnet = sys.analyze(alexnet, schedule).latency;
+  core::ExperimentRunner runner;
+  // One sweep item per accelerator (the VGG16/13 + AlexNet timing pair), with
+  // the Lightator analyses riding along as the last item.
+  struct Row {
+    double t_big = 0.0, t_alex = 0.0;
+  };
+  const auto baselines = accel::all_electronic_baselines();
+  std::vector<std::size_t> items(baselines.size() + 1);
+  for (std::size_t i = 0; i < items.size(); ++i) items[i] = i;
+  const auto rows = runner.sweep(
+      items, [&](std::size_t i, core::ExecutionContext&) {
+        Row r;
+        if (i < baselines.size()) {
+          const auto& a = baselines[i];
+          // YodaNN runs VGG13 in place of VGG16 (paper's note).
+          r.t_big = a.execution_time(a.name == "YodaNN" ? vgg13 : vgg16);
+          r.t_alex = a.execution_time(alexnet);
+        } else {
+          r.t_big = sys.analyze(vgg16, schedule).latency;
+          r.t_alex = sys.analyze(alexnet, schedule).latency;
+        }
+        return r;
+      });
+  const double lt_vgg16 = rows.back().t_big;
+  const double lt_alexnet = rows.back().t_alex;
 
   util::TablePrinter table(
       {"accelerator", "VGG16 (ms)", "AlexNet (ms)", "AlexNet vs Lightator",
        "paper ratio"});
   const char* paper_ratio[] = {"10.7x", "8.8x", "18.1x", "20.4x"};
-  int idx = 0;
-  for (const auto& a : accel::all_electronic_baselines()) {
-    // YodaNN runs VGG13 in place of VGG16 (paper's note).
-    const nn::ModelDesc& big = a.name == "YodaNN" ? vgg13 : vgg16;
-    const double t_big = a.execution_time(big);
-    const double t_alex = a.execution_time(alexnet);
+  for (std::size_t i = 0; i < baselines.size(); ++i) {
+    const auto& a = baselines[i];
     table.add_row({a.name + (a.name == "YodaNN" ? " (VGG13)" : ""),
-                   util::format_fixed(t_big * 1e3, 2),
-                   util::format_fixed(t_alex * 1e3, 2),
-                   util::format_fixed(t_alex / lt_alexnet, 1) + "x",
-                   paper_ratio[idx++]});
+                   util::format_fixed(rows[i].t_big * 1e3, 2),
+                   util::format_fixed(rows[i].t_alex * 1e3, 2),
+                   util::format_fixed(rows[i].t_alex / lt_alexnet, 1) + "x",
+                   paper_ratio[i]});
   }
   table.add_row({"Lightator [4:4]", util::format_fixed(lt_vgg16 * 1e3, 2),
                  util::format_fixed(lt_alexnet * 1e3, 2), "1.0x", "1.0x"});

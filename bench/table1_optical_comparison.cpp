@@ -9,13 +9,21 @@
 // absolute values differ from the paper's (synthetic data), the precision
 // ordering is the reproduced shape.
 //
+// Execution: one ExperimentRunner owns the pool and context for the whole
+// table. Float training shards mini-batches on it, the per-schedule QAT
+// fine-tune + OC evaluation runs as a parallel sweep (one model clone per
+// schedule), and the context accumulates per-layer modeled-vs-measured stats
+// printed at the end.
+//
 // Runtime knobs (key=value): acc.samples, acc.epochs, acc.qat_epochs,
-// acc.width (VGG9 width multiplier), acc.skip=1 to skip training entirely.
+// acc.width (VGG9 width multiplier), acc.shards (trainer grad shards),
+// acc.skip=1 to skip training entirely, threads=N.
 #include <cstdio>
 #include <map>
 
 #include "accel/photonic_baselines.hpp"
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
 #include "nn/models.hpp"
 #include "nn/qat.hpp"
 #include "nn/trainer.hpp"
@@ -39,34 +47,47 @@ std::string fmt_acc(const std::map<std::string, double>& m,
   return util::format_fixed(100.0 * it->second, 1);
 }
 
-/// Trains a float model once, then QAT-fine-tunes + evaluates per schedule.
+/// Trains a float model once (sharded mini-batches on the runner's pool),
+/// then QAT-fine-tunes + evaluates every schedule as one parallel sweep:
+/// each schedule works on its own clone of the float checkpoint, so sweep
+/// items share no layer state, and evaluation runs through the item's
+/// ExecutionContext (stats merge back into the runner).
 std::map<std::string, double> accuracy_sweep(
     nn::Network base_model, nn::Dataset& train, const nn::Dataset& test,
     const std::vector<nn::PrecisionSchedule>& schedules, std::size_t epochs,
-    std::size_t qat_epochs, double lr, const core::LightatorSystem& sys) {
+    std::size_t qat_epochs, double lr, std::size_t grad_shards,
+    const core::LightatorSystem& sys, core::ExperimentRunner& runner) {
   nn::TrainParams tp;
   tp.epochs = epochs;
   tp.batch_size = 32;
   tp.sgd.learning_rate = lr;
-  nn::Trainer(tp).fit(base_model, train);
-  const auto checkpoint = nn::snapshot_params(base_model);
+  tp.grad_shards = grad_shards;
+  runner.fit(base_model, train, tp);
+
+  const auto results = runner.sweep(
+      schedules,
+      [&](const nn::PrecisionSchedule& schedule, core::ExecutionContext& ctx) {
+        // Every schedule fine-tunes from the same float checkpoint (the
+        // paper's "+6 epochs of quantization-aware techniques" recipe per
+        // config) on an independent clone; fine_tune shuffles, so each item
+        // also takes its own dataset copy. Binarized schedules (the
+        // LightBulb/ROBIN baselines) need a hotter, longer fine-tune for the
+        // straight-through estimator to move weights across the sign
+        // boundary.
+        nn::Network model = base_model.clone();
+        nn::reset_activation_scales(model);
+        nn::Dataset train_copy = train;
+        const bool low_bit = schedule.rest.weight_bits <= 2;
+        nn::fine_tune(model, train_copy, schedule,
+                      low_bit ? qat_epochs + 2 : qat_epochs,
+                      low_bit ? lr : lr / 5.0);
+        return sys.evaluate_on_oc(model, test, schedule, ctx, 64,
+                                  /*max_samples=*/400);
+      });
 
   std::map<std::string, double> out;
-  for (const auto& schedule : schedules) {
-    // Every schedule fine-tunes from the same float checkpoint (the paper's
-    // "+6 epochs of quantization-aware techniques" recipe per config).
-    // Binarized schedules (the LightBulb/ROBIN baselines) need a hotter,
-    // longer fine-tune for the straight-through estimator to move weights
-    // across the sign boundary.
-    nn::restore_params(base_model, checkpoint);
-    nn::reset_activation_scales(base_model);
-    const bool low_bit = schedule.rest.weight_bits <= 2;
-    nn::fine_tune(base_model, train, schedule,
-                  low_bit ? qat_epochs + 2 : qat_epochs,
-                  low_bit ? lr : lr / 5.0);
-    out[schedule.label()] = sys.evaluate_on_oc(
-        base_model, test, schedule, 64, /*max_samples=*/400);
-    nn::disable_qat(base_model);
+  for (std::size_t i = 0; i < schedules.size(); ++i) {
+    out[schedules[i].label()] = results[i];
   }
   return out;
 }
@@ -78,6 +99,11 @@ int main(int argc, char** argv) {
   const core::ArchConfig arch = core::ArchConfig::from_config(cfg);
   const core::LightatorSystem sys(arch);
 
+  core::ExperimentOptions eo;
+  eo.threads = static_cast<std::size_t>(cfg.get_int("threads", 0));
+  eo.collect_stats = true;
+  core::ExperimentRunner runner(eo);
+
   bench::print_header("Table 1 - comparison with optical accelerators",
                       "DAC 2024 Lightator, Table 1");
 
@@ -88,9 +114,14 @@ int main(int argc, char** argv) {
       nn::PrecisionSchedule::uniform(4), nn::PrecisionSchedule::uniform(3),
       nn::PrecisionSchedule::uniform(2), nn::PrecisionSchedule::mixed(3),
       nn::PrecisionSchedule::mixed(2)};
+  const auto analyzed = runner.sweep(
+      lightator_schedules,
+      [&](const nn::PrecisionSchedule& s, core::ExecutionContext&) {
+        return sys.analyze(nn::vgg9_desc(), s);
+      });
   std::map<std::string, core::SystemReport> lightator_reports;
-  for (const auto& s : lightator_schedules) {
-    lightator_reports.emplace(s.label(), sys.analyze(nn::vgg9_desc(), s));
+  for (std::size_t i = 0; i < lightator_schedules.size(); ++i) {
+    lightator_reports.emplace(lightator_schedules[i].label(), analyzed[i]);
   }
 
   // ---- accuracy sweeps -------------------------------------------------
@@ -103,13 +134,16 @@ int main(int argc, char** argv) {
     const auto qat_epochs =
         static_cast<std::size_t>(cfg.get_int("acc.qat_epochs", 1));
     const double width = cfg.get_double("acc.width", 0.25);
+    const auto grad_shards =
+        static_cast<std::size_t>(cfg.get_int("acc.shards", 4));
 
     std::vector<nn::PrecisionSchedule> all_schedules = lightator_schedules;
     all_schedules.push_back({{1, 1}, {1, 1}});  // LightBulb [1:1]
     all_schedules.push_back({{1, 4}, {1, 4}});  // Robin [1:4]
 
-    std::fprintf(stderr, "training accuracy models (samples=%zu)...\n",
-                 samples);
+    std::fprintf(stderr, "training accuracy models (samples=%zu, %zu "
+                 "threads)...\n",
+                 samples, runner.pool().size());
     util::Rng rng(7);
     {
       workloads::SynthMnistOptions mo;
@@ -123,7 +157,7 @@ int main(int argc, char** argv) {
       test.labels = full.batch_labels(samples, samples / 4);
       acc.mnist = accuracy_sweep(nn::build_lenet(rng), train, test,
                                  all_schedules, epochs, qat_epochs,
-                                 /*lr=*/0.05, sys);
+                                 /*lr=*/0.05, grad_shards, sys, runner);
     }
     for (const std::size_t classes : {std::size_t{10}, std::size_t{100}}) {
       workloads::SynthCifarOptions co;
@@ -138,7 +172,7 @@ int main(int argc, char** argv) {
       test.labels = full.batch_labels(samples, samples / 4);
       auto result = accuracy_sweep(nn::build_vgg9(rng, classes, width), train,
                                    test, all_schedules, epochs, qat_epochs,
-                                   /*lr=*/0.01, sys);
+                                   /*lr=*/0.01, grad_shards, sys, runner);
       (classes == 10 ? acc.cifar10 : acc.cifar100) = std::move(result);
     }
   } else {
@@ -191,5 +225,12 @@ int main(int argc, char** argv) {
               k34 / accel::lightbulb().summarize(vgg9_macs).kfps_per_watt);
   std::printf("  Lightator-MX [4:4][3:4]:    %.2f KFPS/W (paper: 84.4)\n",
               lightator_reports.at("[4:4][3:4]").kfps_per_watt);
+
+  // ---- modeled vs measured --------------------------------------------
+  if (!runner.context().stats.empty()) {
+    std::printf("\nper-layer modeled vs measured (accumulated across the OC "
+                "accuracy evaluations,\nslim functional geometry):\n%s",
+                core::format_stats_report(runner.context().stats).c_str());
+  }
   return 0;
 }

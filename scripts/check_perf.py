@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Diff a backend_compare JSON snapshot against the committed baseline.
+
+The gemm backend's value is its speedup over the reference backend measured
+in the same process on the same machine, so the speedup ratio — not absolute
+milliseconds — is what transfers across CI runners. A layer regresses when
+its current speedup falls more than --tolerance (default 25%) below the
+baseline's, or when the backends stop being bit-exact.
+
+Usage: check_perf.py current.json [baseline.json] [--tolerance 0.25]
+Exit status: 0 ok, 1 regression / bit-exactness failure, 2 usage error.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
+DEFAULT_TOLERANCE = 0.25
+
+
+def load_layers(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("bench") != "backend_compare":
+        sys.exit(f"error: {path} is not a backend_compare snapshot")
+    return {layer["name"]: layer for layer in data["layers"]}
+
+
+def main(argv):
+    args = []
+    tolerance = DEFAULT_TOLERANCE
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a.startswith("--tolerance"):
+            if "=" in a:
+                tolerance = float(a.split("=", 1)[1])
+            else:
+                i += 1
+                tolerance = float(argv[i])
+        else:
+            args.append(a)
+        i += 1
+    if not args:
+        print(__doc__.strip())
+        return 2
+    current = load_layers(args[0])
+    baseline = load_layers(args[1] if len(args) > 1 else DEFAULT_BASELINE)
+
+    failed = False
+    for name, base in sorted(baseline.items()):
+        layer = current.get(name)
+        if layer is None:
+            print(f"FAIL  {name}: missing from current snapshot")
+            failed = True
+            continue
+        if not layer.get("bit_exact", False):
+            print(f"FAIL  {name}: gemm no longer bit-exact with reference")
+            failed = True
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        status = "ok  " if layer["speedup"] >= floor else "FAIL"
+        failed = failed or status == "FAIL"
+        print(f"{status}  {name}: speedup {layer['speedup']:.2f}x "
+              f"(baseline {base['speedup']:.2f}x, floor {floor:.2f}x)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"note  {name}: new layer, no baseline (add it to "
+              f"{DEFAULT_BASELINE.name})")
+
+    if failed:
+        print(f"\nperf check FAILED (tolerance {tolerance:.0%}); if the "
+              "regression is intended, regenerate the baseline with\n"
+              "  ./build/backend_compare out=scripts/perf_baseline.json")
+        return 1
+    print(f"\nperf check ok (tolerance {tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

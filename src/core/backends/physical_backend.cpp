@@ -30,17 +30,6 @@ void check_code_range(const tensor::QuantizedTensor& x,
   }
 }
 
-/// Stateless mix of (seed, stream, item) -> per-item RNG seed, so noise is a
-/// pure function of the configuration and not of thread scheduling.
-std::uint64_t item_seed(std::uint64_t seed, std::uint64_t stream,
-                        std::size_t item) {
-  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1) +
-                    0xD1B54A32D192ED03ull * (item + 1);
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
-}
-
 /// One arm-segment evaluation: programs the segment's weights (levels/wmax in
 /// [-1,1]) and computes the calibrated analog dot product of the codes.
 /// `weights`/`codes` must already be full arm-length buffers with any tail
@@ -54,6 +43,38 @@ double segment_compute(optics::MrArm& arm, std::span<const double> weights,
 }
 
 }  // namespace
+
+PhysicalBackend::PhysicalBackend(ArchConfig config)
+    : config_(std::move(config)) {}
+
+PhysicalBackend::~PhysicalBackend() = default;
+
+std::unique_ptr<optics::MrArm> PhysicalBackend::acquire_arm(
+    int weight_bits) const {
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto& bucket = arm_cache_[weight_bits];
+    if (!bucket.empty()) {
+      auto arm = std::move(bucket.back());
+      bucket.pop_back();
+      return arm;
+    }
+  }
+  return std::make_unique<optics::MrArm>(arm_params_for(config_, weight_bits));
+}
+
+void PhysicalBackend::release_arm(int weight_bits,
+                                  std::unique_ptr<optics::MrArm> arm) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  arm_cache_[weight_bits].push_back(std::move(arm));
+}
+
+std::size_t PhysicalBackend::cached_arm_count() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::size_t n = 0;
+  for (const auto& [bits, bucket] : arm_cache_) n += bucket.size();
+  return n;
+}
 
 tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
                                        const tensor::QuantizedTensor& w,
@@ -75,10 +96,10 @@ tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
   const std::size_t seg = config_.geometry.mrs_per_arm;
   const std::uint64_t stream = ctx.next_noise_stream();
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
-    optics::MrArm arm(arm_params_for(config_, w.bits));
+    auto arm = acquire_arm(w.bits);
     std::unique_ptr<util::Rng> rng;
     if (ctx.noise_seed != 0) {
-      rng = std::make_unique<util::Rng>(item_seed(ctx.noise_seed, stream, n));
+      rng = std::make_unique<util::Rng>(mix_seed(ctx.noise_seed, stream, n));
     }
     std::vector<double> seg_w(seg);
     std::vector<int> seg_c(seg);
@@ -116,7 +137,7 @@ tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
               seg_c[i] = code;
             }
             const double partial =
-                segment_compute(arm, seg_w, seg_c, rng.get());
+                segment_compute(*arm, seg_w, seg_c, rng.get());
             y.at(n, oc, oy, ox) += static_cast<float>(partial * norm);
           }
         }
@@ -129,6 +150,7 @@ tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
         }
       }
     }
+    release_arm(w.bits, std::move(arm));
   });
   return y;
 }
@@ -146,10 +168,10 @@ tensor::Tensor PhysicalBackend::linear(const tensor::QuantizedTensor& x,
   const std::size_t seg = config_.geometry.mrs_per_arm;
   const std::uint64_t stream = ctx.next_noise_stream();
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
-    optics::MrArm arm(arm_params_for(config_, w.bits));
+    auto arm = acquire_arm(w.bits);
     std::unique_ptr<util::Rng> rng;
     if (ctx.noise_seed != 0) {
-      rng = std::make_unique<util::Rng>(item_seed(ctx.noise_seed, stream, n));
+      rng = std::make_unique<util::Rng>(mix_seed(ctx.noise_seed, stream, n));
     }
     const std::int16_t* row = x.levels.data() + n * d;
     std::vector<double> seg_w(seg);
@@ -166,12 +188,13 @@ tensor::Tensor PhysicalBackend::linear(const tensor::QuantizedTensor& x,
         // Pad the trailing cells: zero weights / dark channels.
         std::fill(seg_w.begin() + len, seg_w.end(), 0.0);
         std::fill(seg_c.begin() + len, seg_c.end(), 0);
-        acc += segment_compute(arm, seg_w, seg_c, rng.get());
+        acc += segment_compute(*arm, seg_w, seg_c, rng.get());
       }
       float v = static_cast<float>(acc * norm);
       if (!bias.empty()) v += bias[o];
       y.at(n, o) = v;
     }
+    release_arm(w.bits, std::move(arm));
   });
   return y;
 }

@@ -8,15 +8,31 @@
 // for a given seed regardless of how many threads the pool shards the batch
 // across. This is the slow validation/Monte-Carlo engine: use it for
 // analog-error and noise studies, not accuracy sweeps.
+//
+// MrArm construction (WDM grid + ring spectra setup) dominates short calls,
+// so arms are pooled in a free-list keyed on weight_bits: each batch item
+// checks an arm out for the duration of its work and returns it afterwards.
+// Monte-Carlo fault sweeps — thousands of small conv/fc calls on the same
+// backend — stop paying the construction cost after the first batch.
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
 #include "core/compute_backend.hpp"
+
+namespace lightator::optics {
+class MrArm;
+}
 
 namespace lightator::core {
 
 class PhysicalBackend final : public ComputeBackend {
  public:
-  explicit PhysicalBackend(ArchConfig config) : config_(config) {}
+  explicit PhysicalBackend(ArchConfig config);
+  ~PhysicalBackend() override;
 
   std::string name() const override { return "physical"; }
 
@@ -31,8 +47,19 @@ class PhysicalBackend final : public ComputeBackend {
                         const tensor::Tensor& bias,
                         const ExecutionContext& ctx) const override;
 
+  /// Number of arms currently parked in the cache (test/introspection hook).
+  std::size_t cached_arm_count() const;
+
  private:
+  /// Checks an arm for `weight_bits` out of the cache, constructing one on a
+  /// miss. The caller owns it until release_arm puts it back.
+  std::unique_ptr<optics::MrArm> acquire_arm(int weight_bits) const;
+  void release_arm(int weight_bits, std::unique_ptr<optics::MrArm> arm) const;
+
   ArchConfig config_;
+  mutable std::mutex cache_mutex_;
+  mutable std::unordered_map<int, std::vector<std::unique_ptr<optics::MrArm>>>
+      arm_cache_;
 };
 
 }  // namespace lightator::core

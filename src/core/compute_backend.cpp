@@ -66,6 +66,34 @@ std::vector<std::string> BackendRegistry::names() const {
   return out;
 }
 
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream,
+                       std::size_t item) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1) +
+                    0xD1B54A32D192ED03ull * (item + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+void accumulate_layer_stats(std::vector<LayerExecStats>& into,
+                            LayerExecStats s) {
+  for (auto& existing : into) {
+    if (existing.layer_index == s.layer_index && existing.name == s.name &&
+        existing.weight_bits == s.weight_bits) {
+      existing.wall_seconds += s.wall_seconds;
+      existing.frames += s.frames;
+      return;
+    }
+  }
+  into.push_back(std::move(s));
+}
+
+void merge_layer_stats(std::vector<LayerExecStats>& into,
+                       const std::vector<LayerExecStats>& from) {
+  for (const auto& s : from) accumulate_layer_stats(into, s);
+}
+
 void validate_oc_conv_inputs(const tensor::QuantizedTensor& x,
                              const tensor::QuantizedTensor& w,
                              const tensor::ConvSpec& spec) {

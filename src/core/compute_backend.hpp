@@ -132,6 +132,31 @@ class BackendRegistry {
   std::unique_ptr<Impl> impl_;
 };
 
+// ---- deterministic seed derivation ----------------------------------------
+
+/// Stateless (seed, stream, item) -> derived seed mix (SplitMix64-style), so
+/// per-item RNG streams are a pure function of the configuration and never of
+/// thread scheduling. Never returns 0 for a non-zero `seed` (0 means
+/// "noiseless" throughout the simulator). Shared by the physical backend's
+/// per-batch-item noise, ExperimentRunner::sweep per-item seeds, and the
+/// multi-frame capture pipeline's per-frame sensor noise.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream,
+                       std::size_t item);
+
+// ---- per-layer stats accumulation -----------------------------------------
+
+/// Accumulates `s` into `into`: an existing entry with the same
+/// (layer_index, name, weight_bits) key gains s's wall time and frame count
+/// (the modeled per-frame numbers are batch-invariant); otherwise `s` is
+/// appended. Used by run_network_on_oc and by ExperimentRunner when merging
+/// per-item sweep stats in index order.
+void accumulate_layer_stats(std::vector<LayerExecStats>& into,
+                            LayerExecStats s);
+
+/// Merges every entry of `from` into `into` via accumulate_layer_stats.
+void merge_layer_stats(std::vector<LayerExecStats>& into,
+                       const std::vector<LayerExecStats>& from);
+
 // ---- shared input validation (one contract for every backend) -------------
 
 /// Throws unless x/w are a valid unsigned-act / signed-weight conv pair for

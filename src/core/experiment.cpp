@@ -1,0 +1,104 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/table.hpp"
+
+namespace lightator::core {
+
+double MonteCarloResult::quantile(double q) const {
+  if (accuracy.empty()) return 0.0;
+  std::vector<double> sorted = accuracy;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = std::clamp(q, 0.0, 1.0) *
+                     static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+ExperimentRunner::ExperimentRunner(ExperimentOptions options)
+    : options_(std::move(options)), pool_(options_.threads) {
+  ctx_.backend = options_.backend;
+  ctx_.noise_seed = options_.noise_seed;
+  ctx_.faults = options_.faults;
+  ctx_.pool = &pool_;
+  ctx_.collect_stats = options_.collect_stats;
+}
+
+void ExperimentRunner::prime_item_context(ExecutionContext& item_ctx,
+                                          std::uint64_t sweep_index,
+                                          std::size_t item) {
+  item_ctx.backend = ctx_.backend;
+  item_ctx.faults = ctx_.faults;
+  item_ctx.pool = &pool_;
+  item_ctx.collect_stats = ctx_.collect_stats;
+  // 0 means "noiseless" everywhere; a set base seed fans out into one
+  // independent, reproducible stream per (sweep, item).
+  item_ctx.noise_seed =
+      ctx_.noise_seed == 0 ? 0
+                           : mix_seed(ctx_.noise_seed, sweep_index, item);
+}
+
+MonteCarloResult ExperimentRunner::monte_carlo(
+    const LightatorSystem& system, const nn::Network& net,
+    const nn::Dataset& data, const nn::PrecisionSchedule& schedule,
+    const MonteCarloOptions& options) {
+  if (options.trials == 0) {
+    throw std::invalid_argument("monte_carlo: trials must be >= 1");
+  }
+  std::vector<std::size_t> trials(options.trials);
+  std::iota(trials.begin(), trials.end(), std::size_t{0});
+  MonteCarloResult result;
+  result.accuracy =
+      sweep(trials, [&](std::size_t trial, ExecutionContext& item_ctx) {
+        item_ctx.faults = options.faults;
+        // Distinct fault realization per trial, reproducible from base_seed.
+        item_ctx.faults.seed =
+            mix_seed(options.base_seed, /*stream=*/0x0fa17ull, trial);
+        // Layers cache forward state, so each trial gets its own replica.
+        nn::Network replica = net.clone();
+        return system.evaluate_on_oc(replica, data, schedule, item_ctx,
+                                     options.batch_size, options.max_samples);
+      });
+  const double n = static_cast<double>(result.accuracy.size());
+  for (double a : result.accuracy) result.mean += a;
+  result.mean /= n;
+  double var = 0.0;
+  for (double a : result.accuracy) var += (a - result.mean) * (a - result.mean);
+  result.stddev = n > 1 ? std::sqrt(var / (n - 1)) : 0.0;
+  return result;
+}
+
+nn::EpochStats ExperimentRunner::fit(nn::Network& net, nn::Dataset& train,
+                                     nn::TrainParams params) {
+  params.pool = &pool_;
+  nn::Trainer trainer(params);
+  return trainer.fit(net, train);
+}
+
+std::string format_stats_report(const std::vector<LayerExecStats>& stats) {
+  util::TablePrinter table({"layer", "Wbits", "MACs", "frames",
+                            "measured ms/frame", "modeled latency",
+                            "modeled energy/frame", "sim/model"});
+  for (const auto& s : stats) {
+    const double per_frame =
+        s.frames > 0 ? s.wall_seconds / static_cast<double>(s.frames) : 0.0;
+    const double ratio =
+        s.modeled_latency > 0.0 ? per_frame / s.modeled_latency : 0.0;
+    table.add_row({s.name, std::to_string(s.weight_bits),
+                   util::format_sig(static_cast<double>(s.macs), 3),
+                   std::to_string(s.frames),
+                   util::format_fixed(per_frame * 1e3, 3),
+                   util::format_time(s.modeled_latency),
+                   util::format_sig(s.modeled_energy, 3) + " J",
+                   util::format_sig(ratio, 3) + "x"});
+  }
+  return table.to_text();
+}
+
+}  // namespace lightator::core

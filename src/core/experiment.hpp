@@ -1,0 +1,148 @@
+// ExperimentRunner: one ExecutionContext for a whole experiment campaign.
+//
+// Every headline experiment of the paper — mixed-precision power/accuracy
+// sweeps (Table 1), layer-wise power breakdowns (Fig. 8/9), latency
+// comparisons (Fig. 10), noise/fault ablations — is a map over a list of
+// configurations, each item evaluated through the simulator. ExperimentRunner
+// owns the execution machinery those maps share:
+//
+//   * one util::ThreadPool, sized once, reused by every stage (backend batch
+//     sharding, sweep items, trainer shards, multi-frame capture);
+//   * one ExecutionContext carrying the backend name, fault spec, and base
+//     noise seed;
+//   * sweep(items, fn): a deterministic parallel map. Items run concurrently
+//     on the pool, each with its own ExecutionContext whose noise seed is a
+//     stateless mix of (base seed, sweep number, item index) — results are
+//     bit-identical for any pool size, and per-item stats merge back into the
+//     runner's context in index order;
+//   * monte_carlo(...): the fault Monte-Carlo driver the physical backend was
+//     built for — samples per-trial FaultSpec realizations (stuck cells, dark
+//     VCSELs, ring drift), evaluates each on an independent network clone,
+//     and reports mean/stddev/quantile accuracy;
+//   * fit(...): nn::Trainer with the runner's pool injected, so QAT training
+//     shards mini-batches on the same threads as everything else.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "core/compute_backend.hpp"
+#include "core/lightator.hpp"
+#include "nn/trainer.hpp"
+
+namespace lightator::core {
+
+struct ExperimentOptions {
+  std::string backend = "gemm";
+  /// Pool size; 0 = LIGHTATOR_THREADS / hardware_concurrency.
+  std::size_t threads = 0;
+  /// Base noise seed for the physical backend; 0 = noiseless. Per sweep item
+  /// this derives a distinct stream via mix_seed, so trials draw independent
+  /// noise while staying reproducible from this one number.
+  std::uint64_t noise_seed = 0;
+  FaultSpec faults;
+  bool collect_stats = false;
+};
+
+/// Summary statistics of a fault Monte-Carlo campaign.
+struct MonteCarloResult {
+  std::vector<double> accuracy;  // per trial, in trial order
+  double mean = 0.0;
+  double stddev = 0.0;
+
+  /// Empirical quantile (linear interpolation), q in [0, 1].
+  double quantile(double q) const;
+};
+
+struct MonteCarloOptions {
+  std::size_t trials = 16;
+  /// Fault rates applied each trial; the spec's `seed` is ignored — each
+  /// trial derives its own fault seed from `base_seed` and the trial index.
+  FaultSpec faults;
+  std::uint64_t base_seed = 1;
+  std::size_t batch_size = 32;
+  std::size_t max_samples = 0;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(ExperimentOptions options = {});
+
+  ExperimentRunner(const ExperimentRunner&) = delete;
+  ExperimentRunner& operator=(const ExperimentRunner&) = delete;
+
+  const ExperimentOptions& options() const { return options_; }
+  util::ThreadPool& pool() { return pool_; }
+  ExecutionContext& context() { return ctx_; }
+  const ExecutionContext& context() const { return ctx_; }
+
+  /// Deterministic seed-per-item parallel map: runs fn(items[i], item_ctx)
+  /// for every item concurrently on the runner's pool and returns the results
+  /// in item order. Each item context inherits the runner's backend/faults
+  /// and derives noise_seed = mix_seed(base, sweep#, i) (0 stays 0 —
+  /// noiseless stays noiseless). Nested parallel_for calls inside an item
+  /// (backend batch sharding) run inline on the item's thread, so one pool
+  /// serves both levels without oversubscription. When the runner collects
+  /// stats, per-item stats merge into context().stats in item-index order.
+  /// The result type must be default-constructible.
+  template <typename T, typename Fn>
+  auto sweep(const std::vector<T>& items, Fn&& fn)
+      -> std::vector<std::decay_t<
+          std::invoke_result_t<Fn&, const T&, ExecutionContext&>>> {
+    using R = std::decay_t<std::invoke_result_t<Fn&, const T&,
+                                                ExecutionContext&>>;
+    static_assert(!std::is_same_v<R, bool>,
+                  "sweep items write results concurrently; vector<bool> "
+                  "packs bits — return e.g. int or a struct instead");
+    std::vector<R> results(items.size());
+    std::vector<std::vector<LayerExecStats>> item_stats(
+        ctx_.collect_stats ? items.size() : 0);
+    const std::uint64_t sweep_index = next_sweep_index();
+    pool_.parallel_for(0, items.size(), [&](std::size_t i) {
+      ExecutionContext item_ctx;
+      prime_item_context(item_ctx, sweep_index, i);
+      results[i] = fn(items[i], item_ctx);
+      if (ctx_.collect_stats) item_stats[i] = std::move(item_ctx.stats);
+    });
+    for (const auto& s : item_stats) merge_layer_stats(ctx_.stats, s);
+    return results;
+  }
+
+  /// Fault Monte-Carlo through the runner's backend (construct the runner
+  /// with backend = "physical" for the full device-model path): `trials`
+  /// independent FaultSpec realizations of `options.faults`' rates, each
+  /// evaluated on a clone of `net` so trials share no layer caches. Results
+  /// are invariant to the pool size.
+  MonteCarloResult monte_carlo(const LightatorSystem& system,
+                               const nn::Network& net,
+                               const nn::Dataset& data,
+                               const nn::PrecisionSchedule& schedule,
+                               const MonteCarloOptions& options);
+
+  /// nn::Trainer::fit with this runner's pool injected (params.pool and, when
+  /// params.grad_shards > 1, sharded mini-batch training on it).
+  nn::EpochStats fit(nn::Network& net, nn::Dataset& train,
+                     nn::TrainParams params);
+
+ private:
+  std::uint64_t next_sweep_index() {
+    return sweep_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void prime_item_context(ExecutionContext& item_ctx,
+                          std::uint64_t sweep_index, std::size_t item);
+
+  ExperimentOptions options_;
+  util::ThreadPool pool_;
+  ExecutionContext ctx_;
+  std::atomic<std::uint64_t> sweep_counter_{0};
+};
+
+/// Per-layer modeled-vs-measured table from accumulated LayerExecStats: the
+/// architecture models' per-frame latency/energy next to the simulator's
+/// measured wall time per frame. The report the fig09/table1 drivers print.
+std::string format_stats_report(const std::vector<LayerExecStats>& stats);
+
+}  // namespace lightator::core

@@ -1,5 +1,7 @@
 #include "core/faults.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace lightator::core {
@@ -9,15 +11,30 @@ std::size_t apply_weight_faults(tensor::QuantizedTensor& weights,
   if (!weights.is_signed) {
     throw std::invalid_argument("weight faults expect a signed tensor");
   }
-  if (spec.stuck_cell_rate <= 0.0) return 0;
+  if (spec.stuck_cell_rate <= 0.0 && spec.ring_drift_sigma <= 0.0) return 0;
   const int m = weights.max_level();
   std::size_t hit = 0;
   for (auto& level : weights.levels) {
-    if (!rng.bernoulli(spec.stuck_cell_rate)) continue;
-    // Stuck anywhere in the level range, independent of the target.
-    level = static_cast<std::int16_t>(
-        static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(2 * m + 1))) - m);
-    ++hit;
+    if (spec.stuck_cell_rate > 0.0 && rng.bernoulli(spec.stuck_cell_rate)) {
+      // Stuck anywhere in the level range, independent of the target.
+      level = static_cast<std::int16_t>(
+          static_cast<int>(
+              rng.uniform_index(static_cast<std::uint64_t>(2 * m + 1))) -
+          m);
+      ++hit;
+      continue;  // a dead heater ignores drift too: its level is pinned
+    }
+    if (spec.ring_drift_sigma > 0.0) {
+      // Thermal/aging detuning: the cell realizes a nearby wrong level.
+      const double drift = rng.normal(0.0, spec.ring_drift_sigma * m);
+      const int drifted = std::clamp(
+          static_cast<int>(std::lround(static_cast<double>(level) + drift)),
+          -m, m);
+      if (drifted != level) {
+        level = static_cast<std::int16_t>(drifted);
+        ++hit;
+      }
+    }
   }
   return hit;
 }

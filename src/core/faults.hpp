@@ -1,11 +1,14 @@
 // Fault injection for the optical core: manufacturing / runtime defects and
 // their effect on mapped inference.
 //
-// Two defect classes dominate MR weight banks and VCSEL arrays:
+// Three defect classes dominate MR weight banks and VCSEL arrays:
 //   * stuck weight cells — a ring whose heater (or DAC) is dead holds an
 //     arbitrary fixed level;
 //   * dead activation channels — a VCSEL that never lases leaves its
-//     wavelength dark (activation reads as 0).
+//     wavelength dark (activation reads as 0);
+//   * ring drift — thermal/aging detuning that shifts the realized weight of
+//     every cell by a small Gaussian amount (modeled at the level domain: a
+//     drifted ring programs the nearest wrong level).
 // Faults are sampled per-element from a seeded RNG so experiments are
 // reproducible; apply_* mutate quantized tensors in place, which composes
 // with the OC functional path (run_network_on_oc).
@@ -21,13 +24,24 @@ namespace lightator::core {
 struct FaultSpec {
   double stuck_cell_rate = 0.0;    // fraction of weight cells stuck
   double dead_channel_rate = 0.0;  // fraction of activation channels dark
+  /// Stddev of per-cell weight drift, as a fraction of the full level range
+  /// (e.g. 0.05 = 5% of max_level). 0 disables.
+  double ring_drift_sigma = 0.0;
   std::uint64_t seed = 1;
 
-  bool any() const { return stuck_cell_rate > 0.0 || dead_channel_rate > 0.0; }
+  bool any() const {
+    return stuck_cell_rate > 0.0 || dead_channel_rate > 0.0 ||
+           ring_drift_sigma > 0.0;
+  }
 };
 
 /// Replaces a `stuck_cell_rate` fraction of weight levels with random stuck
-/// levels (uniform over the level range). Returns the number of cells hit.
+/// levels (uniform over the level range), and applies Gaussian ring drift
+/// (sigma = ring_drift_sigma * max_level, rounded to the nearest level and
+/// clamped to the range) to the remaining cells — a stuck cell's heater is
+/// dead, so its level is pinned and drift does not apply. Returns the number
+/// of cells hit: every stuck cell (even one stuck at its original level)
+/// plus every cell whose drift rounded to a different level.
 std::size_t apply_weight_faults(tensor::QuantizedTensor& weights,
                                 const FaultSpec& spec, util::Rng& rng);
 

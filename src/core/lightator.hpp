@@ -61,6 +61,13 @@ struct AnalyzeOptions {
   std::size_t ca_in_h = 0, ca_in_w = 0;
 };
 
+struct CaptureOptions {
+  std::optional<CaOptions> ca;
+  /// Per-frame sensor (shot/read/comparator) noise seed; 0 captures
+  /// noiselessly — the same convention as ExecutionContext::noise_seed.
+  std::uint64_t sensor_noise_seed = 0;
+};
+
 class LightatorSystem {
  public:
   explicit LightatorSystem(ArchConfig config);
@@ -111,6 +118,14 @@ class LightatorSystem {
                         std::size_t batch_size = 64,
                         std::size_t max_samples = 0) const;
 
+  /// Same, through an explicit ExecutionContext — the entry point the
+  /// precision search's measured evaluator uses to run candidate assignments
+  /// on a pooled backend.
+  double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
+                        const std::vector<int>& weight_bits, int act_bits,
+                        ExecutionContext& ctx, std::size_t batch_size = 64,
+                        std::size_t max_samples = 0) const;
+
   /// Top-1 accuracy of the OC functional path on a dataset.
   double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
                         const nn::PrecisionSchedule& schedule,
@@ -132,6 +147,18 @@ class LightatorSystem {
   tensor::Tensor acquire(const sensor::Image& scene,
                          const std::optional<CaOptions>& ca = std::nullopt,
                          util::Rng* noise = nullptr) const;
+
+  /// Multi-frame pipeline mode: acquires every scene in parallel on the
+  /// context's pool (per-frame sensor noise seeded from
+  /// (sensor_noise_seed, frame index), so results are thread-count
+  /// invariant), stacks the frames into one batch, and runs a single batched
+  /// OC forward through `ctx`. All scenes must share one geometry. Returns
+  /// the logits [num_scenes x classes].
+  tensor::Tensor capture_and_infer(nn::Network& net,
+                                   const std::vector<sensor::Image>& scenes,
+                                   const nn::PrecisionSchedule& schedule,
+                                   ExecutionContext& ctx,
+                                   const CaptureOptions& capture = {}) const;
 
  private:
   using BitsFn = std::function<int(std::size_t weighted_index)>;

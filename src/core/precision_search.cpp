@@ -47,7 +47,43 @@ double PrecisionSearch::layer_sensitivity(std::size_t weighted_index,
   return noise_increase * position_weight;
 }
 
+void PrecisionSearch::bind_validation(nn::Network& net,
+                                      const nn::Dataset& data, int act_bits,
+                                      std::size_t batch_size,
+                                      std::size_t max_samples) {
+  eval_net_ = &net;
+  eval_data_ = &data;
+  eval_act_bits_ = act_bits;
+  eval_batch_size_ = batch_size;
+  eval_max_samples_ = max_samples;
+}
+
 PrecisionAssignment PrecisionSearch::search(
+    const PrecisionSearchOptions& options, const Evaluator& evaluate) const {
+  // No measured default on this path: context-less callers get the analytic
+  // proxy unless they pass an evaluator themselves.
+  return search_impl(options, evaluate);
+}
+
+PrecisionAssignment PrecisionSearch::search(
+    const PrecisionSearchOptions& options, ExecutionContext& ctx,
+    const Evaluator& evaluate) const {
+  if (evaluate) return search_impl(options, evaluate);
+  if (eval_net_ == nullptr || eval_data_ == nullptr) {
+    return search_impl(options, nullptr);  // nothing bound: analytic proxy
+  }
+  // The measured default: run each candidate assignment through the OC
+  // functional path on the context's backend. The context's pool shards the
+  // validation batches, so this is where measured search gets its speed.
+  const Evaluator measured = [this, &ctx](const std::vector<int>& bits) {
+    return system_.evaluate_on_oc(*eval_net_, *eval_data_, bits,
+                                  eval_act_bits_, ctx, eval_batch_size_,
+                                  eval_max_samples_);
+  };
+  return search_impl(options, measured);
+}
+
+PrecisionAssignment PrecisionSearch::search_impl(
     const PrecisionSearchOptions& options, const Evaluator& evaluate) const {
   if (options.min_bits < 1 || options.max_bits < options.min_bits) {
     throw std::invalid_argument("invalid bit range");

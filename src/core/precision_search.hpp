@@ -9,8 +9,12 @@
 // Accuracy damage can be estimated two ways:
 //   * analytic   — layer-wise quantization-noise proxy (weight MSE scaled by
 //     the layer's share of MACs), cheap, no model needed;
-//   * measured   — a user-supplied evaluator callback (e.g. running
-//     LightatorSystem::evaluate_on_oc on a validation set).
+//   * measured   — every candidate assignment evaluated through
+//     LightatorSystem::evaluate_on_oc on a bound validation set (the default
+//     when search is given an ExecutionContext: candidates run on the
+//     context's backend — "gemm" — with its pool sharding the validation
+//     batches, so measured search is multicore-fast and thread-count
+//     invariant), or a user-supplied evaluator callback.
 #pragma once
 
 #include <functional>
@@ -42,26 +46,54 @@ struct PrecisionAssignment {
 class PrecisionSearch {
  public:
   /// `evaluate` (optional): maps a per-layer bit assignment to accuracy in
-  /// [0,1]. When absent, the analytic proxy drives the search.
+  /// [0,1]. When absent, the analytic proxy (or, with a bound validation
+  /// set and an ExecutionContext, measured evaluation) drives the search.
   using Evaluator = std::function<double(const std::vector<int>&)>;
 
   PrecisionSearch(const LightatorSystem& system, const nn::ModelDesc& model)
       : system_(system), model_(model) {}
+
+  /// Binds a trained network + validation set: search(options, ctx) with no
+  /// explicit evaluator then measures every candidate through
+  /// evaluate_on_oc(net, data, bits, act_bits, ctx, ...). The network must
+  /// outlive the search (candidates run forward passes on it).
+  void bind_validation(nn::Network& net, const nn::Dataset& data,
+                       int act_bits = 4, std::size_t batch_size = 64,
+                       std::size_t max_samples = 0);
 
   /// Analytic sensitivity of lowering weighted layer `i` from `bits` to
   /// `bits-1`: quantization-noise increase weighted by the layer's MAC
   /// share. Higher = more damaging.
   double layer_sensitivity(std::size_t weighted_index, int bits) const;
 
+  /// Greedy search on a default ("gemm", global pool) context. Analytic
+  /// unless `evaluate` is supplied.
   PrecisionAssignment search(const PrecisionSearchOptions& options,
+                             const Evaluator& evaluate = nullptr) const;
+
+  /// Greedy search through an explicit ExecutionContext. Evaluator priority:
+  /// `evaluate` if supplied, else measured evaluation on the bound
+  /// validation set (pooled evaluate_on_oc through `ctx`), else analytic.
+  PrecisionAssignment search(const PrecisionSearchOptions& options,
+                             ExecutionContext& ctx,
                              const Evaluator& evaluate = nullptr) const;
 
   /// The weighted (conv/fc) layers of the model, in order.
   std::vector<const nn::LayerDesc*> weighted_layers() const;
 
  private:
+  PrecisionAssignment search_impl(const PrecisionSearchOptions& options,
+                                  const Evaluator& evaluate) const;
+
   const LightatorSystem& system_;
   const nn::ModelDesc& model_;
+
+  // Bound validation set for the measured-evaluator default (optional).
+  nn::Network* eval_net_ = nullptr;
+  const nn::Dataset* eval_data_ = nullptr;
+  int eval_act_bits_ = 4;
+  std::size_t eval_batch_size_ = 64;
+  std::size_t eval_max_samples_ = 0;
 };
 
 }  // namespace lightator::core

@@ -32,6 +32,13 @@ class Layer {
   virtual Tensor forward(const Tensor& x, bool training) = 0;
   virtual Tensor backward(const Tensor& dy) = 0;
 
+  /// Deep copy including parameters and QAT configuration. Forward/backward
+  /// caches come along but are never shared — a clone is an independent
+  /// replica, which is what data-parallel training and parallel Monte-Carlo
+  /// trials need (layers cache per-forward state, so one instance must never
+  /// run two concurrent passes).
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
   virtual LayerKind kind() const = 0;
   virtual std::string name() const = 0;
 
@@ -46,6 +53,9 @@ class Conv2d final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2d>(*this);
+  }
   LayerKind kind() const override { return LayerKind::kConv; }
   std::string name() const override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
@@ -76,6 +86,9 @@ class Linear final : public Layer {
 
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Linear>(*this);
+  }
   LayerKind kind() const override { return LayerKind::kLinear; }
   std::string name() const override;
   std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
@@ -103,6 +116,9 @@ class MaxPool final : public Layer {
   MaxPool(std::size_t kernel, std::size_t stride);
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool>(*this);
+  }
   LayerKind kind() const override { return LayerKind::kMaxPool; }
   std::string name() const override;
   std::size_t kernel() const { return kernel_; }
@@ -119,6 +135,9 @@ class AvgPool final : public Layer {
   AvgPool(std::size_t kernel, std::size_t stride);
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<AvgPool>(*this);
+  }
   LayerKind kind() const override { return LayerKind::kAvgPool; }
   std::string name() const override;
   std::size_t kernel() const { return kernel_; }
@@ -134,6 +153,9 @@ class Activation final : public Layer {
   explicit Activation(ActKind act);
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Activation>(*this);
+  }
   LayerKind kind() const override { return LayerKind::kActivation; }
   std::string name() const override;
   ActKind act() const { return act_; }
@@ -156,6 +178,9 @@ class Flatten final : public Layer {
  public:
   Tensor forward(const Tensor& x, bool training) override;
   Tensor backward(const Tensor& dy) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
   LayerKind kind() const override { return LayerKind::kFlatten; }
   std::string name() const override { return "flatten"; }
 

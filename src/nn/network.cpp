@@ -34,6 +34,13 @@ std::vector<Tensor*> Network::grads() {
   return out;
 }
 
+Network Network::clone() const {
+  Network copy(name_);
+  copy.layers_.reserve(layers_.size());
+  for (const auto& layer : layers_) copy.layers_.push_back(layer->clone());
+  return copy;
+}
+
 std::size_t Network::num_params() const {
   std::size_t n = 0;
   for (const auto& layer : layers_) {

@@ -37,6 +37,12 @@ class Network {
   Layer& layer(std::size_t i) { return *layers_.at(i); }
   const Layer& layer(std::size_t i) const { return *layers_.at(i); }
 
+  /// Independent deep copy (parameters, QAT flags, activation scales). The
+  /// replica shares no state with the original, so it can run forward or
+  /// backward passes concurrently with it — the building block for sharded
+  /// training and parallel Monte-Carlo trials.
+  Network clone() const;
+
   /// Full forward pass. `training=true` caches activations for backward.
   Tensor forward(const Tensor& x, bool training = false);
 

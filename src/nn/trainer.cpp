@@ -1,5 +1,6 @@
 #include "nn/trainer.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "tensor/activations.hpp"
@@ -7,11 +8,26 @@
 
 namespace lightator::nn {
 
-EpochStats Trainer::fit(Network& net, Dataset& train) {
-  if (!rng_seeded_) {
-    shuffle_rng_ = util::Rng(params_.shuffle_seed);
-    rng_seeded_ = true;
+namespace {
+
+/// The Activation layers of `net`, in layer order (master and replicas align
+/// pairwise because replicas are clones).
+std::vector<Activation*> activation_layers(Network& net) {
+  std::vector<Activation*> out;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    if (auto* a = dynamic_cast<Activation*>(&net.layer(i))) out.push_back(a);
   }
+  return out;
+}
+
+void copy_params(const std::vector<tensor::Tensor*>& src,
+                 const std::vector<tensor::Tensor*>& dst) {
+  for (std::size_t i = 0; i < src.size(); ++i) *dst[i] = *src[i];
+}
+
+}  // namespace
+
+EpochStats Trainer::fit(Network& net, Dataset& train) {
   EpochStats stats;
   for (std::size_t e = 0; e < params_.epochs; ++e) {
     stats = train_epoch(net, train);
@@ -25,6 +41,10 @@ EpochStats Trainer::fit(Network& net, Dataset& train) {
 }
 
 EpochStats Trainer::train_epoch(Network& net, Dataset& train) {
+  const std::size_t shards =
+      std::min(std::max<std::size_t>(params_.grad_shards, 1),
+               params_.batch_size);
+  if (shards > 1) return train_epoch_sharded(net, train, shards);
   train.shuffle(shuffle_rng_);
   const std::size_t n = train.size();
   double loss_sum = 0.0;
@@ -44,6 +64,102 @@ EpochStats Trainer::train_epoch(Network& net, Dataset& train) {
     seen += params_.batch_size;
     net.backward(dlogits);
     sgd_.step(net.params(), net.grads());
+  }
+  EpochStats stats;
+  if (seen > 0) {
+    stats.loss = loss_sum / static_cast<double>(seen);
+    stats.accuracy = static_cast<double>(correct) / static_cast<double>(seen);
+  }
+  return stats;
+}
+
+EpochStats Trainer::train_epoch_sharded(Network& net, Dataset& train,
+                                        std::size_t shards) {
+  train.shuffle(shuffle_rng_);
+  // Fresh replicas every epoch: cheap relative to an epoch of work, and it
+  // picks up structural reconfiguration (e.g. enable_qat between fits).
+  replicas_.clear();
+  replicas_.reserve(shards - 1);
+  for (std::size_t s = 1; s < shards; ++s) replicas_.push_back(net.clone());
+
+  std::vector<Network*> nets(shards, &net);
+  for (std::size_t s = 1; s < shards; ++s) nets[s] = &replicas_[s - 1];
+
+  const auto master_params = net.params();
+  const auto master_grads = net.grads();
+  std::vector<std::vector<tensor::Tensor*>> replica_params, replica_grads;
+  for (auto& r : replicas_) {
+    replica_params.push_back(r.params());
+    replica_grads.push_back(r.grads());
+  }
+  std::vector<std::vector<Activation*>> acts;
+  for (Network* nn_ptr : nets) acts.push_back(activation_layers(*nn_ptr));
+
+  // Contiguous shard boundaries: the first `rem` shards take one extra row.
+  const std::size_t batch = params_.batch_size;
+  const std::size_t base = batch / shards, rem = batch % shards;
+  std::vector<std::size_t> shard_start(shards), shard_count(shards);
+  for (std::size_t s = 0, off = 0; s < shards; ++s) {
+    shard_count[s] = base + (s < rem ? 1 : 0);
+    shard_start[s] = off;
+    off += shard_count[s];
+  }
+
+  const std::size_t n = train.size();
+  double loss_sum = 0.0;
+  std::size_t correct = 0, seen = 0;
+  std::vector<double> shard_loss(shards);
+  std::vector<std::size_t> shard_correct(shards);
+  for (std::size_t begin = 0; begin + batch <= n; begin += batch) {
+    // Replicas re-sync from the master each batch (the optimizer stepped it).
+    for (std::size_t s = 1; s < shards; ++s) {
+      copy_params(master_params, replica_params[s - 1]);
+      for (std::size_t a = 0; a < acts[0].size(); ++a) {
+        acts[s][a]->set_act_scale(acts[0][a]->act_scale());
+      }
+    }
+    util::parallel_for(params_.pool, 0, shards, [&](std::size_t s) {
+      Network& shard_net = *nets[s];
+      const auto x = train.batch_images(begin + shard_start[s], shard_count[s]);
+      const auto y = train.batch_labels(begin + shard_start[s], shard_count[s]);
+      const auto logits = shard_net.forward(x, /*training=*/true);
+      tensor::Tensor dlogits;
+      shard_loss[s] = tensor::softmax_cross_entropy(logits, y, &dlogits);
+      const auto preds = tensor::predict(logits);
+      std::size_t c = 0;
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == y[i]) ++c;
+      }
+      shard_correct[s] = c;
+      shard_net.backward(dlogits);
+    });
+    // Reduce: full-batch mean gradient = sum_s (n_s / B) * shard-mean grad,
+    // accumulated in shard-index order so the float summation order is fixed
+    // by the shard count, never by the thread schedule.
+    for (std::size_t p = 0; p < master_grads.size(); ++p) {
+      tensor::Tensor& g = *master_grads[p];
+      g.scale(static_cast<float>(shard_count[0]) / static_cast<float>(batch));
+      for (std::size_t s = 1; s < shards; ++s) {
+        g.add_scaled(*replica_grads[s - 1][p],
+                     static_cast<float>(shard_count[s]) /
+                         static_cast<float>(batch));
+      }
+    }
+    sgd_.step(net.params(), master_grads);
+    // Running-max activation scales: the max over shard maxima equals the
+    // full-batch max, so the QAT calibration is shard-count invariant.
+    for (std::size_t a = 0; a < acts[0].size(); ++a) {
+      double m = acts[0][a]->act_scale();
+      for (std::size_t s = 1; s < shards; ++s) {
+        m = std::max(m, acts[s][a]->act_scale());
+      }
+      acts[0][a]->set_act_scale(m);
+    }
+    for (std::size_t s = 0; s < shards; ++s) {
+      loss_sum += shard_loss[s] * static_cast<double>(shard_count[s]);
+      correct += shard_correct[s];
+    }
+    seen += batch;
   }
   EpochStats stats;
   if (seen > 0) {

@@ -3,11 +3,19 @@
 // This is the application-level stage of the paper's framework (Fig. 7):
 // train a float model, then fine-tune with QAT (qat.hpp) before mapping the
 // quantized weights onto the optical core.
+//
+// With grad_shards > 1 each mini-batch is split into that many contiguous
+// shards, run data-parallel on cloned network replicas over a thread pool,
+// and the per-shard gradients are reduced into the master in shard-index
+// order. The shard count — not the pool size — fixes the floating-point
+// summation order, so trained parameters are bit-identical for any number of
+// threads (asserted in tests/test_experiment.cpp).
 #pragma once
 
 #include "nn/dataset.hpp"
 #include "nn/network.hpp"
 #include "nn/optimizer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace lightator::nn {
 
@@ -19,6 +27,14 @@ struct TrainParams {
   std::uint64_t shuffle_seed = 7;
   /// Multiply the learning rate by this factor after each epoch.
   double lr_decay = 0.85;
+  /// Data-parallel shards per mini-batch (1 = serial). Determines the
+  /// gradient reduction order, so results depend on this value but never on
+  /// the thread count executing the shards.
+  std::size_t grad_shards = 1;
+  /// Pool the shards run on; nullptr uses ThreadPool::global(). Typically
+  /// injected by core::ExperimentRunner so training shares the experiment's
+  /// pool.
+  util::ThreadPool* pool = nullptr;
 };
 
 struct EpochStats {
@@ -28,7 +44,8 @@ struct EpochStats {
 
 class Trainer {
  public:
-  explicit Trainer(TrainParams params) : params_(params), sgd_(params.sgd) {}
+  explicit Trainer(TrainParams params)
+      : params_(params), sgd_(params.sgd), shuffle_rng_(params.shuffle_seed) {}
 
   /// Trains for params.epochs; returns the last epoch's stats.
   EpochStats fit(Network& net, Dataset& train);
@@ -41,10 +58,15 @@ class Trainer {
                          std::size_t batch_size = 64);
 
  private:
+  EpochStats train_epoch_sharded(Network& net, Dataset& train,
+                                 std::size_t shards);
+
   TrainParams params_;
   Sgd sgd_;
-  util::Rng shuffle_rng_{7};
-  bool rng_seeded_ = false;
+  util::Rng shuffle_rng_;
+  /// Replicas for shards 1..S-1 (shard 0 runs on the master); rebuilt per
+  /// epoch so QAT reconfiguration between epochs is picked up.
+  std::vector<Network> replicas_;
 };
 
 }  // namespace lightator::nn

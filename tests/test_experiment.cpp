@@ -1,0 +1,427 @@
+// ExperimentRunner determinism suite.
+//
+// The contract under test: every parallel construct introduced by the
+// experiment layer — sweep()'s seed-per-item map, the fault Monte-Carlo, the
+// sharded trainer, the multi-frame capture pipeline, and the measured
+// precision search — produces bit-identical results for pool sizes 1, 4, and
+// 8. Parallelism must never change an experiment's numbers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/backends/physical_backend.hpp"
+#include "core/experiment.hpp"
+#include "core/precision_search.hpp"
+#include "nn/models.hpp"
+#include "nn/qat.hpp"
+#include "workloads/scenes.hpp"
+
+namespace lightator::core {
+namespace {
+
+const std::size_t kPoolSizes[] = {1, 4, 8};
+
+/// Tiny labeled dataset on 1x4x4 inputs for the MLP-based tests.
+nn::Dataset make_tiny_dataset(std::size_t samples, std::size_t classes,
+                              std::uint64_t seed) {
+  nn::Dataset data;
+  data.num_classes = classes;
+  data.images = tensor::Tensor({samples, 1, 4, 4});
+  util::Rng rng(seed);
+  data.images.fill_uniform(rng, 0.0f, 1.0f);
+  data.labels.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) data.labels[i] = i % classes;
+  return data;
+}
+
+void expect_bit_exact(const tensor::Tensor& a, const tensor::Tensor& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+TEST(ExperimentRunner, SweepPreservesOrderAndDerivesDistinctSeeds) {
+  ExperimentOptions opts;
+  opts.noise_seed = 99;
+  ExperimentRunner runner(opts);
+  std::vector<int> items(16);
+  std::iota(items.begin(), items.end(), 0);
+  const auto seeds = runner.sweep(
+      items, [](int item, ExecutionContext& ctx) -> std::uint64_t {
+        (void)item;
+        return ctx.noise_seed;
+      });
+  ASSERT_EQ(seeds.size(), items.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_NE(seeds[i], 0u) << "item " << i;
+    for (std::size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]) << i << " vs " << j;
+    }
+  }
+  // Successive sweeps draw fresh streams.
+  const auto seeds2 = runner.sweep(
+      items, [](int, ExecutionContext& ctx) { return ctx.noise_seed; });
+  EXPECT_NE(seeds[0], seeds2[0]);
+}
+
+TEST(ExperimentRunner, SweepNoiselessBaseStaysNoiseless) {
+  ExperimentRunner runner;  // noise_seed = 0
+  const std::vector<int> items = {1, 2, 3};
+  const auto seeds = runner.sweep(
+      items, [](int, ExecutionContext& ctx) { return ctx.noise_seed; });
+  for (auto s : seeds) EXPECT_EQ(s, 0u);
+}
+
+TEST(ExperimentRunner, SweepDeterministicAcrossPoolSizes) {
+  // Each item runs a noisy physical-backend conv; the per-item seed stream
+  // must make the outputs a pure function of (base seed, item index).
+  const OpticalCore oc(ArchConfig::defaults());
+  const tensor::ConvSpec spec{1, 2, 3, 1, 0};
+  util::Rng rng(12);
+  tensor::Tensor x({2, 1, 5, 5});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w({2, 1, 3, 3});
+  w.fill_normal(rng, 0.4f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  std::vector<int> items(6);
+  std::iota(items.begin(), items.end(), 0);
+
+  std::vector<std::vector<tensor::Tensor>> per_pool;
+  for (const std::size_t threads : kPoolSizes) {
+    ExperimentOptions opts;
+    opts.backend = "physical";
+    opts.threads = threads;
+    opts.noise_seed = 1234;
+    ExperimentRunner runner(opts);
+    per_pool.push_back(runner.sweep(
+        items, [&](int, ExecutionContext& ctx) {
+          return oc.backend("physical").conv2d(xq, wq, tensor::Tensor(), spec,
+                                               ctx);
+        }));
+  }
+  for (std::size_t p = 1; p < per_pool.size(); ++p) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      expect_bit_exact(per_pool[0][i], per_pool[p][i],
+                       "pool" + std::to_string(kPoolSizes[p]) + "_item" +
+                           std::to_string(i));
+    }
+  }
+  // Items drew different noise from the same base seed.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < per_pool[0][0].size() && !any_diff; ++i) {
+    any_diff = per_pool[0][0][i] != per_pool[0][1][i];
+  }
+  EXPECT_TRUE(any_diff) << "sweep items reused one noise stream";
+}
+
+TEST(ExperimentRunner, SweepMergesStatsInIndexOrder) {
+  ExperimentOptions opts;
+  opts.collect_stats = true;
+  ExperimentRunner runner(opts);
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(5);
+  const nn::Network net = nn::build_mlp(rng, 16, 8, 3);
+  const auto data = make_tiny_dataset(8, 3, 21);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  const std::vector<int> items = {0, 1, 2};
+  runner.sweep(items, [&](int, ExecutionContext& ctx) {
+    nn::Network replica = net.clone();
+    return sys.evaluate_on_oc(replica, data, schedule, ctx, /*batch=*/4);
+  });
+  // MLP: 2 weighted layers; all items accumulate into the same two entries.
+  ASSERT_EQ(runner.context().stats.size(), 2u);
+  for (const auto& s : runner.context().stats) {
+    EXPECT_EQ(s.frames, items.size() * data.size());
+    EXPECT_GT(s.modeled_latency, 0.0);
+  }
+}
+
+TEST(ExperimentRunner, MonteCarloDeterministicAcrossPoolSizes) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(31);
+  const nn::Network net = nn::build_mlp(rng, 16, 10, 4);
+  const auto data = make_tiny_dataset(16, 4, 77);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  MonteCarloOptions mco;
+  mco.trials = 6;
+  mco.faults.stuck_cell_rate = 0.05;
+  mco.faults.dead_channel_rate = 0.02;
+  mco.faults.ring_drift_sigma = 0.05;
+  mco.base_seed = 9;
+  mco.batch_size = 8;
+
+  std::vector<MonteCarloResult> results;
+  for (const std::size_t threads : kPoolSizes) {
+    ExperimentOptions opts;
+    opts.backend = "physical";
+    opts.threads = threads;
+    opts.noise_seed = 55;
+    ExperimentRunner runner(opts);
+    results.push_back(runner.monte_carlo(sys, net, data, schedule, mco));
+  }
+  for (std::size_t p = 1; p < results.size(); ++p) {
+    ASSERT_EQ(results[p].accuracy.size(), mco.trials);
+    for (std::size_t t = 0; t < mco.trials; ++t) {
+      EXPECT_EQ(results[0].accuracy[t], results[p].accuracy[t])
+          << "pool " << kPoolSizes[p] << " trial " << t;
+    }
+    EXPECT_EQ(results[0].mean, results[p].mean);
+    EXPECT_EQ(results[0].stddev, results[p].stddev);
+  }
+  EXPECT_GE(results[0].mean, 0.0);
+  EXPECT_LE(results[0].mean, 1.0);
+  EXPECT_LE(results[0].quantile(0.1), results[0].quantile(0.9) + 1e-12);
+}
+
+TEST(ExperimentRunner, MonteCarloTrialsDrawIndependentFaults) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(32);
+  const nn::Network net = nn::build_mlp(rng, 16, 10, 2);
+  const auto data = make_tiny_dataset(24, 2, 13);
+  MonteCarloOptions mco;
+  mco.trials = 8;
+  mco.faults.stuck_cell_rate = 0.3;  // violent faults: accuracies spread
+  mco.base_seed = 3;
+  ExperimentRunner runner;  // gemm
+  const auto result = runner.monte_carlo(
+      sys, net, data, nn::PrecisionSchedule::uniform(4), mco);
+  bool any_diff = false;
+  for (std::size_t t = 1; t < result.accuracy.size() && !any_diff; ++t) {
+    any_diff = result.accuracy[t] != result.accuracy[0];
+  }
+  EXPECT_TRUE(any_diff) << "every trial saw the identical fault pattern";
+}
+
+TEST(NetworkClone, IndependentParametersAndForward) {
+  util::Rng rng(41);
+  nn::Network net = nn::build_mlp(rng, 16, 8, 3);
+  nn::Network copy = net.clone();
+  tensor::Tensor x({2, 1, 4, 4});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  expect_bit_exact(net.forward(x), copy.forward(x), "clone_forward");
+  // Mutating the master must not touch the clone.
+  (*net.params()[0])[0] += 1.0f;
+  EXPECT_NE((*net.params()[0])[0], (*copy.params()[0])[0]);
+}
+
+TEST(Trainer, ShardedEpochInvariantAcrossPoolSizes) {
+  std::vector<std::vector<float>> final_params;
+  for (const std::size_t threads : kPoolSizes) {
+    util::Rng rng(7);
+    nn::Network net = nn::build_mlp(rng, 16, 12, 4);
+    nn::Dataset train = make_tiny_dataset(48, 4, 3);
+    util::ThreadPool pool(threads);
+    nn::TrainParams tp;
+    tp.batch_size = 12;
+    tp.epochs = 2;
+    tp.grad_shards = 4;
+    tp.pool = &pool;
+    tp.shuffle_seed = 11;
+    nn::Trainer(tp).fit(net, train);
+    std::vector<float> flat;
+    for (tensor::Tensor* p : net.params()) {
+      flat.insert(flat.end(), p->data(), p->data() + p->size());
+    }
+    final_params.push_back(std::move(flat));
+  }
+  for (std::size_t p = 1; p < final_params.size(); ++p) {
+    ASSERT_EQ(final_params[0].size(), final_params[p].size());
+    for (std::size_t i = 0; i < final_params[0].size(); ++i) {
+      ASSERT_EQ(final_params[0][i], final_params[p][i])
+          << "pool " << kPoolSizes[p] << " param " << i;
+    }
+  }
+}
+
+TEST(Trainer, ShardedQatEpochInvariantAcrossPoolSizes) {
+  // The QAT running-max activation scales reduce across shards; parameters
+  // must still be bit-identical for any pool size.
+  std::vector<float> reference;
+  for (const std::size_t threads : kPoolSizes) {
+    util::Rng rng(17);
+    nn::Network net = nn::build_mlp(rng, 16, 12, 4);
+    nn::enable_qat(net, nn::PrecisionSchedule::uniform(3));
+    nn::Dataset train = make_tiny_dataset(32, 4, 5);
+    util::ThreadPool pool(threads);
+    nn::TrainParams tp;
+    tp.batch_size = 16;
+    tp.epochs = 1;
+    tp.grad_shards = 2;
+    tp.pool = &pool;
+    nn::Trainer(tp).fit(net, train);
+    std::vector<float> flat;
+    for (tensor::Tensor* p : net.params()) {
+      flat.insert(flat.end(), p->data(), p->data() + p->size());
+    }
+    if (reference.empty()) {
+      reference = std::move(flat);
+    } else {
+      ASSERT_EQ(reference.size(), flat.size());
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        ASSERT_EQ(reference[i], flat[i])
+            << "pool " << threads << " param " << i;
+      }
+    }
+  }
+}
+
+TEST(Trainer, HonorsShuffleSeedOnFirstUse) {
+  auto run = [](std::uint64_t seed) {
+    util::Rng rng(9);
+    nn::Network net = nn::build_mlp(rng, 16, 8, 4);
+    nn::Dataset train = make_tiny_dataset(64, 4, 8);
+    nn::TrainParams tp;
+    tp.batch_size = 8;
+    tp.shuffle_seed = seed;
+    nn::Trainer trainer(tp);
+    // train_epoch directly: the seed must apply without a fit() warm-up.
+    trainer.train_epoch(net, train);
+    return (*net.params()[0])[0];
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(123));
+}
+
+TEST(CaptureAndInfer, BatchedMatchesSerialAndThreadInvariant) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(61);
+  nn::Network net = nn::build_lenet(rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  // 56x56 scenes + CA (gray, 2x2 pool) -> 28x28x1: LeNet geometry.
+  std::vector<sensor::Image> scenes;
+  for (int i = 0; i < 3; ++i) {
+    scenes.push_back(workloads::make_blob_scene(56, 56, rng));
+  }
+  CaptureOptions capture;
+  capture.ca = CaOptions{2, true, 4};
+  capture.sensor_noise_seed = 44;
+
+  std::vector<tensor::Tensor> logits;
+  for (const std::size_t threads : kPoolSizes) {
+    util::ThreadPool pool(threads);
+    ExecutionContext ctx;
+    ctx.pool = &pool;
+    logits.push_back(sys.capture_and_infer(net, scenes, schedule, ctx,
+                                           capture));
+  }
+  ASSERT_EQ(logits[0].dim(0), scenes.size());
+  for (std::size_t p = 1; p < logits.size(); ++p) {
+    expect_bit_exact(logits[0], logits[p],
+                     "capture_pool" + std::to_string(kPoolSizes[p]));
+  }
+  // The batched pipeline must agree bit-for-bit with acquiring each frame
+  // serially (same per-frame seeds), stacking by hand, and running one
+  // batched OC forward.
+  tensor::Tensor manual;
+  for (std::size_t i = 0; i < scenes.size(); ++i) {
+    util::Rng noise(mix_seed(capture.sensor_noise_seed, 0, i));
+    const auto frame = sys.acquire(scenes[i], capture.ca, &noise);
+    if (manual.empty()) {
+      manual = tensor::Tensor(
+          {scenes.size(), frame.dim(1), frame.dim(2), frame.dim(3)});
+    }
+    std::copy(frame.data(), frame.data() + frame.size(),
+              manual.data() + i * frame.size());
+  }
+  ExecutionContext ctx;
+  const auto expected = sys.run_network_on_oc(net, manual, schedule, ctx);
+  expect_bit_exact(expected, logits[0], "capture_vs_manual_stack");
+}
+
+TEST(Faults, RingDriftDeterministicAndClamped) {
+  util::Rng rng(71);
+  tensor::Tensor w({4, 4});
+  w.fill_normal(rng, 0.5f);
+  auto wq = tensor::quantize_symmetric(w, 3);
+  auto drifted = wq;
+  FaultSpec spec;
+  spec.ring_drift_sigma = 0.2;
+  EXPECT_TRUE(spec.any());
+  util::Rng frng1(5), frng2(5);
+  const auto hits = apply_weight_faults(drifted, spec, frng1);
+  EXPECT_GT(hits, 0u);
+  const int m = wq.max_level();
+  bool any_change = false;
+  for (std::size_t i = 0; i < drifted.levels.size(); ++i) {
+    EXPECT_LE(std::abs(drifted.levels[i]), m);
+    any_change = any_change || drifted.levels[i] != wq.levels[i];
+  }
+  EXPECT_TRUE(any_change);
+  auto drifted2 = wq;
+  apply_weight_faults(drifted2, spec, frng2);
+  for (std::size_t i = 0; i < drifted.levels.size(); ++i) {
+    EXPECT_EQ(drifted.levels[i], drifted2.levels[i]) << "index " << i;
+  }
+}
+
+TEST(PhysicalBackend, ArmCacheReusedAcrossCalls) {
+  const OpticalCore oc(ArchConfig::defaults());
+  const auto* physical =
+      dynamic_cast<const PhysicalBackend*>(&oc.backend("physical"));
+  ASSERT_NE(physical, nullptr);
+  EXPECT_EQ(physical->cached_arm_count(), 0u);
+  util::Rng rng(81);
+  tensor::Tensor x({2, 1, 4, 4});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  tensor::Tensor w({1, 1, 3, 3});
+  w.fill_normal(rng, 0.4f);
+  const auto xq = tensor::quantize_unsigned(x, 4);
+  const auto wq = tensor::quantize_symmetric(w, 4);
+  ExecutionContext ctx;
+  const tensor::ConvSpec spec{1, 1, 3, 1, 0};
+  const auto y1 = physical->conv2d(xq, wq, tensor::Tensor(), spec, ctx);
+  const std::size_t cached_after_first = physical->cached_arm_count();
+  EXPECT_GT(cached_after_first, 0u);
+  // A second identical call re-uses the parked arms instead of growing the
+  // cache, and produces the identical (noiseless) result.
+  const auto y2 = physical->conv2d(xq, wq, tensor::Tensor(), spec, ctx);
+  EXPECT_EQ(physical->cached_arm_count(), cached_after_first);
+  expect_bit_exact(y1, y2, "arm_cache_reuse");
+}
+
+TEST(PrecisionSearch, MeasuredDefaultRunsThroughContextAndIsPoolInvariant) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(91);
+  nn::Network net = nn::build_lenet(rng);
+  const nn::ModelDesc model = nn::lenet_desc();
+  const auto data = [] {
+    nn::Dataset d;
+    d.num_classes = 10;
+    d.images = tensor::Tensor({12, 1, 28, 28});
+    util::Rng r(14);
+    d.images.fill_uniform(r, 0.0f, 1.0f);
+    d.labels.resize(12);
+    for (std::size_t i = 0; i < 12; ++i) d.labels[i] = i % 10;
+    return d;
+  }();
+
+  PrecisionSearchOptions opts;
+  opts.power_budget =
+      sys.analyze(model, nn::PrecisionSchedule::uniform(4)).max_power * 0.7;
+  opts.max_accuracy_drop = 1.0;  // accuracy unconstrained: must hit budget
+
+  std::vector<PrecisionAssignment> assignments;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    PrecisionSearch search(sys, model);
+    search.bind_validation(net, data, /*act_bits=*/4, /*batch_size=*/6);
+    ExperimentOptions eo;
+    eo.threads = threads;
+    ExperimentRunner runner(eo);
+    assignments.push_back(search.search(opts, runner.context()));
+  }
+  EXPECT_EQ(assignments[0].weight_bits, assignments[1].weight_bits);
+  EXPECT_EQ(assignments[0].estimated_drop, assignments[1].estimated_drop);
+  EXPECT_LE(assignments[0].max_power, opts.power_budget * 1.001);
+  // The measured evaluator (not the analytic proxy) produced the drop:
+  // accuracy on 12 random images is a multiple of 1/12.
+  const double drop = assignments[0].estimated_drop;
+  const double scaled = drop * 12.0;
+  EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+}
+
+}  // namespace
+}  // namespace lightator::core
