@@ -70,11 +70,14 @@ int main(int argc, char** argv) {
   const core::OpticalCore oc(arch);
 
   // VGG9-scale conv layers (CIFAR geometry): the acceptance workload is the
-  // 128->128 3x3 mid-network layer; the others bracket it.
+  // 128->128 3x3 mid-network layer; the others bracket it. The hires case
+  // has a 36864-pixel output panel — wide enough to engage the GEMM's
+  // n-blocking, so it tracks the L2 blocking of huge feature maps.
   const std::vector<LayerCase> cases = {
       {"vgg9_L1_3x64_32x32", {3, 64, 3, 1, 1}, 32, 32},
       {"vgg9_L4_128x128_16x16", {128, 128, 3, 1, 1}, 16, 16},
       {"vgg9_L6_256x256_8x8", {256, 256, 3, 1, 1}, 8, 8},
+      {"hires_16x16_192x192", {16, 16, 3, 1, 1}, 192, 192},
   };
 
   std::ostringstream json;

@@ -1,0 +1,154 @@
+// Serving-layer throughput: batched dynamic-batching server vs serial
+// submission, with JSON output for the CI perf gate.
+//
+// Drives the same seeded closed-loop request stream two ways:
+//   * serial — one request at a time through run_network_on_oc (batch 1, no
+//     weight-programming reuse): the pre-serving baseline every entry point
+//     used to hand-roll;
+//   * batched — through an InferenceServer (N replicas, geometry-bucketed
+//     micro-batching, per-replica weight cache) via serve::LoadGen.
+// Verifies per-request bit-exactness between the two paths (the serving
+// determinism contract), then prints a JSON record:
+//   { "bench": "serve_throughput", "serial_rps": ..., "batched_rps": ...,
+//     "batched_over_serial": ..., "bit_exact": ..., "stats": {...} }
+// Overrides (key=value): requests=256 concurrency=16 replicas=2 max_batch=16
+//   max_wait_us=500 threads=1 inputs=8 seed=1 out=path.json
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "nn/models.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+using namespace lightator;
+
+int main(int argc, char** argv) {
+  const util::Config cfg = bench::parse_args(argc, argv);
+  const std::size_t requests =
+      static_cast<std::size_t>(cfg.get_int("requests", 256));
+  const std::size_t concurrency =
+      static_cast<std::size_t>(cfg.get_int("concurrency", 16));
+  const std::size_t replicas =
+      static_cast<std::size_t>(cfg.get_int("replicas", 2));
+  const std::size_t max_batch =
+      static_cast<std::size_t>(cfg.get_int("max_batch", 16));
+  const double max_wait_us = cfg.get_double("max_wait_us", 500.0);
+  const std::size_t threads =
+      static_cast<std::size_t>(cfg.get_int("threads", 1));
+  const std::size_t num_inputs =
+      static_cast<std::size_t>(cfg.get_int("inputs", 8));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+  const std::string out_path = cfg.get_string("out", "");
+
+  bench::print_header("serve_throughput",
+                      "dynamic-batching inference server vs serial submission");
+
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(21);
+  nn::Network net = nn::build_lenet(rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+
+  // A pool of distinct LeNet-geometry frames the load generator samples from.
+  std::vector<tensor::Tensor> inputs;
+  for (std::size_t i = 0; i < num_inputs; ++i) {
+    tensor::Tensor x({1, 1, 28, 28});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    inputs.push_back(std::move(x));
+  }
+
+  // The exact request sequence the load generator will submit.
+  serve::LoadGenOptions lg;
+  lg.requests = requests;
+  lg.concurrency = concurrency;
+  lg.seed = seed;
+
+  // --- serial baseline: one request at a time, batch of 1 -------------------
+  std::vector<std::size_t> serial_index(requests);
+  {
+    util::Rng pick(seed);
+    for (std::size_t i = 0; i < requests; ++i) {
+      serial_index[i] = pick.uniform_index(inputs.size());
+    }
+  }
+  util::ThreadPool serial_pool(1);
+  core::ExecutionContext serial_ctx;
+  serial_ctx.pool = &serial_pool;
+  std::vector<tensor::Tensor> serial_out(requests);
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < requests; ++i) {
+    serial_out[i] = sys.run_network_on_oc(net, inputs[serial_index[i]],
+                                          schedule, serial_ctx);
+  }
+  const double serial_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    serial_start)
+          .count();
+  const double serial_rps =
+      serial_s > 0.0 ? static_cast<double>(requests) / serial_s : 0.0;
+
+  // --- batched: the inference server --------------------------------------
+  serve::ServerOptions so;
+  so.backend = "gemm";
+  so.replicas = replicas;
+  so.queue_capacity = std::max<std::size_t>(2 * concurrency, 16);
+  so.batch.max_batch = max_batch;
+  so.batch.max_wait_us = max_wait_us;
+  so.threads_per_replica = threads;
+  serve::InferenceServer server(sys, net, schedule, so);
+  const serve::LoadGenReport load = serve::run_closed_loop(server, inputs, lg);
+  const serve::ServerStats stats = server.stats();
+  server.shutdown();
+
+  // --- bit-exactness: the serving determinism contract ---------------------
+  bool exact = true;
+  for (std::size_t i = 0; exact && i < requests; ++i) {
+    exact = load.input_index[i] == serial_index[i] &&
+            load.outputs[i].size() == serial_out[i].size();
+    for (std::size_t j = 0; exact && j < serial_out[i].size(); ++j) {
+      exact = load.outputs[i][j] == serial_out[i][j];
+    }
+  }
+
+  const double ratio =
+      serial_rps > 0.0 ? load.requests_per_second / serial_rps : 0.0;
+  std::printf("serial   %8.1f req/s  (%zu requests, batch 1)\n", serial_rps,
+              requests);
+  std::printf("batched  %8.1f req/s  (%zu replicas, max_batch %zu, "
+              "mean batch %.2f)\n",
+              load.requests_per_second, server.replica_count(), max_batch,
+              stats.mean_batch_size());
+  std::printf("speedup  %8.2fx        bit-exact %s\n\n", ratio,
+              exact ? "yes" : "NO");
+  std::printf("%s\n", stats.to_text().c_str());
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"serve_throughput\",\n"
+       << "  \"requests\": " << requests << ",\n"
+       << "  \"replicas\": " << server.replica_count() << ",\n"
+       << "  \"concurrency\": " << concurrency << ",\n"
+       << "  \"max_batch\": " << max_batch << ",\n"
+       << "  \"max_wait_us\": " << max_wait_us << ",\n"
+       << "  \"serial_rps\": " << serial_rps << ",\n"
+       << "  \"batched_rps\": " << load.requests_per_second << ",\n"
+       << "  \"batched_over_serial\": " << ratio << ",\n"
+       << "  \"reject_retries\": " << load.reject_retries << ",\n"
+       << "  \"bit_exact\": " << (exact ? "true" : "false") << ",\n"
+       << "  \"stats\": " << stats.to_json("    ") << "\n}\n";
+
+  std::printf("%s", json.str().c_str());
+  if (!out_path.empty()) {
+    std::ofstream f(out_path);
+    f << json.str();
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return exact ? 0 : 1;
+}

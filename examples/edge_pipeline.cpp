@@ -3,19 +3,22 @@
 // Acquisitor fuses RGB->grayscale with 2x2 average pooling in one optical
 // pass, and the result is handed to the DMVA as the next layer's input.
 // Dumps PNM images of each stage and prints the acquisition energy budget.
-// Finishes with the multi-frame pipeline mode: a burst of scenes acquired in
-// parallel on the ExperimentRunner's pool and inferred in one batched OC
-// forward, with the per-layer modeled-vs-measured report.
+// Finishes with the serving mode: a burst of scenes acquired with seeded
+// sensor noise and submitted through the InferenceServer, whose dynamic
+// batcher coalesces them into batched OC forwards — with the serving report
+// (throughput, batch histogram, latency percentiles).
 //
 //   ./examples/edge_pipeline [out_dir=.]
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "core/compressive_acquisitor.hpp"
 #include "core/experiment.hpp"
 #include "core/lightator.hpp"
 #include "nn/models.hpp"
 #include "sensor/pixel_array.hpp"
+#include "serve/server.hpp"
 #include "tensor/activations.hpp"
 #include "util/config.hpp"
 #include "util/table.hpp"
@@ -85,33 +88,43 @@ int main(int argc, char** argv) {
   std::printf("\nwrote %s/scene.ppm, %s/bayer_codes.pgm, %s/compressed.pgm\n",
               out_dir.c_str(), out_dir.c_str(), out_dir.c_str());
 
-  std::printf("\n5) multi-frame pipeline mode: a burst of 56x56 scenes -> "
-              "CA(gray, 2x2) -> 28x28\n   LeNet inputs, captured in parallel "
-              "and inferred in one batched OC forward...\n");
+  std::printf("\n5) serving mode: a burst of 56x56 scenes -> CA(gray, 2x2) -> "
+              "28x28 LeNet inputs,\n   submitted through the InferenceServer "
+              "and coalesced by its dynamic batcher...\n");
   {
-    core::ExperimentOptions eo;
-    eo.collect_stats = true;
-    core::ExperimentRunner runner(eo);
     const core::LightatorSystem sys(arch);
     util::Rng wrng(21);
     nn::Network net = nn::build_lenet(wrng);  // untrained: pipeline demo
 
-    std::vector<sensor::Image> burst;
+    serve::ServerOptions so;
+    so.replicas = 2;
+    so.batch.max_batch = 8;
+    so.batch.max_wait_us = 2000.0;
+    serve::InferenceServer server(sys, net, nn::PrecisionSchedule::uniform(4),
+                                  so);
+
+    // Acquire the burst with per-frame seeded sensor noise, then submit each
+    // frame as its own request — the batcher reassembles the batch.
+    const std::optional<core::CaOptions> ca = core::CaOptions{2, true, 4};
+    const std::uint64_t sensor_seed = 99;
+    std::vector<serve::SubmitTicket> tickets;
     for (int i = 0; i < 6; ++i) {
-      burst.push_back(workloads::make_blob_scene(56, 56, rng));
+      const sensor::Image scene = workloads::make_blob_scene(56, 56, rng);
+      util::Rng noise(core::mix_seed(sensor_seed, /*stream=*/0,
+                                     static_cast<std::size_t>(i)));
+      tickets.push_back(server.submit(sys.acquire(scene, ca, &noise)));
     }
-    core::CaptureOptions capture;
-    capture.ca = core::CaOptions{2, true, 4};
-    capture.sensor_noise_seed = 99;  // per-frame seeded shot/read noise
-    const auto logits = sys.capture_and_infer(
-        net, burst, nn::PrecisionSchedule::uniform(4), runner.context(),
-        capture);
-    const auto preds = tensor::predict(logits);
-    std::printf("   %zu frames on %zu threads -> class predictions:",
-                burst.size(), runner.pool().size());
-    for (std::size_t p : preds) std::printf(" %zu", p);
-    std::printf("\n   per-layer modeled vs measured:\n%s",
-                core::format_stats_report(runner.context().stats).c_str());
+    std::printf("   %zu frames through %zu replicas -> class predictions:",
+                tickets.size(), server.replica_count());
+    for (auto& ticket : tickets) {
+      if (ticket.status != serve::SubmitStatus::kAccepted) {
+        std::printf(" (rejected)");
+        continue;
+      }
+      const auto result = ticket.result.get();
+      std::printf(" %zu", tensor::predict(result.output)[0]);
+    }
+    std::printf("\n   serving report:\n%s", server.stats().to_text().c_str());
   }
   return 0;
 }

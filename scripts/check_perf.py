@@ -1,11 +1,20 @@
 #!/usr/bin/env python3
-"""Diff a backend_compare JSON snapshot against the committed baseline.
+"""Diff a perf snapshot (backend_compare or serve_throughput) against the
+committed baseline.
 
-The gemm backend's value is its speedup over the reference backend measured
-in the same process on the same machine, so the speedup ratio — not absolute
-milliseconds — is what transfers across CI runners. A layer regresses when
-its current speedup falls more than --tolerance (default 25%) below the
-baseline's, or when the backends stop being bit-exact.
+backend_compare: the gemm backend's value is its speedup over the reference
+backend measured in the same process on the same machine, so the speedup
+ratio — not absolute milliseconds — is what transfers across CI runners. A
+layer regresses when its current speedup falls more than --tolerance
+(default 25%) below the baseline's, or when the backends stop being
+bit-exact.
+
+serve_throughput: the serving layer's value is its throughput over serial
+one-request-at-a-time submission in the same process — again a
+machine-independent ratio. The gate fails when batched_over_serial falls
+below the baseline's "serve.min_batched_over_serial" floor (default 1.0:
+batching must never lose to serial), or when the server's per-request
+outputs stop being bit-exact with the serial baseline.
 
 Usage: check_perf.py current.json [baseline.json] [--tolerance 0.25]
 Exit status: 0 ok, 1 regression / bit-exactness failure, 2 usage error.
@@ -19,12 +28,71 @@ DEFAULT_BASELINE = Path(__file__).resolve().parent / "perf_baseline.json"
 DEFAULT_TOLERANCE = 0.25
 
 
-def load_layers(path):
+def load_json(path):
     with open(path) as f:
-        data = json.load(f)
-    if data.get("bench") != "backend_compare":
-        sys.exit(f"error: {path} is not a backend_compare snapshot")
-    return {layer["name"]: layer for layer in data["layers"]}
+        return json.load(f)
+
+
+def check_backend_compare(current, baseline, tolerance):
+    current_layers = {layer["name"]: layer for layer in current["layers"]}
+    baseline_layers = {layer["name"]: layer for layer in baseline["layers"]}
+    failed = False
+    for name, base in sorted(baseline_layers.items()):
+        layer = current_layers.get(name)
+        if layer is None:
+            print(f"FAIL  {name}: missing from current snapshot")
+            failed = True
+            continue
+        if not layer.get("bit_exact", False):
+            print(f"FAIL  {name}: gemm no longer bit-exact with reference")
+            failed = True
+            continue
+        floor = base["speedup"] * (1.0 - tolerance)
+        status = "ok  " if layer["speedup"] >= floor else "FAIL"
+        failed = failed or status == "FAIL"
+        print(f"{status}  {name}: speedup {layer['speedup']:.2f}x "
+              f"(baseline {base['speedup']:.2f}x, floor {floor:.2f}x)")
+    for name in sorted(set(current_layers) - set(baseline_layers)):
+        print(f"note  {name}: new layer, no baseline (add it to "
+              f"{DEFAULT_BASELINE.name})")
+    if failed:
+        print(f"\nperf check FAILED (tolerance {tolerance:.0%}); if the "
+              "regression is intended, regenerate the baseline with\n"
+              "  ./build/backend_compare out=scripts/perf_baseline.json\n"
+              "  (then re-add the \"serve\" section)")
+        return 1
+    print(f"\nperf check ok (tolerance {tolerance:.0%})")
+    return 0
+
+
+def check_serve_throughput(current, baseline):
+    serve = baseline.get("serve")
+    if serve is None or "min_batched_over_serial" not in serve:
+        # A regenerated backend_compare snapshot silently drops this section;
+        # refuse to gate against a floorless baseline instead of defaulting.
+        sys.exit("error: baseline has no \"serve\" section — re-add "
+                 "{\"serve\": {\"min_batched_over_serial\": ...}} to it")
+    floor = serve["min_batched_over_serial"]
+    failed = False
+    if not current.get("bit_exact", False):
+        print("FAIL  serve: batched outputs no longer bit-exact with the "
+              "serial baseline")
+        failed = True
+    ratio = current.get("batched_over_serial", 0.0)
+    status = "ok  " if ratio >= floor else "FAIL"
+    failed = failed or status == "FAIL"
+    print(f"{status}  serve: batched {current.get('batched_rps', 0.0):.1f} "
+          f"req/s vs serial {current.get('serial_rps', 0.0):.1f} req/s "
+          f"-> {ratio:.2f}x (floor {floor:.2f}x)")
+    stats = current.get("stats", {})
+    if stats.get("failed", 0):
+        print(f"FAIL  serve: {stats['failed']} requests failed")
+        failed = True
+    if failed:
+        print("\nserve throughput gate FAILED")
+        return 1
+    print("\nserve throughput gate ok")
+    return 0
 
 
 def main(argv):
@@ -45,36 +113,17 @@ def main(argv):
     if not args:
         print(__doc__.strip())
         return 2
-    current = load_layers(args[0])
-    baseline = load_layers(args[1] if len(args) > 1 else DEFAULT_BASELINE)
+    current = load_json(args[0])
+    baseline = load_json(args[1] if len(args) > 1 else DEFAULT_BASELINE)
 
-    failed = False
-    for name, base in sorted(baseline.items()):
-        layer = current.get(name)
-        if layer is None:
-            print(f"FAIL  {name}: missing from current snapshot")
-            failed = True
-            continue
-        if not layer.get("bit_exact", False):
-            print(f"FAIL  {name}: gemm no longer bit-exact with reference")
-            failed = True
-            continue
-        floor = base["speedup"] * (1.0 - tolerance)
-        status = "ok  " if layer["speedup"] >= floor else "FAIL"
-        failed = failed or status == "FAIL"
-        print(f"{status}  {name}: speedup {layer['speedup']:.2f}x "
-              f"(baseline {base['speedup']:.2f}x, floor {floor:.2f}x)")
-    for name in sorted(set(current) - set(baseline)):
-        print(f"note  {name}: new layer, no baseline (add it to "
-              f"{DEFAULT_BASELINE.name})")
-
-    if failed:
-        print(f"\nperf check FAILED (tolerance {tolerance:.0%}); if the "
-              "regression is intended, regenerate the baseline with\n"
-              "  ./build/backend_compare out=scripts/perf_baseline.json")
-        return 1
-    print(f"\nperf check ok (tolerance {tolerance:.0%})")
-    return 0
+    bench = current.get("bench")
+    if bench == "backend_compare":
+        if baseline.get("bench") != "backend_compare":
+            sys.exit("error: baseline is not a backend_compare snapshot")
+        return check_backend_compare(current, baseline, tolerance)
+    if bench == "serve_throughput":
+        return check_serve_throughput(current, baseline)
+    sys.exit(f"error: {args[0]} has unknown bench kind {bench!r}")
 
 
 if __name__ == "__main__":

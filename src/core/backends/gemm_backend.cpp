@@ -18,9 +18,9 @@ tensor::Tensor GemmBackend::conv2d(const tensor::QuantizedTensor& x,
   const std::size_t npix = oh * ow;
   const std::size_t kdim = spec.weights_per_filter();
   tensor::Tensor y({batch, spec.out_channels, oh, ow});
-  const double scale = oc_output_scale(x, w);
   const std::size_t seg = config_.geometry.mrs_per_arm;
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    const double scale = oc_output_scale_for_item(x, w, n);
     std::vector<std::int16_t> cols(kdim * npix);
     std::vector<double> acc(spec.out_channels * npix);
     tensor::im2col_s16(x.levels.data() + n * c_in * h * w_in, h, w_in, spec,
@@ -55,9 +55,9 @@ tensor::Tensor GemmBackend::linear(const tensor::QuantizedTensor& x,
   validate_oc_linear_inputs(x, w);
   const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
   tensor::Tensor y({batch, out_f});
-  const double scale = oc_output_scale(x, w);
   const std::size_t seg = config_.geometry.mrs_per_arm;
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    const double scale = oc_output_scale_for_item(x, w, n);
     const std::int16_t* row = x.levels.data() + n * d;
     for (std::size_t o = 0; o < out_f; ++o) {
       const double acc =

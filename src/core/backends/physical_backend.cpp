@@ -91,11 +91,11 @@ tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
   tensor::Tensor y({batch, spec.out_channels, oh, ow});
   // Arm results are already normalized (acts in [0,1], weights in [-1,1]);
   // only the tensor scales remain.
-  const double norm = x.scale * w.scale;
   const double wmax = static_cast<double>(w.max_level());
   const std::size_t seg = config_.geometry.mrs_per_arm;
   const std::uint64_t stream = ctx.next_noise_stream();
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    const double norm = x.scale_for_item(n) * w.scale;
     auto arm = acquire_arm(w.bits);
     std::unique_ptr<util::Rng> rng;
     if (ctx.noise_seed != 0) {
@@ -163,11 +163,11 @@ tensor::Tensor PhysicalBackend::linear(const tensor::QuantizedTensor& x,
   check_code_range(x, config_);
   const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
   tensor::Tensor y({batch, out_f});
-  const double norm = x.scale * w.scale;
   const double wmax = static_cast<double>(w.max_level());
   const std::size_t seg = config_.geometry.mrs_per_arm;
   const std::uint64_t stream = ctx.next_noise_stream();
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    const double norm = x.scale_for_item(n) * w.scale;
     auto arm = acquire_arm(w.bits);
     std::unique_ptr<util::Rng> rng;
     if (ctx.noise_seed != 0) {

@@ -13,9 +13,9 @@ tensor::Tensor ReferenceBackend::conv2d(const tensor::QuantizedTensor& x,
   const std::size_t k = spec.kernel;
   const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w_in);
   tensor::Tensor y({batch, spec.out_channels, oh, ow});
-  const double scale = oc_output_scale(x, w);
   const std::size_t seg = config_.geometry.mrs_per_arm;
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    const double scale = oc_output_scale_for_item(x, w, n);
     for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
       const std::int16_t* filter = w.levels.data() + oc * c_in * k * k;
       for (std::size_t oy = 0; oy < oh; ++oy) {
@@ -69,9 +69,9 @@ tensor::Tensor ReferenceBackend::linear(const tensor::QuantizedTensor& x,
   validate_oc_linear_inputs(x, w);
   const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
   tensor::Tensor y({batch, out_f});
-  const double scale = oc_output_scale(x, w);
   const std::size_t seg = config_.geometry.mrs_per_arm;
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+    const double scale = oc_output_scale_for_item(x, w, n);
     const std::int16_t* row = x.levels.data() + n * d;
     for (std::size_t o = 0; o < out_f; ++o) {
       const std::int16_t* filter = w.levels.data() + o * d;

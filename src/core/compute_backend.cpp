@@ -133,4 +133,12 @@ double oc_output_scale(const tensor::QuantizedTensor& x,
           static_cast<double>(w.max_level()));
 }
 
+double oc_output_scale_for_item(const tensor::QuantizedTensor& x,
+                                const tensor::QuantizedTensor& w,
+                                std::size_t item) {
+  return x.scale_for_item(item) * w.scale /
+         (static_cast<double>(x.max_level()) *
+          static_cast<double>(w.max_level()));
+}
+
 }  // namespace lightator::core

@@ -34,6 +34,8 @@
 
 namespace lightator::core {
 
+struct OcWeightCache;  // core/lightator.hpp
+
 /// Per-layer execution record accumulated by run_network_on_oc when
 /// ExecutionContext::collect_stats is set: the modeled architecture numbers
 /// next to the simulator's own wall time. One entry per weighted layer;
@@ -65,6 +67,19 @@ struct ExecutionContext {
 
   bool collect_stats = false;
   std::vector<LayerExecStats> stats;
+
+  /// Quantize activations with one scale per batch item instead of one scale
+  /// over the whole batch. Every item's result then equals its batch-of-1
+  /// result bit-for-bit regardless of what it was batched with — the
+  /// invariant the serving layer's dynamic batcher relies on. Off by default:
+  /// the offline experiment paths keep the original per-batch scheme.
+  bool per_item_act_scale = false;
+
+  /// Optional pre-quantized weights keyed by weighted-layer index (see
+  /// core/lightator.hpp). run_network_on_oc then skips per-forward weight
+  /// quantization — the serving layer's weight-programming amortization.
+  /// The cache must match the network/schedule the forward runs.
+  const OcWeightCache* weight_cache = nullptr;
 
   ExecutionContext() = default;
   ExecutionContext(const ExecutionContext&) = delete;
@@ -173,5 +188,12 @@ void validate_oc_linear_inputs(const tensor::QuantizedTensor& x,
 /// count, i.e. x.scale * w.scale / (x.max_level() * w.max_level()).
 double oc_output_scale(const tensor::QuantizedTensor& x,
                        const tensor::QuantizedTensor& w);
+
+/// Per-batch-item variant: honors x.item_scales when present (identical to
+/// oc_output_scale otherwise, including the floating-point evaluation order,
+/// so a per-item batch reproduces each item's batch-of-1 scaling exactly).
+double oc_output_scale_for_item(const tensor::QuantizedTensor& x,
+                                const tensor::QuantizedTensor& w,
+                                std::size_t item);
 
 }  // namespace lightator::core

@@ -10,6 +10,9 @@
 namespace lightator::core {
 
 double MonteCarloResult::quantile(double q) const {
+  if (!sketch.empty()) return sketch.quantile(q);
+  // Hand-filled results (no campaign ran): exact interpolation over the raw
+  // vector — the formula the sketch reproduces while exact.
   if (accuracy.empty()) return 0.0;
   std::vector<double> sorted = accuracy;
   std::sort(sorted.begin(), sorted.end());
@@ -51,26 +54,43 @@ MonteCarloResult ExperimentRunner::monte_carlo(
   if (options.trials == 0) {
     throw std::invalid_argument("monte_carlo: trials must be >= 1");
   }
-  std::vector<std::size_t> trials(options.trials);
-  std::iota(trials.begin(), trials.end(), std::size_t{0});
   MonteCarloResult result;
-  result.accuracy =
-      sweep(trials, [&](std::size_t trial, ExecutionContext& item_ctx) {
-        item_ctx.faults = options.faults;
-        // Distinct fault realization per trial, reproducible from base_seed.
-        item_ctx.faults.seed =
-            mix_seed(options.base_seed, /*stream=*/0x0fa17ull, trial);
-        // Layers cache forward state, so each trial gets its own replica.
-        nn::Network replica = net.clone();
-        return system.evaluate_on_oc(replica, data, schedule, item_ctx,
-                                     options.batch_size, options.max_samples);
-      });
-  const double n = static_cast<double>(result.accuracy.size());
-  for (double a : result.accuracy) result.mean += a;
-  result.mean /= n;
-  double var = 0.0;
-  for (double a : result.accuracy) var += (a - result.mean) * (a - result.mean);
-  result.stddev = n > 1 ? std::sqrt(var / (n - 1)) : 0.0;
+  result.sketch = util::StreamingQuantiles(options.sketch_capacity);
+  if (!options.stream) result.accuracy.reserve(options.trials);
+  // Trials run in fixed-size chunks — one sweep per chunk, sketch fed in
+  // trial order after each — so a streamed campaign's peak memory is one
+  // chunk, not the whole campaign. The chunking is a pure function of the
+  // options (never of the pool size or the stream flag), so results stay
+  // thread-count invariant and streamed == retained bit-for-bit.
+  const std::size_t chunk_size = std::max<std::size_t>(
+      std::max<std::size_t>(options.sketch_capacity, 64), 1);
+  for (std::size_t begin = 0; begin < options.trials; begin += chunk_size) {
+    const std::size_t count = std::min(chunk_size, options.trials - begin);
+    std::vector<std::size_t> trials(count);
+    std::iota(trials.begin(), trials.end(), begin);
+    const std::vector<double> chunk =
+        sweep(trials, [&](std::size_t trial, ExecutionContext& item_ctx) {
+          item_ctx.faults = options.faults;
+          // Distinct fault realization per trial, reproducible from
+          // base_seed (keyed on the global trial number, not the chunk).
+          item_ctx.faults.seed =
+              mix_seed(options.base_seed, /*stream=*/0x0fa17ull, trial);
+          // Layers cache forward state, so each trial gets its own replica.
+          nn::Network replica = net.clone();
+          return system.evaluate_on_oc(replica, data, schedule, item_ctx,
+                                       options.batch_size,
+                                       options.max_samples);
+        });
+    // Index order, never completion order: every statistic is a pure
+    // function of the configuration.
+    for (double a : chunk) result.sketch.add(a);
+    if (!options.stream) {
+      result.accuracy.insert(result.accuracy.end(), chunk.begin(),
+                             chunk.end());
+    }
+  }
+  result.mean = result.sketch.mean();
+  result.stddev = result.sketch.stddev();
   return result;
 }
 

@@ -32,6 +32,7 @@
 #include "core/compute_backend.hpp"
 #include "core/lightator.hpp"
 #include "nn/trainer.hpp"
+#include "util/streaming_quantiles.hpp"
 
 namespace lightator::core {
 
@@ -47,13 +48,21 @@ struct ExperimentOptions {
   bool collect_stats = false;
 };
 
-/// Summary statistics of a fault Monte-Carlo campaign.
+/// Summary statistics of a fault Monte-Carlo campaign. Per-trial accuracies
+/// always stream (in trial order) into a bounded StreamingQuantiles sketch;
+/// the raw `accuracy` vector is additionally kept unless the campaign ran
+/// with `MonteCarloOptions::stream`, so huge campaigns don't retain every
+/// trial.
 struct MonteCarloResult {
-  std::vector<double> accuracy;  // per trial, in trial order
+  std::vector<double> accuracy;  // per trial, in trial order; empty if streamed
+  util::StreamingQuantiles sketch;
   double mean = 0.0;
   double stddev = 0.0;
 
-  /// Empirical quantile (linear interpolation), q in [0, 1].
+  /// Accuracy quantile, q in [0, 1]: exact (classic sorted linear
+  /// interpolation) while the sketch is exact — always the case for
+  /// campaigns up to `sketch_capacity` trials — and a bounded-error
+  /// estimate beyond. Identical whether or not the campaign streamed.
   double quantile(double q) const;
 };
 
@@ -65,6 +74,14 @@ struct MonteCarloOptions {
   std::uint64_t base_seed = 1;
   std::size_t batch_size = 32;
   std::size_t max_samples = 0;
+  /// Don't retain the per-trial accuracy vector — quantiles/mean/stddev come
+  /// from the streaming sketch only (bit-identical to the unstreamed
+  /// statistics, which are computed from the same sketch). Trials always run
+  /// in sketch_capacity-sized chunks, so a streamed campaign's peak memory
+  /// is one chunk regardless of `trials`.
+  bool stream = false;
+  /// Sketch buffer size; quantiles are exact up to this many trials.
+  std::size_t sketch_capacity = 512;
 };
 
 class ExperimentRunner {

@@ -169,11 +169,26 @@ tensor::Tensor LightatorSystem::run_network_impl(
   // per-tensor scale (the paper's configurations keep A = 4 bits; binary-
   // activation baselines like LightBulb use A = 1). The scale is the max
   // over the whole batch, so sharding the batch across threads inside the
-  // backend cannot change the quantization.
+  // backend cannot change the quantization. In per-item mode (the serving
+  // layer's dynamic batches) each batch item instead carries its own scale,
+  // making every item's result independent of what it was batched with.
   auto quantize_acts = [&](const tensor::Tensor& t, int bits) {
+    if (ctx.per_item_act_scale) {
+      return tensor::quantize_unsigned_per_item(t, bits);
+    }
     float m = 0.0f;
     for (std::size_t i = 0; i < t.size(); ++i) m = std::max(m, t[i]);
     return tensor::quantize_unsigned(t, bits, m > 0 ? m : 1.0);
+  };
+  // Weights come from the context's cache when one is attached (the serving
+  // layer programs each replica's weights once); fault injection always
+  // mutates a private copy.
+  auto cached_weights = [&](std::size_t idx,
+                            int wbits) -> const tensor::QuantizedTensor* {
+    if (ctx.weight_cache == nullptr || ctx.faults.any()) return nullptr;
+    const auto& cache = ctx.weight_cache->weights;
+    if (idx >= cache.size() || cache[idx].bits != wbits) return nullptr;
+    return &cache[idx];
   };
   const std::size_t frames = x.dim(0);
   // Per-layer power/timing accumulators: the architecture models evaluated
@@ -215,10 +230,15 @@ tensor::Tensor LightatorSystem::run_network_impl(
         const int abits = act_bits_for(weighted_index);
         ++weighted_index;
         auto xq = quantize_acts(h, abits);
-        auto wq = tensor::quantize_symmetric(conv.weight(), wbits);
-        if (ctx.faults.any()) {
-          apply_weight_faults(wq, ctx.faults, fault_rng);
-          apply_activation_faults(xq, ctx.faults, fault_rng);
+        const tensor::QuantizedTensor* cached =
+            cached_weights(weighted_index - 1, wbits);
+        tensor::QuantizedTensor wq;
+        if (cached == nullptr) {
+          wq = tensor::quantize_symmetric(conv.weight(), wbits);
+          if (ctx.faults.any()) {
+            apply_weight_faults(wq, ctx.faults, fault_rng);
+            apply_activation_faults(xq, ctx.faults, fault_rng);
+          }
         }
         nn::LayerDesc desc;
         desc.kind = nn::LayerKind::kConv;
@@ -227,7 +247,8 @@ tensor::Tensor LightatorSystem::run_network_impl(
         desc.in_w = h.dim(3);
         desc.conv = conv.spec();
         const auto start = std::chrono::steady_clock::now();
-        h = oc_.conv2d(xq, wq, conv.bias(), conv.spec(), ctx);
+        h = oc_.conv2d(xq, cached != nullptr ? *cached : wq, conv.bias(),
+                       conv.spec(), ctx);
         record_stats(weighted_index - 1, desc, wbits,
                      std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
@@ -240,10 +261,15 @@ tensor::Tensor LightatorSystem::run_network_impl(
         const int abits = act_bits_for(weighted_index);
         ++weighted_index;
         auto xq = quantize_acts(h, abits);
-        auto wq = tensor::quantize_symmetric(fc.weight(), wbits);
-        if (ctx.faults.any()) {
-          apply_weight_faults(wq, ctx.faults, fault_rng);
-          apply_activation_faults(xq, ctx.faults, fault_rng);
+        const tensor::QuantizedTensor* cached =
+            cached_weights(weighted_index - 1, wbits);
+        tensor::QuantizedTensor wq;
+        if (cached == nullptr) {
+          wq = tensor::quantize_symmetric(fc.weight(), wbits);
+          if (ctx.faults.any()) {
+            apply_weight_faults(wq, ctx.faults, fault_rng);
+            apply_activation_faults(xq, ctx.faults, fault_rng);
+          }
         }
         nn::LayerDesc desc;
         desc.kind = nn::LayerKind::kLinear;
@@ -251,7 +277,7 @@ tensor::Tensor LightatorSystem::run_network_impl(
         desc.fc_in = fc.in_features();
         desc.fc_out = fc.out_features();
         const auto start = std::chrono::steady_clock::now();
-        h = oc_.linear(xq, wq, fc.bias(), ctx);
+        h = oc_.linear(xq, cached != nullptr ? *cached : wq, fc.bias(), ctx);
         record_stats(weighted_index - 1, desc, wbits,
                      std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
@@ -369,6 +395,29 @@ tensor::Tensor LightatorSystem::capture_and_infer(
               batch.data() + i * per_frame);
   }
   return run_network_on_oc(net, batch, schedule, ctx);
+}
+
+OcWeightCache build_oc_weight_cache(const nn::Network& net,
+                                    const nn::PrecisionSchedule& schedule) {
+  OcWeightCache cache;
+  std::size_t weighted_index = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    // Exactly the quantize_symmetric calls run_network_impl would make, so a
+    // cached forward is bit-identical to an uncached one.
+    if (layer.kind() == nn::LayerKind::kConv) {
+      const auto& conv = dynamic_cast<const nn::Conv2d&>(layer);
+      cache.weights.push_back(tensor::quantize_symmetric(
+          conv.weight(), schedule.weight_bits_for(weighted_index)));
+      ++weighted_index;
+    } else if (layer.kind() == nn::LayerKind::kLinear) {
+      const auto& fc = dynamic_cast<const nn::Linear&>(layer);
+      cache.weights.push_back(tensor::quantize_symmetric(
+          fc.weight(), schedule.weight_bits_for(weighted_index)));
+      ++weighted_index;
+    }
+  }
+  return cache;
 }
 
 tensor::Tensor LightatorSystem::acquire(const sensor::Image& scene,

@@ -68,6 +68,22 @@ struct CaptureOptions {
   std::uint64_t sensor_noise_seed = 0;
 };
 
+/// Pre-quantized weights for every weighted layer of a network, keyed by
+/// weighted-layer index. run_network_on_oc quantizes weights on every
+/// forward; a server replica programs its weights once and then reuses them
+/// for every batch, so the cache is built at replica construction and handed
+/// to the forward through ExecutionContext::weight_cache. Entries are
+/// bit-identical to what the forward would have computed (same
+/// quantize_symmetric call), so cached and uncached runs agree exactly.
+struct OcWeightCache {
+  std::vector<tensor::QuantizedTensor> weights;  // by weighted-layer index
+};
+
+/// Builds the cache for `net` under `schedule` (weight bits per weighted
+/// layer; the activation side of the schedule is irrelevant here).
+OcWeightCache build_oc_weight_cache(const nn::Network& net,
+                                    const nn::PrecisionSchedule& schedule);
+
 class LightatorSystem {
  public:
   explicit LightatorSystem(ArchConfig config);

@@ -1,0 +1,91 @@
+#include "serve/batch_queue.hpp"
+
+#include <algorithm>
+
+namespace lightator::serve {
+
+BatchQueue::BatchQueue(std::size_t capacity, BatchPolicy policy)
+    : capacity_(std::max<std::size_t>(capacity, 1)), policy_(policy) {
+  policy_.max_batch = std::max<std::size_t>(policy_.max_batch, 1);
+}
+
+SubmitStatus BatchQueue::push(PendingRequest request) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return SubmitStatus::kClosed;
+    if (pending_.size() >= capacity_) return SubmitStatus::kRejected;
+    pending_.push_back(std::move(request));
+  }
+  // notify_all: several workers may be parked in timed coalescing waits on
+  // buckets this arrival could complete.
+  cv_.notify_all();
+  return SubmitStatus::kAccepted;
+}
+
+std::vector<PendingRequest> BatchQueue::take_bucket_locked(
+    const GeometryKey& key) {
+  std::vector<PendingRequest> batch;
+  for (auto it = pending_.begin();
+       it != pending_.end() && batch.size() < policy_.max_batch;) {
+    if (it->key == key) {
+      batch.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return batch;
+}
+
+std::vector<PendingRequest> BatchQueue::pop_batch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (pending_.empty()) {
+      if (closed_) return {};
+      cv_.wait(lock);
+      continue;
+    }
+    // A full bucket anywhere dispatches immediately (oldest first: buckets
+    // are discovered in arrival order, so the first one found whose count
+    // reaches max_batch is the oldest full one).
+    std::vector<std::pair<GeometryKey, std::size_t>> counts;
+    for (const auto& r : pending_) {
+      auto it = std::find_if(counts.begin(), counts.end(),
+                             [&](const auto& c) { return c.first == r.key; });
+      const std::size_t count =
+          it == counts.end() ? (counts.emplace_back(r.key, 1), 1)
+                             : ++it->second;
+      if (count >= policy_.max_batch) return take_bucket_locked(r.key);
+    }
+    if (closed_ || policy_.max_wait_us <= 0.0) {
+      return take_bucket_locked(pending_.front().key);
+    }
+    // Head-of-line rule: the oldest request's bucket dispatches when that
+    // request has waited out the coalescing window.
+    const auto deadline =
+        pending_.front().enqueued +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::micro>(policy_.max_wait_us));
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return take_bucket_locked(pending_.front().key);
+    }
+    cv_.wait_until(lock, deadline);
+    // Loop: re-derive everything — arrivals may have filled a bucket, or
+    // another worker may have taken the head.
+  }
+}
+
+void BatchQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t BatchQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_.size();
+}
+
+}  // namespace lightator::serve

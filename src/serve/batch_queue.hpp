@@ -1,0 +1,100 @@
+// Bounded MPMC request queue + geometry-bucketed dynamic micro-batcher.
+//
+// Admission control: push() never blocks — when the queue holds `capacity`
+// requests the caller gets kRejected and must shed load (the server surfaces
+// this as a reject-with-status, the backpressure contract a front end needs).
+//
+// Batching: replica workers call pop_batch(), which leases a batch of
+// requests sharing one input geometry (C, H, W). Requests of different
+// geometries never mix in a batch — the OC forward requires one geometry per
+// tensor — which is exactly the per-bucket sub-batching the multi-frame
+// pipeline mode was missing. The lease policy is the classic dynamic
+// batcher:
+//   * if any bucket holds max_batch requests, the oldest such bucket
+//     dispatches immediately at full size;
+//   * otherwise the head-of-line (oldest) request's bucket dispatches once
+//     that request has waited max_wait_us, collecting whatever same-geometry
+//     requests arrived by then;
+//   * a closed queue drains immediately, partial batches included.
+// Requests within a batch preserve arrival order, and the head-of-line rule
+// bounds every request's coalescing delay to max_wait_us regardless of what
+// other buckets are doing.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace lightator::serve {
+
+enum class SubmitStatus { kAccepted, kRejected, kClosed };
+
+/// What the server hands back for one request.
+struct InferResult {
+  tensor::Tensor output;        // this request's slice of the batch, [1, ...]
+  std::size_t replica = 0;      // which replica executed it
+  std::size_t batch_size = 0;   // size of the batch it rode in
+  double queue_seconds = 0.0;   // admission -> batch dispatch
+  double total_seconds = 0.0;   // admission -> result ready
+};
+
+struct GeometryKey {
+  std::size_t channels = 0, height = 0, width = 0;
+  bool operator==(const GeometryKey&) const = default;
+};
+
+struct PendingRequest {
+  tensor::Tensor input;  // [1, C, H, W]
+  GeometryKey key;
+  std::promise<InferResult> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+struct BatchPolicy {
+  /// Dispatch a bucket as soon as it holds this many requests.
+  std::size_t max_batch = 16;
+  /// Longest the oldest queued request waits for co-batchable arrivals
+  /// before its bucket dispatches partially filled. 0 = never coalesce-wait.
+  double max_wait_us = 200.0;
+};
+
+class BatchQueue {
+ public:
+  BatchQueue(std::size_t capacity, BatchPolicy policy);
+
+  BatchQueue(const BatchQueue&) = delete;
+  BatchQueue& operator=(const BatchQueue&) = delete;
+
+  /// Non-blocking admission; kRejected when full, kClosed after close().
+  SubmitStatus push(PendingRequest request);
+
+  /// Blocks until a batch is available under the policy. An empty vector
+  /// means the queue is closed and fully drained — the worker should exit.
+  std::vector<PendingRequest> pop_batch();
+
+  /// Stops admission and wakes all workers; queued requests still drain.
+  void close();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  /// Collects up to max_batch requests of `key`, in arrival order. Caller
+  /// holds the mutex.
+  std::vector<PendingRequest> take_bucket_locked(const GeometryKey& key);
+
+  std::size_t capacity_;
+  BatchPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace lightator::serve

@@ -1,0 +1,76 @@
+#include "serve/load_gen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace lightator::serve {
+
+LoadGenReport run_closed_loop(InferenceServer& server,
+                              const std::vector<tensor::Tensor>& inputs,
+                              const LoadGenOptions& options) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("run_closed_loop: no inputs");
+  }
+  const std::size_t n = options.requests;
+  const std::size_t window =
+      std::max<std::size_t>(options.concurrency, 1);
+
+  LoadGenReport report;
+  report.input_index.resize(n);
+  report.outputs.resize(n);
+  report.batch_sizes.resize(n, 0);
+  // The whole request sequence is fixed up front: a pure function of the
+  // seed, independent of completion timing.
+  util::Rng rng(options.seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    report.input_index[i] = rng.uniform_index(inputs.size());
+  }
+
+  std::deque<std::pair<std::size_t, std::future<InferResult>>> outstanding;
+  auto reap_oldest = [&] {
+    auto [index, future] = std::move(outstanding.front());
+    outstanding.pop_front();
+    InferResult result = future.get();  // rethrows a failed request
+    report.outputs[index] = std::move(result.output);
+    report.batch_sizes[index] = result.batch_size;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (;;) {
+      SubmitTicket ticket = server.submit(inputs[report.input_index[i]]);
+      if (ticket.status == SubmitStatus::kAccepted) {
+        outstanding.emplace_back(i, std::move(ticket.result));
+        break;
+      }
+      if (ticket.status == SubmitStatus::kClosed) {
+        throw std::runtime_error("run_closed_loop: server shut down mid-load");
+      }
+      ++report.reject_retries;
+      // Backpressure: free an in-flight slot before retrying.
+      if (!outstanding.empty()) {
+        reap_oldest();
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    if (outstanding.size() >= window) reap_oldest();
+  }
+  while (!outstanding.empty()) reap_oldest();
+  report.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+  report.requests_per_second =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(n) / report.wall_seconds
+          : 0.0;
+  return report;
+}
+
+}  // namespace lightator::serve

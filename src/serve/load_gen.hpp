@@ -1,0 +1,47 @@
+// LoadGen: deterministic closed-loop load generator for the serving layer.
+//
+// Drives an InferenceServer with a seeded request stream: request i's input
+// is inputs[index_i] where the index sequence is a pure function of the
+// seed, and at most `concurrency` requests are outstanding at any moment
+// (each completion admits the next submission — the classic closed loop).
+// Rejected submissions retry after reaping the oldest outstanding request,
+// so a capacity smaller than the concurrency degrades throughput instead of
+// dropping work. Because the request stream is seed-deterministic and the
+// server's per-request outputs are batching-invariant, the collected outputs
+// are bit-identical across replica counts and batching policies — which is
+// exactly what the determinism tests and the serve_throughput bench check.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/server.hpp"
+
+namespace lightator::serve {
+
+struct LoadGenOptions {
+  std::size_t requests = 64;
+  /// Outstanding-request window (closed loop).
+  std::size_t concurrency = 8;
+  /// Seeds the input-selection sequence.
+  std::uint64_t seed = 1;
+};
+
+struct LoadGenReport {
+  std::vector<std::size_t> input_index;  // request i -> inputs[] index used
+  std::vector<tensor::Tensor> outputs;   // request i -> its [1, ...] output
+  std::vector<std::size_t> batch_sizes;  // request i -> batch it rode in
+  std::uint64_t reject_retries = 0;      // backpressure events absorbed
+  double wall_seconds = 0.0;
+  double requests_per_second = 0.0;
+};
+
+/// Runs the closed loop to completion. `inputs` are single frames
+/// ([C, H, W] or [1, C, H, W]); mixed geometries are fine — the server
+/// buckets them. Propagates the first request failure as an exception.
+LoadGenReport run_closed_loop(InferenceServer& server,
+                              const std::vector<tensor::Tensor>& inputs,
+                              const LoadGenOptions& options = {});
+
+}  // namespace lightator::serve

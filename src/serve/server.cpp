@@ -1,0 +1,213 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "util/thread_pool.hpp"
+
+namespace lightator::serve {
+
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+/// One serving replica: an independent network clone (layers cache forward
+/// state, so concurrent batches need disjoint instances), a private pool,
+/// and an ExecutionContext wired for per-item quantization + the shared
+/// read-only weight cache.
+struct InferenceServer::Replica {
+  Replica(const nn::Network& model, std::size_t index_,
+          const ServerOptions& options, const core::OcWeightCache& cache)
+      : net(model.clone()), pool(std::max<std::size_t>(
+                                options.threads_per_replica, 1)),
+        index(index_) {
+    ctx.backend = options.backend;
+    ctx.noise_seed = options.noise_seed;
+    ctx.pool = &pool;
+    ctx.per_item_act_scale = true;
+    ctx.weight_cache = &cache;
+  }
+
+  nn::Network net;
+  util::ThreadPool pool;
+  core::ExecutionContext ctx;
+  std::size_t index;
+};
+
+InferenceServer::InferenceServer(const core::LightatorSystem& system,
+                                 const nn::Network& model,
+                                 nn::PrecisionSchedule schedule,
+                                 ServerOptions options)
+    : system_(system),
+      schedule_(std::move(schedule)),
+      options_(options),
+      weight_cache_(core::build_oc_weight_cache(model, schedule_)),
+      queue_(options.queue_capacity, options.batch) {
+  const std::size_t n = std::max<std::size_t>(options_.replicas, 1);
+  replicas_.reserve(n);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    replicas_.push_back(
+        std::make_unique<Replica>(model, i, options_, weight_cache_));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(*replicas_[i]); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::shutdown() {
+  queue_.close();
+  // Serialize racing shutdown() callers (including the destructor): exactly
+  // one of them joins the workers.
+  std::lock_guard<std::mutex> lock(shutdown_mutex_);
+  if (joined_) return;
+  joined_ = true;
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+SubmitTicket InferenceServer::submit(tensor::Tensor input) {
+  if (input.rank() == 3) {
+    input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
+  }
+  if (input.rank() != 4 || input.dim(0) != 1) {
+    throw std::invalid_argument(
+        "InferenceServer::submit expects one frame, [C,H,W] or [1,C,H,W]");
+  }
+  PendingRequest req;
+  req.key = GeometryKey{input.dim(1), input.dim(2), input.dim(3)};
+  req.input = std::move(input);
+  req.enqueued = Clock::now();
+
+  // Count the submission (and pin first_submit_) before the request becomes
+  // visible to workers, so stats() can never observe a completion that
+  // precedes its own submission (completed > submitted, negative wall time).
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+    if (!any_submit_) {
+      any_submit_ = true;
+      first_submit_ = req.enqueued;
+    }
+  }
+  SubmitTicket ticket;
+  ticket.result = req.promise.get_future();
+  ticket.status = queue_.push(std::move(req));
+  if (ticket.status != SubmitStatus::kAccepted) {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (ticket.status == SubmitStatus::kRejected) ++stats_.rejected;
+  }
+  if (ticket.status != SubmitStatus::kAccepted) {
+    ticket.result = std::future<InferResult>();  // promise is gone
+  }
+  return ticket;
+}
+
+InferResult InferenceServer::infer(tensor::Tensor input) {
+  SubmitTicket ticket = submit(std::move(input));
+  if (ticket.status == SubmitStatus::kRejected) {
+    throw std::runtime_error("InferenceServer: queue full (backpressure)");
+  }
+  if (ticket.status == SubmitStatus::kClosed) {
+    throw std::runtime_error("InferenceServer: server is shut down");
+  }
+  return ticket.result.get();
+}
+
+void InferenceServer::worker_loop(Replica& replica) {
+  for (;;) {
+    std::vector<PendingRequest> batch = queue_.pop_batch();
+    if (batch.empty()) return;  // closed and drained
+    const Clock::time_point dispatched = Clock::now();
+    bool recorded = false;
+    try {
+      // Stack the bucket into one [B, C, H, W] batch. The bucket guarantees
+      // one geometry, so the slices are contiguous and uniform.
+      const tensor::Tensor& first = batch[0].input;
+      const std::size_t per_frame = first.size();
+      tensor::Tensor x(
+          {batch.size(), first.dim(1), first.dim(2), first.dim(3)});
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        std::copy(batch[i].input.data(), batch[i].input.data() + per_frame,
+                  x.data() + i * per_frame);
+      }
+      tensor::Tensor out =
+          system_.run_network_on_oc(replica.net, x, schedule_, replica.ctx);
+      const Clock::time_point finished = Clock::now();
+
+      // Record before completing the futures: a client that has seen every
+      // result must also see it reflected in stats().
+      record_batch(batch, dispatched, finished, /*failed=*/false);
+      recorded = true;
+      tensor::Shape row_shape = out.shape();
+      row_shape[0] = 1;
+      const std::size_t per_out = out.size() / batch.size();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        InferResult result;
+        result.output = tensor::Tensor(row_shape);
+        std::copy(out.data() + i * per_out, out.data() + (i + 1) * per_out,
+                  result.output.data());
+        result.replica = replica.index;
+        result.batch_size = batch.size();
+        result.queue_seconds = seconds_between(batch[i].enqueued, dispatched);
+        result.total_seconds = seconds_between(batch[i].enqueued, finished);
+        batch[i].promise.set_value(std::move(result));
+      }
+    } catch (...) {
+      const std::exception_ptr error = std::current_exception();
+      if (!recorded) {
+        record_batch(batch, dispatched, Clock::now(), /*failed=*/true);
+      }
+      for (PendingRequest& req : batch) {
+        try {
+          req.promise.set_exception(error);
+        } catch (const std::future_error&) {
+          // promise already satisfied — only possible for the partial batch
+          // that threw mid-completion; nothing to do.
+        }
+      }
+    }
+  }
+}
+
+void InferenceServer::record_batch(const std::vector<PendingRequest>& batch,
+                                   Clock::time_point dispatched,
+                                   Clock::time_point finished, bool failed) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.batches;
+  ++stats_.batch_size_hist[batch.size()];
+  stats_.busy_seconds += seconds_between(dispatched, finished);
+  if (failed) {
+    stats_.failed += batch.size();
+  } else {
+    stats_.completed += batch.size();
+    for (const PendingRequest& req : batch) {
+      stats_.queue_seconds.add(seconds_between(req.enqueued, dispatched));
+      stats_.latency_seconds.add(seconds_between(req.enqueued, finished));
+    }
+  }
+  last_complete_ = finished;
+}
+
+ServerStats InferenceServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ServerStats snapshot = stats_;
+  snapshot.wall_seconds =
+      any_submit_ && (stats_.completed > 0 || stats_.failed > 0)
+          ? seconds_between(first_submit_, last_complete_)
+          : 0.0;
+  return snapshot;
+}
+
+}  // namespace lightator::serve

@@ -1,0 +1,114 @@
+// InferenceServer: the online serving layer over the offline simulator.
+//
+// Owns N replicas — each an independent Network::clone with its own
+// ExecutionContext (chosen compute backend, private thread pool, shared
+// read-only OcWeightCache) — behind one bounded request queue with a
+// geometry-bucketed dynamic micro-batcher (serve/batch_queue.hpp). Front
+// ends submit single-frame tensors and get a future; replicas lease batches,
+// run one batched OC forward, and complete the futures.
+//
+// Two properties make the batching safe to enable blindly:
+//   * determinism — replica contexts run with per_item_act_scale, so every
+//     request's output is bit-identical to its batch-of-1 serial result no
+//     matter the replica count, batch composition, or batching policy
+//     (guaranteed for noiseless configurations; a physical-backend noise
+//     seed draws per-(batch, item) streams and voids it);
+//   * amortization — weights are quantized ("programmed") once per replica
+//     at construction, not once per forward, and each batched forward
+//     shares one layer-loop/quantization pass across its requests.
+// ServerStats (serve/stats.hpp) reports throughput, the batch-size
+// histogram, and streaming p50/p95/p99 latency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/lightator.hpp"
+#include "nn/qat.hpp"
+#include "serve/batch_queue.hpp"
+#include "serve/stats.hpp"
+
+namespace lightator::serve {
+
+struct ServerOptions {
+  /// Compute backend each replica runs ("reference" / "gemm" / "physical").
+  std::string backend = "gemm";
+  std::size_t replicas = 2;
+  /// Admission-control bound on queued requests; submits beyond it are
+  /// rejected with SubmitStatus::kRejected.
+  std::size_t queue_capacity = 64;
+  BatchPolicy batch;
+  /// Pool size of each replica's private ExecutionContext.
+  std::size_t threads_per_replica = 1;
+  /// Physical-backend noise seed. Keep 0 (noiseless) for the bit-identical
+  /// per-request guarantee.
+  std::uint64_t noise_seed = 0;
+};
+
+/// submit() outcome: `result` is valid only when status == kAccepted.
+struct SubmitTicket {
+  SubmitStatus status = SubmitStatus::kRejected;
+  std::future<InferResult> result;
+};
+
+class InferenceServer {
+ public:
+  /// The server clones `model` per replica and snapshots the quantized
+  /// weights, so the caller's network is not touched after construction.
+  /// `system` must outlive the server.
+  InferenceServer(const core::LightatorSystem& system,
+                  const nn::Network& model, nn::PrecisionSchedule schedule,
+                  ServerOptions options = {});
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Asynchronous submission of one frame, shape [C, H, W] or [1, C, H, W].
+  /// Never blocks: a full queue returns kRejected (backpressure).
+  SubmitTicket submit(tensor::Tensor input);
+
+  /// Synchronous convenience: submit + wait. Throws std::runtime_error when
+  /// the queue rejects or the server is shut down.
+  InferResult infer(tensor::Tensor input);
+
+  /// Stops admission, drains queued requests, joins the replicas.
+  /// Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Consistent snapshot of the serving counters/sketches.
+  ServerStats stats() const;
+
+  std::size_t replica_count() const { return replicas_.size(); }
+  std::size_t queue_depth() const { return queue_.depth(); }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Replica;
+  void worker_loop(Replica& replica);
+  void record_batch(const std::vector<PendingRequest>& batch,
+                    std::chrono::steady_clock::time_point dispatched,
+                    std::chrono::steady_clock::time_point finished,
+                    bool failed);
+
+  const core::LightatorSystem& system_;
+  nn::PrecisionSchedule schedule_;
+  ServerOptions options_;
+  core::OcWeightCache weight_cache_;
+  BatchQueue queue_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+  std::vector<std::thread> workers_;
+  std::mutex shutdown_mutex_;
+  bool joined_ = false;  // guarded by shutdown_mutex_
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+  bool any_submit_ = false;
+  std::chrono::steady_clock::time_point first_submit_;
+  std::chrono::steady_clock::time_point last_complete_;
+};
+
+}  // namespace lightator::serve

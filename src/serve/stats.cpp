@@ -1,0 +1,78 @@
+#include "serve/stats.hpp"
+
+#include <sstream>
+
+#include "util/table.hpp"
+
+namespace lightator::serve {
+
+double ServerStats::mean_batch_size() const {
+  return batches > 0
+             ? static_cast<double>(completed) / static_cast<double>(batches)
+             : 0.0;
+}
+
+double ServerStats::throughput_rps() const {
+  return wall_seconds > 0.0
+             ? static_cast<double>(completed) / wall_seconds
+             : 0.0;
+}
+
+std::string ServerStats::to_text() const {
+  std::ostringstream out;
+  out << "requests:   " << completed << " completed, " << rejected
+      << " rejected, " << failed << " failed (of " << submitted
+      << " submitted)\n";
+  out << "batches:    " << batches << " (mean size "
+      << util::format_fixed(mean_batch_size(), 2) << ")  hist:";
+  for (const auto& [size, count] : batch_size_hist) {
+    out << " " << size << "x" << count;
+  }
+  out << "\n";
+  out << "latency:    p50 " << util::format_time(latency_seconds.quantile(0.5))
+      << "  p95 " << util::format_time(latency_seconds.quantile(0.95))
+      << "  p99 " << util::format_time(latency_seconds.quantile(0.99))
+      << "  max " << util::format_time(latency_seconds.max()) << "\n";
+  out << "queue wait: p50 " << util::format_time(queue_seconds.quantile(0.5))
+      << "  p95 " << util::format_time(queue_seconds.quantile(0.95))
+      << "  p99 " << util::format_time(queue_seconds.quantile(0.99)) << "\n";
+  out << "throughput: " << util::format_fixed(throughput_rps(), 1)
+      << " req/s (wall " << util::format_time(wall_seconds) << ", busy "
+      << util::format_time(busy_seconds) << ")\n";
+  return out.str();
+}
+
+std::string ServerStats::to_json(const std::string& indent) const {
+  std::ostringstream out;
+  const std::string i1 = indent;
+  out << "{\n";
+  out << i1 << "\"submitted\": " << submitted << ",\n";
+  out << i1 << "\"completed\": " << completed << ",\n";
+  out << i1 << "\"rejected\": " << rejected << ",\n";
+  out << i1 << "\"failed\": " << failed << ",\n";
+  out << i1 << "\"batches\": " << batches << ",\n";
+  out << i1 << "\"mean_batch_size\": " << mean_batch_size() << ",\n";
+  out << i1 << "\"throughput_rps\": " << throughput_rps() << ",\n";
+  out << i1 << "\"wall_seconds\": " << wall_seconds << ",\n";
+  out << i1 << "\"busy_seconds\": " << busy_seconds << ",\n";
+  out << i1 << "\"latency_ms\": {\"p50\": "
+      << latency_seconds.quantile(0.5) * 1e3
+      << ", \"p95\": " << latency_seconds.quantile(0.95) * 1e3
+      << ", \"p99\": " << latency_seconds.quantile(0.99) * 1e3
+      << ", \"max\": " << latency_seconds.max() * 1e3 << "},\n";
+  out << i1 << "\"queue_wait_ms\": {\"p50\": "
+      << queue_seconds.quantile(0.5) * 1e3
+      << ", \"p95\": " << queue_seconds.quantile(0.95) * 1e3
+      << ", \"p99\": " << queue_seconds.quantile(0.99) * 1e3 << "},\n";
+  out << i1 << "\"batch_size_hist\": {";
+  bool first = true;
+  for (const auto& [size, count] : batch_size_hist) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << size << "\": " << count;
+  }
+  out << "}\n}";
+  return out.str();
+}
+
+}  // namespace lightator::serve

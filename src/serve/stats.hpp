@@ -1,0 +1,47 @@
+// ServerStats: the serving layer's observability surface.
+//
+// Counters (admitted / completed / rejected / failed), the batch-size
+// histogram the dynamic batcher produced, and streaming latency sketches
+// (queue wait and end-to-end, p50/p95/p99 via util::StreamingQuantiles — the
+// server never stores per-request records). A snapshot is cheap to copy; the
+// serve_throughput bench serializes one to JSON and the examples print the
+// text report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/streaming_quantiles.hpp"
+
+namespace lightator::serve {
+
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;  // admission control turned the request away
+  std::uint64_t failed = 0;    // forward threw; the future carries the error
+  std::uint64_t batches = 0;
+
+  /// batch size -> number of batches dispatched at that size.
+  std::map<std::size_t, std::uint64_t> batch_size_hist;
+
+  util::StreamingQuantiles queue_seconds;    // admission -> batch dispatch
+  util::StreamingQuantiles latency_seconds;  // admission -> result ready
+
+  double busy_seconds = 0.0;  // summed batch execution wall time, all replicas
+  double wall_seconds = 0.0;  // first admission -> most recent completion
+
+  double mean_batch_size() const;
+  /// completed / wall_seconds (0 before any completion).
+  double throughput_rps() const;
+
+  /// Multi-line human report (the examples' "serving report").
+  std::string to_text() const;
+  /// JSON object with throughput, latency quantiles (ms), and the batch
+  /// histogram — the serve_throughput bench embeds this verbatim.
+  std::string to_json(const std::string& indent = "  ") const;
+};
+
+}  // namespace lightator::serve

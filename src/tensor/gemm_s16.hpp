@@ -10,7 +10,9 @@
 // arm-length segments of quantized codes/levels — int64 otherwise), and
 // segment partials are added into a double accumulator in segment order —
 // the same arithmetic the scalar reference loop performs, three loop levels
-// deep instead of seven.
+// deep instead of seven. The n dimension is additionally blocked so huge
+// feature-map panels (n = OH*OW) stay L2-resident; blocking never changes
+// the per-output accumulation order, so results stay bit-exact.
 #pragma once
 
 #include <cstddef>

@@ -66,6 +66,39 @@ QuantizedTensor quantize_unsigned(const Tensor& x, int bits, double scale) {
   return out;
 }
 
+QuantizedTensor quantize_unsigned_per_item(const Tensor& x, int bits) {
+  if (x.rank() == 0 || x.dim(0) == 0) {
+    throw std::invalid_argument("quantize_unsigned_per_item: empty batch");
+  }
+  const std::size_t batch = x.dim(0);
+  const std::size_t per_item = x.size() / batch;
+  QuantizedTensor out;
+  out.shape = x.shape();
+  out.bits = bits;
+  out.is_signed = false;
+  out.levels.resize(x.size());
+  out.item_scales.resize(batch);
+  double max_scale = 0.0;
+  for (std::size_t n = 0; n < batch; ++n) {
+    const float* slice = x.data() + n * per_item;
+    float m = 0.0f;
+    for (std::size_t i = 0; i < per_item; ++i) m = std::max(m, slice[i]);
+    // All-dark frames keep scale 1.0 — the convention of the OC activation
+    // path, so a standalone quantize of the same item agrees bit-for-bit.
+    const double scale = m > 0.0f ? static_cast<double>(m) : 1.0;
+    out.item_scales[n] = scale;
+    max_scale = std::max(max_scale, scale);
+    const util::UnsignedQuantizer q{bits, scale};
+    std::int16_t* levels = out.levels.data() + n * per_item;
+    for (std::size_t i = 0; i < per_item; ++i) {
+      levels[i] = static_cast<std::int16_t>(q.quantize(slice[i]));
+    }
+  }
+  // The per-tensor scale stays meaningful for range checks / diagnostics.
+  out.scale = max_scale;
+  return out;
+}
+
 Tensor dequantize(const QuantizedTensor& q) {
   Tensor out(q.shape);
   if (out.size() != q.levels.size()) {

@@ -20,10 +20,23 @@ struct QuantizedTensor {
   double scale = 1.0;   // real value of the largest level
   int bits = 4;
   bool is_signed = true;  // signed levels (weights) vs unsigned codes (acts)
+  /// Per-batch-item scales (size == shape[0]); when non-empty each item n of
+  /// a batched activation tensor was quantized with its own scale, so item
+  /// n's codes mean exactly what they would in a standalone batch-of-1
+  /// tensor with scale == item_scales[n]. The OC compute backends honor
+  /// this, which is what lets the serving layer coalesce independently
+  /// quantized requests into one batched forward without changing any
+  /// request's numerics. Empty (the default) keeps the per-tensor scheme.
+  std::vector<double> item_scales;
 
   int max_level() const {
     if (!is_signed) return (1 << bits) - 1;
     return bits == 1 ? 1 : (1 << (bits - 1)) - 1;  // 1-bit: {-1, +1}
+  }
+
+  /// Scale of batch item `n`: item_scales[n] when per-item, else `scale`.
+  double scale_for_item(std::size_t n) const {
+    return item_scales.empty() ? scale : item_scales[n];
   }
 };
 
@@ -41,6 +54,13 @@ QuantizedTensor quantize_symmetric(const Tensor& x, int bits,
 /// Integer activation codes in [0, 2^b - 1].
 QuantizedTensor quantize_unsigned(const Tensor& x, int bits,
                                   double scale = -1.0);
+
+/// Per-batch-item unsigned quantization: item n (slice along dim 0) is
+/// quantized with its own scale = max over that slice (1.0 for an all-zero
+/// slice, matching the OC activation path's convention), recorded in
+/// item_scales. Each item's codes are bit-identical to quantizing it alone,
+/// which makes batched results independent of batch composition.
+QuantizedTensor quantize_unsigned_per_item(const Tensor& x, int bits);
 
 /// Reconstructs the real-valued tensor from levels.
 Tensor dequantize(const QuantizedTensor& q);

@@ -1,0 +1,131 @@
+#include "util/streaming_quantiles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lightator::util {
+
+StreamingQuantiles::StreamingQuantiles(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, 8)) {
+  entries_.reserve(capacity_ + 1);
+}
+
+void StreamingQuantiles::add(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+
+  entries_.push_back({value, 1});
+  sorted_ = false;
+  if (entries_.size() > capacity_) compact();
+}
+
+void StreamingQuantiles::merge(const StreamingQuantiles& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  // Chan et al. parallel combination of the Welford accumulators.
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  count_ += other.count_;
+
+  entries_.insert(entries_.end(), other.entries_.begin(), other.entries_.end());
+  sorted_ = false;
+  exact_ = exact_ && other.exact_;
+  while (entries_.size() > capacity_) compact();
+}
+
+double StreamingQuantiles::min() const { return count_ == 0 ? 0.0 : min_; }
+double StreamingQuantiles::max() const { return count_ == 0 ? 0.0 : max_; }
+double StreamingQuantiles::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double StreamingQuantiles::stddev() const {
+  return count_ > 1 ? std::sqrt(m2_ / static_cast<double>(count_ - 1)) : 0.0;
+}
+
+void StreamingQuantiles::ensure_sorted() const {
+  if (sorted_) return;
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.value < b.value;
+                   });
+  sorted_ = true;
+}
+
+double StreamingQuantiles::value_at_rank(double rank) const {
+  // Each entry represents `weight` consecutive ranks; its representative
+  // position is the midpoint of that span. With all weights 1 this reduces
+  // to the classic sorted-vector interpolation at rank q * (n - 1).
+  double prev_rep = 0.0, prev_val = entries_.front().value;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const double rep = static_cast<double>(cum) +
+                       static_cast<double>(entries_[i].weight - 1) / 2.0;
+    if (rank <= rep) {
+      if (i == 0 || rep == prev_rep) return entries_[i].value;
+      const double frac = (rank - prev_rep) / (rep - prev_rep);
+      return prev_val * (1.0 - frac) + entries_[i].value * frac;
+    }
+    prev_rep = rep;
+    prev_val = entries_[i].value;
+    cum += entries_[i].weight;
+  }
+  return entries_.back().value;
+}
+
+void StreamingQuantiles::compact() {
+  ensure_sorted();
+  // Re-grid the weighted CDF onto capacity/2 evenly spaced rank cells, each
+  // new entry sitting at its cell's midpoint rank (clamped to the observed
+  // extremes). Deterministic — a pure function of the buffer — and the
+  // per-compaction rank perturbation is bounded by one cell width,
+  // total_weight / (capacity / 2).
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.weight;
+  const std::size_t target = std::max<std::size_t>(capacity_ / 2, 4);
+  std::vector<Entry> kept;
+  kept.reserve(target);
+  std::uint64_t assigned = 0;
+  for (std::size_t j = 0; j < target; ++j) {
+    // Cell j covers ranks [j*total/target, (j+1)*total/target).
+    const std::uint64_t cell_end = (j + 1) * total / target;
+    const std::uint64_t weight = cell_end - assigned;
+    if (weight == 0) continue;
+    const double mid_rank = static_cast<double>(assigned) +
+                            static_cast<double>(weight - 1) / 2.0;
+    double v = value_at_rank(mid_rank);
+    v = std::clamp(v, min_, max_);
+    kept.push_back({v, weight});
+    assigned = cell_end;
+  }
+  entries_ = std::move(kept);
+  exact_ = false;
+  sorted_ = true;  // cell midpoints are produced in ascending rank order
+}
+
+double StreamingQuantiles::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  std::uint64_t total = 0;
+  for (const Entry& e : entries_) total += e.weight;
+  return value_at_rank(q * static_cast<double>(total - 1));
+}
+
+}  // namespace lightator::util

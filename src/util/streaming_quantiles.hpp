@@ -1,0 +1,78 @@
+// Bounded-memory streaming quantile sketch (deterministic CDF re-gridding).
+//
+// The serving layer needs p50/p95/p99 latency over an unbounded request
+// stream, and large fault Monte-Carlo campaigns need accuracy quantiles
+// without holding every trial in memory. StreamingQuantiles keeps a weighted
+// sample buffer of at most `capacity` entries: values stream in with weight
+// 1; when the buffer overflows it is sorted and its weighted CDF is
+// re-gridded onto capacity/2 evenly spaced rank cells, each surviving entry
+// sitting at its cell's midpoint rank with the cell's total weight. The
+// collapse is a pure function of the buffer (no RNG), and each compaction
+// perturbs any rank by at most one cell width, total_weight / (capacity/2).
+// Through `capacity` insertions the sketch is exact — quantile() reproduces
+// the classic sorted-vector linear interpolation — and degrades gracefully
+// beyond (measured: ~1% rank error at capacity 64 after 10k inserts).
+//
+// Count, min, max, mean, and (sample) standard deviation are tracked exactly
+// for any stream length (Welford accumulation in insertion order, so results
+// are a pure function of the input sequence).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lightator::util {
+
+class StreamingQuantiles {
+ public:
+  /// `capacity` >= 8 bounds the buffer; sketches stay exact through that
+  /// many insertions.
+  explicit StreamingQuantiles(std::size_t capacity = 512);
+
+  void add(double value);
+
+  /// Merges another sketch's buffered samples into this one (weights
+  /// preserved; exact accumulators combined). Insertion-order determinism is
+  /// preserved when merge order is fixed.
+  void merge(const StreamingQuantiles& other);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample standard deviation (n - 1 denominator); 0 for n < 2.
+  double stddev() const;
+
+  /// Quantile estimate for q in [0, 1] (clamped). Exact — identical to
+  /// sorting the stream and linearly interpolating at rank q * (n - 1) —
+  /// while at most `capacity` values have been added.
+  double quantile(double q) const;
+
+  /// True when no compaction has happened yet (quantiles are exact).
+  bool is_exact() const { return exact_; }
+
+ private:
+  struct Entry {
+    double value;
+    std::uint64_t weight;
+  };
+
+  void compact();
+  void ensure_sorted() const;
+  /// Weighted-midpoint interpolation at a (fractional) rank; requires a
+  /// sorted, non-empty buffer.
+  double value_at_rank(double rank) const;
+
+  std::size_t capacity_;
+  bool exact_ = true;
+  mutable bool sorted_ = true;
+  mutable std::vector<Entry> entries_;
+
+  std::uint64_t count_ = 0;
+  double min_ = 0.0, max_ = 0.0;
+  double mean_ = 0.0, m2_ = 0.0;  // Welford accumulators
+};
+
+}  // namespace lightator::util

@@ -1,0 +1,426 @@
+// Serving-layer suite: the determinism contract (per-request outputs
+// bit-identical to the serial batch-of-1 baseline across replica counts and
+// batching policies), geometry bucketing, admission-control backpressure,
+// and the stats/weight-cache plumbing underneath.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "nn/models.hpp"
+#include "serve/batch_queue.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/server.hpp"
+#include "workloads/scenes.hpp"
+
+namespace lightator::serve {
+namespace {
+
+void expect_bit_exact(const tensor::Tensor& a, const tensor::Tensor& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+std::vector<tensor::Tensor> make_inputs(std::size_t count, std::size_t c,
+                                        std::size_t h, std::size_t w,
+                                        std::uint64_t seed) {
+  std::vector<tensor::Tensor> inputs;
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    tensor::Tensor x({1, c, h, w});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    inputs.push_back(std::move(x));
+  }
+  return inputs;
+}
+
+/// Serial batch-of-1 baseline for the same request stream LoadGen submits.
+std::vector<tensor::Tensor> serial_baseline(
+    const core::LightatorSystem& sys, const nn::Network& net,
+    const nn::PrecisionSchedule& schedule,
+    const std::vector<tensor::Tensor>& inputs, const LoadGenOptions& lg) {
+  util::Rng pick(lg.seed);
+  nn::Network replica = net.clone();
+  core::ExecutionContext ctx;
+  util::ThreadPool pool(1);
+  ctx.pool = &pool;
+  std::vector<tensor::Tensor> out(lg.requests);
+  for (std::size_t i = 0; i < lg.requests; ++i) {
+    const auto& x = inputs[pick.uniform_index(inputs.size())];
+    out[i] = sys.run_network_on_oc(replica, x, schedule, ctx);
+  }
+  return out;
+}
+
+TEST(BatchQueue, BucketsByGeometryAndPreservesArrivalOrder) {
+  BatchQueue queue(32, BatchPolicy{/*max_batch=*/8, /*max_wait_us=*/0.0});
+  auto push = [&](std::size_t h, float tag) {
+    PendingRequest req;
+    req.input = tensor::Tensor({1, 1, h, h}, tag);
+    req.key = GeometryKey{1, h, h};
+    req.enqueued = std::chrono::steady_clock::now();
+    ASSERT_EQ(queue.push(std::move(req)), SubmitStatus::kAccepted);
+  };
+  push(4, 0.f);
+  push(6, 1.f);
+  push(4, 2.f);
+  push(6, 3.f);
+  push(4, 4.f);
+
+  // Head-of-line bucket first: all three 4x4 frames, in arrival order.
+  auto batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].key, (GeometryKey{1, 4, 4}));
+    EXPECT_EQ(batch[i].input[0], static_cast<float>(2 * i));
+  }
+  // Then the 6x6 bucket.
+  batch = queue.pop_batch();
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& req : batch) {
+    EXPECT_EQ(req.key, (GeometryKey{1, 6, 6}));
+  }
+}
+
+TEST(BatchQueue, FullBucketDispatchesBeforeHeadDeadline) {
+  // Head is a lone 3x3 frame with a long coalescing window; a full 5x5
+  // bucket behind it must not wait for the head's deadline.
+  BatchQueue queue(32, BatchPolicy{/*max_batch=*/2, /*max_wait_us=*/5e5});
+  auto push = [&](std::size_t h) {
+    PendingRequest req;
+    req.input = tensor::Tensor({1, 1, h, h});
+    req.key = GeometryKey{1, h, h};
+    req.enqueued = std::chrono::steady_clock::now();
+    ASSERT_EQ(queue.push(std::move(req)), SubmitStatus::kAccepted);
+  };
+  push(3);
+  push(5);
+  push(5);
+  const auto start = std::chrono::steady_clock::now();
+  const auto batch = queue.pop_batch();
+  const double waited =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].key, (GeometryKey{1, 5, 5}));
+  EXPECT_LT(waited, 0.4) << "full bucket waited on the head-of-line deadline";
+}
+
+TEST(BatchQueue, RejectsWhenFullAndClosesCleanly) {
+  BatchQueue queue(2, BatchPolicy{4, 0.0});
+  auto make = [] {
+    PendingRequest req;
+    req.input = tensor::Tensor({1, 1, 2, 2});
+    req.key = GeometryKey{1, 2, 2};
+    req.enqueued = std::chrono::steady_clock::now();
+    return req;
+  };
+  EXPECT_EQ(queue.push(make()), SubmitStatus::kAccepted);
+  EXPECT_EQ(queue.push(make()), SubmitStatus::kAccepted);
+  EXPECT_EQ(queue.push(make()), SubmitStatus::kRejected);  // backpressure
+  queue.close();
+  EXPECT_EQ(queue.push(make()), SubmitStatus::kClosed);
+  // Queued requests still drain after close...
+  EXPECT_EQ(queue.pop_batch().size(), 2u);
+  // ...and a drained closed queue signals the workers to exit.
+  EXPECT_TRUE(queue.pop_batch().empty());
+}
+
+TEST(InferenceServer, BitIdenticalToSerialAcrossReplicaCounts) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(61);
+  nn::Network net = nn::build_lenet(rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  const auto inputs = make_inputs(6, 1, 28, 28, 17);
+  LoadGenOptions lg;
+  lg.requests = 24;
+  lg.concurrency = 8;
+  lg.seed = 5;
+  const auto expected = serial_baseline(sys, net, schedule, inputs, lg);
+
+  for (const std::size_t replicas : {1u, 4u, 8u}) {
+    ServerOptions so;
+    so.replicas = replicas;
+    so.batch.max_batch = 8;
+    so.batch.max_wait_us = 2000.0;
+    InferenceServer server(sys, net, schedule, so);
+    const auto load = run_closed_loop(server, inputs, lg);
+    for (std::size_t i = 0; i < lg.requests; ++i) {
+      expect_bit_exact(expected[i], load.outputs[i],
+                       "replicas" + std::to_string(replicas) + "_req" +
+                           std::to_string(i));
+    }
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.completed, lg.requests);
+    EXPECT_EQ(stats.failed, 0u);
+  }
+}
+
+TEST(InferenceServer, BitIdenticalAcrossBatchingPolicies) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(62);
+  nn::Network net = nn::build_lenet(rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  const auto inputs = make_inputs(5, 1, 28, 28, 23);
+  LoadGenOptions lg;
+  lg.requests = 20;
+  lg.concurrency = 6;
+  lg.seed = 9;
+  const auto expected = serial_baseline(sys, net, schedule, inputs, lg);
+
+  const BatchPolicy policies[] = {
+      {/*max_batch=*/1, /*max_wait_us=*/0.0},     // no batching at all
+      {/*max_batch=*/4, /*max_wait_us=*/500.0},   // small batches
+      {/*max_batch=*/32, /*max_wait_us=*/5000.0}  // greedy coalescing
+  };
+  for (const auto& policy : policies) {
+    ServerOptions so;
+    so.replicas = 2;
+    so.batch = policy;
+    InferenceServer server(sys, net, schedule, so);
+    const auto load = run_closed_loop(server, inputs, lg);
+    for (std::size_t i = 0; i < lg.requests; ++i) {
+      expect_bit_exact(expected[i], load.outputs[i],
+                       "max_batch" + std::to_string(policy.max_batch) +
+                           "_req" + std::to_string(i));
+    }
+  }
+}
+
+TEST(InferenceServer, MixedGeometriesBucketCorrectly) {
+  // A conv-only tower accepts any spatial geometry; requests of two
+  // different frame sizes must batch only with their own kind and still
+  // match their serial baselines bit-for-bit.
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(63);
+  nn::Network net("conv_tower");
+  net.add<nn::Conv2d>(tensor::ConvSpec{1, 4, 3, 1, 1}, rng);
+  net.add<nn::Activation>(tensor::ActKind::kReLU);
+  net.add<nn::Conv2d>(tensor::ConvSpec{4, 2, 3, 1, 1}, rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+
+  auto small = make_inputs(3, 1, 8, 8, 31);
+  auto large = make_inputs(3, 1, 12, 12, 32);
+  std::vector<tensor::Tensor> inputs;
+  for (std::size_t i = 0; i < 3; ++i) {  // interleave the geometries
+    inputs.push_back(small[i]);
+    inputs.push_back(large[i]);
+  }
+  LoadGenOptions lg;
+  lg.requests = 30;
+  lg.concurrency = 10;
+  lg.seed = 3;
+  const auto expected = serial_baseline(sys, net, schedule, inputs, lg);
+
+  ServerOptions so;
+  so.replicas = 2;
+  so.batch.max_batch = 8;
+  so.batch.max_wait_us = 2000.0;
+  InferenceServer server(sys, net, schedule, so);
+  const auto load = run_closed_loop(server, inputs, lg);
+  for (std::size_t i = 0; i < lg.requests; ++i) {
+    expect_bit_exact(expected[i], load.outputs[i],
+                     "mixed_req" + std::to_string(i));
+    // The output slice geometry must match the request's own bucket, never
+    // a co-batched one: [1, 2, H, W] for an H x W input.
+    ASSERT_EQ(load.outputs[i].rank(), 4u);
+    EXPECT_EQ(load.outputs[i].dim(2),
+              expected[i].dim(2));
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, lg.requests);
+}
+
+TEST(InferenceServer, BackpressureRejectsWithStatus) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(64);
+  nn::Network net = nn::build_mlp(rng, 16, 8, 3);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+
+  ServerOptions so;
+  so.replicas = 1;
+  so.queue_capacity = 2;
+  // A long coalescing window for a big batch keeps admitted requests parked
+  // in the queue, so the capacity check is deterministic.
+  so.batch.max_batch = 64;
+  so.batch.max_wait_us = 2e5;  // 200 ms
+  InferenceServer server(sys, net, schedule, so);
+
+  tensor::Tensor x({1, 1, 4, 4});
+  util::Rng xr(7);
+  x.fill_uniform(xr, 0.0f, 1.0f);
+  auto t1 = server.submit(x);
+  auto t2 = server.submit(x);
+  auto t3 = server.submit(x);  // over capacity -> rejected, not queued
+  EXPECT_EQ(t1.status, SubmitStatus::kAccepted);
+  EXPECT_EQ(t2.status, SubmitStatus::kAccepted);
+  EXPECT_EQ(t3.status, SubmitStatus::kRejected);
+  EXPECT_FALSE(t3.result.valid());
+
+  // The accepted requests complete once the coalescing window lapses.
+  ASSERT_EQ(t1.result.wait_for(std::chrono::seconds(10)),
+            std::future_status::ready);
+  const auto r1 = t1.result.get();
+  const auto r2 = t2.result.get();
+  EXPECT_EQ(r1.batch_size, 2u);
+  EXPECT_EQ(r2.batch_size, 2u);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.batch_size_hist.at(2), 1u);
+}
+
+TEST(InferenceServer, StatsAccountForEveryRequest) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(65);
+  nn::Network net = nn::build_mlp(rng, 16, 8, 3);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  const auto inputs = make_inputs(4, 1, 4, 4, 41);
+
+  ServerOptions so;
+  so.replicas = 2;
+  so.batch.max_batch = 4;
+  so.batch.max_wait_us = 300.0;
+  InferenceServer server(sys, net, schedule, so);
+  LoadGenOptions lg;
+  lg.requests = 32;
+  lg.concurrency = 8;
+  const auto load = run_closed_loop(server, inputs, lg);
+  (void)load;
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.completed, lg.requests);
+  EXPECT_EQ(stats.failed, 0u);
+  std::uint64_t hist_total = 0;
+  for (const auto& [size, count] : stats.batch_size_hist) {
+    hist_total += size * count;
+  }
+  EXPECT_EQ(hist_total, lg.requests);
+  EXPECT_EQ(stats.latency_seconds.count(), lg.requests);
+  EXPECT_GT(stats.latency_seconds.quantile(0.5), 0.0);
+  EXPECT_GE(stats.latency_seconds.quantile(0.99),
+            stats.latency_seconds.quantile(0.5));
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.throughput_rps(), 0.0);
+  // The text/JSON reports render without throwing.
+  EXPECT_FALSE(stats.to_text().empty());
+  EXPECT_NE(stats.to_json().find("\"batch_size_hist\""), std::string::npos);
+}
+
+TEST(InferenceServer, ShutdownDrainsAndInferThrowsAfter) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(66);
+  nn::Network net = nn::build_mlp(rng, 16, 8, 3);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  ServerOptions so;
+  so.replicas = 1;
+  InferenceServer server(sys, net, schedule, so);
+  tensor::Tensor x({1, 1, 4, 4});
+  util::Rng xr(9);
+  x.fill_uniform(xr, 0.0f, 1.0f);
+  auto ticket = server.submit(x);
+  ASSERT_EQ(ticket.status, SubmitStatus::kAccepted);
+  server.shutdown();  // must drain the accepted request, not drop it
+  EXPECT_EQ(ticket.result.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_THROW(server.infer(std::move(x)), std::runtime_error);
+}
+
+TEST(WeightCache, CachedForwardBitIdenticalToUncached) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(67);
+  nn::Network net = nn::build_lenet(rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  tensor::Tensor x({2, 1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+
+  core::ExecutionContext plain;
+  const auto expected = sys.run_network_on_oc(net, x, schedule, plain);
+
+  const core::OcWeightCache cache = core::build_oc_weight_cache(net, schedule);
+  ASSERT_EQ(cache.weights.size(), 5u);  // 2 conv + 3 fc
+  core::ExecutionContext cached;
+  cached.weight_cache = &cache;
+  const auto got = sys.run_network_on_oc(net, x, schedule, cached);
+  expect_bit_exact(expected, got, "weight_cache_forward");
+}
+
+TEST(PerItemActScale, BatchedMatchesEachSingleForward) {
+  // The core invariant under the serving batcher: with per-item activation
+  // scales, item n of a batched forward equals its batch-of-1 forward
+  // bit-for-bit, for every backend that serves requests.
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(68);
+  nn::Network net = nn::build_lenet(rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  tensor::Tensor batch({3, 1, 28, 28});
+  batch.fill_uniform(rng, 0.0f, 1.0f);
+  // Make the per-item maxima genuinely different so the per-batch scheme
+  // would NOT reproduce the single-frame results.
+  for (std::size_t i = 0; i < 28 * 28; ++i) batch[i] *= 0.35f;
+
+  for (const std::string backend : {"reference", "gemm"}) {
+    core::ExecutionContext batched;
+    batched.backend = backend;
+    batched.per_item_act_scale = true;
+    const auto all = sys.run_network_on_oc(net, batch, schedule, batched);
+
+    for (std::size_t n = 0; n < batch.dim(0); ++n) {
+      tensor::Tensor one({1, 1, 28, 28});
+      std::copy(batch.data() + n * 28 * 28, batch.data() + (n + 1) * 28 * 28,
+                one.data());
+      core::ExecutionContext single;
+      single.backend = backend;
+      const auto row = sys.run_network_on_oc(net, one, schedule, single);
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        ASSERT_EQ(all[n * row.size() + j], row[j])
+            << backend << " item " << n << " logit " << j;
+      }
+    }
+  }
+}
+
+TEST(MonteCarlo, StreamedMatchesRetainedAndDropsTrials) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(69);
+  const nn::Network net = nn::build_mlp(rng, 16, 10, 4);
+  nn::Dataset data;
+  data.num_classes = 4;
+  data.images = tensor::Tensor({16, 1, 4, 4});
+  util::Rng dr(77);
+  data.images.fill_uniform(dr, 0.0f, 1.0f);
+  data.labels.resize(16);
+  for (std::size_t i = 0; i < 16; ++i) data.labels[i] = i % 4;
+
+  core::MonteCarloOptions mco;
+  mco.trials = 8;
+  mco.faults.stuck_cell_rate = 0.2;
+  mco.base_seed = 11;
+  mco.batch_size = 8;
+
+  core::ExperimentRunner r1;
+  const auto retained = r1.monte_carlo(
+      sys, net, data, nn::PrecisionSchedule::uniform(4), mco);
+  mco.stream = true;
+  core::ExperimentRunner r2;
+  const auto streamed = r2.monte_carlo(
+      sys, net, data, nn::PrecisionSchedule::uniform(4), mco);
+
+  EXPECT_EQ(retained.accuracy.size(), mco.trials);
+  EXPECT_TRUE(streamed.accuracy.empty());
+  EXPECT_EQ(streamed.sketch.count(), mco.trials);
+  EXPECT_EQ(retained.mean, streamed.mean);
+  EXPECT_EQ(retained.stddev, streamed.stddev);
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(retained.quantile(q), streamed.quantile(q)) << "q=" << q;
+  }
+}
+
+}  // namespace
+}  // namespace lightator::serve

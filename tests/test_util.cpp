@@ -1,12 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "util/config.hpp"
 #include "util/logging.hpp"
 #include "util/quant.hpp"
 #include "util/rng.hpp"
+#include "util/streaming_quantiles.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 
@@ -271,6 +274,123 @@ TEST(Logging, LevelsFilter) {
   set_log_level(LogLevel::kWarn);
   EXPECT_STREQ(level_name(LogLevel::kDebug), "DEBUG");
   EXPECT_STREQ(level_name(LogLevel::kError), "ERROR");
+}
+
+// ------------------------------------------------- StreamingQuantiles
+
+/// The exact reference the sketch must reproduce while uncompacted.
+double exact_quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+TEST(StreamingQuantiles, ExactBelowCapacity) {
+  StreamingQuantiles sketch(128);
+  Rng rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    values.push_back(v);
+    sketch.add(v);
+  }
+  ASSERT_TRUE(sketch.is_exact());
+  EXPECT_EQ(sketch.count(), 100u);
+  for (const double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(sketch.quantile(q), exact_quantile(values, q)) << "q=" << q;
+  }
+  EXPECT_EQ(sketch.min(), *std::min_element(values.begin(), values.end()));
+  EXPECT_EQ(sketch.max(), *std::max_element(values.begin(), values.end()));
+}
+
+TEST(StreamingQuantiles, MeanAndStddevExactForAnyLength) {
+  StreamingQuantiles sketch(16);  // tiny capacity: forces many compactions
+  double sum = 0.0;
+  std::vector<double> values;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(-1.0, 5.0);
+    values.push_back(v);
+    sum += v;
+    sketch.add(v);
+  }
+  EXPECT_FALSE(sketch.is_exact());
+  EXPECT_EQ(sketch.count(), 5000u);
+  const double mean = sum / 5000.0;
+  EXPECT_NEAR(sketch.mean(), mean, 1e-12);
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  EXPECT_NEAR(sketch.stddev(), std::sqrt(var / 4999.0), 1e-9);
+}
+
+TEST(StreamingQuantiles, BoundedErrorAfterCompaction) {
+  // 10k uniform values through a 64-entry buffer: quantiles must stay within
+  // a few multiples of the 1/capacity rank-error bound.
+  StreamingQuantiles sketch(64);
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) sketch.add(rng.uniform());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(sketch.quantile(q), q, 0.05) << "q=" << q;
+  }
+  // Order statistics stay monotone.
+  EXPECT_LE(sketch.quantile(0.1), sketch.quantile(0.5));
+  EXPECT_LE(sketch.quantile(0.5), sketch.quantile(0.9));
+  EXPECT_LE(sketch.min(), sketch.quantile(0.0) + 1e-12);
+  EXPECT_GE(sketch.max(), sketch.quantile(1.0) - 1e-12);
+}
+
+TEST(StreamingQuantiles, DeterministicForIdenticalStreams) {
+  StreamingQuantiles a(32), b(32);
+  Rng rng(23);
+  std::vector<double> stream;
+  for (int i = 0; i < 3000; ++i) stream.push_back(rng.normal());
+  for (double v : stream) a.add(v);
+  for (double v : stream) b.add(v);
+  for (const double q : {0.05, 0.5, 0.95}) {
+    EXPECT_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.stddev(), b.stddev());
+}
+
+TEST(StreamingQuantiles, MergeCombinesCountsAndMoments) {
+  StreamingQuantiles a(64), b(64);
+  Rng rng(29);
+  std::vector<double> all;
+  for (int i = 0; i < 40; ++i) {
+    const double v = rng.uniform(0.0, 1.0);
+    all.push_back(v);
+    a.add(v);
+  }
+  for (int i = 0; i < 24; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    all.push_back(v);
+    b.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), 64u);
+  double sum = 0.0;
+  for (double v : all) sum += v;
+  EXPECT_NEAR(a.mean(), sum / 64.0, 1e-12);
+  EXPECT_EQ(a.max(), *std::max_element(all.begin(), all.end()));
+  // The quantiles must cleanly separate the two merged populations.
+  EXPECT_GT(a.quantile(0.9), 2.0);
+  EXPECT_LT(a.quantile(0.3), 1.0);
+}
+
+TEST(StreamingQuantiles, EmptyAndSingle) {
+  StreamingQuantiles sketch;
+  EXPECT_TRUE(sketch.empty());
+  EXPECT_EQ(sketch.quantile(0.5), 0.0);
+  EXPECT_EQ(sketch.stddev(), 0.0);
+  sketch.add(42.0);
+  EXPECT_EQ(sketch.quantile(0.0), 42.0);
+  EXPECT_EQ(sketch.quantile(1.0), 42.0);
+  EXPECT_EQ(sketch.mean(), 42.0);
+  EXPECT_EQ(sketch.stddev(), 0.0);
 }
 
 }  // namespace
