@@ -2,9 +2,14 @@
 // PRs can track the perf trajectory.
 //
 // Times the "reference" (scalar arm-segmented loop) and "gemm" (im2col +
-// segment-blocked int16 GEMM) backends on a VGG9-scale conv layer at batch 8,
+// packed SIMD int16 GEMM) backends on a VGG9-scale conv layer at batch 8,
 // verifies bit-exactness on the same inputs, and prints a JSON record:
 //   { "bench": "backend_compare", "layers": [ {...}, ... ] }
+// When the AVX2 kernels are live the gemm backend is additionally timed
+// with SIMD force-disabled (the PR 1 segment-blocked scalar kernel), its
+// outputs verified bit-exact, and the packed-vs-scalar ratio reported as
+// "simd_speedup" — the number scripts/check_perf.py gates against each
+// baseline layer's "min_simd_speedup" floor.
 // Overrides (key=value): batch=8 reps=3 threads=0 out=path.json
 //   threads=0 sizes the pool from hardware_concurrency; out= additionally
 //   writes the JSON to a file.
@@ -18,6 +23,7 @@
 #include "bench/bench_common.hpp"
 #include "core/optical_core.hpp"
 #include "tensor/quantize.hpp"
+#include "tensor/simd.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -80,11 +86,14 @@ int main(int argc, char** argv) {
       {"hires_16x16_192x192", {16, 16, 3, 1, 1}, 192, 192},
   };
 
+  const bool simd_live = tensor::simd::avx2_enabled();
   std::ostringstream json;
   json << "{\n  \"bench\": \"backend_compare\",\n"
        << "  \"batch\": " << batch << ",\n"
        << "  \"threads\": " << pool.size() << ",\n"
-       << "  \"reps\": " << reps << ",\n  \"layers\": [\n";
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"simd_kernel\": \"" << tensor::simd::active_kernel()
+       << "\",\n  \"layers\": [\n";
 
   util::Rng rng(1);
   bool first = true;
@@ -107,21 +116,39 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; exact && i < y_ref.size(); ++i) {
       exact = y_ref[i] == y_gemm[i];
     }
+    // Scalar-kernel comparison: the same gemm backend with SIMD force-
+    // disabled is exactly the PR 1 segment-blocked kernel. The packed path
+    // must match it bit-for-bit and beat it on the CI-gated layers.
+    double scalar_s = gemm_s;
+    if (simd_live) {
+      tensor::Tensor y_scalar;
+      tensor::simd::set_simd_enabled(false);
+      scalar_s = time_conv(oc.backend("gemm"), xq, wq, c.spec, ctx, reps,
+                           &y_scalar);
+      tensor::simd::set_simd_enabled(true);
+      for (std::size_t i = 0; exact && i < y_gemm.size(); ++i) {
+        exact = y_scalar[i] == y_gemm[i];
+      }
+    }
     const double speedup = gemm_s > 0.0 ? ref_s / gemm_s : 0.0;
+    const double simd_speedup = gemm_s > 0.0 ? scalar_s / gemm_s : 0.0;
     const std::size_t macs = batch * c.spec.out_channels *
                              c.spec.out_dim(c.in_h) * c.spec.out_dim(c.in_w) *
                              c.spec.weights_per_filter();
 
     std::printf("%-26s reference %8.2f ms   gemm %8.2f ms   speedup %6.2fx   "
-                "bit-exact %s\n",
+                "simd %5.2fx   bit-exact %s\n",
                 c.name.c_str(), ref_s * 1e3, gemm_s * 1e3, speedup,
-                exact ? "yes" : "NO");
+                simd_speedup, exact ? "yes" : "NO");
 
     if (!first) json << ",\n";
     first = false;
     json << "    {\"name\": \"" << c.name << "\", \"macs\": " << macs
          << ", \"reference_ms\": " << ref_s * 1e3
-         << ", \"gemm_ms\": " << gemm_s * 1e3 << ", \"speedup\": " << speedup
+         << ", \"gemm_ms\": " << gemm_s * 1e3
+         << ", \"gemm_scalar_ms\": " << scalar_s * 1e3
+         << ", \"speedup\": " << speedup
+         << ", \"simd_speedup\": " << simd_speedup
          << ", \"bit_exact\": " << (exact ? "true" : "false") << "}";
   }
   json << "\n  ]\n}\n";

@@ -7,7 +7,13 @@ backend measured in the same process on the same machine, so the speedup
 ratio — not absolute milliseconds — is what transfers across CI runners. A
 layer regresses when its current speedup falls more than --tolerance
 (default 25%) below the baseline's, or when the backends stop being
-bit-exact.
+bit-exact. Baseline layers may also carry "min_simd_speedup": a hard floor
+on the packed-AVX2-vs-scalar-kernel ratio ("simd_speedup" in the snapshot),
+checked whenever the snapshot ran with the AVX2 kernels live
+("simd_kernel": "avx2") and skipped with a note on scalar-only hosts. On
+those hosts the gemm-vs-reference gate compares against the layer's
+"scalar_speedup" (the scalar kernel's own baseline) instead of "speedup",
+which bakes in the AVX2 gain.
 
 serve_throughput: the serving layer's value is its throughput over serial
 one-request-at-a-time submission in the same process — again a
@@ -36,6 +42,7 @@ def load_json(path):
 def check_backend_compare(current, baseline, tolerance):
     current_layers = {layer["name"]: layer for layer in current["layers"]}
     baseline_layers = {layer["name"]: layer for layer in baseline["layers"]}
+    simd_live = current.get("simd_kernel") == "avx2"
     failed = False
     for name, base in sorted(baseline_layers.items()):
         layer = current_layers.get(name)
@@ -47,11 +54,27 @@ def check_backend_compare(current, baseline, tolerance):
             print(f"FAIL  {name}: gemm no longer bit-exact with reference")
             failed = True
             continue
-        floor = base["speedup"] * (1.0 - tolerance)
+        # Scalar-only hosts run the fallback kernel: gate against the scalar
+        # kernel's own baseline, not the AVX2-inflated one.
+        base_speedup = (base["speedup"] if simd_live
+                        else base.get("scalar_speedup", base["speedup"]))
+        floor = base_speedup * (1.0 - tolerance)
         status = "ok  " if layer["speedup"] >= floor else "FAIL"
         failed = failed or status == "FAIL"
         print(f"{status}  {name}: speedup {layer['speedup']:.2f}x "
-              f"(baseline {base['speedup']:.2f}x, floor {floor:.2f}x)")
+              f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)")
+        simd_floor = base.get("min_simd_speedup")
+        if simd_floor is None:
+            continue
+        if not simd_live:
+            print(f"note  {name}: AVX2 kernels not live on this host — "
+                  f"min_simd_speedup {simd_floor:.2f}x not checked")
+            continue
+        simd = layer.get("simd_speedup", 0.0)
+        status = "ok  " if simd >= simd_floor else "FAIL"
+        failed = failed or status == "FAIL"
+        print(f"{status}  {name}: packed-vs-scalar {simd:.2f}x "
+              f"(hard floor {simd_floor:.2f}x)")
     for name in sorted(set(current_layers) - set(baseline_layers)):
         print(f"note  {name}: new layer, no baseline (add it to "
               f"{DEFAULT_BASELINE.name})")

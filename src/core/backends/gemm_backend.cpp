@@ -3,8 +3,23 @@
 #include <vector>
 
 #include "tensor/gemm_s16.hpp"
+#include "tensor/gemm_s16_packed.hpp"
+#include "tensor/simd.hpp"
 
 namespace lightator::core {
+
+namespace {
+
+/// The layer's pre-packed panels when they match this backend's arm length —
+/// programmed weights carry them (build_oc_weight_cache packs once per
+/// layer; serving replicas share the cache, hence the panels too).
+const tensor::PackedWeights* usable_prepack(const tensor::QuantizedTensor& w,
+                                            std::size_t seg) {
+  return (w.prepack != nullptr && w.prepack->seg == seg) ? w.prepack.get()
+                                                         : nullptr;
+}
+
+}  // namespace
 
 tensor::Tensor GemmBackend::conv2d(const tensor::QuantizedTensor& x,
                                    const tensor::QuantizedTensor& w,
@@ -19,14 +34,40 @@ tensor::Tensor GemmBackend::conv2d(const tensor::QuantizedTensor& x,
   const std::size_t kdim = spec.weights_per_filter();
   tensor::Tensor y({batch, spec.out_channels, oh, ow});
   const std::size_t seg = config_.geometry.mrs_per_arm;
+  // Packed AVX2 path: the weight panel (GEMM A operand) packs once per call
+  // — or not at all when the programmed layer carries pre-packed panels —
+  // and each item's im2col panel packs into B strips right after unfolding.
+  // Bit-exact with the scalar kernel (same segment reduction order, same
+  // integer arithmetic), so the choice is purely a speed dispatch. Wins at
+  // every panel width: the kernel's register-resident double accumulators
+  // spill to C once per 16-column strip, so even DRAM-bound hires panels
+  // (backend_compare's 36864-pixel case) come out ahead of the scalar
+  // kernel's n-blocked loop.
+  const bool packed = tensor::simd::avx2_enabled();
+  const tensor::PackedWeights* pre =
+      packed ? usable_prepack(w, seg) : nullptr;
+  tensor::PackedA local_a;
+  if (packed && (pre == nullptr || !pre->has_a)) {
+    local_a = tensor::pack_a_s16(w.levels.data(), spec.out_channels, kdim,
+                                 kdim, seg);
+  }
+  const tensor::PackedA& wa =
+      (pre != nullptr && pre->has_a) ? pre->a : local_a;
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
     const double scale = oc_output_scale_for_item(x, w, n);
     std::vector<std::int16_t> cols(kdim * npix);
     std::vector<double> acc(spec.out_channels * npix);
     tensor::im2col_s16(x.levels.data() + n * c_in * h * w_in, h, w_in, spec,
                        cols.data());
-    tensor::gemm_s16_segmented(spec.out_channels, npix, kdim, w.levels.data(),
-                               kdim, cols.data(), npix, seg, acc.data(), npix);
+    if (packed) {
+      const tensor::PackedB cb =
+          tensor::pack_b_s16(cols.data(), kdim, npix, npix, seg);
+      tensor::gemm_s16_packed(wa, cb, acc.data(), npix);
+    } else {
+      tensor::gemm_s16_segmented(spec.out_channels, npix, kdim,
+                                 w.levels.data(), kdim, cols.data(), npix, seg,
+                                 acc.data(), npix);
+    }
     float* y_n = y.data() + n * spec.out_channels * npix;
     for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
       const double* a_row = acc.data() + oc * npix;
@@ -56,6 +97,36 @@ tensor::Tensor GemmBackend::linear(const tensor::QuantizedTensor& x,
   const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
   tensor::Tensor y({batch, out_f});
   const std::size_t seg = config_.geometry.mrs_per_arm;
+  const bool packed = tensor::simd::avx2_enabled();
+  if (packed) {
+    // Packed path: the fc layer is one GEMM — activation rows as the A
+    // operand (packed per forward, cheap), Wᵀ as the B panel (pre-packed on
+    // programmed layers, one pass over W otherwise, amortized over the
+    // batch). Each item is one C row, so the batch shards over the pool by
+    // row range without re-packing anything.
+    const tensor::PackedWeights* pre = usable_prepack(w, seg);
+    tensor::PackedB local_bt;
+    if (pre == nullptr || !pre->has_b) {
+      local_bt = tensor::pack_b_s16_transposed(w.levels.data(), d, out_f, d,
+                                               seg);
+    }
+    const tensor::PackedB& wb =
+        (pre != nullptr && pre->has_b) ? pre->bt : local_bt;
+    const tensor::PackedA xa =
+        tensor::pack_a_s16(x.levels.data(), batch, d, d, seg);
+    std::vector<double> acc(batch * out_f);
+    ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
+      tensor::gemm_s16_packed(xa, wb, acc.data(), out_f, n, n + 1);
+      const double scale = oc_output_scale_for_item(x, w, n);
+      const double* a_row = acc.data() + n * out_f;
+      for (std::size_t o = 0; o < out_f; ++o) {
+        float v = static_cast<float>(a_row[o] * scale);
+        if (!bias.empty()) v += bias[o];
+        y.at(n, o) = v;
+      }
+    });
+    return y;
+  }
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
     const double scale = oc_output_scale_for_item(x, w, n);
     const std::int16_t* row = x.levels.data() + n * d;

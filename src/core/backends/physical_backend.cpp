@@ -99,7 +99,11 @@ tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
     auto arm = acquire_arm(w.bits);
     std::unique_ptr<util::Rng> rng;
     if (ctx.noise_seed != 0) {
-      rng = std::make_unique<util::Rng>(mix_seed(ctx.noise_seed, stream, n));
+      // Seed from the item's noise stream id (request id under the serving
+      // layer, batch index offline) — never from where the batcher happened
+      // to place the item.
+      rng = std::make_unique<util::Rng>(
+          mix_seed(ctx.noise_seed, stream, ctx.noise_id_for_item(n)));
     }
     std::vector<double> seg_w(seg);
     std::vector<int> seg_c(seg);
@@ -171,7 +175,9 @@ tensor::Tensor PhysicalBackend::linear(const tensor::QuantizedTensor& x,
     auto arm = acquire_arm(w.bits);
     std::unique_ptr<util::Rng> rng;
     if (ctx.noise_seed != 0) {
-      rng = std::make_unique<util::Rng>(mix_seed(ctx.noise_seed, stream, n));
+      // Same per-item noise stream id scheme as conv2d above.
+      rng = std::make_unique<util::Rng>(
+          mix_seed(ctx.noise_seed, stream, ctx.noise_id_for_item(n)));
     }
     const std::int16_t* row = x.levels.data() + n * d;
     std::vector<double> seg_w(seg);

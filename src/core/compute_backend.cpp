@@ -67,7 +67,7 @@ std::vector<std::string> BackendRegistry::names() const {
 }
 
 std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream,
-                       std::size_t item) {
+                       std::uint64_t item) {
   std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1) +
                     0xD1B54A32D192ED03ull * (item + 1);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;

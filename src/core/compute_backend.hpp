@@ -4,11 +4,15 @@
 // ComputeBackend:
 //   * "reference" — the scalar arm-segmented loop, kept as the correctness
 //                   oracle (bit-for-bit the original seed semantics);
-//   * "gemm"      — im2col + blocked int16 GEMM (tensor/gemm_s16.hpp) with
-//                   segment-aware K-blocking, bit-exact with "reference" and
-//                   an order of magnitude faster;
-//   * "physical"  — the noisy MrArm device-model path with a per-batch-item
-//                   seeded RNG, deterministic regardless of thread count.
+//   * "gemm"      — im2col + packed int16 GEMM (tensor/gemm_s16_packed.hpp,
+//                   runtime-dispatched AVX2 kernels with the segment-blocked
+//                   scalar loop of tensor/gemm_s16.hpp as fallback),
+//                   bit-exact with "reference" and 30-40x faster;
+//   * "physical"  — the noisy MrArm device-model path with per-item seeded
+//                   noise streams (batch index by default, explicit ids via
+//                   ExecutionContext::noise_stream_ids), deterministic
+//                   regardless of thread count and — under ids — of batch
+//                   composition.
 // Backends are looked up by name through BackendRegistry (the op-registry
 // idiom), so downstream code — LightatorSystem, benches, tests — selects a
 // datapath with a string in the ExecutionContext and new engines can be
@@ -89,11 +93,35 @@ struct ExecutionContext {
     return pool != nullptr ? *pool : util::ThreadPool::global();
   }
 
+  /// Per-batch-item noise stream ids for the "physical" backend. Empty (the
+  /// default) seeds item n from its batch index — the offline convention.
+  /// When set (size must equal the batch), item n instead draws from
+  /// mix_seed(noise_seed, stream, noise_stream_ids[n]): the serving layer
+  /// threads each request's id here (and run_network_on_oc restarts the
+  /// stream counter per forward), so a request's noise is a pure function
+  /// of (noise_seed, request id) — bit-identical regardless of batch
+  /// composition, batch size, or which replica ran it.
+  std::vector<std::uint64_t> noise_stream_ids;
+
+  /// Noise stream id of batch item `n` under the scheme above.
+  std::uint64_t noise_id_for_item(std::size_t n) const {
+    return noise_stream_ids.empty() ? static_cast<std::uint64_t>(n)
+                                    : noise_stream_ids[n];
+  }
+
   /// Distinct noise stream per backend invocation, so successive layers draw
   /// independent noise even though each batch item reseeds from (seed, item).
   std::uint64_t next_noise_stream() const {
     return noise_stream_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Restarts the per-invocation stream counter. run_network_on_oc calls
+  /// this at the top of a forward when noise_stream_ids are present, making
+  /// the stream drawn by weighted layer L the same ordinal in every forward
+  /// — the other half of the batch-composition-invariance contract (the
+  /// offline id-less scheme keeps the monotonic counter, so successive
+  /// evaluation batches still draw fresh noise).
+  void reset_noise_streams() { noise_stream_.store(0, std::memory_order_relaxed); }
 
  private:
   mutable std::atomic<std::uint64_t> noise_stream_{0};
@@ -156,7 +184,7 @@ class BackendRegistry {
 /// per-batch-item noise, ExperimentRunner::sweep per-item seeds, and the
 /// multi-frame capture pipeline's per-frame sensor noise.
 std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream,
-                       std::size_t item);
+                       std::uint64_t item);
 
 // ---- per-layer stats accumulation -----------------------------------------
 

@@ -7,7 +7,9 @@
 #include <stdexcept>
 
 #include "tensor/activations.hpp"
+#include "tensor/gemm_s16_packed.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
 #include "util/logging.hpp"
 
 namespace lightator::core {
@@ -159,10 +161,46 @@ tensor::Tensor LightatorSystem::run_network_on_oc(
       [act_bits](std::size_t) { return act_bits; }, ctx);
 }
 
+tensor::Tensor LightatorSystem::run_network_on_oc(
+    nn::Network& net, const std::vector<const tensor::Tensor*>& frames,
+    const nn::PrecisionSchedule& schedule, ExecutionContext& ctx) const {
+  if (frames.empty()) {
+    throw std::invalid_argument("run_network_on_oc: no frames");
+  }
+  for (const tensor::Tensor* frame : frames) {
+    if (frame == nullptr || frame->rank() == 0 || frame->dim(0) != 1) {
+      throw std::invalid_argument(
+          "run_network_on_oc: frames must be non-null [1, ...] tensors");
+    }
+    if (frame->shape() != frames[0]->shape()) {
+      throw std::invalid_argument(
+          "run_network_on_oc: frames have mismatched geometries");
+    }
+  }
+  return run_network_impl(
+      net, tensor::Tensor(),
+      [&schedule](std::size_t i) { return schedule.weight_bits_for(i); },
+      [&schedule](std::size_t i) { return schedule.act_bits_for(i); }, ctx,
+      &frames);
+}
+
 tensor::Tensor LightatorSystem::run_network_impl(
     nn::Network& net, const tensor::Tensor& x, const BitsFn& weight_bits_for,
-    const BitsFn& act_bits_for, ExecutionContext& ctx) const {
-  tensor::Tensor h = x;
+    const BitsFn& act_bits_for, ExecutionContext& ctx,
+    const std::vector<const tensor::Tensor*>* gather) const {
+  tensor::Tensor h;
+  if (gather == nullptr) h = x;
+  const std::size_t frames =
+      gather != nullptr ? gather->size() : x.dim(0);
+  if (!ctx.noise_stream_ids.empty()) {
+    if (ctx.noise_stream_ids.size() != frames) {
+      throw std::invalid_argument(
+          "run_network_on_oc: noise_stream_ids size does not match the batch");
+    }
+    // Per-request noise ids promise composition-invariant noise; restart the
+    // stream counter so layer L draws the same stream ordinal every forward.
+    ctx.reset_noise_streams();
+  }
   std::size_t weighted_index = 0;
   util::Rng fault_rng(ctx.faults.seed);
   // Activations enter through the CRC/DMVA path: unsigned codes with a
@@ -172,13 +210,37 @@ tensor::Tensor LightatorSystem::run_network_impl(
   // backend cannot change the quantization. In per-item mode (the serving
   // layer's dynamic batches) each batch item instead carries its own scale,
   // making every item's result independent of what it was batched with.
+  // Until the first weighted layer consumes it, the input may still live as
+  // borrowed frames (`gather`): quantization then reads straight out of the
+  // frame storage — bit-identical to quantizing the stacked batch, minus
+  // the stacking copy.
   auto quantize_acts = [&](const tensor::Tensor& t, int bits) {
+    if (gather != nullptr) {
+      return ctx.per_item_act_scale
+                 ? tensor::quantize_unsigned_per_item_gather(*gather, bits)
+                 : tensor::quantize_unsigned_gather(*gather, bits);
+    }
     if (ctx.per_item_act_scale) {
       return tensor::quantize_unsigned_per_item(t, bits);
     }
     float m = 0.0f;
     for (std::size_t i = 0; i < t.size(); ++i) m = std::max(m, t[i]);
     return tensor::quantize_unsigned(t, bits, m > 0 ? m : 1.0);
+  };
+  // Materializes the borrowed frames into `h` — only needed when a
+  // non-weighted layer runs before the first conv/fc.
+  auto materialize_gather = [&] {
+    if (gather == nullptr) return;
+    const tensor::Tensor& first = *(*gather)[0];
+    const std::size_t per_frame = first.size();
+    tensor::Shape shape = first.shape();
+    shape[0] = gather->size();
+    h = tensor::Tensor(shape);
+    for (std::size_t i = 0; i < gather->size(); ++i) {
+      std::copy((*gather)[i]->data(), (*gather)[i]->data() + per_frame,
+                h.data() + i * per_frame);
+    }
+    gather = nullptr;
   };
   // Weights come from the context's cache when one is attached (the serving
   // layer programs each replica's weights once); fault injection always
@@ -190,7 +252,6 @@ tensor::Tensor LightatorSystem::run_network_impl(
     if (idx >= cache.size() || cache[idx].bits != wbits) return nullptr;
     return &cache[idx];
   };
-  const std::size_t frames = x.dim(0);
   // Per-layer power/timing accumulators: the architecture models evaluated
   // at the layer's mapped shape, next to the simulator's own wall time.
   // Entries are keyed by weighted-layer index so repeated batches accumulate
@@ -243,9 +304,10 @@ tensor::Tensor LightatorSystem::run_network_impl(
         nn::LayerDesc desc;
         desc.kind = nn::LayerKind::kConv;
         desc.name = conv.name();
-        desc.in_h = h.dim(2);
-        desc.in_w = h.dim(3);
+        desc.in_h = gather != nullptr ? (*gather)[0]->dim(2) : h.dim(2);
+        desc.in_w = gather != nullptr ? (*gather)[0]->dim(3) : h.dim(3);
         desc.conv = conv.spec();
+        gather = nullptr;  // consumed by quantize_acts above
         const auto start = std::chrono::steady_clock::now();
         h = oc_.conv2d(xq, cached != nullptr ? *cached : wq, conv.bias(),
                        conv.spec(), ctx);
@@ -276,6 +338,7 @@ tensor::Tensor LightatorSystem::run_network_impl(
         desc.name = fc.name();
         desc.fc_in = fc.in_features();
         desc.fc_out = fc.out_features();
+        gather = nullptr;  // consumed by quantize_acts above
         const auto start = std::chrono::steady_clock::now();
         h = oc_.linear(xq, cached != nullptr ? *cached : wq, fc.bias(), ctx);
         record_stats(weighted_index - 1, desc, wbits,
@@ -285,7 +348,10 @@ tensor::Tensor LightatorSystem::run_network_impl(
         break;
       }
       default:
-        // Pools, activations, flatten run in the electronic block / CA banks.
+        // Pools, activations, flatten run in the electronic block / CA banks
+        // on the materialized batch (a non-weighted first layer forfeits the
+        // gather path's zero-copy, nothing else).
+        materialize_gather();
         h = layer.forward(h, /*training=*/false);
         break;
     }
@@ -385,21 +451,23 @@ tensor::Tensor LightatorSystem::capture_and_infer(
           "capture_and_infer: scenes produced mismatched frame geometries");
     }
   }
-  // Stack [1,C,H,W] frames into one [N,C,H,W] batch: a single batched OC
-  // forward amortizes quantization and weight programming over all frames.
-  const std::size_t per_frame = frames[0].size();
-  tensor::Tensor batch({scenes.size(), frames[0].dim(1), frames[0].dim(2),
-                        frames[0].dim(3)});
-  for (std::size_t i = 0; i < frames.size(); ++i) {
-    std::copy(frames[i].data(), frames[i].data() + per_frame,
-              batch.data() + i * per_frame);
-  }
-  return run_network_on_oc(net, batch, schedule, ctx);
+  // Run the batched OC forward straight off the acquired frames (the gather
+  // path): one forward amortizes quantization and weight programming over
+  // all frames, without re-stacking them first.
+  std::vector<const tensor::Tensor*> frame_ptrs(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) frame_ptrs[i] = &frames[i];
+  return run_network_on_oc(net, frame_ptrs, schedule, ctx);
 }
 
 OcWeightCache build_oc_weight_cache(const nn::Network& net,
-                                    const nn::PrecisionSchedule& schedule) {
+                                    const nn::PrecisionSchedule& schedule,
+                                    const ArchConfig* arch) {
   OcWeightCache cache;
+  // Pre-pack the SIMD GEMM panels only when the packed kernels can run;
+  // packing is a pure re-layout of the quantized levels, so it never
+  // changes forward results — entries without panels just pack per call.
+  const bool pack = arch != nullptr && tensor::simd::avx2_enabled();
+  const std::size_t seg = pack ? arch->geometry.mrs_per_arm : 0;
   std::size_t weighted_index = 0;
   for (std::size_t i = 0; i < net.num_layers(); ++i) {
     const nn::Layer& layer = net.layer(i);
@@ -407,13 +475,34 @@ OcWeightCache build_oc_weight_cache(const nn::Network& net,
     // cached forward is bit-identical to an uncached one.
     if (layer.kind() == nn::LayerKind::kConv) {
       const auto& conv = dynamic_cast<const nn::Conv2d&>(layer);
-      cache.weights.push_back(tensor::quantize_symmetric(
-          conv.weight(), schedule.weight_bits_for(weighted_index)));
+      tensor::QuantizedTensor q = tensor::quantize_symmetric(
+          conv.weight(), schedule.weight_bits_for(weighted_index));
+      if (pack) {
+        auto pw = std::make_shared<tensor::PackedWeights>();
+        pw->seg = seg;
+        pw->has_a = true;
+        const std::size_t kdim = conv.spec().weights_per_filter();
+        pw->a = tensor::pack_a_s16(q.levels.data(), conv.spec().out_channels,
+                                   kdim, kdim, seg);
+        q.prepack = std::move(pw);
+      }
+      cache.weights.push_back(std::move(q));
       ++weighted_index;
     } else if (layer.kind() == nn::LayerKind::kLinear) {
       const auto& fc = dynamic_cast<const nn::Linear&>(layer);
-      cache.weights.push_back(tensor::quantize_symmetric(
-          fc.weight(), schedule.weight_bits_for(weighted_index)));
+      tensor::QuantizedTensor q = tensor::quantize_symmetric(
+          fc.weight(), schedule.weight_bits_for(weighted_index));
+      if (pack) {
+        auto pw = std::make_shared<tensor::PackedWeights>();
+        pw->seg = seg;
+        pw->has_b = true;
+        pw->bt = tensor::pack_b_s16_transposed(q.levels.data(),
+                                               fc.in_features(),
+                                               fc.out_features(),
+                                               fc.in_features(), seg);
+        q.prepack = std::move(pw);
+      }
+      cache.weights.push_back(std::move(q));
       ++weighted_index;
     }
   }

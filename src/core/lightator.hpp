@@ -80,9 +80,14 @@ struct OcWeightCache {
 };
 
 /// Builds the cache for `net` under `schedule` (weight bits per weighted
-/// layer; the activation side of the schedule is irrelevant here).
+/// layer; the activation side of the schedule is irrelevant here). When
+/// `arch` is given and the packed SIMD kernels are live, each entry also
+/// carries its pre-packed GEMM panels (QuantizedTensor::prepack) sized to
+/// the arch's arm length — packed once here, shared read-only by every
+/// replica that shares the cache.
 OcWeightCache build_oc_weight_cache(const nn::Network& net,
-                                    const nn::PrecisionSchedule& schedule);
+                                    const nn::PrecisionSchedule& schedule,
+                                    const ArchConfig* arch = nullptr);
 
 class LightatorSystem {
  public:
@@ -127,6 +132,16 @@ class LightatorSystem {
   tensor::Tensor run_network_on_oc(nn::Network& net, const tensor::Tensor& x,
                                    const std::vector<int>& weight_bits,
                                    int act_bits, ExecutionContext& ctx) const;
+
+  /// Frame-gather variant: runs the batched forward over `frames` (borrowed,
+  /// same-geometry [1, C, H, W] tensors — one logical batch item each)
+  /// without materializing the stacked batch. The first weighted layer
+  /// quantizes straight out of the frame storage, so the serving layer's
+  /// dynamic batcher pays zero extra copies per request. Bit-identical to
+  /// stacking the frames and calling the tensor overload.
+  tensor::Tensor run_network_on_oc(
+      nn::Network& net, const std::vector<const tensor::Tensor*>& frames,
+      const nn::PrecisionSchedule& schedule, ExecutionContext& ctx) const;
 
   /// Accuracy at arbitrary per-layer weight bits.
   double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
@@ -183,9 +198,12 @@ class LightatorSystem {
                             std::string precision_label,
                             const AnalyzeOptions& options) const;
 
-  tensor::Tensor run_network_impl(nn::Network& net, const tensor::Tensor& x,
-                                  const BitsFn& wbits, const BitsFn& abits,
-                                  ExecutionContext& ctx) const;
+  /// `frames` (when non-null) supplies the input as borrowed [1, ...]
+  /// tensors instead of `x` — the zero-copy gather path above.
+  tensor::Tensor run_network_impl(
+      nn::Network& net, const tensor::Tensor& x, const BitsFn& wbits,
+      const BitsFn& abits, ExecutionContext& ctx,
+      const std::vector<const tensor::Tensor*>* frames = nullptr) const;
 
   ArchConfig config_;
   OpticalCore oc_;

@@ -38,6 +38,7 @@ enum class SubmitStatus { kAccepted, kRejected, kClosed };
 /// What the server hands back for one request.
 struct InferResult {
   tensor::Tensor output;        // this request's slice of the batch, [1, ...]
+  std::uint64_t request_id = 0; // the id the request was submitted under
   std::size_t replica = 0;      // which replica executed it
   std::size_t batch_size = 0;   // size of the batch it rode in
   double queue_seconds = 0.0;   // admission -> batch dispatch
@@ -50,8 +51,12 @@ struct GeometryKey {
 };
 
 struct PendingRequest {
-  tensor::Tensor input;  // [1, C, H, W]
+  tensor::Tensor input;  // [1, C, H, W] — moved in at submit, owned here
   GeometryKey key;
+  /// Stable request identity: the "physical" backend seeds this request's
+  /// noise stream from it, so noisy results depend on the id, never on the
+  /// batch the micro-batcher placed the request in.
+  std::uint64_t request_id = 0;
   std::promise<InferResult> promise;
   std::chrono::steady_clock::time_point enqueued;
 };

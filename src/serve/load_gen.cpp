@@ -44,7 +44,10 @@ LoadGenReport run_closed_loop(InferenceServer& server,
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < n; ++i) {
     for (;;) {
-      SubmitTicket ticket = server.submit(inputs[report.input_index[i]]);
+      // Request index doubles as the request id, so physical-backend noise
+      // is a pure function of (noise_seed, i) — reproducible across runs,
+      // replica counts, and batching policies.
+      SubmitTicket ticket = server.submit(inputs[report.input_index[i]], i);
       if (ticket.status == SubmitStatus::kAccepted) {
         outstanding.emplace_back(i, std::move(ticket.result));
         break;

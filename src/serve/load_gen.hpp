@@ -6,8 +6,10 @@
 // (each completion admits the next submission — the classic closed loop).
 // Rejected submissions retry after reaping the oldest outstanding request,
 // so a capacity smaller than the concurrency degrades throughput instead of
-// dropping work. Because the request stream is seed-deterministic and the
-// server's per-request outputs are batching-invariant, the collected outputs
+// dropping work. Because the request stream is seed-deterministic, requests
+// are submitted under their stream index as the request id, and the
+// server's per-request outputs are batching-invariant (including physical-
+// backend noise, which seeds from the request id), the collected outputs
 // are bit-identical across replica counts and batching policies — which is
 // exactly what the determinism tests and the serve_throughput bench check.
 #pragma once

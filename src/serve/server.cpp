@@ -49,7 +49,8 @@ InferenceServer::InferenceServer(const core::LightatorSystem& system,
     : system_(system),
       schedule_(std::move(schedule)),
       options_(options),
-      weight_cache_(core::build_oc_weight_cache(model, schedule_)),
+      weight_cache_(
+          core::build_oc_weight_cache(model, schedule_, &system.config())),
       queue_(options.queue_capacity, options.batch) {
   const std::size_t n = std::max<std::size_t>(options_.replicas, 1);
   replicas_.reserve(n);
@@ -78,6 +79,12 @@ void InferenceServer::shutdown() {
 }
 
 SubmitTicket InferenceServer::submit(tensor::Tensor input) {
+  return submit(std::move(input),
+                next_request_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+SubmitTicket InferenceServer::submit(tensor::Tensor input,
+                                     std::uint64_t request_id) {
   if (input.rank() == 3) {
     input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
   }
@@ -88,6 +95,7 @@ SubmitTicket InferenceServer::submit(tensor::Tensor input) {
   PendingRequest req;
   req.key = GeometryKey{input.dim(1), input.dim(2), input.dim(3)};
   req.input = std::move(input);
+  req.request_id = request_id;
   req.enqueued = Clock::now();
 
   // Count the submission (and pin first_submit_) before the request becomes
@@ -132,18 +140,18 @@ void InferenceServer::worker_loop(Replica& replica) {
     const Clock::time_point dispatched = Clock::now();
     bool recorded = false;
     try {
-      // Stack the bucket into one [B, C, H, W] batch. The bucket guarantees
-      // one geometry, so the slices are contiguous and uniform.
-      const tensor::Tensor& first = batch[0].input;
-      const std::size_t per_frame = first.size();
-      tensor::Tensor x(
-          {batch.size(), first.dim(1), first.dim(2), first.dim(3)});
+      // Run the batched forward straight off the queued frames (the gather
+      // path — frames were moved into the queue at submit and are never
+      // copied again), threading each request's id as its noise stream id
+      // so "physical" noise is batch-composition invariant.
+      std::vector<const tensor::Tensor*> frames(batch.size());
+      replica.ctx.noise_stream_ids.resize(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        std::copy(batch[i].input.data(), batch[i].input.data() + per_frame,
-                  x.data() + i * per_frame);
+        frames[i] = &batch[i].input;
+        replica.ctx.noise_stream_ids[i] = batch[i].request_id;
       }
-      tensor::Tensor out =
-          system_.run_network_on_oc(replica.net, x, schedule_, replica.ctx);
+      tensor::Tensor out = system_.run_network_on_oc(replica.net, frames,
+                                                     schedule_, replica.ctx);
       const Clock::time_point finished = Clock::now();
 
       // Record before completing the futures: a client that has seen every
@@ -158,6 +166,7 @@ void InferenceServer::worker_loop(Replica& replica) {
         result.output = tensor::Tensor(row_shape);
         std::copy(out.data() + i * per_out, out.data() + (i + 1) * per_out,
                   result.output.data());
+        result.request_id = batch[i].request_id;
         result.replica = replica.index;
         result.batch_size = batch.size();
         result.queue_seconds = seconds_between(batch[i].enqueued, dispatched);

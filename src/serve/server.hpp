@@ -10,16 +10,20 @@
 // Two properties make the batching safe to enable blindly:
 //   * determinism — replica contexts run with per_item_act_scale, so every
 //     request's output is bit-identical to its batch-of-1 serial result no
-//     matter the replica count, batch composition, or batching policy
-//     (guaranteed for noiseless configurations; a physical-backend noise
-//     seed draws per-(batch, item) streams and voids it);
+//     matter the replica count, batch composition, or batching policy. This
+//     holds for noisy "physical" serving too: each request's noise stream
+//     is seeded from its request id (explicit via submit(input, id), else
+//     assigned in admission order), never from its batch slot;
 //   * amortization — weights are quantized ("programmed") once per replica
-//     at construction, not once per forward, and each batched forward
-//     shares one layer-loop/quantization pass across its requests.
+//     at construction (with pre-packed SIMD GEMM panels shared across
+//     replicas), not once per forward, and each batched forward runs
+//     straight off the queued frames (zero-copy gather) sharing one
+//     layer-loop/quantization pass across its requests.
 // ServerStats (serve/stats.hpp) reports throughput, the batch-size
 // histogram, and streaming p50/p95/p99 latency.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -43,8 +47,10 @@ struct ServerOptions {
   BatchPolicy batch;
   /// Pool size of each replica's private ExecutionContext.
   std::size_t threads_per_replica = 1;
-  /// Physical-backend noise seed. Keep 0 (noiseless) for the bit-identical
-  /// per-request guarantee.
+  /// Physical-backend noise seed; 0 serves the noiseless analog path. With
+  /// a non-zero seed a request's noise is a pure function of
+  /// (noise_seed, request id): batch composition, batch size, and replica
+  /// count still never change any request's output.
   std::uint64_t noise_seed = 0;
 };
 
@@ -68,8 +74,12 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Asynchronous submission of one frame, shape [C, H, W] or [1, C, H, W].
-  /// Never blocks: a full queue returns kRejected (backpressure).
+  /// Never blocks: a full queue returns kRejected (backpressure). The
+  /// request id (auto-assigned in admission order) seeds the request's
+  /// physical-backend noise stream; callers that need noisy results to be
+  /// reproducible across submission orders pass their own stable id.
   SubmitTicket submit(tensor::Tensor input);
+  SubmitTicket submit(tensor::Tensor input, std::uint64_t request_id);
 
   /// Synchronous convenience: submit + wait. Throws std::runtime_error when
   /// the queue rejects or the server is shut down.
@@ -97,6 +107,7 @@ class InferenceServer {
   const core::LightatorSystem& system_;
   nn::PrecisionSchedule schedule_;
   ServerOptions options_;
+  std::atomic<std::uint64_t> next_request_id_{0};
   core::OcWeightCache weight_cache_;
   BatchQueue queue_;
   std::vector<std::unique_ptr<Replica>> replicas_;

@@ -8,10 +8,8 @@
 
 namespace lightator::tensor {
 
-namespace {
-
 std::int32_t max_abs_s16(const std::int16_t* v, std::size_t count,
-                         std::size_t stride = 1) {
+                         std::size_t stride) {
   std::int32_t m = 0;
   for (std::size_t i = 0; i < count; ++i) {
     const std::int32_t a = std::abs(static_cast<std::int32_t>(v[i * stride]));
@@ -20,17 +18,15 @@ std::int32_t max_abs_s16(const std::int16_t* v, std::size_t count,
   return m;
 }
 
-/// True when `seg` products of magnitudes up to `max_a * max_b` are
-/// guaranteed to fit an int32 accumulator. Arm-length segments of quantized
-/// codes/levels always do; the flat-segment (segment >= k) mode with large k
-/// or full-range int16 inputs falls back to int64 accumulation.
-bool int32_accumulation_safe(std::int32_t max_a, std::int32_t max_b,
-                             std::size_t seg) {
+bool gemm_s16_int32_safe(std::int32_t max_a, std::int32_t max_b,
+                         std::size_t seg) {
   const std::int64_t worst = static_cast<std::int64_t>(max_a) * max_b;
   if (worst == 0) return true;
   return static_cast<std::int64_t>(seg) <=
          std::numeric_limits<std::int32_t>::max() / worst;
 }
+
+namespace {
 
 /// n-block width for huge feature-map panels. Blocking keeps the int
 /// accumulator strip (kNBlock * 4/8 B) and the output row slice
@@ -97,7 +93,7 @@ void gemm_s16_segmented(std::size_t m, std::size_t n, std::size_t k,
   for (std::size_t kk = 0; kk < k; ++kk) {
     max_b = std::max(max_b, max_abs_s16(b + kk * ldb, n));
   }
-  if (int32_accumulation_safe(max_a, max_b, seg)) {
+  if (gemm_s16_int32_safe(max_a, max_b, seg)) {
     gemm_s16_segmented_impl<std::int32_t>(m, n, k, a, lda, b, ldb, seg, c,
                                           ldc);
   } else {
@@ -110,7 +106,7 @@ double dot_s16_segmented(const std::int16_t* a, const std::int16_t* b,
                          std::size_t k, std::size_t segment) {
   const std::size_t seg = (segment == 0 || segment > k) ? k : segment;
   const bool narrow =
-      int32_accumulation_safe(max_abs_s16(a, k), max_abs_s16(b, k), seg);
+      gemm_s16_int32_safe(max_abs_s16(a, k), max_abs_s16(b, k), seg);
   double total = 0.0;
   for (std::size_t k0 = 0; k0 < k; k0 += seg) {
     const std::size_t k1 = std::min(k0 + seg, k);

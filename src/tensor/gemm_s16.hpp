@@ -35,6 +35,20 @@ void gemm_s16_segmented(std::size_t m, std::size_t n, std::size_t k,
 double dot_s16_segmented(const std::int16_t* a, const std::int16_t* b,
                          std::size_t k, std::size_t segment);
 
+/// Max |v[i*stride]| over `count` elements — the magnitude scan both the
+/// scalar and packed kernels run to pick an accumulator width.
+std::int32_t max_abs_s16(const std::int16_t* v, std::size_t count,
+                         std::size_t stride = 1);
+
+/// True when `seg` products of magnitudes up to `max_a * max_b` are
+/// guaranteed to fit an int32 accumulator. Arm-length segments of quantized
+/// codes/levels always do; the flat-segment (segment >= k) mode with large k
+/// or full-range int16 inputs needs int64 accumulation. Shared by
+/// gemm_s16_segmented and the packed SIMD kernels so both always pick the
+/// same (bit-identical) integer path.
+bool gemm_s16_int32_safe(std::int32_t max_a, std::int32_t max_b,
+                         std::size_t seg);
+
 /// im2col over int16 activation codes: unfolds the (C,H,W) image at `x` into
 /// columns [C*K*K, OH*OW]. Out-of-bounds (padding) reads are dark channels
 /// (code 0), exactly as the OC sees them.

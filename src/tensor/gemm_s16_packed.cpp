@@ -1,0 +1,410 @@
+#include "tensor/gemm_s16_packed.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "tensor/gemm_s16.hpp"
+#include "tensor/simd.hpp"
+
+#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
+#include <immintrin.h>
+#endif
+
+namespace lightator::tensor {
+
+namespace {
+
+/// (k, k+1) pairs of one packed row/panel, walked segment by segment. A
+/// segment of `len` terms occupies (len + 1) / 2 pairs; the pad slot of an
+/// odd segment is zero in both operands, so kernels never special-case it.
+std::size_t pairs_in_segment(std::size_t len) { return (len + 1) / 2; }
+
+/// Portable kernel over the packed layout — the LIGHTATOR_DISABLE_SIMD /
+/// non-AVX2 fallback and the oracle the SIMD fuzz tests compare against.
+/// Mirrors the madd dataflow exactly: each (k, k+1) pair-sum is formed in
+/// int32 (never overflows: 2 * 32767^2 < 2^31), accumulated per column in
+/// `Acc` across the segment, and spilled to double at the arm boundary —
+/// bit-identical to gemm_s16_segmented's per-(i, j) arithmetic.
+template <typename Acc>
+void gemm_packed_scalar(const PackedA& a, const PackedB& b, double* c,
+                        std::size_t ldc, std::size_t row_begin,
+                        std::size_t row_end) {
+  const std::size_t kp2 = a.kp / 2;
+  const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
+  Acc acc[kPackedCols];
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::int16_t* a_row = a.data.data() + i * a.kp;
+    double* c_row = c + i * ldc;
+    std::fill(c_row, c_row + b.n, 0.0);
+    for (std::size_t s = 0; s < strips; ++s) {
+      const std::size_t j0 = s * kPackedCols;
+      const std::size_t valid = std::min(kPackedCols, b.n - j0);
+      const std::int16_t* panel = b.data.data() + s * kp2 * 2 * kPackedCols;
+      std::size_t p = 0;
+      for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
+        const std::size_t len = std::min(a.seg, a.k - k0);
+        std::fill(acc, acc + kPackedCols, Acc{0});
+        for (std::size_t pe = p + pairs_in_segment(len); p < pe; ++p) {
+          const std::int16_t a0 = a_row[2 * p];
+          const std::int16_t a1 = a_row[2 * p + 1];
+          if (a0 == 0 && a1 == 0) continue;
+          const std::int16_t* bp = panel + p * 2 * kPackedCols;
+          for (std::size_t j = 0; j < kPackedCols; ++j) {
+            const std::int32_t pair =
+                static_cast<std::int32_t>(a0) * bp[2 * j] +
+                static_cast<std::int32_t>(a1) * bp[2 * j + 1];
+            acc[j] += static_cast<Acc>(pair);
+          }
+        }
+        // Arm boundary: the BPD emits these partial sums.
+        for (std::size_t j = 0; j < valid; ++j) {
+          c_row[j0 + j] += static_cast<double>(acc[j]);
+        }
+      }
+    }
+  }
+}
+
+#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
+
+/// The A pair broadcast reads rows as unaligned 32-bit words; memcpy keeps
+/// it strict-aliasing clean (and compiles to a single load).
+std::uint32_t load_pair_u32(const std::int16_t* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// AVX2 int32 kernel: 16 output columns per strip live in two 8-lane int32
+/// accumulators; one madd per register multiplies a broadcast A pair into 8
+/// columns' (k, k+1) values and pair-sums them inside the segment. Lanes
+/// spill to the double C row only at arm boundaries.
+__attribute__((target("avx2"))) void gemm_packed_avx2_s32(
+    const PackedA& a, const PackedB& b, double* c, std::size_t ldc,
+    std::size_t row_begin, std::size_t row_end) {
+  const std::size_t kp2 = a.kp / 2;
+  const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::int16_t* a_row = a.data.data() + i * a.kp;
+    double* c_row = c + i * ldc;
+    for (std::size_t s = 0; s < strips; ++s) {
+      const std::size_t j0 = s * kPackedCols;
+      const std::size_t valid = std::min(kPackedCols, b.n - j0);
+      const std::int16_t* panel = b.data.data() + s * kp2 * 2 * kPackedCols;
+      std::size_t p = 0;
+      // The per-(i, j) double accumulators live in registers across the
+      // whole segment sweep and store once per strip — the C row is not
+      // read-modify-written at every arm boundary. The addition order per
+      // output (segment partials, in segment order, from zero) is exactly
+      // the scalar kernel's, so results stay bit-identical.
+      __m256d d0 = _mm256_setzero_pd();
+      __m256d d1 = _mm256_setzero_pd();
+      __m256d d2 = _mm256_setzero_pd();
+      __m256d d3 = _mm256_setzero_pd();
+      for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
+        const std::size_t len = std::min(a.seg, a.k - k0);
+        __m256i acc0 = _mm256_setzero_si256();
+        __m256i acc1 = _mm256_setzero_si256();
+        for (std::size_t pe = p + pairs_in_segment(len); p < pe; ++p) {
+          const std::uint32_t pair = load_pair_u32(a_row + 2 * p);
+          if (pair == 0) continue;  // quantized weights are sparse at low bits
+          const __m256i va =
+              _mm256_set1_epi32(static_cast<std::int32_t>(pair));
+          const std::int16_t* bp = panel + p * 2 * kPackedCols;
+          const __m256i b0 =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp));
+          const __m256i b1 =
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 16));
+          acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, b0));
+          acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va, b1));
+        }
+        // Arm boundary: add the integer lanes into the double accumulators.
+        d0 = _mm256_add_pd(d0, _mm256_cvtepi32_pd(_mm256_castsi256_si128(acc0)));
+        d1 = _mm256_add_pd(d1,
+                           _mm256_cvtepi32_pd(_mm256_extracti128_si256(acc0, 1)));
+        d2 = _mm256_add_pd(d2, _mm256_cvtepi32_pd(_mm256_castsi256_si128(acc1)));
+        d3 = _mm256_add_pd(d3,
+                           _mm256_cvtepi32_pd(_mm256_extracti128_si256(acc1, 1)));
+      }
+      if (valid == kPackedCols) {
+        double* cj = c_row + j0;
+        _mm256_storeu_pd(cj, d0);
+        _mm256_storeu_pd(cj + 4, d1);
+        _mm256_storeu_pd(cj + 8, d2);
+        _mm256_storeu_pd(cj + 12, d3);
+      } else {
+        alignas(32) double dtail[kPackedCols];
+        _mm256_store_pd(dtail, d0);
+        _mm256_store_pd(dtail + 4, d1);
+        _mm256_store_pd(dtail + 8, d2);
+        _mm256_store_pd(dtail + 12, d3);
+        for (std::size_t j = 0; j < valid; ++j) {
+          c_row[j0 + j] = dtail[j];
+        }
+      }
+    }
+  }
+}
+
+/// AVX2 int64 kernel for the overflow-unsafe flat-segment mode: the madd
+/// pair-sums are exact in int32 (2 * 32767^2 < 2^31) and are sign-extended
+/// into four 4-lane int64 accumulators before accumulation, so arbitrarily
+/// deep flat segments reduce exactly like the scalar int64 path.
+__attribute__((target("avx2"))) void gemm_packed_avx2_s64(
+    const PackedA& a, const PackedB& b, double* c, std::size_t ldc,
+    std::size_t row_begin, std::size_t row_end) {
+  const std::size_t kp2 = a.kp / 2;
+  const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
+  alignas(32) std::int64_t tail[kPackedCols];
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::int16_t* a_row = a.data.data() + i * a.kp;
+    double* c_row = c + i * ldc;
+    std::fill(c_row, c_row + b.n, 0.0);
+    for (std::size_t s = 0; s < strips; ++s) {
+      const std::size_t j0 = s * kPackedCols;
+      const std::size_t valid = std::min(kPackedCols, b.n - j0);
+      const std::int16_t* panel = b.data.data() + s * kp2 * 2 * kPackedCols;
+      std::size_t p = 0;
+      for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
+        const std::size_t len = std::min(a.seg, a.k - k0);
+        __m256i acc[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
+                          _mm256_setzero_si256(), _mm256_setzero_si256()};
+        for (std::size_t pe = p + pairs_in_segment(len); p < pe; ++p) {
+          const std::uint32_t pair = load_pair_u32(a_row + 2 * p);
+          if (pair == 0) continue;
+          const __m256i va =
+              _mm256_set1_epi32(static_cast<std::int32_t>(pair));
+          const std::int16_t* bp = panel + p * 2 * kPackedCols;
+          const __m256i m0 = _mm256_madd_epi16(
+              va, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp)));
+          const __m256i m1 = _mm256_madd_epi16(
+              va,
+              _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + 16)));
+          acc[0] = _mm256_add_epi64(
+              acc[0], _mm256_cvtepi32_epi64(_mm256_castsi256_si128(m0)));
+          acc[1] = _mm256_add_epi64(
+              acc[1], _mm256_cvtepi32_epi64(_mm256_extracti128_si256(m0, 1)));
+          acc[2] = _mm256_add_epi64(
+              acc[2], _mm256_cvtepi32_epi64(_mm256_castsi256_si128(m1)));
+          acc[3] = _mm256_add_epi64(
+              acc[3], _mm256_cvtepi32_epi64(_mm256_extracti128_si256(m1, 1)));
+        }
+        _mm256_store_si256(reinterpret_cast<__m256i*>(tail), acc[0]);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(tail + 4), acc[1]);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(tail + 8), acc[2]);
+        _mm256_store_si256(reinterpret_cast<__m256i*>(tail + 12), acc[3]);
+        for (std::size_t j = 0; j < valid; ++j) {
+          c_row[j0 + j] += static_cast<double>(tail[j]);
+        }
+      }
+    }
+  }
+}
+
+/// AVX2 panel pack for full 16-column strips of a row-major B: loads the
+/// two rows of each k-pair, interleaves them per column (unpack + lane
+/// permute), and stores the strip's 32-int16 block — one pass instead of 32
+/// stride-2 scalar writes. The magnitude scan is fused into the same pass
+/// (abs-max over every loaded row, with the -32768 corner handled via a raw
+/// min so the width predicate matches the scalar scan exactly). Returns the
+/// strip's contribution to max_abs.
+__attribute__((target("avx2"))) std::int32_t pack_b_strip_avx2(
+    const std::int16_t* b, std::size_t k, std::size_t ldb, std::size_t seg,
+    std::size_t j0, std::int16_t* panel) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i vmax = zero;          // max |value| seen (epi16)
+  __m256i vmin = zero;          // raw min, to catch -32768
+  std::int16_t* dst = panel;
+  for (std::size_t k0 = 0; k0 < k; k0 += seg) {
+    const std::size_t len = std::min(seg, k - k0);
+    for (std::size_t i = 0; i < len; i += 2) {
+      const __m256i r0 = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(b + (k0 + i) * ldb + j0));
+      const __m256i r1 =
+          i + 1 < len ? _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+                            b + (k0 + i + 1) * ldb + j0))
+                      : zero;
+      vmax = _mm256_max_epi16(vmax, _mm256_abs_epi16(r0));
+      vmax = _mm256_max_epi16(vmax, _mm256_abs_epi16(r1));
+      vmin = _mm256_min_epi16(vmin, _mm256_min_epi16(r0, r1));
+      const __m256i lo = _mm256_unpacklo_epi16(r0, r1);
+      const __m256i hi = _mm256_unpackhi_epi16(r0, r1);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst),
+                          _mm256_permute2x128_si256(lo, hi, 0x20));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + 16),
+                          _mm256_permute2x128_si256(lo, hi, 0x31));
+      dst += 2 * kPackedCols;
+    }
+  }
+  alignas(32) std::int16_t lanes[kPackedCols];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmax);
+  std::int32_t m = 0;
+  for (const std::int16_t v : lanes) {
+    m = std::max(m, static_cast<std::int32_t>(v));
+  }
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmin);
+  for (const std::int16_t v : lanes) {
+    if (v == std::numeric_limits<std::int16_t>::min()) m = 32768;
+  }
+  return m;
+}
+
+#endif  // LIGHTATOR_HAVE_AVX2_KERNELS
+
+/// Packed position of logical depth index kk: pair index and slot within the
+/// pair, honoring the per-segment even padding.
+struct PackedPos {
+  std::size_t pair;
+  std::size_t slot;
+};
+
+std::vector<PackedPos> packed_positions(std::size_t k, std::size_t seg) {
+  std::vector<PackedPos> pos(k);
+  std::size_t pair_base = 0;
+  for (std::size_t k0 = 0; k0 < k; k0 += seg) {
+    const std::size_t len = std::min(seg, k - k0);
+    for (std::size_t i = 0; i < len; ++i) {
+      pos[k0 + i] = {pair_base + i / 2, i % 2};
+    }
+    pair_base += pairs_in_segment(len);
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::size_t packed_depth(std::size_t k, std::size_t segment) {
+  const std::size_t seg = effective_segment(segment, k);
+  std::size_t kp = 0;
+  for (std::size_t k0 = 0; k0 < k; k0 += seg) {
+    kp += 2 * pairs_in_segment(std::min(seg, k - k0));
+  }
+  return kp;
+}
+
+PackedA pack_a_s16(const std::int16_t* a, std::size_t m, std::size_t k,
+                   std::size_t lda, std::size_t segment) {
+  PackedA out;
+  out.m = m;
+  out.k = k;
+  out.seg = effective_segment(segment, k);
+  out.kp = packed_depth(k, segment);
+  out.data.assign(m * out.kp, 0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int16_t* src = a + i * lda;
+    std::int16_t* dst = out.data.data() + i * out.kp;
+    std::size_t off = 0;
+    for (std::size_t k0 = 0; k0 < k; k0 += out.seg) {
+      const std::size_t len = std::min(out.seg, k - k0);
+      std::copy(src + k0, src + k0 + len, dst + off);
+      off += 2 * pairs_in_segment(len);
+    }
+    out.max_abs = std::max(out.max_abs, max_abs_s16(src, k));
+  }
+  return out;
+}
+
+PackedB pack_b_s16(const std::int16_t* b, std::size_t k, std::size_t n,
+                   std::size_t ldb, std::size_t segment) {
+  PackedB out;
+  out.k = k;
+  out.n = n;
+  out.seg = effective_segment(segment, k);
+  out.kp = packed_depth(k, segment);
+  const std::size_t kp2 = out.kp / 2;
+  const std::size_t strips = (n + kPackedCols - 1) / kPackedCols;
+  out.data.assign(strips * kp2 * 2 * kPackedCols, 0);
+  // This is the per-forward pack (one im2col panel per batch item), so full
+  // strips go through the AVX2 interleave with the magnitude scan fused in;
+  // only the ragged last strip falls back to scalar writes.
+  std::size_t s = 0;
+#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
+  if (simd::avx2_enabled()) {
+    for (; (s + 1) * kPackedCols <= n; ++s) {
+      out.max_abs = std::max(
+          out.max_abs,
+          pack_b_strip_avx2(b, k, ldb, out.seg, s * kPackedCols,
+                            out.data.data() + s * kp2 * 2 * kPackedCols));
+    }
+  }
+#endif
+  const auto pos = packed_positions(k, out.seg);
+  for (; s < strips; ++s) {
+    const std::size_t j0 = s * kPackedCols;
+    const std::size_t valid = std::min(kPackedCols, n - j0);
+    std::int16_t* panel = out.data.data() + s * kp2 * 2 * kPackedCols;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const std::int16_t* src = b + kk * ldb + j0;
+      std::int16_t* dst = panel + pos[kk].pair * 2 * kPackedCols + pos[kk].slot;
+      for (std::size_t j = 0; j < valid; ++j) {
+        dst[2 * j] = src[j];
+      }
+      out.max_abs = std::max(out.max_abs, max_abs_s16(src, valid));
+    }
+  }
+  return out;
+}
+
+PackedB pack_b_s16_transposed(const std::int16_t* w, std::size_t k,
+                              std::size_t n, std::size_t ldw,
+                              std::size_t segment) {
+  PackedB out;
+  out.k = k;
+  out.n = n;
+  out.seg = effective_segment(segment, k);
+  out.kp = packed_depth(k, segment);
+  const std::size_t kp2 = out.kp / 2;
+  const std::size_t strips = (n + kPackedCols - 1) / kPackedCols;
+  out.data.assign(strips * kp2 * 2 * kPackedCols, 0);
+  const auto pos = packed_positions(k, out.seg);
+  for (std::size_t j = 0; j < n; ++j) {  // panel column j = W row j
+    const std::int16_t* src = w + j * ldw;
+    std::int16_t* panel =
+        out.data.data() + (j / kPackedCols) * kp2 * 2 * kPackedCols;
+    const std::size_t jloc = j % kPackedCols;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      panel[pos[kk].pair * 2 * kPackedCols + 2 * jloc + pos[kk].slot] =
+          src[kk];
+    }
+    out.max_abs = std::max(out.max_abs, max_abs_s16(src, k));
+  }
+  return out;
+}
+
+void gemm_s16_packed(const PackedA& a, const PackedB& b, double* c,
+                     std::size_t ldc, std::size_t row_begin,
+                     std::size_t row_end) {
+  if (a.k != b.k || a.kp != b.kp || a.seg != b.seg) {
+    throw std::invalid_argument(
+        "gemm_s16_packed: A/B panels packed for different depths or segments");
+  }
+  if (row_begin > row_end || row_end > a.m) {
+    throw std::invalid_argument("gemm_s16_packed: row range out of bounds");
+  }
+  if (row_begin == row_end) return;
+  if (b.n == 0) return;
+  // The same magnitude-scan predicate as the scalar kernel (scans ignore the
+  // zero padding, which cannot raise a max), so both paths always widen at
+  // the same point.
+  const std::size_t seg_for_safety = a.seg == 0 ? a.k : a.seg;
+  const bool narrow = gemm_s16_int32_safe(a.max_abs, b.max_abs, seg_for_safety);
+#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
+  if (simd::avx2_enabled()) {
+    if (narrow) {
+      gemm_packed_avx2_s32(a, b, c, ldc, row_begin, row_end);
+    } else {
+      gemm_packed_avx2_s64(a, b, c, ldc, row_begin, row_end);
+    }
+    return;
+  }
+#endif
+  if (narrow) {
+    gemm_packed_scalar<std::int32_t>(a, b, c, ldc, row_begin, row_end);
+  } else {
+    gemm_packed_scalar<std::int64_t>(a, b, c, ldc, row_begin, row_end);
+  }
+}
+
+}  // namespace lightator::tensor

@@ -1,0 +1,120 @@
+// Packed, runtime-dispatched SIMD layer over the segmented int16 GEMM.
+//
+// The scalar gemm_s16_segmented streams B rows out of the im2col panel one k
+// at a time; the packed layer instead reshapes both operands once into
+// SIMD-friendly panels and runs an AVX2 microkernel over them:
+//
+//   * PackedA — the left operand (weights for conv, activation codes for fc)
+//     with every arm segment zero-padded to an even length, so a 32-bit
+//     broadcast always reads a (k, k+1) pair from ONE segment (the trailing
+//     pad pairs a live term with a zero — a dark channel, exactly what the
+//     OC's padded arm cells compute).
+//   * PackedB — the right operand (im2col panel for conv, Wᵀ for fc) in
+//     strip-major layout: 16-column strips, and within a strip the two rows
+//     of each k-pair interleaved per column. One `_mm256_madd_epi16` then
+//     multiplies a broadcast A pair against 8 columns' (k, k+1) values and
+//     pair-sums them — and because the pads align, every pair-sum stays
+//     inside one arm segment.
+//
+// The microkernel accumulates a segment's pair-sums in int32 lanes (each
+// lane is one output column), spills to the double accumulator only at arm
+// boundaries — the BPD emission points — and widens to int64 lanes for the
+// overflow-unsafe flat-segment mode, chosen by the same magnitude-scan
+// predicate as the scalar kernel (gemm_s16_int32_safe). Every product is an
+// exact integer and segments are reduced in the scalar kernel's order, so
+// the packed path is bit-exact with gemm_s16_segmented and with the scalar
+// reference backend; a portable scalar-on-packed kernel backs the same API
+// on non-AVX2 hardware (and under LIGHTATOR_DISABLE_SIMD / the
+// simd::set_simd_enabled(false) test hook).
+//
+// Weights are packed once per programmed layer (see
+// core::build_oc_weight_cache / QuantizedTensor::prepack) and shared across
+// serving replicas; the activation-side panel is packed per forward.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lightator::tensor {
+
+/// Columns per PackedB strip: 16 int32 accumulator lanes = 2 AVX2 registers.
+inline constexpr std::size_t kPackedCols = 16;
+
+/// Left operand, row-major with arm segments padded to even length.
+/// Rows are `kp` int16 wide; pair 2p / 2p+1 of every row belongs to one
+/// segment by construction.
+struct PackedA {
+  std::vector<std::int16_t> data;
+  std::size_t m = 0;        // rows
+  std::size_t k = 0;        // logical reduction depth
+  std::size_t kp = 0;       // padded depth (even per segment)
+  std::size_t seg = 0;      // effective segment length (arm length)
+  std::int32_t max_abs = 0; // magnitude scan result, for the width predicate
+};
+
+/// Right operand in strip-major k-pair-interleaved layout. Strip s holds
+/// columns [s*16, s*16+16) (zero-padded past n); k-pair p of strip s is 32
+/// int16 at data[(s * kp/2 + p) * 32]: [b(2p, j), b(2p+1, j)] for each of
+/// the 16 columns j, with the same per-segment even padding as PackedA.
+struct PackedB {
+  std::vector<std::int16_t> data;
+  std::size_t k = 0;
+  std::size_t n = 0;        // logical columns
+  std::size_t kp = 0;
+  std::size_t seg = 0;
+  std::int32_t max_abs = 0;
+};
+
+/// Effective segment length shared by the scalar and packed kernels:
+/// 0 or >= k collapses to one flat segment of length k.
+inline std::size_t effective_segment(std::size_t segment, std::size_t k) {
+  return (segment == 0 || segment > k) ? k : segment;
+}
+
+/// Packed depth of a [k]-deep reduction at `segment`: every arm segment
+/// rounded up to an even number of terms.
+std::size_t packed_depth(std::size_t k, std::size_t segment);
+
+/// Packs A[m x k] (row stride `lda`) for `segment`-length arms.
+PackedA pack_a_s16(const std::int16_t* a, std::size_t m, std::size_t k,
+                   std::size_t lda, std::size_t segment);
+
+/// Packs B[k x n] (row stride `ldb`) into strip-major panels.
+PackedB pack_b_s16(const std::int16_t* b, std::size_t k, std::size_t n,
+                   std::size_t ldb, std::size_t segment);
+
+/// Packs Wᵀ from a row-major W[n x k] (row stride `ldw`): panel column j is
+/// W row j. The fc-layer weight panel — packed once per programmed layer.
+PackedB pack_b_s16_transposed(const std::int16_t* w, std::size_t k,
+                              std::size_t n, std::size_t ldw,
+                              std::size_t segment);
+
+/// C rows [row_begin, row_end) (row-major doubles, stride `ldc`, overwritten)
+/// = A x B with segment-blocked integer accumulation, bit-exact with
+/// gemm_s16_segmented over the same logical operands. The row range lets
+/// callers shard the batch dimension (fc: one row per batch item) without
+/// re-packing. Throws std::invalid_argument on mismatched panels.
+void gemm_s16_packed(const PackedA& a, const PackedB& b, double* c,
+                     std::size_t ldc, std::size_t row_begin,
+                     std::size_t row_end);
+
+/// Convenience: all rows.
+inline void gemm_s16_packed(const PackedA& a, const PackedB& b, double* c,
+                            std::size_t ldc) {
+  gemm_s16_packed(a, b, c, ldc, 0, a.m);
+}
+
+/// Pre-packed panels of one programmed (quantized) weight tensor, cached on
+/// QuantizedTensor::prepack so serving replicas sharing an OcWeightCache
+/// also share the packed panels. Conv weights pack as the GEMM's A operand;
+/// fc weights pack as the Wᵀ B panel.
+struct PackedWeights {
+  std::size_t seg = 0;   // arm length the panels were packed for
+  bool has_a = false;
+  bool has_b = false;
+  PackedA a;             // conv: [out_channels x kdim]
+  PackedB bt;            // fc: Wᵀ [d x out_features]
+};
+
+}  // namespace lightator::tensor

@@ -99,6 +99,92 @@ QuantizedTensor quantize_unsigned_per_item(const Tensor& x, int bits) {
   return out;
 }
 
+namespace {
+
+/// Batched shape/consistency for the gather variants: every frame [1, ...]
+/// with one shared geometry; the result stacks them along dim 0.
+Shape gather_shape(const std::vector<const Tensor*>& frames) {
+  if (frames.empty()) {
+    throw std::invalid_argument("quantize gather: empty batch");
+  }
+  for (const Tensor* frame : frames) {
+    if (frame == nullptr) {
+      throw std::invalid_argument("quantize gather: null frame");
+    }
+  }
+  const Shape& first = frames[0]->shape();
+  if (first.empty() || first[0] != 1) {
+    throw std::invalid_argument("quantize gather: frames must be [1, ...]");
+  }
+  for (const Tensor* frame : frames) {
+    if (frame->shape() != first) {
+      throw std::invalid_argument(
+          "quantize gather: frames have mismatched geometries");
+    }
+  }
+  Shape batched = first;
+  batched[0] = frames.size();
+  return batched;
+}
+
+}  // namespace
+
+QuantizedTensor quantize_unsigned_gather(
+    const std::vector<const Tensor*>& frames, int bits) {
+  QuantizedTensor out;
+  out.shape = gather_shape(frames);
+  out.bits = bits;
+  out.is_signed = false;
+  const std::size_t per_item = frames[0]->size();
+  out.levels.resize(frames.size() * per_item);
+  // Scale = max over the whole logical batch (the OC activation-path
+  // convention: 1.0 when all frames are dark) — max is order-independent,
+  // so this matches the scan over the stacked tensor bit-for-bit.
+  float m = 0.0f;
+  for (const Tensor* frame : frames) {
+    for (std::size_t i = 0; i < per_item; ++i) {
+      m = std::max(m, (*frame)[i]);
+    }
+  }
+  out.scale = m > 0.0f ? static_cast<double>(m) : 1.0;
+  const util::UnsignedQuantizer q{bits, out.scale};
+  for (std::size_t n = 0; n < frames.size(); ++n) {
+    const float* src = frames[n]->data();
+    std::int16_t* levels = out.levels.data() + n * per_item;
+    for (std::size_t i = 0; i < per_item; ++i) {
+      levels[i] = static_cast<std::int16_t>(q.quantize(src[i]));
+    }
+  }
+  return out;
+}
+
+QuantizedTensor quantize_unsigned_per_item_gather(
+    const std::vector<const Tensor*>& frames, int bits) {
+  QuantizedTensor out;
+  out.shape = gather_shape(frames);
+  out.bits = bits;
+  out.is_signed = false;
+  const std::size_t per_item = frames[0]->size();
+  out.levels.resize(frames.size() * per_item);
+  out.item_scales.resize(frames.size());
+  double max_scale = 0.0;
+  for (std::size_t n = 0; n < frames.size(); ++n) {
+    const float* slice = frames[n]->data();
+    float m = 0.0f;
+    for (std::size_t i = 0; i < per_item; ++i) m = std::max(m, slice[i]);
+    const double scale = m > 0.0f ? static_cast<double>(m) : 1.0;
+    out.item_scales[n] = scale;
+    max_scale = std::max(max_scale, scale);
+    const util::UnsignedQuantizer q{bits, scale};
+    std::int16_t* levels = out.levels.data() + n * per_item;
+    for (std::size_t i = 0; i < per_item; ++i) {
+      levels[i] = static_cast<std::int16_t>(q.quantize(slice[i]));
+    }
+  }
+  out.scale = max_scale;
+  return out;
+}
+
 Tensor dequantize(const QuantizedTensor& q) {
   Tensor out(q.shape);
   if (out.size() != q.levels.size()) {

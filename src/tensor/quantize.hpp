@@ -8,11 +8,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "tensor/tensor.hpp"
 
 namespace lightator::tensor {
+
+struct PackedWeights;  // tensor/gemm_s16_packed.hpp
 
 struct QuantizedTensor {
   std::vector<std::int16_t> levels;  // signed levels or unsigned codes
@@ -28,6 +31,14 @@ struct QuantizedTensor {
   /// quantized requests into one batched forward without changing any
   /// request's numerics. Empty (the default) keeps the per-tensor scheme.
   std::vector<double> item_scales;
+
+  /// Pre-packed SIMD panels of this (weight) tensor for the packed int16
+  /// GEMM, built once per programmed layer (core::build_oc_weight_cache) and
+  /// shared read-only by every serving replica. Null for tensors quantized
+  /// on the fly — the gemm backend then packs per call. Copies of the
+  /// tensor share the panels; mutating `levels` after packing is a caller
+  /// bug (programmed weights are immutable by contract).
+  std::shared_ptr<const PackedWeights> prepack;
 
   int max_level() const {
     if (!is_signed) return (1 << bits) - 1;
@@ -61,6 +72,18 @@ QuantizedTensor quantize_unsigned(const Tensor& x, int bits,
 /// item_scales. Each item's codes are bit-identical to quantizing it alone,
 /// which makes batched results independent of batch composition.
 QuantizedTensor quantize_unsigned_per_item(const Tensor& x, int bits);
+
+/// Gather variants: quantize `frames` (same-geometry [1, ...] tensors, each
+/// one logical batch item) straight into a batched QuantizedTensor without
+/// materializing the stacked float tensor — the serving layer's zero-copy
+/// request path. Bit-identical to stacking the frames and calling the
+/// corresponding function above: the per-batch variant applies the OC
+/// activation convention scale = max over all frames (1.0 when all dark),
+/// the per-item variant quantizes each frame with its own scale.
+QuantizedTensor quantize_unsigned_gather(
+    const std::vector<const Tensor*>& frames, int bits);
+QuantizedTensor quantize_unsigned_per_item_gather(
+    const std::vector<const Tensor*>& frames, int bits);
 
 /// Reconstructs the real-valued tensor from levels.
 Tensor dequantize(const QuantizedTensor& q);

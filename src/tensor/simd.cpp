@@ -1,0 +1,51 @@
+#include "tensor/simd.hpp"
+
+#include <atomic>
+
+namespace lightator::tensor::simd {
+
+namespace {
+
+#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
+bool cpu_has_avx2() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+#endif
+
+std::atomic<bool>& runtime_enabled_flag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+}  // namespace
+
+bool compiled_with_simd() {
+#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_enabled() {
+#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
+  // cpuid is queried once; the runtime override is re-read on every call so
+  // tests/benches can flip between the kernels mid-process.
+  static const bool hw = cpu_has_avx2();
+  return hw && runtime_enabled_flag().load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+void set_simd_enabled(bool enabled) {
+  runtime_enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+const char* active_kernel() { return avx2_enabled() ? "avx2" : "scalar"; }
+
+}  // namespace lightator::tensor::simd

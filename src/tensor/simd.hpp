@@ -1,0 +1,39 @@
+// Runtime SIMD capability detection and dispatch control for the packed
+// int16 GEMM kernels (tensor/gemm_s16_packed.hpp).
+//
+// The library is compiled for the baseline ISA; the AVX2 kernels are built
+// with per-function target attributes and selected at runtime via cpuid, so
+// one binary runs everywhere and the scalar segment-blocked loop remains the
+// portable fallback. `set_simd_enabled(false)` forces the scalar path at
+// runtime — the hook the bit-exactness fuzz tests and the backend_compare
+// scalar-vs-packed timing use. Building with -DLIGHTATOR_DISABLE_SIMD=ON
+// compiles the AVX2 kernels out entirely (the CI scalar-fallback config).
+#pragma once
+
+// One compile-time gate for the AVX2 kernel translation units: x86-64 with a
+// compiler that supports per-function target attributes, unless the build
+// opted out via -DLIGHTATOR_DISABLE_SIMD=ON.
+#if !defined(LIGHTATOR_DISABLE_SIMD) && \
+    (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define LIGHTATOR_HAVE_AVX2_KERNELS 1
+#endif
+
+namespace lightator::tensor::simd {
+
+/// True when the AVX2 kernels were compiled in (x86-64 build without
+/// LIGHTATOR_DISABLE_SIMD).
+bool compiled_with_simd();
+
+/// True when the AVX2 kernels are compiled in, the CPU reports AVX2, and no
+/// runtime override disabled them — the packed GEMM dispatch predicate.
+bool avx2_enabled();
+
+/// Runtime override for tests/benches: `false` forces the scalar fallback
+/// even on AVX2 hardware; `true` restores cpuid-based dispatch.
+void set_simd_enabled(bool enabled);
+
+/// "avx2" or "scalar" — what avx2_enabled() currently resolves to.
+const char* active_kernel();
+
+}  // namespace lightator::tensor::simd

@@ -1,0 +1,251 @@
+// Packed SIMD GEMM suite: bit-exactness of the AVX2 kernels against the
+// scalar segmented kernel across every shape family the conv/fc layers
+// emit, the segment edge cases (flat, oversized, unit, odd-tail), the
+// int64-widening overflow path, zero-width panels, pack-format invariants,
+// and a randomized SIMD-vs-scalar fuzz.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/gemm_s16.hpp"
+#include "tensor/gemm_s16_packed.hpp"
+#include "tensor/simd.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::tensor {
+namespace {
+
+struct GemmCase {
+  std::size_t m, n, k, segment;
+};
+
+std::vector<std::int16_t> random_levels(util::Rng& rng, std::size_t count,
+                                        int lo, int hi) {
+  std::vector<std::int16_t> v(count);
+  for (auto& x : v) {
+    x = static_cast<std::int16_t>(
+        lo + static_cast<int>(rng.uniform_index(hi - lo + 1)));
+  }
+  return v;
+}
+
+std::vector<double> run_scalar(const GemmCase& c,
+                               const std::vector<std::int16_t>& a,
+                               const std::vector<std::int16_t>& b) {
+  std::vector<double> out(c.m * c.n, -1.0);
+  gemm_s16_segmented(c.m, c.n, c.k, a.data(), c.k, b.data(), c.n, c.segment,
+                     out.data(), c.n);
+  return out;
+}
+
+std::vector<double> run_packed(const GemmCase& c,
+                               const std::vector<std::int16_t>& a,
+                               const std::vector<std::int16_t>& b) {
+  const PackedA pa = pack_a_s16(a.data(), c.m, c.k, c.k, c.segment);
+  const PackedB pb = pack_b_s16(b.data(), c.k, c.n, c.n, c.segment);
+  std::vector<double> out(c.m * c.n, -1.0);
+  gemm_s16_packed(pa, pb, out.data(), c.n);
+  return out;
+}
+
+void expect_same(const std::vector<double>& want,
+                 const std::vector<double>& got, const char* label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i], got[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+/// Packed-vs-scalar check on quantized-range operands (unsigned 4-bit codes
+/// x signed 4-bit levels — what conv/fc layers actually emit).
+void check_case(const GemmCase& c, std::uint64_t seed, const char* label) {
+  util::Rng rng(seed);
+  const auto a = random_levels(rng, c.m * c.k, -7, 7);
+  const auto b = random_levels(rng, c.k * c.n, 0, 15);
+  expect_same(run_scalar(c, a, b), run_packed(c, a, b), label);
+}
+
+TEST(GemmPacked, PackedDepthPadsOddSegmentsToEven) {
+  EXPECT_EQ(packed_depth(27, 9), 30u);   // 3 segments of 9 -> 10
+  EXPECT_EQ(packed_depth(20, 9), 22u);   // 9 -> 10, 9 -> 10, 2 -> 2
+  EXPECT_EQ(packed_depth(16, 8), 16u);   // even segments stay tight
+  EXPECT_EQ(packed_depth(7, 0), 8u);     // flat segment of 7 -> 8
+  EXPECT_EQ(packed_depth(7, 100), 8u);   // oversized segment == flat
+  EXPECT_EQ(packed_depth(6, 1), 12u);    // unit segments all pad
+  EXPECT_EQ(packed_depth(0, 9), 0u);
+}
+
+TEST(GemmPacked, MatchesScalarOnConvShapes) {
+  // (out_channels, OH*OW, C*K*K) triples from LeNet/VGG9-scale layers, at
+  // the default 9-MR arm.
+  const GemmCase cases[] = {
+      {6, 576, 25, 9},     // lenet L1
+      {16, 64, 150, 9},    // lenet L2
+      {64, 1024, 27, 9},   // vgg9 L1
+      {128, 256, 1152, 9}, // vgg9 L4
+      {32, 100, 288, 9},
+  };
+  std::uint64_t seed = 1;
+  for (const auto& c : cases) {
+    check_case(c, seed++, "conv_shape");
+  }
+}
+
+TEST(GemmPacked, SegmentEdgeCases) {
+  std::uint64_t seed = 100;
+  // segment == 0 (flat), segment >= k (flat), unit segments, odd segment
+  // with odd tail, segment == k exactly, k == 1.
+  const GemmCase cases[] = {
+      {3, 17, 40, 0},   {3, 17, 40, 64},  {3, 17, 40, 40}, {3, 17, 40, 1},
+      {3, 17, 41, 9},   {2, 5, 1, 9},     {1, 1, 1, 1},    {4, 33, 13, 5},
+      {2, 16, 10, 3},   {5, 15, 9, 2},
+  };
+  for (const auto& c : cases) {
+    check_case(c, seed++, "segment_edge");
+  }
+}
+
+TEST(GemmPacked, ZeroWidthPanels) {
+  // n == 0 and m == 0 are legal no-ops; k == 0 zeroes C.
+  const GemmCase zero_n{3, 0, 12, 9};
+  const auto a = std::vector<std::int16_t>(3 * 12, 2);
+  expect_same(run_scalar(zero_n, a, {}), run_packed(zero_n, a, {}), "n0");
+
+  const GemmCase zero_m{0, 5, 12, 9};
+  const auto b = std::vector<std::int16_t>(12 * 5, 3);
+  expect_same(run_scalar(zero_m, {}, b), run_packed(zero_m, {}, b), "m0");
+
+  const GemmCase zero_k{2, 5, 0, 9};
+  auto got = run_packed(zero_k, {}, std::vector<std::int16_t>{});
+  for (double v : got) EXPECT_EQ(v, 0.0) << "k0 must zero C";
+}
+
+TEST(GemmPacked, Int64FallbackTriggersAndStaysExact) {
+  // Full-range int16 values over a deep flat segment: the magnitude scan
+  // must reject int32 accumulation (32767^2 * 512 >> 2^31) and the widened
+  // kernel must still match the scalar int64 path bit-for-bit.
+  const GemmCase c{2, 19, 512, 0};
+  util::Rng rng(7);
+  auto a = random_levels(rng, c.m * c.k, -32767, 32767);
+  auto b = random_levels(rng, c.k * c.n, -32767, 32767);
+  ASSERT_FALSE(gemm_s16_int32_safe(max_abs_s16(a.data(), a.size()),
+                                   max_abs_s16(b.data(), b.size()), c.k));
+  expect_same(run_scalar(c, a, b), run_packed(c, a, b), "int64_flat");
+
+  // Borderline: magnitudes that fit int32 for arm-length segments but not
+  // for the flat mode — both kernels must flip paths at the same point.
+  const GemmCase armed{2, 19, 512, 9};
+  expect_same(run_scalar(armed, a, b), run_packed(armed, a, b), "int64_armed");
+}
+
+TEST(GemmPacked, TransposedPackMatchesExplicitTranspose) {
+  const std::size_t k = 23, n = 21, seg = 9;
+  util::Rng rng(11);
+  const auto w = random_levels(rng, n * k, -7, 7);  // row-major [n x k]
+  std::vector<std::int16_t> wt(k * n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t kk = 0; kk < k; ++kk) wt[kk * n + j] = w[j * k + kk];
+  }
+  const PackedB direct = pack_b_s16(wt.data(), k, n, n, seg);
+  const PackedB gathered = pack_b_s16_transposed(w.data(), k, n, k, seg);
+  EXPECT_EQ(direct.kp, gathered.kp);
+  EXPECT_EQ(direct.max_abs, gathered.max_abs);
+  ASSERT_EQ(direct.data.size(), gathered.data.size());
+  for (std::size_t i = 0; i < direct.data.size(); ++i) {
+    ASSERT_EQ(direct.data[i], gathered.data[i]) << "panel byte " << i;
+  }
+}
+
+TEST(GemmPacked, RowRangeShardsCompose) {
+  // Sharding the row range (how the fc layer parallelizes the batch) must
+  // reproduce the all-rows result exactly.
+  const GemmCase c{7, 29, 50, 9};
+  util::Rng rng(13);
+  const auto a = random_levels(rng, c.m * c.k, 0, 15);
+  const auto b = random_levels(rng, c.k * c.n, -7, 7);
+  const PackedA pa = pack_a_s16(a.data(), c.m, c.k, c.k, c.segment);
+  const PackedB pb = pack_b_s16(b.data(), c.k, c.n, c.n, c.segment);
+  std::vector<double> full(c.m * c.n);
+  gemm_s16_packed(pa, pb, full.data(), c.n);
+  std::vector<double> sharded(c.m * c.n, -1.0);
+  for (std::size_t i = 0; i < c.m; ++i) {
+    gemm_s16_packed(pa, pb, sharded.data(), c.n, i, i + 1);
+  }
+  expect_same(full, sharded, "row_shards");
+
+  EXPECT_THROW(gemm_s16_packed(pa, pb, full.data(), c.n, 5, c.m + 1),
+               std::invalid_argument);
+  const PackedB other = pack_b_s16(b.data(), c.k, c.n, c.n, 5);
+  EXPECT_THROW(gemm_s16_packed(pa, other, full.data(), c.n),
+               std::invalid_argument);
+}
+
+TEST(GemmPacked, StridedSourceRowsPack) {
+  // lda > k / ldb > n: panels cut out of larger buffers.
+  const std::size_t m = 3, k = 10, n = 7, lda = 16, ldb = 12, seg = 4;
+  util::Rng rng(17);
+  const auto abuf = random_levels(rng, m * lda, -7, 7);
+  const auto bbuf = random_levels(rng, k * ldb, 0, 15);
+  std::vector<std::int16_t> a(m * k), b(k * n);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) a[i * k + kk] = abuf[i * lda + kk];
+  }
+  for (std::size_t kk = 0; kk < k; ++kk) {
+    for (std::size_t j = 0; j < n; ++j) b[kk * n + j] = bbuf[kk * ldb + j];
+  }
+  const PackedA pa = pack_a_s16(abuf.data(), m, k, lda, seg);
+  const PackedB pb = pack_b_s16(bbuf.data(), k, n, ldb, seg);
+  std::vector<double> got(m * n);
+  gemm_s16_packed(pa, pb, got.data(), n);
+  expect_same(run_scalar({m, n, k, seg}, a, b), got, "strided_pack");
+}
+
+TEST(GemmPacked, SimdAndScalarKernelsBitExact) {
+  if (!simd::avx2_enabled()) {
+    GTEST_SKIP() << "AVX2 kernels not active on this host/build";
+  }
+  const GemmCase cases[] = {
+      {16, 33, 150, 9}, {8, 16, 40, 0}, {3, 7, 9, 4}, {64, 100, 27, 9},
+  };
+  std::uint64_t seed = 200;
+  for (const auto& c : cases) {
+    util::Rng rng(seed++);
+    const auto a = random_levels(rng, c.m * c.k, -7, 7);
+    const auto b = random_levels(rng, c.k * c.n, 0, 15);
+    const auto with_simd = run_packed(c, a, b);
+    simd::set_simd_enabled(false);
+    const auto scalar = run_packed(c, a, b);
+    simd::set_simd_enabled(true);
+    expect_same(scalar, with_simd, "simd_vs_scalar");
+  }
+}
+
+TEST(GemmPacked, RandomizedFuzzAgainstScalarKernel) {
+  // Random shapes across the families conv/fc layers emit, random segment
+  // lengths, codes/levels in quantized ranges with occasional full-range
+  // magnitudes to exercise the int64 path.
+  util::Rng rng(20260730);
+  for (int iter = 0; iter < 60; ++iter) {
+    GemmCase c;
+    c.m = 1 + rng.uniform_index(20);
+    c.n = 1 + rng.uniform_index(70);
+    c.k = 1 + rng.uniform_index(120);
+    c.segment = rng.uniform_index(3) == 0 ? 0 : 1 + rng.uniform_index(16);
+    const bool wide = rng.uniform_index(8) == 0;
+    const int wmax = wide ? 32767 : 7;
+    const int amax = wide ? 32767 : 15;
+    const auto a = random_levels(rng, c.m * c.k, -wmax, wmax);
+    const auto b = random_levels(rng, c.k * c.n, wide ? -amax : 0, amax);
+    expect_same(run_scalar(c, a, b), run_packed(c, a, b), "fuzz");
+    if (simd::avx2_enabled()) {
+      simd::set_simd_enabled(false);
+      const auto scalar_kernel = run_packed(c, a, b);
+      simd::set_simd_enabled(true);
+      expect_same(scalar_kernel, run_packed(c, a, b), "fuzz_simd_toggle");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lightator::tensor

@@ -386,6 +386,164 @@ TEST(PerItemActScale, BatchedMatchesEachSingleForward) {
   }
 }
 
+/// Physical-backend forward of `frames` under per-request noise stream ids
+/// — the per-request "ground truth" the noisy serving layer must reproduce.
+std::vector<tensor::Tensor> physical_singles(
+    const core::LightatorSystem& sys, const nn::Network& net,
+    const nn::PrecisionSchedule& schedule,
+    const std::vector<tensor::Tensor>& frames,
+    const std::vector<std::uint64_t>& ids, std::uint64_t noise_seed) {
+  std::vector<tensor::Tensor> out(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    nn::Network replica = net.clone();
+    core::ExecutionContext ctx;
+    ctx.backend = "physical";
+    ctx.noise_seed = noise_seed;
+    ctx.per_item_act_scale = true;
+    ctx.noise_stream_ids = {ids[i]};
+    out[i] = sys.run_network_on_oc(replica, frames[i], schedule, ctx);
+  }
+  return out;
+}
+
+TEST(PhysicalNoise, BatchCompositionInvariantUnderStreamIds) {
+  // The headline bugfix: with per-item noise stream ids, a request's noisy
+  // output is a pure function of (noise_seed, id) — identical whether it
+  // runs alone, batched as [A, B] or [B, A], or in a bigger batch.
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(71);
+  nn::Network net("tiny_conv");
+  net.add<nn::Conv2d>(tensor::ConvSpec{1, 3, 3, 1, 1}, rng);
+  net.add<nn::Activation>(tensor::ActKind::kReLU);
+  net.add<nn::Conv2d>(tensor::ConvSpec{3, 2, 3, 1, 1}, rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  const std::uint64_t noise_seed = 99;
+  const auto frames = make_inputs(3, 1, 6, 6, 43);
+  const std::vector<std::uint64_t> ids = {7, 19, 4};
+  const auto singles =
+      physical_singles(sys, net, schedule, frames, ids, noise_seed);
+
+  auto run_batch = [&](const std::vector<std::size_t>& order) {
+    tensor::Tensor batch({order.size(), 1, 6, 6});
+    core::ExecutionContext ctx;
+    ctx.backend = "physical";
+    ctx.noise_seed = noise_seed;
+    ctx.per_item_act_scale = true;
+    ctx.noise_stream_ids.clear();
+    for (const std::size_t idx : order) {
+      ctx.noise_stream_ids.push_back(ids[idx]);
+    }
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      std::copy(frames[order[i]].data(),
+                frames[order[i]].data() + frames[order[i]].size(),
+                batch.data() + i * frames[order[i]].size());
+    }
+    nn::Network replica = net.clone();
+    return sys.run_network_on_oc(replica, batch, schedule, ctx);
+  };
+
+  const std::vector<std::vector<std::size_t>> orders = {
+      {0, 1}, {1, 0}, {0, 1, 2}, {2, 0, 1}, {1}, {2}};
+  for (const auto& order : orders) {
+    const tensor::Tensor out = run_batch(order);
+    const std::size_t per_out = out.size() / order.size();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const tensor::Tensor& want = singles[order[i]];
+      ASSERT_EQ(want.size(), per_out);
+      for (std::size_t j = 0; j < per_out; ++j) {
+        ASSERT_EQ(out[i * per_out + j], want[j])
+            << "frame " << order[i] << " batched at slot " << i
+            << " diverges at " << j;
+      }
+    }
+  }
+
+  // Id-less contexts keep the offline convention: a fresh context seeds item
+  // n from its batch index, so explicit ids {0, 1, ...} reproduce it.
+  core::ExecutionContext offline;
+  offline.backend = "physical";
+  offline.noise_seed = noise_seed;
+  offline.per_item_act_scale = true;
+  tensor::Tensor batch({2, 1, 6, 6});
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::copy(frames[i].data(), frames[i].data() + frames[i].size(),
+              batch.data() + i * frames[i].size());
+  }
+  nn::Network r1 = net.clone();
+  const auto implicit = sys.run_network_on_oc(r1, batch, schedule, offline);
+  core::ExecutionContext explicit_ids;
+  explicit_ids.backend = "physical";
+  explicit_ids.noise_seed = noise_seed;
+  explicit_ids.per_item_act_scale = true;
+  explicit_ids.noise_stream_ids = {0, 1};
+  nn::Network r2 = net.clone();
+  const auto with_ids = sys.run_network_on_oc(r2, batch, schedule, explicit_ids);
+  expect_bit_exact(implicit, with_ids, "offline_default_ids");
+
+  // A mis-sized id vector is a caller bug, not silent misseeding.
+  core::ExecutionContext bad;
+  bad.backend = "physical";
+  bad.noise_seed = noise_seed;
+  bad.noise_stream_ids = {1, 2, 3};
+  nn::Network r3 = net.clone();
+  EXPECT_THROW(sys.run_network_on_oc(r3, batch, schedule, bad),
+               std::invalid_argument);
+}
+
+TEST(PhysicalNoise, NoisyServingBitIdenticalAcrossReplicasAndPolicies) {
+  // Acceptance gate: a served request's output under the "physical" backend
+  // with a noise seed is bit-identical regardless of batch composition,
+  // batch size, or replica count — because load_gen submits request i under
+  // id i and the server threads ids into the replica contexts.
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(72);
+  nn::Network net("serve_conv");
+  net.add<nn::Conv2d>(tensor::ConvSpec{1, 4, 3, 1, 1}, rng);
+  net.add<nn::Activation>(tensor::ActKind::kReLU);
+  net.add<nn::Conv2d>(tensor::ConvSpec{4, 2, 3, 2, 1}, rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  const std::uint64_t noise_seed = 31;
+  const auto inputs = make_inputs(4, 1, 8, 8, 51);
+
+  LoadGenOptions lg;
+  lg.requests = 12;
+  lg.concurrency = 6;
+  lg.seed = 13;
+  // Expected outputs: request i's frame under noise stream id i.
+  util::Rng pick(lg.seed);
+  std::vector<tensor::Tensor> frames(lg.requests);
+  std::vector<std::uint64_t> ids(lg.requests);
+  for (std::size_t i = 0; i < lg.requests; ++i) {
+    frames[i] = inputs[pick.uniform_index(inputs.size())];
+    ids[i] = i;
+  }
+  const auto expected =
+      physical_singles(sys, net, schedule, frames, ids, noise_seed);
+
+  const BatchPolicy policies[] = {{/*max_batch=*/1, /*max_wait_us=*/0.0},
+                                  {/*max_batch=*/8, /*max_wait_us=*/2000.0}};
+  for (const std::size_t replicas : {1u, 3u}) {
+    for (const auto& policy : policies) {
+      ServerOptions so;
+      so.backend = "physical";
+      so.noise_seed = noise_seed;
+      so.replicas = replicas;
+      so.batch = policy;
+      InferenceServer server(sys, net, schedule, so);
+      const auto load = run_closed_loop(server, inputs, lg);
+      for (std::size_t i = 0; i < lg.requests; ++i) {
+        expect_bit_exact(expected[i], load.outputs[i],
+                         "noisy_replicas" + std::to_string(replicas) +
+                             "_batch" + std::to_string(policy.max_batch) +
+                             "_req" + std::to_string(i));
+      }
+      const auto stats = server.stats();
+      EXPECT_EQ(stats.completed, lg.requests);
+      EXPECT_EQ(stats.failed, 0u);
+    }
+  }
+}
+
 TEST(MonteCarlo, StreamedMatchesRetainedAndDropsTrials) {
   const core::LightatorSystem sys(core::ArchConfig::defaults());
   util::Rng rng(69);
