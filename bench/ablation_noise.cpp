@@ -190,7 +190,10 @@ int main(int argc, char** argv) {
 
     const auto schedule = nn::PrecisionSchedule::uniform(4);
     const core::LightatorSystem sys(core::ArchConfig::defaults());
-    const double clean = sys.evaluate_on_oc(net, test, schedule);
+    core::ExecutionContext clean_ctx;
+    core::CompileOptions clean_co;
+    clean_co.schedule = schedule;
+    const double clean = sys.compile(net, clean_co).evaluate(test, clean_ctx);
 
     struct Severity {
       const char* label;

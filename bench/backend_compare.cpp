@@ -10,6 +10,13 @@
 // outputs verified bit-exact, and the packed-vs-scalar ratio reported as
 // "simd_speedup" — the number scripts/check_perf.py gates against each
 // baseline layer's "min_simd_speedup" floor.
+//
+// The "compile_reuse" section tracks the compile/execute split: first-call
+// latency (Engine::compile + one forward — what every forward cost before
+// the split, when run_network_on_oc re-quantized and re-packed weights per
+// call) vs steady-state latency (one forward on an already-compiled
+// artifact). scripts/check_perf.py gates "reuse_speedup" against the
+// baseline's "min_reuse_speedup" floor whenever the AVX2 kernels are live.
 // Overrides (key=value): batch=8 reps=3 threads=0 out=path.json
 //   threads=0 sizes the pool from hardware_concurrency; out= additionally
 //   writes the JSON to a file.
@@ -21,7 +28,9 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/lightator.hpp"
 #include "core/optical_core.hpp"
+#include "nn/models.hpp"
 #include "tensor/quantize.hpp"
 #include "tensor/simd.hpp"
 #include "util/rng.hpp"
@@ -151,7 +160,61 @@ int main(int argc, char** argv) {
          << ", \"simd_speedup\": " << simd_speedup
          << ", \"bit_exact\": " << (exact ? "true" : "false") << "}";
   }
-  json << "\n  ]\n}\n";
+  json << "\n  ],\n";
+
+  // ---- compile/execute split: repeated-forward reuse ------------------------
+  // LeNet at batch 1 — the serving-shaped workload where per-forward weight
+  // programming (quantize + pack) is a large fraction of one forward.
+  // first_ms compiles per forward (the pre-split per-call behavior);
+  // steady_ms reuses one artifact. Both run the same gemm datapath, so the
+  // ratio isolates exactly what compile() amortizes.
+  {
+    const core::LightatorSystem sys(arch);
+    util::Rng crng(7);
+    nn::Network lenet = nn::build_lenet(crng);
+    const auto schedule = nn::PrecisionSchedule::uniform(4);
+    tensor::Tensor frame({1, 1, 28, 28});
+    frame.fill_uniform(crng, 0.0f, 1.0f);
+    core::CompileOptions co;
+    co.schedule = schedule;
+
+    const int cr_reps = std::max(reps * 5, 10);
+    double first_s = 1e300, steady_s = 1e300;
+    tensor::Tensor y_first, y_steady;
+    for (int r = 0; r < cr_reps; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      auto out = sys.compile(lenet, co).run(frame, ctx).take();
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (s < first_s) first_s = s;
+      if (r == 0) y_first = std::move(out);
+    }
+    const core::CompiledModel compiled = sys.compile(lenet, co);
+    for (int r = 0; r < cr_reps; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      auto out = compiled.run(frame, ctx).take();
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (s < steady_s) steady_s = s;
+      if (r == 0) y_steady = std::move(out);
+    }
+    bool cr_exact = y_first.size() == y_steady.size();
+    for (std::size_t i = 0; cr_exact && i < y_first.size(); ++i) {
+      cr_exact = y_first[i] == y_steady[i];
+    }
+    const double reuse = steady_s > 0.0 ? first_s / steady_s : 0.0;
+    std::printf("\n%-26s first-call %8.3f ms   steady %8.3f ms   "
+                "reuse %6.2fx   bit-exact %s\n",
+                "compile_reuse_lenet_b1", first_s * 1e3, steady_s * 1e3,
+                reuse, cr_exact ? "yes" : "NO");
+    json << "  \"compile_reuse\": {\"name\": \"lenet_b1\""
+         << ", \"first_ms\": " << first_s * 1e3
+         << ", \"steady_ms\": " << steady_s * 1e3
+         << ", \"reuse_speedup\": " << reuse
+         << ", \"bit_exact\": " << (cr_exact ? "true" : "false") << "}\n}\n";
+  }
 
   std::printf("\n%s", json.str().c_str());
   if (!out_path.empty()) {

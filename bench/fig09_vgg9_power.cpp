@@ -81,7 +81,10 @@ int main(int argc, char** argv) {
     nn::Network net = nn::build_vgg9(rng, 10, width);
     tensor::Tensor x({batch, 3, 32, 32});
     x.fill_uniform(rng, 0.0f, 1.0f);
-    sys.run_network_on_oc(net, x, schedule, runner.context());
+    core::CompileOptions co;
+    co.backend = runner.options().backend;
+    co.schedule = schedule;
+    sys.compile(net, co).run(x, runner.context());
     std::printf("--- modeled vs measured (VGG9 width=%.2f, batch=%zu, "
                 "backend=%s, %zu threads) ---\n%s",
                 width, batch, runner.options().backend.c_str(),

@@ -81,8 +81,13 @@ std::map<std::string, double> accuracy_sweep(
         nn::fine_tune(model, train_copy, schedule,
                       low_bit ? qat_epochs + 2 : qat_epochs,
                       low_bit ? lr : lr / 5.0);
-        return sys.evaluate_on_oc(model, test, schedule, ctx, 64,
-                                  /*max_samples=*/400);
+        // Compile the fine-tuned clone once for this schedule; the whole
+        // validation evaluation reuses the programmed weights.
+        core::CompileOptions co;
+        co.backend = ctx.backend;
+        co.schedule = schedule;
+        return sys.compile(model, co).evaluate(test, ctx, 64,
+                                               /*max_samples=*/400);
       });
 
   std::map<std::string, double> out;

@@ -10,6 +10,7 @@
 //
 //   ./examples/edge_pipeline [out_dir=.]
 #include <cstdio>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -122,7 +123,14 @@ int main(int argc, char** argv) {
         continue;
       }
       const auto result = ticket.result.get();
-      std::printf(" %zu", tensor::predict(result.output)[0]);
+      // Classify straight off the zero-copy row view into the shared batch
+      // logits — no per-request output copy anywhere on this path.
+      const std::span<const float> logits = result.output();
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < logits.size(); ++c) {
+        if (logits[c] > logits[best]) best = c;
+      }
+      std::printf(" %zu", best);
     }
     std::printf("\n   serving report:\n%s", server.stats().to_text().c_str());
   }

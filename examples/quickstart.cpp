@@ -42,7 +42,14 @@ int main(int argc, char** argv) {
 
   std::printf("4) inference through the Lightator optical core...\n");
   const core::LightatorSystem sys(core::ArchConfig::defaults());
-  const double acc = sys.evaluate_on_oc(net, data, schedule, 50, 300);
+  // Compile once (weights quantized onto the MRs, SIMD panels packed),
+  // then every forward reuses the artifact.
+  core::CompileOptions co;
+  co.backend = "gemm";
+  co.schedule = schedule;
+  const core::CompiledModel compiled = sys.compile(net, co);
+  core::ExecutionContext ctx;
+  const double acc = compiled.evaluate(data, ctx, 50, 300);
   std::printf("   OC-mapped accuracy: %.1f%% (4-bit weights on MRs, 4-bit\n"
               "   activations on VCSEL intensities, BPD accumulation)\n",
               100.0 * acc);

@@ -13,7 +13,10 @@ checked whenever the snapshot ran with the AVX2 kernels live
 ("simd_kernel": "avx2") and skipped with a note on scalar-only hosts. On
 those hosts the gemm-vs-reference gate compares against the layer's
 "scalar_speedup" (the scalar kernel's own baseline) instead of "speedup",
-which bakes in the AVX2 gain.
+which bakes in the AVX2 gain. The snapshot's "compile_reuse" section
+(steady-state forward on a compiled artifact vs compile-per-call) is gated
+against the baseline's "min_reuse_speedup" hard floor under the same
+AVX2-live rule.
 
 serve_throughput: the serving layer's value is its throughput over serial
 one-request-at-a-time submission in the same process — again a
@@ -78,14 +81,54 @@ def check_backend_compare(current, baseline, tolerance):
     for name in sorted(set(current_layers) - set(baseline_layers)):
         print(f"note  {name}: new layer, no baseline (add it to "
               f"{DEFAULT_BASELINE.name})")
+    failed = check_compile_reuse(current, baseline, simd_live) or failed
     if failed:
         print(f"\nperf check FAILED (tolerance {tolerance:.0%}); if the "
               "regression is intended, regenerate the baseline with\n"
               "  ./build/backend_compare out=scripts/perf_baseline.json\n"
-              "  (then re-add the \"serve\" section)")
+              "  (then re-add the \"serve\" section and the "
+              "\"min_reuse_speedup\" floor under \"compile_reuse\")")
         return 1
     print(f"\nperf check ok (tolerance {tolerance:.0%})")
     return 0
+
+
+def check_compile_reuse(current, baseline, simd_live):
+    """Gate the compile/execute split: a steady-state forward on a compiled
+    artifact must beat compile-per-call (the pre-split per-forward cost) by
+    the baseline's "min_reuse_speedup" floor. Timing-ratio floors are only
+    meaningful on the AVX2 configuration the floor was calibrated on, so the
+    check is skipped with a note on scalar-only hosts (mirroring
+    min_simd_speedup)."""
+    base = baseline.get("compile_reuse")
+    if base is None:
+        return False  # baseline predates the gate
+    if "min_reuse_speedup" not in base:
+        # A regenerated snapshot has the measurement but not the floor —
+        # refuse to let the gate vanish silently.
+        sys.exit("error: baseline's \"compile_reuse\" section has no "
+                 "\"min_reuse_speedup\" floor — re-add it (see the previous "
+                 "baseline)")
+    cur = current.get("compile_reuse")
+    if cur is None:
+        print("FAIL  compile_reuse: missing from current snapshot")
+        return True
+    failed = False
+    if not cur.get("bit_exact", False):
+        print("FAIL  compile_reuse: compiled steady-state forward no longer "
+              "bit-exact with compile-per-call")
+        failed = True
+    floor = base["min_reuse_speedup"]
+    if not simd_live:
+        print(f"note  compile_reuse: AVX2 kernels not live on this host — "
+              f"min_reuse_speedup {floor:.2f}x not checked")
+        return failed
+    reuse = cur.get("reuse_speedup", 0.0)
+    status = "ok  " if reuse >= floor else "FAIL"
+    print(f"{status}  compile_reuse: first-call {cur.get('first_ms', 0.0):.3f}"
+          f" ms vs steady {cur.get('steady_ms', 0.0):.3f} ms -> "
+          f"{reuse:.2f}x (hard floor {floor:.2f}x)")
+    return failed or status == "FAIL"
 
 
 def check_serve_throughput(current, baseline):
@@ -107,6 +150,18 @@ def check_serve_throughput(current, baseline):
     print(f"{status}  serve: batched {current.get('batched_rps', 0.0):.1f} "
           f"req/s vs serial {current.get('serial_rps', 0.0):.1f} req/s "
           f"-> {ratio:.2f}x (floor {floor:.2f}x)")
+    # Post-compile/execute-split gate: batching must also not lose materially
+    # to a compile-once serial client (it has no programming cost left to
+    # amortize — the floor only guards against batching overhead regressions;
+    # multicore runners clear it with replica parallelism).
+    compiled_floor = serve.get("min_batched_over_compiled")
+    if compiled_floor is not None:
+        cratio = current.get("batched_over_compiled", 0.0)
+        status = "ok  " if cratio >= compiled_floor else "FAIL"
+        failed = failed or status == "FAIL"
+        print(f"{status}  serve: batched vs compiled-serial "
+              f"{current.get('serial_compiled_rps', 0.0):.1f} req/s -> "
+              f"{cratio:.2f}x (floor {compiled_floor:.2f}x)")
     stats = current.get("stats", {})
     if stats.get("failed", 0):
         print(f"FAIL  serve: {stats['failed']} requests failed")

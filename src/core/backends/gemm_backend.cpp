@@ -11,8 +11,8 @@ namespace lightator::core {
 namespace {
 
 /// The layer's pre-packed panels when they match this backend's arm length —
-/// programmed weights carry them (build_oc_weight_cache packs once per
-/// layer; serving replicas share the cache, hence the panels too).
+/// programmed weights carry them (Engine::compile packs once per layer;
+/// every consumer of the CompiledModel shares the panels).
 const tensor::PackedWeights* usable_prepack(const tensor::QuantizedTensor& w,
                                             std::size_t seg) {
   return (w.prepack != nullptr && w.prepack->seg == seg) ? w.prepack.get()

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -30,16 +31,34 @@ void check_code_range(const tensor::QuantizedTensor& x,
   }
 }
 
-/// One arm-segment evaluation: programs the segment's weights (levels/wmax in
-/// [-1,1]) and computes the calibrated analog dot product of the codes.
-/// `weights`/`codes` must already be full arm-length buffers with any tail
-/// beyond the live segment padded (zero weights / dark channels) by the
-/// caller — this runs per output pixel, so it allocates nothing.
-double segment_compute(optics::MrArm& arm, std::span<const double> weights,
-                       std::span<const int> codes, util::Rng* rng) {
-  arm.set_weights(weights);
-  return rng == nullptr ? arm.compute(codes)
-                        : arm.compute_noisy(codes, *rng);
+/// The tensor's compile-time arm program when it matches this backend's
+/// geometry (programmed models carry one — Engine::compile builds it); null
+/// otherwise, in which case segments are normalized per call.
+const tensor::ArmProgram* usable_arm_program(const tensor::QuantizedTensor& w,
+                                             std::size_t seg,
+                                             std::size_t rows,
+                                             std::size_t row_length) {
+  const tensor::ArmProgram* prog = w.arm_program.get();
+  if (prog == nullptr || prog->seg != seg || prog->rows != rows ||
+      prog->row_length != row_length) {
+    return nullptr;
+  }
+  return prog;
+}
+
+/// Fills `seg_w` with the normalized, zero-padded weights of one segment —
+/// the per-call fallback for weights without an arm program. Returns the
+/// buffer as a full-arm span.
+std::span<const double> normalize_segment(const std::int16_t* filter,
+                                          std::size_t k0, std::size_t len,
+                                          double wmax,
+                                          std::vector<double>& seg_w) {
+  for (std::size_t i = 0; i < len; ++i) {
+    seg_w[i] = static_cast<double>(filter[k0 + i]) / wmax;
+  }
+  // Pad the trailing cells: zero weights.
+  std::fill(seg_w.begin() + len, seg_w.end(), 0.0);
+  return {seg_w.data(), seg_w.size()};
 }
 
 }  // namespace
@@ -93,6 +112,8 @@ tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
   // only the tensor scales remain.
   const double wmax = static_cast<double>(w.max_level());
   const std::size_t seg = config_.geometry.mrs_per_arm;
+  const tensor::ArmProgram* prog =
+      usable_arm_program(w, seg, spec.out_channels, kdim);
   const std::uint64_t stream = ctx.next_noise_stream();
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
     const double norm = x.scale_for_item(n) * w.scale;
@@ -109,13 +130,19 @@ tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
     std::vector<int> seg_c(seg);
     for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
       const std::int16_t* filter = w.levels.data() + oc * kdim;
-      for (std::size_t k0 = 0; k0 < kdim; k0 += seg) {
+      std::size_t seg_index = 0;
+      for (std::size_t k0 = 0; k0 < kdim; k0 += seg, ++seg_index) {
         const std::size_t len = std::min(seg, kdim - k0);
-        for (std::size_t i = 0; i < len; ++i) {
-          seg_w[i] = static_cast<double>(filter[k0 + i]) / wmax;
-        }
-        // Pad the trailing cells: zero weights / dark channels.
-        std::fill(seg_w.begin() + len, seg_w.end(), 0.0);
+        // Program the arm ONCE per weight segment (straight from the
+        // compiled arm program when the model carries one), then sweep every
+        // output pixel against the programmed state — the weights don't
+        // change across the pixel loop, so re-programming per MAC was pure
+        // overhead.
+        const std::span<const double> weights =
+            prog != nullptr
+                ? std::span<const double>(prog->segment(oc, seg_index), seg)
+                : normalize_segment(filter, k0, len, wmax, seg_w);
+        arm->set_weights(weights);
         std::fill(seg_c.begin() + len, seg_c.end(), 0);
         for (std::size_t oy = 0; oy < oh; ++oy) {
           for (std::size_t ox = 0; ox < ow; ++ox) {
@@ -140,8 +167,9 @@ tensor::Tensor PhysicalBackend::conv2d(const tensor::QuantizedTensor& x,
               }
               seg_c[i] = code;
             }
-            const double partial =
-                segment_compute(*arm, seg_w, seg_c, rng.get());
+            const double partial = rng == nullptr
+                                       ? arm->compute(seg_c)
+                                       : arm->compute_noisy(seg_c, *rng);
             y.at(n, oc, oy, ox) += static_cast<float>(partial * norm);
           }
         }
@@ -169,6 +197,7 @@ tensor::Tensor PhysicalBackend::linear(const tensor::QuantizedTensor& x,
   tensor::Tensor y({batch, out_f});
   const double wmax = static_cast<double>(w.max_level());
   const std::size_t seg = config_.geometry.mrs_per_arm;
+  const tensor::ArmProgram* prog = usable_arm_program(w, seg, out_f, d);
   const std::uint64_t stream = ctx.next_noise_stream();
   ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
     const double norm = x.scale_for_item(n) * w.scale;
@@ -185,16 +214,19 @@ tensor::Tensor PhysicalBackend::linear(const tensor::QuantizedTensor& x,
     for (std::size_t o = 0; o < out_f; ++o) {
       const std::int16_t* filter = w.levels.data() + o * d;
       double acc = 0.0;
-      for (std::size_t k0 = 0; k0 < d; k0 += seg) {
+      std::size_t seg_index = 0;
+      for (std::size_t k0 = 0; k0 < d; k0 += seg, ++seg_index) {
         const std::size_t len = std::min(seg, d - k0);
-        for (std::size_t i = 0; i < len; ++i) {
-          seg_w[i] = static_cast<double>(filter[k0 + i]) / wmax;
-          seg_c[i] = row[k0 + i];
-        }
-        // Pad the trailing cells: zero weights / dark channels.
-        std::fill(seg_w.begin() + len, seg_w.end(), 0.0);
+        const std::span<const double> weights =
+            prog != nullptr
+                ? std::span<const double>(prog->segment(o, seg_index), seg)
+                : normalize_segment(filter, k0, len, wmax, seg_w);
+        for (std::size_t i = 0; i < len; ++i) seg_c[i] = row[k0 + i];
+        // Pad the trailing cells: dark channels.
         std::fill(seg_c.begin() + len, seg_c.end(), 0);
-        acc += segment_compute(*arm, seg_w, seg_c, rng.get());
+        arm->set_weights(weights);
+        acc += rng == nullptr ? arm->compute(seg_c)
+                              : arm->compute_noisy(seg_c, *rng);
       }
       float v = static_cast<float>(acc * norm);
       if (!bias.empty()) v += bias[o];

@@ -14,6 +14,15 @@
 // checks an arm out for the duration of its work and returns it afterwards.
 // Monte-Carlo fault sweeps — thousands of small conv/fc calls on the same
 // backend — stop paying the construction cost after the first batch.
+//
+// Weight programming is batched per segment: the arm programs once per
+// (item, filter, segment) and the whole output-pixel sweep runs against the
+// programmed state (set_weights per MAC was pure overhead — the weights
+// don't change across pixels). Compiled models additionally carry an
+// ArmProgram (tensor/quantize.hpp): the normalized, zero-padded segment
+// weights built once at Engine::compile time, so execution skips the
+// per-call levels->[-1,1] normalization entirely. Both are pure re-layouts:
+// results (noisy ones included) are bit-identical either way.
 #pragma once
 
 #include <memory>

@@ -1,0 +1,522 @@
+#include "core/compiled_model.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "core/lightator.hpp"
+#include "nn/layer.hpp"
+#include "nn/model_desc.hpp"
+#include "tensor/activations.hpp"
+#include "tensor/gemm_s16_packed.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/simd.hpp"
+
+namespace lightator::core {
+
+// ---- FrameBatch ------------------------------------------------------------
+
+std::size_t FrameBatch::items() const {
+  if (frames_ != nullptr) return frames_->size();
+  return stacked_->rank() == 0 ? 0 : stacked_->dim(0);
+}
+
+const tensor::Tensor& FrameBatch::stacked() const {
+  if (stacked_ == nullptr) {
+    throw std::logic_error("FrameBatch::stacked on a gathered batch");
+  }
+  return *stacked_;
+}
+
+const std::vector<const tensor::Tensor*>& FrameBatch::frames() const {
+  if (frames_ == nullptr) {
+    throw std::logic_error("FrameBatch::frames on a stacked batch");
+  }
+  return *frames_;
+}
+
+void FrameBatch::validate() const {
+  if (frames_ == nullptr) {
+    if (stacked_->empty()) {
+      throw std::invalid_argument("CompiledModel::run: empty input batch");
+    }
+    return;
+  }
+  if (frames_->empty()) {
+    throw std::invalid_argument("CompiledModel::run: no frames");
+  }
+  for (const tensor::Tensor* frame : *frames_) {
+    if (frame == nullptr || frame->rank() == 0 || frame->dim(0) != 1) {
+      throw std::invalid_argument(
+          "CompiledModel::run: frames must be non-null [1, ...] tensors");
+    }
+    if (frame->shape() != (*frames_)[0]->shape()) {
+      throw std::invalid_argument(
+          "CompiledModel::run: frames have mismatched geometries");
+    }
+  }
+}
+
+// ---- BatchOutput -----------------------------------------------------------
+
+BatchOutput::BatchOutput(tensor::Tensor logits)
+    : logits_(std::make_shared<tensor::Tensor>(std::move(logits))) {}
+
+std::size_t BatchOutput::items() const {
+  return empty() ? 0 : logits_->dim(0);
+}
+
+std::size_t BatchOutput::row_size() const {
+  const std::size_t n = items();
+  return n == 0 ? 0 : logits_->size() / n;
+}
+
+const tensor::Tensor& BatchOutput::logits() const {
+  if (logits_ == nullptr) {
+    throw std::logic_error(
+        "BatchOutput::logits on an empty (or taken) handle");
+  }
+  return *logits_;
+}
+
+tensor::Shape BatchOutput::row_shape() const {
+  tensor::Shape shape = logits().shape();
+  if (!shape.empty()) shape[0] = 1;
+  return shape;
+}
+
+std::span<const float> BatchOutput::row(std::size_t i) const {
+  if (i >= items()) {
+    throw std::out_of_range("BatchOutput::row: item index out of range");
+  }
+  return {logits_->data() + i * row_size(), row_size()};
+}
+
+tensor::Tensor BatchOutput::row_tensor(std::size_t i) const {
+  const std::span<const float> view = row(i);
+  tensor::Tensor out(row_shape());
+  std::copy(view.begin(), view.end(), out.data());
+  return out;
+}
+
+tensor::Tensor BatchOutput::take() {
+  if (logits_ == nullptr) return {};
+  tensor::Tensor out =
+      logits_.use_count() == 1 ? std::move(*logits_) : *logits_;
+  logits_.reset();
+  return out;
+}
+
+// ---- CompiledModel ---------------------------------------------------------
+
+/// One step of the compiled execution plan. Weighted steps carry the
+/// programmed (quantized + prepacked) weights; electronic-block steps carry
+/// the snapshot of the layer's inference-time configuration, so execution
+/// never touches the source Network again.
+struct CompiledStep {
+  nn::LayerKind kind = nn::LayerKind::kFlatten;
+  std::string name;
+
+  // kConv / kLinear
+  tensor::QuantizedTensor weights;
+  tensor::Tensor bias;
+  tensor::ConvSpec conv;
+  std::size_t fc_in = 0, fc_out = 0;
+  int wbits = 0, abits = 4;
+  std::size_t weighted_index = 0;
+
+  // kMaxPool / kAvgPool
+  std::size_t pool_kernel = 0, pool_stride = 0;
+
+  // kActivation (act_scale frozen at compile time, the QAT convention)
+  tensor::ActKind act = tensor::ActKind::kReLU;
+  int act_qat_bits = 0;
+  double act_scale = 0.0;
+};
+
+struct CompiledModel::Impl {
+  const LightatorSystem* system = nullptr;
+  std::string backend_name;
+  const ComputeBackend* backend = nullptr;  // resolved once at compile
+  std::vector<CompiledStep> steps;
+  std::size_t num_weighted = 0;
+};
+
+namespace {
+
+[[noreturn]] void throw_invalid_handle() {
+  throw std::logic_error(
+      "CompiledModel: invalid (uncompiled) handle — use Engine::compile "
+      "first");
+}
+
+}  // namespace
+
+const std::string& CompiledModel::backend() const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  return impl_->backend_name;
+}
+
+std::size_t CompiledModel::num_layers() const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  return impl_->steps.size();
+}
+
+std::size_t CompiledModel::num_weighted_layers() const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  return impl_->num_weighted;
+}
+
+namespace {
+
+const CompiledStep& weighted_step(const std::vector<CompiledStep>& steps,
+                                  std::size_t weighted_index) {
+  for (const CompiledStep& step : steps) {
+    if ((step.kind == nn::LayerKind::kConv ||
+         step.kind == nn::LayerKind::kLinear) &&
+        step.weighted_index == weighted_index) {
+      return step;
+    }
+  }
+  throw std::out_of_range("CompiledModel: weighted layer index out of range");
+}
+
+}  // namespace
+
+int CompiledModel::weight_bits(std::size_t weighted_index) const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  return weighted_step(impl_->steps, weighted_index).wbits;
+}
+
+int CompiledModel::act_bits(std::size_t weighted_index) const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  return weighted_step(impl_->steps, weighted_index).abits;
+}
+
+const tensor::QuantizedTensor& CompiledModel::weights(
+    std::size_t weighted_index) const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  return weighted_step(impl_->steps, weighted_index).weights;
+}
+
+BatchOutput CompiledModel::run(const FrameBatch& batch,
+                               ExecutionContext& ctx) const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  batch.validate();
+  const Impl& impl = *impl_;
+  const std::size_t frames = batch.items();
+
+  // Borrowed-frame gather state: non-null until the first weighted layer
+  // consumes the frames (or a non-weighted layer materializes them).
+  const std::vector<const tensor::Tensor*>* gather =
+      batch.gathered() ? &batch.frames() : nullptr;
+  tensor::Tensor h;
+  if (gather == nullptr) h = batch.stacked();
+
+  if (!ctx.noise_stream_ids.empty()) {
+    if (ctx.noise_stream_ids.size() != frames) {
+      throw std::invalid_argument(
+          "CompiledModel::run: noise_stream_ids size does not match the batch");
+    }
+    // Per-request noise ids promise composition-invariant noise; restart the
+    // stream counter so layer L draws the same stream ordinal every forward.
+    ctx.reset_noise_streams();
+  }
+
+  util::Rng fault_rng(ctx.faults.seed);
+  // Activations enter through the CRC/DMVA path: unsigned codes with a
+  // per-tensor (or, in serving mode, per-item) scale — identical to the
+  // pre-split run_network_on_oc path, so compiled results are bit-identical
+  // to the historical entry points.
+  auto quantize_acts = [&](const tensor::Tensor& t, int bits) {
+    if (gather != nullptr) {
+      return ctx.per_item_act_scale
+                 ? tensor::quantize_unsigned_per_item_gather(*gather, bits)
+                 : tensor::quantize_unsigned_gather(*gather, bits);
+    }
+    if (ctx.per_item_act_scale) {
+      return tensor::quantize_unsigned_per_item(t, bits);
+    }
+    float m = 0.0f;
+    for (std::size_t i = 0; i < t.size(); ++i) m = std::max(m, t[i]);
+    return tensor::quantize_unsigned(t, bits, m > 0 ? m : 1.0);
+  };
+  // Materializes the borrowed frames into `h` — only needed when a
+  // non-weighted layer runs before the first conv/fc.
+  auto materialize_gather = [&] {
+    if (gather == nullptr) return;
+    const tensor::Tensor& first = *(*gather)[0];
+    const std::size_t per_frame = first.size();
+    tensor::Shape shape = first.shape();
+    shape[0] = gather->size();
+    h = tensor::Tensor(shape);
+    for (std::size_t i = 0; i < gather->size(); ++i) {
+      std::copy((*gather)[i]->data(), (*gather)[i]->data() + per_frame,
+                h.data() + i * per_frame);
+    }
+    gather = nullptr;
+  };
+  // Fault injection mutates a private copy of the programmed weights (the
+  // prepacked panels / arm program describe the un-faulted levels, so the
+  // copy drops them — the backends then fall back to per-call packing,
+  // exactly like the historical fault path).
+  auto faulted_weights = [&](const tensor::QuantizedTensor& programmed,
+                             tensor::QuantizedTensor& xq) {
+    tensor::QuantizedTensor wq = programmed;
+    wq.prepack.reset();
+    wq.arm_program.reset();
+    apply_weight_faults(wq, ctx.faults, fault_rng);
+    apply_activation_faults(xq, ctx.faults, fault_rng);
+    return wq;
+  };
+  // Per-layer power/timing accumulators, keyed like the pre-split path so
+  // repeated batches accumulate wall time / frames instead of duplicating
+  // the (batch-invariant) modeled numbers.
+  auto record_stats = [&](const CompiledStep& step, const nn::LayerDesc& desc,
+                          double wall_seconds) {
+    if (!ctx.collect_stats) return;
+    for (auto& existing : ctx.stats) {
+      if (existing.layer_index == step.weighted_index &&
+          existing.name == desc.name && existing.weight_bits == step.wbits) {
+        existing.wall_seconds += wall_seconds;
+        existing.frames += frames;
+        return;
+      }
+    }
+    LayerExecStats s;
+    s.layer_index = step.weighted_index;
+    s.name = desc.name;
+    s.weight_bits = step.wbits;
+    s.macs = desc.macs();
+    s.frames = frames;
+    s.wall_seconds = wall_seconds;
+    const LayerMapping mapping = impl.system->mapper().map_layer(desc);
+    s.modeled_latency = impl.system->timing_model().layer_timing(mapping).latency;
+    s.modeled_energy =
+        impl.system->power_model().layer_power(mapping, step.wbits).energy;
+    ctx.stats.push_back(std::move(s));
+  };
+
+  for (const CompiledStep& step : impl.steps) {
+    switch (step.kind) {
+      case nn::LayerKind::kConv: {
+        auto xq = quantize_acts(h, step.abits);
+        nn::LayerDesc desc;
+        desc.kind = nn::LayerKind::kConv;
+        desc.name = step.name;
+        desc.in_h = gather != nullptr ? (*gather)[0]->dim(2) : h.dim(2);
+        desc.in_w = gather != nullptr ? (*gather)[0]->dim(3) : h.dim(3);
+        desc.conv = step.conv;
+        gather = nullptr;  // consumed by quantize_acts above
+        const auto start = std::chrono::steady_clock::now();
+        if (ctx.faults.any()) {
+          const auto wq = faulted_weights(step.weights, xq);
+          h = impl.backend->conv2d(xq, wq, step.bias, step.conv, ctx);
+        } else {
+          h = impl.backend->conv2d(xq, step.weights, step.bias, step.conv,
+                                   ctx);
+        }
+        record_stats(step, desc,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+        break;
+      }
+      case nn::LayerKind::kLinear: {
+        auto xq = quantize_acts(h, step.abits);
+        nn::LayerDesc desc;
+        desc.kind = nn::LayerKind::kLinear;
+        desc.name = step.name;
+        desc.fc_in = step.fc_in;
+        desc.fc_out = step.fc_out;
+        gather = nullptr;  // consumed by quantize_acts above
+        const auto start = std::chrono::steady_clock::now();
+        if (ctx.faults.any()) {
+          const auto wq = faulted_weights(step.weights, xq);
+          h = impl.backend->linear(xq, wq, step.bias, ctx);
+        } else {
+          h = impl.backend->linear(xq, step.weights, step.bias, ctx);
+        }
+        record_stats(step, desc,
+                     std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count());
+        break;
+      }
+      case nn::LayerKind::kMaxPool: {
+        materialize_gather();
+        std::vector<std::size_t> argmax;  // inference: discarded
+        h = tensor::maxpool_forward(h, step.pool_kernel, step.pool_stride,
+                                    &argmax);
+        break;
+      }
+      case nn::LayerKind::kAvgPool: {
+        materialize_gather();
+        h = tensor::avgpool_forward(h, step.pool_kernel, step.pool_stride);
+        break;
+      }
+      case nn::LayerKind::kActivation: {
+        materialize_gather();
+        h = tensor::act_forward(h, step.act);
+        // The QAT output fake-quant with the compile-time (frozen) scale —
+        // bit-identical to Activation::forward in inference mode.
+        if (step.act_qat_bits > 0 && step.act_scale > 0.0) {
+          tensor::fake_quant_unsigned(h, step.act_qat_bits, step.act_scale);
+        }
+        break;
+      }
+      case nn::LayerKind::kFlatten: {
+        materialize_gather();
+        h = tensor::flatten(h);
+        break;
+      }
+    }
+  }
+  return BatchOutput(std::move(h));
+}
+
+double CompiledModel::evaluate(const nn::Dataset& data, ExecutionContext& ctx,
+                               std::size_t batch_size,
+                               std::size_t max_samples) const {
+  const std::size_t n =
+      max_samples == 0 ? data.size() : std::min(max_samples, data.size());
+  std::size_t correct = 0, seen = 0;
+  for (std::size_t begin = 0; begin < n; begin += batch_size) {
+    const std::size_t count = std::min(batch_size, n - begin);
+    const auto x = data.batch_images(begin, count);
+    const auto y = data.batch_labels(begin, count);
+    const BatchOutput out = run(x, ctx);
+    const auto preds = tensor::predict(out.logits());
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (preds[i] == y[i]) ++correct;
+    }
+    seen += count;
+  }
+  return seen == 0 ? 0.0
+                   : static_cast<double>(correct) / static_cast<double>(seen);
+}
+
+// ---- Engine ----------------------------------------------------------------
+
+CompiledModel Engine::compile(const nn::Network& net,
+                              CompileOptions options) const {
+  auto impl = std::make_shared<CompiledModel::Impl>();
+  impl->system = system_;
+  impl->backend_name = options.backend;
+  // Resolves (and validates) the backend once: run() never pays the
+  // registry/name lookup, and an unknown name fails here, at compile time.
+  impl->backend = &system_->optical_core().backend(options.backend);
+
+  const auto wbits_for = [&](std::size_t i) {
+    if (options.weight_bits.empty()) return options.schedule.weight_bits_for(i);
+    return i < options.weight_bits.size() ? options.weight_bits[i]
+                                          : options.weight_bits.back();
+  };
+  const auto abits_for = [&](std::size_t i) {
+    return options.weight_bits.empty() ? options.schedule.act_bits_for(i)
+                                       : options.act_bits;
+  };
+
+  const std::size_t seg = system_->config().geometry.mrs_per_arm;
+  // SIMD panels help any integer-GEMM engine; arm programs only the device
+  // models. The reference oracle takes neither.
+  const bool pack_simd = options.prepack && options.backend != "reference" &&
+                         options.backend != "physical" &&
+                         tensor::simd::avx2_enabled();
+  const bool pack_arms = options.prepack && options.backend == "physical";
+
+  std::size_t weighted_index = 0;
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    const nn::Layer& layer = net.layer(i);
+    CompiledStep step;
+    step.kind = layer.kind();
+    step.name = layer.name();
+    switch (layer.kind()) {
+      case nn::LayerKind::kConv: {
+        const auto& conv = dynamic_cast<const nn::Conv2d&>(layer);
+        step.conv = conv.spec();
+        step.bias = conv.bias();
+        step.wbits = wbits_for(weighted_index);
+        step.abits = abits_for(weighted_index);
+        step.weighted_index = weighted_index++;
+        // Exactly the per-forward quantize_symmetric call of the pre-split
+        // path, so compiled forwards are bit-identical to uncompiled ones.
+        step.weights = tensor::quantize_symmetric(conv.weight(), step.wbits);
+        const std::size_t kdim = conv.spec().weights_per_filter();
+        if (pack_simd) {
+          auto pw = std::make_shared<tensor::PackedWeights>();
+          pw->seg = seg;
+          pw->has_a = true;
+          pw->a = tensor::pack_a_s16(step.weights.levels.data(),
+                                     conv.spec().out_channels, kdim, kdim,
+                                     seg);
+          step.weights.prepack = std::move(pw);
+        }
+        if (pack_arms) {
+          step.weights.arm_program = std::make_shared<tensor::ArmProgram>(
+              tensor::build_arm_program(step.weights.levels.data(),
+                                        conv.spec().out_channels, kdim,
+                                        step.weights.max_level(), seg));
+        }
+        break;
+      }
+      case nn::LayerKind::kLinear: {
+        const auto& fc = dynamic_cast<const nn::Linear&>(layer);
+        step.fc_in = fc.in_features();
+        step.fc_out = fc.out_features();
+        step.bias = fc.bias();
+        step.wbits = wbits_for(weighted_index);
+        step.abits = abits_for(weighted_index);
+        step.weighted_index = weighted_index++;
+        step.weights = tensor::quantize_symmetric(fc.weight(), step.wbits);
+        if (pack_simd) {
+          auto pw = std::make_shared<tensor::PackedWeights>();
+          pw->seg = seg;
+          pw->has_b = true;
+          pw->bt = tensor::pack_b_s16_transposed(step.weights.levels.data(),
+                                                 fc.in_features(),
+                                                 fc.out_features(),
+                                                 fc.in_features(), seg);
+          step.weights.prepack = std::move(pw);
+        }
+        if (pack_arms) {
+          step.weights.arm_program = std::make_shared<tensor::ArmProgram>(
+              tensor::build_arm_program(step.weights.levels.data(),
+                                        fc.out_features(), fc.in_features(),
+                                        step.weights.max_level(), seg));
+        }
+        break;
+      }
+      case nn::LayerKind::kMaxPool: {
+        const auto& pool = dynamic_cast<const nn::MaxPool&>(layer);
+        step.pool_kernel = pool.kernel();
+        step.pool_stride = pool.stride();
+        break;
+      }
+      case nn::LayerKind::kAvgPool: {
+        const auto& pool = dynamic_cast<const nn::AvgPool&>(layer);
+        step.pool_kernel = pool.kernel();
+        step.pool_stride = pool.stride();
+        break;
+      }
+      case nn::LayerKind::kActivation: {
+        const auto& act = dynamic_cast<const nn::Activation&>(layer);
+        step.act = act.act();
+        step.act_qat_bits = act.act_qat_bits();
+        step.act_scale = act.act_scale();
+        break;
+      }
+      case nn::LayerKind::kFlatten:
+        break;
+    }
+    impl->steps.push_back(std::move(step));
+  }
+  impl->num_weighted = weighted_index;
+
+  CompiledModel model;
+  model.impl_ = std::move(impl);
+  return model;
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,195 @@
+// Compile/execute split: the CompiledModel artifact API.
+//
+// Every inference entry point of the simulator — offline accuracy runs,
+// experiment sweeps, the serving layer — used to re-derive the same
+// per-layer state on every forward: re-quantizing weights, re-packing SIMD
+// panels, re-normalizing physical arm segments, and (for serving) cloning
+// whole Networks per replica just to get a private layer-state instance.
+// Following the compile-then-execute architecture of mature accelerator
+// stacks, this module separates the two phases:
+//
+//   Engine engine(system);
+//   CompiledModel model = engine.compile(net, {.backend = "gemm",
+//                                              .schedule = schedule});
+//   BatchOutput out = model.run(frames, ctx);   // cheap, stateless, shared
+//
+// compile() runs once per (network, precision, backend): it quantizes
+// ("programs") every weighted layer, pre-packs the SIMD GEMM panels, builds
+// the physical backend's arm programs, resolves the backend instance, and
+// snapshots the non-weighted layer plan (pool geometry, activation kinds and
+// frozen QAT scales). The resulting CompiledModel is immutable and
+// thread-shareable: run() touches no artifact state, so one artifact serves
+// any number of concurrent server replicas, sweep items, or Monte-Carlo
+// trials — mutable per-run state (noise streams, faults, stats, pools) lives
+// entirely in the caller's ExecutionContext. Fault injection copies the
+// programmed weights per forward, exactly like the uncompiled path did.
+//
+// BatchOutput is the ref-counted result: the batched logits tensor plus
+// zero-copy per-request row views, so the serving response path hands each
+// client its slice without slicing copies.
+//
+// The pre-split entry points (LightatorSystem::run_network_on_oc /
+// evaluate_on_oc) survive as deprecated shims over this API and stay
+// bit-identical to their historical results; the serving OcWeightCache
+// (whose only consumer was the removed ExecutionContext::weight_cache
+// field) is gone outright.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/compute_backend.hpp"
+#include "nn/dataset.hpp"
+#include "nn/network.hpp"
+#include "nn/qat.hpp"
+#include "tensor/quantize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace lightator::core {
+
+class LightatorSystem;
+
+/// One logical input batch, borrowed for the duration of a run(): either a
+/// stacked [N, C, H, W] tensor or N same-geometry [1, C, H, W] frames (the
+/// serving layer's zero-copy gather path — the first weighted layer
+/// quantizes straight out of the frame storage). Implicitly constructible
+/// from both, so call sites read run(x, ctx) / run(frames, ctx).
+class FrameBatch {
+ public:
+  FrameBatch(const tensor::Tensor& stacked)  // NOLINT(runtime/explicit)
+      : stacked_(&stacked) {}
+  FrameBatch(const std::vector<const tensor::Tensor*>& frames)  // NOLINT
+      : frames_(&frames) {}
+  // A named FrameBatch built from a temporary would dangle — require the
+  // caller to keep the input alive for the duration of the run.
+  FrameBatch(tensor::Tensor&&) = delete;
+  FrameBatch(std::vector<const tensor::Tensor*>&&) = delete;
+
+  /// Batch items (frames or stacked dim 0).
+  std::size_t items() const;
+  bool gathered() const { return frames_ != nullptr; }
+  /// Accessors for the form the batch was built from; the other one throws
+  /// std::logic_error.
+  const tensor::Tensor& stacked() const;
+  const std::vector<const tensor::Tensor*>& frames() const;
+
+  /// Throws std::invalid_argument unless the batch is non-empty and (for the
+  /// gather form) every frame is a non-null [1, ...] tensor of one geometry.
+  void validate() const;
+
+ private:
+  const tensor::Tensor* stacked_ = nullptr;
+  const std::vector<const tensor::Tensor*>* frames_ = nullptr;
+};
+
+/// Ref-counted batched logits: the single tensor one batched forward
+/// produced, plus zero-copy per-item row views. Copying a BatchOutput shares
+/// the storage, so a server can hand every request of a batch its own handle
+/// without duplicating the logits — the response-path zero-copy the serving
+/// layer's per-request slicing used to pay for.
+class BatchOutput {
+ public:
+  BatchOutput() = default;
+  explicit BatchOutput(tensor::Tensor logits);
+
+  bool empty() const { return logits_ == nullptr || logits_->empty(); }
+  /// Batch items (logits dim 0).
+  std::size_t items() const;
+  /// Elements per item row.
+  std::size_t row_size() const;
+  /// The full [N, ...] logits tensor. Throws std::logic_error on an empty
+  /// or already-take()n handle (as does row_shape).
+  const tensor::Tensor& logits() const;
+  /// Shape of one row: the logits shape with dim 0 = 1.
+  tensor::Shape row_shape() const;
+  /// Zero-copy view of item `i`'s row (valid while any handle is alive).
+  std::span<const float> row(std::size_t i) const;
+  /// Materialized [1, ...] copy of item `i` (for callers that need an owned
+  /// tensor — the view accessors above are the zero-copy path).
+  tensor::Tensor row_tensor(std::size_t i) const;
+
+  /// Moves the logits out when this is the only handle (copies otherwise)
+  /// and resets the handle. The deprecated tensor-returning shims use this.
+  tensor::Tensor take();
+
+ private:
+  std::shared_ptr<tensor::Tensor> logits_;
+};
+
+/// What to compile: the backend the artifact is specialized for and the
+/// precision of every weighted layer. `weight_bits`, when non-empty,
+/// overrides the schedule per weighted layer (index clamped to the last
+/// entry, activations at `act_bits`) — the generalized mixed-precision axis
+/// the precision search explores. When `weight_bits` is empty the schedule
+/// alone applies and `act_bits` is ignored (schedule mode).
+struct CompileOptions {
+  std::string backend = "gemm";
+  nn::PrecisionSchedule schedule = nn::PrecisionSchedule::uniform(4);
+  std::vector<int> weight_bits;
+  int act_bits = 4;
+  /// Build the pre-packed SIMD panels / physical arm programs. Disable only
+  /// to measure the un-prepacked path; results never change either way.
+  bool prepack = true;
+};
+
+/// The immutable executable artifact. Cheap to copy (shared immutable
+/// state); default-constructed handles are invalid until assigned from
+/// Engine::compile. The LightatorSystem it was compiled against must outlive
+/// every handle.
+class CompiledModel {
+ public:
+  CompiledModel() = default;
+
+  bool valid() const { return impl_ != nullptr; }
+  const std::string& backend() const;
+  std::size_t num_layers() const;
+  std::size_t num_weighted_layers() const;
+  int weight_bits(std::size_t weighted_index) const;
+  int act_bits(std::size_t weighted_index) const;
+  /// The programmed weights of weighted layer `i` (carrying any prepacked
+  /// panels / arm program) — introspection and test hook.
+  const tensor::QuantizedTensor& weights(std::size_t weighted_index) const;
+
+  /// One batched forward through the compiled plan. Stateless with respect
+  /// to the artifact: concurrent run() calls on one CompiledModel are safe
+  /// as long as each uses its own ExecutionContext. The context supplies the
+  /// thread pool, fault/noise configuration, per-item scale mode, and stats
+  /// collection; its `backend` string is ignored — the artifact was compiled
+  /// for one backend (that is the point of compiling).
+  BatchOutput run(const FrameBatch& batch, ExecutionContext& ctx) const;
+
+  /// Top-1 accuracy over `data` through run(), batched. The compiled
+  /// replacement for LightatorSystem::evaluate_on_oc: weights are programmed
+  /// once for the whole evaluation instead of once per batch.
+  double evaluate(const nn::Dataset& data, ExecutionContext& ctx,
+                  std::size_t batch_size = 64,
+                  std::size_t max_samples = 0) const;
+
+ private:
+  friend class Engine;
+  struct Impl;
+  std::shared_ptr<const Impl> impl_;
+};
+
+/// The compiler: one-time translation of a float Network into a
+/// CompiledModel for a LightatorSystem's architecture. Compilation performs
+/// every per-layer derivation the execution path used to repeat per forward:
+/// weight quantization, SIMD panel packing ("gemm"), arm-segment programming
+/// ("physical"), backend resolution, and the electronic-block layer plan.
+class Engine {
+ public:
+  /// `system` must outlive every CompiledModel this engine produces.
+  explicit Engine(const LightatorSystem& system) : system_(&system) {}
+
+  /// Throws std::invalid_argument for an unknown backend name.
+  CompiledModel compile(const nn::Network& net,
+                        CompileOptions options = {}) const;
+
+ private:
+  const LightatorSystem* system_;
+};
+
+}  // namespace lightator::core

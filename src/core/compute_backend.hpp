@@ -38,8 +38,6 @@
 
 namespace lightator::core {
 
-struct OcWeightCache;  // core/lightator.hpp
-
 /// Per-layer execution record accumulated by run_network_on_oc when
 /// ExecutionContext::collect_stats is set: the modeled architecture numbers
 /// next to the simulator's own wall time. One entry per weighted layer;
@@ -79,11 +77,10 @@ struct ExecutionContext {
   /// the offline experiment paths keep the original per-batch scheme.
   bool per_item_act_scale = false;
 
-  /// Optional pre-quantized weights keyed by weighted-layer index (see
-  /// core/lightator.hpp). run_network_on_oc then skips per-forward weight
-  /// quantization — the serving layer's weight-programming amortization.
-  /// The cache must match the network/schedule the forward runs.
-  const OcWeightCache* weight_cache = nullptr;
+  // The pre-split `const OcWeightCache* weight_cache` field lived here;
+  // the compile/execute split removed it — a CompiledModel owns the
+  // programmed weights (cache entries were bit-identical to compiled
+  // weights, so results never depended on it).
 
   ExecutionContext() = default;
   ExecutionContext(const ExecutionContext&) = delete;

@@ -16,9 +16,9 @@
 //     bit-identical for any pool size, and per-item stats merge back into the
 //     runner's context in index order;
 //   * monte_carlo(...): the fault Monte-Carlo driver the physical backend was
-//     built for — samples per-trial FaultSpec realizations (stuck cells, dark
-//     VCSELs, ring drift), evaluates each on an independent network clone,
-//     and reports mean/stddev/quantile accuracy;
+//     built for — compiles the network once, samples per-trial FaultSpec
+//     realizations (stuck cells, dark VCSELs, ring drift) evaluated against
+//     the shared CompiledModel, and reports mean/stddev/quantile accuracy;
 //   * fit(...): nn::Trainer with the runner's pool injected, so QAT training
 //     shards mini-batches on the same threads as everything else.
 #pragma once
@@ -130,9 +130,11 @@ class ExperimentRunner {
 
   /// Fault Monte-Carlo through the runner's backend (construct the runner
   /// with backend = "physical" for the full device-model path): `trials`
-  /// independent FaultSpec realizations of `options.faults`' rates, each
-  /// evaluated on a clone of `net` so trials share no layer caches. Results
-  /// are invariant to the pool size.
+  /// independent FaultSpec realizations of `options.faults`' rates. The
+  /// network compiles ONCE per campaign; all trials share the immutable
+  /// CompiledModel (no per-trial Network::clone) and carry only their fault
+  /// spec as mutable state. Results are invariant to the pool size and
+  /// bit-identical to the historical per-clone evaluation.
   MonteCarloResult monte_carlo(const LightatorSystem& system,
                                const nn::Network& net,
                                const nn::Dataset& data,

@@ -1,15 +1,10 @@
 #include "core/lightator.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <memory>
 #include <stdexcept>
 
-#include "tensor/activations.hpp"
-#include "tensor/gemm_s16_packed.hpp"
-#include "tensor/ops.hpp"
-#include "tensor/simd.hpp"
 #include "util/logging.hpp"
 
 namespace lightator::core {
@@ -54,10 +49,10 @@ SystemReport LightatorSystem::analyze(const nn::ModelDesc& model,
       std::move(label), options);
 }
 
-SystemReport LightatorSystem::analyze_impl(const nn::ModelDesc& model,
-                                           const BitsFn& weight_bits_for,
-                                           std::string precision_label,
-                                           const AnalyzeOptions& options) const {
+SystemReport LightatorSystem::analyze_impl(
+    const nn::ModelDesc& model,
+    const std::function<int(std::size_t)>& weight_bits_for,
+    std::string precision_label, const AnalyzeOptions& options) const {
   SystemReport report;
   report.model = model.name;
   report.precision = std::move(precision_label);
@@ -123,12 +118,56 @@ SystemReport LightatorSystem::analyze_impl(const nn::ModelDesc& model,
   return report;
 }
 
+CompiledModel LightatorSystem::compile(const nn::Network& net,
+                                       CompileOptions options) const {
+  return Engine(*this).compile(net, std::move(options));
+}
+
+// ---- deprecated per-call shims ---------------------------------------------
+//
+// Each shim compiles the network for the call's precision/backend and runs
+// once through CompiledModel — bit-identical to the pre-split per-call
+// behavior (compilation performs exactly the per-forward quantize/pack the
+// old path did), with none of the artifact reuse.
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace {
+
+CompileOptions schedule_options(const nn::PrecisionSchedule& schedule,
+                                const std::string& backend) {
+  CompileOptions options;
+  options.backend = backend;
+  options.schedule = schedule;
+  return options;
+}
+
+CompileOptions bits_options(const std::vector<int>& weight_bits, int act_bits,
+                            const std::string& backend) {
+  if (weight_bits.empty()) {
+    // An empty vector would silently select CompileOptions' schedule mode
+    // (and drop act_bits); the pre-split overloads never accepted it either.
+    throw std::invalid_argument(
+        "run_network_on_oc/evaluate_on_oc: weight_bits must be non-empty");
+  }
+  CompileOptions options;
+  options.backend = backend;
+  options.weight_bits = weight_bits;
+  options.act_bits = act_bits;
+  return options;
+}
+
+}  // namespace
+
 tensor::Tensor LightatorSystem::run_network_on_oc(
     nn::Network& net, const tensor::Tensor& x,
     const nn::PrecisionSchedule& schedule, const FaultSpec& faults) const {
   ExecutionContext ctx;
   ctx.faults = faults;
-  return run_network_on_oc(net, x, schedule, ctx);
+  return compile(net, schedule_options(schedule, ctx.backend))
+      .run(x, ctx)
+      .take();
 }
 
 tensor::Tensor LightatorSystem::run_network_on_oc(
@@ -137,226 +176,34 @@ tensor::Tensor LightatorSystem::run_network_on_oc(
     const FaultSpec& faults) const {
   ExecutionContext ctx;
   ctx.faults = faults;
-  return run_network_on_oc(net, x, weight_bits, act_bits, ctx);
+  return compile(net, bits_options(weight_bits, act_bits, ctx.backend))
+      .run(x, ctx)
+      .take();
 }
 
 tensor::Tensor LightatorSystem::run_network_on_oc(
     nn::Network& net, const tensor::Tensor& x,
     const nn::PrecisionSchedule& schedule, ExecutionContext& ctx) const {
-  return run_network_impl(
-      net, x,
-      [&schedule](std::size_t i) { return schedule.weight_bits_for(i); },
-      [&schedule](std::size_t i) { return schedule.act_bits_for(i); }, ctx);
+  return compile(net, schedule_options(schedule, ctx.backend))
+      .run(x, ctx)
+      .take();
 }
 
 tensor::Tensor LightatorSystem::run_network_on_oc(
     nn::Network& net, const tensor::Tensor& x,
     const std::vector<int>& weight_bits, int act_bits,
     ExecutionContext& ctx) const {
-  return run_network_impl(
-      net, x,
-      [&weight_bits](std::size_t i) {
-        return i < weight_bits.size() ? weight_bits[i] : weight_bits.back();
-      },
-      [act_bits](std::size_t) { return act_bits; }, ctx);
+  return compile(net, bits_options(weight_bits, act_bits, ctx.backend))
+      .run(x, ctx)
+      .take();
 }
 
 tensor::Tensor LightatorSystem::run_network_on_oc(
     nn::Network& net, const std::vector<const tensor::Tensor*>& frames,
     const nn::PrecisionSchedule& schedule, ExecutionContext& ctx) const {
-  if (frames.empty()) {
-    throw std::invalid_argument("run_network_on_oc: no frames");
-  }
-  for (const tensor::Tensor* frame : frames) {
-    if (frame == nullptr || frame->rank() == 0 || frame->dim(0) != 1) {
-      throw std::invalid_argument(
-          "run_network_on_oc: frames must be non-null [1, ...] tensors");
-    }
-    if (frame->shape() != frames[0]->shape()) {
-      throw std::invalid_argument(
-          "run_network_on_oc: frames have mismatched geometries");
-    }
-  }
-  return run_network_impl(
-      net, tensor::Tensor(),
-      [&schedule](std::size_t i) { return schedule.weight_bits_for(i); },
-      [&schedule](std::size_t i) { return schedule.act_bits_for(i); }, ctx,
-      &frames);
-}
-
-tensor::Tensor LightatorSystem::run_network_impl(
-    nn::Network& net, const tensor::Tensor& x, const BitsFn& weight_bits_for,
-    const BitsFn& act_bits_for, ExecutionContext& ctx,
-    const std::vector<const tensor::Tensor*>* gather) const {
-  tensor::Tensor h;
-  if (gather == nullptr) h = x;
-  const std::size_t frames =
-      gather != nullptr ? gather->size() : x.dim(0);
-  if (!ctx.noise_stream_ids.empty()) {
-    if (ctx.noise_stream_ids.size() != frames) {
-      throw std::invalid_argument(
-          "run_network_on_oc: noise_stream_ids size does not match the batch");
-    }
-    // Per-request noise ids promise composition-invariant noise; restart the
-    // stream counter so layer L draws the same stream ordinal every forward.
-    ctx.reset_noise_streams();
-  }
-  std::size_t weighted_index = 0;
-  util::Rng fault_rng(ctx.faults.seed);
-  // Activations enter through the CRC/DMVA path: unsigned codes with a
-  // per-tensor scale (the paper's configurations keep A = 4 bits; binary-
-  // activation baselines like LightBulb use A = 1). The scale is the max
-  // over the whole batch, so sharding the batch across threads inside the
-  // backend cannot change the quantization. In per-item mode (the serving
-  // layer's dynamic batches) each batch item instead carries its own scale,
-  // making every item's result independent of what it was batched with.
-  // Until the first weighted layer consumes it, the input may still live as
-  // borrowed frames (`gather`): quantization then reads straight out of the
-  // frame storage — bit-identical to quantizing the stacked batch, minus
-  // the stacking copy.
-  auto quantize_acts = [&](const tensor::Tensor& t, int bits) {
-    if (gather != nullptr) {
-      return ctx.per_item_act_scale
-                 ? tensor::quantize_unsigned_per_item_gather(*gather, bits)
-                 : tensor::quantize_unsigned_gather(*gather, bits);
-    }
-    if (ctx.per_item_act_scale) {
-      return tensor::quantize_unsigned_per_item(t, bits);
-    }
-    float m = 0.0f;
-    for (std::size_t i = 0; i < t.size(); ++i) m = std::max(m, t[i]);
-    return tensor::quantize_unsigned(t, bits, m > 0 ? m : 1.0);
-  };
-  // Materializes the borrowed frames into `h` — only needed when a
-  // non-weighted layer runs before the first conv/fc.
-  auto materialize_gather = [&] {
-    if (gather == nullptr) return;
-    const tensor::Tensor& first = *(*gather)[0];
-    const std::size_t per_frame = first.size();
-    tensor::Shape shape = first.shape();
-    shape[0] = gather->size();
-    h = tensor::Tensor(shape);
-    for (std::size_t i = 0; i < gather->size(); ++i) {
-      std::copy((*gather)[i]->data(), (*gather)[i]->data() + per_frame,
-                h.data() + i * per_frame);
-    }
-    gather = nullptr;
-  };
-  // Weights come from the context's cache when one is attached (the serving
-  // layer programs each replica's weights once); fault injection always
-  // mutates a private copy.
-  auto cached_weights = [&](std::size_t idx,
-                            int wbits) -> const tensor::QuantizedTensor* {
-    if (ctx.weight_cache == nullptr || ctx.faults.any()) return nullptr;
-    const auto& cache = ctx.weight_cache->weights;
-    if (idx >= cache.size() || cache[idx].bits != wbits) return nullptr;
-    return &cache[idx];
-  };
-  // Per-layer power/timing accumulators: the architecture models evaluated
-  // at the layer's mapped shape, next to the simulator's own wall time.
-  // Entries are keyed by weighted-layer index so repeated batches accumulate
-  // wall time / frame counts instead of duplicating the (batch-invariant)
-  // modeled numbers.
-  auto record_stats = [&](std::size_t layer_index, const nn::LayerDesc& desc,
-                          int wbits, double wall_seconds) {
-    if (!ctx.collect_stats) return;
-    // An existing entry only accumulates wall time / frames — skip the
-    // (batch-invariant) architecture-model evaluation on repeat batches.
-    for (auto& existing : ctx.stats) {
-      if (existing.layer_index == layer_index && existing.name == desc.name &&
-          existing.weight_bits == wbits) {
-        existing.wall_seconds += wall_seconds;
-        existing.frames += frames;
-        return;
-      }
-    }
-    LayerExecStats s;
-    s.layer_index = layer_index;
-    s.name = desc.name;
-    s.weight_bits = wbits;
-    s.macs = desc.macs();
-    s.frames = frames;
-    s.wall_seconds = wall_seconds;
-    const LayerMapping mapping = mapper_.map_layer(desc);
-    s.modeled_latency = timing_.layer_timing(mapping).latency;
-    s.modeled_energy = power_.layer_power(mapping, wbits).energy;
-    ctx.stats.push_back(std::move(s));
-  };
-  for (std::size_t i = 0; i < net.num_layers(); ++i) {
-    nn::Layer& layer = net.layer(i);
-    switch (layer.kind()) {
-      case nn::LayerKind::kConv: {
-        auto& conv = dynamic_cast<nn::Conv2d&>(layer);
-        const int wbits = weight_bits_for(weighted_index);
-        const int abits = act_bits_for(weighted_index);
-        ++weighted_index;
-        auto xq = quantize_acts(h, abits);
-        const tensor::QuantizedTensor* cached =
-            cached_weights(weighted_index - 1, wbits);
-        tensor::QuantizedTensor wq;
-        if (cached == nullptr) {
-          wq = tensor::quantize_symmetric(conv.weight(), wbits);
-          if (ctx.faults.any()) {
-            apply_weight_faults(wq, ctx.faults, fault_rng);
-            apply_activation_faults(xq, ctx.faults, fault_rng);
-          }
-        }
-        nn::LayerDesc desc;
-        desc.kind = nn::LayerKind::kConv;
-        desc.name = conv.name();
-        desc.in_h = gather != nullptr ? (*gather)[0]->dim(2) : h.dim(2);
-        desc.in_w = gather != nullptr ? (*gather)[0]->dim(3) : h.dim(3);
-        desc.conv = conv.spec();
-        gather = nullptr;  // consumed by quantize_acts above
-        const auto start = std::chrono::steady_clock::now();
-        h = oc_.conv2d(xq, cached != nullptr ? *cached : wq, conv.bias(),
-                       conv.spec(), ctx);
-        record_stats(weighted_index - 1, desc, wbits,
-                     std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count());
-        break;
-      }
-      case nn::LayerKind::kLinear: {
-        auto& fc = dynamic_cast<nn::Linear&>(layer);
-        const int wbits = weight_bits_for(weighted_index);
-        const int abits = act_bits_for(weighted_index);
-        ++weighted_index;
-        auto xq = quantize_acts(h, abits);
-        const tensor::QuantizedTensor* cached =
-            cached_weights(weighted_index - 1, wbits);
-        tensor::QuantizedTensor wq;
-        if (cached == nullptr) {
-          wq = tensor::quantize_symmetric(fc.weight(), wbits);
-          if (ctx.faults.any()) {
-            apply_weight_faults(wq, ctx.faults, fault_rng);
-            apply_activation_faults(xq, ctx.faults, fault_rng);
-          }
-        }
-        nn::LayerDesc desc;
-        desc.kind = nn::LayerKind::kLinear;
-        desc.name = fc.name();
-        desc.fc_in = fc.in_features();
-        desc.fc_out = fc.out_features();
-        gather = nullptr;  // consumed by quantize_acts above
-        const auto start = std::chrono::steady_clock::now();
-        h = oc_.linear(xq, cached != nullptr ? *cached : wq, fc.bias(), ctx);
-        record_stats(weighted_index - 1, desc, wbits,
-                     std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count());
-        break;
-      }
-      default:
-        // Pools, activations, flatten run in the electronic block / CA banks
-        // on the materialized batch (a non-weighted first layer forfeits the
-        // gather path's zero-copy, nothing else).
-        materialize_gather();
-        h = layer.forward(h, /*training=*/false);
-        break;
-    }
-  }
-  return h;
+  return compile(net, schedule_options(schedule, ctx.backend))
+      .run(frames, ctx)
+      .take();
 }
 
 double LightatorSystem::evaluate_on_oc(nn::Network& net,
@@ -376,21 +223,8 @@ double LightatorSystem::evaluate_on_oc(nn::Network& net,
                                        ExecutionContext& ctx,
                                        std::size_t batch_size,
                                        std::size_t max_samples) const {
-  const std::size_t n =
-      max_samples == 0 ? data.size() : std::min(max_samples, data.size());
-  std::size_t correct = 0, seen = 0;
-  for (std::size_t begin = 0; begin < n; begin += batch_size) {
-    const std::size_t count = std::min(batch_size, n - begin);
-    const auto x = data.batch_images(begin, count);
-    const auto y = data.batch_labels(begin, count);
-    const auto logits = run_network_on_oc(net, x, schedule, ctx);
-    const auto preds = tensor::predict(logits);
-    for (std::size_t i = 0; i < preds.size(); ++i) {
-      if (preds[i] == y[i]) ++correct;
-    }
-    seen += count;
-  }
-  return seen == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(seen);
+  return compile(net, schedule_options(schedule, ctx.backend))
+      .evaluate(data, ctx, batch_size, max_samples);
 }
 
 double LightatorSystem::evaluate_on_oc(nn::Network& net,
@@ -409,26 +243,16 @@ double LightatorSystem::evaluate_on_oc(nn::Network& net,
                                        int act_bits, ExecutionContext& ctx,
                                        std::size_t batch_size,
                                        std::size_t max_samples) const {
-  const std::size_t n =
-      max_samples == 0 ? data.size() : std::min(max_samples, data.size());
-  std::size_t correct = 0, seen = 0;
-  for (std::size_t begin = 0; begin < n; begin += batch_size) {
-    const std::size_t count = std::min(batch_size, n - begin);
-    const auto x = data.batch_images(begin, count);
-    const auto y = data.batch_labels(begin, count);
-    const auto logits = run_network_on_oc(net, x, weight_bits, act_bits, ctx);
-    const auto preds = tensor::predict(logits);
-    for (std::size_t i = 0; i < preds.size(); ++i) {
-      if (preds[i] == y[i]) ++correct;
-    }
-    seen += count;
-  }
-  return seen == 0 ? 0.0 : static_cast<double>(correct) / static_cast<double>(seen);
+  return compile(net, bits_options(weight_bits, act_bits, ctx.backend))
+      .evaluate(data, ctx, batch_size, max_samples);
 }
 
-tensor::Tensor LightatorSystem::capture_and_infer(
-    nn::Network& net, const std::vector<sensor::Image>& scenes,
-    const nn::PrecisionSchedule& schedule, ExecutionContext& ctx,
+#pragma GCC diagnostic pop
+
+// ---- end deprecated shims --------------------------------------------------
+
+std::vector<tensor::Tensor> LightatorSystem::acquire_frames(
+    const std::vector<sensor::Image>& scenes, ExecutionContext& ctx,
     const CaptureOptions& capture) const {
   if (scenes.empty()) {
     throw std::invalid_argument("capture_and_infer: no scenes");
@@ -451,62 +275,32 @@ tensor::Tensor LightatorSystem::capture_and_infer(
           "capture_and_infer: scenes produced mismatched frame geometries");
     }
   }
-  // Run the batched OC forward straight off the acquired frames (the gather
-  // path): one forward amortizes quantization and weight programming over
-  // all frames, without re-stacking them first.
-  std::vector<const tensor::Tensor*> frame_ptrs(frames.size());
-  for (std::size_t i = 0; i < frames.size(); ++i) frame_ptrs[i] = &frames[i];
-  return run_network_on_oc(net, frame_ptrs, schedule, ctx);
+  return frames;
 }
 
-OcWeightCache build_oc_weight_cache(const nn::Network& net,
-                                    const nn::PrecisionSchedule& schedule,
-                                    const ArchConfig* arch) {
-  OcWeightCache cache;
-  // Pre-pack the SIMD GEMM panels only when the packed kernels can run;
-  // packing is a pure re-layout of the quantized levels, so it never
-  // changes forward results — entries without panels just pack per call.
-  const bool pack = arch != nullptr && tensor::simd::avx2_enabled();
-  const std::size_t seg = pack ? arch->geometry.mrs_per_arm : 0;
-  std::size_t weighted_index = 0;
-  for (std::size_t i = 0; i < net.num_layers(); ++i) {
-    const nn::Layer& layer = net.layer(i);
-    // Exactly the quantize_symmetric calls run_network_impl would make, so a
-    // cached forward is bit-identical to an uncached one.
-    if (layer.kind() == nn::LayerKind::kConv) {
-      const auto& conv = dynamic_cast<const nn::Conv2d&>(layer);
-      tensor::QuantizedTensor q = tensor::quantize_symmetric(
-          conv.weight(), schedule.weight_bits_for(weighted_index));
-      if (pack) {
-        auto pw = std::make_shared<tensor::PackedWeights>();
-        pw->seg = seg;
-        pw->has_a = true;
-        const std::size_t kdim = conv.spec().weights_per_filter();
-        pw->a = tensor::pack_a_s16(q.levels.data(), conv.spec().out_channels,
-                                   kdim, kdim, seg);
-        q.prepack = std::move(pw);
-      }
-      cache.weights.push_back(std::move(q));
-      ++weighted_index;
-    } else if (layer.kind() == nn::LayerKind::kLinear) {
-      const auto& fc = dynamic_cast<const nn::Linear&>(layer);
-      tensor::QuantizedTensor q = tensor::quantize_symmetric(
-          fc.weight(), schedule.weight_bits_for(weighted_index));
-      if (pack) {
-        auto pw = std::make_shared<tensor::PackedWeights>();
-        pw->seg = seg;
-        pw->has_b = true;
-        pw->bt = tensor::pack_b_s16_transposed(q.levels.data(),
-                                               fc.in_features(),
-                                               fc.out_features(),
-                                               fc.in_features(), seg);
-        q.prepack = std::move(pw);
-      }
-      cache.weights.push_back(std::move(q));
-      ++weighted_index;
-    }
-  }
-  return cache;
+tensor::Tensor LightatorSystem::capture_and_infer(
+    nn::Network& net, const std::vector<sensor::Image>& scenes,
+    const nn::PrecisionSchedule& schedule, ExecutionContext& ctx,
+    const CaptureOptions& capture) const {
+  CompileOptions options;
+  options.backend = ctx.backend;
+  options.schedule = schedule;
+  return capture_and_infer(compile(net, std::move(options)), scenes, ctx,
+                           capture)
+      .take();
+}
+
+BatchOutput LightatorSystem::capture_and_infer(
+    const CompiledModel& model, const std::vector<sensor::Image>& scenes,
+    ExecutionContext& ctx, const CaptureOptions& capture) const {
+  const std::vector<tensor::Tensor> frames =
+      acquire_frames(scenes, ctx, capture);
+  // Run the batched forward straight off the acquired frames (the gather
+  // path): one compiled forward shares quantization and the programmed
+  // weights across all frames, without re-stacking them first.
+  std::vector<const tensor::Tensor*> frame_ptrs(frames.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) frame_ptrs[i] = &frames[i];
+  return model.run(frame_ptrs, ctx);
 }
 
 tensor::Tensor LightatorSystem::acquire(const sensor::Image& scene,

@@ -4,11 +4,17 @@
 // mapper, and the power/timing models:
 //   * analyze()            — architecture-level report (per-layer mapping,
 //                            power breakdown, timing; Table 1 / Fig. 8-10).
-//   * run_network_on_oc()  — functional quantized inference routed through
-//                            the OpticalCore MAC path (accuracy evaluation,
-//                            equivalence testing against the DNN substrate).
+//   * Engine::compile()    — one-time translation of a Network into an
+//                            immutable CompiledModel artifact
+//                            (core/compiled_model.hpp); CompiledModel::run /
+//                            ::evaluate are the inference entry points.
 //   * capture_and_infer()  — end-to-end: scene -> pixel array -> CRC codes ->
-//                            (optional CA) -> network, as in Fig. 2.
+//                            (optional CA) -> compiled network, as in Fig. 2.
+//
+// The pre-split per-call entry points (run_network_on_oc / evaluate_on_oc)
+// remain as deprecated shims over the compile/execute API: they compile on
+// every call — bit-identical results, but none of the artifact reuse. New
+// code should compile once and run many times.
 #pragma once
 
 #include <functional>
@@ -16,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/compiled_model.hpp"
 #include "core/compressive_acquisitor.hpp"
 #include "core/faults.hpp"
 #include "core/mapper.hpp"
@@ -68,26 +75,11 @@ struct CaptureOptions {
   std::uint64_t sensor_noise_seed = 0;
 };
 
-/// Pre-quantized weights for every weighted layer of a network, keyed by
-/// weighted-layer index. run_network_on_oc quantizes weights on every
-/// forward; a server replica programs its weights once and then reuses them
-/// for every batch, so the cache is built at replica construction and handed
-/// to the forward through ExecutionContext::weight_cache. Entries are
-/// bit-identical to what the forward would have computed (same
-/// quantize_symmetric call), so cached and uncached runs agree exactly.
-struct OcWeightCache {
-  std::vector<tensor::QuantizedTensor> weights;  // by weighted-layer index
-};
-
-/// Builds the cache for `net` under `schedule` (weight bits per weighted
-/// layer; the activation side of the schedule is irrelevant here). When
-/// `arch` is given and the packed SIMD kernels are live, each entry also
-/// carries its pre-packed GEMM panels (QuantizedTensor::prepack) sized to
-/// the arch's arm length — packed once here, shared read-only by every
-/// replica that shares the cache.
-OcWeightCache build_oc_weight_cache(const nn::Network& net,
-                                    const nn::PrecisionSchedule& schedule,
-                                    const ArchConfig* arch = nullptr);
+// The pre-split `OcWeightCache` / `build_oc_weight_cache` pair (per-replica
+// pre-quantized weights fed through `ExecutionContext::weight_cache`) is
+// gone: a CompiledModel owns the programmed weights, packed panels, and arm
+// programs, and is shared directly — compiled weights are bit-identical to
+// what the cache carried, so results are unchanged.
 
 class LightatorSystem {
  public:
@@ -95,6 +87,9 @@ class LightatorSystem {
 
   const ArchConfig& config() const { return config_; }
   const OpticalCore& optical_core() const { return oc_; }
+  const Mapper& mapper() const { return mapper_; }
+  const PowerModel& power_model() const { return power_; }
+  const TimingModel& timing_model() const { return timing_; }
 
   /// Architecture-level analysis of a model at a precision schedule.
   SystemReport analyze(const nn::ModelDesc& model,
@@ -108,69 +103,79 @@ class LightatorSystem {
                        const std::vector<int>& weight_bits,
                        const AnalyzeOptions& options = {}) const;
 
-  /// Functional quantized forward pass routed through the OpticalCore:
-  /// conv/fc MACs via arm-segmented integer reduction, pooling/activation
-  /// in the electronic block. Weights/activations quantized per `schedule`;
-  /// an optional FaultSpec injects stuck weight cells / dark VCSELs.
+  /// Compiles `net` for this system — shorthand for
+  /// Engine(*this).compile(net, options). The system must outlive the
+  /// returned artifact.
+  CompiledModel compile(const nn::Network& net,
+                        CompileOptions options = {}) const;
+
+  // ---- deprecated per-call entry points (shims over CompiledModel) --------
+  //
+  // Each call compiles the network and runs once: bit-identical to the
+  // historical per-call behavior, but repeated forwards re-pay the compile.
+  // Migrate to compile() + CompiledModel::run / ::evaluate.
+
+  [[deprecated("compile once (LightatorSystem::compile) and call "
+               "CompiledModel::run")]]
   tensor::Tensor run_network_on_oc(nn::Network& net, const tensor::Tensor& x,
                                    const nn::PrecisionSchedule& schedule,
                                    const FaultSpec& faults = {}) const;
 
-  /// Per-weighted-layer weight bits variant (activations stay `act_bits`).
+  [[deprecated("compile once (LightatorSystem::compile) and call "
+               "CompiledModel::run")]]
   tensor::Tensor run_network_on_oc(nn::Network& net, const tensor::Tensor& x,
                                    const std::vector<int>& weight_bits,
                                    int act_bits = 4,
                                    const FaultSpec& faults = {}) const;
 
-  /// ExecutionContext variants: choose the compute backend ("reference" /
-  /// "gemm" / "physical"), the thread pool for batch-parallel dispatch, the
-  /// fault/noise configuration, and (optionally) collect per-layer
-  /// power/timing/wall-time stats into `ctx.stats`.
+  [[deprecated("compile once (LightatorSystem::compile) and call "
+               "CompiledModel::run")]]
   tensor::Tensor run_network_on_oc(nn::Network& net, const tensor::Tensor& x,
                                    const nn::PrecisionSchedule& schedule,
                                    ExecutionContext& ctx) const;
+
+  [[deprecated("compile once (LightatorSystem::compile) and call "
+               "CompiledModel::run")]]
   tensor::Tensor run_network_on_oc(nn::Network& net, const tensor::Tensor& x,
                                    const std::vector<int>& weight_bits,
                                    int act_bits, ExecutionContext& ctx) const;
 
-  /// Frame-gather variant: runs the batched forward over `frames` (borrowed,
-  /// same-geometry [1, C, H, W] tensors — one logical batch item each)
-  /// without materializing the stacked batch. The first weighted layer
-  /// quantizes straight out of the frame storage, so the serving layer's
-  /// dynamic batcher pays zero extra copies per request. Bit-identical to
-  /// stacking the frames and calling the tensor overload.
+  [[deprecated("compile once (LightatorSystem::compile) and call "
+               "CompiledModel::run on a FrameBatch of borrowed frames")]]
   tensor::Tensor run_network_on_oc(
       nn::Network& net, const std::vector<const tensor::Tensor*>& frames,
       const nn::PrecisionSchedule& schedule, ExecutionContext& ctx) const;
 
-  /// Accuracy at arbitrary per-layer weight bits.
+  [[deprecated("compile once (LightatorSystem::compile) and call "
+               "CompiledModel::evaluate")]]
   double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
                         const std::vector<int>& weight_bits, int act_bits = 4,
                         std::size_t batch_size = 64,
                         std::size_t max_samples = 0) const;
 
-  /// Same, through an explicit ExecutionContext — the entry point the
-  /// precision search's measured evaluator uses to run candidate assignments
-  /// on a pooled backend.
+  [[deprecated("compile once (LightatorSystem::compile) and call "
+               "CompiledModel::evaluate")]]
   double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
                         const std::vector<int>& weight_bits, int act_bits,
                         ExecutionContext& ctx, std::size_t batch_size = 64,
                         std::size_t max_samples = 0) const;
 
-  /// Top-1 accuracy of the OC functional path on a dataset.
+  [[deprecated("compile once (LightatorSystem::compile) and call "
+               "CompiledModel::evaluate")]]
   double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
                         const nn::PrecisionSchedule& schedule,
                         std::size_t batch_size = 64,
                         std::size_t max_samples = 0,
                         const FaultSpec& faults = {}) const;
 
-  /// Accuracy through an explicit ExecutionContext (backend choice, thread
-  /// pool, faults/noise, stats). Batches shard over the batch dimension
-  /// inside the backend kernels, so accuracy is thread-count invariant.
+  [[deprecated("compile once (LightatorSystem::compile) and call "
+               "CompiledModel::evaluate")]]
   double evaluate_on_oc(nn::Network& net, const nn::Dataset& data,
                         const nn::PrecisionSchedule& schedule,
                         ExecutionContext& ctx, std::size_t batch_size = 64,
                         std::size_t max_samples = 0) const;
+
+  // ---- end deprecated shims -----------------------------------------------
 
   /// End-to-end single-frame pipeline (Fig. 2): expose the pixel array to a
   /// scene, read CRC codes, optionally compress via CA, and return the
@@ -182,28 +187,33 @@ class LightatorSystem {
   /// Multi-frame pipeline mode: acquires every scene in parallel on the
   /// context's pool (per-frame sensor noise seeded from
   /// (sensor_noise_seed, frame index), so results are thread-count
-  /// invariant), stacks the frames into one batch, and runs a single batched
-  /// OC forward through `ctx`. All scenes must share one geometry. Returns
-  /// the logits [num_scenes x classes].
+  /// invariant), then runs a single batched forward off the acquired frames
+  /// through a freshly compiled model on ctx's backend. All scenes must
+  /// share one geometry. Returns the logits [num_scenes x classes].
+  /// Callers with a CompiledModel in hand should use the overload below.
   tensor::Tensor capture_and_infer(nn::Network& net,
                                    const std::vector<sensor::Image>& scenes,
                                    const nn::PrecisionSchedule& schedule,
                                    ExecutionContext& ctx,
                                    const CaptureOptions& capture = {}) const;
 
- private:
-  using BitsFn = std::function<int(std::size_t weighted_index)>;
+  /// Same pipeline against an already-compiled artifact (no per-call
+  /// compile): acquire in parallel, one batched CompiledModel::run.
+  BatchOutput capture_and_infer(const CompiledModel& model,
+                                const std::vector<sensor::Image>& scenes,
+                                ExecutionContext& ctx,
+                                const CaptureOptions& capture = {}) const;
 
-  SystemReport analyze_impl(const nn::ModelDesc& model, const BitsFn& wbits,
+ private:
+  SystemReport analyze_impl(const nn::ModelDesc& model,
+                            const std::function<int(std::size_t)>& wbits,
                             std::string precision_label,
                             const AnalyzeOptions& options) const;
 
-  /// `frames` (when non-null) supplies the input as borrowed [1, ...]
-  /// tensors instead of `x` — the zero-copy gather path above.
-  tensor::Tensor run_network_impl(
-      nn::Network& net, const tensor::Tensor& x, const BitsFn& wbits,
-      const BitsFn& abits, ExecutionContext& ctx,
-      const std::vector<const tensor::Tensor*>* frames = nullptr) const;
+  /// Parallel seeded acquisition shared by both capture_and_infer overloads.
+  std::vector<tensor::Tensor> acquire_frames(
+      const std::vector<sensor::Image>& scenes, ExecutionContext& ctx,
+      const CaptureOptions& capture) const;
 
   ArchConfig config_;
   OpticalCore oc_;

@@ -72,13 +72,21 @@ PrecisionAssignment PrecisionSearch::search(
   if (eval_net_ == nullptr || eval_data_ == nullptr) {
     return search_impl(options, nullptr);  // nothing bound: analytic proxy
   }
-  // The measured default: run each candidate assignment through the OC
-  // functional path on the context's backend. The context's pool shards the
-  // validation batches, so this is where measured search gets its speed.
+  // The measured default: each candidate assignment compiles ONCE (weights
+  // quantized and panels packed for that bit vector) and the artifact is
+  // reused across every validation batch of the evaluation — the greedy loop
+  // no longer re-programs weights per batch. The context's pool shards the
+  // validation batches, so measured search stays multicore-fast and
+  // thread-count invariant.
   const Evaluator measured = [this, &ctx](const std::vector<int>& bits) {
-    return system_.evaluate_on_oc(*eval_net_, *eval_data_, bits,
-                                  eval_act_bits_, ctx, eval_batch_size_,
-                                  eval_max_samples_);
+    CompileOptions compile_options;
+    compile_options.backend = ctx.backend;
+    compile_options.weight_bits = bits;
+    compile_options.act_bits = eval_act_bits_;
+    const CompiledModel candidate =
+        system_.compile(*eval_net_, std::move(compile_options));
+    return candidate.evaluate(*eval_data_, ctx, eval_batch_size_,
+                              eval_max_samples_);
   };
   return search_impl(options, measured);
 }

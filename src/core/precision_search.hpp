@@ -9,8 +9,9 @@
 // Accuracy damage can be estimated two ways:
 //   * analytic   — layer-wise quantization-noise proxy (weight MSE scaled by
 //     the layer's share of MACs), cheap, no model needed;
-//   * measured   — every candidate assignment evaluated through
-//     LightatorSystem::evaluate_on_oc on a bound validation set (the default
+//   * measured   — every candidate assignment compiled once
+//     (LightatorSystem::compile at the candidate's bit vector) and evaluated
+//     through CompiledModel::evaluate on a bound validation set (the default
 //     when search is given an ExecutionContext: candidates run on the
 //     context's backend — "gemm" — with its pool sharding the validation
 //     batches, so measured search is multicore-fast and thread-count
@@ -54,9 +55,9 @@ class PrecisionSearch {
       : system_(system), model_(model) {}
 
   /// Binds a trained network + validation set: search(options, ctx) with no
-  /// explicit evaluator then measures every candidate through
-  /// evaluate_on_oc(net, data, bits, act_bits, ctx, ...). The network must
-  /// outlive the search (candidates run forward passes on it).
+  /// explicit evaluator then compiles each candidate bit assignment once and
+  /// measures it through CompiledModel::evaluate. The network must outlive
+  /// the search (candidates compile from its weights).
   void bind_validation(nn::Network& net, const nn::Dataset& data,
                        int act_bits = 4, std::size_t batch_size = 64,
                        std::size_t max_samples = 0);

@@ -27,22 +27,34 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <span>
 #include <vector>
 
+#include "core/compiled_model.hpp"
 #include "tensor/tensor.hpp"
 
 namespace lightator::serve {
 
 enum class SubmitStatus { kAccepted, kRejected, kClosed };
 
-/// What the server hands back for one request.
+/// What the server hands back for one request: a zero-copy row view into the
+/// ref-counted batched logits the request rode in. Every request of a batch
+/// shares one BatchOutput — the response path never slices per-request
+/// copies out of the batch tensor; the logits stay alive as long as any
+/// request of the batch holds its result.
 struct InferResult {
-  tensor::Tensor output;        // this request's slice of the batch, [1, ...]
-  std::uint64_t request_id = 0; // the id the request was submitted under
-  std::size_t replica = 0;      // which replica executed it
-  std::size_t batch_size = 0;   // size of the batch it rode in
-  double queue_seconds = 0.0;   // admission -> batch dispatch
-  double total_seconds = 0.0;   // admission -> result ready
+  core::BatchOutput batch;       // shared logits of the whole batch
+  std::size_t row = 0;           // this request's row within it
+  std::uint64_t request_id = 0;  // the id the request was submitted under
+  std::size_t replica = 0;       // which replica executed it
+  std::size_t batch_size = 0;    // size of the batch it rode in
+  double queue_seconds = 0.0;    // admission -> batch dispatch
+  double total_seconds = 0.0;    // admission -> result ready
+
+  /// This request's logits, zero-copy.
+  std::span<const float> output() const { return batch.row(row); }
+  /// Materialized [1, ...] copy for callers that need an owned tensor.
+  tensor::Tensor output_tensor() const { return batch.row_tensor(row); }
 };
 
 struct GeometryKey {

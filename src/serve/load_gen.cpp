@@ -37,7 +37,9 @@ LoadGenReport run_closed_loop(InferenceServer& server,
     auto [index, future] = std::move(outstanding.front());
     outstanding.pop_front();
     InferResult result = future.get();  // rethrows a failed request
-    report.outputs[index] = std::move(result.output);
+    // Materialize the zero-copy row view: the report retains every output
+    // long after its batch's ref-counted logits would otherwise be released.
+    report.outputs[index] = result.output_tensor();
     report.batch_sizes[index] = result.batch_size;
   };
 

@@ -19,45 +19,66 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
 
 }  // namespace
 
-/// One serving replica: an independent network clone (layers cache forward
-/// state, so concurrent batches need disjoint instances), a private pool,
-/// and an ExecutionContext wired for per-item quantization + the shared
-/// read-only weight cache.
+/// One serving replica: a private pool and an ExecutionContext wired for
+/// per-item quantization. The CompiledModel itself is immutable and shared —
+/// a replica carries no network state of its own, which is what lets N
+/// replicas serve one artifact with no per-replica clone or weight cache.
 struct InferenceServer::Replica {
-  Replica(const nn::Network& model, std::size_t index_,
-          const ServerOptions& options, const core::OcWeightCache& cache)
-      : net(model.clone()), pool(std::max<std::size_t>(
-                                options.threads_per_replica, 1)),
+  Replica(std::size_t index_, const ServerOptions& options)
+      : pool(std::max<std::size_t>(options.threads_per_replica, 1)),
         index(index_) {
-    ctx.backend = options.backend;
     ctx.noise_seed = options.noise_seed;
     ctx.pool = &pool;
     ctx.per_item_act_scale = true;
-    ctx.weight_cache = &cache;
   }
 
-  nn::Network net;
   util::ThreadPool pool;
   core::ExecutionContext ctx;
   std::size_t index;
 };
 
+namespace {
+
+core::CompileOptions server_compile_options(const ServerOptions& options,
+                                            nn::PrecisionSchedule schedule) {
+  core::CompileOptions co;
+  co.backend = options.backend;
+  co.schedule = std::move(schedule);
+  return co;
+}
+
+}  // namespace
+
 InferenceServer::InferenceServer(const core::LightatorSystem& system,
                                  const nn::Network& model,
                                  nn::PrecisionSchedule schedule,
                                  ServerOptions options)
-    : system_(system),
-      schedule_(std::move(schedule)),
-      options_(options),
-      weight_cache_(
-          core::build_oc_weight_cache(model, schedule_, &system.config())),
+    : options_(options),
+      compiled_(system.compile(
+          model, server_compile_options(options, std::move(schedule)))),
       queue_(options.queue_capacity, options.batch) {
+  start_replicas();
+}
+
+InferenceServer::InferenceServer(core::CompiledModel compiled,
+                                 ServerOptions options)
+    : options_(std::move(options)),
+      compiled_(std::move(compiled)),
+      queue_(options_.queue_capacity, options_.batch) {
+  if (!compiled_.valid()) {
+    throw std::invalid_argument(
+        "InferenceServer: compiled model handle is invalid");
+  }
+  options_.backend = compiled_.backend();  // the artifact fixed the backend
+  start_replicas();
+}
+
+void InferenceServer::start_replicas() {
   const std::size_t n = std::max<std::size_t>(options_.replicas, 1);
   replicas_.reserve(n);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    replicas_.push_back(
-        std::make_unique<Replica>(model, i, options_, weight_cache_));
+    replicas_.push_back(std::make_unique<Replica>(i, options_));
   }
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] { worker_loop(*replicas_[i]); });
@@ -150,22 +171,20 @@ void InferenceServer::worker_loop(Replica& replica) {
         frames[i] = &batch[i].input;
         replica.ctx.noise_stream_ids[i] = batch[i].request_id;
       }
-      tensor::Tensor out = system_.run_network_on_oc(replica.net, frames,
-                                                     schedule_, replica.ctx);
+      core::BatchOutput out = compiled_.run(frames, replica.ctx);
       const Clock::time_point finished = Clock::now();
 
       // Record before completing the futures: a client that has seen every
       // result must also see it reflected in stats().
       record_batch(batch, dispatched, finished, /*failed=*/false);
       recorded = true;
-      tensor::Shape row_shape = out.shape();
-      row_shape[0] = 1;
-      const std::size_t per_out = out.size() / batch.size();
+      // Zero-copy response path: every request shares the ref-counted batch
+      // logits and reads its own row view. The logits tensor is freed when
+      // the last request of the batch drops its result.
       for (std::size_t i = 0; i < batch.size(); ++i) {
         InferResult result;
-        result.output = tensor::Tensor(row_shape);
-        std::copy(out.data() + i * per_out, out.data() + (i + 1) * per_out,
-                  result.output.data());
+        result.batch = out;
+        result.row = i;
         result.request_id = batch[i].request_id;
         result.replica = replica.index;
         result.batch_size = batch.size();

@@ -1,11 +1,15 @@
 // InferenceServer: the online serving layer over the offline simulator.
 //
-// Owns N replicas — each an independent Network::clone with its own
-// ExecutionContext (chosen compute backend, private thread pool, shared
-// read-only OcWeightCache) — behind one bounded request queue with a
-// geometry-bucketed dynamic micro-batcher (serve/batch_queue.hpp). Front
-// ends submit single-frame tensors and get a future; replicas lease batches,
-// run one batched OC forward, and complete the futures.
+// Compiles the model ONCE into a shared core::CompiledModel artifact
+// (programmed quantized weights, pre-packed SIMD panels, resolved backend
+// plan) and runs N replicas against it — a replica is now just a private
+// ExecutionContext + thread pool, not a Network clone: the artifact is
+// immutable and thread-shareable, so all replicas execute the same compiled
+// plan concurrently. Front ends submit single-frame tensors and get a
+// future; replicas lease batches from a geometry-bucketed dynamic
+// micro-batcher (serve/batch_queue.hpp), run one batched
+// CompiledModel::run, and complete the futures with zero-copy row views
+// into the ref-counted batch logits.
 //
 // Two properties make the batching safe to enable blindly:
 //   * determinism — replica contexts run with per_item_act_scale, so every
@@ -14,11 +18,10 @@
 //     holds for noisy "physical" serving too: each request's noise stream
 //     is seeded from its request id (explicit via submit(input, id), else
 //     assigned in admission order), never from its batch slot;
-//   * amortization — weights are quantized ("programmed") once per replica
-//     at construction (with pre-packed SIMD GEMM panels shared across
-//     replicas), not once per forward, and each batched forward runs
-//     straight off the queued frames (zero-copy gather) sharing one
-//     layer-loop/quantization pass across its requests.
+//   * amortization — compilation happens once for the server (not once per
+//     replica, not once per forward), each batched forward runs straight
+//     off the queued frames (zero-copy gather), and each response is a row
+//     view into the shared batch output (zero-copy response path).
 // ServerStats (serve/stats.hpp) reports throughput, the batch-size
 // histogram, and streaming p50/p95/p99 latency.
 #pragma once
@@ -38,7 +41,7 @@
 namespace lightator::serve {
 
 struct ServerOptions {
-  /// Compute backend each replica runs ("reference" / "gemm" / "physical").
+  /// Compute backend the model compiles for ("reference"/"gemm"/"physical").
   std::string backend = "gemm";
   std::size_t replicas = 2;
   /// Admission-control bound on queued requests; submits beyond it are
@@ -62,12 +65,18 @@ struct SubmitTicket {
 
 class InferenceServer {
  public:
-  /// The server clones `model` per replica and snapshots the quantized
-  /// weights, so the caller's network is not touched after construction.
-  /// `system` must outlive the server.
+  /// Compiles `model` once at construction (the caller's network is not
+  /// touched afterwards). `system` must outlive the server.
   InferenceServer(const core::LightatorSystem& system,
                   const nn::Network& model, nn::PrecisionSchedule schedule,
                   ServerOptions options = {});
+
+  /// Serves an already-compiled artifact (e.g. one shared with offline
+  /// evaluation). `compiled` must be valid; the system it was compiled
+  /// against must outlive the server. ServerOptions::backend is ignored —
+  /// the artifact fixed the backend at compile time.
+  InferenceServer(core::CompiledModel compiled, ServerOptions options = {});
+
   ~InferenceServer();
 
   InferenceServer(const InferenceServer&) = delete;
@@ -92,23 +101,25 @@ class InferenceServer {
   /// Consistent snapshot of the serving counters/sketches.
   ServerStats stats() const;
 
+  /// The one artifact every replica executes (introspection/test hook).
+  const core::CompiledModel& compiled() const { return compiled_; }
+
   std::size_t replica_count() const { return replicas_.size(); }
   std::size_t queue_depth() const { return queue_.depth(); }
   const ServerOptions& options() const { return options_; }
 
  private:
   struct Replica;
+  void start_replicas();
   void worker_loop(Replica& replica);
   void record_batch(const std::vector<PendingRequest>& batch,
                     std::chrono::steady_clock::time_point dispatched,
                     std::chrono::steady_clock::time_point finished,
                     bool failed);
 
-  const core::LightatorSystem& system_;
-  nn::PrecisionSchedule schedule_;
   ServerOptions options_;
   std::atomic<std::uint64_t> next_request_id_{0};
-  core::OcWeightCache weight_cache_;
+  core::CompiledModel compiled_;  // shared by every replica
   BatchQueue queue_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::thread> workers_;

@@ -27,9 +27,9 @@
 // on non-AVX2 hardware (and under LIGHTATOR_DISABLE_SIMD / the
 // simd::set_simd_enabled(false) test hook).
 //
-// Weights are packed once per programmed layer (see
-// core::build_oc_weight_cache / QuantizedTensor::prepack) and shared across
-// serving replicas; the activation-side panel is packed per forward.
+// Weights are packed once per compiled layer (see core::Engine::compile /
+// QuantizedTensor::prepack) and shared by every consumer of the
+// CompiledModel; the activation-side panel is packed per forward.
 #pragma once
 
 #include <cstddef>
@@ -106,8 +106,8 @@ inline void gemm_s16_packed(const PackedA& a, const PackedB& b, double* c,
 }
 
 /// Pre-packed panels of one programmed (quantized) weight tensor, cached on
-/// QuantizedTensor::prepack so serving replicas sharing an OcWeightCache
-/// also share the packed panels. Conv weights pack as the GEMM's A operand;
+/// QuantizedTensor::prepack so everything sharing a CompiledModel also
+/// shares the packed panels. Conv weights pack as the GEMM's A operand;
 /// fc weights pack as the Wᵀ B panel.
 struct PackedWeights {
   std::size_t seg = 0;   // arm length the panels were packed for

@@ -185,6 +185,34 @@ QuantizedTensor quantize_unsigned_per_item_gather(
   return out;
 }
 
+ArmProgram build_arm_program(const std::int16_t* levels, std::size_t rows,
+                             std::size_t row_length, int max_level,
+                             std::size_t seg) {
+  if (seg == 0 || rows == 0 || row_length == 0) {
+    throw std::invalid_argument("build_arm_program: empty geometry");
+  }
+  ArmProgram prog;
+  prog.seg = seg;
+  prog.rows = rows;
+  prog.row_length = row_length;
+  prog.segments_per_row = (row_length + seg - 1) / seg;
+  prog.weights.assign(rows * prog.segments_per_row * seg, 0.0);
+  // Exactly the per-call normalization the physical backend would do:
+  // level / max_level, trailing cells of a partial segment left at 0.0
+  // (zero weights / dark channels).
+  const double wmax = static_cast<double>(max_level);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::int16_t* row = levels + r * row_length;
+    double* dst = prog.weights.data() + r * prog.segments_per_row * seg;
+    // Segments are contiguous row chunks, so the padded layout coincides
+    // with the flat row for all but the zero tail of the last segment.
+    for (std::size_t k = 0; k < row_length; ++k) {
+      dst[k] = static_cast<double>(row[k]) / wmax;
+    }
+  }
+  return prog;
+}
+
 Tensor dequantize(const QuantizedTensor& q) {
   Tensor out(q.shape);
   if (out.size() != q.levels.size()) {

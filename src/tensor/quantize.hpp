@@ -17,6 +17,31 @@ namespace lightator::tensor {
 
 struct PackedWeights;  // tensor/gemm_s16_packed.hpp
 
+/// Pre-programmed arm-segment weights for the "physical" backend: every
+/// weight row (conv filter / fc output) split into arm-length segments,
+/// normalized to [-1, 1] (levels / max_level) and zero-padded to `seg`, laid
+/// out row-major as [rows][segments_per_row][seg]. Built once at
+/// core::Engine::compile time so the device-model datapath programs each arm
+/// straight from this buffer instead of re-normalizing the int16 levels on
+/// every call. Purely a re-layout: using it never changes results.
+struct ArmProgram {
+  std::size_t seg = 0;               // arm length (mrs_per_arm)
+  std::size_t rows = 0;              // conv out_channels / fc out_features
+  std::size_t row_length = 0;        // un-padded weights per row (kdim)
+  std::size_t segments_per_row = 0;  // ceil(row_length / seg)
+  std::vector<double> weights;       // rows * segments_per_row * seg
+
+  const double* segment(std::size_t row, std::size_t s) const {
+    return weights.data() + (row * segments_per_row + s) * seg;
+  }
+};
+
+/// Builds the program for signed weight `levels` ([rows][row_length],
+/// max_level the largest representable level).
+ArmProgram build_arm_program(const std::int16_t* levels, std::size_t rows,
+                             std::size_t row_length, int max_level,
+                             std::size_t seg);
+
 struct QuantizedTensor {
   std::vector<std::int16_t> levels;  // signed levels or unsigned codes
   Shape shape;
@@ -33,12 +58,18 @@ struct QuantizedTensor {
   std::vector<double> item_scales;
 
   /// Pre-packed SIMD panels of this (weight) tensor for the packed int16
-  /// GEMM, built once per programmed layer (core::build_oc_weight_cache) and
-  /// shared read-only by every serving replica. Null for tensors quantized
-  /// on the fly — the gemm backend then packs per call. Copies of the
-  /// tensor share the panels; mutating `levels` after packing is a caller
-  /// bug (programmed weights are immutable by contract).
+  /// GEMM, built once per programmed layer (core::Engine::compile) and
+  /// shared read-only by every consumer of the CompiledModel. Null for
+  /// tensors quantized on the fly — the gemm backend then packs per call.
+  /// Copies of the tensor share the panels; mutating `levels` after packing
+  /// is a caller bug (programmed weights are immutable by contract).
   std::shared_ptr<const PackedWeights> prepack;
+
+  /// Pre-programmed arm segments for the "physical" backend (see ArmProgram
+  /// above); built by core::Engine::compile for physically-executed models,
+  /// null otherwise — the backend then normalizes per call. The same
+  /// immutability contract as `prepack` applies.
+  std::shared_ptr<const ArmProgram> arm_program;
 
   int max_level() const {
     if (!is_signed) return (1 << bits) - 1;

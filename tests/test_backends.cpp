@@ -302,8 +302,10 @@ TEST(ExecutionContext, RunNetworkCollectsPerLayerStats) {
   x.fill_uniform(rng, 0.0f, 1.0f);
   ExecutionContext ctx;
   ctx.collect_stats = true;
-  const auto schedule = nn::PrecisionSchedule::uniform(4);
-  const auto logits = sys.run_network_on_oc(net, x, schedule, ctx);
+  CompileOptions co;
+  co.schedule = nn::PrecisionSchedule::uniform(4);
+  const CompiledModel compiled = sys.compile(net, co);
+  const auto logits = compiled.run(x, ctx).take();
   EXPECT_EQ(logits.dim(0), 2u);
   // LeNet: 2 conv + 3 fc weighted layers.
   ASSERT_EQ(ctx.stats.size(), 5u);
@@ -317,7 +319,7 @@ TEST(ExecutionContext, RunNetworkCollectsPerLayerStats) {
   }
   // A second batch through the same context accumulates into the same five
   // entries (per-frame modeled numbers unchanged, frame counts summed).
-  sys.run_network_on_oc(net, x, schedule, ctx);
+  compiled.run(x, ctx);
   ASSERT_EQ(ctx.stats.size(), 5u);
   for (const auto& s : ctx.stats) {
     EXPECT_EQ(s.frames, 4u);
@@ -332,10 +334,13 @@ TEST(ExecutionContext, BackendChoiceFlowsThroughRunNetwork) {
   x.fill_uniform(rng, 0.0f, 1.0f);
   const auto schedule = nn::PrecisionSchedule::uniform(4);
   ExecutionContext ref_ctx, gemm_ctx;
-  ref_ctx.backend = "reference";
-  gemm_ctx.backend = "gemm";
-  const auto ref = sys.run_network_on_oc(net, x, schedule, ref_ctx);
-  const auto gemm = sys.run_network_on_oc(net, x, schedule, gemm_ctx);
+  CompileOptions ref_co, gemm_co;
+  ref_co.backend = "reference";
+  ref_co.schedule = schedule;
+  gemm_co.backend = "gemm";
+  gemm_co.schedule = schedule;
+  const auto ref = sys.compile(net, ref_co).run(x, ref_ctx).take();
+  const auto gemm = sys.compile(net, gemm_co).run(x, gemm_ctx).take();
   expect_bit_exact(ref, gemm, "run_network");
 }
 

@@ -1,0 +1,316 @@
+// Compile/execute split suite: the CompiledModel artifact contract.
+//
+// Covers the tentpole guarantees of the compile-then-execute API:
+//   * compiled forwards are bit-identical to the pre-split per-call entry
+//     points (the deprecation-shim equivalence gate) for every backend,
+//     precision form, batch shape, and fault configuration;
+//   * the artifact is reusable — repeated runs, shared across contexts —
+//     without drift;
+//   * prepacked state (SIMD panels, physical arm programs) is a pure
+//     re-layout: prepack on/off never changes a bit;
+//   * BatchOutput row views alias the batched logits (zero-copy) and keep
+//     them alive by ref-count;
+//   * compile-time validation (unknown backend, invalid handles, bad
+//     batches) fails loudly.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "nn/models.hpp"
+#include "nn/qat.hpp"
+#include "workloads/synth_mnist.hpp"
+
+namespace lightator::core {
+namespace {
+
+void expect_bit_exact(const tensor::Tensor& a, const tensor::Tensor& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+nn::Dataset make_tiny_dataset(std::size_t samples, std::size_t classes,
+                              std::uint64_t seed) {
+  nn::Dataset data;
+  data.num_classes = classes;
+  data.images = tensor::Tensor({samples, 1, 4, 4});
+  util::Rng rng(seed);
+  data.images.fill_uniform(rng, 0.0f, 1.0f);
+  data.labels.resize(samples);
+  for (std::size_t i = 0; i < samples; ++i) data.labels[i] = i % classes;
+  return data;
+}
+
+TEST(CompiledModel, MetadataAndProgrammedWeights) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(11);
+  nn::Network net = nn::build_lenet(rng);
+  CompileOptions co;
+  co.schedule = nn::PrecisionSchedule::mixed(3);  // L1 [4:4], rest [3:4]
+  const CompiledModel compiled = sys.compile(net, co);
+
+  EXPECT_TRUE(compiled.valid());
+  EXPECT_EQ(compiled.backend(), "gemm");
+  EXPECT_EQ(compiled.num_weighted_layers(), 5u);
+  EXPECT_EQ(compiled.weight_bits(0), 4);
+  for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(compiled.weight_bits(i), 3);
+  EXPECT_EQ(compiled.act_bits(0), 4);
+  // Programmed weights are exactly the per-call quantization.
+  const auto& conv1 = dynamic_cast<const nn::Conv2d&>(net.layer(0));
+  const auto expected = tensor::quantize_symmetric(conv1.weight(), 4);
+  ASSERT_EQ(compiled.weights(0).levels, expected.levels);
+  EXPECT_EQ(compiled.weights(0).scale, expected.scale);
+
+  EXPECT_THROW(compiled.weights(99), std::out_of_range);
+  EXPECT_THROW(sys.compile(net, [] {
+                 CompileOptions bad;
+                 bad.backend = "no_such_backend";
+                 return bad;
+               }()),
+               std::invalid_argument);
+  CompiledModel invalid;
+  EXPECT_FALSE(invalid.valid());
+  ExecutionContext ctx;
+  tensor::Tensor x({1, 1, 28, 28});
+  EXPECT_THROW(invalid.run(x, ctx), std::logic_error);
+}
+
+TEST(CompiledModel, DeprecationShimsBitIdenticalToCompiledRuns) {
+  // The old per-call entry points are shims over compile()+run(); both
+  // spellings must agree bit-for-bit on every backend — the migration
+  // contract that lets downstream code move over incrementally.
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(12);
+  nn::Network net = nn::build_lenet(rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  tensor::Tensor x({3, 1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+
+  for (const std::string backend : {"reference", "gemm", "physical"}) {
+    CompileOptions co;
+    co.backend = backend;
+    co.schedule = schedule;
+    const CompiledModel compiled = sys.compile(net, co);
+    ExecutionContext new_ctx;
+    new_ctx.noise_seed = backend == "physical" ? 77 : 0;
+    const auto modern = compiled.run(x, new_ctx).take();
+
+    ExecutionContext old_ctx;
+    old_ctx.backend = backend;
+    old_ctx.noise_seed = new_ctx.noise_seed;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const auto legacy = sys.run_network_on_oc(net, x, schedule, old_ctx);
+#pragma GCC diagnostic pop
+    expect_bit_exact(legacy, modern, "shim_" + backend);
+  }
+}
+
+TEST(CompiledModel, ShimEquivalenceForBitsVectorAndEvaluate) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(13);
+  nn::Network net = nn::build_mlp(rng, 16, 10, 4);
+  const auto data = make_tiny_dataset(20, 4, 31);
+  const std::vector<int> bits = {4, 2};
+
+  CompileOptions co;
+  co.weight_bits = bits;
+  co.act_bits = 4;
+  const CompiledModel compiled = sys.compile(net, co);
+  ExecutionContext ctx;
+  const double modern = compiled.evaluate(data, ctx, /*batch=*/8);
+
+  ExecutionContext old_ctx;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const double legacy =
+      sys.evaluate_on_oc(net, data, bits, /*act_bits=*/4, old_ctx, 8);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(legacy, modern);
+}
+
+TEST(CompiledModel, FaultedForwardMatchesShimAndLeavesArtifactIntact) {
+  // Faults mutate a private per-forward copy of the programmed weights; the
+  // artifact itself must stay pristine (a following clean run is unchanged)
+  // and match the historical faulted path exactly.
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(14);
+  nn::Network net = nn::build_mlp(rng, 16, 8, 3);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  tensor::Tensor x({2, 1, 4, 4});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  FaultSpec faults;
+  faults.stuck_cell_rate = 0.2;
+  faults.dead_channel_rate = 0.1;
+  faults.seed = 5;
+
+  CompileOptions co;
+  co.schedule = schedule;
+  const CompiledModel compiled = sys.compile(net, co);
+  ExecutionContext clean_ctx;
+  const auto clean_before = compiled.run(x, clean_ctx).take();
+
+  ExecutionContext fault_ctx;
+  fault_ctx.faults = faults;
+  const auto faulted = compiled.run(x, fault_ctx).take();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const auto legacy = sys.run_network_on_oc(net, x, schedule, faults);
+#pragma GCC diagnostic pop
+  expect_bit_exact(legacy, faulted, "faulted_shim");
+
+  const auto clean_after = compiled.run(x, clean_ctx).take();
+  expect_bit_exact(clean_before, clean_after, "artifact_pristine");
+}
+
+TEST(CompiledModel, PrepackIsAPureRelayoutOnEveryBackend) {
+  // SIMD panels ("gemm") and arm programs ("physical") are built at compile
+  // time purely for speed: disabling prepack must not change one bit — the
+  // noisy physical path included (same RNG draw order after the
+  // one-programming-per-segment hoist).
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(15);
+  nn::Network net("tiny");
+  net.add<nn::Conv2d>(tensor::ConvSpec{1, 3, 3, 1, 1}, rng);
+  net.add<nn::Activation>(tensor::ActKind::kReLU);
+  net.add<nn::Flatten>();
+  net.add<nn::Linear>(3 * 6 * 6, 5, rng);
+  tensor::Tensor x({2, 1, 6, 6});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+
+  for (const std::string backend : {"gemm", "physical"}) {
+    for (const std::uint64_t noise : {0ull, 99ull}) {
+      if (backend == "gemm" && noise != 0) continue;
+      CompileOptions packed_co, plain_co;
+      packed_co.backend = plain_co.backend = backend;
+      plain_co.prepack = false;
+      const CompiledModel packed = sys.compile(net, packed_co);
+      const CompiledModel plain = sys.compile(net, plain_co);
+      if (backend == "physical") {
+        EXPECT_NE(packed.weights(0).arm_program, nullptr);
+        EXPECT_EQ(plain.weights(0).arm_program, nullptr);
+      }
+      ExecutionContext packed_ctx, plain_ctx;
+      packed_ctx.noise_seed = plain_ctx.noise_seed = noise;
+      expect_bit_exact(packed.run(x, packed_ctx).take(),
+                       plain.run(x, plain_ctx).take(),
+                       backend + "_noise" + std::to_string(noise));
+    }
+  }
+}
+
+TEST(CompiledModel, RepeatedRunsOnOneArtifactAreStable) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(16);
+  nn::Network net = nn::build_lenet(rng);
+  CompileOptions co;
+  co.schedule = nn::PrecisionSchedule::uniform(4);
+  const CompiledModel compiled = sys.compile(net, co);
+  tensor::Tensor x({2, 1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  ExecutionContext ctx;
+  const auto first = compiled.run(x, ctx).take();
+  for (int r = 0; r < 3; ++r) {
+    expect_bit_exact(first, compiled.run(x, ctx).take(),
+                     "repeat" + std::to_string(r));
+  }
+  // A handle copy shares the artifact (no re-programming) and agrees.
+  const CompiledModel copy = compiled;
+  expect_bit_exact(first, copy.run(x, ctx).take(), "handle_copy");
+  EXPECT_EQ(&copy.weights(0), &compiled.weights(0));  // shared, not cloned
+}
+
+TEST(CompiledModel, GatherRunMatchesStackedRun) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(17);
+  nn::Network net = nn::build_lenet(rng);
+  CompileOptions co;
+  co.schedule = nn::PrecisionSchedule::uniform(4);
+  const CompiledModel compiled = sys.compile(net, co);
+
+  std::vector<tensor::Tensor> frames;
+  tensor::Tensor stacked({3, 1, 28, 28});
+  stacked.fill_uniform(rng, 0.0f, 1.0f);
+  for (std::size_t i = 0; i < 3; ++i) {
+    tensor::Tensor f({1, 1, 28, 28});
+    std::copy(stacked.data() + i * 28 * 28, stacked.data() + (i + 1) * 28 * 28,
+              f.data());
+    frames.push_back(std::move(f));
+  }
+  std::vector<const tensor::Tensor*> ptrs = {&frames[0], &frames[1],
+                                             &frames[2]};
+  ExecutionContext ctx;
+  const auto dense = compiled.run(stacked, ctx).take();
+  const auto gathered = compiled.run(ptrs, ctx).take();
+  expect_bit_exact(dense, gathered, "gather_vs_stacked");
+
+  // Bad gather batches fail loudly.
+  std::vector<const tensor::Tensor*> empty;
+  EXPECT_THROW(compiled.run(empty, ctx), std::invalid_argument);
+  tensor::Tensor wrong({1, 1, 14, 14});
+  std::vector<const tensor::Tensor*> mismatched = {&frames[0], &wrong};
+  EXPECT_THROW(compiled.run(mismatched, ctx), std::invalid_argument);
+}
+
+TEST(BatchOutput, RowViewsAliasLogitsAndRefCountKeepsThemAlive) {
+  tensor::Tensor logits({2, 3});
+  for (std::size_t i = 0; i < 6; ++i) logits[i] = static_cast<float>(i);
+
+  BatchOutput out(std::move(logits));
+  EXPECT_EQ(out.items(), 2u);
+  EXPECT_EQ(out.row_size(), 3u);
+  EXPECT_EQ(out.row_shape(), (tensor::Shape{1, 3}));
+  // Views alias the storage — zero-copy by construction.
+  EXPECT_EQ(out.row(0).data(), out.logits().data());
+  EXPECT_EQ(out.row(1).data(), out.logits().data() + 3);
+  EXPECT_EQ(out.row(1)[2], 5.0f);
+  EXPECT_THROW(out.row(2), std::out_of_range);
+
+  const tensor::Tensor copy = out.row_tensor(1);
+  EXPECT_EQ(copy.dim(0), 1u);
+  EXPECT_EQ(copy[0], 3.0f);
+
+  // Handles share by ref-count: the view stays valid after the original
+  // handle goes away — the serving response-path contract.
+  BatchOutput shared = out;
+  const std::span<const float> view = shared.row(0);
+  out = BatchOutput();  // drop the first handle
+  EXPECT_EQ(view[1], 1.0f);
+  // take() on the sole remaining handle moves the tensor out.
+  const tensor::Tensor taken = shared.take();
+  EXPECT_EQ(taken.size(), 6u);
+  EXPECT_TRUE(shared.empty());
+}
+
+TEST(CompiledModel, EvaluateMatchesShimOnQatNetwork) {
+  // QAT networks carry frozen activation scales; the compiled plan snapshots
+  // them, so compiled evaluation matches the per-call shim on a fine-tuned
+  // model too (the quickstart/table1 path).
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(18);
+  workloads::SynthMnistOptions mo;
+  mo.samples = 60;
+  nn::Dataset data = workloads::make_synth_mnist(mo);
+  nn::Network net = nn::build_lenet(rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  nn::enable_qat(net, schedule);
+  nn::calibrate_activations(net, data, /*num_batches=*/2, /*batch_size=*/16);
+
+  CompileOptions co;
+  co.schedule = schedule;
+  ExecutionContext ctx;
+  const double modern = sys.compile(net, co).evaluate(data, ctx, 16);
+  ExecutionContext old_ctx;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const double legacy = sys.evaluate_on_oc(net, data, schedule, old_ctx, 16);
+#pragma GCC diagnostic pop
+  EXPECT_EQ(legacy, modern);
+}
+
+}  // namespace
+}  // namespace lightator::core

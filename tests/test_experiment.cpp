@@ -128,15 +128,52 @@ TEST(ExperimentRunner, SweepMergesStatsInIndexOrder) {
   const auto data = make_tiny_dataset(8, 3, 21);
   const auto schedule = nn::PrecisionSchedule::uniform(4);
   const std::vector<int> items = {0, 1, 2};
+  CompileOptions co;
+  co.schedule = schedule;
+  const CompiledModel compiled = sys.compile(net, co);
   runner.sweep(items, [&](int, ExecutionContext& ctx) {
-    nn::Network replica = net.clone();
-    return sys.evaluate_on_oc(replica, data, schedule, ctx, /*batch=*/4);
+    return compiled.evaluate(data, ctx, /*batch=*/4);
   });
   // MLP: 2 weighted layers; all items accumulate into the same two entries.
   ASSERT_EQ(runner.context().stats.size(), 2u);
   for (const auto& s : runner.context().stats) {
     EXPECT_EQ(s.frames, items.size() * data.size());
     EXPECT_GT(s.modeled_latency, 0.0);
+  }
+}
+
+TEST(ExperimentRunner, SharedCompiledModelDeterministicAcrossPoolSizes) {
+  // One CompiledModel shared by every sweep item of every pool size: the
+  // artifact is stateless under run(), so concurrent items need no clones
+  // and the results stay bit-identical to a serial evaluation of the same
+  // artifact — the experiment-layer half of the compile/execute split.
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(35);
+  const nn::Network net = nn::build_mlp(rng, 16, 10, 4);
+  const auto data = make_tiny_dataset(16, 4, 71);
+  CompileOptions co;
+  co.backend = "physical";
+  co.schedule = nn::PrecisionSchedule::uniform(4);
+  const CompiledModel compiled = sys.compile(net, co);
+  std::vector<int> items(6);
+  std::iota(items.begin(), items.end(), 0);
+
+  std::vector<std::vector<double>> per_pool;
+  for (const std::size_t threads : kPoolSizes) {
+    ExperimentOptions opts;
+    opts.backend = "physical";
+    opts.threads = threads;
+    opts.noise_seed = 321;
+    ExperimentRunner runner(opts);
+    per_pool.push_back(runner.sweep(items, [&](int, ExecutionContext& ctx) {
+      return compiled.evaluate(data, ctx, /*batch=*/8);
+    }));
+  }
+  for (std::size_t p = 1; p < per_pool.size(); ++p) {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      EXPECT_EQ(per_pool[0][i], per_pool[p][i])
+          << "pool " << kPoolSizes[p] << " item " << i;
+    }
   }
 }
 
@@ -328,7 +365,9 @@ TEST(CaptureAndInfer, BatchedMatchesSerialAndThreadInvariant) {
               manual.data() + i * frame.size());
   }
   ExecutionContext ctx;
-  const auto expected = sys.run_network_on_oc(net, manual, schedule, ctx);
+  CompileOptions co;
+  co.schedule = schedule;
+  const auto expected = sys.compile(net, co).run(manual, ctx).take();
   expect_bit_exact(expected, logits[0], "capture_vs_manual_stack");
 }
 

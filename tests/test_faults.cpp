@@ -85,17 +85,24 @@ TEST(Faults, AccuracyDegradesGracefullyWithFaultRate) {
 
   const LightatorSystem sys(ArchConfig::defaults());
   const auto schedule = nn::PrecisionSchedule::uniform(4);
-  FaultSpec clean;
-  const double acc_clean =
-      sys.evaluate_on_oc(net, data, schedule, 50, 200, clean);
+  // One compiled artifact for all fault severities: faults live in the
+  // ExecutionContext and are applied to private weight copies per forward.
+  CompileOptions co;
+  co.schedule = schedule;
+  const CompiledModel compiled = sys.compile(net, co);
+  auto faulted_accuracy = [&](const FaultSpec& faults) {
+    ExecutionContext ctx;
+    ctx.faults = faults;
+    return compiled.evaluate(data, ctx, 50, 200);
+  };
+  const double acc_clean = faulted_accuracy(FaultSpec{});
   FaultSpec mild;
   mild.stuck_cell_rate = 0.002;
-  const double acc_mild = sys.evaluate_on_oc(net, data, schedule, 50, 200, mild);
+  const double acc_mild = faulted_accuracy(mild);
   FaultSpec severe;
   severe.stuck_cell_rate = 0.3;
   severe.dead_channel_rate = 0.3;
-  const double acc_severe =
-      sys.evaluate_on_oc(net, data, schedule, 50, 200, severe);
+  const double acc_severe = faulted_accuracy(severe);
   // Mild defects barely matter; severe defects wreck the model.
   EXPECT_GT(acc_clean, 0.6);
   EXPECT_GT(acc_mild, acc_clean - 0.15);

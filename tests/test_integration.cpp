@@ -118,6 +118,10 @@ TEST(EndToEnd, AcquireCompressTrainInfer) {
 
   const LightatorSystem sys(ArchConfig::defaults());
   const auto schedule = nn::PrecisionSchedule::uniform(4);
+  CompileOptions co;
+  co.schedule = schedule;
+  const CompiledModel compiled = sys.compile(net, co);
+  ExecutionContext ctx;
   std::size_t correct = 0, total = 0;
   for (int digit = 0; digit < 10; ++digit) {
     // Render a clean digit and blow it up to a 2x scene (RGB).
@@ -139,7 +143,7 @@ TEST(EndToEnd, AcquireCompressTrainInfer) {
     }
     const auto input = sys.acquire(scene, CaOptions{2, true, 4});
     ASSERT_EQ(input.dim(2), 28u);
-    const auto logits = sys.run_network_on_oc(net, input, schedule);
+    const auto logits = compiled.run(input, ctx).take();
     const auto pred = tensor::predict(logits);
     if (pred[0] == static_cast<std::size_t>(digit)) ++correct;
     ++total;

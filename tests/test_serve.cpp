@@ -40,20 +40,23 @@ std::vector<tensor::Tensor> make_inputs(std::size_t count, std::size_t c,
   return inputs;
 }
 
-/// Serial batch-of-1 baseline for the same request stream LoadGen submits.
+/// Serial batch-of-1 baseline for the same request stream LoadGen submits:
+/// compile once, run every request against the artifact.
 std::vector<tensor::Tensor> serial_baseline(
     const core::LightatorSystem& sys, const nn::Network& net,
     const nn::PrecisionSchedule& schedule,
     const std::vector<tensor::Tensor>& inputs, const LoadGenOptions& lg) {
   util::Rng pick(lg.seed);
-  nn::Network replica = net.clone();
+  core::CompileOptions co;
+  co.schedule = schedule;
+  const core::CompiledModel compiled = sys.compile(net, co);
   core::ExecutionContext ctx;
   util::ThreadPool pool(1);
   ctx.pool = &pool;
   std::vector<tensor::Tensor> out(lg.requests);
   for (std::size_t i = 0; i < lg.requests; ++i) {
     const auto& x = inputs[pick.uniform_index(inputs.size())];
-    out[i] = sys.run_network_on_oc(replica, x, schedule, ctx);
+    out[i] = compiled.run(x, ctx).take();
   }
   return out;
 }
@@ -332,23 +335,49 @@ TEST(InferenceServer, ShutdownDrainsAndInferThrowsAfter) {
   EXPECT_THROW(server.infer(std::move(x)), std::runtime_error);
 }
 
-TEST(WeightCache, CachedForwardBitIdenticalToUncached) {
+TEST(CompiledModel, ServerHoldsExactlyOneArtifactSharedByAllReplicas) {
+  // The compile/execute split's serving contract: N replicas execute ONE
+  // immutable CompiledModel — no per-replica Network clone, no per-replica
+  // weight cache — and their outputs match running the artifact directly.
   const core::LightatorSystem sys(core::ArchConfig::defaults());
   util::Rng rng(67);
   nn::Network net = nn::build_lenet(rng);
   const auto schedule = nn::PrecisionSchedule::uniform(4);
-  tensor::Tensor x({2, 1, 28, 28});
-  x.fill_uniform(rng, 0.0f, 1.0f);
+  const auto inputs = make_inputs(5, 1, 28, 28, 19);
 
-  core::ExecutionContext plain;
-  const auto expected = sys.run_network_on_oc(net, x, schedule, plain);
+  core::CompileOptions co;
+  co.schedule = schedule;
+  const core::CompiledModel compiled = sys.compile(net, co);
+  ASSERT_TRUE(compiled.valid());
+  EXPECT_EQ(compiled.num_weighted_layers(), 5u);  // 2 conv + 3 fc
 
-  const core::OcWeightCache cache = core::build_oc_weight_cache(net, schedule);
-  ASSERT_EQ(cache.weights.size(), 5u);  // 2 conv + 3 fc
-  core::ExecutionContext cached;
-  cached.weight_cache = &cache;
-  const auto got = sys.run_network_on_oc(net, x, schedule, cached);
-  expect_bit_exact(expected, got, "weight_cache_forward");
+  // Direct batch-of-1 runs against the artifact are the ground truth.
+  std::vector<tensor::Tensor> expected;
+  for (const auto& x : inputs) {
+    core::ExecutionContext ctx;
+    expected.push_back(compiled.run(x, ctx).take());
+  }
+
+  for (const std::size_t replicas : {1u, 4u, 8u}) {
+    ServerOptions so;
+    so.replicas = replicas;
+    so.batch.max_batch = 4;
+    so.batch.max_wait_us = 1000.0;
+    // Hand the SAME artifact to the server (shared handle, not a copy of
+    // the weights): the compiled-artifact constructor.
+    InferenceServer server(compiled, so);
+    EXPECT_EQ(server.replica_count(), replicas);
+    EXPECT_EQ(server.options().backend, "gemm");
+    std::vector<SubmitTicket> tickets;
+    for (const auto& x : inputs) tickets.push_back(server.submit(x));
+    for (std::size_t i = 0; i < tickets.size(); ++i) {
+      ASSERT_EQ(tickets[i].status, SubmitStatus::kAccepted);
+      InferResult result = tickets[i].result.get();
+      expect_bit_exact(expected[i], result.output_tensor(),
+                       "shared_artifact_replicas" + std::to_string(replicas) +
+                           "_req" + std::to_string(i));
+    }
+  }
 }
 
 TEST(PerItemActScale, BatchedMatchesEachSingleForward) {
@@ -366,20 +395,25 @@ TEST(PerItemActScale, BatchedMatchesEachSingleForward) {
   for (std::size_t i = 0; i < 28 * 28; ++i) batch[i] *= 0.35f;
 
   for (const std::string backend : {"reference", "gemm"}) {
+    core::CompileOptions co;
+    co.backend = backend;
+    co.schedule = schedule;
+    const core::CompiledModel compiled = sys.compile(net, co);
     core::ExecutionContext batched;
-    batched.backend = backend;
     batched.per_item_act_scale = true;
-    const auto all = sys.run_network_on_oc(net, batch, schedule, batched);
+    const core::BatchOutput all = compiled.run(batch, batched);
 
     for (std::size_t n = 0; n < batch.dim(0); ++n) {
       tensor::Tensor one({1, 1, 28, 28});
       std::copy(batch.data() + n * 28 * 28, batch.data() + (n + 1) * 28 * 28,
                 one.data());
       core::ExecutionContext single;
-      single.backend = backend;
-      const auto row = sys.run_network_on_oc(net, one, schedule, single);
+      const auto row = compiled.run(one, single).take();
+      // The zero-copy row view and the batch-of-1 forward agree exactly.
+      const std::span<const float> view = all.row(n);
+      ASSERT_EQ(view.size(), row.size());
       for (std::size_t j = 0; j < row.size(); ++j) {
-        ASSERT_EQ(all[n * row.size() + j], row[j])
+        ASSERT_EQ(view[j], row[j])
             << backend << " item " << n << " logit " << j;
       }
     }
@@ -393,15 +427,19 @@ std::vector<tensor::Tensor> physical_singles(
     const nn::PrecisionSchedule& schedule,
     const std::vector<tensor::Tensor>& frames,
     const std::vector<std::uint64_t>& ids, std::uint64_t noise_seed) {
+  core::CompileOptions co;
+  co.backend = "physical";
+  co.schedule = schedule;
+  // One artifact for all singles: CompiledModel::run is stateless, so the
+  // frames need no per-run Network clones.
+  const core::CompiledModel compiled = sys.compile(net, co);
   std::vector<tensor::Tensor> out(frames.size());
   for (std::size_t i = 0; i < frames.size(); ++i) {
-    nn::Network replica = net.clone();
     core::ExecutionContext ctx;
-    ctx.backend = "physical";
     ctx.noise_seed = noise_seed;
     ctx.per_item_act_scale = true;
     ctx.noise_stream_ids = {ids[i]};
-    out[i] = sys.run_network_on_oc(replica, frames[i], schedule, ctx);
+    out[i] = compiled.run(frames[i], ctx).take();
   }
   return out;
 }
@@ -423,13 +461,15 @@ TEST(PhysicalNoise, BatchCompositionInvariantUnderStreamIds) {
   const auto singles =
       physical_singles(sys, net, schedule, frames, ids, noise_seed);
 
+  core::CompileOptions co;
+  co.backend = "physical";
+  co.schedule = schedule;
+  const core::CompiledModel compiled = sys.compile(net, co);
   auto run_batch = [&](const std::vector<std::size_t>& order) {
     tensor::Tensor batch({order.size(), 1, 6, 6});
     core::ExecutionContext ctx;
-    ctx.backend = "physical";
     ctx.noise_seed = noise_seed;
     ctx.per_item_act_scale = true;
-    ctx.noise_stream_ids.clear();
     for (const std::size_t idx : order) {
       ctx.noise_stream_ids.push_back(ids[idx]);
     }
@@ -438,8 +478,7 @@ TEST(PhysicalNoise, BatchCompositionInvariantUnderStreamIds) {
                 frames[order[i]].data() + frames[order[i]].size(),
                 batch.data() + i * frames[order[i]].size());
     }
-    nn::Network replica = net.clone();
-    return sys.run_network_on_oc(replica, batch, schedule, ctx);
+    return compiled.run(batch, ctx).take();
   };
 
   const std::vector<std::vector<std::size_t>> orders = {
@@ -461,7 +500,6 @@ TEST(PhysicalNoise, BatchCompositionInvariantUnderStreamIds) {
   // Id-less contexts keep the offline convention: a fresh context seeds item
   // n from its batch index, so explicit ids {0, 1, ...} reproduce it.
   core::ExecutionContext offline;
-  offline.backend = "physical";
   offline.noise_seed = noise_seed;
   offline.per_item_act_scale = true;
   tensor::Tensor batch({2, 1, 6, 6});
@@ -469,25 +507,19 @@ TEST(PhysicalNoise, BatchCompositionInvariantUnderStreamIds) {
     std::copy(frames[i].data(), frames[i].data() + frames[i].size(),
               batch.data() + i * frames[i].size());
   }
-  nn::Network r1 = net.clone();
-  const auto implicit = sys.run_network_on_oc(r1, batch, schedule, offline);
+  const auto implicit = compiled.run(batch, offline).take();
   core::ExecutionContext explicit_ids;
-  explicit_ids.backend = "physical";
   explicit_ids.noise_seed = noise_seed;
   explicit_ids.per_item_act_scale = true;
   explicit_ids.noise_stream_ids = {0, 1};
-  nn::Network r2 = net.clone();
-  const auto with_ids = sys.run_network_on_oc(r2, batch, schedule, explicit_ids);
+  const auto with_ids = compiled.run(batch, explicit_ids).take();
   expect_bit_exact(implicit, with_ids, "offline_default_ids");
 
   // A mis-sized id vector is a caller bug, not silent misseeding.
   core::ExecutionContext bad;
-  bad.backend = "physical";
   bad.noise_seed = noise_seed;
   bad.noise_stream_ids = {1, 2, 3};
-  nn::Network r3 = net.clone();
-  EXPECT_THROW(sys.run_network_on_oc(r3, batch, schedule, bad),
-               std::invalid_argument);
+  EXPECT_THROW(compiled.run(batch, bad), std::invalid_argument);
 }
 
 TEST(PhysicalNoise, NoisyServingBitIdenticalAcrossReplicasAndPolicies) {

@@ -132,7 +132,10 @@ TEST(System, OcInferenceMatchesQatNetworkClosely) {
 
   const LightatorSystem sys = make_system();
   const auto schedule = nn::PrecisionSchedule::uniform(4);
-  const double acc_oc = sys.evaluate_on_oc(net, data, schedule, 50, 200);
+  CompileOptions co;
+  co.schedule = schedule;
+  ExecutionContext ctx;
+  const double acc_oc = sys.compile(net, co).evaluate(data, ctx, 50, 200);
   nn::enable_qat(net, schedule);
   nn::calibrate_activations(net, data);
   const double acc_qat = nn::Trainer::evaluate(net, data);
@@ -151,10 +154,12 @@ TEST(System, QuantizedAccuracyDegradesGracefully) {
   tp.batch_size = 30;
   nn::Trainer(tp).fit(net, data);
   const LightatorSystem sys = make_system();
-  const double a4 =
-      sys.evaluate_on_oc(net, data, nn::PrecisionSchedule::uniform(4), 50, 300);
-  const double a2 =
-      sys.evaluate_on_oc(net, data, nn::PrecisionSchedule::uniform(2), 50, 300);
+  ExecutionContext ctx;
+  CompileOptions co4, co2;
+  co4.schedule = nn::PrecisionSchedule::uniform(4);
+  co2.schedule = nn::PrecisionSchedule::uniform(2);
+  const double a4 = sys.compile(net, co4).evaluate(data, ctx, 50, 300);
+  const double a2 = sys.compile(net, co2).evaluate(data, ctx, 50, 300);
   EXPECT_GE(a4 + 0.05, a2);  // lower precision never meaningfully better
   EXPECT_GT(a4, 0.5);        // the trained model actually works via the OC
 }
