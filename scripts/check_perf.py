@@ -82,12 +82,14 @@ def check_backend_compare(current, baseline, tolerance):
         print(f"note  {name}: new layer, no baseline (add it to "
               f"{DEFAULT_BASELINE.name})")
     failed = check_compile_reuse(current, baseline, simd_live) or failed
+    failed = check_fusion(current, baseline, simd_live) or failed
+    failed = check_memory_plan(current, baseline) or failed
     if failed:
         print(f"\nperf check FAILED (tolerance {tolerance:.0%}); if the "
               "regression is intended, regenerate the baseline with\n"
               "  ./build/backend_compare out=scripts/perf_baseline.json\n"
-              "  (then re-add the \"serve\" section and the "
-              "\"min_reuse_speedup\" floor under \"compile_reuse\")")
+              "  (then re-add the \"serve\" section and the floors under "
+              "\"compile_reuse\" and \"fusion\")")
         return 1
     print(f"\nperf check ok (tolerance {tolerance:.0%})")
     return 0
@@ -129,6 +131,62 @@ def check_compile_reuse(current, baseline, simd_live):
           f" ms vs steady {cur.get('steady_ms', 0.0):.3f} ms -> "
           f"{reuse:.2f}x (hard floor {floor:.2f}x)")
     return failed or status == "FAIL"
+
+
+def check_fusion(current, baseline, simd_live):
+    """Gate the compiler pass pipeline: the fully-optimized plan (dead-stage
+    elimination + epilogue fusion + arena memory planning) must stay
+    bit-exact with the all-passes-off plan, and — on the AVX2 configuration
+    the floor was calibrated on — must never run slower than it
+    ("fusion.min_fused_speedup", an acceptance floor of 1.0: the pass
+    pipeline must never be a pessimization)."""
+    base = baseline.get("fusion")
+    if base is None:
+        return False  # baseline predates the gate
+    if "min_fused_speedup" not in base:
+        sys.exit("error: baseline's \"fusion\" section has no "
+                 "\"min_fused_speedup\" floor — re-add it (see the previous "
+                 "baseline)")
+    cur = current.get("fusion")
+    if cur is None:
+        print("FAIL  fusion: missing from current snapshot")
+        return True
+    failed = False
+    if not cur.get("bit_exact", False):
+        print("FAIL  fusion: optimized plan no longer bit-exact with the "
+              "all-passes-off plan")
+        failed = True
+    floor = base["min_fused_speedup"]
+    if not simd_live:
+        print(f"note  fusion: AVX2 kernels not live on this host — "
+              f"min_fused_speedup {floor:.2f}x not checked")
+        return failed
+    fused = cur.get("fused_speedup", 0.0)
+    status = "ok  " if fused >= floor else "FAIL"
+    print(f"{status}  fusion: unfused {cur.get('unfused_ms', 0.0):.3f} ms vs "
+          f"fused {cur.get('fused_ms', 0.0):.3f} ms -> {fused:.2f}x "
+          f"(hard floor {floor:.2f}x)")
+    return failed or status == "FAIL"
+
+
+def check_memory_plan(current, baseline):
+    """Gate the static memory planner: the arena plan's peak bytes must stay
+    strictly below the naive per-stage peak. Pure plan arithmetic — no
+    timing involved — so the check runs on every host unconditionally."""
+    if baseline.get("memory_plan") is None:
+        return False  # baseline predates the gate
+    cur = current.get("memory_plan")
+    if cur is None:
+        print("FAIL  memory_plan: missing from current snapshot")
+        return True
+    planned = cur.get("peak_bytes_planned", 0)
+    naive = cur.get("peak_bytes_naive", 0)
+    ok = 0 < planned < naive
+    status = "ok  " if ok else "FAIL"
+    ratio = naive / planned if planned else 0.0
+    print(f"{status}  memory_plan: planned peak {planned / 2**20:.2f} MiB vs "
+          f"naive {naive / 2**20:.2f} MiB ({ratio:.2f}x)")
+    return not ok
 
 
 def check_serve_throughput(current, baseline):

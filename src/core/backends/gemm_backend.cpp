@@ -1,10 +1,15 @@
 #include "core/backends/gemm_backend.hpp"
 
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "tensor/gemm_s16.hpp"
 #include "tensor/gemm_s16_packed.hpp"
 #include "tensor/simd.hpp"
+#include "util/quant.hpp"
 
 namespace lightator::core {
 
@@ -19,73 +24,403 @@ const tensor::PackedWeights* usable_prepack(const tensor::QuantizedTensor& w,
                                                          : nullptr;
 }
 
+/// Offsets are rounded to 64 bytes so every carved region starts on its own
+/// cache line (and is safely aligned for int16/double/float views; the AVX2
+/// kernels use unaligned loads regardless).
+std::size_t align_up(std::size_t n) { return (n + 63u) & ~std::size_t{63}; }
+
+/// Byte layout of one conv scratch slot (one batch shard): im2col panel,
+/// packed-B panel, double accumulator, and — when pooling is fused — the
+/// pre-pool float plane of one output channel. Shared by the sizing virtual
+/// and the execution path so they can never disagree. The packed-B region is
+/// always charged even though the scalar fallback skips it: SIMD can be
+/// toggled at runtime (simd::set_simd_enabled), and the plan must cover
+/// whichever kernel dispatches.
+struct ConvSlotLayout {
+  std::size_t cols_off = 0;
+  std::size_t packb_off = 0;
+  std::size_t acc_off = 0;
+  std::size_t plane_off = 0;
+  std::size_t slot_bytes = 0;
+};
+
+ConvSlotLayout conv_slot_layout(const tensor::ConvSpec& spec, std::size_t in_h,
+                                std::size_t in_w, bool pooled,
+                                std::size_t seg) {
+  const std::size_t kdim = spec.weights_per_filter();
+  const std::size_t npix = spec.out_dim(in_h) * spec.out_dim(in_w);
+  ConvSlotLayout lay;
+  lay.cols_off = 0;
+  std::size_t off = align_up(kdim * npix * sizeof(std::int16_t));
+  lay.packb_off = off;
+  off += align_up(tensor::packed_b_elems(kdim, npix, seg) *
+                  sizeof(std::int16_t));
+  lay.acc_off = off;
+  off += align_up(spec.out_channels * npix * sizeof(double));
+  lay.plane_off = off;
+  if (pooled) off += align_up(npix * sizeof(float));
+  lay.slot_bytes = off;
+  return lay;
+}
+
+/// Byte layout of the linear scratch (shared across shards: one packed-A
+/// panel and one accumulator for the whole batch — shards write disjoint
+/// row ranges).
+struct LinearLayout {
+  std::size_t xa_off = 0;
+  std::size_t acc_off = 0;
+  std::size_t total_bytes = 0;
+};
+
+LinearLayout linear_layout(std::size_t d, std::size_t out_f, std::size_t batch,
+                           std::size_t seg) {
+  LinearLayout lay;
+  lay.xa_off = 0;
+  std::size_t off =
+      align_up(tensor::packed_a_elems(batch, d, seg) * sizeof(std::int16_t));
+  lay.acc_off = off;
+  off += align_up(batch * out_f * sizeof(double));
+  lay.total_bytes = off;
+  return lay;
+}
+
+/// The fused activation (+ QAT fake-quant) on one requantized value — the
+/// exact float operation order of the staged act_forward ->
+/// fake_quant_unsigned pipeline, so fused and unfused results are
+/// bit-identical.
+inline float finish_value(float v, const FusedEpilogue& epi,
+                          const util::UnsignedQuantizer& fq, bool do_fq) {
+  if (!epi.has_act) return v;
+  switch (epi.act) {
+    case tensor::ActKind::kReLU:
+      if (v < 0.0f) v = 0.0f;
+      break;
+    case tensor::ActKind::kSign:
+      v = v >= 0.0f ? 1.0f : -1.0f;
+      break;
+    case tensor::ActKind::kTanh:
+      v = std::tanh(v);
+      break;
+    case tensor::ActKind::kIdentity:
+      break;
+  }
+  if (do_fq) v = static_cast<float>(fq.fake_quant(v));
+  return v;
+}
+
+/// Activation (+ QAT fake-quant) applied in place over a finished row.
+/// Kept out of the requantize loops below so each stays a branch-free body
+/// the compiler can vectorize; a float round-trips through memory exactly,
+/// so the multi-pass form is bit-identical to a per-element epilogue (and to
+/// the staged act_forward / fake_quant_unsigned pipeline).
+void act_row_inplace(float* dst, std::size_t count, const FusedEpilogue& epi,
+                     const util::UnsignedQuantizer& fq, bool do_fq) {
+  if (!epi.has_act) return;
+  switch (epi.act) {
+    case tensor::ActKind::kReLU:
+      for (std::size_t j = 0; j < count; ++j) {
+        if (dst[j] < 0.0f) dst[j] = 0.0f;
+      }
+      break;
+    case tensor::ActKind::kSign:
+      for (std::size_t j = 0; j < count; ++j) {
+        dst[j] = dst[j] >= 0.0f ? 1.0f : -1.0f;
+      }
+      break;
+    case tensor::ActKind::kTanh:
+      for (std::size_t j = 0; j < count; ++j) {
+        dst[j] = std::tanh(dst[j]);
+      }
+      break;
+    case tensor::ActKind::kIdentity:
+      break;
+  }
+  if (do_fq) {
+    for (std::size_t j = 0; j < count; ++j) {
+      dst[j] = static_cast<float>(fq.fake_quant(dst[j]));
+    }
+  }
+}
+
+/// Conv epilogue on one output-channel accumulator row: requantize (scale),
+/// the channel's bias, activation, fake-quant.
+void conv_epilogue_row(const double* a_row, float* dst, std::size_t count,
+                       double scale, const float* bias_val,
+                       const FusedEpilogue& epi,
+                       const util::UnsignedQuantizer& fq, bool do_fq) {
+  if (bias_val != nullptr) {
+    const float b = *bias_val;
+    for (std::size_t j = 0; j < count; ++j) {
+      dst[j] = static_cast<float>(a_row[j] * scale) + b;
+    }
+  } else {
+    for (std::size_t j = 0; j < count; ++j) {
+      dst[j] = static_cast<float>(a_row[j] * scale);
+    }
+  }
+  act_row_inplace(dst, count, epi, fq, do_fq);
+}
+
+/// Fc epilogue on one batch-item accumulator row: unlike conv, every element
+/// is its own output feature with its own bias.
+void linear_epilogue_row(const double* a_row, float* dst, std::size_t out_f,
+                         double scale, const tensor::Tensor& bias,
+                         const FusedEpilogue& epi,
+                         const util::UnsignedQuantizer& fq, bool do_fq) {
+  if (!bias.empty()) {
+    for (std::size_t o = 0; o < out_f; ++o) {
+      dst[o] = static_cast<float>(a_row[o] * scale) + bias[o];
+    }
+  } else {
+    for (std::size_t o = 0; o < out_f; ++o) {
+      dst[o] = static_cast<float>(a_row[o] * scale);
+    }
+  }
+  act_row_inplace(dst, out_f, epi, fq, do_fq);
+}
+
+/// Pools one pre-activation output-channel plane [oh x ow] into its final
+/// [p_oh x p_ow] row — the same loop order and float semantics as
+/// tensor::maxpool_forward / avgpool_forward.
+void pool_plane(const float* plane, float* dst, std::size_t oh, std::size_t ow,
+                std::size_t p_oh, std::size_t p_ow, const FusedEpilogue& epi) {
+  const std::size_t pk = epi.pool_kernel, ps = epi.pool_stride;
+  (void)oh;
+  if (epi.pool == PoolKind::kMax) {
+    std::size_t oi = 0;
+    for (std::size_t oy = 0; oy < p_oh; ++oy) {
+      for (std::size_t ox = 0; ox < p_ow; ++ox, ++oi) {
+        float best = -std::numeric_limits<float>::infinity();
+        for (std::size_t ky = 0; ky < pk; ++ky) {
+          for (std::size_t kx = 0; kx < pk; ++kx) {
+            const float v = plane[(oy * ps + ky) * ow + ox * ps + kx];
+            if (v > best) best = v;
+          }
+        }
+        dst[oi] = best;
+      }
+    }
+  } else {
+    const float norm = 1.0f / static_cast<float>(pk * pk);
+    std::size_t oi = 0;
+    for (std::size_t oy = 0; oy < p_oh; ++oy) {
+      for (std::size_t ox = 0; ox < p_ow; ++ox, ++oi) {
+        float acc = 0.0f;
+        for (std::size_t ky = 0; ky < pk; ++ky) {
+          for (std::size_t kx = 0; kx < pk; ++kx) {
+            acc += plane[(oy * ps + ky) * ow + ox * ps + kx];
+          }
+        }
+        dst[oi] = acc * norm;
+      }
+    }
+  }
+}
+
 }  // namespace
 
-tensor::Tensor GemmBackend::conv2d(const tensor::QuantizedTensor& x,
-                                   const tensor::QuantizedTensor& w,
-                                   const tensor::Tensor& bias,
-                                   const tensor::ConvSpec& spec,
-                                   const ExecutionContext& ctx) const {
+std::size_t GemmBackend::conv2d_scratch_bytes(const tensor::ConvSpec& spec,
+                                              std::size_t in_h,
+                                              std::size_t in_w,
+                                              const FusedEpilogue& epilogue,
+                                              std::size_t /*batch*/,
+                                              std::size_t slots) const {
+  const bool pooled = epilogue.pool != PoolKind::kNone;
+  const ConvSlotLayout lay =
+      conv_slot_layout(spec, in_h, in_w, pooled, config_.geometry.mrs_per_arm);
+  return (slots == 0 ? 1 : slots) * lay.slot_bytes;
+}
+
+std::size_t GemmBackend::linear_scratch_bytes(std::size_t in_features,
+                                              std::size_t out_features,
+                                              std::size_t batch,
+                                              std::size_t /*slots*/) const {
+  return linear_layout(in_features, out_features, batch,
+                       config_.geometry.mrs_per_arm)
+      .total_bytes;
+}
+
+void GemmBackend::conv2d_fused(const tensor::QuantizedTensor& x,
+                               const tensor::QuantizedTensor& w,
+                               const tensor::Tensor& bias,
+                               const tensor::ConvSpec& spec,
+                               const FusedEpilogue& epi,
+                               const ExecutionContext& ctx,
+                               const StepScratch& scratch,
+                               tensor::Tensor& out) const {
   validate_oc_conv_inputs(x, w, spec);
   const std::size_t batch = x.shape[0], c_in = x.shape[1], h = x.shape[2],
                     w_in = x.shape[3];
   const std::size_t oh = spec.out_dim(h), ow = spec.out_dim(w_in);
   const std::size_t npix = oh * ow;
   const std::size_t kdim = spec.weights_per_filter();
-  tensor::Tensor y({batch, spec.out_channels, oh, ow});
+  const bool pooled = epi.pool != PoolKind::kNone;
+  std::size_t p_oh = oh, p_ow = ow;
+  if (pooled) {
+    if (epi.pool_kernel == 0 || epi.pool_stride == 0 ||
+        oh < epi.pool_kernel || ow < epi.pool_kernel) {
+      throw std::invalid_argument("conv2d_fused: invalid fused pool geometry");
+    }
+    p_oh = (oh - epi.pool_kernel) / epi.pool_stride + 1;
+    p_ow = (ow - epi.pool_kernel) / epi.pool_stride + 1;
+  }
+  out.resize({batch, spec.out_channels, p_oh, p_ow});
   const std::size_t seg = config_.geometry.mrs_per_arm;
   // Packed AVX2 path: the weight panel (GEMM A operand) packs once per call
   // — or not at all when the programmed layer carries pre-packed panels —
   // and each item's im2col panel packs into B strips right after unfolding.
   // Bit-exact with the scalar kernel (same segment reduction order, same
-  // integer arithmetic), so the choice is purely a speed dispatch. Wins at
-  // every panel width: the kernel's register-resident double accumulators
-  // spill to C once per 16-column strip, so even DRAM-bound hires panels
-  // (backend_compare's 36864-pixel case) come out ahead of the scalar
-  // kernel's n-blocked loop.
+  // integer arithmetic), so the choice is purely a speed dispatch.
   const bool packed = tensor::simd::avx2_enabled();
-  const tensor::PackedWeights* pre =
-      packed ? usable_prepack(w, seg) : nullptr;
+  const tensor::PackedWeights* pre = packed ? usable_prepack(w, seg) : nullptr;
   tensor::PackedA local_a;
   if (packed && (pre == nullptr || !pre->has_a)) {
-    local_a = tensor::pack_a_s16(w.levels.data(), spec.out_channels, kdim,
-                                 kdim, seg);
+    local_a =
+        tensor::pack_a_s16(w.levels.data(), spec.out_channels, kdim, kdim, seg);
   }
-  const tensor::PackedA& wa =
-      (pre != nullptr && pre->has_a) ? pre->a : local_a;
-  ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
-    const double scale = oc_output_scale_for_item(x, w, n);
-    std::vector<std::int16_t> cols(kdim * npix);
-    std::vector<double> acc(spec.out_channels * npix);
-    tensor::im2col_s16(x.levels.data() + n * c_in * h * w_in, h, w_in, spec,
-                       cols.data());
-    if (packed) {
-      const tensor::PackedB cb =
-          tensor::pack_b_s16(cols.data(), kdim, npix, npix, seg);
-      tensor::gemm_s16_packed(wa, cb, acc.data(), npix);
-    } else {
-      tensor::gemm_s16_segmented(spec.out_channels, npix, kdim,
-                                 w.levels.data(), kdim, cols.data(), npix, seg,
-                                 acc.data(), npix);
-    }
-    float* y_n = y.data() + n * spec.out_channels * npix;
-    for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
-      const double* a_row = acc.data() + oc * npix;
-      float* y_row = y_n + oc * npix;
-      if (bias.empty()) {
-        for (std::size_t j = 0; j < npix; ++j) {
-          y_row[j] = static_cast<float>(a_row[j] * scale);
+  const tensor::PackedA& wa = (pre != nullptr && pre->has_a) ? pre->a : local_a;
+  const ConvSlotLayout lay = conv_slot_layout(spec, h, w_in, pooled, seg);
+  util::ThreadPool& pool = ctx.thread_pool();
+  // With an arena the shard count is the planner's slot count (each shard
+  // owns slot `shard` of the scratch region); without one, shard like the
+  // historical per-item dispatch and fall back to a local buffer per shard.
+  const std::size_t max_shards =
+      scratch.base != nullptr ? scratch.slots
+                              : std::min(batch, pool.size());
+  const util::UnsignedQuantizer fq{epi.act_qat_bits, epi.act_scale};
+  const bool do_fq = epi.has_act && epi.quantizes();
+  pool.for_shards(
+      0, batch, max_shards, [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+        std::vector<std::byte> local;
+        std::byte* base;
+        if (scratch.base != nullptr) {
+          base = scratch.base + slot * lay.slot_bytes;
+        } else {
+          local.resize(lay.slot_bytes);
+          base = local.data();
         }
-      } else {
-        const float b = bias[oc];
-        for (std::size_t j = 0; j < npix; ++j) {
-          float out = static_cast<float>(a_row[j] * scale);
-          out += b;
-          y_row[j] = out;
+        auto* cols = reinterpret_cast<std::int16_t*>(base + lay.cols_off);
+        auto* pb_store = reinterpret_cast<std::int16_t*>(base + lay.packb_off);
+        auto* acc = reinterpret_cast<double*>(base + lay.acc_off);
+        auto* plane = reinterpret_cast<float*>(base + lay.plane_off);
+        for (std::size_t n = lo; n < hi; ++n) {
+          const double scale = oc_output_scale_for_item(x, w, n);
+          tensor::im2col_s16(x.levels.data() + n * c_in * h * w_in, h, w_in,
+                             spec, cols);
+          if (packed) {
+            const tensor::PackedB cb =
+                tensor::pack_b_s16_into(cols, kdim, npix, npix, seg, pb_store);
+            tensor::gemm_s16_packed(wa, cb, acc, npix);
+          } else {
+            tensor::gemm_s16_segmented(spec.out_channels, npix, kdim,
+                                       w.levels.data(), kdim, cols, npix, seg,
+                                       acc, npix);
+          }
+          float* out_n = out.data() + n * spec.out_channels * p_oh * p_ow;
+          for (std::size_t oc = 0; oc < spec.out_channels; ++oc) {
+            const double* a_row = acc + oc * npix;
+            const float b = bias.empty() ? 0.0f : bias[oc];
+            const float* bias_val = bias.empty() ? nullptr : &b;
+            if (pooled) {
+              // Epilogue into the single-channel plane, then pool it into
+              // the output row — the plane never leaves cache.
+              conv_epilogue_row(a_row, plane, npix, scale, bias_val, epi, fq,
+                                do_fq);
+              pool_plane(plane, out_n + oc * p_oh * p_ow, oh, ow, p_oh, p_ow,
+                         epi);
+            } else {
+              conv_epilogue_row(a_row, out_n + oc * npix, npix, scale,
+                                bias_val, epi, fq, do_fq);
+            }
+          }
         }
-      }
+      });
+}
+
+void GemmBackend::linear_fused(const tensor::QuantizedTensor& x,
+                               const tensor::QuantizedTensor& w,
+                               const tensor::Tensor& bias,
+                               const FusedEpilogue& epi,
+                               const ExecutionContext& ctx,
+                               const StepScratch& scratch,
+                               tensor::Tensor& out) const {
+  validate_oc_linear_inputs(x, w);
+  if (epi.pool != PoolKind::kNone) {
+    throw std::logic_error("linear_fused: pooling cannot fuse into an fc layer");
+  }
+  const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
+  out.resize({batch, out_f});
+  const std::size_t seg = config_.geometry.mrs_per_arm;
+  const bool packed = tensor::simd::avx2_enabled();
+  util::ThreadPool& pool = ctx.thread_pool();
+  const std::size_t max_shards =
+      scratch.base != nullptr ? scratch.slots
+                              : std::min(batch, pool.size());
+  const util::UnsignedQuantizer fq{epi.act_qat_bits, epi.act_scale};
+  const bool do_fq = epi.has_act && epi.quantizes();
+  if (packed) {
+    // Packed path: the fc layer is one GEMM — activation rows as the A
+    // operand (packed per forward, cheap), Wᵀ as the B panel (pre-packed on
+    // programmed layers, one pass over W otherwise, amortized over the
+    // batch). Shards take contiguous row *ranges*: one gemm_s16_packed call
+    // per shard instead of one per batch row, so the microkernel keeps the
+    // B panel streaming across rows; per-item scales apply in the epilogue
+    // loop below.
+    const tensor::PackedWeights* pre = usable_prepack(w, seg);
+    tensor::PackedB local_bt;
+    if (pre == nullptr || !pre->has_b) {
+      local_bt =
+          tensor::pack_b_s16_transposed(w.levels.data(), d, out_f, d, seg);
     }
-  });
+    const tensor::PackedB& wb =
+        (pre != nullptr && pre->has_b) ? pre->bt : local_bt;
+    const LinearLayout lay = linear_layout(d, out_f, batch, seg);
+    std::vector<std::byte> local;
+    std::byte* base = scratch.base;
+    if (base == nullptr) {
+      local.resize(lay.total_bytes);
+      base = local.data();
+    }
+    auto* xa_store = reinterpret_cast<std::int16_t*>(base + lay.xa_off);
+    auto* acc = reinterpret_cast<double*>(base + lay.acc_off);
+    const tensor::PackedA xa =
+        tensor::pack_a_s16_into(x.levels.data(), batch, d, d, seg, xa_store);
+    pool.for_shards(0, batch, max_shards,
+                    [&](std::size_t, std::size_t lo, std::size_t hi) {
+                      tensor::gemm_s16_packed(xa, wb, acc, out_f, lo, hi);
+                      for (std::size_t n = lo; n < hi; ++n) {
+                        const double scale = oc_output_scale_for_item(x, w, n);
+                        linear_epilogue_row(acc + n * out_f,
+                                            out.data() + n * out_f, out_f,
+                                            scale, bias, epi, fq, do_fq);
+                      }
+                    });
+    return;
+  }
+  pool.for_shards(
+      0, batch, max_shards, [&](std::size_t, std::size_t lo, std::size_t hi) {
+        for (std::size_t n = lo; n < hi; ++n) {
+          const double scale = oc_output_scale_for_item(x, w, n);
+          const std::int16_t* row = x.levels.data() + n * d;
+          float* y_row = out.data() + n * out_f;
+          for (std::size_t o = 0; o < out_f; ++o) {
+            const double acc =
+                tensor::dot_s16_segmented(row, w.levels.data() + o * d, d, seg);
+            float v = static_cast<float>(acc * scale);
+            if (!bias.empty()) v += bias[o];
+            y_row[o] = finish_value(v, epi, fq, do_fq);
+          }
+        }
+      });
+}
+
+tensor::Tensor GemmBackend::conv2d(const tensor::QuantizedTensor& x,
+                                   const tensor::QuantizedTensor& w,
+                                   const tensor::Tensor& bias,
+                                   const tensor::ConvSpec& spec,
+                                   const ExecutionContext& ctx) const {
+  tensor::Tensor y;
+  conv2d_fused(x, w, bias, spec, FusedEpilogue{}, ctx, StepScratch{}, y);
   return y;
 }
 
@@ -93,51 +428,8 @@ tensor::Tensor GemmBackend::linear(const tensor::QuantizedTensor& x,
                                    const tensor::QuantizedTensor& w,
                                    const tensor::Tensor& bias,
                                    const ExecutionContext& ctx) const {
-  validate_oc_linear_inputs(x, w);
-  const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
-  tensor::Tensor y({batch, out_f});
-  const std::size_t seg = config_.geometry.mrs_per_arm;
-  const bool packed = tensor::simd::avx2_enabled();
-  if (packed) {
-    // Packed path: the fc layer is one GEMM — activation rows as the A
-    // operand (packed per forward, cheap), Wᵀ as the B panel (pre-packed on
-    // programmed layers, one pass over W otherwise, amortized over the
-    // batch). Each item is one C row, so the batch shards over the pool by
-    // row range without re-packing anything.
-    const tensor::PackedWeights* pre = usable_prepack(w, seg);
-    tensor::PackedB local_bt;
-    if (pre == nullptr || !pre->has_b) {
-      local_bt = tensor::pack_b_s16_transposed(w.levels.data(), d, out_f, d,
-                                               seg);
-    }
-    const tensor::PackedB& wb =
-        (pre != nullptr && pre->has_b) ? pre->bt : local_bt;
-    const tensor::PackedA xa =
-        tensor::pack_a_s16(x.levels.data(), batch, d, d, seg);
-    std::vector<double> acc(batch * out_f);
-    ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
-      tensor::gemm_s16_packed(xa, wb, acc.data(), out_f, n, n + 1);
-      const double scale = oc_output_scale_for_item(x, w, n);
-      const double* a_row = acc.data() + n * out_f;
-      for (std::size_t o = 0; o < out_f; ++o) {
-        float v = static_cast<float>(a_row[o] * scale);
-        if (!bias.empty()) v += bias[o];
-        y.at(n, o) = v;
-      }
-    });
-    return y;
-  }
-  ctx.thread_pool().parallel_for(0, batch, [&](std::size_t n) {
-    const double scale = oc_output_scale_for_item(x, w, n);
-    const std::int16_t* row = x.levels.data() + n * d;
-    for (std::size_t o = 0; o < out_f; ++o) {
-      const double acc =
-          tensor::dot_s16_segmented(row, w.levels.data() + o * d, d, seg);
-      float v = static_cast<float>(acc * scale);
-      if (!bias.empty()) v += bias[o];
-      y.at(n, o) = v;
-    }
-  });
+  tensor::Tensor y;
+  linear_fused(x, w, bias, FusedEpilogue{}, ctx, StepScratch{}, y);
   return y;
 }
 

@@ -32,6 +32,36 @@ class GemmBackend final : public ComputeBackend {
                         const tensor::Tensor& bias,
                         const ExecutionContext& ctx) const override;
 
+  // Real fused datapath (the compiler's stage-fusion target): the epilogue —
+  // scale, bias, activation, QAT fake-quant, pooling — runs per output
+  // channel on the cache-resident GEMM accumulator row, and all working
+  // buffers carve out of the caller's StepScratch (per-call vectors only as
+  // the arena-less fallback). conv2d/linear above are thin wrappers over
+  // these with an inactive epilogue, so the fused path is the only datapath
+  // and stays bit-exact by construction.
+
+  void conv2d_fused(const tensor::QuantizedTensor& x,
+                    const tensor::QuantizedTensor& w, const tensor::Tensor& bias,
+                    const tensor::ConvSpec& spec, const FusedEpilogue& epilogue,
+                    const ExecutionContext& ctx, const StepScratch& scratch,
+                    tensor::Tensor& out) const override;
+
+  void linear_fused(const tensor::QuantizedTensor& x,
+                    const tensor::QuantizedTensor& w, const tensor::Tensor& bias,
+                    const FusedEpilogue& epilogue, const ExecutionContext& ctx,
+                    const StepScratch& scratch,
+                    tensor::Tensor& out) const override;
+
+  std::size_t conv2d_scratch_bytes(const tensor::ConvSpec& spec,
+                                   std::size_t in_h, std::size_t in_w,
+                                   const FusedEpilogue& epilogue,
+                                   std::size_t batch,
+                                   std::size_t slots) const override;
+
+  std::size_t linear_scratch_bytes(std::size_t in_features,
+                                   std::size_t out_features, std::size_t batch,
+                                   std::size_t slots) const override;
+
  private:
   ArchConfig config_;
 };

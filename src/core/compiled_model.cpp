@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/compiler/pass_manager.hpp"
 #include "core/lightator.hpp"
 #include "nn/layer.hpp"
 #include "nn/model_desc.hpp"
@@ -63,6 +64,9 @@ void FrameBatch::validate() const {
 BatchOutput::BatchOutput(tensor::Tensor logits)
     : logits_(std::make_shared<tensor::Tensor>(std::move(logits))) {}
 
+BatchOutput::BatchOutput(std::shared_ptr<tensor::Tensor> logits)
+    : logits_(std::move(logits)) {}
+
 std::size_t BatchOutput::items() const {
   return empty() ? 0 : logits_->dim(0);
 }
@@ -110,37 +114,11 @@ tensor::Tensor BatchOutput::take() {
 
 // ---- CompiledModel ---------------------------------------------------------
 
-/// One step of the compiled execution plan. Weighted steps carry the
-/// programmed (quantized + prepacked) weights; electronic-block steps carry
-/// the snapshot of the layer's inference-time configuration, so execution
-/// never touches the source Network again.
-struct CompiledStep {
-  nn::LayerKind kind = nn::LayerKind::kFlatten;
-  std::string name;
-
-  // kConv / kLinear
-  tensor::QuantizedTensor weights;
-  tensor::Tensor bias;
-  tensor::ConvSpec conv;
-  std::size_t fc_in = 0, fc_out = 0;
-  int wbits = 0, abits = 4;
-  std::size_t weighted_index = 0;
-
-  // kMaxPool / kAvgPool
-  std::size_t pool_kernel = 0, pool_stride = 0;
-
-  // kActivation (act_scale frozen at compile time, the QAT convention)
-  tensor::ActKind act = tensor::ActKind::kReLU;
-  int act_qat_bits = 0;
-  double act_scale = 0.0;
-};
-
 struct CompiledModel::Impl {
   const LightatorSystem* system = nullptr;
   std::string backend_name;
   const ComputeBackend* backend = nullptr;  // resolved once at compile
-  std::vector<CompiledStep> steps;
-  std::size_t num_weighted = 0;
+  CompiledPlan plan;
 };
 
 namespace {
@@ -160,12 +138,12 @@ const std::string& CompiledModel::backend() const {
 
 std::size_t CompiledModel::num_layers() const {
   if (impl_ == nullptr) throw_invalid_handle();
-  return impl_->steps.size();
+  return impl_->plan.steps.size();
 }
 
 std::size_t CompiledModel::num_weighted_layers() const {
   if (impl_ == nullptr) throw_invalid_handle();
-  return impl_->num_weighted;
+  return impl_->plan.num_weighted;
 }
 
 namespace {
@@ -186,18 +164,38 @@ const CompiledStep& weighted_step(const std::vector<CompiledStep>& steps,
 
 int CompiledModel::weight_bits(std::size_t weighted_index) const {
   if (impl_ == nullptr) throw_invalid_handle();
-  return weighted_step(impl_->steps, weighted_index).wbits;
+  return weighted_step(impl_->plan.steps, weighted_index).wbits;
 }
 
 int CompiledModel::act_bits(std::size_t weighted_index) const {
   if (impl_ == nullptr) throw_invalid_handle();
-  return weighted_step(impl_->steps, weighted_index).abits;
+  return weighted_step(impl_->plan.steps, weighted_index).abits;
 }
 
 const tensor::QuantizedTensor& CompiledModel::weights(
     std::size_t weighted_index) const {
   if (impl_ == nullptr) throw_invalid_handle();
-  return weighted_step(impl_->steps, weighted_index).weights;
+  return weighted_step(impl_->plan.steps, weighted_index).weights;
+}
+
+const std::vector<std::string>& CompiledModel::applied_passes() const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  return impl_->plan.applied_passes;
+}
+
+MemoryReport CompiledModel::memory_report(std::size_t batch,
+                                          const tensor::Shape& frame_shape,
+                                          std::size_t slots) const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  MemoryReport report;
+  report.planned_peak_bytes =
+      compute_arena_plan(impl_->plan.steps, *impl_->backend, batch,
+                         frame_shape, slots)
+          .total_bytes();
+  report.naive_peak_bytes = naive_peak_bytes(
+      impl_->plan.unoptimized_geometry, *impl_->backend, batch, frame_shape,
+      slots);
+  return report;
 }
 
 BatchOutput CompiledModel::run(const FrameBatch& batch,
@@ -205,14 +203,16 @@ BatchOutput CompiledModel::run(const FrameBatch& batch,
   if (impl_ == nullptr) throw_invalid_handle();
   batch.validate();
   const Impl& impl = *impl_;
+  const CompiledPlan& plan = impl.plan;
   const std::size_t frames = batch.items();
 
   // Borrowed-frame gather state: non-null until the first weighted layer
-  // consumes the frames (or a non-weighted layer materializes them).
+  // consumes the frames (or a non-weighted layer materializes them). `cur`
+  // tracks the current activation tensor (borrowed input, then the ping-pong
+  // slot the last step wrote).
   const std::vector<const tensor::Tensor*>* gather =
       batch.gathered() ? &batch.frames() : nullptr;
-  tensor::Tensor h;
-  if (gather == nullptr) h = batch.stacked();
+  const tensor::Tensor* cur = gather == nullptr ? &batch.stacked() : nullptr;
 
   if (!ctx.noise_stream_ids.empty()) {
     if (ctx.noise_stream_ids.size() != frames) {
@@ -225,49 +225,90 @@ BatchOutput CompiledModel::run(const FrameBatch& batch,
   }
 
   util::Rng fault_rng(ctx.faults.seed);
-  // Activations enter through the CRC/DMVA path: unsigned codes with a
-  // per-tensor (or, in serving mode, per-item) scale — identical to the
-  // pre-split run_network_on_oc path, so compiled results are bit-identical
-  // to the historical entry points.
-  auto quantize_acts = [&](const tensor::Tensor& t, int bits) {
-    if (gather != nullptr) {
-      return ctx.per_item_act_scale
-                 ? tensor::quantize_unsigned_per_item_gather(*gather, bits)
-                 : tensor::quantize_unsigned_gather(*gather, bits);
-    }
-    if (ctx.per_item_act_scale) {
-      return tensor::quantize_unsigned_per_item(t, bits);
-    }
-    float m = 0.0f;
-    for (std::size_t i = 0; i < t.size(); ++i) m = std::max(m, t[i]);
-    return tensor::quantize_unsigned(t, bits, m > 0 ? m : 1.0);
+
+  // Memory-planned execution: every intermediate stages in the context's
+  // arena — two ping-pong inter-layer tensors (step i writes slot i & 1),
+  // one shared codes buffer, one shared backend-scratch region, a pooled
+  // output. prepare() is a no-op on a warm key, so a reused context runs
+  // the whole forward without a single heap allocation. Without the
+  // memory-planning pass the same loop runs over two function-local slots.
+  const std::size_t slots = std::max<std::size_t>(
+      1, std::min(frames, ctx.thread_pool().size()));
+  ScratchArena* arena = nullptr;
+  if (plan.arena_enabled) {
+    arena = &ctx.arena();
+    const tensor::Shape& in_shape =
+        gather != nullptr ? (*gather)[0]->shape() : batch.stacked().shape();
+    arena->prepare(plan, *impl.backend, frames, in_shape, slots);
+  }
+  tensor::Tensor local_io[2];
+  tensor::QuantizedTensor local_codes;
+  tensor::QuantizedTensor& codes =
+      arena != nullptr ? arena->codes() : local_codes;
+  auto out_slot = [&](std::size_t i) -> tensor::Tensor& {
+    return arena != nullptr ? arena->io(i) : local_io[i & 1];
   };
-  // Materializes the borrowed frames into `h` — only needed when a
+  auto step_scratch = [&](std::size_t i) {
+    StepScratch scr;
+    if (arena != nullptr) {
+      scr.bytes = arena->plan().step_extents[i].scratch_bytes;
+      scr.base = scr.bytes == 0 ? nullptr : arena->scratch();
+      scr.slots = arena->plan().slots;
+    }
+    return scr;
+  };
+
+  // Materializes the borrowed frames into owned storage — only needed when a
   // non-weighted layer runs before the first conv/fc.
+  tensor::Tensor gathered_storage;
   auto materialize_gather = [&] {
     if (gather == nullptr) return;
     const tensor::Tensor& first = *(*gather)[0];
     const std::size_t per_frame = first.size();
     tensor::Shape shape = first.shape();
     shape[0] = gather->size();
-    h = tensor::Tensor(shape);
+    gathered_storage = tensor::Tensor(shape);
     for (std::size_t i = 0; i < gather->size(); ++i) {
       std::copy((*gather)[i]->data(), (*gather)[i]->data() + per_frame,
-                h.data() + i * per_frame);
+                gathered_storage.data() + i * per_frame);
     }
+    cur = &gathered_storage;
     gather = nullptr;
+  };
+  // Activations enter through the CRC/DMVA path: unsigned codes with a
+  // per-tensor (or, in serving mode, per-item) scale — identical to the
+  // pre-split run_network_on_oc path, so compiled results are bit-identical
+  // to the historical entry points. The _into quantizers reuse the codes
+  // buffer's storage.
+  auto quantize_acts = [&](int bits) {
+    if (gather != nullptr) {
+      if (ctx.per_item_act_scale) {
+        tensor::quantize_unsigned_per_item_gather_into(*gather, bits, codes);
+      } else {
+        tensor::quantize_unsigned_gather_into(*gather, bits, codes);
+      }
+      gather = nullptr;
+      return;
+    }
+    if (ctx.per_item_act_scale) {
+      tensor::quantize_unsigned_per_item_into(*cur, bits, codes);
+      return;
+    }
+    const tensor::Tensor& t = *cur;
+    float m = 0.0f;
+    for (std::size_t i = 0; i < t.size(); ++i) m = std::max(m, t[i]);
+    tensor::quantize_unsigned_into(t, bits, m > 0 ? m : 1.0, codes);
   };
   // Fault injection mutates a private copy of the programmed weights (the
   // prepacked panels / arm program describe the un-faulted levels, so the
   // copy drops them — the backends then fall back to per-call packing,
   // exactly like the historical fault path).
-  auto faulted_weights = [&](const tensor::QuantizedTensor& programmed,
-                             tensor::QuantizedTensor& xq) {
+  auto faulted_weights = [&](const tensor::QuantizedTensor& programmed) {
     tensor::QuantizedTensor wq = programmed;
     wq.prepack.reset();
     wq.arm_program.reset();
     apply_weight_faults(wq, ctx.faults, fault_rng);
-    apply_activation_faults(xq, ctx.faults, fault_rng);
+    apply_activation_faults(codes, ctx.faults, fault_rng);
     return wq;
   };
   // Per-layer power/timing accumulators, keyed like the pre-split path so
@@ -275,7 +316,6 @@ BatchOutput CompiledModel::run(const FrameBatch& batch,
   // the (batch-invariant) modeled numbers.
   auto record_stats = [&](const CompiledStep& step, const nn::LayerDesc& desc,
                           double wall_seconds) {
-    if (!ctx.collect_stats) return;
     for (auto& existing : ctx.stats) {
       if (existing.layer_index == step.weighted_index &&
           existing.name == desc.name && existing.weight_bits == step.wbits) {
@@ -298,82 +338,127 @@ BatchOutput CompiledModel::run(const FrameBatch& batch,
     ctx.stats.push_back(std::move(s));
   };
 
-  for (const CompiledStep& step : impl.steps) {
+  for (std::size_t i = 0; i < plan.steps.size(); ++i) {
+    const CompiledStep& step = plan.steps[i];
     switch (step.kind) {
       case nn::LayerKind::kConv: {
-        auto xq = quantize_acts(h, step.abits);
-        nn::LayerDesc desc;
-        desc.kind = nn::LayerKind::kConv;
-        desc.name = step.name;
-        desc.in_h = gather != nullptr ? (*gather)[0]->dim(2) : h.dim(2);
-        desc.in_w = gather != nullptr ? (*gather)[0]->dim(3) : h.dim(3);
-        desc.conv = step.conv;
-        gather = nullptr;  // consumed by quantize_acts above
+        const std::size_t in_h =
+            gather != nullptr ? (*gather)[0]->dim(2) : cur->dim(2);
+        const std::size_t in_w =
+            gather != nullptr ? (*gather)[0]->dim(3) : cur->dim(3);
+        quantize_acts(step.abits);
+        tensor::Tensor& dst = out_slot(i);
         const auto start = std::chrono::steady_clock::now();
         if (ctx.faults.any()) {
-          const auto wq = faulted_weights(step.weights, xq);
-          h = impl.backend->conv2d(xq, wq, step.bias, step.conv, ctx);
+          const auto wq = faulted_weights(step.weights);
+          impl.backend->conv2d_fused(codes, wq, step.bias, step.conv,
+                                     step.epilogue, ctx, step_scratch(i), dst);
         } else {
-          h = impl.backend->conv2d(xq, step.weights, step.bias, step.conv,
-                                   ctx);
+          impl.backend->conv2d_fused(codes, step.weights, step.bias, step.conv,
+                                     step.epilogue, ctx, step_scratch(i), dst);
         }
-        record_stats(step, desc,
-                     std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count());
+        cur = &dst;
+        if (ctx.collect_stats) {
+          nn::LayerDesc desc;
+          desc.kind = nn::LayerKind::kConv;
+          desc.name = step.name;
+          desc.in_h = in_h;
+          desc.in_w = in_w;
+          desc.conv = step.conv;
+          record_stats(step, desc,
+                       std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+        }
         break;
       }
       case nn::LayerKind::kLinear: {
-        auto xq = quantize_acts(h, step.abits);
-        nn::LayerDesc desc;
-        desc.kind = nn::LayerKind::kLinear;
-        desc.name = step.name;
-        desc.fc_in = step.fc_in;
-        desc.fc_out = step.fc_out;
-        gather = nullptr;  // consumed by quantize_acts above
+        quantize_acts(step.abits);
+        // With the flatten stage eliminated, activations reach the fc layer
+        // still spatially shaped: reshape the codes logically (the storage
+        // is already row-major [item, features]).
+        if (codes.shape.size() != 2) {
+          const std::size_t per_item = codes.levels.size() / frames;
+          codes.shape.assign({frames, per_item});
+        }
+        tensor::Tensor& dst = out_slot(i);
         const auto start = std::chrono::steady_clock::now();
         if (ctx.faults.any()) {
-          const auto wq = faulted_weights(step.weights, xq);
-          h = impl.backend->linear(xq, wq, step.bias, ctx);
+          const auto wq = faulted_weights(step.weights);
+          impl.backend->linear_fused(codes, wq, step.bias, step.epilogue, ctx,
+                                     step_scratch(i), dst);
         } else {
-          h = impl.backend->linear(xq, step.weights, step.bias, ctx);
+          impl.backend->linear_fused(codes, step.weights, step.bias,
+                                     step.epilogue, ctx, step_scratch(i), dst);
         }
-        record_stats(step, desc,
-                     std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count());
+        cur = &dst;
+        if (ctx.collect_stats) {
+          nn::LayerDesc desc;
+          desc.kind = nn::LayerKind::kLinear;
+          desc.name = step.name;
+          desc.fc_in = step.fc_in;
+          desc.fc_out = step.fc_out;
+          record_stats(step, desc,
+                       std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count());
+        }
         break;
       }
       case nn::LayerKind::kMaxPool: {
         materialize_gather();
-        std::vector<std::size_t> argmax;  // inference: discarded
-        h = tensor::maxpool_forward(h, step.pool_kernel, step.pool_stride,
-                                    &argmax);
+        tensor::Tensor& dst = out_slot(i);
+        dst = tensor::maxpool_forward(*cur, step.pool_kernel, step.pool_stride,
+                                      nullptr);
+        cur = &dst;
         break;
       }
       case nn::LayerKind::kAvgPool: {
         materialize_gather();
-        h = tensor::avgpool_forward(h, step.pool_kernel, step.pool_stride);
+        tensor::Tensor& dst = out_slot(i);
+        dst = tensor::avgpool_forward(*cur, step.pool_kernel, step.pool_stride);
+        cur = &dst;
         break;
       }
       case nn::LayerKind::kActivation: {
         materialize_gather();
-        h = tensor::act_forward(h, step.act);
+        tensor::Tensor& dst = out_slot(i);
+        dst = tensor::act_forward(*cur, step.act);
         // The QAT output fake-quant with the compile-time (frozen) scale —
         // bit-identical to Activation::forward in inference mode.
         if (step.act_qat_bits > 0 && step.act_scale > 0.0) {
-          tensor::fake_quant_unsigned(h, step.act_qat_bits, step.act_scale);
+          tensor::fake_quant_unsigned(dst, step.act_qat_bits, step.act_scale);
         }
+        cur = &dst;
         break;
       }
       case nn::LayerKind::kFlatten: {
         materialize_gather();
-        h = tensor::flatten(h);
+        tensor::Tensor& dst = out_slot(i);
+        dst = tensor::flatten(*cur);
+        cur = &dst;
         break;
       }
     }
   }
-  return BatchOutput(std::move(h));
+
+  if (cur == nullptr) materialize_gather();  // zero-step plan, gathered input
+  if (arena != nullptr) {
+    // Pooled output: an owning handle without a per-forward allocation —
+    // the copy out of the ping-pong slot decouples the result's lifetime
+    // from the arena's next forward.
+    std::shared_ptr<tensor::Tensor> out = arena->acquire_output();
+    out->resize(cur->shape());
+    std::copy(cur->data(), cur->data() + cur->size(), out->data());
+    return BatchOutput(std::move(out));
+  }
+  if (cur == &local_io[0] || cur == &local_io[1]) {
+    return BatchOutput(std::move(const_cast<tensor::Tensor&>(*cur)));
+  }
+  if (cur == &gathered_storage) {
+    return BatchOutput(std::move(gathered_storage));
+  }
+  return BatchOutput(tensor::Tensor(*cur));  // zero-step plan, stacked input
 }
 
 double CompiledModel::evaluate(const nn::Dataset& data, ExecutionContext& ctx,
@@ -510,9 +595,37 @@ CompiledModel Engine::compile(const nn::Network& net,
       case nn::LayerKind::kFlatten:
         break;
     }
-    impl->steps.push_back(std::move(step));
+    impl->plan.steps.push_back(std::move(step));
   }
-  impl->num_weighted = weighted_index;
+  impl->plan.num_weighted = weighted_index;
+
+  // Geometry-only snapshot of the unoptimized plan (weights/bias/name
+  // skipped — the memory planner's walk never reads them, and copying the
+  // programmed weights would double the artifact): the naive-peak baseline
+  // memory_report judges the arena plan against.
+  impl->plan.unoptimized_geometry.reserve(impl->plan.steps.size());
+  for (const CompiledStep& s : impl->plan.steps) {
+    CompiledStep g;
+    g.kind = s.kind;
+    g.conv = s.conv;
+    g.fc_in = s.fc_in;
+    g.fc_out = s.fc_out;
+    g.wbits = s.wbits;
+    g.abits = s.abits;
+    g.weighted_index = s.weighted_index;
+    g.pool_kernel = s.pool_kernel;
+    g.pool_stride = s.pool_stride;
+    g.act = s.act;
+    g.act_qat_bits = s.act_qat_bits;
+    g.act_scale = s.act_scale;
+    impl->plan.unoptimized_geometry.push_back(std::move(g));
+  }
+
+  // The pass pipeline: dead-stage elimination, stage fusion, memory
+  // planning — each gated by options.passes, each validated, each recorded
+  // in plan.applied_passes.
+  default_pass_pipeline(options.passes)
+      .run(impl->plan, PassContext{impl->backend, seg});
 
   CompiledModel model;
   model.impl_ = std::move(impl);

@@ -41,6 +41,8 @@
 #include <string>
 #include <vector>
 
+#include "core/compiler/arena.hpp"
+#include "core/compiler/plan.hpp"
 #include "core/compute_backend.hpp"
 #include "nn/dataset.hpp"
 #include "nn/network.hpp"
@@ -94,6 +96,9 @@ class BatchOutput {
  public:
   BatchOutput() = default;
   explicit BatchOutput(tensor::Tensor logits);
+  /// Shares an existing tensor (the arena's pooled-output path: run() hands
+  /// out a recycled buffer without copying or allocating).
+  explicit BatchOutput(std::shared_ptr<tensor::Tensor> logits);
 
   bool empty() const { return logits_ == nullptr || logits_->empty(); }
   /// Batch items (logits dim 0).
@@ -133,6 +138,11 @@ struct CompileOptions {
   /// Build the pre-packed SIMD panels / physical arm programs. Disable only
   /// to measure the un-prepacked path; results never change either way.
   bool prepack = true;
+  /// Which compiler passes run over the plan (core/compiler/plan.hpp). All
+  /// default on; every combination produces equivalent results (bit-exact on
+  /// gemm/reference, seeded-noise-identical on physical) — asserted by
+  /// tests/test_compiler.cpp.
+  PassOptions passes;
 };
 
 /// The immutable executable artifact. Cheap to copy (shared immutable
@@ -152,6 +162,15 @@ class CompiledModel {
   /// The programmed weights of weighted layer `i` (carrying any prepacked
   /// panels / arm program) — introspection and test hook.
   const tensor::QuantizedTensor& weights(std::size_t weighted_index) const;
+  /// Names of the compiler passes that ran over the plan, in order.
+  const std::vector<std::string>& applied_passes() const;
+  /// Planned-vs-naive peak working-set bytes for a `batch`-item forward of
+  /// `frame_shape` ([1, ...] per-item geometry) with `slots` parallel batch
+  /// shards: the static arena plan against the per-step-allocating baseline
+  /// on the unoptimized (pre-pass) step sequence.
+  MemoryReport memory_report(std::size_t batch,
+                             const tensor::Shape& frame_shape,
+                             std::size_t slots = 1) const;
 
   /// One batched forward through the compiled plan. Stateless with respect
   /// to the artifact: concurrent run() calls on one CompiledModel are safe

@@ -1,0 +1,209 @@
+#include "core/compiler/arena.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lightator::core {
+
+namespace {
+
+constexpr std::size_t kFloatBytes = sizeof(float);
+constexpr std::size_t kCodeBytes = sizeof(std::int16_t);
+constexpr std::size_t kScaleBytes = sizeof(double);
+
+/// Per-item geometry propagated through the plan walk. Conv/pool steps need
+/// the (c, h, w) split; fc and flatten only the flat element count.
+struct Geometry {
+  bool spatial = false;  // c/h/w valid (4-d activations)
+  std::size_t c = 0, h = 0, w = 0;
+  std::size_t elems = 0;  // per-item element count (always valid)
+};
+
+Geometry frame_geometry(const tensor::Shape& frame_shape) {
+  Geometry g;
+  g.elems = 1;
+  for (std::size_t i = 1; i < frame_shape.size(); ++i) g.elems *= frame_shape[i];
+  if (frame_shape.size() == 4) {
+    g.spatial = true;
+    g.c = frame_shape[1];
+    g.h = frame_shape[2];
+    g.w = frame_shape[3];
+  }
+  return g;
+}
+
+std::size_t pool_out_dim(std::size_t in, std::size_t kernel,
+                         std::size_t stride) {
+  if (kernel == 0 || stride == 0 || in < kernel) {
+    throw std::invalid_argument("arena planner: invalid pool geometry");
+  }
+  return (in - kernel) / stride + 1;
+}
+
+/// What one step contributes to the memory accounting.
+struct StepFootprint {
+  std::size_t in_elems = 0;       // per-item input elements
+  std::size_t out_elems = 0;      // per-item output elements
+  std::size_t scratch_bytes = 0;  // backend scratch while the step runs
+  bool weighted = false;          // consumes quantized activation codes
+};
+
+/// Walks `steps` propagating geometry and calls fn(step_index, footprint)
+/// for each. The single source of truth for both the planned and the naive
+/// accounting — they only aggregate differently.
+template <typename F>
+void walk_plan(const std::vector<CompiledStep>& steps,
+               const ComputeBackend& backend, std::size_t batch,
+               const tensor::Shape& frame_shape, std::size_t slots, F&& fn) {
+  Geometry g = frame_geometry(frame_shape);
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    const CompiledStep& step = steps[i];
+    StepFootprint fp;
+    fp.in_elems = g.elems;
+    switch (step.kind) {
+      case nn::LayerKind::kConv: {
+        if (!g.spatial) {
+          throw std::invalid_argument(
+              "arena planner: conv step on non-spatial activations");
+        }
+        const std::size_t oh = step.conv.out_dim(g.h);
+        const std::size_t ow = step.conv.out_dim(g.w);
+        fp.weighted = true;
+        fp.scratch_bytes = backend.conv2d_scratch_bytes(
+            step.conv, g.h, g.w, step.epilogue, batch, slots);
+        g.c = step.conv.out_channels;
+        g.h = oh;
+        g.w = ow;
+        if (step.epilogue.pool != PoolKind::kNone) {
+          g.h = pool_out_dim(oh, step.epilogue.pool_kernel,
+                             step.epilogue.pool_stride);
+          g.w = pool_out_dim(ow, step.epilogue.pool_kernel,
+                             step.epilogue.pool_stride);
+        }
+        g.elems = g.c * g.h * g.w;
+        break;
+      }
+      case nn::LayerKind::kLinear: {
+        fp.weighted = true;
+        fp.scratch_bytes =
+            backend.linear_scratch_bytes(g.elems, step.fc_out, batch, slots);
+        g.spatial = false;
+        g.elems = step.fc_out;
+        break;
+      }
+      case nn::LayerKind::kMaxPool:
+      case nn::LayerKind::kAvgPool: {
+        if (!g.spatial) {
+          throw std::invalid_argument(
+              "arena planner: pool step on non-spatial activations");
+        }
+        g.h = pool_out_dim(g.h, step.pool_kernel, step.pool_stride);
+        g.w = pool_out_dim(g.w, step.pool_kernel, step.pool_stride);
+        g.elems = g.c * g.h * g.w;
+        break;
+      }
+      case nn::LayerKind::kActivation:
+        break;  // geometry unchanged
+      case nn::LayerKind::kFlatten:
+        g.spatial = false;
+        break;  // element count unchanged
+    }
+    fp.out_elems = g.elems;
+    fn(i, fp);
+  }
+}
+
+}  // namespace
+
+ArenaPlan compute_arena_plan(const std::vector<CompiledStep>& steps,
+                             const ComputeBackend& backend, std::size_t batch,
+                             const tensor::Shape& frame_shape,
+                             std::size_t slots) {
+  ArenaPlan plan;
+  plan.batch = batch;
+  plan.frame_shape.assign(frame_shape.begin(), frame_shape.end());
+  plan.slots = slots == 0 ? 1 : slots;
+  plan.step_extents.clear();
+  plan.step_extents.reserve(steps.size());
+  std::size_t final_elems = frame_geometry(frame_shape).elems;
+  walk_plan(steps, backend, batch, frame_shape, plan.slots,
+            [&](std::size_t i, const StepFootprint& fp) {
+              ArenaStepExtent ext;
+              ext.step = i;
+              ext.out_bytes = batch * fp.out_elems * kFloatBytes;
+              ext.scratch_bytes = fp.scratch_bytes;
+              if (fp.weighted) {
+                ext.codes_bytes =
+                    batch * fp.in_elems * kCodeBytes + batch * kScaleBytes;
+                plan.codes_bytes = std::max(plan.codes_bytes, ext.codes_bytes);
+              }
+              // Step i writes ping-pong slot i & 1; steps run sequentially,
+              // so one shared scratch region sized to the worst step serves
+              // them all — that is the whole liveness argument.
+              plan.io_bytes[i & 1] =
+                  std::max(plan.io_bytes[i & 1], ext.out_bytes);
+              plan.scratch_bytes =
+                  std::max(plan.scratch_bytes, ext.scratch_bytes);
+              final_elems = fp.out_elems;
+              plan.step_extents.push_back(ext);
+            });
+  plan.output_bytes = batch * final_elems * kFloatBytes;
+  return plan;
+}
+
+std::size_t naive_peak_bytes(const std::vector<CompiledStep>& steps,
+                             const ComputeBackend& backend, std::size_t batch,
+                             const tensor::Shape& frame_shape,
+                             std::size_t slots) {
+  std::size_t peak = 0;
+  walk_plan(steps, backend, batch, frame_shape, slots == 0 ? 1 : slots,
+            [&](std::size_t, const StepFootprint& fp) {
+              // The naive executor holds the input tensor, the freshly
+              // allocated output, the codes (for weighted steps), and the
+              // backend's per-call scratch all at once.
+              std::size_t live = batch * fp.in_elems * kFloatBytes +
+                                 batch * fp.out_elems * kFloatBytes +
+                                 fp.scratch_bytes;
+              if (fp.weighted) {
+                live += batch * fp.in_elems * kCodeBytes + batch * kScaleBytes;
+              }
+              peak = std::max(peak, live);
+            });
+  return peak;
+}
+
+void ScratchArena::prepare(const CompiledPlan& plan,
+                           const ComputeBackend& backend, std::size_t batch,
+                           const tensor::Shape& frame_shape,
+                           std::size_t slots) {
+  if (slots == 0) slots = 1;
+  const void* key = static_cast<const void*>(plan.steps.data());
+  if (plan_key_ == key && plan_.batch == batch && plan_.slots == slots &&
+      plan_.frame_shape == frame_shape) {
+    return;  // warm: the steady-state (allocation-free) path
+  }
+  plan_ = compute_arena_plan(plan.steps, backend, batch, frame_shape, slots);
+  plan_key_ = key;
+  // Monotone growth: capacities only ever ratchet up, so alternating batch
+  // geometries settle at the high-water mark and stop allocating.
+  io_[0].reserve(plan_.io_bytes[0] / kFloatBytes);
+  io_[1].reserve(plan_.io_bytes[1] / kFloatBytes);
+  codes_.levels.reserve(plan_.codes_bytes / kCodeBytes);
+  codes_.item_scales.reserve(batch);
+  codes_.shape.reserve(frame_shape.size());
+  if (scratch_storage_.size() < plan_.scratch_bytes) {
+    scratch_storage_.resize(plan_.scratch_bytes);
+  }
+}
+
+std::shared_ptr<tensor::Tensor> ScratchArena::acquire_output() {
+  for (const auto& out : outputs_) {
+    // use_count 1 == only the pool holds it: the previous consumer released
+    // its BatchOutput, so the buffer (and its capacity) can be recycled.
+    if (out.use_count() == 1) return out;
+  }
+  outputs_.push_back(std::make_shared<tensor::Tensor>());
+  return outputs_.back();
+}
+
+}  // namespace lightator::core

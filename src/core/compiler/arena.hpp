@@ -1,0 +1,126 @@
+// Static memory planning + the reusable scratch arena behind it.
+//
+// The planner (compute_arena_plan) walks a CompiledPlan's step sequence once,
+// propagating per-item geometry, and records every buffer the executor will
+// need for a given batch size: the two ping-pong inter-layer tensors, the
+// activation-code buffer, the per-step backend scratch (im2col panel,
+// packed-B panel, accumulator — sized by the backend's *_scratch_bytes
+// virtuals), and the output. Peak liveness falls out of the walk: the two
+// ping-pong slots are sized to the maxima of the steps that write them, and
+// one shared scratch region is sized to the largest step (steps run
+// sequentially, so they can all share it). The NNPACK plan-then-execute
+// idiom: size everything up front, allocate once, run forever.
+//
+// ScratchArena is the runtime side: one per ExecutionContext, prepared
+// lazily against (plan, batch, frame geometry, shard count) and reused
+// verbatim when the key matches — which is every steady-state forward. All
+// buffers grow monotonically (capacity-preserving resize), so after the
+// first forward at the high-water geometry the hot path performs zero heap
+// allocations.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/compiler/plan.hpp"
+#include "tensor/quantize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace lightator::core {
+
+/// Byte extents of one step's arena use (diagnostics / tests).
+struct ArenaStepExtent {
+  std::size_t step = 0;           // index into CompiledPlan::steps
+  std::size_t out_bytes = 0;      // inter-layer tensor this step writes
+  std::size_t codes_bytes = 0;    // quantized activation codes it consumes
+  std::size_t scratch_bytes = 0;  // backend scratch while it runs
+};
+
+/// The batch-parameterized memory plan: how many bytes each arena region
+/// needs for `batch` items of `frame_shape` geometry with `slots` parallel
+/// batch shards. total_bytes() is the planned peak.
+struct ArenaPlan {
+  std::size_t batch = 0;
+  tensor::Shape frame_shape;  // per-item [1, ...] geometry
+  std::size_t slots = 1;
+
+  std::size_t io_bytes[2] = {0, 0};  // ping-pong inter-layer tensors
+  std::size_t codes_bytes = 0;       // activation codes (+ per-item scales)
+  std::size_t scratch_bytes = 0;     // one shared region, max over steps
+  std::size_t output_bytes = 0;      // pooled output tensor
+  std::vector<ArenaStepExtent> step_extents;
+
+  std::size_t total_bytes() const {
+    return io_bytes[0] + io_bytes[1] + codes_bytes + scratch_bytes +
+           output_bytes;
+  }
+};
+
+/// Computes the arena plan for running `steps` on `backend` at the given
+/// batch/geometry/shard configuration. Pure: no allocation decisions are
+/// made here beyond sizing.
+ArenaPlan compute_arena_plan(const std::vector<CompiledStep>& steps,
+                             const ComputeBackend& backend, std::size_t batch,
+                             const tensor::Shape& frame_shape,
+                             std::size_t slots);
+
+/// Peak live bytes of the naive (pre-pass, per-step-allocating) executor on
+/// the same geometry: max over steps of input + codes + output + backend
+/// scratch held simultaneously. The baseline compute_arena_plan is judged
+/// against in CompiledModel::memory_report and bench/backend_compare.
+std::size_t naive_peak_bytes(const std::vector<CompiledStep>& steps,
+                             const ComputeBackend& backend, std::size_t batch,
+                             const tensor::Shape& frame_shape,
+                             std::size_t slots);
+
+/// Planned-vs-naive peak memory of a compiled plan (CompiledModel::
+/// memory_report, surfaced by bench/backend_compare as peak_bytes_planned /
+/// peak_bytes_naive).
+struct MemoryReport {
+  std::size_t planned_peak_bytes = 0;
+  std::size_t naive_peak_bytes = 0;
+};
+
+/// The reusable execution-scratch arena owned by an ExecutionContext.
+/// prepare() re-plans only when (plan, batch, geometry, slots) changes;
+/// every buffer grows monotonically, so a warm arena makes the whole
+/// forward allocation-free.
+class ScratchArena {
+ public:
+  /// Sizes the arena for `plan` at the given configuration. Cheap no-op when
+  /// the key matches the previous call (the steady-state serving case).
+  void prepare(const CompiledPlan& plan, const ComputeBackend& backend,
+               std::size_t batch, const tensor::Shape& frame_shape,
+               std::size_t slots);
+
+  const ArenaPlan& plan() const { return plan_; }
+
+  /// Ping-pong inter-layer tensor slots (executor alternates 0/1 per step).
+  tensor::Tensor& io(std::size_t which) { return io_[which & 1]; }
+
+  /// The activation-code buffer every weighted step quantizes into.
+  tensor::QuantizedTensor& codes() { return codes_; }
+
+  /// Base of the shared per-step backend scratch region (null if no step
+  /// needs scratch).
+  std::byte* scratch() {
+    return scratch_storage_.empty() ? nullptr : scratch_storage_.data();
+  }
+
+  /// A pooled output tensor: reuses a previously handed-out tensor once the
+  /// caller dropped its handle (use_count back to 1), else grows the pool.
+  /// Lets run() return an owning BatchOutput without a per-forward
+  /// allocation at steady state.
+  std::shared_ptr<tensor::Tensor> acquire_output();
+
+ private:
+  ArenaPlan plan_;
+  const void* plan_key_ = nullptr;  // identity of the planned step sequence
+  tensor::Tensor io_[2];
+  tensor::QuantizedTensor codes_;
+  std::vector<std::byte> scratch_storage_;
+  std::vector<std::shared_ptr<tensor::Tensor>> outputs_;
+};
+
+}  // namespace lightator::core

@@ -1,0 +1,81 @@
+#include "core/compiler/pass_manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/compiler/passes.hpp"
+
+namespace lightator::core {
+
+PassManager& PassManager::add(std::unique_ptr<CompilerPass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+void PassManager::run(CompiledPlan& plan, const PassContext& ctx) const {
+  validate_plan(plan);  // a malformed input plan is a compile bug, not a pass bug
+  for (const auto& pass : passes_) {
+    pass->run(plan, ctx);
+    try {
+      validate_plan(plan);
+    } catch (const std::logic_error& e) {
+      throw std::logic_error("compiler pass '" + pass->name() +
+                             "' broke the plan: " + e.what());
+    }
+    plan.applied_passes.push_back(pass->name());
+  }
+}
+
+std::vector<std::string> PassManager::pass_names() const {
+  std::vector<std::string> names;
+  names.reserve(passes_.size());
+  for (const auto& pass : passes_) names.push_back(pass->name());
+  return names;
+}
+
+PassManager default_pass_pipeline(const PassOptions& options) {
+  PassManager pm;
+  if (options.eliminate_dead_stages) pm.add(make_dead_stage_elimination_pass());
+  if (options.fuse_stages) pm.add(make_stage_fusion_pass());
+  if (options.plan_memory) pm.add(make_memory_planning_pass());
+  return pm;
+}
+
+void validate_plan(const CompiledPlan& plan) {
+  std::size_t weighted = 0;
+  for (const CompiledStep& step : plan.steps) {
+    const bool is_weighted = step.kind == nn::LayerKind::kConv ||
+                             step.kind == nn::LayerKind::kLinear;
+    if (is_weighted) {
+      if (step.weighted_index != weighted) {
+        throw std::logic_error("plan: weighted indices not contiguous");
+      }
+      ++weighted;
+      if (step.weights.levels.empty() || !step.weights.is_signed) {
+        throw std::logic_error("plan: weighted step without programmed weights");
+      }
+      if (step.epilogue.pool != PoolKind::kNone) {
+        if (step.kind != nn::LayerKind::kConv) {
+          throw std::logic_error("plan: pooling fused into a non-conv step");
+        }
+        if (step.epilogue.pool_kernel == 0 || step.epilogue.pool_stride == 0) {
+          throw std::logic_error("plan: fused pool with empty geometry");
+        }
+      }
+    } else {
+      if (step.epilogue.any()) {
+        throw std::logic_error("plan: epilogue on a non-weighted step");
+      }
+      if ((step.kind == nn::LayerKind::kMaxPool ||
+           step.kind == nn::LayerKind::kAvgPool) &&
+          (step.pool_kernel == 0 || step.pool_stride == 0)) {
+        throw std::logic_error("plan: pool step with empty geometry");
+      }
+    }
+  }
+  if (weighted != plan.num_weighted) {
+    throw std::logic_error("plan: num_weighted does not match the steps");
+  }
+}
+
+}  // namespace lightator::core

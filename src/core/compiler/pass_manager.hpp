@@ -1,0 +1,58 @@
+// Ordered compiler pass pipeline over the CompiledPlan.
+//
+// The graph_transformer idiom: each pass is a small named object that
+// rewrites the plan in place; the PassManager runs them in order, validates
+// the plan's invariants after every pass (a broken rewrite fails loudly at
+// compile time, never as silent bad numerics), and records the applied pass
+// names on the plan for introspection. Engine::compile builds the default
+// pipeline from CompileOptions::passes, so every pass can be toggled
+// independently — the contract the per-pass equivalence suite checks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiler/plan.hpp"
+
+namespace lightator::core {
+
+/// Compile-time context handed to every pass.
+struct PassContext {
+  const ComputeBackend* backend = nullptr;
+  std::size_t mrs_per_arm = 0;
+};
+
+class CompilerPass {
+ public:
+  virtual ~CompilerPass() = default;
+  virtual std::string name() const = 0;
+  virtual void run(CompiledPlan& plan, const PassContext& ctx) const = 0;
+};
+
+class PassManager {
+ public:
+  PassManager& add(std::unique_ptr<CompilerPass> pass);
+
+  /// Runs every pass in order, validating the plan after each one and
+  /// appending the pass name to plan.applied_passes.
+  void run(CompiledPlan& plan, const PassContext& ctx) const;
+
+  std::vector<std::string> pass_names() const;
+
+ private:
+  std::vector<std::unique_ptr<CompilerPass>> passes_;
+};
+
+/// The standard pipeline in its canonical order — dead-stage elimination
+/// (so fusion never absorbs a stage that is about to be dropped), stage
+/// fusion, memory planning — with each stage gated by `options`.
+PassManager default_pass_pipeline(const PassOptions& options);
+
+/// Structural invariants every pass must preserve: contiguous weighted
+/// indices, weights present on weighted steps, epilogues only on weighted
+/// steps (pooling only on conv), sane pool geometry. Throws
+/// std::logic_error on violation.
+void validate_plan(const CompiledPlan& plan);
+
+}  // namespace lightator::core

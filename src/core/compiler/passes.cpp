@@ -1,0 +1,121 @@
+#include "core/compiler/passes.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace lightator::core {
+
+namespace {
+
+bool is_weighted(const CompiledStep& step) {
+  return step.kind == nn::LayerKind::kConv ||
+         step.kind == nn::LayerKind::kLinear;
+}
+
+class DeadStageEliminationPass final : public CompilerPass {
+ public:
+  std::string name() const override { return "dead-stage-elimination"; }
+
+  void run(CompiledPlan& plan, const PassContext&) const override {
+    std::vector<CompiledStep> kept;
+    kept.reserve(plan.steps.size());
+    for (CompiledStep& step : plan.steps) {
+      if (is_dead(step)) continue;
+      kept.push_back(std::move(step));
+    }
+    plan.steps = std::move(kept);
+  }
+
+ private:
+  static bool is_dead(const CompiledStep& step) {
+    switch (step.kind) {
+      case nn::LayerKind::kFlatten:
+        // The executor shapes activation codes logically before every fc
+        // layer, so the flatten copy is pure overhead.
+        return true;
+      case nn::LayerKind::kActivation:
+        // Identity is a no-op — unless it carries an active QAT fake-quant,
+        // which does change values and must stay.
+        return step.act == tensor::ActKind::kIdentity &&
+               !(step.act_qat_bits > 0 && step.act_scale > 0.0);
+      case nn::LayerKind::kMaxPool:
+      case nn::LayerKind::kAvgPool:
+        // A 1x1/stride-1 window reproduces its input exactly (max of one
+        // value; avg of one value * 1.0f).
+        return step.pool_kernel == 1 && step.pool_stride == 1;
+      default:
+        return false;
+    }
+  }
+};
+
+class StageFusionPass final : public CompilerPass {
+ public:
+  std::string name() const override { return "stage-fusion"; }
+
+  void run(CompiledPlan& plan, const PassContext&) const override {
+    std::vector<CompiledStep> fused;
+    fused.reserve(plan.steps.size());
+    const std::size_t n = plan.steps.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      CompiledStep step = std::move(plan.steps[i]);
+      if (is_weighted(step) && !step.epilogue.any()) {
+        // Greedy absorb in dataflow order: the directly following activation
+        // stage, then (conv only — fc outputs are not spatial) a directly
+        // following pool stage. A pool appearing first ends the chain: the
+        // epilogue applies activation before pooling, so reordering around
+        // it is not semantics-preserving in general.
+        if (i + 1 < n &&
+            plan.steps[i + 1].kind == nn::LayerKind::kActivation) {
+          const CompiledStep& act = plan.steps[i + 1];
+          step.epilogue.has_act = true;
+          step.epilogue.act = act.act;
+          step.epilogue.act_qat_bits = act.act_qat_bits;
+          step.epilogue.act_scale = act.act_scale;
+          ++i;
+        }
+        if (step.kind == nn::LayerKind::kConv && i + 1 < n &&
+            (plan.steps[i + 1].kind == nn::LayerKind::kMaxPool ||
+             plan.steps[i + 1].kind == nn::LayerKind::kAvgPool)) {
+          const CompiledStep& pool = plan.steps[i + 1];
+          step.epilogue.pool = pool.kind == nn::LayerKind::kMaxPool
+                                   ? PoolKind::kMax
+                                   : PoolKind::kAvg;
+          step.epilogue.pool_kernel = pool.pool_kernel;
+          step.epilogue.pool_stride = pool.pool_stride;
+          ++i;
+        }
+      }
+      fused.push_back(std::move(step));
+    }
+    plan.steps = std::move(fused);
+  }
+};
+
+class MemoryPlanningPass final : public CompilerPass {
+ public:
+  std::string name() const override { return "memory-planning"; }
+
+  void run(CompiledPlan& plan, const PassContext&) const override {
+    // The concrete layout is batch-parameterized, so the sizing happens in
+    // ScratchArena::prepare (via compute_arena_plan) at first run; the pass
+    // records the decision to execute through the arena.
+    plan.arena_enabled = true;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CompilerPass> make_dead_stage_elimination_pass() {
+  return std::make_unique<DeadStageEliminationPass>();
+}
+
+std::unique_ptr<CompilerPass> make_stage_fusion_pass() {
+  return std::make_unique<StageFusionPass>();
+}
+
+std::unique_ptr<CompilerPass> make_memory_planning_pass() {
+  return std::make_unique<MemoryPlanningPass>();
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,28 @@
+// The three standard compiler passes (see pass_manager.hpp for the
+// pipeline contract and plan.hpp for what they operate on).
+#pragma once
+
+#include <memory>
+
+#include "core/compiler/pass_manager.hpp"
+
+namespace lightator::core {
+
+/// Drops stages that cannot change results: flatten (the executor shapes
+/// activation codes logically before fc layers), identity activations with
+/// no active QAT fake-quant, and 1x1/stride-1 pools.
+std::unique_ptr<CompilerPass> make_dead_stage_elimination_pass();
+
+/// Folds a weighted step's following activation stage — and, for conv, a
+/// following max/avg pool — into its FusedEpilogue, so the backend applies
+/// scale, bias, activation, fake-quant, and pooling on cache-resident GEMM
+/// output rows and the intermediate tensors never materialize.
+std::unique_ptr<CompilerPass> make_stage_fusion_pass();
+
+/// Marks the plan for arena-backed execution (CompiledPlan::arena_enabled):
+/// the executor stages every intermediate in the per-context ScratchArena,
+/// whose batch-parameterized layout compute_arena_plan derives from the
+/// backend's static scratch sizes.
+std::unique_ptr<CompilerPass> make_memory_planning_pass();
+
+}  // namespace lightator::core

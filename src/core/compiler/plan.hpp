@@ -1,0 +1,90 @@
+// The compiled execution plan the pass pipeline operates on.
+//
+// Engine::compile lowers a Network into a linear CompiledPlan of steps, then
+// runs the PassManager (core/compiler/pass_manager.hpp) over it: dead-stage
+// elimination drops no-op stages, stage fusion folds activation/pool stages
+// into their producing conv/fc step's epilogue, and memory planning marks the
+// plan for arena-backed execution. The executor (CompiledModel::run) walks
+// whatever plan the pipeline produced — it has no knowledge of which passes
+// ran, which is what keeps every pass independently toggleable and testable
+// against the unoptimized plan.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/compute_backend.hpp"
+#include "nn/layer.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/quantize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace lightator::core {
+
+/// Which compiler passes Engine::compile runs over the plan, each
+/// independently toggleable (the equivalence suite sweeps every
+/// combination). All passes default on: each is verified bit-exact on the
+/// gemm/reference backends and seeded-noise-identical on the physical
+/// backend against the unoptimized plan, so the optimized plan is safe as
+/// the default.
+struct PassOptions {
+  /// Drop stages that cannot change results: flatten (the executor shapes
+  /// codes logically), identity activations without an active QAT
+  /// fake-quant, and 1x1/stride-1 pools.
+  bool eliminate_dead_stages = true;
+  /// Fold activation (and, for conv, max/avg pool) stages into the producing
+  /// weighted step's epilogue, applied on cache-resident GEMM output rows.
+  bool fuse_stages = true;
+  /// Execute through the per-context ScratchArena: static per-step scratch
+  /// sizing + peak liveness, zero heap allocations at steady state.
+  bool plan_memory = true;
+};
+
+/// One step of the compiled execution plan. Weighted steps carry the
+/// programmed (quantized + prepacked) weights; electronic-block steps carry
+/// the snapshot of the layer's inference-time configuration, so execution
+/// never touches the source Network again.
+struct CompiledStep {
+  nn::LayerKind kind = nn::LayerKind::kFlatten;
+  std::string name;
+
+  // kConv / kLinear
+  tensor::QuantizedTensor weights;
+  tensor::Tensor bias;
+  tensor::ConvSpec conv;
+  std::size_t fc_in = 0, fc_out = 0;
+  int wbits = 0, abits = 4;
+  std::size_t weighted_index = 0;
+  /// What the stage-fusion pass folded into this weighted step (inactive by
+  /// default — an unfused step behaves exactly like plain conv2d/linear).
+  FusedEpilogue epilogue;
+
+  // kMaxPool / kAvgPool
+  std::size_t pool_kernel = 0, pool_stride = 0;
+
+  // kActivation (act_scale frozen at compile time, the QAT convention)
+  tensor::ActKind act = tensor::ActKind::kReLU;
+  int act_qat_bits = 0;
+  double act_scale = 0.0;
+};
+
+/// The pass pipeline's working object: the step sequence plus what the
+/// pipeline decided about it. Owned (immutably, post-compile) by
+/// CompiledModel::Impl.
+struct CompiledPlan {
+  std::vector<CompiledStep> steps;
+  std::size_t num_weighted = 0;
+  /// Set by the memory-planning pass: run() stages intermediates in the
+  /// context's ScratchArena (the concrete layout is batch-parameterized and
+  /// computed by ScratchArena::prepare at first run).
+  bool arena_enabled = false;
+  /// Names of the passes that ran, in order (introspection / tests).
+  std::vector<std::string> applied_passes;
+  /// Geometry-only snapshot (weights/bias/name dropped) of the plan before
+  /// any pass ran — the baseline for planned-vs-naive peak-memory
+  /// accounting in CompiledModel::memory_report.
+  std::vector<CompiledStep> unoptimized_geometry;
+};
+
+}  // namespace lightator::core

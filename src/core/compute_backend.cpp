@@ -1,14 +1,102 @@
 #include "core/compute_backend.hpp"
 
+#include <cmath>
 #include <map>
 #include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "core/backends/gemm_backend.hpp"
 #include "core/backends/physical_backend.hpp"
 #include "core/backends/reference_backend.hpp"
+#include "core/compiler/arena.hpp"
 
 namespace lightator::core {
+
+ExecutionContext::ExecutionContext() = default;
+ExecutionContext::~ExecutionContext() = default;
+
+ScratchArena& ExecutionContext::arena() const {
+  if (!arena_) arena_ = std::make_unique<ScratchArena>();
+  return *arena_;
+}
+
+namespace {
+
+/// Staged epilogue for the base-class fused fallbacks: in-place activation
+/// (the same elementwise ops as tensor::act_forward) + QAT fake-quant, then
+/// pooling. Bit-identical to running the standalone stages on `y`.
+void finish_fused_epilogue(tensor::Tensor&& y, const FusedEpilogue& epilogue,
+                           tensor::Tensor& out) {
+  if (epilogue.has_act) {
+    float* data = y.data();
+    const std::size_t n = y.size();
+    switch (epilogue.act) {
+      case tensor::ActKind::kReLU:
+        for (std::size_t i = 0; i < n; ++i) {
+          if (data[i] < 0.0f) data[i] = 0.0f;
+        }
+        break;
+      case tensor::ActKind::kSign:
+        for (std::size_t i = 0; i < n; ++i) {
+          data[i] = data[i] >= 0.0f ? 1.0f : -1.0f;
+        }
+        break;
+      case tensor::ActKind::kTanh:
+        for (std::size_t i = 0; i < n; ++i) {
+          data[i] = std::tanh(data[i]);
+        }
+        break;
+      case tensor::ActKind::kIdentity:
+        break;
+    }
+    if (epilogue.quantizes()) {
+      tensor::fake_quant_unsigned(y, epilogue.act_qat_bits, epilogue.act_scale);
+    }
+  }
+  switch (epilogue.pool) {
+    case PoolKind::kNone:
+      out = std::move(y);
+      break;
+    case PoolKind::kMax:
+      out = tensor::maxpool_forward(y, epilogue.pool_kernel,
+                                    epilogue.pool_stride, nullptr);
+      break;
+    case PoolKind::kAvg:
+      out = tensor::avgpool_forward(y, epilogue.pool_kernel,
+                                    epilogue.pool_stride);
+      break;
+  }
+}
+
+}  // namespace
+
+void ComputeBackend::conv2d_fused(const tensor::QuantizedTensor& x,
+                                  const tensor::QuantizedTensor& w,
+                                  const tensor::Tensor& bias,
+                                  const tensor::ConvSpec& spec,
+                                  const FusedEpilogue& epilogue,
+                                  const ExecutionContext& ctx,
+                                  const StepScratch& /*scratch*/,
+                                  tensor::Tensor& out) const {
+  // Compose the plain virtual with the staged epilogue. One conv2d call per
+  // fused step keeps the physical backend's noise-stream draw count (and
+  // therefore its seeded streams) identical to the unfused plan.
+  finish_fused_epilogue(conv2d(x, w, bias, spec, ctx), epilogue, out);
+}
+
+void ComputeBackend::linear_fused(const tensor::QuantizedTensor& x,
+                                  const tensor::QuantizedTensor& w,
+                                  const tensor::Tensor& bias,
+                                  const FusedEpilogue& epilogue,
+                                  const ExecutionContext& ctx,
+                                  const StepScratch& /*scratch*/,
+                                  tensor::Tensor& out) const {
+  if (epilogue.pool != PoolKind::kNone) {
+    throw std::logic_error("linear_fused: pooling cannot fuse into an fc layer");
+  }
+  finish_fused_epilogue(linear(x, w, bias, ctx), epilogue, out);
+}
 
 struct BackendRegistry::Impl {
   mutable std::mutex mutex;

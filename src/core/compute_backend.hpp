@@ -24,6 +24,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -32,11 +33,14 @@
 
 #include "core/arch_config.hpp"
 #include "core/faults.hpp"
+#include "tensor/activations.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/quantize.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lightator::core {
+
+class ScratchArena;  // core/compiler/arena.hpp
 
 /// Per-layer execution record accumulated by run_network_on_oc when
 /// ExecutionContext::collect_stats is set: the modeled architecture numbers
@@ -82,13 +86,21 @@ struct ExecutionContext {
   // programmed weights (cache entries were bit-identical to compiled
   // weights, so results never depended on it).
 
-  ExecutionContext() = default;
+  ExecutionContext();
+  ~ExecutionContext();
   ExecutionContext(const ExecutionContext&) = delete;
   ExecutionContext& operator=(const ExecutionContext&) = delete;
 
   util::ThreadPool& thread_pool() const {
     return pool != nullptr ? *pool : util::ThreadPool::global();
   }
+
+  /// The context's reusable scratch arena (created on first use). A memory-
+  /// planned CompiledModel::run stages every intermediate here, so a context
+  /// that is reused across forwards — a serving replica, a bench loop —
+  /// reaches a high-water mark once and then executes with zero heap
+  /// allocations per forward.
+  ScratchArena& arena() const;
 
   /// Per-batch-item noise stream ids for the "physical" backend. Empty (the
   /// default) seeds item n from its batch index — the offline convention.
@@ -122,6 +134,42 @@ struct ExecutionContext {
 
  private:
   mutable std::atomic<std::uint64_t> noise_stream_{0};
+  mutable std::unique_ptr<ScratchArena> arena_;
+};
+
+/// Pooling applied by a fused epilogue after activation.
+enum class PoolKind { kNone, kMax, kAvg };
+
+/// What a fused conv/fc step applies to the GEMM output while it is still
+/// cache-resident: the scale+bias requantization (always), then optionally
+/// the activation (with its QAT fake-quant) and a pooling stage. Built by
+/// the compiler's stage-fusion pass; an all-default epilogue reproduces the
+/// plain conv2d/linear contract. The float operation order is exactly the
+/// staged pipeline's (scale, bias, act, fake-quant, pool), so fused results
+/// are bit-identical to unfused ones.
+struct FusedEpilogue {
+  bool has_act = false;
+  tensor::ActKind act = tensor::ActKind::kIdentity;
+  /// Output fake-quant of the fused activation: engaged when bits > 0 and
+  /// scale > 0 (the QAT-calibrated activation convention).
+  int act_qat_bits = 0;
+  double act_scale = 0.0;
+  PoolKind pool = PoolKind::kNone;
+  std::size_t pool_kernel = 0;
+  std::size_t pool_stride = 0;
+
+  bool quantizes() const { return act_qat_bits > 0 && act_scale > 0.0; }
+  bool any() const { return has_act || pool != PoolKind::kNone; }
+};
+
+/// Caller-provided scratch for one fused step: `slots` independent regions
+/// of `bytes / slots` each (one per batch shard). Null base means "no arena"
+/// — backends fall back to a local allocation, preserving the standalone
+/// conv2d/linear contract.
+struct StepScratch {
+  std::byte* base = nullptr;
+  std::size_t bytes = 0;
+  std::size_t slots = 1;
 };
 
 class ComputeBackend {
@@ -145,6 +193,53 @@ class ComputeBackend {
                                 const tensor::QuantizedTensor& w,
                                 const tensor::Tensor& bias,
                                 const ExecutionContext& ctx) const = 0;
+
+  // ---- fused steps (compiler pass pipeline) -------------------------------
+  //
+  // conv2d/linear with a fused epilogue and caller-provided scratch, writing
+  // into `out` (capacity-reusing resize — allocation-free once warm). The
+  // base-class implementations compose the plain virtuals with a staged
+  // epilogue, so every backend — including the noisy physical one, whose
+  // noise-stream draws per invocation must not change — is fusion-correct by
+  // construction; backends with a real fused datapath (gemm) override.
+
+  virtual void conv2d_fused(const tensor::QuantizedTensor& x,
+                            const tensor::QuantizedTensor& w,
+                            const tensor::Tensor& bias,
+                            const tensor::ConvSpec& spec,
+                            const FusedEpilogue& epilogue,
+                            const ExecutionContext& ctx,
+                            const StepScratch& scratch,
+                            tensor::Tensor& out) const;
+
+  virtual void linear_fused(const tensor::QuantizedTensor& x,
+                            const tensor::QuantizedTensor& w,
+                            const tensor::Tensor& bias,
+                            const FusedEpilogue& epilogue,
+                            const ExecutionContext& ctx,
+                            const StepScratch& scratch,
+                            tensor::Tensor& out) const;
+
+  // Scratch requirements of the fused steps for the static memory planner:
+  // total bytes for `slots` parallel batch shards (conv) or a `batch`-row
+  // panel (fc). Zero (the default) means the backend keeps its own storage
+  // and the arena charges nothing for the step.
+
+  virtual std::size_t conv2d_scratch_bytes(const tensor::ConvSpec& /*spec*/,
+                                           std::size_t /*in_h*/,
+                                           std::size_t /*in_w*/,
+                                           const FusedEpilogue& /*epilogue*/,
+                                           std::size_t /*batch*/,
+                                           std::size_t /*slots*/) const {
+    return 0;
+  }
+
+  virtual std::size_t linear_scratch_bytes(std::size_t /*in_features*/,
+                                           std::size_t /*out_features*/,
+                                           std::size_t /*batch*/,
+                                           std::size_t /*slots*/) const {
+    return 0;
+  }
 };
 
 using BackendFactory =

@@ -35,6 +35,10 @@ struct InferenceServer::Replica {
   util::ThreadPool pool;
   core::ExecutionContext ctx;
   std::size_t index;
+  /// Reusable gather list for the batched forward — capacity persists across
+  /// batches so the steady-state dispatch is allocation-free, like the
+  /// context's scratch arena the forward itself runs out of.
+  std::vector<const tensor::Tensor*> frames;
 };
 
 namespace {
@@ -165,13 +169,13 @@ void InferenceServer::worker_loop(Replica& replica) {
       // path — frames were moved into the queue at submit and are never
       // copied again), threading each request's id as its noise stream id
       // so "physical" noise is batch-composition invariant.
-      std::vector<const tensor::Tensor*> frames(batch.size());
+      replica.frames.resize(batch.size());
       replica.ctx.noise_stream_ids.resize(batch.size());
       for (std::size_t i = 0; i < batch.size(); ++i) {
-        frames[i] = &batch[i].input;
+        replica.frames[i] = &batch[i].input;
         replica.ctx.noise_stream_ids[i] = batch[i].request_id;
       }
-      core::BatchOutput out = compiled_.run(frames, replica.ctx);
+      core::BatchOutput out = compiled_.run(replica.frames, replica.ctx);
       const Clock::time_point finished = Clock::now();
 
       // Record before completing the futures: a client that has seen every

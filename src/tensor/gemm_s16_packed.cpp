@@ -35,13 +35,13 @@ void gemm_packed_scalar(const PackedA& a, const PackedB& b, double* c,
   const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
   Acc acc[kPackedCols];
   for (std::size_t i = row_begin; i < row_end; ++i) {
-    const std::int16_t* a_row = a.data.data() + i * a.kp;
+    const std::int16_t* a_row = a.base() + i * a.kp;
     double* c_row = c + i * ldc;
     std::fill(c_row, c_row + b.n, 0.0);
     for (std::size_t s = 0; s < strips; ++s) {
       const std::size_t j0 = s * kPackedCols;
       const std::size_t valid = std::min(kPackedCols, b.n - j0);
-      const std::int16_t* panel = b.data.data() + s * kp2 * 2 * kPackedCols;
+      const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
       std::size_t p = 0;
       for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
         const std::size_t len = std::min(a.seg, a.k - k0);
@@ -87,12 +87,12 @@ __attribute__((target("avx2"))) void gemm_packed_avx2_s32(
   const std::size_t kp2 = a.kp / 2;
   const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
   for (std::size_t i = row_begin; i < row_end; ++i) {
-    const std::int16_t* a_row = a.data.data() + i * a.kp;
+    const std::int16_t* a_row = a.base() + i * a.kp;
     double* c_row = c + i * ldc;
     for (std::size_t s = 0; s < strips; ++s) {
       const std::size_t j0 = s * kPackedCols;
       const std::size_t valid = std::min(kPackedCols, b.n - j0);
-      const std::int16_t* panel = b.data.data() + s * kp2 * 2 * kPackedCols;
+      const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
       std::size_t p = 0;
       // The per-(i, j) double accumulators live in registers across the
       // whole segment sweep and store once per strip — the C row is not
@@ -159,13 +159,13 @@ __attribute__((target("avx2"))) void gemm_packed_avx2_s64(
   const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
   alignas(32) std::int64_t tail[kPackedCols];
   for (std::size_t i = row_begin; i < row_end; ++i) {
-    const std::int16_t* a_row = a.data.data() + i * a.kp;
+    const std::int16_t* a_row = a.base() + i * a.kp;
     double* c_row = c + i * ldc;
     std::fill(c_row, c_row + b.n, 0.0);
     for (std::size_t s = 0; s < strips; ++s) {
       const std::size_t j0 = s * kPackedCols;
       const std::size_t valid = std::min(kPackedCols, b.n - j0);
-      const std::int16_t* panel = b.data.data() + s * kp2 * 2 * kPackedCols;
+      const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
       std::size_t p = 0;
       for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
         const std::size_t len = std::min(a.seg, a.k - k0);
@@ -284,17 +284,17 @@ std::size_t packed_depth(std::size_t k, std::size_t segment) {
   return kp;
 }
 
-PackedA pack_a_s16(const std::int16_t* a, std::size_t m, std::size_t k,
-                   std::size_t lda, std::size_t segment) {
-  PackedA out;
-  out.m = m;
-  out.k = k;
-  out.seg = effective_segment(segment, k);
-  out.kp = packed_depth(k, segment);
-  out.data.assign(m * out.kp, 0);
+namespace {
+
+/// Shared fill for the owning and borrowing PackedA variants: `dst` must
+/// hold m * out.kp int16 and is fully overwritten (pads zeroed here).
+void pack_a_fill(const std::int16_t* a, std::size_t m, std::size_t k,
+                 std::size_t lda, PackedA& out, std::int16_t* dst_base) {
+  std::fill(dst_base, dst_base + m * out.kp, std::int16_t{0});
+  out.max_abs = 0;
   for (std::size_t i = 0; i < m; ++i) {
     const std::int16_t* src = a + i * lda;
-    std::int16_t* dst = out.data.data() + i * out.kp;
+    std::int16_t* dst = dst_base + i * out.kp;
     std::size_t off = 0;
     for (std::size_t k0 = 0; k0 < k; k0 += out.seg) {
       const std::size_t len = std::min(out.seg, k - k0);
@@ -303,19 +303,17 @@ PackedA pack_a_s16(const std::int16_t* a, std::size_t m, std::size_t k,
     }
     out.max_abs = std::max(out.max_abs, max_abs_s16(src, k));
   }
-  return out;
 }
 
-PackedB pack_b_s16(const std::int16_t* b, std::size_t k, std::size_t n,
-                   std::size_t ldb, std::size_t segment) {
-  PackedB out;
-  out.k = k;
-  out.n = n;
-  out.seg = effective_segment(segment, k);
-  out.kp = packed_depth(k, segment);
+/// Shared fill for the owning and borrowing PackedB variants: `dst` must
+/// hold packed_b_elems int16 and is fully overwritten.
+void pack_b_fill(const std::int16_t* b, std::size_t k, std::size_t n,
+                 std::size_t ldb, PackedB& out, std::int16_t* dst_base) {
   const std::size_t kp2 = out.kp / 2;
   const std::size_t strips = (n + kPackedCols - 1) / kPackedCols;
-  out.data.assign(strips * kp2 * 2 * kPackedCols, 0);
+  std::fill(dst_base, dst_base + strips * kp2 * 2 * kPackedCols,
+            std::int16_t{0});
+  out.max_abs = 0;
   // This is the per-forward pack (one im2col panel per batch item), so full
   // strips go through the AVX2 interleave with the magnitude scan fused in;
   // only the ragged last strip falls back to scalar writes.
@@ -326,24 +324,93 @@ PackedB pack_b_s16(const std::int16_t* b, std::size_t k, std::size_t n,
       out.max_abs = std::max(
           out.max_abs,
           pack_b_strip_avx2(b, k, ldb, out.seg, s * kPackedCols,
-                            out.data.data() + s * kp2 * 2 * kPackedCols));
+                            dst_base + s * kp2 * 2 * kPackedCols));
     }
   }
 #endif
-  const auto pos = packed_positions(k, out.seg);
+  // Positions are derived incrementally per segment rather than via
+  // packed_positions(): this runs on the per-forward hot path, and the
+  // memory-planning pass promises it allocation-free.
   for (; s < strips; ++s) {
     const std::size_t j0 = s * kPackedCols;
     const std::size_t valid = std::min(kPackedCols, n - j0);
-    std::int16_t* panel = out.data.data() + s * kp2 * 2 * kPackedCols;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const std::int16_t* src = b + kk * ldb + j0;
-      std::int16_t* dst = panel + pos[kk].pair * 2 * kPackedCols + pos[kk].slot;
-      for (std::size_t j = 0; j < valid; ++j) {
-        dst[2 * j] = src[j];
+    std::int16_t* panel = dst_base + s * kp2 * 2 * kPackedCols;
+    std::size_t pair_base = 0;
+    for (std::size_t k0 = 0; k0 < k; k0 += out.seg) {
+      const std::size_t len = std::min(out.seg, k - k0);
+      for (std::size_t i = 0; i < len; ++i) {
+        const std::int16_t* src = b + (k0 + i) * ldb + j0;
+        std::int16_t* dst =
+            panel + (pair_base + i / 2) * 2 * kPackedCols + i % 2;
+        for (std::size_t j = 0; j < valid; ++j) {
+          dst[2 * j] = src[j];
+        }
+        out.max_abs = std::max(out.max_abs, max_abs_s16(src, valid));
       }
-      out.max_abs = std::max(out.max_abs, max_abs_s16(src, valid));
+      pair_base += pairs_in_segment(len);
     }
   }
+}
+
+}  // namespace
+
+std::size_t packed_a_elems(std::size_t m, std::size_t k, std::size_t segment) {
+  return m * packed_depth(k, segment);
+}
+
+std::size_t packed_b_elems(std::size_t k, std::size_t n, std::size_t segment) {
+  const std::size_t kp2 = packed_depth(k, segment) / 2;
+  const std::size_t strips = (n + kPackedCols - 1) / kPackedCols;
+  return strips * kp2 * 2 * kPackedCols;
+}
+
+PackedA pack_a_s16(const std::int16_t* a, std::size_t m, std::size_t k,
+                   std::size_t lda, std::size_t segment) {
+  PackedA out;
+  out.m = m;
+  out.k = k;
+  out.seg = effective_segment(segment, k);
+  out.kp = packed_depth(k, segment);
+  out.data.resize(m * out.kp);
+  pack_a_fill(a, m, k, lda, out, out.data.data());
+  return out;
+}
+
+PackedA pack_a_s16_into(const std::int16_t* a, std::size_t m, std::size_t k,
+                        std::size_t lda, std::size_t segment,
+                        std::int16_t* storage) {
+  PackedA out;
+  out.m = m;
+  out.k = k;
+  out.seg = effective_segment(segment, k);
+  out.kp = packed_depth(k, segment);
+  out.ext = storage;
+  pack_a_fill(a, m, k, lda, out, storage);
+  return out;
+}
+
+PackedB pack_b_s16(const std::int16_t* b, std::size_t k, std::size_t n,
+                   std::size_t ldb, std::size_t segment) {
+  PackedB out;
+  out.k = k;
+  out.n = n;
+  out.seg = effective_segment(segment, k);
+  out.kp = packed_depth(k, segment);
+  out.data.resize(packed_b_elems(k, n, segment));
+  pack_b_fill(b, k, n, ldb, out, out.data.data());
+  return out;
+}
+
+PackedB pack_b_s16_into(const std::int16_t* b, std::size_t k, std::size_t n,
+                        std::size_t ldb, std::size_t segment,
+                        std::int16_t* storage) {
+  PackedB out;
+  out.k = k;
+  out.n = n;
+  out.seg = effective_segment(segment, k);
+  out.kp = packed_depth(k, segment);
+  out.ext = storage;
+  pack_b_fill(b, k, n, ldb, out, storage);
   return out;
 }
 

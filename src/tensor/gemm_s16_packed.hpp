@@ -43,14 +43,19 @@ inline constexpr std::size_t kPackedCols = 16;
 
 /// Left operand, row-major with arm segments padded to even length.
 /// Rows are `kp` int16 wide; pair 2p / 2p+1 of every row belongs to one
-/// segment by construction.
+/// segment by construction. A panel either owns its storage (`data`, the
+/// pack_*_s16 functions) or borrows caller storage (`ext`, the *_into
+/// variants used by the arena-backed hot path); base() is the live pointer.
 struct PackedA {
   std::vector<std::int16_t> data;
+  const std::int16_t* ext = nullptr;
   std::size_t m = 0;        // rows
   std::size_t k = 0;        // logical reduction depth
   std::size_t kp = 0;       // padded depth (even per segment)
   std::size_t seg = 0;      // effective segment length (arm length)
   std::int32_t max_abs = 0; // magnitude scan result, for the width predicate
+
+  const std::int16_t* base() const { return ext != nullptr ? ext : data.data(); }
 };
 
 /// Right operand in strip-major k-pair-interleaved layout. Strip s holds
@@ -59,11 +64,14 @@ struct PackedA {
 /// the 16 columns j, with the same per-segment even padding as PackedA.
 struct PackedB {
   std::vector<std::int16_t> data;
+  const std::int16_t* ext = nullptr;
   std::size_t k = 0;
   std::size_t n = 0;        // logical columns
   std::size_t kp = 0;
   std::size_t seg = 0;
   std::int32_t max_abs = 0;
+
+  const std::int16_t* base() const { return ext != nullptr ? ext : data.data(); }
 };
 
 /// Effective segment length shared by the scalar and packed kernels:
@@ -76,6 +84,12 @@ inline std::size_t effective_segment(std::size_t segment, std::size_t k) {
 /// rounded up to an even number of terms.
 std::size_t packed_depth(std::size_t k, std::size_t segment);
 
+/// Element counts of the packed panels, for sizing *_into storage: PackedA
+/// is m x kp row-major; PackedB is ceil(n/16) strips of kp/2 k-pairs of 32
+/// int16 each. Both are what the arena planner charges per conv/fc step.
+std::size_t packed_a_elems(std::size_t m, std::size_t k, std::size_t segment);
+std::size_t packed_b_elems(std::size_t k, std::size_t n, std::size_t segment);
+
 /// Packs A[m x k] (row stride `lda`) for `segment`-length arms.
 PackedA pack_a_s16(const std::int16_t* a, std::size_t m, std::size_t k,
                    std::size_t lda, std::size_t segment);
@@ -83,6 +97,17 @@ PackedA pack_a_s16(const std::int16_t* a, std::size_t m, std::size_t k,
 /// Packs B[k x n] (row stride `ldb`) into strip-major panels.
 PackedB pack_b_s16(const std::int16_t* b, std::size_t k, std::size_t n,
                    std::size_t ldb, std::size_t segment);
+
+/// As pack_a_s16 / pack_b_s16, but writing into caller storage of at least
+/// packed_{a,b}_elems int16 (the returned panel borrows it via `ext`). The
+/// panels are identical to the owning variants; used by the arena-backed
+/// path so steady-state forwards never allocate.
+PackedA pack_a_s16_into(const std::int16_t* a, std::size_t m, std::size_t k,
+                        std::size_t lda, std::size_t segment,
+                        std::int16_t* storage);
+PackedB pack_b_s16_into(const std::int16_t* b, std::size_t k, std::size_t n,
+                        std::size_t ldb, std::size_t segment,
+                        std::int16_t* storage);
 
 /// Packs Wᵀ from a row-major W[n x k] (row stride `ldw`): panel column j is
 /// W row j. The fc-layer weight panel — packed once per programmed layer.

@@ -1,5 +1,6 @@
 #include "tensor/quantize.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/quant.hpp"
@@ -46,36 +47,82 @@ QuantizedTensor quantize_symmetric(const Tensor& x, int bits, double scale) {
   return out;
 }
 
-QuantizedTensor quantize_unsigned(const Tensor& x, int bits, double scale) {
+namespace {
+
+/// Resets the reusable fields of a codes tensor without releasing storage;
+/// every *_into quantizer starts here so a recycled QuantizedTensor behaves
+/// exactly like a default-constructed one.
+void reset_codes(QuantizedTensor& out, int bits) {
+  out.scale = 1.0;
+  out.bits = bits;
+  out.is_signed = false;
+  out.item_scales.clear();
+  out.prepack.reset();
+  out.arm_program.reset();
+}
+
+/// Validates the gather batch (same-geometry [1, ...] frames) and returns
+/// the shared frame shape. Allocation-free on success.
+const Shape& validate_gather_frames(const std::vector<const Tensor*>& frames) {
+  if (frames.empty()) {
+    throw std::invalid_argument("quantize gather: empty batch");
+  }
+  for (const Tensor* frame : frames) {
+    if (frame == nullptr) {
+      throw std::invalid_argument("quantize gather: null frame");
+    }
+  }
+  const Shape& first = frames[0]->shape();
+  if (first.empty() || first[0] != 1) {
+    throw std::invalid_argument("quantize gather: frames must be [1, ...]");
+  }
+  for (const Tensor* frame : frames) {
+    if (frame->shape() != first) {
+      throw std::invalid_argument(
+          "quantize gather: frames have mismatched geometries");
+    }
+  }
+  return first;
+}
+
+}  // namespace
+
+void quantize_unsigned_into(const Tensor& x, int bits, double scale,
+                            QuantizedTensor& out) {
   if (scale <= 0.0) {
     float m = 0.0f;
     for (std::size_t i = 0; i < x.size(); ++i) m = std::max(m, x[i]);
     scale = m;
   }
-  QuantizedTensor out;
-  out.shape = x.shape();
+  reset_codes(out, bits);
+  out.shape.assign(x.shape().begin(), x.shape().end());
   out.scale = scale;
-  out.bits = bits;
-  out.is_signed = false;
   out.levels.resize(x.size());
-  if (scale == 0.0) return out;
+  if (scale == 0.0) {
+    std::fill(out.levels.begin(), out.levels.end(), std::int16_t{0});
+    return;
+  }
   const util::UnsignedQuantizer q{bits, scale};
   for (std::size_t i = 0; i < x.size(); ++i) {
     out.levels[i] = static_cast<std::int16_t>(q.quantize(x[i]));
   }
+}
+
+QuantizedTensor quantize_unsigned(const Tensor& x, int bits, double scale) {
+  QuantizedTensor out;
+  quantize_unsigned_into(x, bits, scale, out);
   return out;
 }
 
-QuantizedTensor quantize_unsigned_per_item(const Tensor& x, int bits) {
+void quantize_unsigned_per_item_into(const Tensor& x, int bits,
+                                     QuantizedTensor& out) {
   if (x.rank() == 0 || x.dim(0) == 0) {
     throw std::invalid_argument("quantize_unsigned_per_item: empty batch");
   }
   const std::size_t batch = x.dim(0);
   const std::size_t per_item = x.size() / batch;
-  QuantizedTensor out;
-  out.shape = x.shape();
-  out.bits = bits;
-  out.is_signed = false;
+  reset_codes(out, bits);
+  out.shape.assign(x.shape().begin(), x.shape().end());
   out.levels.resize(x.size());
   out.item_scales.resize(batch);
   double max_scale = 0.0;
@@ -96,45 +143,20 @@ QuantizedTensor quantize_unsigned_per_item(const Tensor& x, int bits) {
   }
   // The per-tensor scale stays meaningful for range checks / diagnostics.
   out.scale = max_scale;
+}
+
+QuantizedTensor quantize_unsigned_per_item(const Tensor& x, int bits) {
+  QuantizedTensor out;
+  quantize_unsigned_per_item_into(x, bits, out);
   return out;
 }
 
-namespace {
-
-/// Batched shape/consistency for the gather variants: every frame [1, ...]
-/// with one shared geometry; the result stacks them along dim 0.
-Shape gather_shape(const std::vector<const Tensor*>& frames) {
-  if (frames.empty()) {
-    throw std::invalid_argument("quantize gather: empty batch");
-  }
-  for (const Tensor* frame : frames) {
-    if (frame == nullptr) {
-      throw std::invalid_argument("quantize gather: null frame");
-    }
-  }
-  const Shape& first = frames[0]->shape();
-  if (first.empty() || first[0] != 1) {
-    throw std::invalid_argument("quantize gather: frames must be [1, ...]");
-  }
-  for (const Tensor* frame : frames) {
-    if (frame->shape() != first) {
-      throw std::invalid_argument(
-          "quantize gather: frames have mismatched geometries");
-    }
-  }
-  Shape batched = first;
-  batched[0] = frames.size();
-  return batched;
-}
-
-}  // namespace
-
-QuantizedTensor quantize_unsigned_gather(
-    const std::vector<const Tensor*>& frames, int bits) {
-  QuantizedTensor out;
-  out.shape = gather_shape(frames);
-  out.bits = bits;
-  out.is_signed = false;
+void quantize_unsigned_gather_into(const std::vector<const Tensor*>& frames,
+                                   int bits, QuantizedTensor& out) {
+  const Shape& first = validate_gather_frames(frames);
+  reset_codes(out, bits);
+  out.shape.assign(first.begin(), first.end());
+  out.shape[0] = frames.size();
   const std::size_t per_item = frames[0]->size();
   out.levels.resize(frames.size() * per_item);
   // Scale = max over the whole logical batch (the OC activation-path
@@ -155,15 +177,21 @@ QuantizedTensor quantize_unsigned_gather(
       levels[i] = static_cast<std::int16_t>(q.quantize(src[i]));
     }
   }
+}
+
+QuantizedTensor quantize_unsigned_gather(
+    const std::vector<const Tensor*>& frames, int bits) {
+  QuantizedTensor out;
+  quantize_unsigned_gather_into(frames, bits, out);
   return out;
 }
 
-QuantizedTensor quantize_unsigned_per_item_gather(
-    const std::vector<const Tensor*>& frames, int bits) {
-  QuantizedTensor out;
-  out.shape = gather_shape(frames);
-  out.bits = bits;
-  out.is_signed = false;
+void quantize_unsigned_per_item_gather_into(
+    const std::vector<const Tensor*>& frames, int bits, QuantizedTensor& out) {
+  const Shape& first = validate_gather_frames(frames);
+  reset_codes(out, bits);
+  out.shape.assign(first.begin(), first.end());
+  out.shape[0] = frames.size();
   const std::size_t per_item = frames[0]->size();
   out.levels.resize(frames.size() * per_item);
   out.item_scales.resize(frames.size());
@@ -182,6 +210,12 @@ QuantizedTensor quantize_unsigned_per_item_gather(
     }
   }
   out.scale = max_scale;
+}
+
+QuantizedTensor quantize_unsigned_per_item_gather(
+    const std::vector<const Tensor*>& frames, int bits) {
+  QuantizedTensor out;
+  quantize_unsigned_per_item_gather_into(frames, bits, out);
   return out;
 }
 

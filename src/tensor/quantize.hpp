@@ -116,6 +116,20 @@ QuantizedTensor quantize_unsigned_gather(
 QuantizedTensor quantize_unsigned_per_item_gather(
     const std::vector<const Tensor*>& frames, int bits);
 
+/// _into variants of the unsigned activation quantizers: produce the same
+/// result as the functions above but write into `out`, reusing its storage
+/// (capacity-preserving — the compiled executor's arena path calls these
+/// every forward with zero steady-state allocation). `out` is fully reset:
+/// shape/scale/bits/flags are overwritten and prepack/arm_program cleared.
+void quantize_unsigned_into(const Tensor& x, int bits, double scale,
+                            QuantizedTensor& out);
+void quantize_unsigned_per_item_into(const Tensor& x, int bits,
+                                     QuantizedTensor& out);
+void quantize_unsigned_gather_into(const std::vector<const Tensor*>& frames,
+                                   int bits, QuantizedTensor& out);
+void quantize_unsigned_per_item_gather_into(
+    const std::vector<const Tensor*>& frames, int bits, QuantizedTensor& out);
+
 /// Reconstructs the real-valued tensor from levels.
 Tensor dequantize(const QuantizedTensor& q);
 

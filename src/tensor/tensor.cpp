@@ -69,6 +69,16 @@ void Tensor::reshape(Shape new_shape) {
   shape_ = std::move(new_shape);
 }
 
+void Tensor::resize(const Shape& shape) {
+  shape_.assign(shape.begin(), shape.end());
+  data_.resize(shape_size(shape_));
+}
+
+void Tensor::resize(std::initializer_list<std::size_t> dims) {
+  shape_.assign(dims);
+  data_.resize(shape_size(shape_));
+}
+
 void Tensor::fill(float value) {
   for (auto& v : data_) v = value;
 }

@@ -45,6 +45,15 @@ class Tensor {
   /// Reinterprets the shape; total element count must be unchanged.
   void reshape(Shape new_shape);
 
+  /// Reshapes to `shape` and resizes storage to match (new elements are
+  /// zero). Within existing capacity this never reallocates — the scratch
+  /// arena relies on that to keep steady-state forwards allocation-free.
+  void resize(const Shape& shape);
+  void resize(std::initializer_list<std::size_t> dims);
+
+  /// Pre-grows storage capacity (shape and contents unchanged).
+  void reserve(std::size_t elements) { data_.reserve(elements); }
+
   void fill(float value);
 
   /// In-place y += alpha * x (shapes must match).

@@ -1,0 +1,158 @@
+#include "util/alloc_trace.hpp"
+
+#include <atomic>
+
+#ifdef LIGHTATOR_ALLOC_TRACE
+#include <execinfo.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <new>
+#endif
+
+namespace lightator::util::alloc_trace {
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<bool> g_trap{false};
+}  // namespace
+
+void set_trap(bool on) { g_trap.store(on, std::memory_order_relaxed); }
+
+bool available() {
+#ifdef LIGHTATOR_ALLOC_TRACE
+  return true;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t allocation_count() {
+  return g_allocs.load(std::memory_order_relaxed);
+}
+
+std::uint64_t deallocation_count() {
+  return g_frees.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void count_alloc() {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+#ifdef LIGHTATOR_ALLOC_TRACE
+  // Trap mode: dump the offending call stack to stderr. backtrace() may
+  // itself allocate on first use, so callers should prime it (one trapless
+  // allocation) before arming; the recursion guard keeps the dump finite
+  // either way.
+  if (g_trap.load(std::memory_order_relaxed)) {
+    static thread_local bool in_dump = false;
+    if (!in_dump) {
+      in_dump = true;
+      void* frames[32];
+      const int n = backtrace(frames, 32);
+      backtrace_symbols_fd(frames, n, STDERR_FILENO);
+      write(STDERR_FILENO, "----\n", 5);
+      in_dump = false;
+    }
+  }
+#endif
+}
+void count_free() { g_frees.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace detail
+
+}  // namespace lightator::util::alloc_trace
+
+#ifdef LIGHTATOR_ALLOC_TRACE
+
+// Interposed global allocation functions. malloc/free (not ::operator new
+// recursion) back the storage; alignment goes through posix_memalign. Every
+// operator delete form funnels into the same free so mismatched counters
+// indicate a real leak, not hook asymmetry.
+
+namespace {
+
+void* traced_alloc(std::size_t size) {
+  lightator::util::alloc_trace::detail::count_alloc();
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* traced_alloc_aligned(std::size_t size, std::size_t align) {
+  lightator::util::alloc_trace::detail::count_alloc();
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size == 0 ? 1 : size) != 0) return nullptr;
+  return p;
+}
+
+void traced_free(void* p) {
+  if (p == nullptr) return;
+  lightator::util::alloc_trace::detail::count_free();
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = traced_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = traced_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = traced_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = traced_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return traced_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return traced_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return traced_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return traced_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { traced_free(p); }
+void operator delete[](void* p) noexcept { traced_free(p); }
+void operator delete(void* p, std::size_t) noexcept { traced_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { traced_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { traced_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { traced_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  traced_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  traced_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  traced_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  traced_free(p);
+}
+
+#endif  // LIGHTATOR_ALLOC_TRACE

@@ -1,0 +1,55 @@
+// Test-only heap allocation counting.
+//
+// The compiler's memory-planning pass promises an allocation-free steady
+// state for CompiledModel::run; this hook is how the test suite holds it to
+// that. When the build enables -DLIGHTATOR_ALLOC_TRACE=ON, alloc_trace.cpp
+// interposes the global operator new/delete family and counts every heap
+// allocation process-wide; tests bracket a hot region with
+//
+//   util::alloc_trace::Scope scope;
+//   ... steady-state forwards ...
+//   EXPECT_EQ(scope.allocations(), 0u);
+//
+// Without the CMake option the interposition is compiled out entirely —
+// available() returns false and Scope counts nothing — so the hook can ship
+// in the tree without perturbing release builds. The counters are plain
+// relaxed atomics: cheap enough to leave on for a whole test binary, and
+// thread-wide by design (a worker thread allocating inside the bracketed
+// region is exactly the regression the test wants to catch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lightator::util::alloc_trace {
+
+/// True when the build interposes operator new/delete
+/// (-DLIGHTATOR_ALLOC_TRACE=ON); counters stay at zero otherwise.
+bool available();
+
+/// Process-wide allocation count since start (0 when !available()).
+std::uint64_t allocation_count();
+
+/// Process-wide deallocation count since start.
+std::uint64_t deallocation_count();
+
+/// Debugging aid: while armed (and the hook is available), every counted
+/// allocation dumps its call stack to stderr — the fastest way to find who
+/// broke the zero-allocation promise. Prime backtrace() with one allocation
+/// before arming; it lazily allocates on first use. No-op when !available().
+void set_trap(bool on);
+
+/// Counts allocations between construction and the query — the test-side
+/// bracket for asserting an allocation-free region.
+class Scope {
+ public:
+  Scope() : start_(allocation_count()) {}
+
+  /// Allocations (process-wide, all threads) since construction.
+  std::uint64_t allocations() const { return allocation_count() - start_; }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace lightator::util::alloc_trace

@@ -36,6 +36,31 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Splits [begin, end) into at most `max_shards` contiguous ranges and runs
+  /// fn(shard, lo, hi) for each. The shard count never exceeds the item count
+  /// or the pool size, so a caller provisioning per-shard scratch for
+  /// min(max_shards, size()) slots always has a slot per shard. The
+  /// single-shard case calls fn directly — no std::function conversion, no
+  /// heap allocation — which keeps serial steady-state execution on the
+  /// allocation-free path.
+  template <typename F>
+  void for_shards(std::size_t begin, std::size_t end, std::size_t max_shards,
+                  F&& fn) {
+    if (end <= begin) return;
+    const std::size_t count = end - begin;
+    std::size_t shards = count < max_shards ? count : max_shards;
+    if (shards > size_) shards = size_;
+    if (shards <= 1 || impl_ == nullptr) {
+      fn(std::size_t{0}, begin, end);
+      return;
+    }
+    parallel_for(0, shards, [&](std::size_t s) {
+      const std::size_t lo = begin + s * count / shards;
+      const std::size_t hi = begin + (s + 1) * count / shards;
+      if (lo < hi) fn(s, lo, hi);
+    });
+  }
+
   /// The shared process-global pool (created on first use). Size comes from
   /// set_global_threads() if called, else LIGHTATOR_THREADS, else
   /// hardware_concurrency.

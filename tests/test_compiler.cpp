@@ -1,0 +1,295 @@
+// Compiler pass pipeline suite: stage fusion, dead-stage elimination, and
+// static memory planning must be pure optimizations.
+//
+// The central contract: for EVERY combination of the three passes, the
+// compiled forward is bit-identical (gemm/reference backends) or
+// seeded-noise-identical (physical backend) to the unoptimized plan — on
+// LeNet and VGG9, batch 1 and 8, stacked and gathered inputs, per-batch and
+// per-item activation scales, plain and QAT-calibrated networks. On top of
+// the equivalence sweep: plan-shrink accounting for dead-stage elimination,
+// applied-pass introspection, planned-vs-naive peak memory, and thread-count
+// invariance of the row-range fc sharding.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "nn/models.hpp"
+#include "nn/qat.hpp"
+#include "workloads/synth_mnist.hpp"
+
+namespace lightator::core {
+namespace {
+
+void expect_bit_exact(const tensor::Tensor& a, const tensor::Tensor& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+PassOptions pass_combo(bool dse, bool fuse, bool mem) {
+  PassOptions p;
+  p.eliminate_dead_stages = dse;
+  p.fuse_stages = fuse;
+  p.plan_memory = mem;
+  return p;
+}
+
+std::string combo_label(const PassOptions& p) {
+  return std::string("dse=") + (p.eliminate_dead_stages ? "1" : "0") +
+         " fuse=" + (p.fuse_stages ? "1" : "0") +
+         " mem=" + (p.plan_memory ? "1" : "0");
+}
+
+/// One compiled forward with a fresh context (fresh noise streams, so the
+/// physical backend draws identically for identical plans and seeds).
+tensor::Tensor run_once(const LightatorSystem& sys, const nn::Network& net,
+                        const std::string& backend, const PassOptions& passes,
+                        const tensor::Tensor& x, std::uint64_t noise_seed) {
+  CompileOptions co;
+  co.backend = backend;
+  co.passes = passes;
+  const CompiledModel compiled = sys.compile(net, co);
+  ExecutionContext ctx;
+  ctx.noise_seed = noise_seed;
+  return compiled.run(x, ctx).take();
+}
+
+TEST(CompilerPasses, EveryPassComboMatchesUnoptimizedPlan) {
+  // The full sweep: 2 networks x 2 batch sizes x 3 backends x 8 pass
+  // combinations, all against the all-passes-off plan. LeNet covers the
+  // conv->relu->avgpool chains and the fc tail; the slim VGG9 covers
+  // conv->relu (no pool) and conv->relu->maxpool chains.
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(101);
+  const nn::Network lenet = nn::build_lenet(rng);
+  const nn::Network vgg = nn::build_vgg9(rng, 10, /*width_mult=*/0.125);
+
+  struct Workload {
+    const nn::Network* net;
+    tensor::Shape frame;
+    const char* name;
+  };
+  const std::array<Workload, 2> workloads = {
+      Workload{&lenet, {1, 1, 28, 28}, "lenet"},
+      Workload{&vgg, {1, 3, 32, 32}, "vgg9"}};
+
+  for (const Workload& wl : workloads) {
+    for (const std::size_t batch : {std::size_t{1}, std::size_t{8}}) {
+      tensor::Shape shape = wl.frame;
+      shape[0] = batch;
+      tensor::Tensor x(shape);
+      x.fill_uniform(rng, 0.0f, 1.0f);
+      for (const std::string backend : {"reference", "gemm", "physical"}) {
+        const std::uint64_t seed = backend == "physical" ? 77 : 0;
+        const tensor::Tensor baseline =
+            run_once(sys, *wl.net, backend, pass_combo(false, false, false), x,
+                     seed);
+        for (int mask = 1; mask < 8; ++mask) {
+          const PassOptions passes =
+              pass_combo((mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0);
+          const tensor::Tensor out =
+              run_once(sys, *wl.net, backend, passes, x, seed);
+          expect_bit_exact(baseline, out,
+                           std::string(wl.name) + " b" +
+                               std::to_string(batch) + " " + backend + " " +
+                               combo_label(passes));
+        }
+      }
+    }
+  }
+}
+
+TEST(CompilerPasses, FusedMatchesUnfusedOnQatCalibratedNetwork) {
+  // QAT-calibrated activations carry a frozen fake-quant scale; the fused
+  // epilogue must apply it at exactly the staged pipeline's point (after the
+  // activation, before pooling).
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(102);
+  workloads::SynthMnistOptions mo;
+  mo.samples = 48;
+  const nn::Dataset data = workloads::make_synth_mnist(mo);
+  nn::Network net = nn::build_lenet(rng);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  nn::enable_qat(net, schedule);
+  nn::calibrate_activations(net, data, /*num_batches=*/2, /*batch_size=*/16);
+
+  tensor::Tensor x({8, 1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  for (const std::string backend : {"reference", "gemm"}) {
+    expect_bit_exact(
+        run_once(sys, net, backend, pass_combo(false, false, false), x, 0),
+        run_once(sys, net, backend, pass_combo(true, true, true), x, 0),
+        "qat_" + backend);
+  }
+}
+
+TEST(CompilerPasses, GatherAndPerItemScalesMatchAcrossCombos) {
+  // The serving-shaped call: gathered [1, ...] frames, per-item activation
+  // scales, per-request noise stream ids. Fusion + planning must preserve
+  // it bit-for-bit too (per-item scales exercise the epilogue's per-row
+  // scale lookup).
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(103);
+  const nn::Network net = nn::build_lenet(rng);
+
+  std::vector<tensor::Tensor> frames;
+  for (std::size_t i = 0; i < 4; ++i) {
+    tensor::Tensor f({1, 1, 28, 28});
+    f.fill_uniform(rng, 0.0f, 1.0f);
+    frames.push_back(std::move(f));
+  }
+  std::vector<const tensor::Tensor*> ptrs;
+  for (const auto& f : frames) ptrs.push_back(&f);
+
+  auto run_gathered = [&](const std::string& backend,
+                          const PassOptions& passes) {
+    CompileOptions co;
+    co.backend = backend;
+    co.passes = passes;
+    const CompiledModel compiled = sys.compile(net, co);
+    ExecutionContext ctx;
+    ctx.per_item_act_scale = true;
+    ctx.noise_seed = backend == "physical" ? 55 : 0;
+    ctx.noise_stream_ids = {10, 11, 12, 13};
+    return compiled.run(ptrs, ctx).take();
+  };
+
+  for (const std::string backend : {"gemm", "physical"}) {
+    const tensor::Tensor baseline =
+        run_gathered(backend, pass_combo(false, false, false));
+    for (int mask = 1; mask < 8; ++mask) {
+      const PassOptions passes =
+          pass_combo((mask & 1) != 0, (mask & 2) != 0, (mask & 4) != 0);
+      expect_bit_exact(baseline, run_gathered(backend, passes),
+                       "gather_" + backend + " " + combo_label(passes));
+    }
+  }
+}
+
+TEST(CompilerPasses, DeadStageEliminationAndFusionShrinkThePlan) {
+  // LeNet's 12 stages: DSE drops the flatten (12 -> 11); fusion then folds
+  // every activation and pool into its producing conv/fc (11 -> 5 weighted
+  // steps). The weighted count never changes.
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(104);
+  const nn::Network net = nn::build_lenet(rng);
+
+  CompileOptions off;
+  off.passes = pass_combo(false, false, false);
+  const CompiledModel unopt = sys.compile(net, off);
+  EXPECT_EQ(unopt.num_layers(), 12u);
+  EXPECT_EQ(unopt.num_weighted_layers(), 5u);
+  EXPECT_TRUE(unopt.applied_passes().empty());
+
+  CompileOptions dse_only;
+  dse_only.passes = pass_combo(true, false, false);
+  const CompiledModel dse = sys.compile(net, dse_only);
+  EXPECT_EQ(dse.num_layers(), 11u);
+  ASSERT_EQ(dse.applied_passes().size(), 1u);
+  EXPECT_EQ(dse.applied_passes()[0], "dead-stage-elimination");
+
+  const CompiledModel full = sys.compile(net, {});  // all passes default on
+  EXPECT_EQ(full.num_layers(), 5u);
+  EXPECT_EQ(full.num_weighted_layers(), 5u);
+  ASSERT_EQ(full.applied_passes().size(), 3u);
+  EXPECT_EQ(full.applied_passes()[0], "dead-stage-elimination");
+  EXPECT_EQ(full.applied_passes()[1], "stage-fusion");
+  EXPECT_EQ(full.applied_passes()[2], "memory-planning");
+
+  // Introspection by weighted index survives the rewrite.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(full.weight_bits(i), unopt.weight_bits(i));
+    EXPECT_EQ(full.weights(i).levels, unopt.weights(i).levels);
+  }
+}
+
+TEST(CompilerPasses, PlannedPeakMemoryBeatsNaivePeak) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(105);
+  const nn::Network lenet = nn::build_lenet(rng);
+  const nn::Network vgg = nn::build_vgg9(rng, 10, /*width_mult=*/0.25);
+
+  const CompiledModel clenet = sys.compile(lenet, {});
+  const MemoryReport lr = clenet.memory_report(8, {1, 1, 28, 28});
+  EXPECT_GT(lr.planned_peak_bytes, 0u);
+  EXPECT_LT(lr.planned_peak_bytes, lr.naive_peak_bytes);
+
+  CompileOptions co;
+  co.backend = "gemm";
+  const CompiledModel cvgg = sys.compile(vgg, co);
+  const MemoryReport vr = cvgg.memory_report(8, {1, 3, 32, 32});
+  EXPECT_LT(vr.planned_peak_bytes, vr.naive_peak_bytes);
+
+  // More shards cost more scratch (one slot each), never less.
+  const MemoryReport vr4 = cvgg.memory_report(8, {1, 3, 32, 32}, /*slots=*/4);
+  EXPECT_GE(vr4.planned_peak_bytes, vr.planned_peak_bytes);
+}
+
+TEST(CompilerPasses, ThreadCountNeverChangesResults) {
+  // The row-range fc sharding (and the sharded fused conv loop) must be
+  // bit-exact across thread counts — the historical per-item contract, now
+  // over contiguous ranges. Batch 7 forces ragged shard boundaries.
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(106);
+  const nn::Network mlp = nn::build_mlp(rng, 64, 96, 10);
+  const nn::Network lenet = nn::build_lenet(rng);
+
+  struct Workload {
+    const nn::Network* net;
+    tensor::Shape shape;
+    const char* name;
+  };
+  const std::array<Workload, 2> workloads = {
+      Workload{&mlp, {7, 1, 8, 8}, "mlp"},
+      Workload{&lenet, {7, 1, 28, 28}, "lenet"}};
+
+  for (const Workload& wl : workloads) {
+    tensor::Tensor x(wl.shape);
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    const CompiledModel compiled = sys.compile(*wl.net, {});
+    util::ThreadPool pool1(1);
+    ExecutionContext ctx1;
+    ctx1.pool = &pool1;
+    const tensor::Tensor serial = compiled.run(x, ctx1).take();
+    for (const std::size_t threads : {std::size_t{2}, std::size_t{4}}) {
+      util::ThreadPool pool(threads);
+      ExecutionContext ctx;
+      ctx.pool = &pool;
+      expect_bit_exact(serial, compiled.run(x, ctx).take(),
+                       std::string(wl.name) + "_threads" +
+                           std::to_string(threads));
+    }
+  }
+}
+
+TEST(CompilerPasses, EvaluateAndRepeatedRunsStableUnderFullPipeline) {
+  // The arena is per-context and reused across forwards: repeated runs and
+  // batched evaluation must not drift as buffers warm up.
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(107);
+  const nn::Network net = nn::build_lenet(rng);
+  const CompiledModel compiled = sys.compile(net, {});
+
+  tensor::Tensor x({3, 1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  ExecutionContext ctx;
+  const tensor::Tensor first = compiled.run(x, ctx).take();
+  for (int r = 0; r < 4; ++r) {
+    expect_bit_exact(first, compiled.run(x, ctx).take(),
+                     "warm_repeat" + std::to_string(r));
+  }
+  // Alternating batch geometries through one arena (ratcheting capacities).
+  tensor::Tensor big({8, 1, 28, 28});
+  big.fill_uniform(rng, 0.0f, 1.0f);
+  const tensor::Tensor big_first = compiled.run(big, ctx).take();
+  expect_bit_exact(first, compiled.run(x, ctx).take(), "after_big_batch");
+  expect_bit_exact(big_first, compiled.run(big, ctx).take(), "big_repeat");
+}
+
+}  // namespace
+}  // namespace lightator::core

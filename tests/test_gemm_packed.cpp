@@ -66,6 +66,41 @@ void check_case(const GemmCase& c, std::uint64_t seed, const char* label) {
   expect_same(run_scalar(c, a, b), run_packed(c, a, b), label);
 }
 
+TEST(GemmPacked, BorrowedStoragePackingMatchesOwningAndSupportsRowRanges) {
+  // The arena path packs into caller storage (pack_*_into) and dispatches
+  // contiguous row ranges per shard; both must reproduce the owning
+  // whole-matrix call exactly — including on dirty, reused storage.
+  util::Rng rng(20260807);
+  for (const GemmCase c : {GemmCase{5, 33, 27, 9}, GemmCase{8, 50, 150, 16},
+                           GemmCase{3, 17, 25, 0}}) {
+    const auto a = random_levels(rng, c.m * c.k, -7, 7);
+    const auto b = random_levels(rng, c.k * c.n, 0, 15);
+    const auto want = run_packed(c, a, b);
+
+    std::vector<std::int16_t> a_store(packed_a_elems(c.m, c.k, c.segment),
+                                      std::int16_t{-1});  // dirty
+    std::vector<std::int16_t> b_store(packed_b_elems(c.k, c.n, c.segment),
+                                      std::int16_t{-1});
+    const PackedA pa =
+        pack_a_s16_into(a.data(), c.m, c.k, c.k, c.segment, a_store.data());
+    const PackedB pb =
+        pack_b_s16_into(b.data(), c.k, c.n, c.n, c.segment, b_store.data());
+    EXPECT_EQ(pa.base(), a_store.data());
+    EXPECT_EQ(pb.base(), b_store.data());
+
+    std::vector<double> got(c.m * c.n, -1.0);
+    gemm_s16_packed(pa, pb, got.data(), c.n);
+    expect_same(want, got, "into_full");
+
+    // Row ranges covering [0, m) in uneven chunks — the fc sharding shape.
+    std::fill(got.begin(), got.end(), -1.0);
+    const std::size_t mid = c.m / 3 + 1;
+    gemm_s16_packed(pa, pb, got.data(), c.n, 0, mid);
+    gemm_s16_packed(pa, pb, got.data(), c.n, mid, c.m);
+    expect_same(want, got, "into_row_ranges");
+  }
+}
+
 TEST(GemmPacked, PackedDepthPadsOddSegmentsToEven) {
   EXPECT_EQ(packed_depth(27, 9), 30u);   // 3 segments of 9 -> 10
   EXPECT_EQ(packed_depth(20, 9), 22u);   // 9 -> 10, 9 -> 10, 2 -> 2

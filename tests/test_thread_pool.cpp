@@ -83,6 +83,40 @@ TEST(ThreadPool, ReusableAcrossManyJobs) {
   EXPECT_EQ(total, 50u * 45u);
 }
 
+TEST(ThreadPool, ForShardsCoversRangeWithDisjointContiguousShards) {
+  ThreadPool pool(4);
+  for (const std::size_t max_shards : {std::size_t{1}, std::size_t{3},
+                                       std::size_t{4}, std::size_t{9}}) {
+    std::vector<std::atomic<int>> hits(23);
+    std::atomic<std::size_t> shard_count{0};
+    pool.for_shards(3, 23, max_shards,
+                    [&](std::size_t, std::size_t lo, std::size_t hi) {
+                      shard_count.fetch_add(1);
+                      EXPECT_LT(lo, hi);
+                      for (std::size_t i = lo; i < hi; ++i) {
+                        hits[i].fetch_add(1);
+                      }
+                    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), i >= 3 && i < 23 ? 1 : 0)
+          << "max_shards=" << max_shards << " index " << i;
+    }
+    EXPECT_LE(shard_count.load(), std::min(max_shards, pool.size()));
+  }
+  // Empty range: callback never fires.
+  pool.for_shards(5, 5, 4, [&](std::size_t, std::size_t, std::size_t) {
+    FAIL() << "empty range must not dispatch";
+  });
+  // Slot indices on a size-1 pool are always 0 (the inline path).
+  ThreadPool inline_pool(1);
+  inline_pool.for_shards(0, 10, 8,
+                         [&](std::size_t slot, std::size_t lo, std::size_t hi) {
+                           EXPECT_EQ(slot, 0u);
+                           EXPECT_EQ(lo, 0u);
+                           EXPECT_EQ(hi, 10u);
+                         });
+}
+
 TEST(ThreadPool, GlobalPoolResizable) {
   ThreadPool::set_global_threads(2);
   EXPECT_EQ(ThreadPool::global().size(), 2u);
