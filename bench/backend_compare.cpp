@@ -5,11 +5,22 @@
 // packed SIMD int16 GEMM) backends on a VGG9-scale conv layer at batch 8,
 // verifies bit-exactness on the same inputs, and prints a JSON record:
 //   { "bench": "backend_compare", "layers": [ {...}, ... ] }
-// When the AVX2 kernels are live the gemm backend is additionally timed
+// When the SIMD kernels are live the gemm backend is additionally timed
 // with SIMD force-disabled (the PR 1 segment-blocked scalar kernel), its
 // outputs verified bit-exact, and the packed-vs-scalar ratio reported as
 // "simd_speedup" — the number scripts/check_perf.py gates against each
 // baseline layer's "min_simd_speedup" floor.
+//
+// The kernel ladder (PR 7): each layer is additionally timed once per
+// microkernel tier the host can run (scalar / avx2 / avx512 / vnni, forced
+// through the dispatch hook), every tier verified bit-exact against the
+// reference backend, and the per-tier milliseconds reported under "tiers".
+// The kernel-autotune pass's choice for the layer's GEMM geometry is then
+// raced against plain auto dispatch through the fused conv entry point;
+// "autotune_ratio" (static auto ms / autotuned ms) is gated against each
+// baseline layer's "min_autotune_ratio" floor, and per-tier
+// "min_tier_speedup" floors gate scalar-vs-tier ratios (skipped for tiers
+// the host ISA lacks).
 //
 // The "compile_reuse" section tracks the compile/execute split: first-call
 // latency (Engine::compile + one forward — what every forward cost before
@@ -27,6 +38,7 @@
 // Overrides (key=value): batch=8 reps=3 threads=0 out=path.json
 //   threads=0 sizes the pool from hardware_concurrency; out= additionally
 //   writes the JSON to a file.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -35,9 +47,12 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/compiler/autotune.hpp"
 #include "core/lightator.hpp"
 #include "core/optical_core.hpp"
 #include "nn/models.hpp"
+#include "tensor/gemm_s16.hpp"
+#include "tensor/gemm_s16_packed.hpp"
 #include "tensor/quantize.hpp"
 #include "tensor/simd.hpp"
 #include "util/rng.hpp"
@@ -68,6 +83,41 @@ double time_conv(const core::ComputeBackend& backend,
     if (s < best) best = s;
     if (out != nullptr && r == 0) *out = std::move(y);
   }
+  return best;
+}
+
+std::size_t kdim_of(const tensor::ConvSpec& spec) {
+  return spec.weights_per_filter();
+}
+
+std::size_t batch_pixels(const tensor::ConvSpec& spec, std::size_t h,
+                         std::size_t w) {
+  return spec.out_dim(h) * spec.out_dim(w);
+}
+
+/// Times the fused conv entry point (the compiled execution path) under an
+/// explicit kernel config — how the autotuned artifact actually dispatches.
+double time_conv_fused(const core::ComputeBackend& backend,
+                       const tensor::QuantizedTensor& xq,
+                       const tensor::QuantizedTensor& wq,
+                       const tensor::ConvSpec& spec,
+                       const core::ExecutionContext& ctx, int reps,
+                       const tensor::KernelConfig& kernel,
+                       tensor::Tensor* out) {
+  core::StepScratch scratch;
+  scratch.kernel = kernel;
+  const core::FusedEpilogue epi;  // inactive: plain conv through fused path
+  tensor::Tensor y;
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    backend.conv2d_fused(xq, wq, tensor::Tensor(), spec, epi, ctx, scratch, y);
+    const double s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (s < best) best = s;
+  }
+  if (out != nullptr) *out = std::move(y);
   return best;
 }
 
@@ -102,7 +152,7 @@ int main(int argc, char** argv) {
       {"hires_16x16_192x192", {16, 16, 3, 1, 1}, 192, 192},
   };
 
-  const bool simd_live = tensor::simd::avx2_enabled();
+  const bool simd_live = tensor::simd::simd_active();
   std::ostringstream json;
   json << "{\n  \"bench\": \"backend_compare\",\n"
        << "  \"batch\": " << batch << ",\n"
@@ -146,6 +196,61 @@ int main(int argc, char** argv) {
         exact = y_scalar[i] == y_gemm[i];
       }
     }
+    // Kernel ladder: every tier the host can run, forced through the
+    // dispatch hook, each verified bit-exact against the reference output.
+    // The scalar rung reuses the force-disabled timing above.
+    std::ostringstream tiers_json;
+    std::string tier_line;
+    for (const tensor::simd::KernelTier tier :
+         tensor::simd::available_tiers()) {
+      double tier_s = scalar_s;
+      if (tier != tensor::simd::KernelTier::kScalar) {
+        tensor::Tensor y_tier;
+        tensor::simd::set_forced_tier(tier);
+        tier_s = time_conv(oc.backend("gemm"), xq, wq, c.spec, ctx, reps,
+                           &y_tier);
+        tensor::simd::set_forced_tier(tensor::simd::KernelTier::kAuto);
+        for (std::size_t i = 0; exact && i < y_ref.size(); ++i) {
+          exact = y_ref[i] == y_tier[i];
+        }
+      }
+      if (tiers_json.tellp() > 0) tiers_json << ", ";
+      tiers_json << "\"" << tensor::simd::tier_name(tier)
+                 << "\": " << tier_s * 1e3;
+      tier_line += std::string(" ") + tensor::simd::tier_name(tier) + " " +
+                   std::to_string(tier_s * 1e3).substr(0, 6);
+    }
+
+    // Autotuned vs static dispatch through the fused conv entry point (the
+    // compiled execution path): the pass's winner for this geometry against
+    // plain auto dispatch.
+    const std::size_t eff_seg =
+        tensor::effective_segment(arch.geometry.mrs_per_arm, kdim_of(c.spec));
+    core::GemmGeometry geom;
+    geom.m = c.spec.out_channels;
+    geom.n = batch_pixels(c.spec, c.in_h, c.in_w);
+    geom.k = kdim_of(c.spec);
+    geom.seg = eff_seg;
+    geom.wide = !tensor::gemm_s16_int32_safe(7, 15, eff_seg);
+    const core::KernelPlanEntry tuned_entry =
+        core::autotune_gemm_geometry(geom, reps);
+    // Interleave the static-vs-tuned reps so clock-frequency drift and
+    // cache warmth bias neither side.
+    tensor::Tensor y_auto, y_tuned;
+    double auto_s = 1e300, tuned_s = 1e300;
+    for (int r = 0; r < std::max(reps, 5); ++r) {
+      auto_s = std::min(
+          auto_s, time_conv_fused(oc.backend("gemm"), xq, wq, c.spec, ctx, 1,
+                                  tensor::KernelConfig{}, &y_auto));
+      tuned_s = std::min(
+          tuned_s, time_conv_fused(oc.backend("gemm"), xq, wq, c.spec, ctx, 1,
+                                   tuned_entry.choice, &y_tuned));
+    }
+    for (std::size_t i = 0; exact && i < y_ref.size(); ++i) {
+      exact = y_ref[i] == y_auto[i] && y_ref[i] == y_tuned[i];
+    }
+    const double autotune_ratio = tuned_s > 0.0 ? auto_s / tuned_s : 0.0;
+
     const double speedup = gemm_s > 0.0 ? ref_s / gemm_s : 0.0;
     const double simd_speedup = gemm_s > 0.0 ? scalar_s / gemm_s : 0.0;
     const std::size_t macs = batch * c.spec.out_channels *
@@ -153,9 +258,11 @@ int main(int argc, char** argv) {
                              c.spec.weights_per_filter();
 
     std::printf("%-26s reference %8.2f ms   gemm %8.2f ms   speedup %6.2fx   "
-                "simd %5.2fx   bit-exact %s\n",
+                "simd %5.2fx   autotune %5.2fx   bit-exact %s\n"
+                "%-26s tiers(ms):%s\n",
                 c.name.c_str(), ref_s * 1e3, gemm_s * 1e3, speedup,
-                simd_speedup, exact ? "yes" : "NO");
+                simd_speedup, autotune_ratio, exact ? "yes" : "NO", "",
+                tier_line.c_str());
 
     if (!first) json << ",\n";
     first = false;
@@ -165,6 +272,13 @@ int main(int argc, char** argv) {
          << ", \"gemm_scalar_ms\": " << scalar_s * 1e3
          << ", \"speedup\": " << speedup
          << ", \"simd_speedup\": " << simd_speedup
+         << ",\n     \"tiers\": {" << tiers_json.str() << "}"
+         << ", \"auto_ms\": " << auto_s * 1e3
+         << ", \"autotuned_ms\": " << tuned_s * 1e3
+         << ", \"autotune_ratio\": " << autotune_ratio
+         << ", \"tuned_tier\": \""
+         << tensor::simd::tier_name(tuned_entry.choice.tier)
+         << "\", \"tuned_nc\": " << tuned_entry.choice.nc_strips
          << ", \"bit_exact\": " << (exact ? "true" : "false") << "}";
   }
   json << "\n  ],\n";

@@ -8,15 +8,25 @@ ratio — not absolute milliseconds — is what transfers across CI runners. A
 layer regresses when its current speedup falls more than --tolerance
 (default 25%) below the baseline's, or when the backends stop being
 bit-exact. Baseline layers may also carry "min_simd_speedup": a hard floor
-on the packed-AVX2-vs-scalar-kernel ratio ("simd_speedup" in the snapshot),
-checked whenever the snapshot ran with the AVX2 kernels live
-("simd_kernel": "avx2") and skipped with a note on scalar-only hosts. On
+on the packed-SIMD-vs-scalar-kernel ratio ("simd_speedup" in the snapshot),
+checked whenever the snapshot ran with any SIMD tier live ("simd_kernel"
+anything but "scalar") and skipped with a note on scalar-only hosts. On
 those hosts the gemm-vs-reference gate compares against the layer's
 "scalar_speedup" (the scalar kernel's own baseline) instead of "speedup",
-which bakes in the AVX2 gain. The snapshot's "compile_reuse" section
+which bakes in the SIMD gain. The snapshot's "compile_reuse" section
 (steady-state forward on a compiled artifact vs compile-per-call) is gated
 against the baseline's "min_reuse_speedup" hard floor under the same
-AVX2-live rule.
+SIMD-live rule.
+
+Kernel ladder: baseline layers may carry "min_tier_speedup", a per-tier
+dict of hard floors on the scalar-vs-tier ratio computed from the
+snapshot's "tiers" section ({"avx2": 1.8, "vnni": 2.0, ...}). A tier
+absent from the current snapshot's "tiers" means the host ISA lacks it —
+skipped with a note, never failed. "min_autotune_ratio" is a hard floor on
+"autotune_ratio" (static auto dispatch ms / autotuned ms through the fused
+conv path): the autotune pass must never be a real pessimization. Both the
+choice and the comparison are timing-derived, so floors sit slightly below
+1.0 to absorb the run-to-run noise of two same-config measurements.
 
 serve_throughput: the serving layer's value is its throughput over serial
 one-request-at-a-time submission in the same process — again a
@@ -45,7 +55,7 @@ def load_json(path):
 def check_backend_compare(current, baseline, tolerance):
     current_layers = {layer["name"]: layer for layer in current["layers"]}
     baseline_layers = {layer["name"]: layer for layer in baseline["layers"]}
-    simd_live = current.get("simd_kernel") == "avx2"
+    simd_live = current.get("simd_kernel", "scalar") != "scalar"
     failed = False
     for name, base in sorted(baseline_layers.items()):
         layer = current_layers.get(name)
@@ -67,17 +77,17 @@ def check_backend_compare(current, baseline, tolerance):
         print(f"{status}  {name}: speedup {layer['speedup']:.2f}x "
               f"(baseline {base_speedup:.2f}x, floor {floor:.2f}x)")
         simd_floor = base.get("min_simd_speedup")
-        if simd_floor is None:
-            continue
-        if not simd_live:
-            print(f"note  {name}: AVX2 kernels not live on this host — "
-                  f"min_simd_speedup {simd_floor:.2f}x not checked")
-            continue
-        simd = layer.get("simd_speedup", 0.0)
-        status = "ok  " if simd >= simd_floor else "FAIL"
-        failed = failed or status == "FAIL"
-        print(f"{status}  {name}: packed-vs-scalar {simd:.2f}x "
-              f"(hard floor {simd_floor:.2f}x)")
+        if simd_floor is not None:
+            if not simd_live:
+                print(f"note  {name}: SIMD kernels not live on this host — "
+                      f"min_simd_speedup {simd_floor:.2f}x not checked")
+            else:
+                simd = layer.get("simd_speedup", 0.0)
+                status = "ok  " if simd >= simd_floor else "FAIL"
+                failed = failed or status == "FAIL"
+                print(f"{status}  {name}: packed-vs-scalar {simd:.2f}x "
+                      f"(hard floor {simd_floor:.2f}x)")
+        failed = check_kernel_ladder(name, layer, base, simd_live) or failed
     for name in sorted(set(current_layers) - set(baseline_layers)):
         print(f"note  {name}: new layer, no baseline (add it to "
               f"{DEFAULT_BASELINE.name})")
@@ -88,18 +98,56 @@ def check_backend_compare(current, baseline, tolerance):
         print(f"\nperf check FAILED (tolerance {tolerance:.0%}); if the "
               "regression is intended, regenerate the baseline with\n"
               "  ./build/backend_compare out=scripts/perf_baseline.json\n"
-              "  (then re-add the \"serve\" section and the floors under "
-              "\"compile_reuse\" and \"fusion\")")
+              "  (then re-add the \"serve\" section, the floors under "
+              "\"compile_reuse\" and \"fusion\", and the per-layer "
+              "\"min_simd_speedup\" / \"min_tier_speedup\" / "
+              "\"min_autotune_ratio\" floors)")
         return 1
     print(f"\nperf check ok (tolerance {tolerance:.0%})")
     return 0
+
+
+def check_kernel_ladder(name, layer, base, simd_live):
+    """Gate the microkernel ladder: per-tier scalar-vs-tier floors from the
+    baseline's "min_tier_speedup" dict (a tier absent from the current
+    snapshot means the host ISA lacks it — skipped, never failed) and the
+    "min_autotune_ratio" floor on static-auto-vs-autotuned dispatch."""
+    failed = False
+    tier_floors = base.get("min_tier_speedup", {})
+    tiers = layer.get("tiers", {})
+    scalar_ms = tiers.get("scalar", 0.0)
+    for tier, floor in sorted(tier_floors.items()):
+        tier_ms = tiers.get(tier)
+        if tier_ms is None:
+            print(f"note  {name}: tier '{tier}' absent from snapshot "
+                  f"(host ISA lacks it) — floor {floor:.2f}x not checked")
+            continue
+        ratio = scalar_ms / tier_ms if tier_ms > 0.0 else 0.0
+        status = "ok  " if ratio >= floor else "FAIL"
+        failed = failed or status == "FAIL"
+        print(f"{status}  {name}: scalar-vs-{tier} {ratio:.2f}x "
+              f"(hard floor {floor:.2f}x)")
+    auto_floor = base.get("min_autotune_ratio")
+    if auto_floor is not None:
+        if not simd_live:
+            print(f"note  {name}: SIMD kernels not live on this host — "
+                  f"min_autotune_ratio {auto_floor:.2f}x not checked")
+        else:
+            ratio = layer.get("autotune_ratio", 0.0)
+            status = "ok  " if ratio >= auto_floor else "FAIL"
+            failed = failed or status == "FAIL"
+            tuned = layer.get("tuned_tier", "?")
+            nc = layer.get("tuned_nc", 0)
+            print(f"{status}  {name}: autotuned ({tuned}, nc={nc}) vs static "
+                  f"auto {ratio:.2f}x (hard floor {auto_floor:.2f}x)")
+    return failed
 
 
 def check_compile_reuse(current, baseline, simd_live):
     """Gate the compile/execute split: a steady-state forward on a compiled
     artifact must beat compile-per-call (the pre-split per-forward cost) by
     the baseline's "min_reuse_speedup" floor. Timing-ratio floors are only
-    meaningful on the AVX2 configuration the floor was calibrated on, so the
+    meaningful on the SIMD configuration the floor was calibrated on, so the
     check is skipped with a note on scalar-only hosts (mirroring
     min_simd_speedup)."""
     base = baseline.get("compile_reuse")
@@ -122,7 +170,7 @@ def check_compile_reuse(current, baseline, simd_live):
         failed = True
     floor = base["min_reuse_speedup"]
     if not simd_live:
-        print(f"note  compile_reuse: AVX2 kernels not live on this host — "
+        print(f"note  compile_reuse: SIMD kernels not live on this host — "
               f"min_reuse_speedup {floor:.2f}x not checked")
         return failed
     reuse = cur.get("reuse_speedup", 0.0)
@@ -136,7 +184,7 @@ def check_compile_reuse(current, baseline, simd_live):
 def check_fusion(current, baseline, simd_live):
     """Gate the compiler pass pipeline: the fully-optimized plan (dead-stage
     elimination + epilogue fusion + arena memory planning) must stay
-    bit-exact with the all-passes-off plan, and — on the AVX2 configuration
+    bit-exact with the all-passes-off plan, and — on the SIMD configuration
     the floor was calibrated on — must never run slower than it
     ("fusion.min_fused_speedup", an acceptance floor of 1.0: the pass
     pipeline must never be a pessimization)."""
@@ -158,7 +206,7 @@ def check_fusion(current, baseline, simd_live):
         failed = True
     floor = base["min_fused_speedup"]
     if not simd_live:
-        print(f"note  fusion: AVX2 kernels not live on this host — "
+        print(f"note  fusion: SIMD kernels not live on this host — "
               f"min_fused_speedup {floor:.2f}x not checked")
         return failed
     fused = cur.get("fused_speedup", 0.0)

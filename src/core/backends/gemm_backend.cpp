@@ -266,12 +266,15 @@ void GemmBackend::conv2d_fused(const tensor::QuantizedTensor& x,
   }
   out.resize({batch, spec.out_channels, p_oh, p_ow});
   const std::size_t seg = config_.geometry.mrs_per_arm;
-  // Packed AVX2 path: the weight panel (GEMM A operand) packs once per call
+  // Packed SIMD path: the weight panel (GEMM A operand) packs once per call
   // — or not at all when the programmed layer carries pre-packed panels —
   // and each item's im2col panel packs into B strips right after unfolding.
   // Bit-exact with the scalar kernel (same segment reduction order, same
-  // integer arithmetic), so the choice is purely a speed dispatch.
-  const bool packed = tensor::simd::avx2_enabled();
+  // integer arithmetic), so the choice is purely a speed dispatch; the
+  // kernel tier/blocking comes from the compiled plan (scratch.kernel,
+  // default auto).
+  const bool packed = tensor::simd::resolve_tier(scratch.kernel.tier) !=
+                      tensor::simd::KernelTier::kScalar;
   const tensor::PackedWeights* pre = packed ? usable_prepack(w, seg) : nullptr;
   tensor::PackedA local_a;
   if (packed && (pre == nullptr || !pre->has_a)) {
@@ -310,7 +313,7 @@ void GemmBackend::conv2d_fused(const tensor::QuantizedTensor& x,
           if (packed) {
             const tensor::PackedB cb =
                 tensor::pack_b_s16_into(cols, kdim, npix, npix, seg, pb_store);
-            tensor::gemm_s16_packed(wa, cb, acc, npix);
+            tensor::gemm_s16_packed(wa, cb, acc, npix, scratch.kernel);
           } else {
             tensor::gemm_s16_segmented(spec.out_channels, npix, kdim,
                                        w.levels.data(), kdim, cols, npix, seg,
@@ -351,7 +354,8 @@ void GemmBackend::linear_fused(const tensor::QuantizedTensor& x,
   const std::size_t batch = x.shape[0], d = x.shape[1], out_f = w.shape[0];
   out.resize({batch, out_f});
   const std::size_t seg = config_.geometry.mrs_per_arm;
-  const bool packed = tensor::simd::avx2_enabled();
+  const bool packed = tensor::simd::resolve_tier(scratch.kernel.tier) !=
+                      tensor::simd::KernelTier::kScalar;
   util::ThreadPool& pool = ctx.thread_pool();
   const std::size_t max_shards =
       scratch.base != nullptr ? scratch.slots
@@ -387,7 +391,8 @@ void GemmBackend::linear_fused(const tensor::QuantizedTensor& x,
         tensor::pack_a_s16_into(x.levels.data(), batch, d, d, seg, xa_store);
     pool.for_shards(0, batch, max_shards,
                     [&](std::size_t, std::size_t lo, std::size_t hi) {
-                      tensor::gemm_s16_packed(xa, wb, acc, out_f, lo, hi);
+                      tensor::gemm_s16_packed(xa, wb, acc, out_f, lo, hi,
+                                              scratch.kernel);
                       for (std::size_t n = lo; n < hi; ++n) {
                         const double scale = oc_output_scale_for_item(x, w, n);
                         linear_epilogue_row(acc + n * out_f,

@@ -183,6 +183,17 @@ const std::vector<std::string>& CompiledModel::applied_passes() const {
   return impl_->plan.applied_passes;
 }
 
+const KernelPlan& CompiledModel::kernel_plan() const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  return impl_->plan.kernel_plan;
+}
+
+tensor::KernelConfig CompiledModel::kernel_config(
+    std::size_t weighted_index) const {
+  if (impl_ == nullptr) throw_invalid_handle();
+  return weighted_step(impl_->plan.steps, weighted_index).kernel;
+}
+
 MemoryReport CompiledModel::memory_report(std::size_t batch,
                                           const tensor::Shape& frame_shape,
                                           std::size_t slots) const {
@@ -250,6 +261,7 @@ BatchOutput CompiledModel::run(const FrameBatch& batch,
   };
   auto step_scratch = [&](std::size_t i) {
     StepScratch scr;
+    scr.kernel = plan.steps[i].kernel;  // the autotuned dispatch decision
     if (arena != nullptr) {
       scr.bytes = arena->plan().step_extents[i].scratch_bytes;
       scr.base = scr.bytes == 0 ? nullptr : arena->scratch();
@@ -508,7 +520,7 @@ CompiledModel Engine::compile(const nn::Network& net,
   // models. The reference oracle takes neither.
   const bool pack_simd = options.prepack && options.backend != "reference" &&
                          options.backend != "physical" &&
-                         tensor::simd::avx2_enabled();
+                         tensor::simd::simd_active();
   const bool pack_arms = options.prepack && options.backend == "physical";
 
   std::size_t weighted_index = 0;
@@ -621,11 +633,17 @@ CompiledModel Engine::compile(const nn::Network& net,
     impl->plan.unoptimized_geometry.push_back(std::move(g));
   }
 
-  // The pass pipeline: dead-stage elimination, stage fusion, memory
-  // planning — each gated by options.passes, each validated, each recorded
-  // in plan.applied_passes.
-  default_pass_pipeline(options.passes)
-      .run(impl->plan, PassContext{impl->backend, seg});
+  // The pass pipeline: dead-stage elimination, stage fusion, kernel
+  // autotuning, memory planning — each gated by options.passes, each
+  // validated, each recorded in plan.applied_passes.
+  PassContext pass_ctx;
+  pass_ctx.backend = impl->backend;
+  pass_ctx.mrs_per_arm = seg;
+  pass_ctx.input_shape = options.input_shape;
+  pass_ctx.batch_hint = options.batch_hint;
+  pass_ctx.pinned_kernel_plan = options.pinned_kernel_plan.get();
+  pass_ctx.force_kernel = options.force_kernel;
+  default_pass_pipeline(options.passes).run(impl->plan, pass_ctx);
 
   CompiledModel model;
   model.impl_ = std::move(impl);

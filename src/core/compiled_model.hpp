@@ -143,6 +143,17 @@ struct CompileOptions {
   /// gemm/reference, seeded-noise-identical on physical) — asserted by
   /// tests/test_compiler.cpp.
   PassOptions passes;
+  /// Kernel-autotune inputs (core/compiler/autotune.hpp). Per-item input
+  /// geometry ([1, C, H, W] or [C, H, W]) — when empty, conv GEMMs keep auto
+  /// dispatch and only fc geometries are tuned — plus the representative
+  /// batch size fc tuning assumes.
+  tensor::Shape input_shape;
+  std::size_t batch_hint = 8;
+  /// Pin a previously recorded tuning (from CompiledModel::kernel_plan) or
+  /// force one tier (the CompileOptions face of LIGHTATOR_FORCE_KERNEL);
+  /// either way compilation measures nothing and is fully deterministic.
+  std::shared_ptr<const KernelPlan> pinned_kernel_plan;
+  tensor::simd::KernelTier force_kernel = tensor::simd::KernelTier::kAuto;
 };
 
 /// The immutable executable artifact. Cheap to copy (shared immutable
@@ -164,6 +175,14 @@ class CompiledModel {
   const tensor::QuantizedTensor& weights(std::size_t weighted_index) const;
   /// Names of the compiler passes that ran over the plan, in order.
   const std::vector<std::string>& applied_passes() const;
+  /// The kernel-autotune pass's per-geometry tuning report (empty when the
+  /// pass was off, skipped, or every choice was forced). Pin it into a later
+  /// compile via CompileOptions::pinned_kernel_plan for a deterministic,
+  /// measurement-free build of the same choices.
+  const KernelPlan& kernel_plan() const;
+  /// The frozen dispatch config of weighted layer `i`'s GEMM (default = auto
+  /// dispatch when untuned).
+  tensor::KernelConfig kernel_config(std::size_t weighted_index) const;
   /// Planned-vs-naive peak working-set bytes for a `batch`-item forward of
   /// `frame_shape` ([1, ...] per-item geometry) with `slots` parallel batch
   /// shards: the static arena plan against the per-step-allocating baseline

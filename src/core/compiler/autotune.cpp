@@ -1,0 +1,271 @@
+#include "core/compiler/autotune.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/gemm_s16.hpp"
+#include "tensor/gemm_s16_packed.hpp"
+#include "tensor/simd.hpp"
+
+namespace lightator::core {
+namespace {
+
+using tensor::simd::KernelTier;
+
+/// Conservative per-core L2 working-set budget; a B panel larger than this
+/// makes the L2-sized strip-blocked variant worth racing.
+constexpr std::size_t kL2BudgetBytes = 256 * 1024;
+constexpr int kAutotuneReps = 3;
+/// Hysteresis on winner selection: a challenger config must beat the
+/// incumbent's best time by this fraction to take the choice. Near-tied
+/// candidates otherwise flip on timing jitter, and a jitter-picked variant
+/// is as likely as not to lose the rematch at execution time.
+constexpr double kWinMargin = 0.05;
+
+/// Deterministic LCG fill in [-mag, +mag], anchored so max_abs == mag and the
+/// packed GEMM's narrow/wide width predicate sees exactly the magnitude the
+/// geometry was derived from.
+void fill_lcg(std::int16_t* v, std::size_t count, std::int16_t mag,
+              std::uint32_t seed) {
+  const std::uint32_t span = 2u * static_cast<std::uint32_t>(mag) + 1u;
+  std::uint32_t s = seed;
+  for (std::size_t i = 0; i < count; ++i) {
+    s = s * 1664525u + 1013904223u;
+    v[i] = static_cast<std::int16_t>(
+        static_cast<std::int32_t>((s >> 8) % span) - mag);
+  }
+  if (count > 0) v[0] = mag;
+}
+
+double time_gemm_us(const tensor::PackedA& pa, const tensor::PackedB& pb,
+                    double* c, std::size_t ldc,
+                    const tensor::KernelConfig& cfg) {
+  const auto t0 = std::chrono::steady_clock::now();
+  tensor::gemm_s16_packed(pa, pb, c, ldc, cfg);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+}  // namespace
+
+std::vector<tensor::KernelConfig> kernel_candidate_configs(
+    const GemmGeometry& geom) {
+  std::vector<tensor::KernelConfig> configs;
+  const KernelTier top = tensor::simd::resolve_tier(KernelTier::kAuto);
+  if (top == KernelTier::kScalar) return configs;  // nothing to choose
+
+  configs.push_back(tensor::KernelConfig{top, 0});
+
+  // L2-sized strip blocking when the B panel overflows the budget. One strip
+  // costs kp/2 k-pairs x 32 int16 = 32*kp bytes.
+  const std::size_t kp = tensor::packed_depth(geom.k, geom.seg);
+  const std::size_t strips =
+      (geom.n + tensor::kPackedCols - 1) / tensor::kPackedCols;
+  const std::size_t strip_bytes = 32 * kp;
+  if (strip_bytes > 0 && strips * strip_bytes > kL2BudgetBytes) {
+    const std::size_t nc = std::max<std::size_t>(1, kL2BudgetBytes / strip_bytes);
+    if (nc < strips) configs.push_back(tensor::KernelConfig{top, nc});
+  }
+
+  // The next tier down the ladder (resolve_tier(t) == t means the host — and
+  // any LIGHTATOR_FORCE_KERNEL override — really runs t when asked for it).
+  for (const KernelTier t : {KernelTier::kAvx512, KernelTier::kAvx2}) {
+    if (static_cast<int>(t) < static_cast<int>(top) &&
+        tensor::simd::resolve_tier(t) == t) {
+      configs.push_back(tensor::KernelConfig{t, 0});
+      break;
+    }
+  }
+  return configs;
+}
+
+KernelPlanEntry autotune_gemm_geometry(const GemmGeometry& geom, int reps) {
+  KernelPlanEntry entry;
+  entry.geom = geom;
+  if (geom.m == 0 || geom.n == 0 || geom.k == 0) return entry;
+
+  const std::vector<tensor::KernelConfig> configs =
+      kernel_candidate_configs(geom);
+  if (configs.empty()) return entry;  // scalar-only host: keep auto dispatch
+  if (configs.size() == 1) {
+    entry.choice = configs.front();
+    return entry;
+  }
+
+  // Synthetic operands reproducing the geometry's accumulation mode: small
+  // magnitudes keep every segment int32-safe; full-range magnitudes push the
+  // width predicate into the int64 path for any multi-term segment.
+  const std::int16_t mag =
+      geom.wide ? std::numeric_limits<std::int16_t>::max() : 15;
+  std::vector<std::int16_t> av(geom.m * geom.k);
+  std::vector<std::int16_t> bv(geom.k * geom.n);
+  fill_lcg(av.data(), av.size(), mag, 0x1234abcdu);
+  fill_lcg(bv.data(), bv.size(), mag, 0x9e3779b9u);
+  const tensor::PackedA pa =
+      tensor::pack_a_s16(av.data(), geom.m, geom.k, geom.k, geom.seg);
+  const tensor::PackedB pb =
+      tensor::pack_b_s16(bv.data(), geom.k, geom.n, geom.n, geom.seg);
+  std::vector<double> c(geom.m * geom.n);
+
+  entry.measured = true;
+  double best = std::numeric_limits<double>::infinity();
+  for (const tensor::KernelConfig& cfg : configs) {
+    time_gemm_us(pa, pb, c.data(), geom.n, cfg);  // warmup
+    double cand = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < std::max(1, reps); ++r) {
+      cand = std::min(cand, time_gemm_us(pa, pb, c.data(), geom.n, cfg));
+    }
+    entry.candidates.push_back(KernelCandidate{cfg, cand});
+    // Candidates are ordered simplest-first (top tier, unblocked, leads):
+    // a challenger must beat the incumbent by a clear margin, so that
+    // timing jitter between near-tied configs can never flip the choice
+    // onto a variant that then loses the rematch.
+    if (cand < best * (1.0 - kWinMargin)) {
+      best = cand;
+      entry.choice = cfg;
+    }
+  }
+  return entry;
+}
+
+namespace {
+
+class KernelAutotunePass final : public CompilerPass {
+ public:
+  std::string name() const override { return "kernel-autotune"; }
+
+  void run(CompiledPlan& plan, const PassContext& ctx) const override {
+    // Only the gemm backend executes through the packed microkernels.
+    if (ctx.backend == nullptr || ctx.backend->name() != "gemm") return;
+
+    if (ctx.force_kernel != KernelTier::kAuto) {
+      for (CompiledStep& step : plan.steps) {
+        if (is_weighted(step)) {
+          step.kernel = tensor::KernelConfig{ctx.force_kernel, 0};
+        }
+      }
+      return;  // forced: deterministic, nothing measured or recorded
+    }
+
+    const KernelPlan* pinned = ctx.pinned_kernel_plan;
+    if (pinned == nullptr && !tensor::simd::simd_active()) return;
+
+    // Walk the per-item spatial size through the plan so each conv step's
+    // output-pixel panel width is known. Unknown (empty input_shape, or a
+    // degenerate geometry) poisons h/w to zero and conv steps keep auto
+    // dispatch; fc geometries never need it.
+    std::size_t h = 0, w = 0;
+    if (ctx.input_shape.size() >= 2) {
+      h = ctx.input_shape[ctx.input_shape.size() - 2];
+      w = ctx.input_shape[ctx.input_shape.size() - 1];
+    }
+
+    for (CompiledStep& step : plan.steps) {
+      switch (step.kind) {
+        case nn::LayerKind::kConv: {
+          if (h + 2 * step.conv.pad < step.conv.kernel ||
+              w + 2 * step.conv.pad < step.conv.kernel || h == 0 || w == 0) {
+            h = w = 0;
+            break;
+          }
+          const std::size_t oh = step.conv.out_dim(h);
+          const std::size_t ow = step.conv.out_dim(w);
+          assign(plan, step,
+                 step_geometry(step.conv.out_channels, oh * ow,
+                               step.conv.weights_per_filter(), step, ctx),
+                 pinned);
+          h = oh;
+          w = ow;
+          if (step.epilogue.pool != PoolKind::kNone) {
+            pool_dims(step.epilogue.pool_kernel, step.epilogue.pool_stride, h,
+                      w);
+          }
+          break;
+        }
+        case nn::LayerKind::kLinear: {
+          assign(plan, step,
+                 step_geometry(std::max<std::size_t>(1, ctx.batch_hint),
+                               step.fc_out, step.fc_in, step, ctx),
+                 pinned);
+          h = w = 0;  // spatial layout is gone after an fc layer
+          break;
+        }
+        case nn::LayerKind::kMaxPool:
+        case nn::LayerKind::kAvgPool:
+          pool_dims(step.pool_kernel, step.pool_stride, h, w);
+          break;
+        default:
+          break;  // flatten / activation: spatial size unchanged
+      }
+    }
+  }
+
+ private:
+  static bool is_weighted(const CompiledStep& step) {
+    return step.kind == nn::LayerKind::kConv ||
+           step.kind == nn::LayerKind::kLinear;
+  }
+
+  static void pool_dims(std::size_t kernel, std::size_t stride, std::size_t& h,
+                        std::size_t& w) {
+    if (kernel == 0 || stride == 0 || h < kernel || w < kernel) {
+      h = w = 0;
+      return;
+    }
+    h = (h - kernel) / stride + 1;
+    w = (w - kernel) / stride + 1;
+  }
+
+  /// The GEMM geometry this weighted step executes. The wide flag is the
+  /// magnitude-bound version of the backend's data-driven width predicate
+  /// (max weight level x max activation code): it can only over-predict
+  /// wide, and a mispredicted mode only skews the timing model, never
+  /// results.
+  static GemmGeometry step_geometry(std::size_t m, std::size_t n,
+                                    std::size_t k, const CompiledStep& step,
+                                    const PassContext& ctx) {
+    GemmGeometry g;
+    g.m = m;
+    g.n = n;
+    g.k = k;
+    g.seg = tensor::effective_segment(ctx.mrs_per_arm, k);
+    const std::int32_t wmax = step.weights.max_level();
+    const std::int32_t amax = (1 << step.abits) - 1;
+    g.wide = !tensor::gemm_s16_int32_safe(wmax, amax,
+                                          g.seg == 0 ? std::size_t{1} : g.seg);
+    return g;
+  }
+
+  static void assign(CompiledPlan& plan, CompiledStep& step,
+                     const GemmGeometry& geom, const KernelPlan* pinned) {
+    if (pinned != nullptr) {
+      if (const KernelPlanEntry* e = pinned->find(geom)) {
+        step.kernel = e->choice;
+        if (plan.kernel_plan.find(geom) == nullptr) {
+          plan.kernel_plan.entries.push_back(*e);
+        }
+      }
+      return;  // geometry absent from the pinned plan: keep auto dispatch
+    }
+    if (const KernelPlanEntry* e = plan.kernel_plan.find(geom)) {
+      step.kernel = e->choice;  // already tuned this geometry in this plan
+      return;
+    }
+    KernelPlanEntry e = autotune_gemm_geometry(geom, kAutotuneReps);
+    step.kernel = e.choice;
+    plan.kernel_plan.entries.push_back(std::move(e));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<CompilerPass> make_kernel_autotune_pass() {
+  return std::make_unique<KernelAutotunePass>();
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,55 @@
+// Kernel-autotune compiler pass: freeze the packed-GEMM dispatch decision
+// per layer at compile time.
+//
+// The packed GEMM (tensor/gemm_s16_packed.hpp) exposes a ladder of bit-exact
+// microkernel tiers (scalar / AVX2 / AVX-512 / VNNI) plus an optional B-panel
+// strip blocking; runtime auto dispatch always picks the top tier unblocked.
+// That is usually right, but not always — small panels can favor a lower
+// tier's shorter dependency chains, and panels that overflow L2 favor strip
+// blocking. This pass micro-benchmarks the 2-3 plausible (tier, blocking)
+// candidates per DISTINCT GEMM geometry on synthetic panels at
+// Engine::compile, freezes the winner into each weighted step
+// (CompiledStep::kernel), and records the full tuning report on the plan
+// (CompiledPlan::kernel_plan). Because every candidate is bit-exact, the
+// choice only moves time — never results.
+//
+// Determinism: measurement is inherently noisy, so two compiles on the same
+// machine may pick different winners for a borderline geometry. Callers that
+// need reproducible artifacts pin a previously recorded plan
+// (PassContext::pinned_kernel_plan) or force a tier
+// (PassContext::force_kernel); both paths measure nothing and are fully
+// deterministic. Conv geometries need the input spatial size — when
+// PassContext::input_shape is empty they keep auto dispatch and only fc
+// geometries (known at compile time) are tuned.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/compiler/pass_manager.hpp"
+#include "core/compiler/plan.hpp"
+
+namespace lightator::core {
+
+/// The candidate (tier, blocking) configs the autotuner would race for one
+/// geometry, best-guess first: top available SIMD tier unblocked, the same
+/// tier with an L2-sized strip block when the B panel overflows L2, and the
+/// next tier down the ladder. Empty when only the scalar tier is available
+/// (nothing to choose). Exposed for the bench driver and tests.
+std::vector<tensor::KernelConfig> kernel_candidate_configs(
+    const GemmGeometry& geom);
+
+/// Races the candidates for `geom` on synthetic packed panels (deterministic
+/// LCG fill reproducing the geometry's narrow/wide accumulation mode) with
+/// one warmup plus best-of-`reps` steady_clock timings each, and returns the
+/// tuning record. With zero or one candidate the entry is unmeasured and the
+/// choice is the sole candidate (or auto dispatch).
+KernelPlanEntry autotune_gemm_geometry(const GemmGeometry& geom, int reps = 3);
+
+/// The "kernel-autotune" pass (see file comment). Runs between stage fusion
+/// and memory planning: fusion first because fused pools change downstream
+/// conv geometry, memory planning after because tuning does not move scratch
+/// sizes.
+std::unique_ptr<CompilerPass> make_kernel_autotune_pass();
+
+}  // namespace lightator::core

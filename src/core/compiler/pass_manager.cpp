@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "core/compiler/autotune.hpp"
 #include "core/compiler/passes.hpp"
 
 namespace lightator::core {
@@ -37,6 +38,7 @@ PassManager default_pass_pipeline(const PassOptions& options) {
   PassManager pm;
   if (options.eliminate_dead_stages) pm.add(make_dead_stage_elimination_pass());
   if (options.fuse_stages) pm.add(make_stage_fusion_pass());
+  if (options.autotune_kernels) pm.add(make_kernel_autotune_pass());
   if (options.plan_memory) pm.add(make_memory_planning_pass());
   return pm;
 }

@@ -21,6 +21,21 @@ namespace lightator::core {
 struct PassContext {
   const ComputeBackend* backend = nullptr;
   std::size_t mrs_per_arm = 0;
+  /// Kernel-autotune inputs (see core/compiler/autotune.hpp). The per-item
+  /// input geometry ([1, C, H, W] or [C, H, W]) conv tuning derives its
+  /// panel widths from — when empty, conv steps keep auto dispatch and only
+  /// fc geometries (fully known at compile time) are tuned.
+  tensor::Shape input_shape;
+  /// Representative batch size for fc GEMM tuning (the batch is a run-time
+  /// property; any value yields a valid, bit-exact config).
+  std::size_t batch_hint = 8;
+  /// A previously recorded plan to apply verbatim — no measuring, fully
+  /// deterministic. Geometries absent from the pinned plan keep auto
+  /// dispatch.
+  const KernelPlan* pinned_kernel_plan = nullptr;
+  /// Explicit tier override (kAuto = none): pins every weighted step without
+  /// measuring. The CompileOptions face of LIGHTATOR_FORCE_KERNEL.
+  tensor::simd::KernelTier force_kernel = tensor::simd::KernelTier::kAuto;
 };
 
 class CompilerPass {
@@ -46,7 +61,8 @@ class PassManager {
 
 /// The standard pipeline in its canonical order — dead-stage elimination
 /// (so fusion never absorbs a stage that is about to be dropped), stage
-/// fusion, memory planning — with each stage gated by `options`.
+/// fusion, kernel autotuning (after fusion: fused pools change downstream
+/// conv geometry), memory planning — with each stage gated by `options`.
 PassManager default_pass_pipeline(const PassOptions& options);
 
 /// Structural invariants every pass must preserve: contiguous weighted

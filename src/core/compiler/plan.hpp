@@ -18,6 +18,7 @@
 #include "nn/layer.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/quantize.hpp"
+#include "tensor/simd.hpp"
 #include "tensor/tensor.hpp"
 
 namespace lightator::core {
@@ -36,9 +37,61 @@ struct PassOptions {
   /// Fold activation (and, for conv, max/avg pool) stages into the producing
   /// weighted step's epilogue, applied on cache-resident GEMM output rows.
   bool fuse_stages = true;
+  /// Micro-benchmark the candidate (kernel tier, strip blocking) variants per
+  /// distinct GEMM geometry and freeze the winner into each weighted step
+  /// (core/compiler/autotune.hpp). Off, the backend uses plain cpuid auto
+  /// dispatch; either way every candidate is bit-exact, so this toggle only
+  /// moves time.
+  bool autotune_kernels = true;
   /// Execute through the per-context ScratchArena: static per-step scratch
   /// sizing + peak liveness, zero heap allocations at steady state.
   bool plan_memory = true;
+};
+
+/// One distinct packed-GEMM shape a compiled plan executes: C[m x n] =
+/// A[m x k] B[k x n] reduced in `seg`-length arm segments, in `wide` (int64)
+/// or narrow (int32) accumulation mode. Conv steps contribute
+/// (out_channels, npix, kdim); fc steps (batch_hint, out_features,
+/// in_features). The kernel-autotune pass tunes each distinct geometry once
+/// — LeNet and VGG9 each have fewer than ten.
+struct GemmGeometry {
+  std::size_t m = 0, n = 0, k = 0;
+  std::size_t seg = 0;
+  bool wide = false;
+
+  bool operator==(const GemmGeometry&) const = default;
+};
+
+/// One measured autotune candidate.
+struct KernelCandidate {
+  tensor::KernelConfig config;
+  double best_us = 0.0;
+};
+
+/// The tuning record for one geometry: every candidate measured (empty when
+/// the choice was pinned or forced rather than measured) and the winner.
+struct KernelPlanEntry {
+  GemmGeometry geom;
+  tensor::KernelConfig choice;
+  bool measured = false;
+  std::vector<KernelCandidate> candidates;
+};
+
+/// The per-geometry kernel decisions carried by a CompiledModel — the
+/// artifact's tuning report. Pinning a plan into a later compile
+/// (CompileOptions::pinned_kernel_plan) applies these choices without
+/// re-measuring, which makes compilation deterministic: same machine +
+/// pinned plan => identical CompiledModel and bit-identical outputs.
+struct KernelPlan {
+  std::vector<KernelPlanEntry> entries;
+
+  bool empty() const { return entries.empty(); }
+  const KernelPlanEntry* find(const GemmGeometry& geom) const {
+    for (const KernelPlanEntry& e : entries) {
+      if (e.geom == geom) return &e;
+    }
+    return nullptr;
+  }
 };
 
 /// One step of the compiled execution plan. Weighted steps carry the
@@ -59,6 +112,11 @@ struct CompiledStep {
   /// What the stage-fusion pass folded into this weighted step (inactive by
   /// default — an unfused step behaves exactly like plain conv2d/linear).
   FusedEpilogue epilogue;
+  /// The kernel-autotune pass's dispatch decision for this step's GEMM
+  /// (default: plain runtime auto dispatch, the pre-autotune behavior).
+  /// Routed to the backend through StepScratch::kernel; purely a speed
+  /// choice — every config is bit-exact.
+  tensor::KernelConfig kernel;
 
   // kMaxPool / kAvgPool
   std::size_t pool_kernel = 0, pool_stride = 0;
@@ -81,6 +139,10 @@ struct CompiledPlan {
   bool arena_enabled = false;
   /// Names of the passes that ran, in order (introspection / tests).
   std::vector<std::string> applied_passes;
+  /// Per-geometry kernel decisions recorded by the kernel-autotune pass
+  /// (empty when the pass was off, the backend has no packed GEMM, or every
+  /// choice came from a CompileOptions::force_kernel override).
+  KernelPlan kernel_plan;
   /// Geometry-only snapshot (weights/bias/name dropped) of the plan before
   /// any pass ran — the baseline for planned-vs-naive peak-memory
   /// accounting in CompiledModel::memory_report.

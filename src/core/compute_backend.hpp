@@ -36,6 +36,7 @@
 #include "tensor/activations.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/quantize.hpp"
+#include "tensor/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lightator::core {
@@ -165,11 +166,14 @@ struct FusedEpilogue {
 /// Caller-provided scratch for one fused step: `slots` independent regions
 /// of `bytes / slots` each (one per batch shard). Null base means "no arena"
 /// — backends fall back to a local allocation, preserving the standalone
-/// conv2d/linear contract.
+/// conv2d/linear contract. `kernel` is the compiled plan's frozen GEMM
+/// dispatch decision for this step (kernel-autotune pass); the default is
+/// plain runtime auto dispatch and every config is bit-exact.
 struct StepScratch {
   std::byte* base = nullptr;
   std::size_t bytes = 0;
   std::size_t slots = 1;
+  tensor::KernelConfig kernel;
 };
 
 class ComputeBackend {

@@ -35,6 +35,14 @@ struct PrecisionSearchOptions {
   double power_budget = 0.0;
   /// Allowance on the accuracy proxy / measured accuracy drop (absolute).
   double max_accuracy_drop = 0.03;
+  /// Measured search only: evaluate up to this many top-scoring single-step
+  /// candidates per greedy iteration — scored with the pre-step (hence
+  /// possibly stale within the batch) power numbers — and commit whichever
+  /// measures best. 1 = classic greedy; analytic search ignores this.
+  /// Candidate compiles share the base artifact's autotuned kernel plan
+  /// (CompileOptions::pinned_kernel_plan), so widening the batch costs
+  /// validation time only, never re-tuning time.
+  std::size_t candidate_batch = 1;
 };
 
 struct PrecisionAssignment {

@@ -21,8 +21,16 @@ namespace {
 /// odd segment is zero in both operands, so kernels never special-case it.
 std::size_t pairs_in_segment(std::size_t len) { return (len + 1) / 2; }
 
+// Every microkernel below computes C rows [row_begin, row_end) restricted to
+// B strips [strip_begin, strip_end), and STORES (never accumulates into) each
+// (row, strip) range exactly once — the contract that lets the dispatch loop
+// block the strip dimension for cache residency without double-counting.
+// Within a strip, every kernel reduces identically: integer pair-sums per
+// segment, one double addition per arm boundary, in segment order, from
+// zero — so tier and blocking choices are invisible in the output bits.
+
 /// Portable kernel over the packed layout — the LIGHTATOR_DISABLE_SIMD /
-/// non-AVX2 fallback and the oracle the SIMD fuzz tests compare against.
+/// non-SIMD fallback and the oracle the SIMD fuzz tests compare against.
 /// Mirrors the madd dataflow exactly: each (k, k+1) pair-sum is formed in
 /// int32 (never overflows: 2 * 32767^2 < 2^31), accumulated per column in
 /// `Acc` across the segment, and spilled to double at the arm boundary —
@@ -30,18 +38,19 @@ std::size_t pairs_in_segment(std::size_t len) { return (len + 1) / 2; }
 template <typename Acc>
 void gemm_packed_scalar(const PackedA& a, const PackedB& b, double* c,
                         std::size_t ldc, std::size_t row_begin,
-                        std::size_t row_end) {
+                        std::size_t row_end, std::size_t strip_begin,
+                        std::size_t strip_end) {
   const std::size_t kp2 = a.kp / 2;
-  const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
   Acc acc[kPackedCols];
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    const std::int16_t* a_row = a.base() + i * a.kp;
-    double* c_row = c + i * ldc;
-    std::fill(c_row, c_row + b.n, 0.0);
-    for (std::size_t s = 0; s < strips; ++s) {
-      const std::size_t j0 = s * kPackedCols;
-      const std::size_t valid = std::min(kPackedCols, b.n - j0);
-      const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
+  double dacc[kPackedCols];
+  for (std::size_t s = strip_begin; s < strip_end; ++s) {
+    const std::size_t j0 = s * kPackedCols;
+    const std::size_t valid = std::min(kPackedCols, b.n - j0);
+    const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      const std::int16_t* a_row = a.base() + i * a.kp;
+      double* c_row = c + i * ldc;
+      std::fill(dacc, dacc + kPackedCols, 0.0);
       std::size_t p = 0;
       for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
         const std::size_t len = std::min(a.seg, a.k - k0);
@@ -60,8 +69,11 @@ void gemm_packed_scalar(const PackedA& a, const PackedB& b, double* c,
         }
         // Arm boundary: the BPD emits these partial sums.
         for (std::size_t j = 0; j < valid; ++j) {
-          c_row[j0 + j] += static_cast<double>(acc[j]);
+          dacc[j] += static_cast<double>(acc[j]);
         }
+      }
+      for (std::size_t j = 0; j < valid; ++j) {
+        c_row[j0 + j] = dacc[j];
       }
     }
   }
@@ -83,13 +95,13 @@ std::uint32_t load_pair_u32(const std::int16_t* p) {
 /// spill to the double C row only at arm boundaries.
 __attribute__((target("avx2"))) void gemm_packed_avx2_s32(
     const PackedA& a, const PackedB& b, double* c, std::size_t ldc,
-    std::size_t row_begin, std::size_t row_end) {
+    std::size_t row_begin, std::size_t row_end, std::size_t strip_begin,
+    std::size_t strip_end) {
   const std::size_t kp2 = a.kp / 2;
-  const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
   for (std::size_t i = row_begin; i < row_end; ++i) {
     const std::int16_t* a_row = a.base() + i * a.kp;
     double* c_row = c + i * ldc;
-    for (std::size_t s = 0; s < strips; ++s) {
+    for (std::size_t s = strip_begin; s < strip_end; ++s) {
       const std::size_t j0 = s * kPackedCols;
       const std::size_t valid = std::min(kPackedCols, b.n - j0);
       const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
@@ -154,19 +166,20 @@ __attribute__((target("avx2"))) void gemm_packed_avx2_s32(
 /// deep flat segments reduce exactly like the scalar int64 path.
 __attribute__((target("avx2"))) void gemm_packed_avx2_s64(
     const PackedA& a, const PackedB& b, double* c, std::size_t ldc,
-    std::size_t row_begin, std::size_t row_end) {
+    std::size_t row_begin, std::size_t row_end, std::size_t strip_begin,
+    std::size_t strip_end) {
   const std::size_t kp2 = a.kp / 2;
-  const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
   alignas(32) std::int64_t tail[kPackedCols];
+  double dacc[kPackedCols];
   for (std::size_t i = row_begin; i < row_end; ++i) {
     const std::int16_t* a_row = a.base() + i * a.kp;
     double* c_row = c + i * ldc;
-    std::fill(c_row, c_row + b.n, 0.0);
-    for (std::size_t s = 0; s < strips; ++s) {
+    for (std::size_t s = strip_begin; s < strip_end; ++s) {
       const std::size_t j0 = s * kPackedCols;
       const std::size_t valid = std::min(kPackedCols, b.n - j0);
       const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
       std::size_t p = 0;
+      std::fill(dacc, dacc + kPackedCols, 0.0);
       for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
         const std::size_t len = std::min(a.seg, a.k - k0);
         __m256i acc[4] = {_mm256_setzero_si256(), _mm256_setzero_si256(),
@@ -196,12 +209,196 @@ __attribute__((target("avx2"))) void gemm_packed_avx2_s64(
         _mm256_store_si256(reinterpret_cast<__m256i*>(tail + 8), acc[2]);
         _mm256_store_si256(reinterpret_cast<__m256i*>(tail + 12), acc[3]);
         for (std::size_t j = 0; j < valid; ++j) {
-          c_row[j0 + j] += static_cast<double>(tail[j]);
+          dacc[j] += static_cast<double>(tail[j]);
+        }
+      }
+      for (std::size_t j = 0; j < valid; ++j) {
+        c_row[j0 + j] = dacc[j];
+      }
+    }
+  }
+}
+
+#endif  // LIGHTATOR_HAVE_AVX2_KERNELS
+
+#if defined(LIGHTATOR_HAVE_AVX512_KERNELS)
+
+// GCC's avx512fintrin.h trips -Wmaybe-uninitialized on its own
+// _mm512_undefined_* temporaries when these intrinsics inline (GCC bug
+// 105593); the kernels themselves initialize every accumulator.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+#define LIGHTATOR_AVX512_TARGET "avx512f,avx512bw,avx512dq,avx512vl"
+
+/// AVX-512 int32 kernel: one 512-bit register covers a strip's entire
+/// 32-int16 k-pair block, so a single madd per pair feeds all 16 output
+/// columns (the AVX2 kernel needs two). The int32 lanes convert to two
+/// 8-lane double accumulators at each arm boundary and store once per
+/// (row, strip) — the same reduction order as every other tier.
+__attribute__((target(LIGHTATOR_AVX512_TARGET))) void gemm_packed_avx512_s32(
+    const PackedA& a, const PackedB& b, double* c, std::size_t ldc,
+    std::size_t row_begin, std::size_t row_end, std::size_t strip_begin,
+    std::size_t strip_end) {
+  const std::size_t kp2 = a.kp / 2;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::int16_t* a_row = a.base() + i * a.kp;
+    double* c_row = c + i * ldc;
+    for (std::size_t s = strip_begin; s < strip_end; ++s) {
+      const std::size_t j0 = s * kPackedCols;
+      const std::size_t valid = std::min(kPackedCols, b.n - j0);
+      const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
+      std::size_t p = 0;
+      __m512d d0 = _mm512_setzero_pd();
+      __m512d d1 = _mm512_setzero_pd();
+      for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
+        const std::size_t len = std::min(a.seg, a.k - k0);
+        __m512i acc = _mm512_setzero_si512();
+        for (std::size_t pe = p + pairs_in_segment(len); p < pe; ++p) {
+          const std::uint32_t pair = load_pair_u32(a_row + 2 * p);
+          if (pair == 0) continue;
+          const __m512i va =
+              _mm512_set1_epi32(static_cast<std::int32_t>(pair));
+          const __m512i bv = _mm512_loadu_si512(panel + p * 2 * kPackedCols);
+          acc = _mm512_add_epi32(acc, _mm512_madd_epi16(va, bv));
+        }
+        d0 = _mm512_add_pd(d0,
+                           _mm512_cvtepi32_pd(_mm512_castsi512_si256(acc)));
+        d1 = _mm512_add_pd(
+            d1, _mm512_cvtepi32_pd(_mm512_extracti32x8_epi32(acc, 1)));
+      }
+      if (valid == kPackedCols) {
+        _mm512_storeu_pd(c_row + j0, d0);
+        _mm512_storeu_pd(c_row + j0 + 8, d1);
+      } else {
+        alignas(64) double dtail[kPackedCols];
+        _mm512_store_pd(dtail, d0);
+        _mm512_store_pd(dtail + 8, d1);
+        for (std::size_t j = 0; j < valid; ++j) {
+          c_row[j0 + j] = dtail[j];
         }
       }
     }
   }
 }
+
+/// AVX-512 VNNI int32 kernel: `vpdpwssd` fuses the madd and the accumulator
+/// add into one instruction. It accumulates without the madd's saturation
+/// corner, but the int32-safe predicate already excludes the only input
+/// (|a| = |b| = 32768) where the two differ — inside the narrow mode the
+/// arithmetic is identical, so VNNI stays bit-exact with every other tier.
+__attribute__((target(LIGHTATOR_AVX512_TARGET ",avx512vnni"))) void
+gemm_packed_vnni_s32(const PackedA& a, const PackedB& b, double* c,
+                     std::size_t ldc, std::size_t row_begin,
+                     std::size_t row_end, std::size_t strip_begin,
+                     std::size_t strip_end) {
+  const std::size_t kp2 = a.kp / 2;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::int16_t* a_row = a.base() + i * a.kp;
+    double* c_row = c + i * ldc;
+    for (std::size_t s = strip_begin; s < strip_end; ++s) {
+      const std::size_t j0 = s * kPackedCols;
+      const std::size_t valid = std::min(kPackedCols, b.n - j0);
+      const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
+      std::size_t p = 0;
+      __m512d d0 = _mm512_setzero_pd();
+      __m512d d1 = _mm512_setzero_pd();
+      for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
+        const std::size_t len = std::min(a.seg, a.k - k0);
+        __m512i acc = _mm512_setzero_si512();
+        for (std::size_t pe = p + pairs_in_segment(len); p < pe; ++p) {
+          const std::uint32_t pair = load_pair_u32(a_row + 2 * p);
+          if (pair == 0) continue;
+          const __m512i va =
+              _mm512_set1_epi32(static_cast<std::int32_t>(pair));
+          const __m512i bv = _mm512_loadu_si512(panel + p * 2 * kPackedCols);
+          acc = _mm512_dpwssd_epi32(acc, va, bv);
+        }
+        d0 = _mm512_add_pd(d0,
+                           _mm512_cvtepi32_pd(_mm512_castsi512_si256(acc)));
+        d1 = _mm512_add_pd(
+            d1, _mm512_cvtepi32_pd(_mm512_extracti32x8_epi32(acc, 1)));
+      }
+      if (valid == kPackedCols) {
+        _mm512_storeu_pd(c_row + j0, d0);
+        _mm512_storeu_pd(c_row + j0 + 8, d1);
+      } else {
+        alignas(64) double dtail[kPackedCols];
+        _mm512_store_pd(dtail, d0);
+        _mm512_store_pd(dtail + 8, d1);
+        for (std::size_t j = 0; j < valid; ++j) {
+          c_row[j0 + j] = dtail[j];
+        }
+      }
+    }
+  }
+}
+
+/// AVX-512 widening kernel for the overflow-unsafe flat-segment mode: madd
+/// pair-sums sign-extend into two 8-lane int64 accumulators per pair, and
+/// the int64 lanes convert straight to doubles (cvtepi64_pd, the DQ
+/// requirement) at arm boundaries. The VNNI tier also routes its wide mode
+/// here — vpdpwssd only accumulates in int32.
+__attribute__((target(LIGHTATOR_AVX512_TARGET))) void gemm_packed_avx512_s64(
+    const PackedA& a, const PackedB& b, double* c, std::size_t ldc,
+    std::size_t row_begin, std::size_t row_end, std::size_t strip_begin,
+    std::size_t strip_end) {
+  const std::size_t kp2 = a.kp / 2;
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const std::int16_t* a_row = a.base() + i * a.kp;
+    double* c_row = c + i * ldc;
+    for (std::size_t s = strip_begin; s < strip_end; ++s) {
+      const std::size_t j0 = s * kPackedCols;
+      const std::size_t valid = std::min(kPackedCols, b.n - j0);
+      const std::int16_t* panel = b.base() + s * kp2 * 2 * kPackedCols;
+      std::size_t p = 0;
+      __m512d d0 = _mm512_setzero_pd();
+      __m512d d1 = _mm512_setzero_pd();
+      for (std::size_t k0 = 0; k0 < a.k; k0 += a.seg) {
+        const std::size_t len = std::min(a.seg, a.k - k0);
+        __m512i acc0 = _mm512_setzero_si512();
+        __m512i acc1 = _mm512_setzero_si512();
+        for (std::size_t pe = p + pairs_in_segment(len); p < pe; ++p) {
+          const std::uint32_t pair = load_pair_u32(a_row + 2 * p);
+          if (pair == 0) continue;
+          const __m512i va =
+              _mm512_set1_epi32(static_cast<std::int32_t>(pair));
+          const __m512i m = _mm512_madd_epi16(
+              va, _mm512_loadu_si512(panel + p * 2 * kPackedCols));
+          acc0 = _mm512_add_epi64(
+              acc0, _mm512_cvtepi32_epi64(_mm512_castsi512_si256(m)));
+          acc1 = _mm512_add_epi64(
+              acc1, _mm512_cvtepi32_epi64(_mm512_extracti32x8_epi32(m, 1)));
+        }
+        d0 = _mm512_add_pd(d0, _mm512_cvtepi64_pd(acc0));
+        d1 = _mm512_add_pd(d1, _mm512_cvtepi64_pd(acc1));
+      }
+      if (valid == kPackedCols) {
+        _mm512_storeu_pd(c_row + j0, d0);
+        _mm512_storeu_pd(c_row + j0 + 8, d1);
+      } else {
+        alignas(64) double dtail[kPackedCols];
+        _mm512_store_pd(dtail, d0);
+        _mm512_store_pd(dtail + 8, d1);
+        for (std::size_t j = 0; j < valid; ++j) {
+          c_row[j0 + j] = dtail[j];
+        }
+      }
+    }
+  }
+}
+
+#undef LIGHTATOR_AVX512_TARGET
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+#endif  // LIGHTATOR_HAVE_AVX512_KERNELS
+
+#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
 
 /// AVX2 panel pack for full 16-column strips of a row-major B: loads the
 /// two rows of each k-pair, interleaves them per column (unpack + lane
@@ -209,7 +406,9 @@ __attribute__((target("avx2"))) void gemm_packed_avx2_s64(
 /// stride-2 scalar writes. The magnitude scan is fused into the same pass
 /// (abs-max over every loaded row, with the -32768 corner handled via a raw
 /// min so the width predicate matches the scalar scan exactly). Returns the
-/// strip's contribution to max_abs.
+/// strip's contribution to max_abs. Shared by every SIMD tier — the panel
+/// layout is identical from AVX2 through VNNI (a 512-bit kernel just loads
+/// the strip's two 256-bit halves as one register).
 __attribute__((target("avx2"))) std::int32_t pack_b_strip_avx2(
     const std::int16_t* b, std::size_t k, std::size_t ldb, std::size_t seg,
     std::size_t j0, std::int16_t* panel) {
@@ -316,10 +515,11 @@ void pack_b_fill(const std::int16_t* b, std::size_t k, std::size_t n,
   out.max_abs = 0;
   // This is the per-forward pack (one im2col panel per batch item), so full
   // strips go through the AVX2 interleave with the magnitude scan fused in;
-  // only the ragged last strip falls back to scalar writes.
+  // only the ragged last strip falls back to scalar writes. Gated on
+  // simd_active() so a forced-scalar tier stays SIMD-free end to end.
   std::size_t s = 0;
 #if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
-  if (simd::avx2_enabled()) {
+  if (simd::simd_active() && simd::avx2_enabled()) {
     for (; (s + 1) * kPackedCols <= n; ++s) {
       out.max_abs = std::max(
           out.max_abs,
@@ -442,7 +642,7 @@ PackedB pack_b_s16_transposed(const std::int16_t* w, std::size_t k,
 
 void gemm_s16_packed(const PackedA& a, const PackedB& b, double* c,
                      std::size_t ldc, std::size_t row_begin,
-                     std::size_t row_end) {
+                     std::size_t row_end, const KernelConfig& config) {
   if (a.k != b.k || a.kp != b.kp || a.seg != b.seg) {
     throw std::invalid_argument(
         "gemm_s16_packed: A/B panels packed for different depths or segments");
@@ -454,23 +654,42 @@ void gemm_s16_packed(const PackedA& a, const PackedB& b, double* c,
   if (b.n == 0) return;
   // The same magnitude-scan predicate as the scalar kernel (scans ignore the
   // zero padding, which cannot raise a max), so both paths always widen at
-  // the same point.
+  // the same point. The predicate is independent of the tier: every tier has
+  // a narrow and a wide kernel with identical integer dataflow.
   const std::size_t seg_for_safety = a.seg == 0 ? a.k : a.seg;
   const bool narrow = gemm_s16_int32_safe(a.max_abs, b.max_abs, seg_for_safety);
-#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
-  if (simd::avx2_enabled()) {
-    if (narrow) {
-      gemm_packed_avx2_s32(a, b, c, ldc, row_begin, row_end);
-    } else {
-      gemm_packed_avx2_s64(a, b, c, ldc, row_begin, row_end);
-    }
-    return;
-  }
+  using Kernel = void (*)(const PackedA&, const PackedB&, double*, std::size_t,
+                          std::size_t, std::size_t, std::size_t, std::size_t);
+  Kernel kern = narrow ? &gemm_packed_scalar<std::int32_t>
+                       : &gemm_packed_scalar<std::int64_t>;
+  switch (simd::resolve_tier(config.tier)) {
+#if defined(LIGHTATOR_HAVE_AVX512_KERNELS)
+    case simd::KernelTier::kVnni:
+      // vpdpwssd only accumulates int32; the wide mode shares the AVX-512
+      // widening kernel (dispatch, not a crash, on deep flat segments).
+      kern = narrow ? &gemm_packed_vnni_s32 : &gemm_packed_avx512_s64;
+      break;
+    case simd::KernelTier::kAvx512:
+      kern = narrow ? &gemm_packed_avx512_s32 : &gemm_packed_avx512_s64;
+      break;
 #endif
-  if (narrow) {
-    gemm_packed_scalar<std::int32_t>(a, b, c, ldc, row_begin, row_end);
-  } else {
-    gemm_packed_scalar<std::int64_t>(a, b, c, ldc, row_begin, row_end);
+#if defined(LIGHTATOR_HAVE_AVX2_KERNELS)
+    case simd::KernelTier::kAvx2:
+      kern = narrow ? &gemm_packed_avx2_s32 : &gemm_packed_avx2_s64;
+      break;
+#endif
+    default:
+      break;
+  }
+  const std::size_t strips = (b.n + kPackedCols - 1) / kPackedCols;
+  const std::size_t nc = (config.nc_strips == 0 || config.nc_strips > strips)
+                             ? strips
+                             : config.nc_strips;
+  // Strip blocks outer, rows inner (inside the kernel): a DRAM-sized B panel
+  // is revisited one cache-resident block at a time across all rows. With
+  // nc == strips this collapses to one kernel call — the unblocked shape.
+  for (std::size_t sb = 0; sb < strips; sb += nc) {
+    kern(a, b, c, ldc, row_begin, row_end, sb, std::min(strips, sb + nc));
   }
 }
 

@@ -36,6 +36,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/simd.hpp"
+
 namespace lightator::tensor {
 
 /// Columns per PackedB strip: 16 int32 accumulator lanes = 2 AVX2 registers.
@@ -119,15 +121,27 @@ PackedB pack_b_s16_transposed(const std::int16_t* w, std::size_t k,
 /// = A x B with segment-blocked integer accumulation, bit-exact with
 /// gemm_s16_segmented over the same logical operands. The row range lets
 /// callers shard the batch dimension (fc: one row per batch item) without
-/// re-packing. Throws std::invalid_argument on mismatched panels.
+/// re-packing. `config` selects the microkernel tier and B-panel strip
+/// blocking (see KernelConfig in tensor/simd.hpp); a requested tier the host
+/// lacks resolves down the ladder, and every config produces bit-identical
+/// output — the config only moves time, never results. Throws
+/// std::invalid_argument on mismatched panels.
 void gemm_s16_packed(const PackedA& a, const PackedB& b, double* c,
                      std::size_t ldc, std::size_t row_begin,
-                     std::size_t row_end);
+                     std::size_t row_end, const KernelConfig& config);
+
+/// Auto dispatch (cpuid-best tier, unblocked) over a row range.
+inline void gemm_s16_packed(const PackedA& a, const PackedB& b, double* c,
+                            std::size_t ldc, std::size_t row_begin,
+                            std::size_t row_end) {
+  gemm_s16_packed(a, b, c, ldc, row_begin, row_end, KernelConfig{});
+}
 
 /// Convenience: all rows.
 inline void gemm_s16_packed(const PackedA& a, const PackedB& b, double* c,
-                            std::size_t ldc) {
-  gemm_s16_packed(a, b, c, ldc, 0, a.m);
+                            std::size_t ldc,
+                            const KernelConfig& config = KernelConfig{}) {
+  gemm_s16_packed(a, b, c, ldc, 0, a.m, config);
 }
 
 /// Pre-packed panels of one programmed (quantized) weight tensor, cached on

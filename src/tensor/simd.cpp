@@ -1,6 +1,9 @@
 #include "tensor/simd.hpp"
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace lightator::tensor::simd {
 
@@ -14,11 +17,62 @@ bool cpu_has_avx2() {
   return false;
 #endif
 }
+
+bool cpu_has_avx512() {
+#if defined(__GNUC__) || defined(__clang__)
+  // The kernels use 512-bit madd/unpack (BW), cvtepi64_pd and 256-bit lane
+  // extracts (DQ), and 256-bit EVEX forms (VL) on top of the F foundation.
+  return __builtin_cpu_supports("avx512f") != 0 &&
+         __builtin_cpu_supports("avx512bw") != 0 &&
+         __builtin_cpu_supports("avx512dq") != 0 &&
+         __builtin_cpu_supports("avx512vl") != 0;
+#else
+  return false;
 #endif
+}
+
+bool cpu_has_vnni() {
+#if defined(__GNUC__) || defined(__clang__)
+  return cpu_has_avx512() && __builtin_cpu_supports("avx512vnni") != 0;
+#else
+  return false;
+#endif
+}
+#endif  // LIGHTATOR_HAVE_AVX2_KERNELS
 
 std::atomic<bool>& runtime_enabled_flag() {
   static std::atomic<bool> enabled{true};
   return enabled;
+}
+
+/// set_forced_tier state: kAuto = defer to the environment variable.
+std::atomic<KernelTier>& forced_tier_flag() {
+  static std::atomic<KernelTier> forced{KernelTier::kAuto};
+  return forced;
+}
+
+/// LIGHTATOR_FORCE_KERNEL, parsed once per process. An unrecognized value
+/// warns once and is ignored rather than aborting — a typo in a CI matrix
+/// leg should fail the tier assertion, not every binary on the runner.
+KernelTier env_forced_tier() {
+  static const KernelTier tier = [] {
+    const char* v = std::getenv("LIGHTATOR_FORCE_KERNEL");
+    if (v == nullptr || *v == '\0') return KernelTier::kAuto;
+    const KernelTier t = parse_tier(v);
+    if (t == KernelTier::kAuto && std::strcmp(v, "auto") != 0) {
+      std::fprintf(stderr,
+                   "lightator: ignoring unrecognized LIGHTATOR_FORCE_KERNEL"
+                   "=\"%s\" (expected scalar|avx2|avx512|vnni)\n",
+                   v);
+    }
+    return t;
+  }();
+  return tier;
+}
+
+KernelTier forced_tier() {
+  const KernelTier hook = forced_tier_flag().load(std::memory_order_relaxed);
+  return hook != KernelTier::kAuto ? hook : env_forced_tier();
 }
 
 }  // namespace
@@ -42,10 +96,79 @@ bool avx2_enabled() {
 #endif
 }
 
+bool avx512_enabled() {
+#if defined(LIGHTATOR_HAVE_AVX512_KERNELS)
+  static const bool hw = cpu_has_avx512();
+  return hw && runtime_enabled_flag().load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+bool vnni_enabled() {
+#if defined(LIGHTATOR_HAVE_AVX512_KERNELS)
+  static const bool hw = cpu_has_vnni();
+  return hw && runtime_enabled_flag().load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
 void set_simd_enabled(bool enabled) {
   runtime_enabled_flag().store(enabled, std::memory_order_relaxed);
 }
 
-const char* active_kernel() { return avx2_enabled() ? "avx2" : "scalar"; }
+void set_forced_tier(KernelTier tier) {
+  forced_tier_flag().store(tier, std::memory_order_relaxed);
+}
+
+KernelTier resolve_tier(KernelTier requested) {
+  const KernelTier forced = forced_tier();
+  KernelTier want = forced != KernelTier::kAuto ? forced : requested;
+  if (want == KernelTier::kAuto) want = KernelTier::kVnni;  // top of ladder
+  if (want >= KernelTier::kVnni && vnni_enabled()) return KernelTier::kVnni;
+  if (want >= KernelTier::kAvx512 && avx512_enabled()) {
+    return KernelTier::kAvx512;
+  }
+  if (want >= KernelTier::kAvx2 && avx2_enabled()) return KernelTier::kAvx2;
+  return KernelTier::kScalar;
+}
+
+std::vector<KernelTier> available_tiers() {
+  std::vector<KernelTier> tiers{KernelTier::kScalar};
+  if (avx2_enabled()) tiers.push_back(KernelTier::kAvx2);
+  if (avx512_enabled()) tiers.push_back(KernelTier::kAvx512);
+  if (vnni_enabled()) tiers.push_back(KernelTier::kVnni);
+  return tiers;
+}
+
+const char* tier_name(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kScalar:
+      return "scalar";
+    case KernelTier::kAvx2:
+      return "avx2";
+    case KernelTier::kAvx512:
+      return "avx512";
+    case KernelTier::kVnni:
+      return "vnni";
+    case KernelTier::kAuto:
+      break;
+  }
+  return "auto";
+}
+
+KernelTier parse_tier(const char* name) {
+  if (name == nullptr) return KernelTier::kAuto;
+  if (std::strcmp(name, "scalar") == 0) return KernelTier::kScalar;
+  if (std::strcmp(name, "avx2") == 0) return KernelTier::kAvx2;
+  if (std::strcmp(name, "avx512") == 0) return KernelTier::kAvx512;
+  if (std::strcmp(name, "vnni") == 0) return KernelTier::kVnni;
+  return KernelTier::kAuto;
+}
+
+const char* active_kernel() { return tier_name(resolve_tier(KernelTier::kAuto)); }
+
+bool simd_active() { return resolve_tier(KernelTier::kAuto) != KernelTier::kScalar; }
 
 }  // namespace lightator::tensor::simd

@@ -1,39 +1,119 @@
-// Runtime SIMD capability detection and dispatch control for the packed
+// Runtime SIMD capability detection and kernel-tier dispatch for the packed
 // int16 GEMM kernels (tensor/gemm_s16_packed.hpp).
 //
-// The library is compiled for the baseline ISA; the AVX2 kernels are built
+// The library is compiled for the baseline ISA; the SIMD kernels are built
 // with per-function target attributes and selected at runtime via cpuid, so
 // one binary runs everywhere and the scalar segment-blocked loop remains the
-// portable fallback. `set_simd_enabled(false)` forces the scalar path at
-// runtime — the hook the bit-exactness fuzz tests and the backend_compare
-// scalar-vs-packed timing use. Building with -DLIGHTATOR_DISABLE_SIMD=ON
-// compiles the AVX2 kernels out entirely (the CI scalar-fallback config).
+// portable fallback. Kernels form a ladder of tiers:
+//
+//   scalar < avx2 < avx512 < vnni
+//
+// where avx512 needs F+BW+DQ+VL and vnni additionally AVX512-VNNI
+// (`vpdpwssd`). Dispatch resolves a *requested* tier (usually kAuto, or a
+// compile-time choice recorded in a KernelPlan) down the ladder to the
+// highest tier the host supports — a plan tuned on a VNNI box degrades
+// gracefully on an AVX2-only one instead of crashing.
+//
+// Overrides, strongest first:
+//   * `set_simd_enabled(false)` forces the scalar path outright — the hook
+//     the bit-exactness fuzz tests and backend_compare scalar timings use.
+//   * `set_forced_tier(t)` / the LIGHTATOR_FORCE_KERNEL environment variable
+//     (scalar|avx2|avx512|vnni) caps dispatch at tier `t` — the CI matrix
+//     leg runs the suite once per tier the runner supports.
+//   * Building with -DLIGHTATOR_DISABLE_SIMD=ON compiles every SIMD kernel
+//     out (the CI scalar-fallback config).
 #pragma once
 
-// One compile-time gate for the AVX2 kernel translation units: x86-64 with a
+#include <cstddef>
+#include <vector>
+
+// One compile-time gate for the SIMD kernel translation units: x86-64 with a
 // compiler that supports per-function target attributes, unless the build
-// opted out via -DLIGHTATOR_DISABLE_SIMD=ON.
+// opted out via -DLIGHTATOR_DISABLE_SIMD=ON. The AVX-512/VNNI kernels share
+// the gate — any toolchain new enough for target("avx2") attributes here
+// (gcc >= 8, clang >= 7) also accepts the avx512vnni target.
 #if !defined(LIGHTATOR_DISABLE_SIMD) && \
     (defined(__x86_64__) || defined(_M_X64)) && \
     (defined(__GNUC__) || defined(__clang__))
 #define LIGHTATOR_HAVE_AVX2_KERNELS 1
+#define LIGHTATOR_HAVE_AVX512_KERNELS 1
 #endif
 
 namespace lightator::tensor::simd {
 
-/// True when the AVX2 kernels were compiled in (x86-64 build without
+/// The microkernel ladder, ordered: a tier's value compares greater than
+/// every tier it strictly outranks. kAuto means "highest available".
+enum class KernelTier : int {
+  kAuto = -1,
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+  kVnni = 3,
+};
+
+/// True when the SIMD kernels were compiled in (x86-64 build without
 /// LIGHTATOR_DISABLE_SIMD).
 bool compiled_with_simd();
 
-/// True when the AVX2 kernels are compiled in, the CPU reports AVX2, and no
-/// runtime override disabled them — the packed GEMM dispatch predicate.
+/// Per-tier availability: compiled in, cpuid reports the ISA, and no runtime
+/// override disabled SIMD. avx512_enabled() requires F+BW+DQ+VL;
+/// vnni_enabled() additionally AVX512-VNNI. (A forced tier does NOT affect
+/// these — they answer "could this tier run here".)
 bool avx2_enabled();
+bool avx512_enabled();
+bool vnni_enabled();
 
 /// Runtime override for tests/benches: `false` forces the scalar fallback
-/// even on AVX2 hardware; `true` restores cpuid-based dispatch.
+/// even on SIMD hardware; `true` restores cpuid-based dispatch.
 void set_simd_enabled(bool enabled);
 
-/// "avx2" or "scalar" — what avx2_enabled() currently resolves to.
+/// Caps dispatch at `tier` (kAuto clears the override and restores full
+/// cpuid dispatch). Overrides the LIGHTATOR_FORCE_KERNEL environment
+/// variable, which is read once per process; set_simd_enabled(false) still
+/// wins. The test-suite hook behind the CI kernel-tier matrix.
+void set_forced_tier(KernelTier tier);
+
+/// Resolves a requested tier to the one that will actually run: applies the
+/// overrides above, then walks down the ladder from min(requested, forced)
+/// to the highest tier the host supports. kAuto requests the top of the
+/// ladder. Never resolves *up*: an explicit kAvx2 request on a VNNI host
+/// runs the AVX2 kernel.
+KernelTier resolve_tier(KernelTier requested);
+
+/// Tiers that can currently run, ascending (always includes kScalar).
+std::vector<KernelTier> available_tiers();
+
+/// "scalar" / "avx2" / "avx512" / "vnni" (kAuto names as "auto").
+const char* tier_name(KernelTier tier);
+
+/// Inverse of tier_name for env/CLI parsing; returns kAuto for "auto" or
+/// any unrecognized spelling.
+KernelTier parse_tier(const char* name);
+
+/// What auto dispatch currently resolves to: tier_name(resolve_tier(kAuto)).
 const char* active_kernel();
 
+/// True when auto dispatch resolves to any SIMD tier — the predicate for
+/// packing prepacked panels and taking the packed path at all.
+bool simd_active();
+
 }  // namespace lightator::tensor::simd
+
+namespace lightator::tensor {
+
+/// One GEMM dispatch decision: which microkernel tier to run and how to
+/// block the B panel. `nc_strips > 0` processes the panel in blocks of that
+/// many 16-column strips with the row loop inside each block, keeping a
+/// DRAM-sized panel's working set cache-resident across rows; 0 walks all
+/// strips per row (the right shape when the whole panel fits in L2). Every
+/// (row, strip) output is computed exactly once either way, so blocking
+/// never changes results. The default-constructed config is plain auto
+/// dispatch — what every call site used before compile-time autotuning.
+struct KernelConfig {
+  simd::KernelTier tier = simd::KernelTier::kAuto;
+  std::size_t nc_strips = 0;
+
+  bool operator==(const KernelConfig&) const = default;
+};
+
+}  // namespace lightator::tensor

@@ -1,0 +1,197 @@
+// Kernel-autotune pass suite: the tuning report a compile records, the
+// deterministic pinned-plan and forced-tier compile paths, and bit-exactness
+// of the autotuned artifact against plain auto dispatch and against every
+// forced tier.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/compiler/autotune.hpp"
+#include "core/experiment.hpp"
+#include "nn/models.hpp"
+#include "tensor/simd.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::core {
+namespace {
+
+tensor::Tensor lenet_batch(std::size_t n, std::uint64_t seed) {
+  tensor::Tensor x({n, 1, 28, 28});
+  util::Rng rng(seed);
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  return x;
+}
+
+tensor::Tensor run_model(const CompiledModel& m, const tensor::Tensor& x) {
+  ExecutionContext ctx;
+  return m.run(x, ctx).take();
+}
+
+void expect_bit_exact(const tensor::Tensor& a, const tensor::Tensor& b,
+                      const char* label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+CompileOptions tuned_options() {
+  CompileOptions co;
+  co.input_shape = {1, 1, 28, 28};  // unlocks conv geometry derivation
+  return co;
+}
+
+TEST(KernelAutotune, CompileRecordsATuningReport) {
+  if (!tensor::simd::simd_active()) {
+    GTEST_SKIP() << "scalar-only host: nothing to tune";
+  }
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(301);
+  const nn::Network net = nn::build_lenet(rng);
+  const CompiledModel model = sys.compile(net, tuned_options());
+
+  // LeNet: 2 conv + 3 fc = 5 weighted steps, each with a distinct geometry.
+  const KernelPlan& plan = model.kernel_plan();
+  EXPECT_EQ(plan.entries.size(), 5u);
+  for (const KernelPlanEntry& e : plan.entries) {
+    EXPECT_GT(e.geom.m, 0u);
+    EXPECT_GT(e.geom.n, 0u);
+    EXPECT_GT(e.geom.k, 0u);
+    // A measured entry carries its full candidate table and the winner is
+    // one of the candidates; a single-candidate geometry is unmeasured.
+    if (e.measured) {
+      EXPECT_GE(e.candidates.size(), 2u);
+      bool winner_listed = false;
+      for (const KernelCandidate& c : e.candidates) {
+        EXPECT_GT(c.best_us, 0.0);
+        winner_listed = winner_listed || c.config == e.choice;
+      }
+      EXPECT_TRUE(winner_listed);
+    }
+    // Whatever won must actually run (resolve to itself on this host).
+    EXPECT_EQ(tensor::simd::resolve_tier(e.choice.tier), e.choice.tier);
+  }
+  // The frozen per-step config is visible through the artifact.
+  for (std::size_t i = 0; i < model.num_weighted_layers(); ++i) {
+    EXPECT_NE(model.kernel_config(i).tier, tensor::simd::KernelTier::kAuto);
+  }
+}
+
+TEST(KernelAutotune, WithoutInputShapeOnlyFcGeometriesAreTuned) {
+  if (!tensor::simd::simd_active()) {
+    GTEST_SKIP() << "scalar-only host: nothing to tune";
+  }
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(302);
+  const nn::Network net = nn::build_lenet(rng);
+  const CompiledModel model = sys.compile(net, {});  // no input_shape
+  EXPECT_EQ(model.kernel_plan().entries.size(), 3u);  // the 3 fc layers
+  EXPECT_EQ(model.kernel_config(0).tier, tensor::simd::KernelTier::kAuto);
+  EXPECT_EQ(model.kernel_config(1).tier, tensor::simd::KernelTier::kAuto);
+}
+
+TEST(KernelAutotune, AutotunedMatchesAutoDispatchBitExactly) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(303);
+  const nn::Network net = nn::build_lenet(rng);
+  const tensor::Tensor x = lenet_batch(4, 9001);
+
+  CompileOptions off = tuned_options();
+  off.passes.autotune_kernels = false;
+  const tensor::Tensor baseline =
+      run_model(sys.compile(net, off), x);
+  const tensor::Tensor tuned =
+      run_model(sys.compile(net, tuned_options()), x);
+  expect_bit_exact(baseline, tuned, "autotuned_vs_auto");
+}
+
+TEST(KernelAutotune, PinnedPlanReproducesChoicesWithoutMeasuring) {
+  if (!tensor::simd::simd_active()) {
+    GTEST_SKIP() << "scalar-only host: nothing to tune";
+  }
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(304);
+  const nn::Network net = nn::build_lenet(rng);
+
+  const CompiledModel first = sys.compile(net, tuned_options());
+  CompileOptions pin = tuned_options();
+  pin.pinned_kernel_plan =
+      std::make_shared<const KernelPlan>(first.kernel_plan());
+  const CompiledModel second = sys.compile(net, pin);
+
+  // Identical per-step configs and an identical recorded plan — the
+  // deterministic artifact contract (same machine + pinned plan).
+  ASSERT_EQ(second.kernel_plan().entries.size(),
+            first.kernel_plan().entries.size());
+  for (std::size_t i = 0; i < first.num_weighted_layers(); ++i) {
+    EXPECT_EQ(first.kernel_config(i), second.kernel_config(i)) << "step " << i;
+  }
+  for (const KernelPlanEntry& e : first.kernel_plan().entries) {
+    const KernelPlanEntry* pe = second.kernel_plan().find(e.geom);
+    ASSERT_NE(pe, nullptr);
+    EXPECT_EQ(pe->choice, e.choice);
+  }
+
+  const tensor::Tensor x = lenet_batch(4, 9002);
+  expect_bit_exact(run_model(first, x), run_model(second, x),
+                   "pinned_outputs");
+}
+
+TEST(KernelAutotune, ForceKernelPinsEveryWeightedStep) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(305);
+  const nn::Network net = nn::build_lenet(rng);
+  const tensor::Tensor x = lenet_batch(3, 9003);
+
+  tensor::Tensor baseline;
+  for (const tensor::simd::KernelTier tier :
+       tensor::simd::available_tiers()) {
+    CompileOptions co = tuned_options();
+    co.force_kernel = tier;
+    const CompiledModel model = sys.compile(net, co);
+    EXPECT_TRUE(model.kernel_plan().empty());  // forced: nothing measured
+    for (std::size_t i = 0; i < model.num_weighted_layers(); ++i) {
+      EXPECT_EQ(model.kernel_config(i).tier, tier);
+    }
+    const tensor::Tensor out = run_model(model, x);
+    if (baseline.empty()) {
+      baseline = out;
+    } else {
+      expect_bit_exact(baseline, out, tensor::simd::tier_name(tier));
+    }
+  }
+}
+
+TEST(KernelAutotune, CandidateConfigsLadderShape) {
+  if (!tensor::simd::simd_active()) {
+    GTEST_SKIP() << "scalar-only host: no candidates";
+  }
+  const tensor::simd::KernelTier top =
+      tensor::simd::resolve_tier(tensor::simd::KernelTier::kAuto);
+  // Small panel: top tier unblocked, plus at most a lower tier.
+  GemmGeometry small{16, 64, 150, 9, false};
+  const auto small_cfgs = kernel_candidate_configs(small);
+  ASSERT_FALSE(small_cfgs.empty());
+  EXPECT_EQ(small_cfgs.front().tier, top);
+  EXPECT_EQ(small_cfgs.front().nc_strips, 0u);
+  for (const auto& cfg : small_cfgs) {
+    EXPECT_EQ(cfg.nc_strips, 0u) << "small panel must not block";
+  }
+  // A B panel well beyond 256 KiB adds an L2-blocked variant of the top tier.
+  GemmGeometry big{64, 4096, 1152, 9, false};
+  const auto big_cfgs = kernel_candidate_configs(big);
+  bool has_blocked = false;
+  for (const auto& cfg : big_cfgs) {
+    has_blocked = has_blocked || (cfg.tier == top && cfg.nc_strips > 0);
+  }
+  EXPECT_TRUE(has_blocked);
+
+  // The measurement helper produces a well-formed entry for the big case.
+  const KernelPlanEntry e = autotune_gemm_geometry(big, 1);
+  EXPECT_TRUE(e.measured);
+  EXPECT_EQ(e.candidates.size(), big_cfgs.size());
+}
+
+}  // namespace
+}  // namespace lightator::core

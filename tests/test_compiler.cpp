@@ -36,6 +36,10 @@ PassOptions pass_combo(bool dse, bool fuse, bool mem) {
   p.eliminate_dead_stages = dse;
   p.fuse_stages = fuse;
   p.plan_memory = mem;
+  // The kernel-autotune pass is covered by its own suite
+  // (tests/test_autotune.cpp): it only moves dispatch, never results, so the
+  // structural combos here sweep the plan-rewriting passes.
+  p.autotune_kernels = false;
   return p;
 }
 
@@ -196,10 +200,11 @@ TEST(CompilerPasses, DeadStageEliminationAndFusionShrinkThePlan) {
   const CompiledModel full = sys.compile(net, {});  // all passes default on
   EXPECT_EQ(full.num_layers(), 5u);
   EXPECT_EQ(full.num_weighted_layers(), 5u);
-  ASSERT_EQ(full.applied_passes().size(), 3u);
+  ASSERT_EQ(full.applied_passes().size(), 4u);
   EXPECT_EQ(full.applied_passes()[0], "dead-stage-elimination");
   EXPECT_EQ(full.applied_passes()[1], "stage-fusion");
-  EXPECT_EQ(full.applied_passes()[2], "memory-planning");
+  EXPECT_EQ(full.applied_passes()[2], "kernel-autotune");
+  EXPECT_EQ(full.applied_passes()[3], "memory-planning");
 
   // Introspection by weighted index survives the rewrite.
   for (std::size_t i = 0; i < 5; ++i) {

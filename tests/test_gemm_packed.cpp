@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "tensor/gemm_s16.hpp"
@@ -278,6 +280,144 @@ TEST(GemmPacked, RandomizedFuzzAgainstScalarKernel) {
       const auto scalar_kernel = run_packed(c, a, b);
       simd::set_simd_enabled(true);
       expect_same(scalar_kernel, run_packed(c, a, b), "fuzz_simd_toggle");
+    }
+  }
+}
+
+std::vector<double> run_packed_cfg(const GemmCase& c,
+                                   const std::vector<std::int16_t>& a,
+                                   const std::vector<std::int16_t>& b,
+                                   const KernelConfig& cfg) {
+  const PackedA pa = pack_a_s16(a.data(), c.m, c.k, c.k, c.segment);
+  const PackedB pb = pack_b_s16(b.data(), c.k, c.n, c.n, c.segment);
+  std::vector<double> out(c.m * c.n, -1.0);
+  gemm_s16_packed(pa, pb, out.data(), c.n, cfg);
+  return out;
+}
+
+TEST(GemmKernelLadder, EveryTierAndBlockingBitExactWithScalarKernel) {
+  // The whole ladder — every tier the host can run, at several strip
+  // blockings including degenerate ones — against the scalar segmented
+  // kernel, over the segment edge cases, a ragged final strip, and the
+  // int64-widening magnitudes. One bit of divergence anywhere fails.
+  const GemmCase cases[] = {
+      {6, 576, 25, 9},   // lenet L1 (36 strips: blocking engages)
+      {3, 17, 40, 0},    // flat segment, ragged 2-strip panel
+      {3, 17, 41, 9},    // odd segment tail
+      {4, 16, 10, 1},    // unit segments, exactly one strip
+      {2, 19, 512, 0},   // deep flat reduction (int64 path at full range)
+      {1, 1, 1, 1},
+  };
+  std::uint64_t seed = 500;
+  for (const auto& c : cases) {
+    util::Rng rng(seed++);
+    const bool deep = c.k >= 512;
+    const auto a = random_levels(rng, c.m * c.k, deep ? -32767 : -7,
+                                 deep ? 32767 : 7);
+    const auto b = random_levels(rng, c.k * c.n, deep ? -32767 : 0,
+                                 deep ? 32767 : 15);
+    const auto want = run_scalar(c, a, b);
+    for (const simd::KernelTier tier : simd::available_tiers()) {
+      for (const std::size_t nc : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{2}, std::size_t{3}}) {
+        const KernelConfig cfg{tier, nc};
+        expect_same(want, run_packed_cfg(c, a, b, cfg),
+                    (std::string("tier=") + simd::tier_name(tier) +
+                     " nc=" + std::to_string(nc))
+                        .c_str());
+      }
+    }
+  }
+}
+
+/// The CI tier-matrix leg reruns the suite under LIGHTATOR_FORCE_KERNEL;
+/// tests that assert *un-forced* resolution mechanics skip there (the
+/// override legitimately changes what a request resolves to).
+bool env_tier_forced() {
+  const char* v = std::getenv("LIGHTATOR_FORCE_KERNEL");
+  return v != nullptr && *v != '\0';
+}
+
+TEST(GemmKernelLadder, RequestedTierResolvesDownNeverUp) {
+  if (env_tier_forced()) {
+    GTEST_SKIP() << "LIGHTATOR_FORCE_KERNEL overrides requested-tier "
+                    "resolution";
+  }
+  // Asking for a tier the host lacks must silently run the best available
+  // one below it — never crash, never change results. Requesting scalar on
+  // a SIMD host must actually run scalar (resolve never climbs).
+  const GemmCase c{5, 33, 27, 9};
+  util::Rng rng(42);
+  const auto a = random_levels(rng, c.m * c.k, -7, 7);
+  const auto b = random_levels(rng, c.k * c.n, 0, 15);
+  const auto want = run_scalar(c, a, b);
+  // kVnni is the top request; legal everywhere, including scalar-only builds.
+  expect_same(want, run_packed_cfg(c, a, b, {simd::KernelTier::kVnni, 0}),
+              "request_top");
+  EXPECT_EQ(simd::resolve_tier(simd::KernelTier::kScalar),
+            simd::KernelTier::kScalar);
+  expect_same(want, run_packed_cfg(c, a, b, {simd::KernelTier::kScalar, 0}),
+              "request_scalar");
+}
+
+TEST(GemmKernelLadder, ForcedTierHookCapsDispatch) {
+  if (env_tier_forced()) {
+    GTEST_SKIP() << "releasing the hook would fall back to the env "
+                    "override, not auto dispatch";
+  }
+  // The set_forced_tier test hook (the in-process face of
+  // LIGHTATOR_FORCE_KERNEL) pins resolution for every request.
+  for (const simd::KernelTier tier : simd::available_tiers()) {
+    simd::set_forced_tier(tier);
+    EXPECT_EQ(simd::resolve_tier(simd::KernelTier::kAuto), tier);
+    EXPECT_EQ(simd::resolve_tier(simd::KernelTier::kVnni), tier);
+    EXPECT_EQ(simd::resolve_tier(simd::KernelTier::kScalar), tier);
+  }
+  simd::set_forced_tier(simd::KernelTier::kAuto);  // release the hook
+  EXPECT_EQ(simd::resolve_tier(simd::KernelTier::kScalar),
+            simd::KernelTier::kScalar);
+}
+
+TEST(GemmKernelLadder, TierNamesRoundTrip) {
+  for (const simd::KernelTier tier :
+       {simd::KernelTier::kScalar, simd::KernelTier::kAvx2,
+        simd::KernelTier::kAvx512, simd::KernelTier::kVnni,
+        simd::KernelTier::kAuto}) {
+    EXPECT_EQ(simd::parse_tier(simd::tier_name(tier)), tier);
+  }
+  EXPECT_EQ(simd::parse_tier("bogus"), simd::KernelTier::kAuto);
+  EXPECT_EQ(simd::parse_tier(nullptr), simd::KernelTier::kAuto);
+  // The ladder listing always starts at scalar and is ordered upward.
+  const auto tiers = simd::available_tiers();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.front(), simd::KernelTier::kScalar);
+  for (std::size_t i = 1; i < tiers.size(); ++i) {
+    EXPECT_LT(static_cast<int>(tiers[i - 1]), static_cast<int>(tiers[i]));
+  }
+}
+
+TEST(GemmKernelLadder, RandomizedFuzzPerTier) {
+  // The SIMD-vs-scalar fuzz, widened over the full ladder: random shapes,
+  // random segment lengths, random strip blockings, occasional full-range
+  // magnitudes for the int64 path — every available tier must agree with
+  // the scalar kernel bit-for-bit.
+  const auto tiers = simd::available_tiers();
+  util::Rng rng(20260807);
+  for (int iter = 0; iter < 40; ++iter) {
+    GemmCase c;
+    c.m = 1 + rng.uniform_index(16);
+    c.n = 1 + rng.uniform_index(80);
+    c.k = 1 + rng.uniform_index(160);
+    c.segment = rng.uniform_index(3) == 0 ? 0 : 1 + rng.uniform_index(16);
+    const bool wide = rng.uniform_index(8) == 0;
+    const int wmax = wide ? 32767 : 7;
+    const int amax = wide ? 32767 : 15;
+    const auto a = random_levels(rng, c.m * c.k, -wmax, wmax);
+    const auto b = random_levels(rng, c.k * c.n, wide ? -amax : 0, amax);
+    const auto want = run_scalar(c, a, b);
+    for (const simd::KernelTier tier : tiers) {
+      const KernelConfig cfg{tier, rng.uniform_index(4)};
+      expect_same(want, run_packed_cfg(c, a, b, cfg), "fuzz_tier");
     }
   }
 }

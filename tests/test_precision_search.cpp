@@ -93,6 +93,51 @@ TEST(PrecisionSearch, LabelFormat) {
   EXPECT_EQ(a.label(), "[4,3,2:4]");
 }
 
+TEST(PrecisionSearch, CandidateBatchEscapesAVetoedGreedyChoice) {
+  // Classic greedy evaluates only the single best-scored step; if that one
+  // candidate measures badly, the search stops. candidate_batch > 1 also
+  // measures the runners-up in the same step (with the same, now stale,
+  // power numbers) and commits the best of the batch instead.
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::ModelDesc model = nn::vgg9_desc();
+  const PrecisionSearch search(sys, model);
+  PrecisionSearchOptions opts;
+  opts.power_budget = 0.01;  // unreachable: keep lowering while allowed
+  opts.max_accuracy_drop = 0.02;
+
+  // Discover which layer classic greedy tries first: veto every lowering so
+  // the search stops after evaluating exactly one candidate.
+  std::vector<std::vector<int>> trials;
+  search.search(opts, [&](const std::vector<int>& bits) {
+    trials.push_back(bits);
+    return trials.size() == 1 ? 1.0 : 0.5;  // first call is the base point
+  });
+  ASSERT_EQ(trials.size(), 2u);
+  std::size_t greedy_first = trials[1].size();
+  for (std::size_t i = 0; i < trials[1].size(); ++i) {
+    if (trials[1][i] < 4) greedy_first = i;
+  }
+  ASSERT_LT(greedy_first, trials[1].size());
+
+  // An evaluator that only punishes that specific layer.
+  const auto veto = [greedy_first](const std::vector<int>& bits) {
+    return bits[greedy_first] < 4 ? 0.5 : 1.0;
+  };
+  const auto classic = search.search(opts, veto);
+  for (int b : classic.weight_bits) EXPECT_EQ(b, 4);  // stuck immediately
+
+  opts.candidate_batch = 2;
+  const auto batched = search.search(opts, veto);
+  EXPECT_EQ(batched.weight_bits[greedy_first], 4);  // veto still respected
+  bool lowered_elsewhere = false;
+  for (std::size_t i = 0; i < batched.weight_bits.size(); ++i) {
+    if (i != greedy_first && batched.weight_bits[i] < 4) {
+      lowered_elsewhere = true;
+    }
+  }
+  EXPECT_TRUE(lowered_elsewhere);  // the runner-up candidate escaped the trap
+}
+
 TEST(PrecisionSearch, RejectsBadBitRange) {
   const LightatorSystem sys(ArchConfig::defaults());
   const nn::ModelDesc model = nn::lenet_desc();

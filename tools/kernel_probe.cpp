@@ -1,0 +1,26 @@
+// Prints the microkernel tiers this host can run, one name per line in
+// ladder order (scalar first). CI's tier-matrix leg iterates the output:
+//
+//   for t in $(./build/kernel_probe); do
+//     LIGHTATOR_FORCE_KERNEL=$t ctest ...
+//   done
+//
+// so the suite runs once per tier the runner's ISA actually has, and tiers
+// the hardware lacks are skipped instead of failing. With `-active` it
+// prints only the tier auto dispatch resolves to (the ladder top).
+#include <cstdio>
+#include <cstring>
+
+#include "tensor/simd.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lightator::tensor::simd;
+  if (argc > 1 && std::strcmp(argv[1], "-active") == 0) {
+    std::printf("%s\n", active_kernel());
+    return 0;
+  }
+  for (const KernelTier tier : available_tiers()) {
+    std::printf("%s\n", tier_name(tier));
+  }
+  return 0;
+}
