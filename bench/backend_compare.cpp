@@ -51,6 +51,7 @@
 #include "core/lightator.hpp"
 #include "core/optical_core.hpp"
 #include "nn/models.hpp"
+#include "obs/report.hpp"
 #include "tensor/gemm_s16.hpp"
 #include "tensor/gemm_s16_packed.hpp"
 #include "tensor/quantize.hpp"
@@ -162,6 +163,7 @@ int main(int argc, char** argv) {
        << "\",\n  \"layers\": [\n";
 
   util::Rng rng(1);
+  core::KernelPlan tuning_plan;
   bool first = true;
   for (const auto& c : cases) {
     tensor::Tensor x({batch, c.spec.in_channels, c.in_h, c.in_w});
@@ -234,6 +236,7 @@ int main(int argc, char** argv) {
     geom.wide = !tensor::gemm_s16_int32_safe(7, 15, eff_seg);
     const core::KernelPlanEntry tuned_entry =
         core::autotune_gemm_geometry(geom, reps);
+    tuning_plan.entries.push_back(tuned_entry);
     // Interleave the static-vs-tuned reps so clock-frequency drift and
     // cache warmth bias neither side.
     tensor::Tensor y_auto, y_tuned;
@@ -282,6 +285,12 @@ int main(int argc, char** argv) {
          << ", \"bit_exact\": " << (exact ? "true" : "false") << "}";
   }
   json << "\n  ],\n";
+
+  // The autotune tuning report for the geometries raced above: candidates,
+  // best-of-reps timings, winner, hysteresis margin. Same shape the
+  // kernel-autotune pass records on every CompiledModel.
+  json << "  \"kernel_plan\": " << obs::kernel_plan_json(tuning_plan, "    ")
+       << ",\n";
 
   // ---- compile/execute split: repeated-forward reuse ------------------------
   // LeNet at batch 1 — the serving-shaped workload where per-forward weight

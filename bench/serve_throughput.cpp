@@ -18,9 +18,16 @@
 //   { "bench": "serve_throughput", "serial_rps": ..,
 //     "serial_compiled_rps": .., "batched_rps": ..,
 //     "batched_over_serial": .., "batched_over_compiled": ..,
-//     "bit_exact": ..., "stats": {...} }
+//     "bit_exact": ..., "stats": {...}, "tracing": {...}, "metrics": {...} }
+// With tracing requested (trace=path or --trace path) an extra interleaved
+// race measures the request-tracing overhead on a steady-state server: two
+// passes tracing-disabled and two tracing-enabled (best-of each), the
+// chrome://tracing JSON written from the enabled passes. The "tracing"
+// section feeds two check_perf.py gates: disabled/batched >= noise floor
+// (spans compiled in but off must cost nothing measurable) and
+// enabled/disabled >= overhead floor.
 // Overrides (key=value): requests=256 concurrency=16 replicas=2 max_batch=16
-//   max_wait_us=500 threads=1 inputs=8 seed=1 out=path.json
+//   max_wait_us=500 threads=1 inputs=8 seed=1 out=path.json trace=path.json
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -32,6 +39,9 @@
 
 #include "bench/bench_common.hpp"
 #include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "serve/load_gen.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
@@ -39,7 +49,20 @@
 using namespace lightator;
 
 int main(int argc, char** argv) {
-  const util::Config cfg = bench::parse_args(argc, argv);
+  // `--trace <path>` convenience spelling: strip it before the strict
+  // key=value parser sees it (equivalent to trace=<path>).
+  std::string trace_path;
+  std::vector<char*> cfg_args;
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::string(argv[i]) == "--trace") {
+      trace_path = argv[++i];
+      continue;
+    }
+    cfg_args.push_back(argv[i]);
+  }
+  const util::Config cfg = bench::parse_args(
+      static_cast<int>(cfg_args.size()), cfg_args.data());
+  if (trace_path.empty()) trace_path = cfg.get_string("trace", "");
   const std::size_t requests =
       static_cast<std::size_t>(cfg.get_int("requests", 256));
   const std::size_t concurrency =
@@ -124,6 +147,15 @@ int main(int argc, char** argv) {
   const double serial_compiled_rps =
       compiled_s > 0.0 ? static_cast<double>(requests) / compiled_s : 0.0;
 
+  // Per-layer execution stats for the metrics snapshot — collected on a few
+  // post-timing forwards so the timed loops above stay undisturbed.
+  serial_ctx.collect_stats = true;
+  for (std::size_t i = 0; i < std::min<std::size_t>(requests, 8); ++i) {
+    serial_model.run(inputs[serial_index[i]], serial_ctx).take();
+  }
+  serial_ctx.collect_stats = false;
+  obs::record_layer_stats(obs::MetricsRegistry::global(), serial_ctx.stats);
+
   // --- batched: the inference server --------------------------------------
   serve::ServerOptions so;
   so.backend = "gemm";
@@ -136,6 +168,44 @@ int main(int argc, char** argv) {
   const serve::LoadGenReport load = serve::run_closed_loop(server, inputs, lg);
   const serve::ServerStats stats = server.stats();
   server.shutdown();
+
+  // --- tracing overhead race (only when a trace was requested) --------------
+  // Interleaved best-of-2 passes, tracing off/on, against one steady-state
+  // server: interleaving cancels thermal / frequency drift, best-of damps
+  // scheduler noise. The trace artifact itself comes from the enabled
+  // passes.
+  double tracing_disabled_rps = 0.0, tracing_enabled_rps = 0.0;
+  std::size_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  const bool tracing_requested = !trace_path.empty();
+  if (tracing_requested) {
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    serve::InferenceServer race_server(sys, net, schedule, so);
+    const auto run_pass = [&] {
+      return serve::run_closed_loop(race_server, inputs, lg)
+          .requests_per_second;
+    };
+    run_pass();  // warmup: arenas, rings-to-be, queue steady state
+    for (int r = 0; r < 2; ++r) {
+      rec.stop();
+      tracing_disabled_rps = std::max(tracing_disabled_rps, run_pass());
+      rec.start();
+      tracing_enabled_rps = std::max(tracing_enabled_rps, run_pass());
+    }
+    rec.stop();
+    race_server.shutdown();
+    trace_events = rec.write_chrome_json(trace_path);
+    trace_dropped = rec.dropped();
+    std::printf("trace    %zu events (%llu dropped) -> %s\n", trace_events,
+                static_cast<unsigned long long>(trace_dropped),
+                trace_path.c_str());
+    std::printf("tracing  %8.1f req/s disabled, %8.1f req/s enabled "
+                "(%.3fx)\n",
+                tracing_disabled_rps, tracing_enabled_rps,
+                tracing_disabled_rps > 0.0
+                    ? tracing_enabled_rps / tracing_disabled_rps
+                    : 0.0);
+  }
 
   // --- bit-exactness: the serving determinism contract ---------------------
   bool exact = true;
@@ -183,7 +253,26 @@ int main(int argc, char** argv) {
        << "  \"batched_over_compiled\": " << compiled_ratio << ",\n"
        << "  \"reject_retries\": " << load.reject_retries << ",\n"
        << "  \"bit_exact\": " << (exact ? "true" : "false") << ",\n"
-       << "  \"stats\": " << stats.to_json("    ") << "\n}\n";
+       << "  \"stats\": " << stats.to_json("    ") << ",\n";
+  if (tracing_requested) {
+    json << "  \"tracing\": {\n"
+         << "    \"disabled_rps\": " << tracing_disabled_rps << ",\n"
+         << "    \"enabled_rps\": " << tracing_enabled_rps << ",\n"
+         << "    \"disabled_over_batched\": "
+         << (load.requests_per_second > 0.0
+                 ? tracing_disabled_rps / load.requests_per_second
+                 : 0.0)
+         << ",\n"
+         << "    \"enabled_over_disabled\": "
+         << (tracing_disabled_rps > 0.0
+                 ? tracing_enabled_rps / tracing_disabled_rps
+                 : 0.0)
+         << ",\n"
+         << "    \"trace_events\": " << trace_events << ",\n"
+         << "    \"trace_dropped\": " << trace_dropped << "\n  },\n";
+  }
+  json << "  \"metrics\": " << obs::MetricsRegistry::global().snapshot_json()
+       << "\n}\n";
 
   std::printf("%s", json.str().c_str());
   if (!out_path.empty()) {

@@ -268,6 +268,38 @@ def check_serve_throughput(current, baseline):
         print(f"{status}  serve: batched vs compiled-serial "
               f"{current.get('serial_compiled_rps', 0.0):.1f} req/s -> "
               f"{cratio:.2f}x (floor {compiled_floor:.2f}x)")
+    # Telemetry-plane overhead gates (PR 8): the bench races the same warmed
+    # steady-state server with the trace recorder stopped vs recording, so
+    # both ratios are same-process same-machine comparisons.
+    # "min_tracing_disabled_over_batched" bounds what the compiled-in-but-
+    # stopped telemetry plane costs against the main batched run;
+    # "min_tracing_enabled_over_disabled" bounds the live recording overhead.
+    # Skipped with a note when the snapshot ran without --trace.
+    tracing = current.get("tracing")
+    disabled_floor = serve.get("min_tracing_disabled_over_batched")
+    enabled_floor = serve.get("min_tracing_enabled_over_disabled")
+    if tracing is None:
+        if disabled_floor is not None or enabled_floor is not None:
+            print("note  serve: no \"tracing\" section (bench ran without "
+                  "--trace) — tracing overhead floors not checked")
+    else:
+        if disabled_floor is not None:
+            ratio = tracing.get("disabled_over_batched", 0.0)
+            status = "ok  " if ratio >= disabled_floor else "FAIL"
+            failed = failed or status == "FAIL"
+            print(f"{status}  serve: tracing-disabled "
+                  f"{tracing.get('disabled_rps', 0.0):.1f} req/s vs batched "
+                  f"-> {ratio:.2f}x (floor {disabled_floor:.2f}x)")
+        if enabled_floor is not None:
+            ratio = tracing.get("enabled_over_disabled", 0.0)
+            status = "ok  " if ratio >= enabled_floor else "FAIL"
+            failed = failed or status == "FAIL"
+            print(f"{status}  serve: tracing-enabled "
+                  f"{tracing.get('enabled_rps', 0.0):.1f} req/s vs disabled "
+                  f"-> {ratio:.2f}x (floor {enabled_floor:.2f}x)")
+        if tracing.get("trace_dropped", 0):
+            print(f"note  serve: trace ring dropped "
+                  f"{tracing['trace_dropped']} events (ring capacity)")
     stats = current.get("stats", {})
     if stats.get("failed", 0):
         print(f"FAIL  serve: {stats['failed']} requests failed")

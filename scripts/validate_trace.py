@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate a chrome://tracing JSON file produced by the lightator
+TraceRecorder (serve_throughput --trace, trace_dump).
+
+Checks, in order:
+
+  * the file parses and has a non-empty "traceEvents" array;
+  * every event carries the Trace Event Format required keys (name, cat,
+    ph, ts, pid, tid) with sane types, and complete events ('X') carry a
+    non-negative dur;
+  * per tid, the 'X' events form a proper span stack: sorted by
+    (ts asc, dur desc), every event either nests fully inside the open
+    span or starts after it ends — a partial overlap means torn
+    begin/end bookkeeping in the recorder. Async 'b'/'e' pairs (queue
+    residency, which legitimately crosses threads) are exempt from the
+    stack check but must balance per id: every 'b' has exactly one 'e'
+    with e.ts >= b.ts.
+
+With --min-requests N the trace must contain at least N distinct request
+ids on async "queue" begin events — the CI gate that the serve smoke run
+actually traced its load. With --expect-serve the serve-layer span names
+(submit, batch_dispatch, respond) and the core compiled_run span must all
+be present.
+
+Usage: validate_trace.py trace.json [--min-requests N] [--expect-serve]
+Exit status: 0 ok, 1 validation failure, 2 usage error.
+"""
+
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "cat", "ph", "ts", "pid", "tid")
+SERVE_SPANS = ("submit", "batch_dispatch", "respond", "compiled_run")
+
+
+def fail(msg):
+    print(f"FAIL  {msg}")
+    return False
+
+
+def check_required_keys(events):
+    ok = True
+    for i, e in enumerate(events):
+        for key in REQUIRED_KEYS:
+            if key not in e:
+                ok = fail(f"event {i}: missing required key {key!r}: {e}")
+                break
+        else:
+            if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+                ok = fail(f"event {i}: bad ts {e['ts']!r}")
+            if e["ph"] == "X" and e.get("dur", -1) < 0:
+                ok = fail(f"event {i}: 'X' event with missing/negative dur")
+            if e["ph"] in ("b", "e") and "id" not in e:
+                ok = fail(f"event {i}: async {e['ph']!r} event without id")
+    return ok
+
+
+def check_nesting(events):
+    """Per-tid monotonic nesting of complete events: after sorting by
+    (ts asc, dur desc) — the containment order chrome://tracing itself uses
+    to rebuild the stack — every event must either start after the open
+    span ends (pop) or end within it (push). Anything else is a partial
+    overlap the viewer would render as a corrupt stack."""
+    ok = True
+    by_tid = {}
+    for e in events:
+        if e["ph"] == "X":
+            by_tid.setdefault(e["tid"], []).append(e)
+    for tid, spans in sorted(by_tid.items()):
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for e in spans:
+            while stack and e["ts"] >= stack[-1]["ts"] + stack[-1]["dur"]:
+                stack.pop()
+            if stack and e["ts"] + e["dur"] > stack[-1]["ts"] + stack[-1]["dur"]:
+                top = stack[-1]
+                ok = fail(f"tid {tid}: span {e['name']!r} "
+                          f"[{e['ts']}, {e['ts'] + e['dur']}] partially "
+                          f"overlaps {top['name']!r} "
+                          f"[{top['ts']}, {top['ts'] + top['dur']}]")
+                continue
+            stack.append(e)
+        depth = max_stack_depth(spans)
+        print(f"ok    tid {tid}: {len(spans)} spans, max nesting depth {depth}")
+    return ok
+
+
+def max_stack_depth(sorted_spans):
+    depth = 0
+    stack = []
+    for e in sorted_spans:
+        while stack and e["ts"] >= stack[-1]["ts"] + stack[-1]["dur"]:
+            stack.pop()
+        stack.append(e)
+        depth = max(depth, len(stack))
+    return depth
+
+
+def check_async_pairs(events):
+    """Every async 'b' must close with exactly one matching-(name, id) 'e'
+    at ts >= the begin's ts."""
+    ok = True
+    begins = {}
+    ends = {}
+    for e in events:
+        if e["ph"] == "b":
+            begins.setdefault((e["name"], e["id"]), []).append(e)
+        elif e["ph"] == "e":
+            ends.setdefault((e["name"], e["id"]), []).append(e)
+    for key, bs in sorted(begins.items()):
+        es = ends.get(key, [])
+        if len(bs) != len(es):
+            ok = fail(f"async {key}: {len(bs)} begins vs {len(es)} ends")
+            continue
+        if min(e["ts"] for e in es) < min(b["ts"] for b in bs):
+            ok = fail(f"async {key}: end precedes begin")
+    for key in sorted(set(ends) - set(begins)):
+        ok = fail(f"async {key}: end without begin")
+    if begins:
+        print(f"ok    {len(begins)} async span pairs balanced")
+    return ok
+
+
+def main(argv):
+    path = None
+    min_requests = 0
+    expect_serve = False
+    i = 0
+    while i < len(argv):
+        a = argv[i]
+        if a == "--min-requests":
+            i += 1
+            min_requests = int(argv[i])
+        elif a.startswith("--min-requests="):
+            min_requests = int(a.split("=", 1)[1])
+        elif a == "--expect-serve":
+            expect_serve = True
+        elif path is None:
+            path = a
+        else:
+            print(__doc__.strip())
+            return 2
+        i += 1
+    if path is None:
+        print(__doc__.strip())
+        return 2
+
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace.get("traceEvents")
+    if not events:
+        print(f"FAIL  {path}: no traceEvents")
+        return 1
+
+    ok = check_required_keys(events)
+    ok = check_nesting(events) and ok
+    ok = check_async_pairs(events) and ok
+
+    if min_requests:
+        request_ids = {e["id"] for e in events
+                       if e["ph"] == "b" and e["name"] == "queue"}
+        status = "ok  " if len(request_ids) >= min_requests else "FAIL"
+        ok = ok and status == "ok  "
+        print(f"{status}  {len(request_ids)} distinct traced request ids "
+              f"(need >= {min_requests})")
+    if expect_serve:
+        names = {e["name"] for e in events}
+        missing = [n for n in SERVE_SPANS if n not in names]
+        if missing:
+            ok = fail(f"expected serve spans missing: {missing}")
+        else:
+            print(f"ok    serve spans present: {', '.join(SERVE_SPANS)}")
+
+    dropped = trace.get("otherData", {}).get("dropped_events", 0)
+    if dropped:
+        print(f"note  recorder dropped {dropped} events (ring wrapped)")
+    if not ok:
+        print(f"\ntrace validation FAILED: {path}")
+        return 1
+    print(f"\ntrace ok: {path} ({len(events)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

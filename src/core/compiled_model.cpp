@@ -9,6 +9,8 @@
 #include "core/lightator.hpp"
 #include "nn/layer.hpp"
 #include "nn/model_desc.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/activations.hpp"
 #include "tensor/gemm_s16_packed.hpp"
 #include "tensor/ops.hpp"
@@ -129,6 +131,25 @@ namespace {
       "first");
 }
 
+/// Static-lifetime description of what a step's fused epilogue applies —
+/// trace spans annotate with these (no allocation on the hot path).
+/// [[maybe_unused]]: compiled out with LIGHTATOR_DISABLE_TRACING.
+[[maybe_unused]] const char* epilogue_desc(const FusedEpilogue& ep) {
+  const bool pool = ep.pool != PoolKind::kNone;
+  if (ep.has_act && pool) {
+    return ep.quantizes() ? "act+quant+pool" : "act+pool";
+  }
+  if (ep.has_act) return ep.quantizes() ? "act+quant" : "act";
+  if (pool) return "pool";
+  return "none";
+}
+
+/// The microkernel tier this step's GEMM dispatch decision resolves to on
+/// this host (static string from tier_name).
+const char* step_kernel_name(const CompiledStep& step) {
+  return tensor::simd::tier_name(tensor::simd::resolve_tier(step.kernel.tier));
+}
+
 }  // namespace
 
 const std::string& CompiledModel::backend() const {
@@ -216,6 +237,8 @@ BatchOutput CompiledModel::run(const FrameBatch& batch,
   const Impl& impl = *impl_;
   const CompiledPlan& plan = impl.plan;
   const std::size_t frames = batch.items();
+
+  LIGHTATOR_TRACE_SPAN("compiled_run", "core");
 
   // Borrowed-frame gather state: non-null until the first weighted layer
   // consumes the frames (or a non-weighted layer materializes them). `cur`
@@ -343,6 +366,9 @@ BatchOutput CompiledModel::run(const FrameBatch& batch,
     s.macs = desc.macs();
     s.frames = frames;
     s.wall_seconds = wall_seconds;
+    s.backend = impl.backend_name;
+    // The resolved microkernel tier only describes the packed-GEMM datapath.
+    if (impl.backend_name == "gemm") s.kernel = step_kernel_name(step);
     const LayerMapping mapping = impl.system->mapper().map_layer(desc);
     s.modeled_latency = impl.system->timing_model().layer_timing(mapping).latency;
     s.modeled_energy =
@@ -354,6 +380,9 @@ BatchOutput CompiledModel::run(const FrameBatch& batch,
     const CompiledStep& step = plan.steps[i];
     switch (step.kind) {
       case nn::LayerKind::kConv: {
+        LIGHTATOR_TRACE_SPAN_DETAIL(step.name.c_str(), "step", 0, "kernel",
+                                    step_kernel_name(step), "epilogue",
+                                    epilogue_desc(step.epilogue));
         const std::size_t in_h =
             gather != nullptr ? (*gather)[0]->dim(2) : cur->dim(2);
         const std::size_t in_w =
@@ -385,6 +414,9 @@ BatchOutput CompiledModel::run(const FrameBatch& batch,
         break;
       }
       case nn::LayerKind::kLinear: {
+        LIGHTATOR_TRACE_SPAN_DETAIL(step.name.c_str(), "step", 0, "kernel",
+                                    step_kernel_name(step), "epilogue",
+                                    epilogue_desc(step.epilogue));
         quantize_acts(step.abits);
         // With the flatten stage eliminated, activations reach the fc layer
         // still spatially shaped: reshape the codes logically (the storage
@@ -498,6 +530,8 @@ double CompiledModel::evaluate(const nn::Dataset& data, ExecutionContext& ctx,
 
 CompiledModel Engine::compile(const nn::Network& net,
                               CompileOptions options) const {
+  LIGHTATOR_TRACE_SPAN("compile", "compile");
+  const auto compile_start = std::chrono::steady_clock::now();
   auto impl = std::make_shared<CompiledModel::Impl>();
   impl->system = system_;
   impl->backend_name = options.backend;
@@ -644,6 +678,13 @@ CompiledModel Engine::compile(const nn::Network& net,
   pass_ctx.pinned_kernel_plan = options.pinned_kernel_plan.get();
   pass_ctx.force_kernel = options.force_kernel;
   default_pass_pipeline(options.passes).run(impl->plan, pass_ctx);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("compile.count").add(1);
+  reg.histogram("compile.ms").observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - compile_start)
+          .count());
 
   CompiledModel model;
   model.impl_ = std::move(impl);

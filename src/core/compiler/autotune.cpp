@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/gemm_s16.hpp"
 #include "tensor/gemm_s16_packed.hpp"
 #include "tensor/simd.hpp"
@@ -97,6 +99,8 @@ KernelPlanEntry autotune_gemm_geometry(const GemmGeometry& geom, int reps) {
     return entry;
   }
 
+  LIGHTATOR_TRACE_SPAN("autotune_geometry", "compile");
+
   // Synthetic operands reproducing the geometry's accumulation mode: small
   // magnitudes keep every segment int32-safe; full-range magnitudes push the
   // width predicate into the int64 path for any multi-term segment.
@@ -113,6 +117,7 @@ KernelPlanEntry autotune_gemm_geometry(const GemmGeometry& geom, int reps) {
   std::vector<double> c(geom.m * geom.n);
 
   entry.measured = true;
+  entry.hysteresis_margin = kWinMargin;
   double best = std::numeric_limits<double>::infinity();
   for (const tensor::KernelConfig& cfg : configs) {
     time_gemm_us(pa, pb, c.data(), geom.n, cfg);  // warmup
@@ -130,6 +135,13 @@ KernelPlanEntry autotune_gemm_geometry(const GemmGeometry& geom, int reps) {
       entry.choice = cfg;
     }
   }
+
+  // Race result onto the telemetry plane: how many geometries were measured,
+  // how many candidates raced, and the winning best-of-reps times.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("compile.autotune.geometries").add(1);
+  reg.counter("compile.autotune.candidates").add(entry.candidates.size());
+  reg.histogram("compile.autotune.winner_us").observe(best);
   return entry;
 }
 

@@ -1,10 +1,13 @@
 #include "core/compiler/pass_manager.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "core/compiler/autotune.hpp"
 #include "core/compiler/passes.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lightator::core {
 
@@ -16,14 +19,24 @@ PassManager& PassManager::add(std::unique_ptr<CompilerPass> pass) {
 void PassManager::run(CompiledPlan& plan, const PassContext& ctx) const {
   validate_plan(plan);  // a malformed input plan is a compile bug, not a pass bug
   for (const auto& pass : passes_) {
-    pass->run(plan, ctx);
+    const std::string pname = pass->name();  // outlives the span below
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      LIGHTATOR_TRACE_SPAN(pname.c_str(), "compile");
+      pass->run(plan, ctx);
+    }
+    obs::MetricsRegistry::global()
+        .histogram("compile.pass." + pname + ".ms")
+        .observe(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
     try {
       validate_plan(plan);
     } catch (const std::logic_error& e) {
-      throw std::logic_error("compiler pass '" + pass->name() +
+      throw std::logic_error("compiler pass '" + pname +
                              "' broke the plan: " + e.what());
     }
-    plan.applied_passes.push_back(pass->name());
+    plan.applied_passes.push_back(pname);
   }
 }
 

@@ -75,6 +75,10 @@ struct KernelPlanEntry {
   tensor::KernelConfig choice;
   bool measured = false;
   std::vector<KernelCandidate> candidates;
+  /// The win-margin hysteresis the race applied (0 when nothing was
+  /// measured) — part of the tuning report so a reader of the JSON artifact
+  /// can tell how decisive the winner was.
+  double hysteresis_margin = 0.0;
 };
 
 /// The per-geometry kernel decisions carried by a CompiledModel — the

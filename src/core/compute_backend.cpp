@@ -171,6 +171,11 @@ void accumulate_layer_stats(std::vector<LayerExecStats>& into,
         existing.weight_bits == s.weight_bits) {
       existing.wall_seconds += s.wall_seconds;
       existing.frames += s.frames;
+      // Provenance fields are per-run constants; adopt them when the
+      // existing entry predates their introduction (merged from a source
+      // that didn't fill them).
+      if (existing.backend.empty()) existing.backend = s.backend;
+      if (existing.kernel.empty()) existing.kernel = s.kernel;
       return;
     }
   }

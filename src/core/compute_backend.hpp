@@ -58,6 +58,8 @@ struct LayerExecStats {
   double wall_seconds = 0.0;      // simulator wall time, all frames
   double modeled_latency = 0.0;   // TimingModel single-frame latency (s)
   double modeled_energy = 0.0;    // PowerModel per-frame energy (J)
+  std::string backend;            // backend that executed the layer
+  std::string kernel;             // resolved microkernel tier ("" = scalar path)
 };
 
 /// Everything a datapath invocation needs beyond the tensors: which backend,

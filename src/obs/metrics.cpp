@@ -1,0 +1,184 @@
+#include "obs/metrics.hpp"
+
+#include <functional>
+#include <sstream>
+#include <thread>
+
+namespace lightator::obs {
+
+namespace {
+
+// Metric names and attr values are code-controlled identifiers, but layer
+// names flow in from user model definitions — escape the JSON specials.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::size_t sketch_capacity) : capacity_(sketch_capacity) {
+  shards_.reserve(kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(capacity_));
+  }
+}
+
+Histogram::Shard& Histogram::local_shard() {
+  const std::size_t idx =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+  return *shards_[idx];
+}
+
+void Histogram::observe(double value) {
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.sketch.add(value);
+}
+
+util::StreamingQuantiles Histogram::snapshot() const {
+  util::StreamingQuantiles merged(capacity_);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    merged.merge(shard->sketch);
+  }
+  return merged;
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->sketch.count();
+  }
+  return total;
+}
+
+void Histogram::reset() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->sketch = util::StreamingQuantiles(capacity_);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::size_t sketch_capacity) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(sketch_capacity);
+  return *slot;
+}
+
+void MetricsRegistry::annotate(const std::string& name, const std::string& key,
+                               const std::string& value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  attrs_[name][key] = value;
+}
+
+std::string MetricsRegistry::snapshot_json(const std::string& indent) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  const std::string i1 = indent;
+  const std::string i2 = indent + indent;
+  out << "{\n" << i1 << "\"version\": 1,\n";
+
+  out << i1 << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out << (first ? "\n" : ",\n") << i2 << "\"" << json_escape(name)
+        << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n" + i1) << "},\n";
+
+  out << i1 << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out << (first ? "\n" : ",\n") << i2 << "\"" << json_escape(name)
+        << "\": " << g->value();
+    first = false;
+  }
+  out << (first ? "" : "\n" + i1) << "},\n";
+
+  out << i1 << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    const util::StreamingQuantiles q = h->snapshot();
+    out << (first ? "\n" : ",\n") << i2 << "\"" << json_escape(name)
+        << "\": {\"count\": " << q.count();
+    if (!q.empty()) {
+      out << ", \"min\": " << q.min() << ", \"max\": " << q.max()
+          << ", \"mean\": " << q.mean() << ", \"p50\": " << q.quantile(0.5)
+          << ", \"p90\": " << q.quantile(0.9)
+          << ", \"p95\": " << q.quantile(0.95)
+          << ", \"p99\": " << q.quantile(0.99);
+    }
+    out << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + i1) << "},\n";
+
+  out << i1 << "\"attrs\": {";
+  first = true;
+  for (const auto& [name, kv] : attrs_) {
+    out << (first ? "\n" : ",\n") << i2 << "\"" << json_escape(name) << "\": {";
+    bool kfirst = true;
+    for (const auto& [k, v] : kv) {
+      if (!kfirst) out << ", ";
+      kfirst = false;
+      out << "\"" << json_escape(k) << "\": \"" << json_escape(v) << "\"";
+    }
+    out << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + i1) << "}\n}";
+  return out.str();
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  attrs_.clear();
+}
+
+}  // namespace lightator::obs

@@ -1,0 +1,140 @@
+// Process-wide metrics registry: named counters, gauges, and histograms.
+//
+// The observability half of src/obs/ that answers "how much / how fast"
+// questions (the other half, obs/trace.hpp, answers "where did the time
+// go"). Every subsystem — the serving layer's request counters and latency
+// sketches, Engine::compile's pass timings and autotune race results, the
+// per-layer execution stats bridge (obs/report.hpp) — reports through one
+// surface, so a single snapshot_json() call captures the whole process
+// state for dashboards, CI artifacts, and the autoscaler signals ROADMAP
+// item 4 needs.
+//
+// Concurrency model:
+//   * Counter / Gauge are single relaxed atomics — hot-path increments are
+//     wait-free and allocation-free;
+//   * Histogram observations land in one of a fixed set of shards (picked
+//     by thread-id hash), each a mutex + util::StreamingQuantiles sketch, so
+//     concurrent observers contend only when hashed onto the same shard.
+//     snapshot() merges the shards in index order; while total observations
+//     stay within the sketch capacity the merged quantiles are exact, hence
+//     deterministic regardless of which thread recorded which value (the
+//     registry merge determinism the tests assert);
+//   * metric handles returned by counter()/gauge()/histogram() are stable
+//     for the registry's lifetime — reset() zeroes values but never
+//     invalidates a cached handle, which is what lets the serving layer
+//     resolve its handles once at construction and increment lock-free.
+//
+// snapshot_json() emits a versioned object:
+//   { "version": 1, "counters": {...}, "gauges": {...},
+//     "histograms": {name: {count,min,max,mean,p50,p90,p95,p99}},
+//     "attrs": {name: {key: value, ...}} }
+// `attrs` carries static annotations (backend name, kernel tier, units)
+// attached via annotate().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/streaming_quantiles.hpp"
+
+namespace lightator::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  /// Relaxed CAS accumulate (gauges are low-rate; counters cover hot paths).
+  void add(double delta) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Histogram {
+ public:
+  explicit Histogram(std::size_t sketch_capacity = 512);
+
+  /// Records one observation into the calling thread's shard.
+  void observe(double value);
+
+  /// Shards merged in index order — deterministic, and exact while the
+  /// total observation count fits the sketch capacity.
+  util::StreamingQuantiles snapshot() const;
+
+  std::uint64_t count() const;
+  void reset();
+
+ private:
+  static constexpr std::size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mutex;
+    util::StreamingQuantiles sketch;
+    explicit Shard(std::size_t capacity) : sketch(capacity) {}
+  };
+  Shard& local_shard();
+
+  std::size_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every built-in subsystem reports to.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name. The returned reference is stable for the
+  /// registry's lifetime (reset() zeroes values, never destroys metrics),
+  /// so callers cache it once and update lock-free thereafter.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name,
+                       std::size_t sketch_capacity = 512);
+
+  /// Attaches a static key=value annotation to `name` (backend, kernel
+  /// tier, units); emitted under "attrs" in the snapshot. Last write wins.
+  void annotate(const std::string& name, const std::string& key,
+                const std::string& value);
+
+  /// Versioned JSON snapshot of every registered metric (see file comment).
+  std::string snapshot_json(const std::string& indent = "  ") const;
+
+  /// Zeroes every value and drops annotations; handles stay valid. Tests
+  /// bracket with this so process-wide accumulation never leaks across
+  /// cases.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::map<std::string, std::string>> attrs_;
+};
+
+}  // namespace lightator::obs

@@ -1,0 +1,70 @@
+#include "obs/report.hpp"
+
+#include <sstream>
+
+#include "tensor/simd.hpp"
+
+namespace lightator::obs {
+
+namespace {
+
+void append_config(std::ostringstream& out, const tensor::KernelConfig& cfg) {
+  out << "{\"tier\": \"" << tensor::simd::tier_name(cfg.tier)
+      << "\", \"nc_strips\": " << cfg.nc_strips << "}";
+}
+
+}  // namespace
+
+std::string kernel_plan_json(const core::KernelPlan& plan,
+                             const std::string& indent) {
+  std::ostringstream out;
+  const std::string i1 = indent;
+  const std::string i2 = indent + indent;
+  out << "[";
+  bool first = true;
+  for (const core::KernelPlanEntry& e : plan.entries) {
+    out << (first ? "\n" : ",\n") << i1 << "{\n";
+    first = false;
+    out << i2 << "\"geometry\": {\"m\": " << e.geom.m << ", \"n\": " << e.geom.n
+        << ", \"k\": " << e.geom.k << ", \"seg\": " << e.geom.seg
+        << ", \"wide\": " << (e.geom.wide ? "true" : "false") << "},\n";
+    out << i2 << "\"choice\": ";
+    append_config(out, e.choice);
+    out << ",\n";
+    out << i2 << "\"measured\": " << (e.measured ? "true" : "false") << ",\n";
+    out << i2 << "\"hysteresis_margin\": " << e.hysteresis_margin << ",\n";
+    out << i2 << "\"candidates\": [";
+    bool cfirst = true;
+    for (const core::KernelCandidate& c : e.candidates) {
+      if (!cfirst) out << ", ";
+      cfirst = false;
+      out << "{\"tier\": \"" << tensor::simd::tier_name(c.config.tier)
+          << "\", \"nc_strips\": " << c.config.nc_strips
+          << ", \"best_us\": " << c.best_us << "}";
+    }
+    out << "]\n" << i1 << "}";
+  }
+  out << (first ? "" : "\n") << "]";
+  return out.str();
+}
+
+void record_layer_stats(MetricsRegistry& registry,
+                        const std::vector<core::LayerExecStats>& stats) {
+  for (const core::LayerExecStats& s : stats) {
+    std::ostringstream prefix;
+    prefix << "layer." << s.layer_index << "." << s.name;
+    const std::string base = prefix.str();
+    registry.gauge(base + ".compute_ms").set(s.wall_seconds * 1e3);
+    registry.counter(base + ".frames").add(s.frames);
+    registry.gauge(base + ".macs_per_frame")
+        .set(static_cast<double>(s.macs));
+    if (!s.backend.empty()) registry.annotate(base, "backend", s.backend);
+    if (!s.kernel.empty()) registry.annotate(base, "kernel", s.kernel);
+    registry.annotate(base, "weight_bits", std::to_string(s.weight_bits));
+    if (!s.kernel.empty()) {
+      registry.counter("kernel." + s.kernel + ".frames").add(s.frames);
+    }
+  }
+}
+
+}  // namespace lightator::obs

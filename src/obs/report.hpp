@@ -1,0 +1,44 @@
+// Structured reports bridging the core's execution records onto the
+// telemetry plane.
+//
+// Two jobs, both off the hot path:
+//   * kernel_plan_json — the kernel-autotune tuning report (per-geometry
+//     candidates, best-of-reps timings, winner, hysteresis margin) as a
+//     JSON array. bench/backend_compare and `kernel_probe --json` print it;
+//     it is the artifact section the serialized-CompiledModel work (ROADMAP
+//     item 1) will embed so production never re-tunes.
+//   * record_layer_stats — folds a finished run's LayerExecStats vector
+//     (compute ms, frames, backend name, kernel tier) into a
+//     MetricsRegistry as per-layer gauges/counters with backend/kernel
+//     attrs, plus per-tier frame counters. Called explicitly by drivers
+//     after a stats-collecting run — never from CompiledModel::run, whose
+//     steady state must not touch registry name strings.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiler/plan.hpp"
+#include "core/compute_backend.hpp"
+#include "obs/metrics.hpp"
+
+namespace lightator::obs {
+
+/// JSON array, one object per tuned geometry:
+///   [{"geometry": {"m","n","k","seg","wide"},
+///     "choice": {"tier","nc_strips"}, "measured": bool,
+///     "hysteresis_margin": 0.05,
+///     "candidates": [{"tier","nc_strips","best_us"}, ...]}, ...]
+std::string kernel_plan_json(const core::KernelPlan& plan,
+                             const std::string& indent = "  ");
+
+/// Registers per-layer execution stats on `registry`:
+///   layer.<index>.<name>.compute_ms (gauge, total wall ms)
+///   layer.<index>.<name>.frames     (counter)
+///   layer.<index>.<name>.macs_per_frame (gauge)
+/// each annotated with backend / kernel / weight_bits attrs, plus
+/// kernel.<tier>.frames counters aggregated across layers.
+void record_layer_stats(MetricsRegistry& registry,
+                        const std::vector<core::LayerExecStats>& stats);
+
+}  // namespace lightator::obs

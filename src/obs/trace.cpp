@@ -1,0 +1,341 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace lightator::obs {
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t next_recorder_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s; ++s) {
+    switch (*s) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += *s;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+/// One thread's pre-sized event buffer. `buf` is resized once at
+/// construction (the thread's only tracing allocation); overwrite-oldest on
+/// wrap keeps the newest `capacity` events and advances `dropped`.
+struct TraceRecorder::Ring {
+  Ring(std::size_t capacity, std::uint32_t tid_in, std::thread::id owner_in)
+      : tid(tid_in), owner(owner_in) {
+    buf.resize(capacity);
+  }
+
+  mutable std::mutex mutex;
+  std::vector<TraceEvent> buf;
+  std::size_t head = 0;   // next write slot
+  std::size_t count = 0;  // live events (<= buf.size())
+  std::uint64_t dropped = 0;
+  std::uint64_t total_recorded = 0;
+  const std::uint32_t tid;
+  const std::thread::id owner;
+};
+
+namespace {
+
+// Per-thread (recorder_id -> ring) cache so steady-state record() skips the
+// registry mutex entirely. Fixed-size with round-robin eviction: no heap, and
+// an evicted entry just falls back to the owner scan in local_ring().
+struct TlsRingCache {
+  static constexpr std::size_t kSlots = 4;
+  std::uint64_t recorder_id[kSlots] = {0, 0, 0, 0};
+  TraceRecorder::Ring* ring[kSlots] = {nullptr, nullptr, nullptr, nullptr};
+  std::size_t next_evict = 0;
+};
+thread_local TlsRingCache tls_ring_cache;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      epoch_ns_(steady_ns()),
+      recorder_id_(next_recorder_id()) {}
+
+TraceRecorder::~TraceRecorder() {
+  // Invalidate any TLS cache entries held by this thread; other threads'
+  // stale entries are keyed by the process-unique recorder_id_, which is
+  // never reissued, so they can only miss — never alias a new recorder.
+  for (std::size_t i = 0; i < TlsRingCache::kSlots; ++i) {
+    if (tls_ring_cache.recorder_id[i] == recorder_id_) {
+      tls_ring_cache.recorder_id[i] = 0;
+      tls_ring_cache.ring[i] = nullptr;
+    }
+  }
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder();  // never destroyed
+  return *recorder;
+}
+
+void TraceRecorder::start() {
+  if (recorded() == 0) {
+    epoch_ns_ = steady_ns();  // fresh capture: rebase so ts starts near 0
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::stop() { enabled_.store(false, std::memory_order_relaxed); }
+
+void TraceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlock(ring->mutex);
+    ring->head = 0;
+    ring->count = 0;
+    ring->dropped = 0;
+    ring->total_recorded = 0;
+  }
+  epoch_ns_ = steady_ns();
+}
+
+std::int64_t TraceRecorder::now_us() const {
+  return (steady_ns() - epoch_ns_) / 1000;
+}
+
+std::int64_t TraceRecorder::to_us(
+    std::chrono::steady_clock::time_point tp) const {
+  return (std::chrono::duration_cast<std::chrono::nanoseconds>(
+              tp.time_since_epoch())
+              .count() -
+          epoch_ns_) /
+         1000;
+}
+
+TraceRecorder::Ring& TraceRecorder::local_ring() {
+  TlsRingCache& cache = tls_ring_cache;
+  for (std::size_t i = 0; i < TlsRingCache::kSlots; ++i) {
+    if (cache.recorder_id[i] == recorder_id_) return *cache.ring[i];
+  }
+  // Slow path: first event from this thread (or cache eviction). Find or
+  // create the thread's ring under the registry mutex.
+  const std::thread::id self = std::this_thread::get_id();
+  Ring* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(rings_mutex_);
+    for (auto& r : rings_) {
+      if (r->owner == self) {
+        ring = r.get();
+        break;
+      }
+    }
+    if (ring == nullptr) {
+      rings_.push_back(std::make_unique<Ring>(
+          ring_capacity_, static_cast<std::uint32_t>(rings_.size()), self));
+      ring = rings_.back().get();
+    }
+  }
+  const std::size_t slot = cache.next_evict;
+  cache.next_evict = (cache.next_evict + 1) % TlsRingCache::kSlots;
+  cache.recorder_id[slot] = recorder_id_;
+  cache.ring[slot] = ring;
+  return *ring;
+}
+
+void TraceRecorder::record(const char* name, const char* cat,
+                           std::int64_t ts_us, std::int64_t dur_us,
+                           std::uint64_t request_id, const char* detail_key0,
+                           const char* detail_val0, const char* detail_key1,
+                           const char* detail_val1) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  TraceEvent& ev = ring.buf[ring.head];
+  std::size_t n = 0;
+  for (; n + 1 < TraceEvent::kNameCapacity && name[n] != '\0'; ++n) {
+    ev.name[n] = name[n];
+  }
+  ev.name[n] = '\0';
+  ev.cat = cat;
+  ev.ph = 'X';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = ring.tid;
+  ev.request_id = request_id;
+  ev.detail_key[0] = detail_key0;
+  ev.detail_val[0] = detail_val0;
+  ev.detail_key[1] = detail_key1;
+  ev.detail_val[1] = detail_val1;
+  ring.head = (ring.head + 1) % ring.buf.size();
+  if (ring.count < ring.buf.size()) {
+    ++ring.count;
+  } else {
+    ++ring.dropped;  // wrapped: the oldest event was just overwritten
+  }
+  ++ring.total_recorded;
+}
+
+void TraceRecorder::record_async(const char* name, const char* cat,
+                                 std::int64_t ts_us, std::int64_t dur_us,
+                                 std::uint64_t request_id) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  TraceEvent& ev = ring.buf[ring.head];
+  std::size_t n = 0;
+  for (; n + 1 < TraceEvent::kNameCapacity && name[n] != '\0'; ++n) {
+    ev.name[n] = name[n];
+  }
+  ev.name[n] = '\0';
+  ev.cat = cat;
+  ev.ph = 'A';
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = ring.tid;
+  ev.request_id = request_id;
+  ev.detail_key[0] = nullptr;
+  ev.detail_val[0] = nullptr;
+  ev.detail_key[1] = nullptr;
+  ev.detail_val[1] = nullptr;
+  ring.head = (ring.head + 1) % ring.buf.size();
+  if (ring.count < ring.buf.size()) {
+    ++ring.count;
+  } else {
+    ++ring.dropped;
+  }
+  ++ring.total_recorded;
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  std::vector<TraceEvent> out;
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlock(ring->mutex);
+    const std::size_t cap = ring->buf.size();
+    const std::size_t oldest = (ring->head + cap - ring->count) % cap;
+    for (std::size_t i = 0; i < ring->count; ++i) {
+      out.push_back(ring->buf[(oldest + i) % cap]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlock(ring->mutex);
+    total += ring->dropped;
+  }
+  return total;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> rlock(ring->mutex);
+    total += ring->total_recorded;
+  }
+  return total;
+}
+
+std::uint32_t TraceRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lock(rings_mutex_);
+  return static_cast<std::uint32_t>(rings_.size());
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::vector<TraceEvent> events = snapshot();
+  // (ts asc, dur desc): a parent span starts no later and ends no earlier
+  // than its children, so this order lets viewers rebuild the nesting stack
+  // by containment.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;
+                   });
+  std::ostringstream out;
+  out << "{\n\"traceEvents\": [";
+  bool first = true;
+  auto emit_args = [&out](const TraceEvent& ev) {
+    out << ", \"args\": {";
+    bool afirst = true;
+    if (ev.request_id != 0) {
+      out << "\"request_id\": " << ev.request_id;
+      afirst = false;
+    }
+    for (int slot = 0; slot < 2; ++slot) {
+      if (ev.detail_key[slot] != nullptr && ev.detail_val[slot] != nullptr) {
+        if (!afirst) out << ", ";
+        afirst = false;
+        out << "\"" << json_escape(ev.detail_key[slot]) << "\": \""
+            << json_escape(ev.detail_val[slot]) << "\"";
+      }
+    }
+    out << "}}";
+  };
+  for (const TraceEvent& ev : events) {
+    const std::string name = json_escape(ev.name);
+    const std::string cat = json_escape(ev.cat != nullptr ? ev.cat : "");
+    if (ev.ph == 'A') {
+      // Async span: a "b"/"e" pair keyed by (cat, id, name) — rendered on
+      // its own track, exempt from per-thread stack nesting.
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "{\"name\": \"" << name << "\", \"cat\": \"" << cat
+          << "\", \"ph\": \"b\", \"id\": " << ev.request_id
+          << ", \"ts\": " << ev.ts_us << ", \"pid\": 0, \"tid\": " << ev.tid;
+      emit_args(ev);
+      out << ",\n{\"name\": \"" << name << "\", \"cat\": \"" << cat
+          << "\", \"ph\": \"e\", \"id\": " << ev.request_id
+          << ", \"ts\": " << ev.ts_us + ev.dur_us
+          << ", \"pid\": 0, \"tid\": " << ev.tid << ", \"args\": {}}";
+      continue;
+    }
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "{\"name\": \"" << name << "\", \"cat\": \"" << cat
+        << "\", \"ph\": \"X\", \"ts\": " << ev.ts_us
+        << ", \"dur\": " << ev.dur_us << ", \"pid\": 0, \"tid\": " << ev.tid;
+    emit_args(ev);
+  }
+  out << (first ? "" : "\n") << "],\n";
+  out << "\"displayTimeUnit\": \"ms\",\n";
+  out << "\"otherData\": {\"dropped_events\": " << dropped() << "}\n}";
+  return out.str();
+}
+
+std::size_t TraceRecorder::write_chrome_json(const std::string& path) const {
+  const std::size_t n = snapshot().size();
+  std::ofstream out(path);
+  out << chrome_json() << "\n";
+  return n;
+}
+
+}  // namespace lightator::obs

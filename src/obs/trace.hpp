@@ -1,0 +1,224 @@
+// Request tracing: chrome://tracing / Perfetto-loadable span recording.
+//
+// The "where did the time go" half of src/obs/. A TraceRecorder captures
+// nested spans — submit → queue → batch_dispatch → replica/backend →
+// per-step conv/linear → respond — and writes them as Trace Event Format
+// JSON ("X" complete events with microsecond ts/dur keyed by pid/tid), the
+// format chrome://tracing and ui.perfetto.dev load directly.
+//
+// Hot-path contract (the part that earns its place next to the memory
+// planner): recording must not break the `-DLIGHTATOR_ALLOC_TRACE=ON`
+// zero-allocation steady-state gate. Events are fixed-size PODs (span
+// names memcpy'd into an inline buffer, two optional const-char* detail
+// slots for static strings like kernel tier names) appended to pre-sized
+// per-thread ring buffers. A thread's ring is allocated on its first
+// event — one allocation per thread, covered by warmup — and then reused
+// forever; when a ring wraps, the oldest events are overwritten and the
+// recorder's dropped() counter advances. Each ring has its own mutex,
+// uncontended in steady state (only snapshot() takes them all).
+//
+// Cost model:
+//   * tracing compiled in, disabled (default): one relaxed atomic load per
+//     LIGHTATOR_TRACE_SPAN site;
+//   * tracing enabled: two steady_clock reads + a ~100-byte ring store per
+//     span (overhead floor gated in CI via serve_throughput's interleaved
+//     tracing race);
+//   * -DLIGHTATOR_DISABLE_TRACING=ON: the macros expand to nothing — true
+//     zero cost, the config CI's scalar job builds.
+//
+// Usage:
+//   obs::TraceRecorder::global().start();
+//   { LIGHTATOR_TRACE_SPAN("batch_dispatch", "serve"); ... }
+//   obs::TraceRecorder::global().write_chrome_json("trace.json");
+// Open the file in chrome://tracing or ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lightator::obs {
+
+/// One completed span. POD — no heap members, memcpy-safe — so recording
+/// into a pre-sized ring never allocates. `ph` selects the serialization:
+/// 'X' is a synchronous complete event (nested by containment on its tid's
+/// stack); 'A' is an async span, written out as a "b"/"e" pair keyed by
+/// request_id — the right shape for intervals that cross threads, like a
+/// request's queue residency (enqueued on the submitter, dispatched on a
+/// worker), which chrome://tracing renders on its own track instead of
+/// forcing onto a thread stack.
+struct TraceEvent {
+  static constexpr std::size_t kNameCapacity = 48;
+
+  char name[kNameCapacity];   // truncated copy, always NUL-terminated
+  const char* cat;            // static string ("serve", "step", "compile")
+  char ph;                    // 'X' sync complete, 'A' async span
+  std::int64_t ts_us;         // start, microseconds since recorder start
+  std::int64_t dur_us;        // duration, microseconds
+  std::uint32_t tid;          // recorder-assigned dense thread index
+  std::uint64_t request_id;   // 0 = not request-scoped
+  // Optional static-string annotations (kernel tier, fused epilogue);
+  // must point at storage with static lifetime. nullptr key = unused slot.
+  const char* detail_key[2];
+  const char* detail_val[2];
+};
+
+/// Records spans into per-thread ring buffers and serializes them as Trace
+/// Event Format JSON. One global() instance serves the whole process;
+/// tests may build locals.
+class TraceRecorder {
+ public:
+  /// `ring_capacity` events per thread (newest kept on overflow).
+  explicit TraceRecorder(std::size_t ring_capacity = 32768);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  static TraceRecorder& global();
+
+  /// Arms recording and (re)bases the clock; events before start() or
+  /// after stop() are ignored at the atomic-load gate.
+  void start();
+  void stop();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Drops all recorded events (rings stay allocated; drop counter zeroed).
+  void clear();
+
+  /// Records a completed span. ts/dur in microseconds relative to the
+  /// recorder epoch; cat/detail pointers must be static-lifetime strings.
+  /// No-op when disabled. Never allocates after the calling thread's first
+  /// event.
+  void record(const char* name, const char* cat, std::int64_t ts_us,
+              std::int64_t dur_us, std::uint64_t request_id = 0,
+              const char* detail_key0 = nullptr,
+              const char* detail_val0 = nullptr,
+              const char* detail_key1 = nullptr,
+              const char* detail_val1 = nullptr);
+
+  /// Async-span variant: serialized as a "b"/"e" pair keyed by request_id,
+  /// exempt from per-thread stack nesting (see TraceEvent::ph).
+  void record_async(const char* name, const char* cat, std::int64_t ts_us,
+                    std::int64_t dur_us, std::uint64_t request_id);
+
+  /// Microseconds since the recorder epoch (start() rebases it).
+  std::int64_t now_us() const;
+
+  /// Converts an already-captured steady_clock time point onto the recorder
+  /// timeline — lets callers trace intervals they timestamped themselves
+  /// (the serving layer's enqueue/dispatch points).
+  std::int64_t to_us(std::chrono::steady_clock::time_point tp) const;
+
+  /// All buffered events, oldest-first per tid. Takes every ring's mutex —
+  /// call from a quiesced or low-rate context, not the hot path.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Events overwritten by ring wraparound since the last clear().
+  std::uint64_t dropped() const;
+  std::uint64_t recorded() const;
+  /// Number of threads that have recorded at least one event.
+  std::uint32_t thread_count() const;
+
+  /// Writes the Trace Event Format JSON ({"traceEvents": [...]}) sorted by
+  /// (ts asc, dur desc) so viewers reconstruct nesting by containment.
+  /// Returns the number of events written.
+  std::size_t write_chrome_json(const std::string& path) const;
+  std::string chrome_json() const;
+
+  /// Opaque per-thread buffer (defined in trace.cpp; public only so the
+  /// implementation's thread-local cache can name it).
+  struct Ring;
+
+ private:
+  Ring& local_ring();
+
+  std::size_t ring_capacity_;
+  std::atomic<bool> enabled_{false};
+  std::int64_t epoch_ns_ = 0;
+
+  mutable std::mutex rings_mutex_;  // guards rings_ growth
+  std::vector<std::unique_ptr<Ring>> rings_;
+  const std::uint64_t recorder_id_;  // process-unique; keys the TLS cache
+};
+
+#if defined(LIGHTATOR_DISABLE_TRACING)
+
+// Compiled out: zero code at every span site.
+#define LIGHTATOR_TRACE_SPAN(name, cat) \
+  do {                                  \
+  } while (false)
+#define LIGHTATOR_TRACE_SPAN_REQ(name, cat, request_id) \
+  do {                                                  \
+  } while (false)
+#define LIGHTATOR_TRACE_SPAN_DETAIL(name, cat, request_id, k0, v0, k1, v1) \
+  do {                                                                     \
+  } while (false)
+
+#else
+
+/// RAII span against the global recorder: captures start in the
+/// constructor, records on destruction. The name/cat/detail pointers must
+/// outlive the scope (string literals, step-name c_str()s held by the
+/// CompiledModel, tier_name() statics all qualify).
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* cat, std::uint64_t request_id = 0,
+            const char* detail_key0 = nullptr,
+            const char* detail_val0 = nullptr,
+            const char* detail_key1 = nullptr,
+            const char* detail_val1 = nullptr)
+      : name_(name),
+        cat_(cat),
+        request_id_(request_id),
+        detail_key0_(detail_key0),
+        detail_val0_(detail_val0),
+        detail_key1_(detail_key1),
+        detail_val1_(detail_val1),
+        armed_(TraceRecorder::global().enabled()) {
+    if (armed_) start_us_ = TraceRecorder::global().now_us();
+  }
+  ~TraceSpan() {
+    if (armed_) {
+      TraceRecorder& rec = TraceRecorder::global();
+      rec.record(name_, cat_, start_us_, rec.now_us() - start_us_, request_id_,
+                 detail_key0_, detail_val0_, detail_key1_, detail_val1_);
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* cat_;
+  std::uint64_t request_id_;
+  const char* detail_key0_;
+  const char* detail_val0_;
+  const char* detail_key1_;
+  const char* detail_val1_;
+  bool armed_;
+  std::int64_t start_us_ = 0;
+};
+
+#define LIGHTATOR_TRACE_CONCAT_(a, b) a##b
+#define LIGHTATOR_TRACE_CONCAT(a, b) LIGHTATOR_TRACE_CONCAT_(a, b)
+
+#define LIGHTATOR_TRACE_SPAN(name, cat)                                 \
+  ::lightator::obs::TraceSpan LIGHTATOR_TRACE_CONCAT(lightator_span_,   \
+                                                     __LINE__)(name, cat)
+#define LIGHTATOR_TRACE_SPAN_REQ(name, cat, request_id)               \
+  ::lightator::obs::TraceSpan LIGHTATOR_TRACE_CONCAT(lightator_span_, \
+                                                     __LINE__)(name, cat, \
+                                                               request_id)
+#define LIGHTATOR_TRACE_SPAN_DETAIL(name, cat, request_id, k0, v0, k1, v1) \
+  ::lightator::obs::TraceSpan LIGHTATOR_TRACE_CONCAT(lightator_span_,      \
+                                                     __LINE__)(            \
+      name, cat, request_id, k0, v0, k1, v1)
+
+#endif  // LIGHTATOR_DISABLE_TRACING
+
+}  // namespace lightator::obs

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace lightator::serve {
@@ -19,6 +21,36 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
 
 }  // namespace
 
+/// The server's slice of the process metrics registry: every handle resolved
+/// once at construction, so the request path updates metrics with lock-free
+/// atomic increments and sharded sketch inserts — ServerStats is mirrored
+/// here so dashboards read one surface (obs::MetricsRegistry::global()
+/// .snapshot_json()) for serve, compile, and kernel telemetry alike.
+struct InferenceServer::Telemetry {
+  Telemetry()
+      : registry(obs::MetricsRegistry::global()),
+        submitted(registry.counter("serve.submitted")),
+        rejected(registry.counter("serve.rejected")),
+        completed(registry.counter("serve.completed")),
+        failed(registry.counter("serve.failed")),
+        batches(registry.counter("serve.batches")),
+        queue_depth(registry.gauge("serve.queue_depth")),
+        latency_ms(registry.histogram("serve.latency_ms")),
+        queue_ms(registry.histogram("serve.queue_ms")),
+        batch_size(registry.histogram("serve.batch_size")) {}
+
+  obs::MetricsRegistry& registry;
+  obs::Counter& submitted;
+  obs::Counter& rejected;
+  obs::Counter& completed;
+  obs::Counter& failed;
+  obs::Counter& batches;
+  obs::Gauge& queue_depth;
+  obs::Histogram& latency_ms;
+  obs::Histogram& queue_ms;
+  obs::Histogram& batch_size;
+};
+
 /// One serving replica: a private pool and an ExecutionContext wired for
 /// per-item quantization. The CompiledModel itself is immutable and shared —
 /// a replica carries no network state of its own, which is what lets N
@@ -30,6 +62,7 @@ struct InferenceServer::Replica {
     ctx.noise_seed = options.noise_seed;
     ctx.pool = &pool;
     ctx.per_item_act_scale = true;
+    ctx.collect_stats = options.collect_layer_stats;
   }
 
   util::ThreadPool pool;
@@ -78,6 +111,7 @@ InferenceServer::InferenceServer(core::CompiledModel compiled,
 }
 
 void InferenceServer::start_replicas() {
+  telemetry_ = std::make_unique<Telemetry>();
   const std::size_t n = std::max<std::size_t>(options_.replicas, 1);
   replicas_.reserve(n);
   workers_.reserve(n);
@@ -110,6 +144,7 @@ SubmitTicket InferenceServer::submit(tensor::Tensor input) {
 
 SubmitTicket InferenceServer::submit(tensor::Tensor input,
                                      std::uint64_t request_id) {
+  LIGHTATOR_TRACE_SPAN_REQ("submit", "serve", request_id);
   if (input.rank() == 3) {
     input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
   }
@@ -134,13 +169,16 @@ SubmitTicket InferenceServer::submit(tensor::Tensor input,
       first_submit_ = req.enqueued;
     }
   }
+  telemetry_->submitted.add(1);
   SubmitTicket ticket;
   ticket.result = req.promise.get_future();
   ticket.status = queue_.push(std::move(req));
+  telemetry_->queue_depth.set(static_cast<double>(queue_.depth()));
   if (ticket.status != SubmitStatus::kAccepted) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     if (ticket.status == SubmitStatus::kRejected) ++stats_.rejected;
   }
+  if (ticket.status == SubmitStatus::kRejected) telemetry_->rejected.add(1);
   if (ticket.status != SubmitStatus::kAccepted) {
     ticket.result = std::future<InferResult>();  // promise is gone
   }
@@ -159,6 +197,14 @@ InferResult InferenceServer::infer(tensor::Tensor input) {
 }
 
 void InferenceServer::worker_loop(Replica& replica) {
+  // Folds the replica context's per-batch layer stats into the server
+  // accumulator (the context is cleared so the next batch starts fresh).
+  const auto fold_layer_stats = [&] {
+    if (!options_.collect_layer_stats) return;
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    core::merge_layer_stats(layer_stats_, replica.ctx.stats);
+    replica.ctx.stats.clear();
+  };
   for (;;) {
     std::vector<PendingRequest> batch = queue_.pop_batch();
     if (batch.empty()) return;  // closed and drained
@@ -178,29 +224,56 @@ void InferenceServer::worker_loop(Replica& replica) {
       core::BatchOutput out = compiled_.run(replica.frames, replica.ctx);
       const Clock::time_point finished = Clock::now();
 
+#if !defined(LIGHTATOR_DISABLE_TRACING)
+      // The request-path spans: per-request queue residency (async —
+      // enqueued on the submitter thread, dispatched here) and the batch
+      // dispatch window that contains the compiled_run span recorded
+      // inside run(). Explicit timestamps, so recorded post-hoc with no
+      // work on the timed path beyond the two Clock::now() reads the
+      // stats already take.
+      {
+        obs::TraceRecorder& rec = obs::TraceRecorder::global();
+        if (rec.enabled()) {
+          const std::int64_t disp_us = rec.to_us(dispatched);
+          const std::int64_t fin_us = rec.to_us(finished);
+          for (const PendingRequest& req : batch) {
+            const std::int64_t enq_us = rec.to_us(req.enqueued);
+            rec.record_async("queue", "serve", enq_us, disp_us - enq_us,
+                             req.request_id);
+          }
+          rec.record("batch_dispatch", "serve", disp_us, fin_us - disp_us);
+        }
+      }
+#endif
+
       // Record before completing the futures: a client that has seen every
       // result must also see it reflected in stats().
       record_batch(batch, dispatched, finished, /*failed=*/false);
       recorded = true;
+      fold_layer_stats();
       // Zero-copy response path: every request shares the ref-counted batch
       // logits and reads its own row view. The logits tensor is freed when
       // the last request of the batch drops its result.
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        InferResult result;
-        result.batch = out;
-        result.row = i;
-        result.request_id = batch[i].request_id;
-        result.replica = replica.index;
-        result.batch_size = batch.size();
-        result.queue_seconds = seconds_between(batch[i].enqueued, dispatched);
-        result.total_seconds = seconds_between(batch[i].enqueued, finished);
-        batch[i].promise.set_value(std::move(result));
+      {
+        LIGHTATOR_TRACE_SPAN("respond", "serve");
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          InferResult result;
+          result.batch = out;
+          result.row = i;
+          result.request_id = batch[i].request_id;
+          result.replica = replica.index;
+          result.batch_size = batch.size();
+          result.queue_seconds = seconds_between(batch[i].enqueued, dispatched);
+          result.total_seconds = seconds_between(batch[i].enqueued, finished);
+          batch[i].promise.set_value(std::move(result));
+        }
       }
     } catch (...) {
       const std::exception_ptr error = std::current_exception();
       if (!recorded) {
         record_batch(batch, dispatched, Clock::now(), /*failed=*/true);
       }
+      fold_layer_stats();
       for (PendingRequest& req : batch) {
         try {
           req.promise.set_exception(error);
@@ -216,20 +289,43 @@ void InferenceServer::worker_loop(Replica& replica) {
 void InferenceServer::record_batch(const std::vector<PendingRequest>& batch,
                                    Clock::time_point dispatched,
                                    Clock::time_point finished, bool failed) {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.batches;
-  ++stats_.batch_size_hist[batch.size()];
-  stats_.busy_seconds += seconds_between(dispatched, finished);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    ++stats_.batch_size_hist[batch.size()];
+    stats_.busy_seconds += seconds_between(dispatched, finished);
+    if (failed) {
+      stats_.failed += batch.size();
+    } else {
+      stats_.completed += batch.size();
+      for (const PendingRequest& req : batch) {
+        stats_.queue_seconds.add(seconds_between(req.enqueued, dispatched));
+        stats_.latency_seconds.add(seconds_between(req.enqueued, finished));
+      }
+    }
+    // Monotonic: workers race into this lock, and a batch that finished
+    // EARLIER can acquire it AFTER a later-finishing one — writing
+    // unconditionally would move the wall-clock endpoint backwards and
+    // stats() snapshots taken in between would see throughput_rps go UP
+    // then DOWN on an identical request count.
+    if (finished > last_complete_) last_complete_ = finished;
+  }
+
+  // Mirror onto the process registry (outside the lock — handles are
+  // atomics/sharded sketches, and nothing below reads guarded state).
+  telemetry_->batches.add(1);
+  telemetry_->batch_size.observe(static_cast<double>(batch.size()));
   if (failed) {
-    stats_.failed += batch.size();
+    telemetry_->failed.add(batch.size());
   } else {
-    stats_.completed += batch.size();
+    telemetry_->completed.add(batch.size());
     for (const PendingRequest& req : batch) {
-      stats_.queue_seconds.add(seconds_between(req.enqueued, dispatched));
-      stats_.latency_seconds.add(seconds_between(req.enqueued, finished));
+      telemetry_->queue_ms.observe(seconds_between(req.enqueued, dispatched) *
+                                   1e3);
+      telemetry_->latency_ms.observe(seconds_between(req.enqueued, finished) *
+                                     1e3);
     }
   }
-  last_complete_ = finished;
 }
 
 ServerStats InferenceServer::stats() const {
@@ -240,6 +336,11 @@ ServerStats InferenceServer::stats() const {
           ? seconds_between(first_submit_, last_complete_)
           : 0.0;
   return snapshot;
+}
+
+std::vector<core::LayerExecStats> InferenceServer::layer_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return layer_stats_;
 }
 
 }  // namespace lightator::serve

@@ -55,6 +55,10 @@ struct ServerOptions {
   /// (noise_seed, request id): batch composition, batch size, and replica
   /// count still never change any request's output.
   std::uint64_t noise_seed = 0;
+  /// Collect per-layer execution stats (compute ms, backend, kernel tier)
+  /// in every replica context; merged snapshots via layer_stats(). Off by
+  /// default — the accumulation adds a timestamp pair per weighted step.
+  bool collect_layer_stats = false;
 };
 
 /// submit() outcome: `result` is valid only when status == kAccepted.
@@ -101,6 +105,13 @@ class InferenceServer {
   /// Consistent snapshot of the serving counters/sketches.
   ServerStats stats() const;
 
+  /// Per-layer execution stats accumulated across all replicas. Empty
+  /// unless ServerOptions::collect_layer_stats was set. Safe to call while
+  /// serving: workers fold each finished batch's stats into the server
+  /// accumulator under the stats lock, so this returns a consistent
+  /// snapshot at a batch boundary.
+  std::vector<core::LayerExecStats> layer_stats() const;
+
   /// The one artifact every replica executes (introspection/test hook).
   const core::CompiledModel& compiled() const { return compiled_; }
 
@@ -131,6 +142,14 @@ class InferenceServer {
   bool any_submit_ = false;
   std::chrono::steady_clock::time_point first_submit_;
   std::chrono::steady_clock::time_point last_complete_;
+  /// Per-layer stats folded in per batch (guarded by stats_mutex_); only
+  /// populated when options_.collect_layer_stats.
+  std::vector<core::LayerExecStats> layer_stats_;
+
+  /// Cached telemetry handles (obs::MetricsRegistry names resolved once at
+  /// construction; updates are lock-free atomic ops / sharded sketches).
+  struct Telemetry;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace lightator::serve

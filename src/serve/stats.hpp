@@ -6,6 +6,12 @@
 // server never stores per-request records). A snapshot is cheap to copy; the
 // serve_throughput bench serializes one to JSON and the examples print the
 // text report.
+//
+// The server also mirrors these counters and sketches into the process-wide
+// obs::MetricsRegistry (serve.submitted, serve.completed, serve.batches,
+// serve.queue_depth, serve.latency_ms, ...) so one registry snapshot covers
+// the serving layer alongside compile and kernel telemetry; ServerStats
+// stays the exact per-server view, the registry the process-wide one.
 #pragma once
 
 #include <cstddef>

@@ -11,6 +11,7 @@
 
 #include "core/experiment.hpp"
 #include "nn/models.hpp"
+#include "obs/trace.hpp"
 #include "util/alloc_trace.hpp"
 
 namespace lightator::core {
@@ -100,6 +101,52 @@ TEST(AllocTrace, SteadyStateServingShapedRunIsAllocationFree) {
   }
   EXPECT_EQ(scope.allocations(), 0u)
       << "steady-state serving-shaped run() allocated (sink=" << sink << ")";
+}
+
+TEST(AllocTrace, SteadyStateRunWithTracingEnabledIsAllocationFree) {
+  // The telemetry plane's hot-path contract: with the global TraceRecorder
+  // armed, every span CompiledModel::run emits (compiled_run + one per
+  // weighted step) lands in the calling thread's pre-sized ring without
+  // touching the heap. The thread's ring allocates once, on its first
+  // event — covered by the warmup runs below, exactly like the arena.
+  if (!util::alloc_trace::available()) {
+    GTEST_SKIP() << "built without LIGHTATOR_ALLOC_TRACE";
+  }
+  const LightatorSystem sys(ArchConfig::defaults());
+  util::Rng rng(203);
+  const nn::Network net = nn::build_lenet(rng);
+  const CompiledModel compiled = sys.compile(net, {});
+
+  tensor::Tensor x({4, 1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  util::ThreadPool pool(1);
+  ExecutionContext ctx;
+  ctx.pool = &pool;
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  rec.start();
+  for (int warm = 0; warm < 3; ++warm) {
+    const BatchOutput out = compiled.run(x, ctx);
+    ASSERT_EQ(out.items(), 4u);
+  }
+
+  float sink = 0.0f;
+  {
+    util::alloc_trace::Scope scope;
+    for (int r = 0; r < 5; ++r) {
+      const BatchOutput out = compiled.run(x, ctx);
+      sink += out.row(0)[0];
+    }
+    EXPECT_EQ(scope.allocations(), 0u)
+        << "steady-state run() with tracing enabled allocated (sink=" << sink
+        << ")";
+  }
+  rec.stop();
+#if !defined(LIGHTATOR_DISABLE_TRACING)
+  EXPECT_GE(rec.recorded(), 5u * 6u)
+      << "tracing was enabled but run() recorded no spans";
+#endif
+  rec.clear();
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+// The telemetry plane: MetricsRegistry snapshot semantics and TraceRecorder
+// ring/serialization behavior (src/obs/).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lightator::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeBasics) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  c.add(1);
+  EXPECT_EQ(c.value(), 4u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(Metrics, HistogramObservesAcrossThreads) {
+  Histogram h;
+  // 8 threads x 100 observations, values 1..800 exactly once — under the
+  // sketch capacity, so the merged snapshot is exact regardless of which
+  // shard each thread hashed to.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < 100; ++i) h.observe(t * 100 + i + 1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), 800u);
+  const util::StreamingQuantiles q = h.snapshot();
+  EXPECT_DOUBLE_EQ(q.min(), 1.0);
+  EXPECT_DOUBLE_EQ(q.max(), 800.0);
+  EXPECT_NEAR(q.quantile(0.5), 400.0, 1.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(Metrics, RegistryHandlesAreStable) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("requests");
+  c1.add(7);
+  // A second lookup returns the same object — handles cached across calls
+  // stay valid forever.
+  Counter& c2 = reg.counter("requests");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value(), 7u);
+  reg.reset();
+  EXPECT_EQ(c1.value(), 0u);  // reset zeroes, never destroys
+}
+
+TEST(Metrics, SnapshotJsonShapeAndDeterminism) {
+  MetricsRegistry reg;
+  reg.counter("serve.completed").add(12);
+  reg.gauge("serve.queue_depth").set(3.0);
+  Histogram& h = reg.histogram("latency_ms");
+  for (int i = 1; i <= 100; ++i) h.observe(i);
+  reg.annotate("layer.0.conv \"a\"", "kernel", "vnni");
+
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.completed\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"serve.queue_depth\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\": "), std::string::npos);
+  // JSON specials in user-controlled names are escaped.
+  EXPECT_NE(json.find("layer.0.conv \\\"a\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernel\": \"vnni\""), std::string::npos);
+  // Two snapshots of untouched state are byte-identical: the shard merge
+  // walks shards in index order and maps iterate sorted by name, so the
+  // serialization is deterministic.
+  EXPECT_EQ(json, reg.snapshot_json());
+}
+
+TEST(Metrics, MergeDeterministicUnderThreadedObservation) {
+  // Same multiset of observations pushed through two registries from
+  // different thread interleavings must merge to identical quantiles —
+  // exact while under sketch capacity, so shard assignment cannot matter.
+  auto fill = [](MetricsRegistry& reg, int nthreads) {
+    Histogram& h = reg.histogram("v");
+    std::vector<std::thread> workers;
+    for (int t = 0; t < nthreads; ++t) {
+      workers.emplace_back([&h, t, nthreads] {
+        for (int i = t; i < 400; i += nthreads) h.observe(i);
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+  MetricsRegistry a, b;
+  fill(a, 2);
+  fill(b, 7);
+  EXPECT_EQ(a.snapshot_json(), b.snapshot_json());
+}
+
+#if !defined(LIGHTATOR_DISABLE_TRACING)
+
+TEST(Trace, DisabledRecordsNothing) {
+  TraceRecorder rec(64);
+  rec.record("span", "test", 0, 10);
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+  rec.start();
+  rec.record("span", "test", 0, 10);
+  rec.stop();
+  rec.record("late", "test", 20, 5);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "span");
+}
+
+TEST(Trace, SpansNestAcrossThreads) {
+  TraceRecorder rec(1024);
+  rec.start();
+  // Each thread records a parent span containing two children; threads get
+  // distinct dense tids and their events stay separated per ring.
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&rec, t] {
+      const std::int64_t base = t * 1000;
+      rec.record("child_a", "test", base + 10, 20, t + 1);
+      rec.record("child_b", "test", base + 40, 20, t + 1);
+      rec.record("parent", "test", base, 100, t + 1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  rec.stop();
+  EXPECT_EQ(rec.thread_count(), 4u);
+  EXPECT_EQ(rec.recorded(), 12u);
+
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 12u);
+  // Per tid: exactly one parent and two children, children contained in
+  // the parent's [ts, ts+dur) window.
+  for (std::uint32_t tid = 0; tid < 4; ++tid) {
+    const TraceEvent* parent = nullptr;
+    std::vector<const TraceEvent*> children;
+    for (const TraceEvent& e : events) {
+      if (e.tid != tid) continue;
+      if (std::string(e.name) == "parent") {
+        parent = &e;
+      } else {
+        children.push_back(&e);
+      }
+    }
+    ASSERT_NE(parent, nullptr) << "tid " << tid;
+    ASSERT_EQ(children.size(), 2u) << "tid " << tid;
+    for (const TraceEvent* c : children) {
+      EXPECT_GE(c->ts_us, parent->ts_us);
+      EXPECT_LE(c->ts_us + c->dur_us, parent->ts_us + parent->dur_us);
+      EXPECT_EQ(c->request_id, parent->request_id);
+    }
+  }
+}
+
+TEST(Trace, RingWraparoundDropsOldestAndCounts) {
+  TraceRecorder rec(8);
+  rec.start();
+  for (int i = 0; i < 20; ++i) {
+    rec.record("e", "test", i, 1, static_cast<std::uint64_t>(i));
+  }
+  rec.stop();
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 12u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The newest 8 survive, oldest-first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].request_id, 12u + i);
+  }
+  rec.clear();
+  EXPECT_EQ(rec.recorded(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_TRUE(rec.snapshot().empty());
+}
+
+TEST(Trace, NamesTruncateAndDetailsSurvive) {
+  TraceRecorder rec(16);
+  rec.start();
+  const std::string long_name(200, 'x');
+  rec.record(long_name.c_str(), "test", 0, 1, 0, "kernel", "vnni", "epilogue",
+             "act+pool");
+  rec.stop();
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name),
+            std::string(TraceEvent::kNameCapacity - 1, 'x'));
+  EXPECT_STREQ(events[0].detail_key[0], "kernel");
+  EXPECT_STREQ(events[0].detail_val[0], "vnni");
+  EXPECT_STREQ(events[0].detail_val[1], "act+pool");
+}
+
+TEST(Trace, ChromeJsonSortedWithAsyncPairs) {
+  TraceRecorder rec(64);
+  rec.start();
+  rec.record("inner", "test", 10, 5);
+  rec.record("outer", "test", 0, 100);
+  rec.record_async("queue", "serve", 2, 30, 77);
+  rec.stop();
+  const std::string json = rec.chrome_json();
+  // Sorted by (ts asc, dur desc): outer first despite being recorded
+  // second, so viewers rebuild nesting by containment.
+  const auto outer_pos = json.find("\"outer\"");
+  const auto inner_pos = json.find("\"inner\"");
+  ASSERT_NE(outer_pos, std::string::npos);
+  ASSERT_NE(inner_pos, std::string::npos);
+  EXPECT_LT(outer_pos, inner_pos);
+  // The async event serializes as a balanced b/e pair keyed by request id.
+  EXPECT_NE(json.find("\"ph\": \"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 77"), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\": 0"), std::string::npos);
+}
+
+TEST(Trace, MacroSpansRecordOnlyWhileGlobalEnabled) {
+  TraceRecorder& rec = TraceRecorder::global();
+  rec.clear();
+  { LIGHTATOR_TRACE_SPAN("idle", "test"); }
+  EXPECT_EQ(rec.recorded(), 0u);
+  rec.start();
+  {
+    LIGHTATOR_TRACE_SPAN("armed", "test");
+    LIGHTATOR_TRACE_SPAN_REQ("armed_req", "test", 42u);
+  }
+  rec.stop();
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  bool saw_req = false;
+  for (const TraceEvent& e : events) {
+    if (std::string(e.name) == "armed_req") {
+      saw_req = true;
+      EXPECT_EQ(e.request_id, 42u);
+    }
+  }
+  EXPECT_TRUE(saw_req);
+  rec.clear();
+}
+
+#endif  // !LIGHTATOR_DISABLE_TRACING
+
+}  // namespace
+}  // namespace lightator::obs

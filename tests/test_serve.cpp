@@ -4,6 +4,7 @@
 // and the stats/weight-cache plumbing underneath.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <thread>
@@ -11,6 +12,7 @@
 
 #include "core/experiment.hpp"
 #include "nn/models.hpp"
+#include "obs/metrics.hpp"
 #include "serve/batch_queue.hpp"
 #include "serve/load_gen.hpp"
 #include "serve/server.hpp"
@@ -574,6 +576,96 @@ TEST(PhysicalNoise, NoisyServingBitIdenticalAcrossReplicasAndPolicies) {
       EXPECT_EQ(stats.failed, 0u);
     }
   }
+}
+
+TEST(InferenceServer, StatsSnapshotsStayConsistentUnderConcurrentReads) {
+  // Regression: wall_seconds is first-admission -> most-recent-completion,
+  // but worker threads race into the stats mutex, so a batch that finished
+  // EARLIER could land its completion time after a later one and briefly
+  // roll wall_seconds (and thus throughput) backwards. Hammer stats() from
+  // readers while load runs and assert every successive snapshot is
+  // monotonic in completions and wall time.
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(73);
+  nn::Network net = nn::build_mlp(rng, 16, 8, 3);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  const auto inputs = make_inputs(4, 1, 4, 4, 53);
+
+  ServerOptions so;
+  so.replicas = 4;  // several workers racing into record_batch
+  so.batch.max_batch = 2;
+  so.batch.max_wait_us = 100.0;
+  InferenceServer server(sys, net, schedule, so);
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t) {
+    readers.emplace_back([&server, &done, &violated] {
+      std::uint64_t last_completed = 0;
+      double last_wall = 0.0;
+      while (!done.load(std::memory_order_relaxed)) {
+        const ServerStats s = server.stats();
+        if (s.completed < last_completed || s.wall_seconds < last_wall ||
+            s.wall_seconds < 0.0 || s.throughput_rps() < 0.0 ||
+            s.completed > s.submitted) {
+          violated.store(true, std::memory_order_relaxed);
+          return;
+        }
+        last_completed = s.completed;
+        last_wall = s.wall_seconds;
+      }
+    });
+  }
+
+  LoadGenOptions lg;
+  lg.requests = 200;
+  lg.concurrency = 8;
+  const auto load = run_closed_loop(server, inputs, lg);
+  (void)load;
+  done.store(true, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(violated.load())
+      << "a stats() snapshot went backwards during live load";
+  const auto final_stats = server.stats();
+  EXPECT_EQ(final_stats.completed, lg.requests);
+}
+
+TEST(InferenceServer, RegistryMirrorsServerStats) {
+  // The telemetry plane's serving contract: the process-wide registry's
+  // serve.* counters and latency histogram agree with the server's own
+  // ServerStats snapshot after a drained run.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.reset();
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(74);
+  nn::Network net = nn::build_mlp(rng, 16, 8, 3);
+  const auto schedule = nn::PrecisionSchedule::uniform(4);
+  const auto inputs = make_inputs(4, 1, 4, 4, 57);
+
+  ServerOptions so;
+  so.replicas = 2;
+  so.batch.max_batch = 4;
+  so.batch.max_wait_us = 300.0;
+  InferenceServer server(sys, net, schedule, so);
+  LoadGenOptions lg;
+  lg.requests = 48;
+  lg.concurrency = 6;
+  const auto load = run_closed_loop(server, inputs, lg);
+  (void)load;
+  server.shutdown();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(reg.counter("serve.submitted").value(), stats.submitted);
+  EXPECT_EQ(reg.counter("serve.completed").value(), stats.completed);
+  EXPECT_EQ(reg.counter("serve.rejected").value(), stats.rejected);
+  EXPECT_EQ(reg.counter("serve.failed").value(), stats.failed);
+  EXPECT_EQ(reg.counter("serve.batches").value(), stats.batches);
+  EXPECT_EQ(reg.histogram("serve.latency_ms").count(), stats.completed);
+  EXPECT_EQ(reg.histogram("serve.batch_size").count(), stats.batches);
+  const std::string snapshot = reg.snapshot_json();
+  EXPECT_NE(snapshot.find("\"serve.completed\": 48"), std::string::npos);
+  reg.reset();
 }
 
 TEST(MonteCarlo, StreamedMatchesRetainedAndDropsTrials) {

@@ -8,16 +8,69 @@
 // so the suite runs once per tier the runner's ISA actually has, and tiers
 // the hardware lacks are skipped instead of failing. With `-active` it
 // prints only the tier auto dispatch resolves to (the ladder top).
+//
+// With `--json` it instead races the kernel autotuner over a spread of
+// representative GEMM geometries (serving-shaped single-frame fc panels,
+// VGG9-scale conv panels, a huge hires panel that engages strip blocking)
+// and prints the structured tuning report — candidates, best-of-reps
+// timings, winner, hysteresis margin — as the same JSON array the
+// kernel-autotune pass records on every CompiledModel.
 #include <cstdio>
 #include <cstring>
 
+#include "core/arch_config.hpp"
+#include "core/compiler/autotune.hpp"
+#include "obs/report.hpp"
+#include "tensor/gemm_s16.hpp"
+#include "tensor/gemm_s16_packed.hpp"
 #include "tensor/simd.hpp"
+
+namespace {
+
+using namespace lightator;
+
+core::GemmGeometry make_geom(std::size_t m, std::size_t n, std::size_t k,
+                             std::size_t mrs_per_arm) {
+  core::GemmGeometry geom;
+  geom.m = m;
+  geom.n = n;
+  geom.k = k;
+  geom.seg = tensor::effective_segment(mrs_per_arm, k);
+  geom.wide = !tensor::gemm_s16_int32_safe(7, 15, geom.seg);
+  return geom;
+}
+
+int print_tuning_report() {
+  const std::size_t mrs = core::ArchConfig::defaults().geometry.mrs_per_arm;
+  // One geometry per regime the autotuner discriminates between: tiny
+  // single-frame fc panels (short dependency chains can favor a lower
+  // tier), mid/deep VGG9 conv panels (ladder-top territory), and a
+  // 36864-pixel hires panel whose B panel overflows L2 (strip blocking).
+  const core::GemmGeometry geoms[] = {
+      make_geom(120, 1, 400, mrs),      // lenet fc1, batch 1
+      make_geom(10, 1, 84, mrs),        // lenet head, batch 1
+      make_geom(64, 1024, 27, mrs),     // vgg9 L1 conv, 32x32
+      make_geom(128, 256, 1152, mrs),   // vgg9 L4 conv, 16x16
+      make_geom(16, 36864, 144, mrs),   // hires 192x192 conv
+  };
+  core::KernelPlan plan;
+  for (const core::GemmGeometry& geom : geoms) {
+    plan.entries.push_back(core::autotune_gemm_geometry(geom));
+  }
+  std::printf("%s\n", obs::kernel_plan_json(plan).c_str());
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace lightator::tensor::simd;
   if (argc > 1 && std::strcmp(argv[1], "-active") == 0) {
     std::printf("%s\n", active_kernel());
     return 0;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "--json") == 0) {
+    return print_tuning_report();
   }
   for (const KernelTier tier : available_tiers()) {
     std::printf("%s\n", tier_name(tier));

@@ -1,0 +1,82 @@
+// trace_dump: capture a chrome://tracing trace of a short serving session.
+//
+// Compiles LeNet, starts an InferenceServer, arms the global TraceRecorder,
+// drives a seeded closed-loop load through it, and writes the Trace Event
+// Format JSON — the minimal path to a loadable trace without the full
+// serve_throughput bench. Open the output in chrome://tracing or
+// ui.perfetto.dev; spans nest submit → queue (async track) →
+// batch_dispatch → compiled_run → per-step conv/linear.
+//
+// Usage: trace_dump [out.json] [requests=N] [replicas=N]
+// (key=value overrides follow the bench convention; a bare first argument
+// is the output path, default trace.json)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/server.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+
+using namespace lightator;
+
+int main(int argc, char** argv) {
+  std::string out_path = "trace.json";
+  // A bare (non key=value) first argument is the output path; everything
+  // else parses as key=value overrides.
+  std::vector<char*> cfg_args;
+  cfg_args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (i == 1 && std::strchr(argv[i], '=') == nullptr) {
+      out_path = argv[i];
+    } else {
+      cfg_args.push_back(argv[i]);
+    }
+  }
+  const util::Config cfg = util::Config::from_args(
+      static_cast<int>(cfg_args.size()), cfg_args.data());
+  const std::size_t requests =
+      static_cast<std::size_t>(cfg.get_int("requests", 256));
+  const std::size_t replicas =
+      static_cast<std::size_t>(cfg.get_int("replicas", 2));
+
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(21);
+  nn::Network net = nn::build_lenet(rng);
+
+  std::vector<tensor::Tensor> inputs;
+  for (std::size_t i = 0; i < 8; ++i) {
+    tensor::Tensor x({1, 1, 28, 28});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    inputs.push_back(std::move(x));
+  }
+
+  obs::TraceRecorder& rec = obs::TraceRecorder::global();
+  rec.start();  // before the server: the compile pipeline traces too
+
+  serve::ServerOptions so;
+  so.replicas = replicas;
+  serve::InferenceServer server(sys, net,
+                                nn::PrecisionSchedule::uniform(4), so);
+  serve::LoadGenOptions lg;
+  lg.requests = requests;
+  const serve::LoadGenReport load = serve::run_closed_loop(server, inputs, lg);
+  server.shutdown();
+  rec.stop();
+
+  const std::size_t events = rec.write_chrome_json(out_path);
+  std::printf("wrote %s: %zu events (%llu dropped), %u threads, "
+              "%zu requests at %.1f req/s\n",
+              out_path.c_str(), events,
+              static_cast<unsigned long long>(rec.dropped()),
+              rec.thread_count(), load.outputs.size(),
+              load.requests_per_second);
+  std::printf("metrics snapshot:\n%s\n",
+              obs::MetricsRegistry::global().snapshot_json().c_str());
+  return 0;
+}
