@@ -32,7 +32,13 @@
 // The "fusion" section times the full compiler pass pipeline (dead-stage
 // elimination + epilogue fusion + arena planning) against an all-passes-off
 // compile of the same network and verifies bit-exactness; "fused_speedup" is
-// gated against "min_fused_speedup". The "memory_plan" section reports the
+// gated against "min_fused_speedup". The "artifact_reuse" section times
+// core::load_artifact of a serialized blob against the Engine::compile
+// (autotune on) that produced it, verifies the loaded model bit-exact, and
+// reports "load_speedup" — gated against "min_load_speedup" (the serialized
+// tuning report lets the loader skip autotune measurement entirely, so
+// shipped blobs must cold-start much faster than a recompile).
+// The "memory_plan" section reports the
 // arena plan's peak bytes vs the naive per-stage peak on VGG9 —
 // check_perf.py requires planned < naive unconditionally.
 // Overrides (key=value): batch=8 reps=3 threads=0 out=path.json
@@ -47,6 +53,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/artifact/artifact.hpp"
 #include "core/compiler/autotune.hpp"
 #include "core/lightator.hpp"
 #include "core/optical_core.hpp"
@@ -417,6 +424,81 @@ int main(int argc, char** argv) {
          << ", \"fused_ms\": " << fused_s * 1e3
          << ", \"fused_speedup\": " << fused_speedup
          << ", \"bit_exact\": " << (f_exact ? "true" : "false") << "},\n";
+  }
+
+  // ---- artifact reuse: load_artifact vs Engine::compile ---------------------
+  // The cold-start split PR 9 adds: a fleet node that ships a serialized
+  // CompiledModel blob pays load_artifact (parse + validate + attach packed
+  // panels) instead of Engine::compile (quantize + pack + autotune). VGG9
+  // with conv autotuning on is the honest compile cost — the autotune pass
+  // measures candidate kernels, which is exactly the work the serialized
+  // tuning report lets the loader skip. Outputs are verified bit-exact
+  // between the compiled and loaded artifacts; scripts/check_perf.py gates
+  // "load_speedup" against "min_load_speedup" whenever SIMD is live (scalar
+  // hosts have no autotune candidates to skip, so the ratio is meaningless
+  // there).
+  {
+    const core::LightatorSystem sys(arch);
+    util::Rng arng(17);
+    nn::Network vgg = nn::build_vgg9(arng, 10, 1.0f);
+    core::CompileOptions ao;
+    ao.input_shape = {3, 32, 32};
+    ao.batch_hint = batch;
+
+    const int a_reps = std::max(reps, 3);
+    double compile_s = 1e300;
+    core::CompiledModel compiled;
+    for (int r = 0; r < a_reps; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      compiled = sys.compile(vgg, ao);
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (s < compile_s) compile_s = s;
+    }
+
+    const std::string blob_path = "backend_compare_artifact.blob";
+    core::save_artifact(compiled, blob_path);
+    double load_s = 1e300;
+    core::CompiledModel loaded;
+    core::ArtifactLoadStats stats;
+    for (int r = 0; r < a_reps; ++r) {
+      const auto start = std::chrono::steady_clock::now();
+      loaded = core::load_artifact(blob_path, sys, &stats);
+      const double s = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+      if (s < load_s) load_s = s;
+    }
+    std::remove(blob_path.c_str());
+
+    tensor::Tensor ax({batch, 3, 32, 32});
+    ax.fill_uniform(arng, 0.0f, 1.0f);
+    core::ExecutionContext actx;
+    actx.pool = &pool;
+    const tensor::Tensor y_compiled = compiled.run(ax, actx).take();
+    const tensor::Tensor y_loaded = loaded.run(ax, actx).take();
+    bool a_exact = y_compiled.size() == y_loaded.size();
+    for (std::size_t i = 0; a_exact && i < y_compiled.size(); ++i) {
+      a_exact = y_compiled[i] == y_loaded[i];
+    }
+    const double load_speedup = load_s > 0.0 ? compile_s / load_s : 0.0;
+    std::printf("\n%-26s compile %9.2f ms   load %8.2f ms   "
+                "reuse %6.2fx   panels %s   bit-exact %s\n",
+                "artifact_reuse_vgg9", compile_s * 1e3, load_s * 1e3,
+                load_speedup,
+                stats.repacked_panels ? "repacked"
+                                      : (stats.packed_fresh ? "fresh"
+                                                            : "reused"),
+                a_exact ? "yes" : "NO");
+    json << "  \"artifact_reuse\": {\"name\": \"vgg9\""
+         << ", \"compile_ms\": " << compile_s * 1e3
+         << ", \"load_ms\": " << load_s * 1e3
+         << ", \"load_speedup\": " << load_speedup
+         << ", \"blob_bytes\": " << stats.blob_bytes
+         << ", \"panels_reused\": "
+         << (!stats.repacked_panels && !stats.packed_fresh ? "true" : "false")
+         << ", \"bit_exact\": " << (a_exact ? "true" : "false") << "},\n";
   }
 
   // ---- static memory planning: arena peak vs naive peak ---------------------

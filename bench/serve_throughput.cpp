@@ -26,8 +26,16 @@
 // section feeds two check_perf.py gates: disabled/batched >= noise floor
 // (spans compiled in but off must cost nothing measurable) and
 // enabled/disabled >= overhead floor.
+// A multi-model router smoke follows the main runs: two LeNets behind one
+// serve::InferenceRouter under mixed traffic, per-model stats checked, every
+// response verified bit-exact against its own model's in-process compile.
+// With artifact=path the "lenet" route serves a serialized CompiledModel
+// blob (tools/model_artifact output) instead of compiling — CI's
+// cross-process artifact-reuse proof; the "router" JSON section records it
+// and check_perf.py requires failed == 0 and bit_exact when present.
 // Overrides (key=value): requests=256 concurrency=16 replicas=2 max_batch=16
 //   max_wait_us=500 threads=1 inputs=8 seed=1 out=path.json trace=path.json
+//   artifact=path.blob
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -43,6 +51,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "serve/load_gen.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "util/rng.hpp"
 
@@ -207,6 +216,63 @@ int main(int argc, char** argv) {
                     : 0.0);
   }
 
+  // --- multi-model router smoke ---------------------------------------------
+  // Two models behind one InferenceRouter: "lenet" — served from the
+  // artifact= blob when one is given (a blob compiled by a DIFFERENT process
+  // via tools/model_artifact: the cross-process artifact-reuse proof CI
+  // leans on) or compiled in-process otherwise — and "lenet-b", a second
+  // network. Mixed traffic; every response must match its own model's
+  // in-process compiled baseline bit-for-bit, and per-model ServerStats must
+  // account exactly for their own traffic. Runs after the trace is written,
+  // so the traced span stream validate_trace.py checks stays untouched.
+  const std::string artifact_path = cfg.get_string("artifact", "");
+  bool router_exact = true;
+  std::uint64_t router_failed = 0;
+  std::uint64_t router_a_completed = 0, router_b_completed = 0;
+  {
+    serve::InferenceRouter router;
+    if (!artifact_path.empty()) {
+      router.deploy_artifact("lenet", "v1", artifact_path, sys, so);
+    } else {
+      router.deploy("lenet", "v1", sys.compile(net, serial_co), so);
+    }
+    util::Rng rng_b(33);
+    nn::Network net_b = nn::build_lenet(rng_b);
+    const core::CompiledModel model_b = sys.compile(net_b, serial_co);
+    router.deploy("lenet-b", "v1", model_b, so);
+
+    // In-process ground truth for both models (for "lenet" this is what the
+    // blob must reproduce across the process boundary).
+    const core::CompiledModel truth_a = sys.compile(net, serial_co);
+    const std::size_t per_model = std::min<std::size_t>(requests / 2, 64);
+    for (std::size_t i = 0; i < per_model && router_exact; ++i) {
+      const tensor::Tensor& x = inputs[i % inputs.size()];
+      const tensor::Tensor ya = truth_a.run(x, serial_ctx).take();
+      const tensor::Tensor yb = model_b.run(x, serial_ctx).take();
+      const serve::InferResult ra = router.infer("lenet", x);
+      const serve::InferResult rb = router.infer("lenet-b", x);
+      router_exact = ra.output().size() == ya.size() &&
+                     rb.output().size() == yb.size();
+      for (std::size_t j = 0; router_exact && j < ya.size(); ++j) {
+        router_exact = ra.output()[j] == ya[j] && rb.output()[j] == yb[j];
+      }
+    }
+    const serve::ServerStats sa = router.stats("lenet");
+    const serve::ServerStats sb = router.stats("lenet-b");
+    router_failed = sa.failed + sb.failed;
+    router_a_completed = sa.completed;
+    router_b_completed = sb.completed;
+    router_exact = router_exact && sa.completed == sb.completed;
+    router.shutdown();
+    std::printf("router   lenet %llu + lenet-b %llu requests (%s)   "
+                "bit-exact %s\n",
+                static_cast<unsigned long long>(router_a_completed),
+                static_cast<unsigned long long>(router_b_completed),
+                artifact_path.empty() ? "compiled in-process"
+                                      : ("artifact " + artifact_path).c_str(),
+                router_exact ? "yes" : "NO");
+  }
+
   // --- bit-exactness: the serving determinism contract ---------------------
   bool exact = true;
   for (std::size_t i = 0; exact && i < requests; ++i) {
@@ -271,6 +337,15 @@ int main(int argc, char** argv) {
          << "    \"trace_events\": " << trace_events << ",\n"
          << "    \"trace_dropped\": " << trace_dropped << "\n  },\n";
   }
+  json << "  \"router\": {\n"
+       << "    \"models\": 2,\n"
+       << "    \"artifact\": "
+       << (artifact_path.empty() ? "false" : "true") << ",\n"
+       << "    \"lenet_completed\": " << router_a_completed << ",\n"
+       << "    \"lenet_b_completed\": " << router_b_completed << ",\n"
+       << "    \"failed\": " << router_failed << ",\n"
+       << "    \"bit_exact\": " << (router_exact ? "true" : "false")
+       << "\n  },\n";
   json << "  \"metrics\": " << obs::MetricsRegistry::global().snapshot_json()
        << "\n}\n";
 
@@ -280,5 +355,5 @@ int main(int argc, char** argv) {
     f << json.str();
     std::printf("wrote %s\n", out_path.c_str());
   }
-  return exact ? 0 : 1;
+  return (exact && router_exact && router_failed == 0) ? 0 : 1;
 }

@@ -93,14 +93,15 @@ def check_backend_compare(current, baseline, tolerance):
               f"{DEFAULT_BASELINE.name})")
     failed = check_compile_reuse(current, baseline, simd_live) or failed
     failed = check_fusion(current, baseline, simd_live) or failed
+    failed = check_artifact_reuse(current, baseline, simd_live) or failed
     failed = check_memory_plan(current, baseline) or failed
     if failed:
         print(f"\nperf check FAILED (tolerance {tolerance:.0%}); if the "
               "regression is intended, regenerate the baseline with\n"
               "  ./build/backend_compare out=scripts/perf_baseline.json\n"
               "  (then re-add the \"serve\" section, the floors under "
-              "\"compile_reuse\" and \"fusion\", and the per-layer "
-              "\"min_simd_speedup\" / \"min_tier_speedup\" / "
+              "\"compile_reuse\", \"fusion\", and \"artifact_reuse\", and "
+              "the per-layer \"min_simd_speedup\" / \"min_tier_speedup\" / "
               "\"min_autotune_ratio\" floors)")
         return 1
     print(f"\nperf check ok (tolerance {tolerance:.0%})")
@@ -217,6 +218,44 @@ def check_fusion(current, baseline, simd_live):
     return failed or status == "FAIL"
 
 
+def check_artifact_reuse(current, baseline, simd_live):
+    """Gate the serialized-artifact cold-start split: core::load_artifact of
+    a shipped blob must beat the Engine::compile (autotune on) that produced
+    it by the baseline's "min_load_speedup" floor, and the loaded model must
+    stay bit-exact with the compiled one. The speedup comes overwhelmingly
+    from skipping autotune's candidate measurements, which only exist when
+    SIMD tiers are live — so the timing floor is skipped with a note on
+    scalar-only hosts (the bit-exactness check always runs)."""
+    base = baseline.get("artifact_reuse")
+    if base is None:
+        return False  # baseline predates the gate
+    if "min_load_speedup" not in base:
+        sys.exit("error: baseline's \"artifact_reuse\" section has no "
+                 "\"min_load_speedup\" floor — re-add it (see the previous "
+                 "baseline)")
+    cur = current.get("artifact_reuse")
+    if cur is None:
+        print("FAIL  artifact_reuse: missing from current snapshot")
+        return True
+    failed = False
+    if not cur.get("bit_exact", False):
+        print("FAIL  artifact_reuse: loaded artifact no longer bit-exact "
+              "with the compiled model")
+        failed = True
+    floor = base["min_load_speedup"]
+    if not simd_live:
+        print(f"note  artifact_reuse: SIMD kernels not live on this host — "
+              f"min_load_speedup {floor:.2f}x not checked")
+        return failed
+    speedup = cur.get("load_speedup", 0.0)
+    status = "ok  " if speedup >= floor else "FAIL"
+    print(f"{status}  artifact_reuse: compile {cur.get('compile_ms', 0.0):.2f}"
+          f" ms vs load {cur.get('load_ms', 0.0):.2f} ms -> "
+          f"{speedup:.2f}x (hard floor {floor:.2f}x, "
+          f"blob {cur.get('blob_bytes', 0) / 2**20:.2f} MiB)")
+    return failed or status == "FAIL"
+
+
 def check_memory_plan(current, baseline):
     """Gate the static memory planner: the arena plan's peak bytes must stay
     strictly below the naive per-stage peak. Pure plan arithmetic — no
@@ -304,6 +343,30 @@ def check_serve_throughput(current, baseline):
     if stats.get("failed", 0):
         print(f"FAIL  serve: {stats['failed']} requests failed")
         failed = True
+    # Multi-model router smoke (PR 9): not a timing gate — the router section
+    # must simply be clean: no failed requests, and every routed response
+    # bit-exact against its own model's in-process compile (with
+    # "artifact": true that exactness crosses a process boundary through a
+    # serialized blob). Absent section (old snapshot) is skipped with a note.
+    router = current.get("router")
+    if router is None:
+        print("note  serve: no \"router\" section (bench predates the "
+              "multi-model router) — router checks skipped")
+    else:
+        src = "artifact blob" if router.get("artifact") else "in-process"
+        if router.get("failed", 0):
+            print(f"FAIL  serve: router had {router['failed']} failed "
+                  f"requests")
+            failed = True
+        if not router.get("bit_exact", False):
+            print(f"FAIL  serve: routed responses ({src}) not bit-exact "
+                  f"with their models' compiled baselines")
+            failed = True
+        if not router.get("failed", 0) and router.get("bit_exact", False):
+            print(f"ok    serve: router served "
+                  f"{router.get('lenet_completed', 0)} + "
+                  f"{router.get('lenet_b_completed', 0)} requests across 2 "
+                  f"models ({src}), bit-exact")
     if failed:
         print("\nserve throughput gate FAILED")
         return 1

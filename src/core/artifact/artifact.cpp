@@ -1,0 +1,868 @@
+#include "core/artifact/artifact.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <type_traits>
+#include <utility>
+
+#include "core/lightator.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tensor/gemm_s16_packed.hpp"
+#include "tensor/simd.hpp"
+
+namespace lightator::core {
+
+namespace {
+
+// ---- blob layout constants -------------------------------------------------
+
+constexpr std::uint8_t kMagic[8] = {'L', 'T', 'A', 'R', 'T', 'F', 'C', '1'};
+// magic[8] + version u32 + total u64 + hash u64 + mrs u64 + section count u32.
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8 + 4;
+constexpr std::size_t kTotalOffset = 12;
+constexpr std::size_t kHashOffset = 20;
+
+enum SectionId : std::uint32_t {
+  kSectionPlan = 1,
+  kSectionWeights = 2,
+  kSectionPanels = 3,
+  kSectionArmPrograms = 4,
+  kSectionKernelPlan = 5,
+};
+
+const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case kSectionPlan: return "plan";
+    case kSectionWeights: return "weights";
+    case kSectionPanels: return "panels";
+    case kSectionArmPrograms: return "arm_programs";
+    case kSectionKernelPlan: return "kernel_plan";
+  }
+  return "unknown";
+}
+
+/// FNV-1a-style 64-bit hash over the hashed region (everything after the
+/// fixed header, so header-field corruption reports as its own error kind,
+/// not as a hash failure). Folds 8-byte little-endian lanes per multiply
+/// instead of single bytes: blobs carry megabytes of packed panels, and the
+/// byte-serial FNV multiply chain was the dominant cost of validating them
+/// (~25 ms on a 15 MB VGG9 blob — most of the cold-start win this format
+/// exists to deliver). Any flipped bit still lands in the xor'd lane, so the
+/// corruption tests hold; the tail (< 8 bytes) folds byte-wise.
+std::uint64_t content_hash64(const std::uint8_t* p, std::size_t n) {
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = 1469598103934665603ULL;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t lane;
+    std::memcpy(&lane, p + i, 8);
+    if constexpr (std::endian::native == std::endian::big) {
+      lane = __builtin_bswap64(lane);  // hash is defined over LE lane order
+    }
+    h ^= lane;
+    h *= kPrime;
+  }
+  for (; i < n; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+[[noreturn]] void fail(ArtifactErrorKind kind, const std::string& what) {
+  throw ArtifactError(kind, "artifact: " + what);
+}
+
+// ---- little-endian writer --------------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { le(v); }
+  void u64(std::uint64_t v) { le(v); }
+  void i32(std::int32_t v) { le(static_cast<std::uint32_t>(v)); }
+  void f64(double v) { le(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    u64(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Bulk array with a leading element count. One memcpy on little-endian
+  /// hosts (every supported target); per-element encode otherwise.
+  template <typename T>
+  void array(const T* p, std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    u64(n);
+    if constexpr (std::endian::native == std::endian::little) {
+      const std::size_t at = buf_.size();
+      buf_.resize(at + n * sizeof(T));
+      if (n > 0) std::memcpy(buf_.data() + at, p, n * sizeof(T));
+    } else {
+      using U = std::make_unsigned_t<
+          std::conditional_t<std::is_floating_point_v<T>,
+                             std::conditional_t<sizeof(T) == 8, std::uint64_t,
+                                                std::uint32_t>,
+                             std::make_signed_t<T>>>;
+      for (std::size_t i = 0; i < n; ++i) le(std::bit_cast<U>(p[i]));
+    }
+  }
+
+  void tensor(const tensor::Tensor& t) {
+    u64(t.rank());
+    for (std::size_t i = 0; i < t.rank(); ++i) u64(t.dim(i));
+    array(t.data(), t.size());
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+
+ private:
+  template <typename U>
+  void le(U v) {
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+// ---- bounds-checked little-endian reader -----------------------------------
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* p, std::size_t n) : p_(p), n_(n) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return p_[pos_++];
+  }
+  std::uint32_t u32() { return le<std::uint32_t>(); }
+  std::uint64_t u64() { return le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(le<std::uint32_t>()); }
+  double f64() { return std::bit_cast<double>(le<std::uint64_t>()); }
+
+  std::string str() {
+    const std::uint64_t n = u64();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(p_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  template <typename T>
+  std::vector<T> array() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::uint64_t n = u64();
+    need(n * sizeof(T));
+    std::vector<T> out(n);
+    if constexpr (std::endian::native == std::endian::little) {
+      if (n > 0) std::memcpy(out.data(), p_ + pos_, n * sizeof(T));
+      pos_ += n * sizeof(T);
+    } else {
+      using U = std::make_unsigned_t<
+          std::conditional_t<std::is_floating_point_v<T>,
+                             std::conditional_t<sizeof(T) == 8, std::uint64_t,
+                                                std::uint32_t>,
+                             std::make_signed_t<T>>>;
+      for (std::uint64_t i = 0; i < n; ++i) out[i] = std::bit_cast<T>(le<U>());
+    }
+    return out;
+  }
+
+  tensor::Tensor tensor() {
+    const std::uint64_t rank = u64();
+    if (rank > 8) fail(ArtifactErrorKind::kFormat, "implausible tensor rank");
+    tensor::Shape shape(rank);
+    for (std::uint64_t i = 0; i < rank; ++i) shape[i] = u64();
+    const std::vector<float> data = array<float>();
+    if (rank == 0 && data.empty()) return {};
+    tensor::Tensor t(shape);
+    if (t.size() != data.size()) {
+      fail(ArtifactErrorKind::kFormat, "tensor payload/shape mismatch");
+    }
+    std::memcpy(t.data(), data.data(), data.size() * sizeof(float));
+    return t;
+  }
+
+  bool done() const { return pos_ == n_; }
+
+ private:
+  void need(std::uint64_t bytes) {
+    if (bytes > n_ - pos_) {
+      fail(ArtifactErrorKind::kFormat, "section payload overrun");
+    }
+  }
+
+  template <typename U>
+  U le() {
+    need(sizeof(U));
+    U v = 0;
+    for (std::size_t i = 0; i < sizeof(U); ++i) {
+      v |= static_cast<U>(p_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(U);
+    return v;
+  }
+
+  const std::uint8_t* p_;
+  std::size_t n_;
+  std::size_t pos_ = 0;
+};
+
+bool is_weighted(const CompiledStep& step) {
+  return step.kind == nn::LayerKind::kConv ||
+         step.kind == nn::LayerKind::kLinear;
+}
+
+// ---- section encoders ------------------------------------------------------
+
+/// One step's geometry + frozen decisions. Weights are NOT written here —
+/// they live in the weights/panels/arm sections, keyed by weighted order —
+/// so the same encoder serves plan.steps and the weightless
+/// unoptimized_geometry snapshot.
+void write_step(Writer& w, const CompiledStep& s) {
+  w.u32(static_cast<std::uint32_t>(s.kind));
+  w.str(s.name);
+  w.tensor(s.bias);
+  w.u64(s.conv.in_channels);
+  w.u64(s.conv.out_channels);
+  w.u64(s.conv.kernel);
+  w.u64(s.conv.stride);
+  w.u64(s.conv.pad);
+  w.u64(s.fc_in);
+  w.u64(s.fc_out);
+  w.i32(s.wbits);
+  w.i32(s.abits);
+  w.u64(s.weighted_index);
+  w.u8(s.epilogue.has_act ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(s.epilogue.act));
+  w.i32(s.epilogue.act_qat_bits);
+  w.f64(s.epilogue.act_scale);
+  w.u32(static_cast<std::uint32_t>(s.epilogue.pool));
+  w.u64(s.epilogue.pool_kernel);
+  w.u64(s.epilogue.pool_stride);
+  w.i32(static_cast<std::int32_t>(s.kernel.tier));
+  w.u64(s.kernel.nc_strips);
+  w.u64(s.pool_kernel);
+  w.u64(s.pool_stride);
+  w.u32(static_cast<std::uint32_t>(s.act));
+  w.i32(s.act_qat_bits);
+  w.f64(s.act_scale);
+}
+
+CompiledStep read_step(Reader& r) {
+  CompiledStep s;
+  const std::uint32_t kind = r.u32();
+  if (kind > static_cast<std::uint32_t>(nn::LayerKind::kFlatten)) {
+    fail(ArtifactErrorKind::kFormat, "unknown step kind");
+  }
+  s.kind = static_cast<nn::LayerKind>(kind);
+  s.name = r.str();
+  s.bias = r.tensor();
+  s.conv.in_channels = r.u64();
+  s.conv.out_channels = r.u64();
+  s.conv.kernel = r.u64();
+  s.conv.stride = r.u64();
+  s.conv.pad = r.u64();
+  s.fc_in = r.u64();
+  s.fc_out = r.u64();
+  s.wbits = r.i32();
+  s.abits = r.i32();
+  s.weighted_index = r.u64();
+  s.epilogue.has_act = r.u8() != 0;
+  s.epilogue.act = static_cast<tensor::ActKind>(r.u32());
+  s.epilogue.act_qat_bits = r.i32();
+  s.epilogue.act_scale = r.f64();
+  s.epilogue.pool = static_cast<PoolKind>(r.u32());
+  s.epilogue.pool_kernel = r.u64();
+  s.epilogue.pool_stride = r.u64();
+  s.kernel.tier = static_cast<tensor::simd::KernelTier>(r.i32());
+  s.kernel.nc_strips = r.u64();
+  s.pool_kernel = r.u64();
+  s.pool_stride = r.u64();
+  s.act = static_cast<tensor::ActKind>(r.u32());
+  s.act_qat_bits = r.i32();
+  s.act_scale = r.f64();
+  return s;
+}
+
+Writer encode_plan(const std::string& backend, const CompiledPlan& plan) {
+  Writer w;
+  w.str(backend);
+  w.u64(plan.steps.size());
+  for (const CompiledStep& s : plan.steps) write_step(w, s);
+  w.u64(plan.num_weighted);
+  w.u8(plan.arena_enabled ? 1 : 0);
+  w.u64(plan.applied_passes.size());
+  for (const std::string& p : plan.applied_passes) w.str(p);
+  w.u64(plan.unoptimized_geometry.size());
+  for (const CompiledStep& s : plan.unoptimized_geometry) write_step(w, s);
+  return w;
+}
+
+/// Decoded plan (steps still weightless) + the backend name it targets.
+struct DecodedPlan {
+  std::string backend;
+  CompiledPlan plan;
+};
+
+DecodedPlan decode_plan(Reader r) {
+  DecodedPlan d;
+  d.backend = r.str();
+  const std::uint64_t steps = r.u64();
+  d.plan.steps.reserve(steps);
+  for (std::uint64_t i = 0; i < steps; ++i) {
+    d.plan.steps.push_back(read_step(r));
+  }
+  d.plan.num_weighted = r.u64();
+  d.plan.arena_enabled = r.u8() != 0;
+  const std::uint64_t passes = r.u64();
+  d.plan.applied_passes.reserve(passes);
+  for (std::uint64_t i = 0; i < passes; ++i) {
+    d.plan.applied_passes.push_back(r.str());
+  }
+  const std::uint64_t unopt = r.u64();
+  d.plan.unoptimized_geometry.reserve(unopt);
+  for (std::uint64_t i = 0; i < unopt; ++i) {
+    d.plan.unoptimized_geometry.push_back(read_step(r));
+  }
+  return d;
+}
+
+Writer encode_weights(const CompiledPlan& plan) {
+  Writer w;
+  w.u64(plan.num_weighted);
+  for (const CompiledStep& s : plan.steps) {
+    if (!is_weighted(s)) continue;
+    const tensor::QuantizedTensor& q = s.weights;
+    w.array(q.levels.data(), q.levels.size());
+    w.u64(q.shape.size());
+    for (std::size_t d : q.shape) w.u64(d);
+    w.f64(q.scale);
+    w.i32(q.bits);
+    w.u8(q.is_signed ? 1 : 0);
+  }
+  return w;
+}
+
+std::vector<tensor::QuantizedTensor> decode_weights(Reader r) {
+  const std::uint64_t count = r.u64();
+  std::vector<tensor::QuantizedTensor> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    tensor::QuantizedTensor q;
+    q.levels = r.array<std::int16_t>();
+    const std::uint64_t rank = r.u64();
+    if (rank > 8) fail(ArtifactErrorKind::kFormat, "implausible weight rank");
+    q.shape.resize(rank);
+    for (std::uint64_t d = 0; d < rank; ++d) q.shape[d] = r.u64();
+    q.scale = r.f64();
+    q.bits = r.i32();
+    q.is_signed = r.u8() != 0;
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+Writer encode_panels(const CompiledPlan& plan) {
+  Writer w;
+  // Fingerprint: the kernel tier auto dispatch resolved to when the panels
+  // were packed. Empty when the blob carries no panels at all.
+  bool any = false;
+  for (const CompiledStep& s : plan.steps) {
+    if (is_weighted(s) && s.weights.prepack != nullptr) any = true;
+  }
+  w.str(any ? tensor::simd::active_kernel() : "");
+  w.u64(plan.num_weighted);
+  for (const CompiledStep& s : plan.steps) {
+    if (!is_weighted(s)) continue;
+    const tensor::PackedWeights* pw = s.weights.prepack.get();
+    w.u8(pw != nullptr ? 1 : 0);
+    if (pw == nullptr) continue;
+    w.u64(pw->seg);
+    w.u8(pw->has_a ? 1 : 0);
+    if (pw->has_a) {
+      w.u64(pw->a.m);
+      w.u64(pw->a.k);
+      w.u64(pw->a.kp);
+      w.u64(pw->a.seg);
+      w.i32(pw->a.max_abs);
+      w.array(pw->a.base(), pw->a.m * pw->a.kp);
+    }
+    w.u8(pw->has_b ? 1 : 0);
+    if (pw->has_b) {
+      w.u64(pw->bt.k);
+      w.u64(pw->bt.n);
+      w.u64(pw->bt.kp);
+      w.u64(pw->bt.seg);
+      w.i32(pw->bt.max_abs);
+      w.array(pw->bt.base(),
+              tensor::packed_b_elems(pw->bt.k, pw->bt.n, pw->bt.seg));
+    }
+  }
+  return w;
+}
+
+struct DecodedPanels {
+  std::string fingerprint;
+  /// Per weighted step (in order); null when the step had no panels.
+  std::vector<std::shared_ptr<const tensor::PackedWeights>> per_step;
+  bool any() const {
+    for (const auto& p : per_step) {
+      if (p != nullptr) return true;
+    }
+    return false;
+  }
+};
+
+DecodedPanels decode_panels(Reader r) {
+  DecodedPanels d;
+  d.fingerprint = r.str();
+  const std::uint64_t count = r.u64();
+  d.per_step.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (r.u8() == 0) continue;
+    auto pw = std::make_shared<tensor::PackedWeights>();
+    pw->seg = r.u64();
+    pw->has_a = r.u8() != 0;
+    if (pw->has_a) {
+      pw->a.m = r.u64();
+      pw->a.k = r.u64();
+      pw->a.kp = r.u64();
+      pw->a.seg = r.u64();
+      pw->a.max_abs = r.i32();
+      pw->a.data = r.array<std::int16_t>();
+      if (pw->a.data.size() != pw->a.m * pw->a.kp) {
+        fail(ArtifactErrorKind::kFormat, "packed A panel size mismatch");
+      }
+    }
+    pw->has_b = r.u8() != 0;
+    if (pw->has_b) {
+      pw->bt.k = r.u64();
+      pw->bt.n = r.u64();
+      pw->bt.kp = r.u64();
+      pw->bt.seg = r.u64();
+      pw->bt.max_abs = r.i32();
+      pw->bt.data = r.array<std::int16_t>();
+      if (pw->bt.data.size() !=
+          tensor::packed_b_elems(pw->bt.k, pw->bt.n, pw->bt.seg)) {
+        fail(ArtifactErrorKind::kFormat, "packed B panel size mismatch");
+      }
+    }
+    d.per_step[i] = std::move(pw);
+  }
+  return d;
+}
+
+Writer encode_arm_programs(const CompiledPlan& plan) {
+  Writer w;
+  w.u64(plan.num_weighted);
+  for (const CompiledStep& s : plan.steps) {
+    if (!is_weighted(s)) continue;
+    const tensor::ArmProgram* ap = s.weights.arm_program.get();
+    w.u8(ap != nullptr ? 1 : 0);
+    if (ap == nullptr) continue;
+    w.u64(ap->seg);
+    w.u64(ap->rows);
+    w.u64(ap->row_length);
+    w.u64(ap->segments_per_row);
+    w.array(ap->weights.data(), ap->weights.size());
+  }
+  return w;
+}
+
+std::vector<std::shared_ptr<const tensor::ArmProgram>> decode_arm_programs(
+    Reader r) {
+  const std::uint64_t count = r.u64();
+  std::vector<std::shared_ptr<const tensor::ArmProgram>> out(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (r.u8() == 0) continue;
+    auto ap = std::make_shared<tensor::ArmProgram>();
+    ap->seg = r.u64();
+    ap->rows = r.u64();
+    ap->row_length = r.u64();
+    ap->segments_per_row = r.u64();
+    ap->weights = r.array<double>();
+    if (ap->weights.size() != ap->rows * ap->segments_per_row * ap->seg) {
+      fail(ArtifactErrorKind::kFormat, "arm program size mismatch");
+    }
+    out[i] = std::move(ap);
+  }
+  return out;
+}
+
+Writer encode_kernel_plan(const KernelPlan& plan) {
+  Writer w;
+  w.u64(plan.entries.size());
+  for (const KernelPlanEntry& e : plan.entries) {
+    w.u64(e.geom.m);
+    w.u64(e.geom.n);
+    w.u64(e.geom.k);
+    w.u64(e.geom.seg);
+    w.u8(e.geom.wide ? 1 : 0);
+    w.i32(static_cast<std::int32_t>(e.choice.tier));
+    w.u64(e.choice.nc_strips);
+    w.u8(e.measured ? 1 : 0);
+    w.f64(e.hysteresis_margin);
+    w.u64(e.candidates.size());
+    for (const KernelCandidate& c : e.candidates) {
+      w.i32(static_cast<std::int32_t>(c.config.tier));
+      w.u64(c.config.nc_strips);
+      w.f64(c.best_us);
+    }
+  }
+  return w;
+}
+
+KernelPlan decode_kernel_plan(Reader r) {
+  KernelPlan plan;
+  const std::uint64_t entries = r.u64();
+  plan.entries.reserve(entries);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    KernelPlanEntry e;
+    e.geom.m = r.u64();
+    e.geom.n = r.u64();
+    e.geom.k = r.u64();
+    e.geom.seg = r.u64();
+    e.geom.wide = r.u8() != 0;
+    e.choice.tier = static_cast<tensor::simd::KernelTier>(r.i32());
+    e.choice.nc_strips = r.u64();
+    e.measured = r.u8() != 0;
+    e.hysteresis_margin = r.f64();
+    const std::uint64_t cands = r.u64();
+    e.candidates.reserve(cands);
+    for (std::uint64_t c = 0; c < cands; ++c) {
+      KernelCandidate cand;
+      cand.config.tier = static_cast<tensor::simd::KernelTier>(r.i32());
+      cand.config.nc_strips = r.u64();
+      cand.best_us = r.f64();
+      e.candidates.push_back(cand);
+    }
+    plan.entries.push_back(std::move(e));
+  }
+  return plan;
+}
+
+// ---- blob-level parse/validate ---------------------------------------------
+
+struct Section {
+  std::uint32_t id = 0;
+  const std::uint8_t* data = nullptr;
+  std::uint64_t bytes = 0;
+};
+
+struct ParsedBlob {
+  std::uint32_t version = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t content_hash = 0;
+  std::uint64_t mrs_per_arm = 0;
+  std::vector<Section> sections;
+
+  Reader section(std::uint32_t id) const {
+    for (const Section& s : sections) {
+      if (s.id == id) return Reader(s.data, s.bytes);
+    }
+    fail(ArtifactErrorKind::kFormat,
+         std::string("missing section: ") + section_name(id));
+  }
+};
+
+/// Layered validation, strictest-to-cheapest story first: magic → version →
+/// size → content hash → section table bounds. The order fixes which error a
+/// given corruption reports — a bumped version byte is version skew (the
+/// header is outside the hashed region), a flipped payload byte is a hash
+/// mismatch, a truncated file is corruption.
+ParsedBlob parse_blob(const std::vector<std::uint8_t>& blob) {
+  if (blob.size() < kHeaderBytes) {
+    fail(ArtifactErrorKind::kCorrupt, "file shorter than the header");
+  }
+  if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    fail(ArtifactErrorKind::kCorrupt, "bad magic (not a lightator artifact)");
+  }
+  Reader header(blob.data() + sizeof(kMagic), kHeaderBytes - sizeof(kMagic));
+  ParsedBlob p;
+  p.version = header.u32();
+  p.total_bytes = header.u64();
+  p.content_hash = header.u64();
+  p.mrs_per_arm = header.u64();
+  const std::uint32_t section_count = header.u32();
+  if (p.version > kArtifactVersion) {
+    fail(ArtifactErrorKind::kVersionSkew,
+         "format version " + std::to_string(p.version) +
+             " is newer than this build reads (" +
+             std::to_string(kArtifactVersion) + ")");
+  }
+  if (p.total_bytes != blob.size()) {
+    fail(ArtifactErrorKind::kCorrupt,
+         "size mismatch: header says " + std::to_string(p.total_bytes) +
+             " bytes, file has " + std::to_string(blob.size()));
+  }
+  const std::uint64_t hashed =
+      content_hash64(blob.data() + kHeaderBytes, blob.size() - kHeaderBytes);
+  if (hashed != p.content_hash) {
+    fail(ArtifactErrorKind::kHashMismatch,
+         "content hash mismatch (corrupted payload)");
+  }
+  Reader table(blob.data() + kHeaderBytes, blob.size() - kHeaderBytes);
+  p.sections.reserve(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    Section s;
+    s.id = table.u32();
+    const std::uint64_t offset = table.u64();
+    s.bytes = table.u64();
+    if (offset > blob.size() || s.bytes > blob.size() - offset) {
+      fail(ArtifactErrorKind::kCorrupt, "section table out of bounds");
+    }
+    s.data = blob.data() + offset;
+    p.sections.push_back(s);
+  }
+  return p;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    fail(ArtifactErrorKind::kIo, "cannot open " + path + " for reading");
+  }
+  const std::streamoff size = in.tellg();
+  if (size < 0) fail(ArtifactErrorKind::kIo, "cannot stat " + path);
+  // One bulk read: blobs carry megabytes of packed panels, and a streambuf-
+  // iterator copy (one virtual call per byte) costs more than every decode
+  // memcpy combined.
+  std::vector<std::uint8_t> blob(static_cast<std::size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(blob.data()),
+          static_cast<std::streamsize>(blob.size()));
+  if (!in || in.gcount() != static_cast<std::streamsize>(blob.size())) {
+    fail(ArtifactErrorKind::kIo, "read failure on " + path);
+  }
+  return blob;
+}
+
+}  // namespace
+
+const char* artifact_error_kind_name(ArtifactErrorKind kind) {
+  switch (kind) {
+    case ArtifactErrorKind::kIo: return "io";
+    case ArtifactErrorKind::kCorrupt: return "corrupt";
+    case ArtifactErrorKind::kVersionSkew: return "version_skew";
+    case ArtifactErrorKind::kHashMismatch: return "hash_mismatch";
+    case ArtifactErrorKind::kArchMismatch: return "arch_mismatch";
+    case ArtifactErrorKind::kFormat: return "format";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> serialize_artifact(const CompiledModel& model) {
+  const CompiledPlan& plan = compiled_model_plan(model);
+  const std::string& backend = model.backend();
+
+  const std::pair<std::uint32_t, Writer> sections[] = {
+      {kSectionPlan, encode_plan(backend, plan)},
+      {kSectionWeights, encode_weights(plan)},
+      {kSectionPanels, encode_panels(plan)},
+      {kSectionArmPrograms, encode_arm_programs(plan)},
+      {kSectionKernelPlan, encode_kernel_plan(plan.kernel_plan)},
+  };
+  constexpr std::size_t kSectionCount = std::size(sections);
+  // id u32 + offset u64 + bytes u64 per table row.
+  const std::size_t table_bytes = kSectionCount * (4 + 8 + 8);
+
+  Writer head;
+  for (std::uint8_t b : kMagic) head.u8(b);
+  head.u32(kArtifactVersion);
+  head.u64(0);  // total_bytes — patched below
+  head.u64(0);  // content_hash — patched below
+  // The arm-geometry fingerprint: segment length changes partial-sum
+  // boundaries and therefore numerics, so it lives in the header and the
+  // loader hard-rejects a mismatch.
+  head.u64(compiled_model_system(model).config().geometry.mrs_per_arm);
+  head.u32(static_cast<std::uint32_t>(kSectionCount));
+
+  Writer table;
+  std::uint64_t offset = kHeaderBytes + table_bytes;
+  for (const auto& [id, payload] : sections) {
+    table.u32(id);
+    table.u64(offset);
+    table.u64(payload.bytes().size());
+    offset += payload.bytes().size();
+  }
+
+  std::vector<std::uint8_t> blob;
+  blob.reserve(offset);
+  blob.insert(blob.end(), head.bytes().begin(), head.bytes().end());
+  blob.insert(blob.end(), table.bytes().begin(), table.bytes().end());
+  for (const auto& [id, payload] : sections) {
+    blob.insert(blob.end(), payload.bytes().begin(), payload.bytes().end());
+  }
+
+  const std::uint64_t total = blob.size();
+  const std::uint64_t hash =
+      content_hash64(blob.data() + kHeaderBytes, blob.size() - kHeaderBytes);
+  for (std::size_t i = 0; i < 8; ++i) {
+    blob[kTotalOffset + i] = static_cast<std::uint8_t>(total >> (8 * i));
+    blob[kHashOffset + i] = static_cast<std::uint8_t>(hash >> (8 * i));
+  }
+  return blob;
+}
+
+void save_artifact(const CompiledModel& model, const std::string& path) {
+  const std::vector<std::uint8_t> blob = serialize_artifact(model);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    fail(ArtifactErrorKind::kIo, "cannot open " + path + " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(blob.data()),
+            static_cast<std::streamsize>(blob.size()));
+  if (!out) fail(ArtifactErrorKind::kIo, "write failure on " + path);
+}
+
+CompiledModel deserialize_artifact(const std::vector<std::uint8_t>& blob,
+                                   const LightatorSystem& system,
+                                   ArtifactLoadStats* stats) {
+  LIGHTATOR_TRACE_SPAN("artifact_load", "compile");
+  const auto load_start = std::chrono::steady_clock::now();
+  const ParsedBlob parsed = parse_blob(blob);
+
+  const std::size_t seg = system.config().geometry.mrs_per_arm;
+  if (parsed.mrs_per_arm != 0 && parsed.mrs_per_arm != seg) {
+    fail(ArtifactErrorKind::kArchMismatch,
+         "arm geometry mismatch: blob packed for mrs_per_arm=" +
+             std::to_string(parsed.mrs_per_arm) + ", system has " +
+             std::to_string(seg));
+  }
+
+  DecodedPlan decoded = decode_plan(parsed.section(kSectionPlan));
+  CompiledPlan& plan = decoded.plan;
+  plan.kernel_plan = decode_kernel_plan(parsed.section(kSectionKernelPlan));
+
+  std::vector<tensor::QuantizedTensor> weights =
+      decode_weights(parsed.section(kSectionWeights));
+  DecodedPanels panels = decode_panels(parsed.section(kSectionPanels));
+  std::vector<std::shared_ptr<const tensor::ArmProgram>> arms =
+      decode_arm_programs(parsed.section(kSectionArmPrograms));
+  if (weights.size() != plan.num_weighted ||
+      panels.per_step.size() != plan.num_weighted ||
+      arms.size() != plan.num_weighted) {
+    fail(ArtifactErrorKind::kFormat, "weighted-section count mismatch");
+  }
+
+  ArtifactLoadStats local_stats;
+  ArtifactLoadStats& ls = stats != nullptr ? *stats : local_stats;
+  ls = ArtifactLoadStats{};
+  ls.blob_bytes = blob.size();
+
+  // Panel policy: serialized panels are only usable when this host's auto
+  // dispatch resolves to the same kernel tier they were packed under (the
+  // packed layout is tier-independent, but whether panels should exist at
+  // all — and what a fresh compile here would build — is fingerprint
+  // business). On mismatch, drop and re-pack from the levels: bit-exact by
+  // construction, since packing is a pure re-layout of the levels.
+  const bool wants_panels = decoded.backend != "reference" &&
+                            decoded.backend != "physical" &&
+                            tensor::simd::simd_active();
+  const bool panels_usable = panels.any() &&
+                             panels.fingerprint ==
+                                 tensor::simd::active_kernel();
+  const bool wants_arms = decoded.backend == "physical";
+
+  std::size_t wi = 0;
+  for (CompiledStep& step : plan.steps) {
+    if (!is_weighted(step)) continue;
+    if (wi >= weights.size()) {
+      fail(ArtifactErrorKind::kFormat, "more weighted steps than weights");
+    }
+    step.weights = std::move(weights[wi]);
+    if (wants_panels && panels_usable) {
+      step.weights.prepack = std::move(panels.per_step[wi]);
+    } else if (wants_panels) {
+      program_step_weights(step, seg, /*pack_simd=*/true, /*pack_arms=*/false);
+      if (panels.any()) {
+        ls.repacked_panels = true;
+      } else {
+        ls.packed_fresh = true;
+      }
+    }
+    if (wants_arms) {
+      if (arms[wi] != nullptr) {
+        step.weights.arm_program = std::move(arms[wi]);
+      } else {
+        program_step_weights(step, seg, /*pack_simd=*/false,
+                             /*pack_arms=*/true);
+        ls.rebuilt_arm_programs = true;
+      }
+    }
+    ++wi;
+  }
+  if (wi != plan.num_weighted) {
+    fail(ArtifactErrorKind::kFormat, "weighted step count mismatch");
+  }
+
+  CompiledModel model;
+  try {
+    model = make_compiled_model(system, decoded.backend, std::move(plan));
+  } catch (const std::invalid_argument& e) {
+    fail(ArtifactErrorKind::kFormat, e.what());
+  }
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.counter("compile.load_count").add(1);
+  reg.histogram("compile.load_ms")
+      .observe(std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - load_start)
+                   .count());
+  return model;
+}
+
+CompiledModel load_artifact(const std::string& path,
+                            const LightatorSystem& system,
+                            ArtifactLoadStats* stats) {
+  return deserialize_artifact(read_file(path), system, stats);
+}
+
+ArtifactInfo inspect_artifact_blob(const std::vector<std::uint8_t>& blob) {
+  const ParsedBlob parsed = parse_blob(blob);
+  ArtifactInfo info;
+  info.version = parsed.version;
+  info.total_bytes = parsed.total_bytes;
+  info.content_hash = parsed.content_hash;
+  info.mrs_per_arm = parsed.mrs_per_arm;
+  for (const Section& s : parsed.sections) {
+    info.sections.push_back({section_name(s.id), s.bytes});
+  }
+  DecodedPlan decoded = decode_plan(parsed.section(kSectionPlan));
+  info.backend = decoded.backend;
+  info.num_steps = decoded.plan.steps.size();
+  info.num_weighted = decoded.plan.num_weighted;
+  info.applied_passes = std::move(decoded.plan.applied_passes);
+  info.kernel_plan = decode_kernel_plan(parsed.section(kSectionKernelPlan));
+  DecodedPanels panels = decode_panels(parsed.section(kSectionPanels));
+  info.simd_fingerprint = panels.fingerprint;
+  info.panels_present = panels.any();
+  const auto arms = decode_arm_programs(parsed.section(kSectionArmPrograms));
+  for (const auto& ap : arms) {
+    if (ap != nullptr) info.arm_programs_present = true;
+  }
+  return info;
+}
+
+ArtifactInfo inspect_artifact(const std::string& path) {
+  return inspect_artifact_blob(read_file(path));
+}
+
+// ---- convenience members declared in core/compiled_model.hpp ---------------
+
+void CompiledModel::save(const std::string& path) const {
+  save_artifact(*this, path);
+}
+
+CompiledModel Engine::load(const std::string& path) const {
+  return load_artifact(path, *system_);
+}
+
+}  // namespace lightator::core

@@ -1,0 +1,162 @@
+// Versioned on-disk CompiledModel artifacts: save once, load ~free forever.
+//
+// Engine::compile is deliberately expensive — weight quantization, SIMD
+// panel packing, arm-program builds, and the kernel-autotune races all
+// happen there so that CompiledModel::run never pays them. But the product
+// died with the process: every server restart and every experiment re-paid
+// the whole pipeline. This module freezes a CompiledModel into a
+// self-describing binary blob (the compile → blob → deployer/executor shape
+// of production accelerator toolchains) and reconstitutes it bit-exactly:
+//
+//   save_artifact(model, "lenet_v1.blob");
+//   CompiledModel m = load_artifact("lenet_v1.blob", system);
+//   // m.run(...) == model.run(...) bit-for-bit (gemm exact; physical
+//   // seeded-noise-identical — every double round-trips by bit pattern).
+//
+// Blob layout (little-endian):
+//
+//   +--------------------------------------------------------------+
+//   | magic "LTARTFC1" | version u32 | total_bytes u64             |
+//   | content_hash u64 (FNV-1a over everything below this header)  |
+//   | mrs_per_arm u64 (arm-geometry fingerprint) | section_count   |
+//   +--------------------------------------------------------------+
+//   | section table: {id u32, offset u64, bytes u64} x count       |
+//   +--------------------------------------------------------------+
+//   | plan         — backend name, every compiled step (geometry,  |
+//   |                bias, fused epilogue, frozen kernel config),  |
+//   |                applied passes, the unoptimized-geometry      |
+//   |                snapshot memory_report baselines against      |
+//   | weights      — per weighted step: quantized levels + scale   |
+//   | panels       — packed SIMD panels + the SIMD kernel          |
+//   |                fingerprint they were packed under            |
+//   | arm_programs — the physical backend's programmed arms        |
+//   | kernel_plan  — the autotune tuning report (KernelPlan), so   |
+//   |                production loads the tuned choices and never  |
+//   |                re-races                                      |
+//   +--------------------------------------------------------------+
+//
+// Validation is layered and typed (ArtifactError::kind): bad magic or a
+// truncated/overlong file is kCorrupt, a version newer than this build is
+// kVersionSkew, any flipped payload byte is kHashMismatch (the hash guards
+// everything after the fixed header, so a corrupted version field reports as
+// version skew, not as a hash failure), and an arm-geometry (mrs_per_arm)
+// mismatch with the loading system is kArchMismatch — segment boundaries
+// change numerics, so such a blob is unusable rather than repackable.
+//
+// The SIMD fingerprint is advisory, not fatal: panels packed under a
+// different kernel tier than the loading host resolves (cpuid mismatch, a
+// forced tier, a scalar build) are dropped and re-packed from the levels via
+// program_step_weights — the repack-on-load path — which rebuilds exactly
+// what a fresh compile here would have built, so outputs stay bit-exact.
+// Frozen KernelConfig tiers the host lacks resolve DOWN the ladder at run
+// (tensor/simd.hpp), never up, so a VNNI-tuned plan serves on any host.
+//
+// The loader reports through the metrics plane as compile.load_count /
+// compile.load_ms — deliberately separate from compile.count / compile.ms,
+// so cold-start dashboards can tell a ~free artifact load from a full
+// compile (backend_compare's artifact_reuse section gates the ratio).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/compiled_model.hpp"
+#include "core/compiler/plan.hpp"
+
+namespace lightator::core {
+
+/// Current blob format version. Bump on any layout change; readers reject
+/// newer versions (kVersionSkew) instead of misparsing them.
+inline constexpr std::uint32_t kArtifactVersion = 1;
+
+enum class ArtifactErrorKind {
+  kIo,            // file missing, unreadable, or unwritable
+  kCorrupt,       // bad magic, truncation, or an out-of-bounds section table
+  kVersionSkew,   // written by a newer format version than this build reads
+  kHashMismatch,  // payload does not hash to the header's content hash
+  kArchMismatch,  // arm geometry (mrs_per_arm) differs from the target system
+  kFormat,        // structurally valid but unusable (unknown backend, counts)
+};
+
+/// "io" / "corrupt" / "version_skew" / "hash_mismatch" / "arch_mismatch" /
+/// "format" — stable strings for CLI output and test assertions.
+const char* artifact_error_kind_name(ArtifactErrorKind kind);
+
+/// Every artifact failure throws this; kind() says which contract broke.
+class ArtifactError : public std::runtime_error {
+ public:
+  ArtifactError(ArtifactErrorKind kind, const std::string& what)
+      : std::runtime_error(what), kind_(kind) {}
+  ArtifactErrorKind kind() const { return kind_; }
+
+ private:
+  ArtifactErrorKind kind_;
+};
+
+/// How the loader reconstituted a blob — the repack-on-load marker,
+/// surfaced for tests and the model_artifact CLI.
+struct ArtifactLoadStats {
+  /// Blob carried panels but their SIMD fingerprint did not match this
+  /// host's resolved kernel tier; panels were re-packed from the levels.
+  bool repacked_panels = false;
+  /// Blob carried no panels (saved on a scalar host / SIMD-off build) but
+  /// this host runs SIMD; panels were packed fresh.
+  bool packed_fresh = false;
+  /// Physical-backend blob without serialized arm programs; rebuilt.
+  bool rebuilt_arm_programs = false;
+  std::uint64_t blob_bytes = 0;
+};
+
+struct ArtifactSectionInfo {
+  std::string name;
+  std::uint64_t bytes = 0;
+};
+
+/// Parsed header + plan summary. inspect needs no LightatorSystem — it
+/// validates magic/version/size/hash and reads the metadata sections, but
+/// never resolves a backend or touches weight payloads beyond hashing.
+struct ArtifactInfo {
+  std::uint32_t version = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t content_hash = 0;
+  std::uint64_t mrs_per_arm = 0;
+  std::string backend;
+  /// Kernel tier name the panels were packed under ("" when the blob
+  /// carries no panels).
+  std::string simd_fingerprint;
+  std::size_t num_steps = 0;
+  std::size_t num_weighted = 0;
+  bool panels_present = false;
+  bool arm_programs_present = false;
+  std::vector<std::string> applied_passes;
+  /// The serialized tuning report (obs::kernel_plan_json renders it).
+  KernelPlan kernel_plan;
+  std::vector<ArtifactSectionInfo> sections;
+};
+
+/// Serializes `model` into a blob / writes it to `path`. The model handle
+/// must be valid (std::logic_error otherwise, like every CompiledModel
+/// accessor); save_artifact throws ArtifactError(kIo) on write failure.
+std::vector<std::uint8_t> serialize_artifact(const CompiledModel& model);
+void save_artifact(const CompiledModel& model, const std::string& path);
+
+/// Validates and reconstitutes a blob into a CompiledModel executing against
+/// `system` (which must outlive the model). Bit-exact round trip: gemm
+/// outputs identical, physical outputs seeded-noise-identical. `stats`, when
+/// non-null, reports whether the repack-on-load path ran. Records
+/// compile.load_count / compile.load_ms on the global MetricsRegistry.
+CompiledModel deserialize_artifact(const std::vector<std::uint8_t>& blob,
+                                   const LightatorSystem& system,
+                                   ArtifactLoadStats* stats = nullptr);
+CompiledModel load_artifact(const std::string& path,
+                            const LightatorSystem& system,
+                            ArtifactLoadStats* stats = nullptr);
+
+/// Header/section summary after full validation (magic, version, size,
+/// content hash) — the CLI's `inspect` and `verify` entry point.
+ArtifactInfo inspect_artifact_blob(const std::vector<std::uint8_t>& blob);
+ArtifactInfo inspect_artifact(const std::string& path);
+
+}  // namespace lightator::core

@@ -574,22 +574,7 @@ CompiledModel Engine::compile(const nn::Network& net,
         // Exactly the per-forward quantize_symmetric call of the pre-split
         // path, so compiled forwards are bit-identical to uncompiled ones.
         step.weights = tensor::quantize_symmetric(conv.weight(), step.wbits);
-        const std::size_t kdim = conv.spec().weights_per_filter();
-        if (pack_simd) {
-          auto pw = std::make_shared<tensor::PackedWeights>();
-          pw->seg = seg;
-          pw->has_a = true;
-          pw->a = tensor::pack_a_s16(step.weights.levels.data(),
-                                     conv.spec().out_channels, kdim, kdim,
-                                     seg);
-          step.weights.prepack = std::move(pw);
-        }
-        if (pack_arms) {
-          step.weights.arm_program = std::make_shared<tensor::ArmProgram>(
-              tensor::build_arm_program(step.weights.levels.data(),
-                                        conv.spec().out_channels, kdim,
-                                        step.weights.max_level(), seg));
-        }
+        program_step_weights(step, seg, pack_simd, pack_arms);
         break;
       }
       case nn::LayerKind::kLinear: {
@@ -601,22 +586,7 @@ CompiledModel Engine::compile(const nn::Network& net,
         step.abits = abits_for(weighted_index);
         step.weighted_index = weighted_index++;
         step.weights = tensor::quantize_symmetric(fc.weight(), step.wbits);
-        if (pack_simd) {
-          auto pw = std::make_shared<tensor::PackedWeights>();
-          pw->seg = seg;
-          pw->has_b = true;
-          pw->bt = tensor::pack_b_s16_transposed(step.weights.levels.data(),
-                                                 fc.in_features(),
-                                                 fc.out_features(),
-                                                 fc.in_features(), seg);
-          step.weights.prepack = std::move(pw);
-        }
-        if (pack_arms) {
-          step.weights.arm_program = std::make_shared<tensor::ArmProgram>(
-              tensor::build_arm_program(step.weights.levels.data(),
-                                        fc.out_features(), fc.in_features(),
-                                        step.weights.max_level(), seg));
-        }
+        program_step_weights(step, seg, pack_simd, pack_arms);
         break;
       }
       case nn::LayerKind::kMaxPool: {
@@ -689,6 +659,76 @@ CompiledModel Engine::compile(const nn::Network& net,
   CompiledModel model;
   model.impl_ = std::move(impl);
   return model;
+}
+
+// ---- artifact-layer hooks --------------------------------------------------
+
+const CompiledPlan& compiled_model_plan(const CompiledModel& model) {
+  if (model.impl_ == nullptr) throw_invalid_handle();
+  return model.impl_->plan;
+}
+
+const LightatorSystem& compiled_model_system(const CompiledModel& model) {
+  if (model.impl_ == nullptr) throw_invalid_handle();
+  return *model.impl_->system;
+}
+
+CompiledModel make_compiled_model(const LightatorSystem& system,
+                                  const std::string& backend_name,
+                                  CompiledPlan plan) {
+  auto impl = std::make_shared<CompiledModel::Impl>();
+  impl->system = &system;
+  impl->backend_name = backend_name;
+  // Same resolve-once semantics as compile(): an unknown backend name fails
+  // here, before any handle escapes.
+  impl->backend = &system.optical_core().backend(backend_name);
+  impl->plan = std::move(plan);
+  CompiledModel model;
+  model.impl_ = std::move(impl);
+  return model;
+}
+
+void program_step_weights(CompiledStep& step, std::size_t seg, bool pack_simd,
+                          bool pack_arms) {
+  std::size_t rows = 0, row_length = 0;
+  bool is_conv = false;
+  switch (step.kind) {
+    case nn::LayerKind::kConv:
+      rows = step.conv.out_channels;
+      row_length = step.conv.weights_per_filter();
+      is_conv = true;
+      break;
+    case nn::LayerKind::kLinear:
+      rows = step.fc_out;
+      row_length = step.fc_in;
+      break;
+    default:
+      return;
+  }
+  step.weights.prepack.reset();
+  step.weights.arm_program.reset();
+  if (pack_simd) {
+    auto pw = std::make_shared<tensor::PackedWeights>();
+    pw->seg = seg;
+    if (is_conv) {
+      // Conv weights are the GEMM's left operand: [out_channels x kdim].
+      pw->has_a = true;
+      pw->a = tensor::pack_a_s16(step.weights.levels.data(), rows, row_length,
+                                 row_length, seg);
+    } else {
+      // Fc weights pack as Wᵀ, the B panel: [in_features x out_features].
+      pw->has_b = true;
+      pw->bt = tensor::pack_b_s16_transposed(step.weights.levels.data(),
+                                             row_length, rows, row_length,
+                                             seg);
+    }
+    step.weights.prepack = std::move(pw);
+  }
+  if (pack_arms) {
+    step.weights.arm_program = std::make_shared<tensor::ArmProgram>(
+        tensor::build_arm_program(step.weights.levels.data(), rows, row_length,
+                                  step.weights.max_level(), seg));
+  }
 }
 
 }  // namespace lightator::core

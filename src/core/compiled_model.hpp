@@ -206,11 +206,44 @@ class CompiledModel {
                   std::size_t batch_size = 64,
                   std::size_t max_samples = 0) const;
 
+  /// Serializes this model to the versioned artifact format at `path` —
+  /// convenience for save_artifact(*this, path) (core/artifact/artifact.hpp).
+  /// Throws ArtifactError(kIo) when the file cannot be written.
+  void save(const std::string& path) const;
+
  private:
   friend class Engine;
+  friend const CompiledPlan& compiled_model_plan(const CompiledModel& model);
+  friend const LightatorSystem& compiled_model_system(
+      const CompiledModel& model);
+  friend CompiledModel make_compiled_model(const LightatorSystem& system,
+                                           const std::string& backend_name,
+                                           CompiledPlan plan);
   struct Impl;
   std::shared_ptr<const Impl> impl_;
 };
+
+/// Artifact-layer hooks (core/artifact/): read the compiled plan behind a
+/// model, and rebuild a model from a deserialized plan (resolving the named
+/// backend against `system`, which must outlive the model). Not a general
+/// API — the plan's invariants (prepack/levels consistency, weighted
+/// indices, pass bookkeeping) are the compiler's and the loader's business.
+const CompiledPlan& compiled_model_plan(const CompiledModel& model);
+const LightatorSystem& compiled_model_system(const CompiledModel& model);
+CompiledModel make_compiled_model(const LightatorSystem& system,
+                                  const std::string& backend_name,
+                                  CompiledPlan plan);
+
+/// (Re)derives the derived weight state of one conv/fc step from its
+/// quantized levels: the packed SIMD panels (`pack_simd`, the GEMM-family
+/// backends) and/or the physical arm program (`pack_arms`). Any existing
+/// prepack/arm program is dropped first. This is the prepack half of
+/// Engine::compile, shared with the artifact loader's repack-on-load path so
+/// a blob packed under a different SIMD fingerprint re-packs into exactly
+/// what a fresh compile on this host would have built. Non-weighted steps
+/// are left untouched.
+void program_step_weights(CompiledStep& step, std::size_t seg, bool pack_simd,
+                          bool pack_arms);
 
 /// The compiler: one-time translation of a float Network into a
 /// CompiledModel for a LightatorSystem's architecture. Compilation performs
@@ -225,6 +258,12 @@ class Engine {
   /// Throws std::invalid_argument for an unknown backend name.
   CompiledModel compile(const nn::Network& net,
                         CompileOptions options = {}) const;
+
+  /// Loads a previously saved artifact for this engine's system —
+  /// convenience for load_artifact(path, system). Throws ArtifactError
+  /// (core/artifact/artifact.hpp) on IO failure, corruption, version skew,
+  /// hash mismatch, or an arm-geometry mismatch with the target system.
+  CompiledModel load(const std::string& path) const;
 
  private:
   const LightatorSystem* system_;

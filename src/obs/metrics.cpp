@@ -181,4 +181,15 @@ void MetricsRegistry::reset() {
   attrs_.clear();
 }
 
+std::string sanitize_metric_component(const std::string& s) {
+  if (s.empty()) return "_";
+  std::string out = s;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
 }  // namespace lightator::obs

@@ -99,6 +99,13 @@ class Histogram {
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
+/// Sanitizes one dotted-metric-name component: letters, digits, '_', and
+/// '-' pass through; every other byte — the '@' of a name@version ref,
+/// spaces, dots that would split the component — becomes '_'. An empty
+/// input returns "_". The serving router namespaces per-model telemetry as
+/// "serve.<sanitize_metric_component(model)>.…".
+std::string sanitize_metric_component(const std::string& s);
+
 class MetricsRegistry {
  public:
   /// The process-wide registry every built-in subsystem reports to.

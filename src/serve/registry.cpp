@@ -1,0 +1,119 @@
+#include "serve/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/artifact/artifact.hpp"
+
+namespace lightator::serve {
+
+namespace {
+
+/// Splits "name@version" at the first '@'; a bare name leaves version empty.
+std::pair<std::string, std::string> split_ref(const std::string& ref) {
+  const std::size_t at = ref.find('@');
+  if (at == std::string::npos) return {ref, ""};
+  return {ref.substr(0, at), ref.substr(at + 1)};
+}
+
+}  // namespace
+
+void ModelRegistry::add(const std::string& name, const std::string& version,
+                        core::CompiledModel model) {
+  if (name.empty() || version.empty()) {
+    throw std::invalid_argument(
+        "ModelRegistry::add: name and version must be non-empty");
+  }
+  if (name.find('@') != std::string::npos ||
+      version.find('@') != std::string::npos) {
+    throw std::invalid_argument(
+        "ModelRegistry::add: '@' separates name from version and cannot "
+        "appear in either");
+  }
+  if (!model.valid()) {
+    throw std::invalid_argument(
+        "ModelRegistry::add: invalid CompiledModel handle");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.name == name && e.version == version) {
+      throw std::invalid_argument("ModelRegistry::add: " + name + "@" +
+                                  version +
+                                  " is already registered (versions are "
+                                  "immutable — publish a new version)");
+    }
+  }
+  entries_.push_back({name, version, std::move(model)});
+}
+
+core::CompiledModel ModelRegistry::load(const std::string& name,
+                                        const std::string& version,
+                                        const std::string& path,
+                                        const core::LightatorSystem& system) {
+  core::CompiledModel model = core::load_artifact(path, system);
+  add(name, version, model);
+  return model;
+}
+
+std::size_t ModelRegistry::find_locked(const std::string& ref) const {
+  const auto [name, version] = split_ref(ref);
+  for (std::size_t i = entries_.size(); i-- > 0;) {
+    if (entries_[i].name != name) continue;
+    if (version.empty() || entries_[i].version == version) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+void ModelRegistry::throw_unknown_locked(const std::string& ref) const {
+  std::ostringstream msg;
+  msg << "ModelRegistry: unknown model ref \"" << ref << "\" (registered:";
+  if (entries_.empty()) {
+    msg << " none";
+  } else {
+    for (const Entry& e : entries_) msg << " " << e.name << "@" << e.version;
+  }
+  msg << ")";
+  throw std::out_of_range(msg.str());
+}
+
+core::CompiledModel ModelRegistry::get(const std::string& ref) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t i = find_locked(ref);
+  if (i == static_cast<std::size_t>(-1)) throw_unknown_locked(ref);
+  return entries_[i].model;
+}
+
+std::string ModelRegistry::resolve_version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t i = find_locked(name);
+  if (i == static_cast<std::size_t>(-1)) throw_unknown_locked(name);
+  return entries_[i].version;
+}
+
+bool ModelRegistry::contains(const std::string& ref) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(ref) != static_cast<std::size_t>(-1);
+}
+
+void ModelRegistry::unload(const std::string& ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t i = find_locked(ref);
+  if (i == static_cast<std::size_t>(-1)) throw_unknown_locked(ref);
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+std::vector<std::string> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.push_back(e.name + "@" + e.version);
+  return out;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace lightator::serve

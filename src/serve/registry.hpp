@@ -1,0 +1,82 @@
+// ModelRegistry: the name@version → CompiledModel store behind the router.
+//
+// A registry entry is an immutable, thread-shareable CompiledModel under a
+// two-part key: a model name ("lenet") and a version tag ("v1", "2024-08",
+// any string without '@'). References are written "name@version", or bare
+// "name" for the most recently added version of that name — the rolling-
+// release convention the router's hot-swap path leans on. Entries come from
+// either an in-process Engine::compile (add) or the on-disk artifact format
+// (load → core::load_artifact), which is what makes a registry process-
+// restart-cheap: a fleet node loads blobs instead of recompiling.
+//
+// Thread-safe: every method takes the registry mutex; the returned
+// CompiledModel handles are shared-immutable, so holding one outside the
+// lock is always safe (unload drops the registry's reference, never the
+// model — routes serving it keep it alive).
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/compiled_model.hpp"
+
+namespace lightator::core {
+class LightatorSystem;
+}
+
+namespace lightator::serve {
+
+class ModelRegistry {
+ public:
+  /// Registers `model` under name@version. Throws std::invalid_argument on
+  /// an empty name, a '@' in either part, an invalid model handle, or a
+  /// duplicate name@version (versions are immutable once registered —
+  /// publish a new version instead).
+  void add(const std::string& name, const std::string& version,
+           core::CompiledModel model);
+
+  /// Loads the artifact at `path` (core::load_artifact — full magic/
+  /// version/hash validation, repack-on-load) for `system` and registers it
+  /// under name@version. Returns the loaded model. Throws core::ArtifactError
+  /// on any blob problem, std::invalid_argument on key problems.
+  core::CompiledModel load(const std::string& name, const std::string& version,
+                           const std::string& path,
+                           const core::LightatorSystem& system);
+
+  /// Resolves "name@version" exactly, or bare "name" to the most recently
+  /// added version of that name. Throws std::out_of_range for an unknown
+  /// ref (the message lists what is registered).
+  core::CompiledModel get(const std::string& ref) const;
+
+  /// Version tag get(name) would resolve to. Throws like get().
+  std::string resolve_version(const std::string& name) const;
+
+  bool contains(const std::string& ref) const;
+
+  /// Drops the registry's reference (models still held by a route stay
+  /// alive). Bare names unload the most recent version only. Throws
+  /// std::out_of_range for an unknown ref.
+  void unload(const std::string& ref);
+
+  /// "name@version" keys in registration order.
+  std::vector<std::string> list() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name, version;
+    core::CompiledModel model;
+  };
+
+  /// Index of `ref` in entries_, or npos. Bare names match the LAST entry
+  /// with that name (latest registration wins). Caller holds mutex_.
+  std::size_t find_locked(const std::string& ref) const;
+  [[noreturn]] void throw_unknown_locked(const std::string& ref) const;
+
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;  // registration order
+};
+
+}  // namespace lightator::serve

@@ -1,0 +1,230 @@
+#include "serve/router.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/artifact/artifact.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lightator::serve {
+
+namespace {
+
+/// Per-route metric namespace: the router owns tenant separation, so a
+/// route's options always get "serve.<name>" regardless of what the caller
+/// set (names pass through sanitize so "resnet/v2" can't fork the registry
+/// namespace).
+ServerOptions routed_options(const std::string& name, ServerOptions options) {
+  options.metric_prefix = "serve." + obs::sanitize_metric_component(name);
+  return options;
+}
+
+}  // namespace
+
+InferenceRouter::~InferenceRouter() { shutdown(); }
+
+std::shared_ptr<InferenceRouter::Route> InferenceRouter::route(
+    const std::string& name) const {
+  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  const auto it = routes_.find(name);
+  if (it != routes_.end()) return it->second;
+  std::ostringstream msg;
+  msg << "InferenceRouter: unknown model \"" << name << "\" (deployed:";
+  if (routes_.empty()) {
+    msg << " none";
+  } else {
+    for (const auto& [route_name, r] : routes_)
+      msg << " " << route_name << "@" << r->version;
+  }
+  msg << ")";
+  throw std::out_of_range(msg.str());
+}
+
+void InferenceRouter::deploy(const std::string& name,
+                             const std::string& version,
+                             core::CompiledModel model, ServerOptions options) {
+  {
+    // Pre-check so an existing route fails before the registry mutates or a
+    // server spins up (the try_emplace below still decides races).
+    std::shared_lock<std::shared_mutex> lock(route_mutex_);
+    if (routes_.count(name) != 0) {
+      throw std::invalid_argument("InferenceRouter::deploy: route \"" + name +
+                                  "\" already exists (use swap to change "
+                                  "versions)");
+    }
+  }
+  registry_.add(name, version, model);  // validates name/version/model
+  options = routed_options(name, std::move(options));
+  // Build the server (replicas spin up here) before touching the route map —
+  // a failed construction must leave the router unchanged.
+  auto server = std::make_shared<InferenceServer>(std::move(model), options);
+  std::lock_guard<std::mutex> admin(admin_mutex_);
+  {
+    std::unique_lock<std::shared_mutex> lock(route_mutex_);
+    auto [it, inserted] = routes_.try_emplace(name);
+    if (!inserted) {
+      lock.unlock();
+      server->shutdown();
+      throw std::invalid_argument("InferenceRouter::deploy: route \"" + name +
+                                  "\" already exists (use swap to change "
+                                  "versions)");
+    }
+    it->second = std::make_shared<Route>(
+        Route{std::move(server), version, std::move(options)});
+  }
+}
+
+void InferenceRouter::deploy_artifact(const std::string& name,
+                                      const std::string& version,
+                                      const std::string& path,
+                                      const core::LightatorSystem& system,
+                                      ServerOptions options) {
+  deploy(name, version, core::load_artifact(path, system), std::move(options));
+}
+
+void InferenceRouter::swap(const std::string& name, const std::string& version,
+                           core::CompiledModel model) {
+  swap(name, version, std::move(model), route(name)->options);
+}
+
+void InferenceRouter::swap(const std::string& name, const std::string& version,
+                           core::CompiledModel model, ServerOptions options) {
+  LIGHTATOR_TRACE_SPAN("model_swap", "serve");
+  route(name);  // unknown route throws before the registry mutates
+  registry_.add(name, version, model);
+  options = routed_options(name, std::move(options));
+  // v2 comes up fully (replica threads running against the new artifact)
+  // while v1 still serves every request — the flip below is pointer-swap
+  // cheap, so the exclusive hold on route_mutex_ is nanoseconds, not a
+  // compile or a drain.
+  auto fresh = std::make_shared<Route>(Route{
+      std::make_shared<InferenceServer>(std::move(model), options), version,
+      std::move(options)});
+  std::shared_ptr<Route> old;
+  {
+    std::lock_guard<std::mutex> admin(admin_mutex_);
+    std::unique_lock<std::shared_mutex> lock(route_mutex_);
+    const auto it = routes_.find(name);
+    if (it == routes_.end()) {
+      lock.unlock();
+      fresh->server->shutdown();
+      route(name);  // throws std::out_of_range with the deployed list
+    }
+    old = std::exchange(it->second, fresh);
+  }
+  // Drain outside every lock: submits already routed to v2, and v1's queue
+  // was only reachable under the shared lock we now exclude, so every
+  // request it holds was accepted — shutdown() completes them all.
+  old->server->shutdown();
+  obs::MetricsRegistry::global()
+      .counter(fresh->options.metric_prefix + ".swaps")
+      .add(1);
+}
+
+void InferenceRouter::swap_artifact(const std::string& name,
+                                    const std::string& version,
+                                    const std::string& path,
+                                    const core::LightatorSystem& system) {
+  swap(name, version, core::load_artifact(path, system));
+}
+
+SubmitTicket InferenceRouter::submit(const std::string& name,
+                                     tensor::Tensor input) {
+  // Lookup and enqueue under one shared hold: a swap's exclusive flip cannot
+  // interleave, so the request lands either in v1's queue before the flip
+  // (drained, completes on v1) or in v2's after — never in a closed queue.
+  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  const auto it = routes_.find(name);
+  if (it == routes_.end()) {
+    lock.unlock();
+    route(name);  // throws
+  }
+  return it->second->server->submit(std::move(input));
+}
+
+SubmitTicket InferenceRouter::submit(const std::string& name,
+                                     tensor::Tensor input,
+                                     std::uint64_t request_id) {
+  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  const auto it = routes_.find(name);
+  if (it == routes_.end()) {
+    lock.unlock();
+    route(name);  // throws
+  }
+  return it->second->server->submit(std::move(input), request_id);
+}
+
+InferResult InferenceRouter::infer(const std::string& name,
+                                   tensor::Tensor input) {
+  SubmitTicket ticket = submit(name, std::move(input));
+  if (ticket.status != SubmitStatus::kAccepted) {
+    throw std::runtime_error(
+        "InferenceRouter::infer: request not accepted for \"" + name + "\" (" +
+        (ticket.status == SubmitStatus::kRejected ? "queue full"
+                                                  : "server closed") +
+        ")");
+  }
+  return ticket.result.get();
+}
+
+void InferenceRouter::undeploy(const std::string& name) {
+  std::shared_ptr<Route> old;
+  {
+    std::lock_guard<std::mutex> admin(admin_mutex_);
+    std::unique_lock<std::shared_mutex> lock(route_mutex_);
+    const auto it = routes_.find(name);
+    if (it == routes_.end()) {
+      lock.unlock();
+      route(name);  // throws
+    }
+    old = std::move(it->second);
+    routes_.erase(it);
+  }
+  old->server->shutdown();
+}
+
+void InferenceRouter::shutdown() {
+  std::vector<std::shared_ptr<Route>> drained;
+  {
+    std::lock_guard<std::mutex> admin(admin_mutex_);
+    std::unique_lock<std::shared_mutex> lock(route_mutex_);
+    drained.reserve(routes_.size());
+    for (auto& [name, r] : routes_) drained.push_back(std::move(r));
+    routes_.clear();
+  }
+  for (auto& r : drained) r->server->shutdown();
+}
+
+ServerStats InferenceRouter::stats(const std::string& name) const {
+  return route(name)->server->stats();
+}
+
+std::string InferenceRouter::active_version(const std::string& name) const {
+  return route(name)->version;
+}
+
+core::CompiledModel InferenceRouter::active_model(
+    const std::string& name) const {
+  return route(name)->server->compiled();
+}
+
+std::size_t InferenceRouter::queue_depth(const std::string& name) const {
+  return route(name)->server->queue_depth();
+}
+
+std::vector<std::string> InferenceRouter::models() const {
+  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  std::vector<std::string> out;
+  out.reserve(routes_.size());
+  for (const auto& [name, r] : routes_) out.push_back(name);
+  return out;
+}
+
+std::size_t InferenceRouter::size() const {
+  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  return routes_.size();
+}
+
+}  // namespace lightator::serve

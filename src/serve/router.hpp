@@ -1,0 +1,138 @@
+// InferenceRouter: multi-model serving with per-model queues, per-model
+// telemetry, and zero-drop hot-swap.
+//
+// The single-model InferenceServer stays exactly what it was — one compiled
+// artifact, N replicas, a geometry-bucketed micro-batcher. The router
+// composes several of them behind one submit(name, frame) front door:
+//
+//   InferenceRouter router;
+//   router.deploy("lenet", "v1", engine.compile(net), {.replicas = 2});
+//   router.deploy_artifact("vgg", "v1", "vgg_v1.blob", system);
+//   auto ticket = router.submit("lenet", frame);
+//   ...
+//   router.swap("lenet", "v2", engine.compile(net_v2));  // zero drops
+//
+// Every route owns a full InferenceServer — its own BatchQueue, replicas,
+// ServerStats, and a "serve.<model>" metric namespace — so tenants are
+// isolated: one model's burst fills one model's queue, and per-model
+// dashboards come straight off the process MetricsRegistry. Models are also
+// recorded in the router's ModelRegistry under name@version, so the active
+// and previous versions stay addressable.
+//
+// Hot-swap contract (swap / swap_artifact): the new version's server is
+// fully constructed FIRST (replicas running, prepack shared), then the route
+// pointer flips atomically, then the old server drains. Request outcomes
+// under a concurrent swap:
+//   * accepted before the flip → completes against v1 (drain, not drop:
+//     InferenceServer::shutdown closes the queue and pop_batch hands
+//     workers every queued request before they exit);
+//   * submitted after the flip → runs against v2;
+//   * zero requests are dropped by the swap itself — the only rejections
+//     are ordinary queue-full backpressure, same as steady state.
+// The flip is guarded by a shared_mutex: submits hold it shared across
+// lookup + enqueue, the flip takes it exclusive, so no submit can land in a
+// queue that has already begun draining. Swaps on the same router serialize
+// behind a swap mutex; the expensive part (building v2) happens outside
+// every lock.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/server.hpp"
+
+namespace lightator::serve {
+
+class InferenceRouter {
+ public:
+  InferenceRouter() = default;
+  ~InferenceRouter();
+
+  InferenceRouter(const InferenceRouter&) = delete;
+  InferenceRouter& operator=(const InferenceRouter&) = delete;
+
+  /// Starts serving `model` as route `name`, registered as name@version.
+  /// ServerOptions::metric_prefix is overridden to "serve.<name>" (the
+  /// router owns per-model namespacing). Throws std::invalid_argument when
+  /// the route already exists (use swap for that).
+  void deploy(const std::string& name, const std::string& version,
+              core::CompiledModel model, ServerOptions options = {});
+
+  /// deploy() from an on-disk artifact (core::load_artifact — validated,
+  /// repacked-on-load if needed). The cold-start path a fleet node takes.
+  void deploy_artifact(const std::string& name, const std::string& version,
+                       const std::string& path,
+                       const core::LightatorSystem& system,
+                       ServerOptions options = {});
+
+  /// Hot-swaps route `name` to `model` (registered as name@version): build
+  /// v2's server, atomically flip the route, drain v1. Zero in-flight drops
+  /// (see the file comment for the exact contract). Keeps the route's
+  /// current ServerOptions unless `options` is provided. Throws
+  /// std::out_of_range for an unknown route.
+  void swap(const std::string& name, const std::string& version,
+            core::CompiledModel model);
+  void swap(const std::string& name, const std::string& version,
+            core::CompiledModel model, ServerOptions options);
+  void swap_artifact(const std::string& name, const std::string& version,
+                     const std::string& path,
+                     const core::LightatorSystem& system);
+
+  /// Routes one frame to `name`'s server. Same contract as
+  /// InferenceServer::submit (never blocks; kRejected = that model's queue
+  /// is full). Throws std::out_of_range for an unknown route.
+  SubmitTicket submit(const std::string& name, tensor::Tensor input);
+  SubmitTicket submit(const std::string& name, tensor::Tensor input,
+                      std::uint64_t request_id);
+
+  /// Synchronous convenience: submit + wait (throws on reject/closed).
+  InferResult infer(const std::string& name, tensor::Tensor input);
+
+  /// Stops serving `name`: flips the route out, drains its queue, joins its
+  /// replicas. The registry keeps the model. Throws std::out_of_range.
+  void undeploy(const std::string& name);
+
+  /// Drains and joins every route. Idempotent; the destructor calls it.
+  void shutdown();
+
+  /// Per-model serving stats / active version / compiled artifact.
+  ServerStats stats(const std::string& name) const;
+  std::string active_version(const std::string& name) const;
+  core::CompiledModel active_model(const std::string& name) const;
+  std::size_t queue_depth(const std::string& name) const;
+
+  /// Route names, sorted (map order).
+  std::vector<std::string> models() const;
+  std::size_t size() const;
+
+  /// The name@version store behind the routes (old versions stay
+  /// addressable after a swap; unload is the caller's policy).
+  ModelRegistry& registry() { return registry_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+ private:
+  struct Route {
+    std::shared_ptr<InferenceServer> server;
+    std::string version;
+    ServerOptions options;  // as deployed (metric_prefix already routed)
+  };
+
+  /// Route lookup under the shared lock; throws std::out_of_range with the
+  /// deployed names listed.
+  std::shared_ptr<Route> route(const std::string& name) const;
+
+  mutable std::shared_mutex route_mutex_;
+  std::map<std::string, std::shared_ptr<Route>> routes_;
+  /// Serializes swap/deploy/undeploy against each other (never held while
+  /// building or draining a server — only around the pointer flip plus
+  /// bookkeeping).
+  std::mutex admin_mutex_;
+  ModelRegistry registry_;
+};
+
+}  // namespace lightator::serve

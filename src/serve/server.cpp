@@ -27,17 +27,17 @@ double seconds_between(Clock::time_point a, Clock::time_point b) {
 /// here so dashboards read one surface (obs::MetricsRegistry::global()
 /// .snapshot_json()) for serve, compile, and kernel telemetry alike.
 struct InferenceServer::Telemetry {
-  Telemetry()
+  explicit Telemetry(const std::string& prefix)
       : registry(obs::MetricsRegistry::global()),
-        submitted(registry.counter("serve.submitted")),
-        rejected(registry.counter("serve.rejected")),
-        completed(registry.counter("serve.completed")),
-        failed(registry.counter("serve.failed")),
-        batches(registry.counter("serve.batches")),
-        queue_depth(registry.gauge("serve.queue_depth")),
-        latency_ms(registry.histogram("serve.latency_ms")),
-        queue_ms(registry.histogram("serve.queue_ms")),
-        batch_size(registry.histogram("serve.batch_size")) {}
+        submitted(registry.counter(prefix + ".submitted")),
+        rejected(registry.counter(prefix + ".rejected")),
+        completed(registry.counter(prefix + ".completed")),
+        failed(registry.counter(prefix + ".failed")),
+        batches(registry.counter(prefix + ".batches")),
+        queue_depth(registry.gauge(prefix + ".queue_depth")),
+        latency_ms(registry.histogram(prefix + ".latency_ms")),
+        queue_ms(registry.histogram(prefix + ".queue_ms")),
+        batch_size(registry.histogram(prefix + ".batch_size")) {}
 
   obs::MetricsRegistry& registry;
   obs::Counter& submitted;
@@ -111,7 +111,9 @@ InferenceServer::InferenceServer(core::CompiledModel compiled,
 }
 
 void InferenceServer::start_replicas() {
-  telemetry_ = std::make_unique<Telemetry>();
+  telemetry_ = std::make_unique<Telemetry>(options_.metric_prefix.empty()
+                                               ? std::string("serve")
+                                               : options_.metric_prefix);
   const std::size_t n = std::max<std::size_t>(options_.replicas, 1);
   replicas_.reserve(n);
   workers_.reserve(n);

@@ -59,6 +59,12 @@ struct ServerOptions {
   /// in every replica context; merged snapshots via layer_stats(). Off by
   /// default — the accumulation adds a timestamp pair per weighted step.
   bool collect_layer_stats = false;
+  /// Prefix of the server's obs::MetricsRegistry mirror
+  /// ("<prefix>.submitted", "<prefix>.latency_ms", ...). The default keeps
+  /// the historical process-wide names; the multi-model router gives every
+  /// route its own "serve.<model>" namespace so dashboards separate tenants
+  /// (obs::sanitize_metric_component keeps names registry-safe).
+  std::string metric_prefix = "serve";
 };
 
 /// submit() outcome: `result` is valid only when status == kAccepted.

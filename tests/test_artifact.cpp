@@ -1,0 +1,376 @@
+// Artifact suite: the serialized-CompiledModel contract. Round trips must be
+// bit-identical (gemm/reference exact, physical seeded-noise-identical,
+// across batch shapes and thread counts); hostile blobs — truncation,
+// flipped payload bytes, future versions, wrong arm geometry — must be
+// rejected with the right typed ArtifactErrorKind, never half-loaded; and a
+// blob whose packed panels were tuned for another host's kernel tier must
+// repack on load and still produce bit-exact outputs (tier resolution stays
+// downward-only).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/artifact/artifact.hpp"
+#include "core/lightator.hpp"
+#include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "tensor/simd.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace lightator::core {
+namespace {
+
+void expect_bit_exact(const tensor::Tensor& a, const tensor::Tensor& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+nn::Network make_lenet(std::uint64_t seed = 21) {
+  util::Rng rng(seed);
+  return nn::build_lenet(rng);
+}
+
+tensor::Tensor make_frames(std::size_t batch, std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  tensor::Tensor x({batch, 1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  return x;
+}
+
+/// Temp blob path unique per test (tests run in one process; the gtest name
+/// keeps parallel ctest shards from colliding on a shared build dir).
+std::string temp_blob_path() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  return std::string("artifact_") + info->test_suite_name() + "_" +
+         info->name() + ".blob";
+}
+
+/// Restores the forced-tier dispatch hook on scope exit — tier-forcing tests
+/// must not leak state into later tests (or inherit CI's env-forced tier).
+struct ForcedTierGuard {
+  ~ForcedTierGuard() {
+    tensor::simd::set_forced_tier(tensor::simd::KernelTier::kAuto);
+  }
+};
+
+TEST(ArtifactRoundTrip, GemmBitExactAcrossBatchAndThreads) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const nn::Network net = make_lenet();
+  const CompiledModel compiled = sys.compile(net, {});
+
+  const std::vector<std::uint8_t> blob = serialize_artifact(compiled);
+  ArtifactLoadStats stats;
+  const CompiledModel loaded = deserialize_artifact(blob, sys, &stats);
+  EXPECT_EQ(stats.blob_bytes, blob.size());
+  EXPECT_EQ(loaded.backend(), compiled.backend());
+  EXPECT_EQ(loaded.num_layers(), compiled.num_layers());
+  EXPECT_EQ(loaded.num_weighted_layers(), compiled.num_weighted_layers());
+
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4}}) {
+    const tensor::Tensor x = make_frames(batch);
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      util::ThreadPool pool(threads);
+      ExecutionContext ctx;
+      ctx.pool = &pool;
+      tensor::Tensor a = compiled.run(x, ctx).take();
+      tensor::Tensor b = loaded.run(x, ctx).take();
+      expect_bit_exact(a, b,
+                       "batch " + std::to_string(batch) + " threads " +
+                           std::to_string(threads));
+    }
+  }
+}
+
+TEST(ArtifactRoundTrip, ReferenceBackendBitExact) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  CompileOptions co;
+  co.backend = "reference";
+  const CompiledModel compiled = sys.compile(make_lenet(), co);
+  const CompiledModel loaded =
+      deserialize_artifact(serialize_artifact(compiled), sys);
+  const tensor::Tensor x = make_frames(2);
+  ExecutionContext ctx;
+  expect_bit_exact(compiled.run(x, ctx).take(), loaded.run(x, ctx).take(),
+                   "reference");
+}
+
+TEST(ArtifactRoundTrip, PhysicalSeededNoiseIdentical) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  CompileOptions co;
+  co.backend = "physical";
+  const CompiledModel compiled = sys.compile(make_lenet(), co);
+
+  ArtifactLoadStats stats;
+  const CompiledModel loaded =
+      deserialize_artifact(serialize_artifact(compiled), sys, &stats);
+  // The physical backend's arm programs ride in the blob — no rebuild.
+  EXPECT_FALSE(stats.rebuilt_arm_programs);
+
+  const tensor::Tensor x = make_frames(2);
+  ExecutionContext ctx_a, ctx_b;
+  ctx_a.backend = "physical";
+  ctx_a.noise_seed = 77;
+  ctx_b.backend = "physical";
+  ctx_b.noise_seed = 77;
+  expect_bit_exact(compiled.run(x, ctx_a).take(), loaded.run(x, ctx_b).take(),
+                   "physical seeded");
+}
+
+TEST(ArtifactRoundTrip, SaveLoadFile) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const CompiledModel compiled = sys.compile(make_lenet(), {});
+  const std::string path = temp_blob_path();
+  save_artifact(compiled, path);
+
+  ArtifactLoadStats stats;
+  const CompiledModel loaded = load_artifact(path, sys, &stats);
+  EXPECT_GT(stats.blob_bytes, 0u);
+  const tensor::Tensor x = make_frames(3);
+  ExecutionContext ctx;
+  expect_bit_exact(compiled.run(x, ctx).take(), loaded.run(x, ctx).take(),
+                   "file round trip");
+
+  // Engine/model conveniences route through the same save/load pair.
+  const std::string path2 = temp_blob_path() + "2";
+  compiled.save(path2);
+  Engine engine(sys);
+  const CompiledModel loaded2 = engine.load(path2);
+  expect_bit_exact(loaded.run(x, ctx).take(), loaded2.run(x, ctx).take(),
+                   "convenience round trip");
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(ArtifactInspect, ReportsHeaderAndSections) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const CompiledModel compiled = sys.compile(make_lenet(), {});
+  const std::vector<std::uint8_t> blob = serialize_artifact(compiled);
+  const ArtifactInfo info = inspect_artifact_blob(blob);
+
+  EXPECT_EQ(info.version, kArtifactVersion);
+  EXPECT_EQ(info.total_bytes, blob.size());
+  EXPECT_EQ(info.backend, "gemm");
+  EXPECT_EQ(info.mrs_per_arm, ArchConfig::defaults().geometry.mrs_per_arm);
+  EXPECT_EQ(info.num_weighted, compiled.num_weighted_layers());
+  EXPECT_FALSE(info.applied_passes.empty());
+  ASSERT_EQ(info.sections.size(), 5u);
+  std::uint64_t payload = 0;
+  for (const auto& s : info.sections) {
+    EXPECT_NE(s.name, "unknown");
+    payload += s.bytes;
+  }
+  EXPECT_LT(payload, info.total_bytes);  // header + table are extra
+  if (tensor::simd::simd_active()) {
+    EXPECT_TRUE(info.panels_present);
+    EXPECT_EQ(info.simd_fingerprint, tensor::simd::active_kernel());
+  }
+}
+
+TEST(ArtifactHostile, TruncatedBlobRejected) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const CompiledModel compiled = sys.compile(make_lenet(), {});
+  std::vector<std::uint8_t> blob = serialize_artifact(compiled);
+
+  // Below the fixed header: unconditionally corrupt.
+  std::vector<std::uint8_t> tiny(blob.begin(), blob.begin() + 16);
+  try {
+    deserialize_artifact(tiny, sys);
+    FAIL() << "16-byte blob deserialized";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kCorrupt);
+  }
+
+  // Valid header, missing tail: the header's total_bytes exposes it.
+  std::vector<std::uint8_t> cut(blob.begin(), blob.end() - 100);
+  try {
+    deserialize_artifact(cut, sys);
+    FAIL() << "truncated blob deserialized";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kCorrupt);
+  }
+}
+
+TEST(ArtifactHostile, TruncatedFileRejected) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const CompiledModel compiled = sys.compile(make_lenet(), {});
+  const std::vector<std::uint8_t> blob = serialize_artifact(compiled);
+  const std::string path = temp_blob_path();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(blob.data(), 1, blob.size() / 2, f);
+    std::fclose(f);
+  }
+  try {
+    load_artifact(path, sys);
+    FAIL() << "half-written file loaded";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kCorrupt);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactHostile, FlippedPayloadByteFailsHash) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const CompiledModel compiled = sys.compile(make_lenet(), {});
+  std::vector<std::uint8_t> blob = serialize_artifact(compiled);
+  // Flip one byte deep in the payload (past header + section table).
+  blob[blob.size() / 2] ^= 0x40;
+  try {
+    deserialize_artifact(blob, sys);
+    FAIL() << "bit-flipped blob deserialized";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kHashMismatch);
+    EXPECT_STREQ(artifact_error_kind_name(e.kind()), "hash_mismatch");
+  }
+}
+
+TEST(ArtifactHostile, FutureVersionRejected) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const CompiledModel compiled = sys.compile(make_lenet(), {});
+  std::vector<std::uint8_t> blob = serialize_artifact(compiled);
+  blob[8] = static_cast<std::uint8_t>(kArtifactVersion + 1);  // version LSB
+  try {
+    deserialize_artifact(blob, sys);
+    FAIL() << "future-version blob deserialized";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kVersionSkew);
+  }
+}
+
+TEST(ArtifactHostile, ArmGeometryMismatchRejected) {
+  const LightatorSystem sys(ArchConfig::defaults());
+  const CompiledModel compiled = sys.compile(make_lenet(), {});
+  const std::vector<std::uint8_t> blob = serialize_artifact(compiled);
+
+  ArchConfig other = ArchConfig::defaults();
+  other.geometry.mrs_per_arm += 2;  // a different accelerator generation
+  const LightatorSystem other_sys(other);
+  try {
+    deserialize_artifact(blob, other_sys);
+    FAIL() << "blob for another arm geometry deserialized";
+  } catch (const ArtifactError& e) {
+    EXPECT_EQ(e.kind(), ArtifactErrorKind::kArchMismatch);
+  }
+}
+
+TEST(ArtifactRepack, ScalarBlobRepacksOnSimdHost) {
+  if (!tensor::simd::simd_active()) {
+    GTEST_SKIP() << "host has no SIMD tiers — repack direction untestable";
+  }
+  const LightatorSystem sys(ArchConfig::defaults());
+  ForcedTierGuard guard;
+
+  // Compile as a scalar host would: no SIMD → no packed panels in the blob.
+  tensor::simd::set_forced_tier(tensor::simd::KernelTier::kScalar);
+  const CompiledModel scalar_compiled = sys.compile(make_lenet(), {});
+  const std::vector<std::uint8_t> blob = serialize_artifact(scalar_compiled);
+  EXPECT_FALSE(inspect_artifact_blob(blob).panels_present);
+
+  // Load on "this" (SIMD) host: the loader must pack fresh panels and the
+  // outputs must match a native compile bit-for-bit.
+  tensor::simd::set_forced_tier(tensor::simd::KernelTier::kAuto);
+  ArtifactLoadStats stats;
+  const CompiledModel loaded = deserialize_artifact(blob, sys, &stats);
+  EXPECT_TRUE(stats.packed_fresh);
+  EXPECT_FALSE(stats.repacked_panels);
+
+  const CompiledModel native = sys.compile(make_lenet(), {});
+  const tensor::Tensor x = make_frames(4);
+  ExecutionContext ctx;
+  expect_bit_exact(native.run(x, ctx).take(), loaded.run(x, ctx).take(),
+                   "scalar blob on simd host");
+}
+
+TEST(ArtifactRepack, ForeignFingerprintRepacksAndStaysExact) {
+  using tensor::simd::KernelTier;
+  const auto tiers = tensor::simd::available_tiers();
+  if (tiers.size() < 2) {
+    GTEST_SKIP() << "host has a single kernel tier — no foreign fingerprint";
+  }
+  const LightatorSystem sys(ArchConfig::defaults());
+  ForcedTierGuard guard;
+
+  // Compile pinned to a lower tier than the host's best: the blob's panels
+  // carry that tier's fingerprint.
+  const KernelTier lower = tiers[tiers.size() - 2] == KernelTier::kScalar &&
+                                   tiers.size() >= 3
+                               ? tiers[tiers.size() - 3]
+                               : tiers[tiers.size() - 2];
+  if (lower == KernelTier::kScalar) {
+    GTEST_SKIP() << "no non-scalar lower tier to fingerprint against";
+  }
+  tensor::simd::set_forced_tier(lower);
+  const CompiledModel lower_compiled = sys.compile(make_lenet(), {});
+  const std::vector<std::uint8_t> blob = serialize_artifact(lower_compiled);
+  const ArtifactInfo info = inspect_artifact_blob(blob);
+  ASSERT_TRUE(info.panels_present);
+  EXPECT_EQ(info.simd_fingerprint, tensor::simd::tier_name(lower));
+
+  // Load with the host running its best tier: fingerprints differ, so the
+  // loader repacks rather than trusting foreign panel layout.
+  tensor::simd::set_forced_tier(KernelTier::kAuto);
+  ArtifactLoadStats stats;
+  const CompiledModel loaded = deserialize_artifact(blob, sys, &stats);
+  EXPECT_TRUE(stats.repacked_panels);
+
+  const CompiledModel native = sys.compile(make_lenet(), {});
+  const tensor::Tensor x = make_frames(4);
+  ExecutionContext ctx;
+  expect_bit_exact(native.run(x, ctx).take(), loaded.run(x, ctx).take(),
+                   "foreign-fingerprint blob");
+}
+
+TEST(ArtifactRepack, TunedPlanResolvesDownwardOnLesserHost) {
+  using tensor::simd::KernelTier;
+  const LightatorSystem sys(ArchConfig::defaults());
+  ForcedTierGuard guard;
+
+  // A plan autotuned on a VNNI-class build box: pin the choice via
+  // force_kernel so the test is deterministic even on non-VNNI hosts (the
+  // KernelConfig in each step records the tier; dispatch resolves it).
+  CompileOptions co;
+  co.force_kernel = KernelTier::kVnni;
+  const CompiledModel tuned = sys.compile(make_lenet(), co);
+  const std::vector<std::uint8_t> blob = serialize_artifact(tuned);
+
+  // Serve it on a host that can only run scalar: resolve_tier must take
+  // every step's recorded kVnni choice DOWN to scalar, never up, and the
+  // outputs must still be bit-exact with a native scalar compile.
+  tensor::simd::set_forced_tier(KernelTier::kScalar);
+  ArtifactLoadStats stats;
+  const CompiledModel loaded = deserialize_artifact(blob, sys, &stats);
+  const CompiledModel native = sys.compile(make_lenet(), {});
+  const tensor::Tensor x = make_frames(2);
+  ExecutionContext ctx;
+  expect_bit_exact(native.run(x, ctx).take(), loaded.run(x, ctx).take(),
+                   "vnni-tuned plan on scalar host");
+}
+
+TEST(ArtifactMetrics, LoadAccountsSeparatelyFromCompile) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.reset();
+  const LightatorSystem sys(ArchConfig::defaults());
+  const CompiledModel compiled = sys.compile(make_lenet(), {});
+  const std::vector<std::uint8_t> blob = serialize_artifact(compiled);
+
+  const std::uint64_t compiles = reg.counter("compile.count").value();
+  const std::uint64_t compile_obs = reg.histogram("compile.ms").count();
+  EXPECT_GE(compiles, 1u);
+
+  (void)deserialize_artifact(blob, sys);
+  EXPECT_EQ(reg.counter("compile.load_count").value(), 1u);
+  EXPECT_EQ(reg.histogram("compile.load_ms").count(), 1u);
+  // Cold-start accounting stays split: loading must not book compile time.
+  EXPECT_EQ(reg.counter("compile.count").value(), compiles);
+  EXPECT_EQ(reg.histogram("compile.ms").count(), compile_obs);
+}
+
+}  // namespace
+}  // namespace lightator::core

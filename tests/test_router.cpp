@@ -1,0 +1,325 @@
+// Multi-model serving suite: ModelRegistry name@version semantics, router
+// tenant isolation (two models served concurrently, per-model stats and
+// metric namespaces, outputs matched to each model's own compiled baseline),
+// and the zero-drop hot-swap contract — under live concurrent load, every
+// accepted request completes bit-exact against exactly v1 or v2, nothing is
+// rejected because of the swap itself, and post-swap submissions are pure v2.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact/artifact.hpp"
+#include "core/lightator.hpp"
+#include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::serve {
+namespace {
+
+void expect_bit_exact(const tensor::Tensor& a, const tensor::Tensor& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+bool matches(const tensor::Tensor& a, const tensor::Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+bool span_matches(std::span<const float> out, const tensor::Tensor& truth) {
+  if (out.size() != truth.size()) return false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (out[i] != truth[i]) return false;
+  }
+  return true;
+}
+
+void expect_span_exact(std::span<const float> out, const tensor::Tensor& truth,
+                       const std::string& label) {
+  ASSERT_EQ(out.size(), truth.size()) << label;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_EQ(out[i], truth[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+core::CompiledModel compile_lenet(const core::LightatorSystem& sys,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  const nn::Network net = nn::build_lenet(rng);
+  return sys.compile(net, {});
+}
+
+tensor::Tensor frame(std::uint64_t seed) {
+  util::Rng rng(seed);
+  tensor::Tensor x({1, 28, 28});
+  x.fill_uniform(rng, 0.0f, 1.0f);
+  return x;
+}
+
+/// Batch-of-1 ground truth through the compiled artifact itself.
+tensor::Tensor baseline(const core::CompiledModel& model,
+                        const tensor::Tensor& x) {
+  core::ExecutionContext ctx;
+  ctx.per_item_act_scale = true;
+  tensor::Tensor stacked({1, x.dim(0), x.dim(1), x.dim(2)});
+  std::memcpy(stacked.data(), x.data(), x.size() * sizeof(float));
+  return model.run(stacked, ctx).take();
+}
+
+TEST(ModelRegistry, NameVersionLookupAndErrors) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  ModelRegistry reg;
+  EXPECT_THROW(reg.get("lenet"), std::out_of_range);
+  EXPECT_THROW(reg.unload("lenet@v1"), std::out_of_range);
+  EXPECT_THROW(reg.add("", "v1", compile_lenet(sys, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add("a@b", "v1", compile_lenet(sys, 1)),
+               std::invalid_argument);
+  EXPECT_THROW(reg.add("lenet", "v1", core::CompiledModel{}),
+               std::invalid_argument);
+
+  reg.add("lenet", "v1", compile_lenet(sys, 1));
+  reg.add("lenet", "v2", compile_lenet(sys, 2));
+  reg.add("other", "v1", compile_lenet(sys, 3));
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_TRUE(reg.contains("lenet@v1"));
+  EXPECT_TRUE(reg.contains("lenet"));
+  EXPECT_FALSE(reg.contains("lenet@v3"));
+
+  // Duplicate name@version is immutable.
+  EXPECT_THROW(reg.add("lenet", "v1", compile_lenet(sys, 4)),
+               std::invalid_argument);
+
+  // Bare name resolves to the most recently registered version.
+  EXPECT_EQ(reg.resolve_version("lenet"), "v2");
+  const tensor::Tensor x = frame(9);
+  expect_bit_exact(baseline(reg.get("lenet"), x),
+                   baseline(reg.get("lenet@v2"), x), "bare-name resolution");
+
+  // Unload drops only the named version; the unknown-ref message lists keys.
+  reg.unload("lenet@v2");
+  EXPECT_EQ(reg.resolve_version("lenet"), "v1");
+  try {
+    reg.get("gone@v9");
+    FAIL() << "unknown ref resolved";
+  } catch (const std::out_of_range& e) {
+    EXPECT_NE(std::string(e.what()).find("lenet@v1"), std::string::npos);
+  }
+  EXPECT_EQ(reg.list().size(), 2u);
+}
+
+TEST(ModelRegistry, LoadsFromArtifact) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  const core::CompiledModel compiled = compile_lenet(sys, 11);
+  const std::string path = "registry_load_test.blob";
+  core::save_artifact(compiled, path);
+
+  ModelRegistry reg;
+  const core::CompiledModel loaded = reg.load("lenet", "v1", path, sys);
+  EXPECT_TRUE(reg.contains("lenet@v1"));
+  const tensor::Tensor x = frame(12);
+  expect_bit_exact(baseline(compiled, x), baseline(loaded, x),
+                   "registry artifact load");
+  std::remove(path.c_str());
+}
+
+TEST(InferenceRouter, TwoModelsIsolatedStatsAndMetrics) {
+  obs::MetricsRegistry::global().reset();
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  const core::CompiledModel model_a = compile_lenet(sys, 21);
+  const core::CompiledModel model_b = compile_lenet(sys, 22);
+
+  InferenceRouter router;
+  ServerOptions opts;
+  opts.replicas = 2;
+  router.deploy("alpha", "v1", model_a, opts);
+  router.deploy("beta", "v1", model_b, opts);
+  EXPECT_THROW(router.deploy("alpha", "v2", model_a, opts),
+               std::invalid_argument);
+  EXPECT_EQ(router.size(), 2u);
+  EXPECT_EQ(router.active_version("alpha"), "v1");
+  EXPECT_TRUE(router.registry().contains("alpha@v1"));
+  EXPECT_TRUE(router.registry().contains("beta@v1"));
+  EXPECT_THROW(router.submit("gamma", frame(1)), std::out_of_range);
+
+  // Mixed traffic: alpha gets 12 requests, beta 7; every output must match
+  // ITS model's compiled baseline (no cross-model routing).
+  constexpr std::size_t kAlpha = 12, kBeta = 7;
+  std::vector<SubmitTicket> alpha_tickets, beta_tickets;
+  std::vector<tensor::Tensor> alpha_inputs, beta_inputs;
+  for (std::size_t i = 0; i < kAlpha; ++i) {
+    alpha_inputs.push_back(frame(100 + i));
+    alpha_tickets.push_back(router.submit("alpha", alpha_inputs.back()));
+    ASSERT_EQ(alpha_tickets.back().status, SubmitStatus::kAccepted);
+  }
+  for (std::size_t i = 0; i < kBeta; ++i) {
+    beta_inputs.push_back(frame(200 + i));
+    beta_tickets.push_back(router.submit("beta", beta_inputs.back()));
+    ASSERT_EQ(beta_tickets.back().status, SubmitStatus::kAccepted);
+  }
+  for (std::size_t i = 0; i < kAlpha; ++i) {
+    const InferResult r = alpha_tickets[i].result.get();
+    expect_span_exact(r.output(), baseline(model_a, alpha_inputs[i]),
+                      "alpha request " + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < kBeta; ++i) {
+    const InferResult r = beta_tickets[i].result.get();
+    expect_span_exact(r.output(), baseline(model_b, beta_inputs[i]),
+                      "beta request " + std::to_string(i));
+  }
+
+  // Per-model stats are isolated...
+  const ServerStats sa = router.stats("alpha");
+  const ServerStats sb = router.stats("beta");
+  EXPECT_EQ(sa.completed, kAlpha);
+  EXPECT_EQ(sb.completed, kBeta);
+  EXPECT_EQ(sa.failed + sb.failed, 0u);
+  // ...and so are the metric namespaces the router assigns per route.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  EXPECT_EQ(reg.counter("serve.alpha.completed").value(), kAlpha);
+  EXPECT_EQ(reg.counter("serve.beta.completed").value(), kBeta);
+
+  router.shutdown();
+}
+
+TEST(InferenceRouter, UndeployDrainsAndForgetsRoute) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  InferenceRouter router;
+  router.deploy("m", "v1", compile_lenet(sys, 31));
+  auto t = router.submit("m", frame(3));
+  ASSERT_EQ(t.status, SubmitStatus::kAccepted);
+  router.undeploy("m");
+  // Drain, not drop: the accepted request completed during undeploy.
+  EXPECT_EQ(t.result.get().output().size(), 10u);
+  EXPECT_THROW(router.submit("m", frame(4)), std::out_of_range);
+  EXPECT_THROW(router.undeploy("m"), std::out_of_range);
+  // The registry still holds the model for a future redeploy.
+  EXPECT_TRUE(router.registry().contains("m@v1"));
+}
+
+TEST(InferenceRouter, HotSwapUnderLiveLoadDropsNothing) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  const core::CompiledModel v1 = compile_lenet(sys, 41);
+  const core::CompiledModel v2 = compile_lenet(sys, 42);
+
+  InferenceRouter router;
+  ServerOptions opts;
+  opts.replicas = 2;
+  // Ample queue: any kRejected would then be attributable to the swap, and
+  // the contract says the swap alone never rejects.
+  opts.queue_capacity = 4096;
+  router.deploy("lenet", "v1", v1, opts);
+
+  // Fixed input set with precomputed v1/v2 ground truth, so submitter
+  // threads can verify outputs without racing on the models.
+  constexpr std::size_t kInputs = 8;
+  std::vector<tensor::Tensor> inputs;
+  std::vector<tensor::Tensor> truth_v1, truth_v2;
+  for (std::size_t i = 0; i < kInputs; ++i) {
+    inputs.push_back(frame(300 + i));
+    truth_v1.push_back(baseline(v1, inputs.back()));
+    truth_v2.push_back(baseline(v2, inputs.back()));
+    // The two versions must actually disagree somewhere, or the atomicity
+    // assertions below would be vacuous.
+    ASSERT_FALSE(matches(truth_v1.back(), truth_v2.back()))
+        << "seeds 41/42 produced identical logits for input " << i;
+  }
+
+  constexpr std::size_t kSubmitters = 4;
+  constexpr std::size_t kPerThread = 64;
+  std::atomic<std::size_t> accepted{0}, rejected{0}, matched_v1{0},
+      matched_v2{0}, matched_neither{0};
+
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const std::size_t which = (t * kPerThread + i) % kInputs;
+        SubmitTicket ticket = router.submit("lenet", inputs[which]);
+        if (ticket.status != SubmitStatus::kAccepted) {
+          rejected.fetch_add(1);
+          continue;
+        }
+        accepted.fetch_add(1);
+        const InferResult r = ticket.result.get();
+        if (span_matches(r.output(), truth_v1[which])) {
+          matched_v1.fetch_add(1);
+        } else if (span_matches(r.output(), truth_v2[which])) {
+          matched_v2.fetch_add(1);
+        } else {
+          matched_neither.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  // Let traffic build, then hot-swap mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  router.swap("lenet", "v2", v2);
+  EXPECT_EQ(router.active_version("lenet"), "v2");
+  for (auto& th : submitters) th.join();
+
+  // Zero drops: every submission was accepted (the queue never filled and
+  // the swap closed no door a submitter could reach), and every accepted
+  // request produced exactly a v1 or v2 output — no torn/mixed artifacts.
+  EXPECT_EQ(rejected.load(), 0u);
+  EXPECT_EQ(accepted.load(), kSubmitters * kPerThread);
+  EXPECT_EQ(matched_neither.load(), 0u);
+  EXPECT_EQ(matched_v1.load() + matched_v2.load(), accepted.load());
+  // The swap landed mid-stream: traffic reached both versions.
+  EXPECT_GT(matched_v2.load(), 0u);
+
+  // Post-swap requests are pure v2, and the old version stayed addressable.
+  for (std::size_t i = 0; i < kInputs; ++i) {
+    const InferResult r = router.infer("lenet", inputs[i]);
+    expect_span_exact(r.output(), truth_v2[i],
+                      "post-swap request " + std::to_string(i));
+  }
+  EXPECT_TRUE(router.registry().contains("lenet@v1"));
+  EXPECT_TRUE(router.registry().contains("lenet@v2"));
+  EXPECT_EQ(router.registry().resolve_version("lenet"), "v2");
+  EXPECT_GE(obs::MetricsRegistry::global().counter("serve.lenet.swaps").value(),
+            1u);
+
+  // No requests failed anywhere in the exercise.
+  EXPECT_EQ(router.stats("lenet").failed, 0u);
+  router.shutdown();
+}
+
+TEST(InferenceRouter, SwapUnknownRouteThrowsAndDeploysFromArtifact) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  InferenceRouter router;
+  EXPECT_THROW(router.swap("ghost", "v1", compile_lenet(sys, 51)),
+               std::out_of_range);
+
+  const std::string path = "router_artifact_test.blob";
+  core::save_artifact(compile_lenet(sys, 52), path);
+  router.deploy_artifact("lenet", "v1", path, sys);
+  EXPECT_EQ(router.active_version("lenet"), "v1");
+  EXPECT_EQ(router.infer("lenet", frame(6)).output().size(), 10u);
+
+  // swap_artifact: same loader path, live route.
+  router.swap_artifact("lenet", "v2", path, sys);
+  EXPECT_EQ(router.active_version("lenet"), "v2");
+  std::remove(path.c_str());
+  router.shutdown();
+}
+
+}  // namespace
+}  // namespace lightator::serve

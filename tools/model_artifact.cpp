@@ -1,0 +1,228 @@
+// model_artifact: compile / inspect / verify serialized CompiledModel blobs.
+//
+// The operational face of src/core/artifact: a build box compiles a network
+// into a .blob once, ships it, and serving fleets cold-start by loading it —
+// this tool is each of those steps from a shell, plus the audit commands CI
+// uses to prove a published blob is intact.
+//
+//   model_artifact compile out=lenet.blob [net=lenet|vgg9|mlp] [seed=21]
+//                  [backend=gemm] [bits=4] [classes=10]
+//                  [input=CxHxW] [batch_hint=8]
+//     Builds the named reference network (seeded, so the same command line
+//     reproduces the same blob modulo autotune timings), compiles it under
+//     CompileOptions, and saves the artifact. input= enables conv-geometry
+//     kernel autotuning (e.g. input=1x28x28); without it only fc geometries
+//     tune.
+//
+//   model_artifact inspect path.blob [plan=1]
+//     Full header/section/hash dump from inspect_artifact (validates magic,
+//     version, size, content hash — no backend resolution, so it works for
+//     blobs from other hosts). plan=1 appends the kernel-plan tuning report
+//     as JSON (obs::kernel_plan_json).
+//
+//   model_artifact verify path.blob [backend-bound check]
+//     inspect + load_artifact under a default system: proves the blob
+//     deserializes into a runnable CompiledModel on THIS host, reporting
+//     whether the packed panels were reused or repacked for this CPU.
+//
+// Exit status: 0 ok; 1 usage; 2 artifact rejected (kind printed, stable
+// strings from artifact_error_kind_name — scriptable).
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "core/artifact/artifact.hpp"
+#include "core/lightator.hpp"
+#include "nn/models.hpp"
+#include "obs/report.hpp"
+#include "util/config.hpp"
+#include "util/rng.hpp"
+
+using namespace lightator;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: model_artifact compile out=PATH [net=lenet|vgg9|mlp] "
+               "[seed=N] [backend=B] [bits=N] [classes=N] [input=CxHxW] "
+               "[batch_hint=N]\n"
+               "       model_artifact inspect PATH [plan=1]\n"
+               "       model_artifact verify PATH\n");
+  return 1;
+}
+
+/// "1x28x28" → {1, 28, 28}; empty/bad → empty shape (autotune stays fc-only).
+tensor::Shape parse_shape(const std::string& s) {
+  tensor::Shape shape;
+  std::size_t value = 0;
+  bool any = false;
+  for (const char c : s) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+      any = true;
+    } else if (c == 'x' || c == 'X') {
+      if (!any) return {};
+      shape.push_back(value);
+      value = 0;
+      any = false;
+    } else {
+      return {};
+    }
+  }
+  if (!any) return {};
+  shape.push_back(value);
+  return shape;
+}
+
+void print_info(const core::ArtifactInfo& info) {
+  std::printf("version:          %u\n", info.version);
+  std::printf("total_bytes:      %llu\n",
+              static_cast<unsigned long long>(info.total_bytes));
+  std::printf("content_hash:     0x%016llx\n",
+              static_cast<unsigned long long>(info.content_hash));
+  std::printf("mrs_per_arm:      %llu\n",
+              static_cast<unsigned long long>(info.mrs_per_arm));
+  std::printf("backend:          %s\n", info.backend.c_str());
+  std::printf("steps:            %zu (%zu weighted)\n", info.num_steps,
+              info.num_weighted);
+  std::printf("packed_panels:    %s%s%s\n",
+              info.panels_present ? "present" : "absent",
+              info.panels_present ? " for " : "",
+              info.panels_present ? info.simd_fingerprint.c_str() : "");
+  std::printf("arm_programs:     %s\n",
+              info.arm_programs_present ? "present" : "absent");
+  std::printf("applied_passes:  ");
+  if (info.applied_passes.empty()) std::printf(" none");
+  for (const std::string& p : info.applied_passes) std::printf(" %s", p.c_str());
+  std::printf("\n");
+  std::printf("sections:\n");
+  for (const core::ArtifactSectionInfo& s : info.sections) {
+    std::printf("  %-12s %llu bytes\n", s.name.c_str(),
+                static_cast<unsigned long long>(s.bytes));
+  }
+}
+
+int cmd_compile(const util::Config& cfg) {
+  const std::string out = cfg.get_string("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "model_artifact compile: out=PATH is required\n");
+    return 1;
+  }
+  const std::string net_name = cfg.get_string("net", "lenet");
+  const std::uint64_t seed = static_cast<std::uint64_t>(cfg.get_int("seed", 21));
+  const std::size_t classes =
+      static_cast<std::size_t>(cfg.get_int("classes", 10));
+
+  util::Rng rng(seed);
+  nn::Network net;
+  if (net_name == "lenet") {
+    net = nn::build_lenet(rng, classes);
+  } else if (net_name == "vgg9") {
+    net = nn::build_vgg9(rng, classes);
+  } else if (net_name == "mlp") {
+    net = nn::build_mlp(rng, static_cast<std::size_t>(cfg.get_int("in", 256)),
+                        classes,
+                        static_cast<std::size_t>(cfg.get_int("hidden", 128)));
+  } else {
+    std::fprintf(stderr, "model_artifact compile: unknown net \"%s\"\n",
+                 net_name.c_str());
+    return 1;
+  }
+
+  core::CompileOptions opts;
+  opts.backend = cfg.get_string("backend", "gemm");
+  const int bits = cfg.get_int("bits", 4);
+  opts.schedule = nn::PrecisionSchedule::uniform(bits);
+  opts.act_bits = bits;
+  opts.input_shape = parse_shape(cfg.get_string("input", ""));
+  opts.batch_hint = static_cast<std::size_t>(cfg.get_int("batch_hint", 8));
+
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  core::Engine engine(sys);
+  core::CompiledModel model = engine.compile(net, opts);
+  core::save_artifact(model, out);
+
+  const core::ArtifactInfo info = core::inspect_artifact(out);
+  std::printf("compiled %s (seed=%llu, backend=%s, bits=%d) -> %s\n",
+              net_name.c_str(), static_cast<unsigned long long>(seed),
+              opts.backend.c_str(), bits, out.c_str());
+  print_info(info);
+  return 0;
+}
+
+int cmd_inspect(const std::string& path, const util::Config& cfg) {
+  const core::ArtifactInfo info = core::inspect_artifact(path);
+  std::printf("artifact:         %s\n", path.c_str());
+  print_info(info);
+  if (cfg.get_bool("plan", false)) {
+    std::printf("kernel_plan:\n%s\n",
+                obs::kernel_plan_json(info.kernel_plan).c_str());
+  }
+  return 0;
+}
+
+int cmd_verify(const std::string& path) {
+  // inspect first (format + hash), then an actual load: the blob must
+  // produce a runnable CompiledModel on this host.
+  const core::ArtifactInfo info = core::inspect_artifact(path);
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  core::ArtifactLoadStats stats;
+  const core::CompiledModel model = core::load_artifact(path, sys, &stats);
+  std::printf("verify %s: OK\n", path.c_str());
+  std::printf("  backend=%s steps=%zu weighted=%zu hash=0x%016llx\n",
+              model.backend().c_str(), info.num_steps, info.num_weighted,
+              static_cast<unsigned long long>(info.content_hash));
+  std::printf("  panels: %s\n", stats.repacked_panels
+                                    ? "repacked for this host"
+                                    : (stats.packed_fresh
+                                           ? "packed fresh (blob had none)"
+                                           : "reused from blob"));
+  if (stats.rebuilt_arm_programs) std::printf("  arm programs rebuilt\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  // A bare (non key=value) argument after the subcommand is the blob path;
+  // the rest parse as key=value (bench/tool convention, util::Config).
+  std::string path;
+  std::vector<char*> cfg_args;
+  cfg_args.push_back(argv[0]);
+  for (int i = 2; i < argc; ++i) {
+    if (path.empty() && std::strchr(argv[i], '=') == nullptr) {
+      path = argv[i];
+    } else {
+      cfg_args.push_back(argv[i]);
+    }
+  }
+  const util::Config cfg = util::Config::from_args(
+      static_cast<int>(cfg_args.size()), cfg_args.data());
+
+  try {
+    if (cmd == "compile") return cmd_compile(cfg);
+    if (cmd == "inspect") {
+      if (path.empty()) return usage();
+      return cmd_inspect(path, cfg);
+    }
+    if (cmd == "verify") {
+      if (path.empty()) return usage();
+      return cmd_verify(path);
+    }
+  } catch (const core::ArtifactError& e) {
+    std::fprintf(stderr, "model_artifact: REJECTED [%s] %s\n",
+                 core::artifact_error_kind_name(e.kind()), e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "model_artifact: error: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "model_artifact: unknown command \"%s\"\n", cmd.c_str());
+  return usage();
+}
