@@ -33,14 +33,26 @@
 // blob (tools/model_artifact output) instead of compiling — CI's
 // cross-process artifact-reuse proof; the "router" JSON section records it
 // and check_perf.py requires failed == 0 and bit_exact when present.
+// An SLO "overload" section closes the run: a deterministic shed/expiry
+// micro-scenario on a frozen sched::ManualClock (its shed and
+// deadline_exceeded trace events land in the trace BEFORE it is written, so
+// validate_trace.py --expect-sched can check them), then an open-loop
+// p99-vs-offered-load curve at {0.5, 0.9, 1.3, 2, 3}x the measured closed-
+// loop capacity with a mixed class stream (admission shed_depth
+// {0.25, 0.6, 1.0}; critical carries a deadline), plus one bursty run.
+// check_perf.py gates graceful degradation off the "overload" JSON: critical
+// deadline-hit-rate floor, saturated critical p99 bound, best-effort shed
+// first, and bit-exactness of every ADMITTED request vs the compiled truth.
 // Overrides (key=value): requests=256 concurrency=16 replicas=2 max_batch=16
 //   max_wait_us=500 threads=1 inputs=8 seed=1 out=path.json trace=path.json
-//   artifact=path.blob
+//   artifact=path.blob overload_requests=400
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -56,6 +68,186 @@
 #include "util/rng.hpp"
 
 using namespace lightator;
+
+namespace {
+
+/// Deterministic SLO micro-scenario: a frozen sched::ManualClock holds queue
+/// depth constant, so the per-class depth gate trips at exact submission
+/// indices (shed best-effort at depth 2, standard at 4, critical never on a
+/// capacity-8 queue with thresholds {0.25, 0.5, 1.0}), and one deadline
+/// request expires with the typed status. Run while the trace recorder is
+/// live so the shed / deadline_exceeded events land in the CI trace.
+struct SloSynthetic {
+  std::uint64_t shed_best_effort = 0, shed_standard = 0, shed_critical = 0;
+  std::uint64_t expired = 0, served = 0;
+  bool shed_order_ok = false, expired_typed_ok = false;
+};
+
+SloSynthetic run_synthetic_slo(const core::LightatorSystem& sys,
+                               const nn::Network& net,
+                               const nn::PrecisionSchedule& schedule) {
+  using RC = serve::sched::RequestClass;
+  serve::sched::ManualClock clock;
+  // Park the frozen timeline at the real clock's current value: the trace
+  // recorder normalizes timestamps against its own steady_clock base, so a
+  // ManualClock left at epoch zero would emit negative-ts events.
+  clock.set_us(std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now().time_since_epoch())
+                   .count());
+  serve::ServerOptions so;
+  so.replicas = 1;
+  so.queue_capacity = 8;
+  so.sched.clock = &clock;
+  so.sched.admission.shed_depth = {0.25, 0.5, 1.0};
+  serve::InferenceServer server(sys, net, schedule, so);
+
+  tensor::Tensor x({1, 1, 28, 28}, 0.5f);
+  std::vector<std::future<serve::InferResult>> accepted;
+  // Explicit nonzero request ids: trace events only attribute args.request_id
+  // when the id is set, and the gate checks every shed / expiry carries one.
+  std::uint64_t next_id = 1;
+  auto submit = [&](RC klass, double deadline_ms) {
+    serve::SubmitTicket t = server.submit(
+        x, next_id++, serve::sched::SubmitOptions{klass, deadline_ms});
+    if (t.status == serve::SubmitStatus::kAccepted) {
+      accepted.push_back(std::move(t.result));
+    }
+    return t.status;
+  };
+  // Doomed request first (cold EWMA: the deadline gate never sheds on a
+  // guess), then fill depths with the clock frozen so each shed lands at an
+  // exact submission index. Critical is submitted only after the first
+  // advance, at depth 0 — submitted alongside the rest it would either be
+  // depth-shed or dispatch the doomed request before its deadline passed.
+  // Each advance releases the coalescing windows of everything queued
+  // before it.
+  submit(RC::kStandard, /*deadline_ms=*/5.0);                // doomed, depth 1
+  for (int i = 0; i < 2; ++i) submit(RC::kBestEffort, 0.0);  // 2nd sheds
+  for (int i = 0; i < 3; ++i) submit(RC::kStandard, 0.0);    // 3rd sheds
+  clock.advance_us(10'000);  // doomed expires; windows release the rest
+  submit(RC::kCritical, 0.0);
+  clock.advance_us(10'000);  // releases the critical request's window
+
+  SloSynthetic out;
+  for (auto& f : accepted) {
+    const serve::InferResult r = f.get();
+    if (r.ok()) {
+      ++out.served;
+    } else {
+      out.expired_typed_ok = r.batch_size == 0;
+    }
+  }
+  const serve::ServerStats st = server.stats();
+  server.shutdown();
+  out.shed_best_effort =
+      st.by_class[serve::sched::class_index(RC::kBestEffort)].shed;
+  out.shed_standard =
+      st.by_class[serve::sched::class_index(RC::kStandard)].shed;
+  out.shed_critical =
+      st.by_class[serve::sched::class_index(RC::kCritical)].shed;
+  out.expired = st.expired;
+  out.shed_order_ok = out.shed_best_effort == 1 && out.shed_standard == 1 &&
+                      out.shed_critical == 0;
+  out.expired_typed_ok = out.expired_typed_ok && out.expired == 1;
+  return out;
+}
+
+/// One open-loop overload measurement: offered rate, per-class loss
+/// accounting, critical completion p99, admitted deadline-hit rates, and
+/// bit-exactness of every completed request vs the compiled ground truth.
+struct OverloadPoint {
+  double target_x = 0.0, offered_rps = 0.0, achieved_rps = 0.0;
+  std::uint64_t offered = 0, completed = 0, shed = 0, rejected = 0,
+                expired = 0;
+  std::array<std::uint64_t, 3> offered_by_class{}, shed_by_class{};
+  double critical_p99_ms = 0.0;
+  double critical_hit_rate = 1.0, standard_hit_rate = 1.0;
+  bool bit_exact = true;
+};
+
+OverloadPoint run_overload_point(const core::LightatorSystem& sys,
+                                 const nn::Network& net,
+                                 const nn::PrecisionSchedule& schedule,
+                                 const serve::ServerOptions& base_options,
+                                 const std::vector<tensor::Tensor>& inputs,
+                                 const std::vector<tensor::Tensor>& truth,
+                                 serve::OpenLoopOptions ol, double target_x) {
+  using RC = serve::sched::RequestClass;
+  serve::ServerOptions so = base_options;
+  so.sched.admission.shed_depth = {0.25, 0.6, 1.0};
+  serve::InferenceServer server(sys, net, schedule, so);
+  const serve::OpenLoopReport rep = serve::run_open_loop(server, inputs, ol);
+  const serve::ServerStats st = server.stats();
+  server.shutdown();
+
+  OverloadPoint pt;
+  pt.target_x = target_x;
+  pt.offered_rps = ol.rate_rps;
+  pt.achieved_rps = rep.wall_seconds > 0.0
+                        ? static_cast<double>(rep.completed) / rep.wall_seconds
+                        : 0.0;
+  pt.offered = rep.offered;
+  pt.completed = rep.completed;
+  pt.shed = rep.shed;
+  pt.rejected = rep.rejected;
+  pt.expired = rep.expired;
+  std::vector<double> critical_ms;
+  for (std::size_t i = 0; i < rep.schedule.size(); ++i) {
+    const std::size_t c = serve::sched::class_index(rep.schedule[i].klass);
+    ++pt.offered_by_class[c];
+    if (rep.outcomes[i] == serve::RequestOutcome::kShed) ++pt.shed_by_class[c];
+    if (rep.outcomes[i] != serve::RequestOutcome::kCompleted) continue;
+    if (rep.schedule[i].klass == RC::kCritical) {
+      critical_ms.push_back(rep.latency_seconds[i] * 1e3);
+    }
+    // Bit-exactness of every ADMITTED-and-served request: outputs depend
+    // only on the input frame (noiseless gemm backend), so the compiled
+    // batch-of-1 truth per distinct input is the full reference.
+    const tensor::Tensor& want = truth[rep.schedule[i].input_index];
+    pt.bit_exact = pt.bit_exact && rep.outputs[i].size() == want.size();
+    for (std::size_t j = 0; pt.bit_exact && j < want.size(); ++j) {
+      pt.bit_exact = rep.outputs[i][j] == want[j];
+    }
+  }
+  if (!critical_ms.empty()) {
+    std::sort(critical_ms.begin(), critical_ms.end());
+    pt.critical_p99_ms =
+        critical_ms[static_cast<std::size_t>(0.99 *
+                    static_cast<double>(critical_ms.size() - 1))];
+  }
+  pt.critical_hit_rate =
+      st.by_class[serve::sched::class_index(RC::kCritical)]
+          .deadline_hit_rate();
+  pt.standard_hit_rate =
+      st.by_class[serve::sched::class_index(RC::kStandard)]
+          .deadline_hit_rate();
+  return pt;
+}
+
+std::string overload_point_json(const OverloadPoint& pt,
+                                const char* indent) {
+  std::ostringstream j;
+  j << indent << "{\"target_x\": " << pt.target_x
+    << ", \"offered_rps\": " << pt.offered_rps
+    << ", \"achieved_rps\": " << pt.achieved_rps
+    << ", \"offered\": " << pt.offered
+    << ", \"completed\": " << pt.completed
+    << ", \"shed\": " << pt.shed << ", \"rejected\": " << pt.rejected
+    << ", \"expired\": " << pt.expired
+    << ",\n" << indent << " \"shed_best_effort\": " << pt.shed_by_class[0]
+    << ", \"shed_standard\": " << pt.shed_by_class[1]
+    << ", \"shed_critical\": " << pt.shed_by_class[2]
+    << ", \"offered_best_effort\": " << pt.offered_by_class[0]
+    << ", \"offered_standard\": " << pt.offered_by_class[1]
+    << ", \"offered_critical\": " << pt.offered_by_class[2]
+    << ",\n" << indent << " \"critical_p99_ms\": " << pt.critical_p99_ms
+    << ", \"critical_hit_rate\": " << pt.critical_hit_rate
+    << ", \"standard_hit_rate\": " << pt.standard_hit_rate
+    << ", \"bit_exact\": " << (pt.bit_exact ? "true" : "false") << "}";
+  return j.str();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   // `--trace <path>` convenience spelling: strip it before the strict
@@ -186,6 +378,7 @@ int main(int argc, char** argv) {
   double tracing_disabled_rps = 0.0, tracing_enabled_rps = 0.0;
   std::size_t trace_events = 0;
   std::uint64_t trace_dropped = 0;
+  SloSynthetic synthetic;
   const bool tracing_requested = !trace_path.empty();
   if (tracing_requested) {
     obs::TraceRecorder& rec = obs::TraceRecorder::global();
@@ -203,6 +396,13 @@ int main(int argc, char** argv) {
     }
     rec.stop();
     race_server.shutdown();
+    // The SLO micro-scenario runs with the recorder LIVE and before the
+    // trace is written, so the shed / deadline_exceeded events (and the
+    // expired request's balanced async queue span) are part of the artifact
+    // validate_trace.py --expect-sched checks.
+    rec.start();
+    synthetic = run_synthetic_slo(sys, net, schedule);
+    rec.stop();
     trace_events = rec.write_chrome_json(trace_path);
     trace_dropped = rec.dropped();
     std::printf("trace    %zu events (%llu dropped) -> %s\n", trace_events,
@@ -215,6 +415,19 @@ int main(int argc, char** argv) {
                     ? tracing_enabled_rps / tracing_disabled_rps
                     : 0.0);
   }
+
+  if (!tracing_requested) {
+    synthetic = run_synthetic_slo(sys, net, schedule);
+  }
+  std::printf("slo      synthetic: shed be=%llu std=%llu crit=%llu, "
+              "expired %llu, served %llu (order %s, typed expiry %s)\n",
+              static_cast<unsigned long long>(synthetic.shed_best_effort),
+              static_cast<unsigned long long>(synthetic.shed_standard),
+              static_cast<unsigned long long>(synthetic.shed_critical),
+              static_cast<unsigned long long>(synthetic.expired),
+              static_cast<unsigned long long>(synthetic.served),
+              synthetic.shed_order_ok ? "ok" : "WRONG",
+              synthetic.expired_typed_ok ? "ok" : "WRONG");
 
   // --- multi-model router smoke ---------------------------------------------
   // Two models behind one InferenceRouter: "lenet" — served from the
@@ -272,6 +485,106 @@ int main(int argc, char** argv) {
                                       : ("artifact " + artifact_path).c_str(),
                 router_exact ? "yes" : "NO");
   }
+
+  // --- SLO overload curve ---------------------------------------------------
+  // Open-loop offered load at multiples of the measured closed-loop capacity,
+  // mixed class stream (30% best-effort, 40% standard w/ 200ms deadline, 30%
+  // critical w/ 100ms deadline), admission thresholds {0.25, 0.6, 1.0}. The
+  // graceful-degradation story check_perf.py gates: past saturation the
+  // server sheds best-effort first, keeps admitting critical, and every
+  // request it DOES admit is served bit-exact and overwhelmingly inside its
+  // deadline.
+  const std::size_t overload_requests =
+      static_cast<std::size_t>(cfg.get_int("overload_requests", 400));
+  const double capacity_rps = load.requests_per_second;
+  // Per-input ground truth (outputs depend only on the input frame under the
+  // noiseless gemm backend): one compiled batch-of-1 run per distinct input
+  // covers every admitted request at every load point.
+  std::vector<tensor::Tensor> truth(inputs.size());
+  for (std::size_t k = 0; k < inputs.size(); ++k) {
+    truth[k] = serial_model.run(inputs[k], serial_ctx).take();
+  }
+  std::vector<serve::ClassMix> slo_mix = {
+      {serve::sched::RequestClass::kBestEffort, 0.3, 0.0},
+      {serve::sched::RequestClass::kStandard, 0.4, 200.0},
+      {serve::sched::RequestClass::kCritical, 0.3, 100.0}};
+  std::vector<OverloadPoint> points;
+  const double load_multiples[] = {0.5, 0.9, 1.3, 2.0, 3.0};
+  for (std::size_t p = 0; p < std::size(load_multiples); ++p) {
+    serve::OpenLoopOptions ol;
+    ol.requests = overload_requests;
+    ol.rate_rps = std::max(load_multiples[p] * capacity_rps, 1.0);
+    ol.seed = seed + 100 + p;
+    ol.shape = serve::TrafficShape::kPoisson;
+    ol.classes = slo_mix;
+    points.push_back(run_overload_point(sys, net, schedule, so, inputs,
+                                        truth, ol, load_multiples[p]));
+    const OverloadPoint& pt = points.back();
+    std::printf("overload %.1fx  offered %7.0f req/s  completed %4llu  "
+                "shed be/std/crit %llu/%llu/%llu  crit p99 %6.2f ms  "
+                "crit hit %.3f  %s\n",
+                pt.target_x, pt.offered_rps,
+                static_cast<unsigned long long>(pt.completed),
+                static_cast<unsigned long long>(pt.shed_by_class[0]),
+                static_cast<unsigned long long>(pt.shed_by_class[1]),
+                static_cast<unsigned long long>(pt.shed_by_class[2]),
+                pt.critical_p99_ms, pt.critical_hit_rate,
+                pt.bit_exact ? "bit-exact" : "NOT BIT-EXACT");
+  }
+  OverloadPoint burst;
+  {
+    serve::OpenLoopOptions ol;
+    ol.requests = overload_requests;
+    ol.rate_rps = std::max(1.5 * capacity_rps, 1.0);
+    ol.seed = seed + 200;
+    ol.shape = serve::TrafficShape::kBurst;
+    ol.burst_factor = 4.0;
+    ol.classes = slo_mix;
+    burst = run_overload_point(sys, net, schedule, so, inputs, truth, ol,
+                               1.5);
+    std::printf("overload burst 1.5x(x4)  completed %4llu  crit p99 "
+                "%6.2f ms  crit hit %.3f  %s\n",
+                static_cast<unsigned long long>(burst.completed),
+                burst.critical_p99_ms, burst.critical_hit_rate,
+                burst.bit_exact ? "bit-exact" : "NOT BIT-EXACT");
+  }
+  // Summary the perf gate reads. Shed ordering compares per-class shed RATES
+  // aggregated over the saturated points (>= 1.3x) plus the burst run.
+  double min_critical_hit = 1.0, max_saturated_crit_p99 = 0.0;
+  std::array<std::uint64_t, 3> agg_shed{}, agg_offered{};
+  bool overload_exact = burst.bit_exact;
+  for (const OverloadPoint& pt : points) {
+    overload_exact = overload_exact && pt.bit_exact;
+    min_critical_hit = std::min(min_critical_hit, pt.critical_hit_rate);
+    if (pt.target_x >= 1.29) {
+      max_saturated_crit_p99 =
+          std::max(max_saturated_crit_p99, pt.critical_p99_ms);
+      for (std::size_t c = 0; c < 3; ++c) {
+        agg_shed[c] += pt.shed_by_class[c];
+        agg_offered[c] += pt.offered_by_class[c];
+      }
+    }
+  }
+  min_critical_hit = std::min(min_critical_hit, burst.critical_hit_rate);
+  max_saturated_crit_p99 =
+      std::max(max_saturated_crit_p99, burst.critical_p99_ms);
+  for (std::size_t c = 0; c < 3; ++c) {
+    agg_shed[c] += burst.shed_by_class[c];
+    agg_offered[c] += burst.offered_by_class[c];
+  }
+  const auto shed_rate = [&](std::size_t c) {
+    return agg_offered[c] > 0 ? static_cast<double>(agg_shed[c]) /
+                                    static_cast<double>(agg_offered[c])
+                              : 0.0;
+  };
+  const bool shed_order_ok = shed_rate(0) >= shed_rate(1) &&
+                             shed_rate(1) >= shed_rate(2) &&
+                             agg_shed[0] > 0;  // overload DID shed something
+  std::printf("overload summary: shed rates be %.3f / std %.3f / crit %.3f "
+              "(%s), min crit hit %.3f, saturated crit p99 %.2f ms\n\n",
+              shed_rate(0), shed_rate(1), shed_rate(2),
+              shed_order_ok ? "ordered" : "OUT OF ORDER", min_critical_hit,
+              max_saturated_crit_p99);
 
   // --- bit-exactness: the serving determinism contract ---------------------
   bool exact = true;
@@ -346,6 +659,37 @@ int main(int argc, char** argv) {
        << "    \"failed\": " << router_failed << ",\n"
        << "    \"bit_exact\": " << (router_exact ? "true" : "false")
        << "\n  },\n";
+  json << "  \"overload\": {\n"
+       << "    \"capacity_rps\": " << capacity_rps << ",\n"
+       << "    \"requests_per_point\": " << overload_requests << ",\n"
+       << "    \"points\": [\n";
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    json << overload_point_json(points[p], "      ")
+         << (p + 1 < points.size() ? ",\n" : "\n");
+  }
+  json << "    ],\n"
+       << "    \"burst\": " << overload_point_json(burst, "    ") << ",\n"
+       << "    \"summary\": {\n"
+       << "      \"min_critical_hit_rate\": " << min_critical_hit << ",\n"
+       << "      \"max_saturated_critical_p99_ms\": " << max_saturated_crit_p99
+       << ",\n"
+       << "      \"shed_rate_best_effort\": " << shed_rate(0) << ",\n"
+       << "      \"shed_rate_standard\": " << shed_rate(1) << ",\n"
+       << "      \"shed_rate_critical\": " << shed_rate(2) << ",\n"
+       << "      \"shed_order_ok\": " << (shed_order_ok ? "true" : "false")
+       << ",\n"
+       << "      \"bit_exact\": " << (overload_exact ? "true" : "false")
+       << "\n    },\n"
+       << "    \"synthetic\": {\n"
+       << "      \"shed_best_effort\": " << synthetic.shed_best_effort << ",\n"
+       << "      \"shed_standard\": " << synthetic.shed_standard << ",\n"
+       << "      \"shed_critical\": " << synthetic.shed_critical << ",\n"
+       << "      \"expired\": " << synthetic.expired << ",\n"
+       << "      \"served\": " << synthetic.served << ",\n"
+       << "      \"shed_order_ok\": "
+       << (synthetic.shed_order_ok ? "true" : "false") << ",\n"
+       << "      \"expired_typed_ok\": "
+       << (synthetic.expired_typed_ok ? "true" : "false") << "\n    }\n  },\n";
   json << "  \"metrics\": " << obs::MetricsRegistry::global().snapshot_json()
        << "\n}\n";
 
@@ -355,5 +699,8 @@ int main(int argc, char** argv) {
     f << json.str();
     std::printf("wrote %s\n", out_path.c_str());
   }
-  return (exact && router_exact && router_failed == 0) ? 0 : 1;
+  return (exact && router_exact && router_failed == 0 && overload_exact &&
+          synthetic.shed_order_ok && synthetic.expired_typed_ok)
+             ? 0
+             : 1;
 }

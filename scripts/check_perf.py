@@ -367,11 +367,73 @@ def check_serve_throughput(current, baseline):
                   f"{router.get('lenet_completed', 0)} + "
                   f"{router.get('lenet_b_completed', 0)} requests across 2 "
                   f"models ({src}), bit-exact")
+    failed = check_overload(current, serve) or failed
     if failed:
         print("\nserve throughput gate FAILED")
         return 1
     print("\nserve throughput gate ok")
     return 0
+
+
+def check_overload(current, serve):
+    """Gate graceful degradation under overload (PR 10). All checks are
+    machine-independent: deadline hit-rates and shed ordering are properties
+    of the scheduler, not of absolute throughput (each run offers load at
+    multiples of ITS OWN measured capacity), and the saturated critical p99
+    bound equals the critical deadline the hit-rate floor already enforces.
+    Absent section (old snapshot) is skipped with a note."""
+    overload = current.get("overload")
+    if overload is None:
+        print("note  serve: no \"overload\" section (bench predates the SLO "
+              "scheduler) — overload checks skipped")
+        return False
+    failed = False
+    summary = overload.get("summary", {})
+    hit_floor = serve.get("min_critical_hit_rate")
+    if hit_floor is not None:
+        hit = summary.get("min_critical_hit_rate", 0.0)
+        status = "ok  " if hit >= hit_floor else "FAIL"
+        failed = failed or status == "FAIL"
+        print(f"{status}  serve: overload critical deadline hit-rate "
+              f"{hit:.3f} (floor {hit_floor:.2f}, worst point incl. burst)")
+    p99_bound = serve.get("max_saturated_critical_p99_ms")
+    if p99_bound is not None:
+        p99 = summary.get("max_saturated_critical_p99_ms", float("inf"))
+        status = "ok  " if p99 <= p99_bound else "FAIL"
+        failed = failed or status == "FAIL"
+        print(f"{status}  serve: saturated critical p99 {p99:.2f} ms "
+              f"(bound {p99_bound:.1f} ms across >=1.3x points + burst)")
+    if not summary.get("shed_order_ok", False):
+        print(f"FAIL  serve: overload shed out of class order (rates "
+              f"be={summary.get('shed_rate_best_effort', 0.0):.3f} "
+              f"std={summary.get('shed_rate_standard', 0.0):.3f} "
+              f"crit={summary.get('shed_rate_critical', 0.0):.3f})")
+        failed = True
+    else:
+        print(f"ok    serve: overload sheds best-effort first (rates "
+              f"be={summary.get('shed_rate_best_effort', 0.0):.3f} >= "
+              f"std={summary.get('shed_rate_standard', 0.0):.3f} >= "
+              f"crit={summary.get('shed_rate_critical', 0.0):.3f})")
+    if not summary.get("bit_exact", False):
+        print("FAIL  serve: admitted overload requests not bit-exact with "
+              "the compiled truth")
+        failed = True
+    synthetic = overload.get("synthetic", {})
+    if not synthetic.get("shed_order_ok", False):
+        print("FAIL  serve: synthetic SLO scenario shed the wrong classes "
+              f"(be={synthetic.get('shed_best_effort', 0)} "
+              f"std={synthetic.get('shed_standard', 0)} "
+              f"crit={synthetic.get('shed_critical', 0)})")
+        failed = True
+    if not synthetic.get("expired_typed_ok", False):
+        print("FAIL  serve: expired request not completed with the typed "
+              "deadline status (or occupied a batch slot)")
+        failed = True
+    if (synthetic.get("shed_order_ok", False)
+            and synthetic.get("expired_typed_ok", False)):
+        print("ok    serve: synthetic SLO scenario — deterministic sheds "
+              "per class, typed deadline expiry")
+    return failed
 
 
 def main(argv):

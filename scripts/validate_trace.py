@@ -20,9 +20,15 @@ With --min-requests N the trace must contain at least N distinct request
 ids on async "queue" begin events — the CI gate that the serve smoke run
 actually traced its load. With --expect-serve the serve-layer span names
 (submit, batch_dispatch, respond) and the core compiled_run span must all
-be present.
+be present. With --expect-sched the scheduler's load-shedding and deadline
+events must be present and attributable: at least one "shed" and one
+"deadline_exceeded" instant ('X') event, each carrying args.request_id,
+and every deadline_exceeded id must also appear among the async "queue"
+begin ids (an expired request was admitted, so its queue residency span
+must exist and — via the balance check above — be properly closed).
 
 Usage: validate_trace.py trace.json [--min-requests N] [--expect-serve]
+                                    [--expect-sched]
 Exit status: 0 ok, 1 validation failure, 2 usage error.
 """
 
@@ -121,10 +127,42 @@ def check_async_pairs(events):
     return ok
 
 
+def check_sched_events(events):
+    """--expect-sched: the scheduler's shed / deadline_exceeded events are
+    present and attributed. Sheds happen at submit (never admitted, so no
+    queue span); expiries happen to ADMITTED requests, so each expired id
+    must own a queue residency span."""
+    ok = True
+    sheds = [e for e in events if e["ph"] == "X" and e["name"] == "shed"]
+    expiries = [e for e in events
+                if e["ph"] == "X" and e["name"] == "deadline_exceeded"]
+    queue_ids = {e["id"] for e in events
+                 if e["ph"] == "b" and e["name"] == "queue"}
+    if not sheds:
+        ok = fail("no 'shed' events (--expect-sched)")
+    if not expiries:
+        ok = fail("no 'deadline_exceeded' events (--expect-sched)")
+    for e in sheds + expiries:
+        if "request_id" not in e.get("args", {}):
+            ok = fail(f"sched event {e['name']!r} without args.request_id: "
+                      f"{e}")
+    for e in expiries:
+        rid = e.get("args", {}).get("request_id")
+        if rid is not None and rid not in queue_ids:
+            ok = fail(f"deadline_exceeded request_id {rid} has no matching "
+                      f"async 'queue' span (expired requests are admitted "
+                      f"requests)")
+    if ok and sheds and expiries:
+        print(f"ok    sched events: {len(sheds)} shed, {len(expiries)} "
+              f"deadline_exceeded, all attributed to request ids")
+    return ok
+
+
 def main(argv):
     path = None
     min_requests = 0
     expect_serve = False
+    expect_sched = False
     i = 0
     while i < len(argv):
         a = argv[i]
@@ -135,6 +173,8 @@ def main(argv):
             min_requests = int(a.split("=", 1)[1])
         elif a == "--expect-serve":
             expect_serve = True
+        elif a == "--expect-sched":
+            expect_sched = True
         elif path is None:
             path = a
         else:
@@ -170,6 +210,8 @@ def main(argv):
             ok = fail(f"expected serve spans missing: {missing}")
         else:
             print(f"ok    serve spans present: {', '.join(SERVE_SPANS)}")
+    if expect_sched:
+        ok = check_sched_events(events) and ok
 
     dropped = trace.get("otherData", {}).get("dropped_events", 0)
     if dropped:

@@ -230,6 +230,25 @@ MemoryReport CompiledModel::memory_report(std::size_t batch,
   return report;
 }
 
+std::size_t CompiledModel::resident_bytes() const {
+  if (impl_ == nullptr) return 0;
+  std::size_t bytes = 0;
+  for (const CompiledStep& step : impl_->plan.steps) {
+    const tensor::QuantizedTensor& w = step.weights;
+    bytes += w.levels.size() * sizeof(std::int16_t);
+    bytes += w.item_scales.size() * sizeof(double);
+    bytes += step.bias.size() * sizeof(float);
+    if (w.prepack != nullptr) {
+      bytes += w.prepack->a.data.size() * sizeof(std::int16_t);
+      bytes += w.prepack->bt.data.size() * sizeof(std::int16_t);
+    }
+    if (w.arm_program != nullptr) {
+      bytes += w.arm_program->weights.size() * sizeof(double);
+    }
+  }
+  return bytes;
+}
+
 BatchOutput CompiledModel::run(const FrameBatch& batch,
                                ExecutionContext& ctx) const {
   if (impl_ == nullptr) throw_invalid_handle();

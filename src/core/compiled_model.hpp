@@ -191,6 +191,13 @@ class CompiledModel {
                              const tensor::Shape& frame_shape,
                              std::size_t slots = 1) const;
 
+  /// Approximate resident footprint of the artifact's immutable payload:
+  /// quantized levels, per-item scales, biases, prepacked SIMD panels, and
+  /// physical arm programs, summed over every step. The registry's byte
+  /// budget (serve::ModelRegistry::set_byte_budget) evicts against this.
+  /// 0 for an invalid handle.
+  std::size_t resident_bytes() const;
+
   /// One batched forward through the compiled plan. Stateless with respect
   /// to the artifact: concurrent run() calls on one CompiledModel are safe
   /// as long as each uses its own ExecutionContext. The context supplies the

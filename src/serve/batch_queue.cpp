@@ -4,8 +4,26 @@
 
 namespace lightator::serve {
 
+namespace {
+
+sched::SchedPolicy uniform_policy(BatchPolicy policy) {
+  sched::SchedPolicy sp;
+  sp.max_batch = policy.max_batch;
+  sp.base_max_wait_us = policy.max_wait_us;
+  return sp;
+}
+
+}  // namespace
+
 BatchQueue::BatchQueue(std::size_t capacity, BatchPolicy policy)
-    : capacity_(std::max<std::size_t>(capacity, 1)), policy_(policy) {
+    : BatchQueue(capacity, uniform_policy(policy), nullptr) {}
+
+BatchQueue::BatchQueue(std::size_t capacity, sched::SchedPolicy policy,
+                       const sched::SchedClock* clock)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      policy_(policy),
+      clock_(clock != nullptr ? clock : &sched::system_clock()),
+      manual_clock_(clock != nullptr) {
   policy_.max_batch = std::max<std::size_t>(policy_.max_batch, 1);
 }
 
@@ -14,6 +32,7 @@ SubmitStatus BatchQueue::push(PendingRequest request) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return SubmitStatus::kClosed;
     if (pending_.size() >= capacity_) return SubmitStatus::kRejected;
+    request.seq = next_seq_++;
     pending_.push_back(std::move(request));
   }
   // notify_all: several workers may be parked in timed coalescing waits on
@@ -22,56 +41,136 @@ SubmitStatus BatchQueue::push(PendingRequest request) {
   return SubmitStatus::kAccepted;
 }
 
-std::vector<PendingRequest> BatchQueue::take_bucket_locked(
-    const GeometryKey& key) {
-  std::vector<PendingRequest> batch;
-  for (auto it = pending_.begin();
-       it != pending_.end() && batch.size() < policy_.max_batch;) {
-    if (it->key == key) {
-      batch.push_back(std::move(*it));
+bool BatchQueue::ranks_before(const PendingRequest& a,
+                              const PendingRequest& b) {
+  // Priority class first (critical > standard > best_effort), then EDF
+  // within a class (no deadline = time_point::max(), i.e. last), then
+  // arrival order — which makes an all-standard, deadline-free stream rank
+  // exactly FIFO.
+  if (a.klass != b.klass) return a.klass > b.klass;
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  return a.seq < b.seq;
+}
+
+void BatchQueue::collect_expired_locked(
+    std::chrono::steady_clock::time_point now,
+    std::vector<PendingRequest>& out) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->has_deadline() && it->deadline <= now) {
+      out.push_back(std::move(*it));
       it = pending_.erase(it);
     } else {
       ++it;
     }
   }
+}
+
+std::size_t BatchQueue::head_index_locked() const {
+  std::size_t best = static_cast<std::size_t>(-1);
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (best == static_cast<std::size_t>(-1) ||
+        ranks_before(pending_[i], pending_[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::vector<PendingRequest> BatchQueue::take_bucket_locked(
+    const GeometryKey& key) {
+  scratch_.clear();
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].key == key) scratch_.push_back(i);
+  }
+  if (scratch_.size() > policy_.max_batch) {
+    // Bucket overflow: the best-RANKED max_batch requests ride this batch
+    // (a critical arrival beats queued best-effort even within one bucket);
+    // the rest wait for the next lease.
+    std::sort(scratch_.begin(), scratch_.end(),
+              [this](std::size_t a, std::size_t b) {
+                return ranks_before(pending_[a], pending_[b]);
+              });
+    scratch_.resize(policy_.max_batch);
+    // Back to arrival order: batch composition must not leak scheduling
+    // rank into row order (outputs are row-order invariant anyway, but
+    // arrival order keeps the lease reproducible and the tests simple).
+    std::sort(scratch_.begin(), scratch_.end());
+  }
+  std::vector<PendingRequest> batch;
+  batch.reserve(scratch_.size());
+  for (std::size_t i : scratch_) batch.push_back(std::move(pending_[i]));
+  // Erase the moved-out slots back-to-front so earlier indices stay valid.
+  for (std::size_t j = scratch_.size(); j-- > 0;) {
+    pending_.erase(pending_.begin() +
+                   static_cast<std::ptrdiff_t>(scratch_[j]));
+  }
   return batch;
 }
 
-std::vector<PendingRequest> BatchQueue::pop_batch() {
+BatchLease BatchQueue::pop_batch() {
   std::unique_lock<std::mutex> lock(mutex_);
+  BatchLease lease;
   for (;;) {
+    const auto now = clock_->now();
+    // Overdue requests leave the queue FIRST and never occupy a batch
+    // slot — the server completes them with the typed deadline status.
+    collect_expired_locked(now, lease.expired);
+    if (!lease.expired.empty()) return lease;
     if (pending_.empty()) {
-      if (closed_) return {};
+      if (closed_) return lease;  // done(): closed and fully drained
       cv_.wait(lock);
       continue;
     }
-    // A full bucket anywhere dispatches immediately (oldest first: buckets
-    // are discovered in arrival order, so the first one found whose count
-    // reaches max_batch is the oldest full one).
-    std::vector<std::pair<GeometryKey, std::size_t>> counts;
-    for (const auto& r : pending_) {
-      auto it = std::find_if(counts.begin(), counts.end(),
-                             [&](const auto& c) { return c.first == r.key; });
-      const std::size_t count =
-          it == counts.end() ? (counts.emplace_back(r.key, 1), 1)
-                             : ++it->second;
-      if (count >= policy_.max_batch) return take_bucket_locked(r.key);
+    // A full bucket dispatches immediately; among full buckets, the one
+    // holding the best-ranked request wins.
+    std::size_t best_full = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (best_full != static_cast<std::size_t>(-1) &&
+          !ranks_before(pending_[i], pending_[best_full])) {
+        continue;
+      }
+      std::size_t count = 0;
+      for (const PendingRequest& r : pending_) {
+        if (r.key == pending_[i].key && ++count >= policy_.max_batch) break;
+      }
+      if (count >= policy_.max_batch) best_full = i;
     }
-    if (closed_ || policy_.max_wait_us <= 0.0) {
-      return take_bucket_locked(pending_.front().key);
+    if (best_full != static_cast<std::size_t>(-1)) {
+      lease.batch = take_bucket_locked(pending_[best_full].key);
+      return lease;
     }
-    // Head-of-line rule: the oldest request's bucket dispatches when that
-    // request has waited out the coalescing window.
-    const auto deadline =
-        pending_.front().enqueued +
+    // Head-of-line rule: the best-ranked request's bucket dispatches when
+    // that request has waited out its class's coalescing window.
+    const std::size_t head = head_index_locked();
+    const double wait_us = policy_.max_wait_us(pending_[head].klass);
+    if (closed_ || wait_us <= 0.0) {
+      lease.batch = take_bucket_locked(pending_[head].key);
+      return lease;
+    }
+    const auto window_end =
+        pending_[head].enqueued +
         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-            std::chrono::duration<double, std::micro>(policy_.max_wait_us));
-    if (std::chrono::steady_clock::now() >= deadline) {
-      return take_bucket_locked(pending_.front().key);
+            std::chrono::duration<double, std::micro>(wait_us));
+    if (now >= window_end) {
+      lease.batch = take_bucket_locked(pending_[head].key);
+      return lease;
     }
-    cv_.wait_until(lock, deadline);
-    // Loop: re-derive everything — arrivals may have filled a bucket, or
-    // another worker may have taken the head.
+    // Sleep until the window closes OR the earliest pending deadline — an
+    // overdue request must be expired promptly, not when the next batch
+    // happens to dispatch.
+    auto wake = window_end;
+    for (const PendingRequest& r : pending_) {
+      if (r.has_deadline() && r.deadline < wake) wake = r.deadline;
+    }
+    if (manual_clock_) {
+      // Injected clock: its time_points mean nothing to the cv, so poll on
+      // a short real-time tick and re-read the virtual clock each pass.
+      cv_.wait_for(lock, std::chrono::microseconds(100));
+    } else {
+      cv_.wait_until(lock, wake);
+    }
+    // Loop: re-derive everything — arrivals may have filled a bucket,
+    // another worker may have taken the head, a deadline may have passed.
   }
 }
 

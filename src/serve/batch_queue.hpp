@@ -1,24 +1,41 @@
-// Bounded MPMC request queue + geometry-bucketed dynamic micro-batcher.
+// Bounded MPMC request queue + geometry-bucketed, deadline-aware dynamic
+// micro-batcher.
 //
 // Admission control: push() never blocks — when the queue holds `capacity`
 // requests the caller gets kRejected and must shed load (the server surfaces
-// this as a reject-with-status, the backpressure contract a front end needs).
+// this as a reject-with-status, the backpressure contract a front end needs;
+// policy-driven per-class shedding happens in the server BEFORE push, via
+// serve/sched/admission.hpp, and surfaces as kShed).
+//
+// Scheduling (serve/sched/policy.hpp): every request carries a priority
+// class and an optional deadline. Dispatch order is
+//     (class descending, deadline ascending, arrival ascending)
+// — priority first, earliest-deadline-first within a class, FIFO among
+// deadline-free peers. With only kStandard deadline-free requests this
+// degenerates to exactly the classic FIFO bucket batcher, which is what
+// keeps the scheduler invisible to unconfigured callers.
 //
 // Batching: replica workers call pop_batch(), which leases a batch of
-// requests sharing one input geometry (C, H, W). Requests of different
-// geometries never mix in a batch — the OC forward requires one geometry per
-// tensor — which is exactly the per-bucket sub-batching the multi-frame
-// pipeline mode was missing. The lease policy is the classic dynamic
-// batcher:
-//   * if any bucket holds max_batch requests, the oldest such bucket
-//     dispatches immediately at full size;
-//   * otherwise the head-of-line (oldest) request's bucket dispatches once
-//     that request has waited max_wait_us, collecting whatever same-geometry
-//     requests arrived by then;
+// requests sharing one input geometry (C, H, W) — the OC forward requires
+// one geometry per tensor. The lease policy:
+//   * requests whose deadline has passed never occupy a batch slot: they
+//     come back on the lease's `expired` list and the server completes them
+//     with a typed deadline_exceeded status;
+//   * if any bucket holds max_batch requests, the full bucket containing
+//     the best-ranked request dispatches immediately at full size;
+//   * otherwise the best-ranked ("head") request's bucket dispatches once
+//     that request has waited out its CLASS's coalescing window
+//     (SchedPolicy::max_wait_us(class)), collecting the best-ranked
+//     same-geometry requests that arrived by then;
 //   * a closed queue drains immediately, partial batches included.
-// Requests within a batch preserve arrival order, and the head-of-line rule
-// bounds every request's coalescing delay to max_wait_us regardless of what
+// Requests within a batch are ordered by arrival, and the head-of-line rule
+// bounds the head's coalescing delay to its class window regardless of what
 // other buckets are doing.
+//
+// Determinism: all ordering decisions are pure functions of (push order,
+// clock). The clock is injected via sched::SchedClock — production uses
+// steady_clock, tests install a ManualClock and replay expiry/ordering
+// scenarios exactly.
 #pragma once
 
 #include <chrono>
@@ -31,11 +48,26 @@
 #include <vector>
 
 #include "core/compiled_model.hpp"
+#include "serve/sched/policy.hpp"
 #include "tensor/tensor.hpp"
 
 namespace lightator::serve {
 
-enum class SubmitStatus { kAccepted, kRejected, kClosed };
+enum class SubmitStatus {
+  kAccepted,
+  kRejected,  // queue full (capacity backpressure)
+  kShed,      // admission control turned the request away (class policy)
+  kClosed,
+};
+
+/// Per-request completion status carried on InferResult.
+enum class InferStatus : std::uint8_t {
+  kOk = 0,
+  /// The deadline passed while the request was still queued; it was
+  /// completed without ever occupying a batch slot. `batch` is empty —
+  /// output()/output_tensor() must not be called.
+  kDeadlineExceeded = 1,
+};
 
 /// What the server hands back for one request: a zero-copy row view into the
 /// ref-counted batched logits the request rode in. Every request of a batch
@@ -50,8 +82,12 @@ struct InferResult {
   std::size_t batch_size = 0;    // size of the batch it rode in
   double queue_seconds = 0.0;    // admission -> batch dispatch
   double total_seconds = 0.0;    // admission -> result ready
+  InferStatus status = InferStatus::kOk;
+  sched::RequestClass klass = sched::RequestClass::kStandard;
 
-  /// This request's logits, zero-copy.
+  bool ok() const { return status == InferStatus::kOk; }
+
+  /// This request's logits, zero-copy. Only valid when ok().
   std::span<const float> output() const { return batch.row(row); }
   /// Materialized [1, ...] copy for callers that need an owned tensor.
   tensor::Tensor output_tensor() const { return batch.row_tensor(row); }
@@ -71,47 +107,101 @@ struct PendingRequest {
   std::uint64_t request_id = 0;
   std::promise<InferResult> promise;
   std::chrono::steady_clock::time_point enqueued;
+  /// Scheduling state: priority class, absolute deadline on the queue's
+  /// clock (time_point::max() = none), and the push-order sequence number
+  /// the queue assigns (the FIFO tiebreak).
+  sched::RequestClass klass = sched::RequestClass::kStandard;
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  std::uint64_t seq = 0;
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
 };
 
+/// The classic dynamic-batcher knobs; kept as the user-facing half of the
+/// policy (ServerOptions::batch). Per-class overrides live in
+/// sched::SchedPolicy, which the queue builds from this plus
+/// sched::ClassPolicy entries.
 struct BatchPolicy {
   /// Dispatch a bucket as soon as it holds this many requests.
   std::size_t max_batch = 16;
-  /// Longest the oldest queued request waits for co-batchable arrivals
+  /// Longest the head-of-line request waits for co-batchable arrivals
   /// before its bucket dispatches partially filled. 0 = never coalesce-wait.
   double max_wait_us = 200.0;
 };
 
+/// One pop_batch() lease: a dispatchable batch (one geometry, arrival
+/// order) plus the requests whose deadline passed while queued. Both empty
+/// = the queue is closed and fully drained; the worker should exit.
+struct BatchLease {
+  std::vector<PendingRequest> batch;
+  std::vector<PendingRequest> expired;
+
+  bool done() const { return batch.empty() && expired.empty(); }
+};
+
 class BatchQueue {
  public:
+  /// FIFO-compatible policy (all classes inherit `policy`'s window).
   BatchQueue(std::size_t capacity, BatchPolicy policy);
+  /// Class-aware policy; `clock` nullptr = steady_clock (tests inject a
+  /// sched::ManualClock, which must outlive the queue).
+  BatchQueue(std::size_t capacity, sched::SchedPolicy policy,
+             const sched::SchedClock* clock = nullptr);
 
   BatchQueue(const BatchQueue&) = delete;
   BatchQueue& operator=(const BatchQueue&) = delete;
 
   /// Non-blocking admission; kRejected when full, kClosed after close().
+  /// Stamps the request's `seq` (the arrival-order tiebreak).
   SubmitStatus push(PendingRequest request);
 
-  /// Blocks until a batch is available under the policy. An empty vector
-  /// means the queue is closed and fully drained — the worker should exit.
-  std::vector<PendingRequest> pop_batch();
+  /// Blocks until a lease is available under the policy (see file comment).
+  BatchLease pop_batch();
 
   /// Stops admission and wakes all workers; queued requests still drain.
   void close();
 
   std::size_t depth() const;
   std::size_t capacity() const { return capacity_; }
+  /// The clock every scheduling decision reads; submit paths stamp
+  /// `enqueued` / `deadline` from it so queue and server share a timeline.
+  const sched::SchedClock& clock() const { return *clock_; }
 
  private:
-  /// Collects up to max_batch requests of `key`, in arrival order. Caller
-  /// holds the mutex.
+  /// True when a ranks strictly before b (class desc, deadline asc, seq
+  /// asc). Static — a pure function, no queue state.
+  static bool ranks_before(const PendingRequest& a, const PendingRequest& b);
+
+  /// Moves every overdue request into `out` (preserving arrival order).
+  /// Caller holds the mutex.
+  void collect_expired_locked(std::chrono::steady_clock::time_point now,
+                              std::vector<PendingRequest>& out);
+
+  /// Collects up to max_batch requests of `key` — the best-ranked ones when
+  /// the bucket overflows — returned in arrival order. Caller holds the
+  /// mutex.
   std::vector<PendingRequest> take_bucket_locked(const GeometryKey& key);
 
+  /// Index of the best-ranked pending request, or npos. Caller holds the
+  /// mutex.
+  std::size_t head_index_locked() const;
+
   std::size_t capacity_;
-  BatchPolicy policy_;
+  sched::SchedPolicy policy_;
+  const sched::SchedClock* clock_;
+  bool manual_clock_;  // injected clock: timed waits become short polls
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<PendingRequest> pending_;
+  std::uint64_t next_seq_ = 0;
   bool closed_ = false;
+  /// Reusable index scratch for take_bucket_locked — capacity persists
+  /// across pops so steady-state scheduling adds no allocations beyond the
+  /// leased batch vector itself.
+  std::vector<std::size_t> scratch_;
 };
 
 }  // namespace lightator::serve

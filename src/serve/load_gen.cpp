@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
+#include <numbers>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -10,6 +12,49 @@
 #include "util/rng.hpp"
 
 namespace lightator::serve {
+
+namespace {
+
+/// Salt for the class-pick Rng: keeps the input-index stream byte-identical
+/// whether or not a class mix is configured.
+constexpr std::uint64_t kClassStreamSalt = 0xC1A5500DD15C0DEull;
+
+/// Picks one mix entry by normalized share. `classes` must be non-empty.
+const ClassMix& pick_class(util::Rng& rng, const std::vector<ClassMix>& mix) {
+  double total = 0.0;
+  for (const ClassMix& c : mix) total += std::max(c.share, 0.0);
+  if (total <= 0.0) return mix.front();
+  double u = rng.uniform() * total;
+  for (const ClassMix& c : mix) {
+    u -= std::max(c.share, 0.0);
+    if (u < 0.0) return c;
+  }
+  return mix.back();
+}
+
+/// Instantaneous rate multiplier for the shaped open-loop streams.
+double rate_multiplier(const OpenLoopOptions& o, double t) {
+  switch (o.shape) {
+    case TrafficShape::kBurst: {
+      if (o.burst_period_seconds <= 0.0) return 1.0;
+      const double phase = std::fmod(t, o.burst_period_seconds);
+      return phase < o.burst_duty * o.burst_period_seconds ? o.burst_factor
+                                                           : 1.0;
+    }
+    case TrafficShape::kDiurnal: {
+      if (o.diurnal_period_seconds <= 0.0) return 1.0;
+      const double m =
+          1.0 + o.diurnal_amplitude *
+                    std::sin(2.0 * std::numbers::pi * t /
+                             o.diurnal_period_seconds);
+      return std::max(m, 0.05);  // never a zero rate (infinite gap)
+    }
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace
 
 LoadGenReport run_closed_loop(InferenceServer& server,
                               const std::vector<tensor::Tensor>& inputs,
@@ -26,10 +71,20 @@ LoadGenReport run_closed_loop(InferenceServer& server,
   report.outputs.resize(n);
   report.batch_sizes.resize(n, 0);
   // The whole request sequence is fixed up front: a pure function of the
-  // seed, independent of completion timing.
+  // seed, independent of completion timing. Class picks come from a second,
+  // salted Rng so an empty mix reproduces the pre-scheduler stream exactly.
   util::Rng rng(options.seed);
   for (std::size_t i = 0; i < n; ++i) {
     report.input_index[i] = rng.uniform_index(inputs.size());
+  }
+  std::vector<sched::SubmitOptions> submit_opts;
+  if (!options.classes.empty()) {
+    util::Rng class_rng(options.seed ^ kClassStreamSalt);
+    submit_opts.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const ClassMix& mix = pick_class(class_rng, options.classes);
+      submit_opts[i] = sched::SubmitOptions{mix.klass, mix.deadline_ms};
+    }
   }
 
   std::deque<std::pair<std::size_t, std::future<InferResult>>> outstanding;
@@ -37,6 +92,10 @@ LoadGenReport run_closed_loop(InferenceServer& server,
     auto [index, future] = std::move(outstanding.front());
     outstanding.pop_front();
     InferResult result = future.get();  // rethrows a failed request
+    if (!result.ok()) {
+      ++report.expired;  // deadline passed in queue; no output to keep
+      return;
+    }
     // Materialize the zero-copy row view: the report retains every output
     // long after its batch's ref-counted logits would otherwise be released.
     report.outputs[index] = result.output_tensor();
@@ -49,13 +108,23 @@ LoadGenReport run_closed_loop(InferenceServer& server,
       // Request index doubles as the request id, so physical-backend noise
       // is a pure function of (noise_seed, i) — reproducible across runs,
       // replica counts, and batching policies.
-      SubmitTicket ticket = server.submit(inputs[report.input_index[i]], i);
+      SubmitTicket ticket =
+          submit_opts.empty()
+              ? server.submit(inputs[report.input_index[i]], i)
+              : server.submit(inputs[report.input_index[i]], i,
+                              submit_opts[i]);
       if (ticket.status == SubmitStatus::kAccepted) {
         outstanding.emplace_back(i, std::move(ticket.result));
         break;
       }
       if (ticket.status == SubmitStatus::kClosed) {
         throw std::runtime_error("run_closed_loop: server shut down mid-load");
+      }
+      if (ticket.status == SubmitStatus::kShed) {
+        // A policy drop, not backpressure: retrying would just re-trip the
+        // same admission rule, so the closed loop records it and moves on.
+        ++report.shed;
+        break;
       }
       ++report.reject_retries;
       // Backpressure: free an in-flight slot before retrying.
@@ -75,6 +144,106 @@ LoadGenReport run_closed_loop(InferenceServer& server,
       report.wall_seconds > 0.0
           ? static_cast<double>(n) / report.wall_seconds
           : 0.0;
+  return report;
+}
+
+std::vector<Arrival> make_arrival_schedule(const OpenLoopOptions& options,
+                                           std::size_t num_inputs) {
+  if (num_inputs == 0) {
+    throw std::invalid_argument("make_arrival_schedule: no inputs");
+  }
+  if (options.rate_rps <= 0.0) {
+    throw std::invalid_argument("make_arrival_schedule: rate_rps must be > 0");
+  }
+  std::vector<Arrival> schedule(options.requests);
+  util::Rng rng(options.seed);
+  util::Rng class_rng(options.seed ^ kClassStreamSalt);
+  double t = 0.0;
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    const double rate = options.rate_rps * rate_multiplier(options, t);
+    double dt;
+    if (options.shape == TrafficShape::kConstant) {
+      dt = 1.0 / rate;
+    } else {
+      // Exponential interarrival at the instantaneous rate. Evaluating the
+      // multiplier at the current arrival time (rather than thinning a
+      // homogeneous process) keeps the schedule a simple forward recurrence
+      // — close enough to non-homogeneous Poisson for a bench, and exactly
+      // reproducible.
+      double u = rng.uniform();
+      while (u <= 1e-300) u = rng.uniform();
+      dt = -std::log(u) / rate;
+    }
+    t += dt;
+    schedule[i].at_seconds = t;
+    schedule[i].input_index = rng.uniform_index(num_inputs);
+    if (!options.classes.empty()) {
+      const ClassMix& mix = pick_class(class_rng, options.classes);
+      schedule[i].klass = mix.klass;
+      schedule[i].deadline_ms = mix.deadline_ms;
+    }
+  }
+  return schedule;
+}
+
+OpenLoopReport run_open_loop(InferenceServer& server,
+                             const std::vector<tensor::Tensor>& inputs,
+                             const OpenLoopOptions& options) {
+  OpenLoopReport report;
+  report.schedule = make_arrival_schedule(options, inputs.size());
+  const std::size_t n = report.schedule.size();
+  report.outcomes.assign(n, RequestOutcome::kRejected);
+  report.outputs.resize(n);
+  report.latency_seconds.assign(n, -1.0);
+  report.deadline_met.assign(n, false);
+  report.offered = n;
+
+  std::vector<std::pair<std::size_t, std::future<InferResult>>> inflight;
+  inflight.reserve(n);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Arrival& a = report.schedule[i];
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(a.at_seconds)));
+    SubmitTicket ticket =
+        server.submit(inputs[a.input_index], i,
+                      sched::SubmitOptions{a.klass, a.deadline_ms});
+    switch (ticket.status) {
+      case SubmitStatus::kAccepted:
+        inflight.emplace_back(i, std::move(ticket.result));
+        break;
+      case SubmitStatus::kShed:
+        report.outcomes[i] = RequestOutcome::kShed;
+        ++report.shed;
+        break;
+      case SubmitStatus::kRejected:
+        report.outcomes[i] = RequestOutcome::kRejected;
+        ++report.rejected;
+        break;
+      case SubmitStatus::kClosed:
+        throw std::runtime_error("run_open_loop: server shut down mid-load");
+    }
+  }
+  for (auto& [i, future] : inflight) {
+    InferResult result = future.get();
+    report.latency_seconds[i] = result.total_seconds;
+    if (!result.ok()) {
+      report.outcomes[i] = RequestOutcome::kExpired;
+      ++report.expired;
+      continue;
+    }
+    report.outcomes[i] = RequestOutcome::kCompleted;
+    ++report.completed;
+    report.outputs[i] = result.output_tensor();
+    const double deadline_ms = report.schedule[i].deadline_ms;
+    report.deadline_met[i] =
+        deadline_ms <= 0.0 || result.total_seconds * 1e3 <= deadline_ms;
+  }
+  report.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
   return report;
 }
 

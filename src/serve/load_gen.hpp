@@ -1,17 +1,27 @@
-// LoadGen: deterministic closed-loop load generator for the serving layer.
+// LoadGen: deterministic load generators for the serving layer.
 //
-// Drives an InferenceServer with a seeded request stream: request i's input
-// is inputs[index_i] where the index sequence is a pure function of the
-// seed, and at most `concurrency` requests are outstanding at any moment
-// (each completion admits the next submission — the classic closed loop).
-// Rejected submissions retry after reaping the oldest outstanding request,
-// so a capacity smaller than the concurrency degrades throughput instead of
-// dropping work. Because the request stream is seed-deterministic, requests
-// are submitted under their stream index as the request id, and the
-// server's per-request outputs are batching-invariant (including physical-
-// backend noise, which seeds from the request id), the collected outputs
-// are bit-identical across replica counts and batching policies — which is
-// exactly what the determinism tests and the serve_throughput bench check.
+// Two drive modes share one seeding discipline (every stochastic choice is a
+// pure function of the seed, never of completion timing):
+//
+// Closed loop (run_closed_loop): at most `concurrency` requests outstanding;
+// each completion admits the next submission. Rejected submissions retry
+// after reaping the oldest outstanding request, so a capacity smaller than
+// the concurrency degrades throughput instead of dropping work. Because
+// request i's input index — and, when a class mix is configured, its
+// priority class — come from seeded streams, and the server's per-request
+// outputs are batching-invariant (physical-backend noise seeds from the
+// request id), the collected outputs are bit-identical across replica
+// counts and batching policies.
+//
+// Open loop (run_open_loop): offered load is fixed up front as an arrival
+// SCHEDULE — make_arrival_schedule() is a pure function of the options — and
+// requests are submitted at their scheduled times whether or not earlier
+// ones completed. This is the mode that can actually overload a server:
+// rejections and sheds are recorded as outcomes, never retried, which is
+// what the SLO bench needs to measure shed ordering and deadline hit-rates
+// under saturation. Interarrivals are exponential (Poisson process) under
+// kPoisson, with kBurst/kDiurnal modulating the instantaneous rate
+// deterministically; kConstant spaces arrivals evenly.
 #pragma once
 
 #include <cstddef>
@@ -22,12 +32,26 @@
 
 namespace lightator::serve {
 
+/// One component of a mixed-priority request stream: `share` of requests
+/// (normalized over the mix) carry `klass`, each with `deadline_ms` from
+/// submission (0 = no deadline).
+struct ClassMix {
+  sched::RequestClass klass = sched::RequestClass::kStandard;
+  double share = 1.0;
+  double deadline_ms = 0.0;
+};
+
 struct LoadGenOptions {
   std::size_t requests = 64;
   /// Outstanding-request window (closed loop).
   std::size_t concurrency = 8;
   /// Seeds the input-selection sequence.
   std::uint64_t seed = 1;
+  /// Optional priority-class mix. Empty (default) submits every request as
+  /// plain kStandard with no deadline — byte-identical to the pre-scheduler
+  /// closed loop. The class stream draws from a second Rng (seed ^ salt) so
+  /// configuring a mix never perturbs the input-index sequence.
+  std::vector<ClassMix> classes;
 };
 
 struct LoadGenReport {
@@ -35,6 +59,8 @@ struct LoadGenReport {
   std::vector<tensor::Tensor> outputs;   // request i -> its [1, ...] output
   std::vector<std::size_t> batch_sizes;  // request i -> batch it rode in
   std::uint64_t reject_retries = 0;      // backpressure events absorbed
+  std::uint64_t shed = 0;     // admission-control drops (not retried)
+  std::uint64_t expired = 0;  // completed with kDeadlineExceeded
   double wall_seconds = 0.0;
   double requests_per_second = 0.0;
 };
@@ -42,8 +68,75 @@ struct LoadGenReport {
 /// Runs the closed loop to completion. `inputs` are single frames
 /// ([C, H, W] or [1, C, H, W]); mixed geometries are fine — the server
 /// buckets them. Propagates the first request failure as an exception.
+/// Shed or deadline-expired requests (only possible when the server's
+/// SchedOptions are non-default) leave outputs[i] empty / batch_sizes[i]=0.
 LoadGenReport run_closed_loop(InferenceServer& server,
                               const std::vector<tensor::Tensor>& inputs,
                               const LoadGenOptions& options = {});
+
+/// Offered-load shape for the open loop.
+enum class TrafficShape {
+  kConstant,  // evenly spaced arrivals at rate_rps
+  kPoisson,   // exponential interarrivals at rate_rps
+  kBurst,     // Poisson, rate * burst_factor during periodic burst windows
+  kDiurnal,   // Poisson, rate * (1 + amplitude * sin(2*pi*t / period))
+};
+
+struct OpenLoopOptions {
+  std::size_t requests = 256;
+  /// Mean offered rate, requests per second.
+  double rate_rps = 1000.0;
+  std::uint64_t seed = 1;
+  TrafficShape shape = TrafficShape::kPoisson;
+  /// kBurst: every burst_period_seconds, the first burst_duty fraction of
+  /// the period runs at rate_rps * burst_factor (the rest at rate_rps).
+  double burst_factor = 4.0;
+  double burst_period_seconds = 0.05;
+  double burst_duty = 0.25;
+  /// kDiurnal: sinusoidal rate modulation.
+  double diurnal_amplitude = 0.8;
+  double diurnal_period_seconds = 0.2;
+  /// Priority-class mix; empty = all kStandard, no deadlines.
+  std::vector<ClassMix> classes;
+};
+
+/// Per-request terminal outcome in the open loop.
+enum class RequestOutcome : std::uint8_t {
+  kCompleted = 0,  // served, output captured
+  kShed = 1,       // dropped by admission control at submit
+  kRejected = 2,   // queue full at submit
+  kExpired = 3,    // admitted, then completed as deadline_exceeded
+};
+
+/// The precomputed offered stream: request i arrives at `at_seconds` from
+/// t=0 carrying `klass`/`deadline_ms` and input `input_index`.
+struct Arrival {
+  double at_seconds = 0.0;
+  std::size_t input_index = 0;
+  sched::RequestClass klass = sched::RequestClass::kStandard;
+  double deadline_ms = 0.0;
+};
+
+/// Pure function of (options, num_inputs): same options, same schedule —
+/// the open loop's determinism anchor, and independently testable.
+std::vector<Arrival> make_arrival_schedule(const OpenLoopOptions& options,
+                                           std::size_t num_inputs);
+
+struct OpenLoopReport {
+  std::vector<Arrival> schedule;           // as offered
+  std::vector<RequestOutcome> outcomes;    // request i -> terminal outcome
+  std::vector<tensor::Tensor> outputs;     // completed requests only
+  std::vector<double> latency_seconds;     // submit->complete; -1 otherwise
+  std::vector<bool> deadline_met;          // completed w/ deadline: on time?
+  std::uint64_t offered = 0, completed = 0, shed = 0, rejected = 0,
+                expired = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Replays the arrival schedule against `server`, submitting request i under
+/// id i at its scheduled time (never retrying — open loop measures loss).
+OpenLoopReport run_open_loop(InferenceServer& server,
+                             const std::vector<tensor::Tensor>& inputs,
+                             const OpenLoopOptions& options = {});
 
 }  // namespace lightator::serve

@@ -1,10 +1,12 @@
 #include "serve/registry.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
 #include "core/artifact/artifact.hpp"
+#include "obs/metrics.hpp"
 
 namespace lightator::serve {
 
@@ -44,7 +46,15 @@ void ModelRegistry::add(const std::string& name, const std::string& version,
                                   "immutable — publish a new version)");
     }
   }
-  entries_.push_back({name, version, std::move(model)});
+  Entry entry;
+  entry.name = name;
+  entry.version = version;
+  entry.bytes = model.resident_bytes();
+  entry.model = std::move(model);
+  entry.last_used = ++use_tick_;
+  entries_.push_back(std::move(entry));
+  enforce_budget_locked(/*keep=*/entries_.size() - 1);
+  publish_resident_locked();
 }
 
 core::CompiledModel ModelRegistry::load(const std::string& name,
@@ -81,6 +91,7 @@ core::CompiledModel ModelRegistry::get(const std::string& ref) const {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t i = find_locked(ref);
   if (i == static_cast<std::size_t>(-1)) throw_unknown_locked(ref);
+  entries_[i].last_used = ++use_tick_;  // LRU touch
   return entries_[i].model;
 }
 
@@ -100,7 +111,101 @@ void ModelRegistry::unload(const std::string& ref) {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t i = find_locked(ref);
   if (i == static_cast<std::size_t>(-1)) throw_unknown_locked(ref);
+  if (entries_[i].pins > 0) {
+    throw std::logic_error("ModelRegistry::unload: " + entries_[i].name + "@" +
+                           entries_[i].version +
+                           " has live routes (undeploy/swap first)");
+  }
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+  publish_resident_locked();
+}
+
+void ModelRegistry::set_byte_budget(std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  byte_budget_ = bytes;
+  enforce_budget_locked(/*keep=*/static_cast<std::size_t>(-1));
+  publish_resident_locked();
+}
+
+std::size_t ModelRegistry::byte_budget() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return byte_budget_;
+}
+
+std::size_t ModelRegistry::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_locked();
+}
+
+std::uint64_t ModelRegistry::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+void ModelRegistry::pin(const std::string& ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t i = find_locked(ref);
+  if (i == static_cast<std::size_t>(-1)) throw_unknown_locked(ref);
+  ++entries_[i].pins;
+  entries_[i].last_used = ++use_tick_;
+}
+
+void ModelRegistry::unpin(const std::string& ref) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t i = find_locked(ref);
+  if (i == static_cast<std::size_t>(-1)) throw_unknown_locked(ref);
+  if (entries_[i].pins == 0) {
+    throw std::logic_error("ModelRegistry::unpin: " + entries_[i].name + "@" +
+                           entries_[i].version + " is not pinned");
+  }
+  --entries_[i].pins;
+  // A version that just lost its last route becomes evictable; enforce now
+  // so an over-budget set shrinks at the swap/undeploy that made it legal.
+  enforce_budget_locked(/*keep=*/static_cast<std::size_t>(-1));
+  publish_resident_locked();
+}
+
+std::uint64_t ModelRegistry::pin_count(const std::string& ref) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t i = find_locked(ref);
+  if (i == static_cast<std::size_t>(-1)) throw_unknown_locked(ref);
+  return entries_[i].pins;
+}
+
+std::size_t ModelRegistry::resident_bytes_locked() const {
+  std::size_t total = 0;
+  for (const Entry& e : entries_) total += e.bytes;
+  return total;
+}
+
+void ModelRegistry::enforce_budget_locked(std::size_t keep) {
+  if (byte_budget_ == 0) return;
+  while (resident_bytes_locked() > byte_budget_) {
+    // Least-recently-used among the evictable: unpinned, and never the
+    // entry that triggered this enforcement (evicting the model being
+    // registered would turn add() into a silent no-op).
+    std::size_t victim = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (i == keep || entries_[i].pins > 0) continue;
+      if (victim == static_cast<std::size_t>(-1) ||
+          entries_[i].last_used < entries_[victim].last_used) {
+        victim = i;
+      }
+    }
+    if (victim == static_cast<std::size_t>(-1)) return;  // all pinned
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(victim));
+    if (keep != static_cast<std::size_t>(-1) && victim < keep) --keep;
+    ++evictions_;
+    obs::MetricsRegistry::global()
+        .counter("serve.registry.evictions")
+        .add(1);
+  }
+}
+
+void ModelRegistry::publish_resident_locked() const {
+  obs::MetricsRegistry::global()
+      .gauge("serve.registry.resident_bytes")
+      .set(static_cast<double>(resident_bytes_locked()));
 }
 
 std::vector<std::string> ModelRegistry::list() const {

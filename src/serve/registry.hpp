@@ -9,12 +9,23 @@
 // (load → core::load_artifact), which is what makes a registry process-
 // restart-cheap: a fleet node loads blobs instead of recompiling.
 //
+// Eviction & refcounting: set_byte_budget() bounds the resident set
+// (CompiledModel::resident_bytes summed over entries). When an add/load
+// pushes the registry over budget, the least-recently-used entries with a
+// ZERO pin count are evicted (dropped from the registry — a holder of the
+// handle keeps the model alive, the registry just forgets it). pin()/unpin()
+// are the router's live-route refcounts: a pinned entry is never evicted no
+// matter how stale, so the deployed set survives any budget. "Recently
+// used" advances on get()/pin(). The resident total is mirrored to the
+// process-wide "serve.registry.resident_bytes" gauge.
+//
 // Thread-safe: every method takes the registry mutex; the returned
 // CompiledModel handles are shared-immutable, so holding one outside the
 // lock is always safe (unload drops the registry's reference, never the
 // model — routes serving it keep it alive).
 #pragma once
 
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -64,19 +75,52 @@ class ModelRegistry {
 
   std::size_t size() const;
 
+  /// Byte budget for the resident set; 0 (default) = unlimited. Setting a
+  /// budget evicts immediately if the current set exceeds it (unpinned LRU
+  /// entries first; pinned entries never).
+  void set_byte_budget(std::size_t bytes);
+  std::size_t byte_budget() const;
+  /// Sum of CompiledModel::resident_bytes over the registered entries.
+  std::size_t resident_bytes() const;
+  /// Entries evicted by the byte budget since construction.
+  std::uint64_t evictions() const;
+
+  /// Live-route refcount on `ref` (resolved like get()): a pinned entry is
+  /// never evicted and cannot be unload()ed. The router pins the model a
+  /// route serves and unpins on swap/undeploy. Throws std::out_of_range for
+  /// an unknown ref.
+  void pin(const std::string& ref);
+  /// Reverses one pin(). Throws std::out_of_range for an unknown ref,
+  /// std::logic_error when the entry is not pinned.
+  void unpin(const std::string& ref);
+  /// Current pin count of `ref`. Throws std::out_of_range when unknown.
+  std::uint64_t pin_count(const std::string& ref) const;
+
  private:
   struct Entry {
     std::string name, version;
     core::CompiledModel model;
+    std::size_t bytes = 0;     // resident_bytes, cached at registration
+    std::uint64_t pins = 0;    // live-route refcount
+    std::uint64_t last_used = 0;  // LRU tick (get/pin advance it)
   };
 
   /// Index of `ref` in entries_, or npos. Bare names match the LAST entry
   /// with that name (latest registration wins). Caller holds mutex_.
   std::size_t find_locked(const std::string& ref) const;
   [[noreturn]] void throw_unknown_locked(const std::string& ref) const;
+  std::size_t resident_bytes_locked() const;
+  /// Evicts unpinned LRU entries until the budget holds (or only pinned /
+  /// the just-added entry at `keep` remain). Caller holds mutex_.
+  void enforce_budget_locked(std::size_t keep);
+  void publish_resident_locked() const;
 
   mutable std::mutex mutex_;
-  std::vector<Entry> entries_;  // registration order
+  /// mutable: get() is logically const but advances the LRU tick.
+  mutable std::vector<Entry> entries_;  // registration order
+  std::size_t byte_budget_ = 0;         // 0 = unlimited
+  mutable std::uint64_t use_tick_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace lightator::serve

@@ -74,6 +74,7 @@ void InferenceRouter::deploy(const std::string& name,
     it->second = std::make_shared<Route>(
         Route{std::move(server), version, std::move(options)});
   }
+  registry_.pin(name + "@" + version);  // live route: never evicted
 }
 
 void InferenceRouter::deploy_artifact(const std::string& name,
@@ -114,10 +115,14 @@ void InferenceRouter::swap(const std::string& name, const std::string& version,
     }
     old = std::exchange(it->second, fresh);
   }
+  registry_.pin(name + "@" + version);
   // Drain outside every lock: submits already routed to v2, and v1's queue
   // was only reachable under the shared lock we now exclude, so every
   // request it holds was accepted — shutdown() completes them all.
   old->server->shutdown();
+  // v1 stays registered (rollback stays cheap) but loses its route pin, so
+  // a byte-budgeted registry may now evict it.
+  registry_.unpin(name + "@" + old->version);
   obs::MetricsRegistry::global()
       .counter(fresh->options.metric_prefix + ".swaps")
       .add(1);
@@ -156,15 +161,41 @@ SubmitTicket InferenceRouter::submit(const std::string& name,
   return it->second->server->submit(std::move(input), request_id);
 }
 
+SubmitTicket InferenceRouter::submit(const std::string& name,
+                                     tensor::Tensor input,
+                                     sched::SubmitOptions opts) {
+  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  const auto it = routes_.find(name);
+  if (it == routes_.end()) {
+    lock.unlock();
+    route(name);  // throws
+  }
+  return it->second->server->submit(std::move(input), opts);
+}
+
+SubmitTicket InferenceRouter::submit(const std::string& name,
+                                     tensor::Tensor input,
+                                     std::uint64_t request_id,
+                                     sched::SubmitOptions opts) {
+  std::shared_lock<std::shared_mutex> lock(route_mutex_);
+  const auto it = routes_.find(name);
+  if (it == routes_.end()) {
+    lock.unlock();
+    route(name);  // throws
+  }
+  return it->second->server->submit(std::move(input), request_id, opts);
+}
+
 InferResult InferenceRouter::infer(const std::string& name,
                                    tensor::Tensor input) {
   SubmitTicket ticket = submit(name, std::move(input));
   if (ticket.status != SubmitStatus::kAccepted) {
+    const char* why = "server closed";
+    if (ticket.status == SubmitStatus::kRejected) why = "queue full";
+    if (ticket.status == SubmitStatus::kShed) why = "shed by admission control";
     throw std::runtime_error(
         "InferenceRouter::infer: request not accepted for \"" + name + "\" (" +
-        (ticket.status == SubmitStatus::kRejected ? "queue full"
-                                                  : "server closed") +
-        ")");
+        why + ")");
   }
   return ticket.result.get();
 }
@@ -183,18 +214,24 @@ void InferenceRouter::undeploy(const std::string& name) {
     routes_.erase(it);
   }
   old->server->shutdown();
+  // The version stays registered and addressable; it just loses its route
+  // pin and becomes evictable under a byte budget.
+  registry_.unpin(name + "@" + old->version);
 }
 
 void InferenceRouter::shutdown() {
-  std::vector<std::shared_ptr<Route>> drained;
+  std::vector<std::pair<std::string, std::shared_ptr<Route>>> drained;
   {
     std::lock_guard<std::mutex> admin(admin_mutex_);
     std::unique_lock<std::shared_mutex> lock(route_mutex_);
     drained.reserve(routes_.size());
-    for (auto& [name, r] : routes_) drained.push_back(std::move(r));
+    for (auto& [name, r] : routes_) drained.emplace_back(name, std::move(r));
     routes_.clear();
   }
-  for (auto& r : drained) r->server->shutdown();
+  for (auto& [name, r] : drained) {
+    r->server->shutdown();
+    registry_.unpin(name + "@" + r->version);
+  }
 }
 
 ServerStats InferenceRouter::stats(const std::string& name) const {

@@ -85,10 +85,18 @@ class InferenceRouter {
 
   /// Routes one frame to `name`'s server. Same contract as
   /// InferenceServer::submit (never blocks; kRejected = that model's queue
-  /// is full). Throws std::out_of_range for an unknown route.
+  /// is full, kShed = that model's admission control dropped it). Throws
+  /// std::out_of_range for an unknown route. The SubmitOptions overloads
+  /// carry the request's priority class + deadline into that model's
+  /// scheduler — per-model SLO policy composes per-route via
+  /// ServerOptions::sched at deploy/swap time.
   SubmitTicket submit(const std::string& name, tensor::Tensor input);
   SubmitTicket submit(const std::string& name, tensor::Tensor input,
                       std::uint64_t request_id);
+  SubmitTicket submit(const std::string& name, tensor::Tensor input,
+                      sched::SubmitOptions opts);
+  SubmitTicket submit(const std::string& name, tensor::Tensor input,
+                      std::uint64_t request_id, sched::SubmitOptions opts);
 
   /// Synchronous convenience: submit + wait (throws on reject/closed).
   InferResult infer(const std::string& name, tensor::Tensor input);
@@ -111,7 +119,10 @@ class InferenceRouter {
   std::size_t size() const;
 
   /// The name@version store behind the routes (old versions stay
-  /// addressable after a swap; unload is the caller's policy).
+  /// addressable after a swap; unload is the caller's policy). The router
+  /// pins the version each live route serves — registry().pin refcounts —
+  /// so a byte budget (ModelRegistry::set_byte_budget) can only evict
+  /// undeployed versions; swap/undeploy release the old version's pin.
   ModelRegistry& registry() { return registry_; }
   const ModelRegistry& registry() const { return registry_; }
 

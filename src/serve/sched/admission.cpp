@@ -1,0 +1,90 @@
+#include "serve/sched/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lightator::serve::sched {
+
+LoadEstimator::LoadEstimator(double alpha)
+    : alpha_(std::clamp(alpha, 0.01, 1.0)) {}
+
+void LoadEstimator::observe_batch(double queue_ms,
+                                  double service_ms_per_request) {
+  // The EWMAs are read lock-free on the submit path; updates happen once per
+  // batch on worker threads. A racy read-modify-write between two workers
+  // loses at most one batch's worth of smoothing — acceptable for a shed
+  // heuristic, and it keeps the batch-completion path lock-free too.
+  if (!seeded_.load(std::memory_order_acquire)) {
+    queue_ms_.store(queue_ms, std::memory_order_relaxed);
+    service_ms_.store(service_ms_per_request, std::memory_order_relaxed);
+    seeded_.store(true, std::memory_order_release);
+  } else {
+    const double q = queue_ms_.load(std::memory_order_relaxed);
+    const double s = service_ms_.load(std::memory_order_relaxed);
+    queue_ms_.store(q + alpha_ * (queue_ms - q), std::memory_order_relaxed);
+    service_ms_.store(s + alpha_ * (service_ms_per_request - s),
+                      std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  window_queue_ms_.add(queue_ms);
+}
+
+double LoadEstimator::queue_ms_ewma() const {
+  return queue_ms_.load(std::memory_order_relaxed);
+}
+
+double LoadEstimator::service_ms_ewma() const {
+  return service_ms_.load(std::memory_order_relaxed);
+}
+
+double LoadEstimator::expected_completion_ms(
+    std::size_t depth, std::size_t active_replicas) const {
+  if (!seeded_.load(std::memory_order_acquire)) return 0.0;
+  const double service = service_ms_.load(std::memory_order_relaxed);
+  const double replicas =
+      static_cast<double>(std::max<std::size_t>(active_replicas, 1));
+  return (static_cast<double>(depth) / replicas + 1.0) * service;
+}
+
+double LoadEstimator::window_queue_ms_quantile_and_reset(double q) {
+  std::lock_guard<std::mutex> lock(window_mutex_);
+  const double value =
+      window_queue_ms_.empty() ? 0.0 : window_queue_ms_.quantile(q);
+  window_queue_ms_ = util::StreamingQuantiles();
+  return value;
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options,
+                                         std::size_t queue_capacity)
+    : options_(options) {
+  const double cap = static_cast<double>(std::max<std::size_t>(
+      queue_capacity, 1));
+  for (std::size_t c = 0; c < kNumClasses; ++c) {
+    const double frac = std::clamp(options_.shed_depth[c], 0.0, 1.0);
+    // A threshold of 1.0 disables the depth gate for that class entirely —
+    // the queue's own capacity check produces the ordinary kRejected
+    // backpressure, exactly the pre-sched behavior. Lower thresholds floor
+    // at 1 so a class can still admit into an empty queue.
+    depth_limit_[c] = frac >= 1.0
+                          ? static_cast<std::size_t>(-1)
+                          : std::max<std::size_t>(
+                                static_cast<std::size_t>(frac * cap), 1);
+  }
+}
+
+bool AdmissionController::admit(RequestClass klass, double deadline_ms,
+                                std::size_t depth,
+                                const LoadEstimator& estimator,
+                                std::size_t active_replicas) const {
+  if (!options_.enabled) return true;
+  if (depth >= depth_limit_[class_index(klass)]) return false;
+  if (options_.deadline_gate && deadline_ms > 0.0) {
+    const double expected =
+        estimator.expected_completion_ms(depth, active_replicas) *
+        options_.deadline_headroom;
+    if (expected > deadline_ms) return false;
+  }
+  return true;
+}
+
+}  // namespace lightator::serve::sched

@@ -1,0 +1,110 @@
+// Per-class admission control: shed low-priority traffic before the queue
+// fills, and fail deadline-carrying requests fast when they cannot finish
+// in time anyway.
+//
+// Two gates, both evaluated at submit() before the request touches the
+// queue:
+//
+//   * depth gate — each class owns a shed threshold expressed as a fraction
+//     of queue capacity. A best-effort request is turned away once the queue
+//     is half full (default 0.5 under an SLO config) while critical rides to
+//     1.0 (i.e. only ordinary queue-full backpressure). Because thresholds
+//     are ordered best_effort <= standard <= critical, overload sheds
+//     strictly in class order: best-effort first, critical last.
+//
+//   * deadline gate — a request that carries a deadline is shed immediately
+//     when the expected completion time (queue depth x EWMA service time per
+//     request / active replicas, plus one service time) already exceeds the
+//     deadline. Failing fast at admission beats queueing work that can only
+//     expire: the client learns NOW, and the queue slot goes to a request
+//     that can still make its SLO.
+//
+// The LoadEstimator feeding the gates is the same signal surface the
+// serve.queue_ms / serve.latency_ms histograms export: per-request queue
+// wait and per-request service time folded in at every batch completion
+// (EWMA for the gates, a windowed quantile sketch for the autoscaler's
+// percentile trigger).
+//
+// Defaults are deliberately inert: shed thresholds of 1.0 and no deadlines
+// mean an unconfigured server behaves exactly like the pre-sched one
+// (reject only when full). SLO configs lower the thresholds per class.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+
+#include "serve/sched/policy.hpp"
+#include "util/streaming_quantiles.hpp"
+
+namespace lightator::serve::sched {
+
+struct AdmissionOptions {
+  bool enabled = true;
+  /// Per-class queue-depth shed thresholds as fractions of queue capacity:
+  /// a class-c request is shed when depth >= shed_depth[c] * capacity.
+  /// 1.0 = never shed on depth (queue-full rejection still applies). Must be
+  /// non-decreasing in class order for "shed best-effort first" to hold.
+  std::array<double, kNumClasses> shed_depth = {1.0, 1.0, 1.0};
+  /// Shed a deadline-carrying request when the estimated completion time
+  /// exceeds its deadline (no-op for requests without deadlines).
+  bool deadline_gate = true;
+  /// Safety factor on the completion estimate before comparing against the
+  /// deadline (> 1 sheds earlier, < 1 later).
+  double deadline_headroom = 1.0;
+};
+
+/// EWMA + windowed-quantile view of serving load, folded in per completed
+/// batch. Thread-safe; the admission fast path reads two relaxed atomics.
+class LoadEstimator {
+ public:
+  explicit LoadEstimator(double alpha = 0.2);
+
+  /// Folds one completed batch: mean queue wait of its requests and the
+  /// batch's per-request service time (execution wall / batch size).
+  void observe_batch(double queue_ms, double service_ms_per_request);
+
+  double queue_ms_ewma() const;
+  double service_ms_ewma() const;
+
+  /// Expected completion time for a request admitted at `depth` with
+  /// `active_replicas` draining the queue: everything ahead of it must be
+  /// served, then itself. A cold estimator (no batches yet) returns 0 —
+  /// admission never sheds on a guess.
+  double expected_completion_ms(std::size_t depth,
+                                std::size_t active_replicas) const;
+
+  /// Queue-wait percentile over the current window (the autoscaler's
+  /// trigger signal), then resets the window. Returns 0 on an empty window.
+  double window_queue_ms_quantile_and_reset(double q);
+
+ private:
+  double alpha_;
+  std::atomic<double> queue_ms_{0.0};
+  std::atomic<double> service_ms_{0.0};
+  std::atomic<bool> seeded_{false};
+
+  std::mutex window_mutex_;
+  util::StreamingQuantiles window_queue_ms_;  // guarded by window_mutex_
+};
+
+/// Stateless admission decision over (options, estimator, queue state).
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionOptions options, std::size_t queue_capacity);
+
+  /// True = admit, false = shed. `deadline_ms` <= 0 means no deadline.
+  /// Allocation-free: the steady-state submit path must stay zero-alloc.
+  bool admit(RequestClass klass, double deadline_ms, std::size_t depth,
+             const LoadEstimator& estimator,
+             std::size_t active_replicas) const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  AdmissionOptions options_;
+  std::array<std::size_t, kNumClasses> depth_limit_{};
+};
+
+}  // namespace lightator::serve::sched

@@ -1,0 +1,45 @@
+#include "serve/sched/autoscaler.hpp"
+
+#include <algorithm>
+
+namespace lightator::serve::sched {
+
+ReplicaAutoscaler::ReplicaAutoscaler(AutoscalerOptions options,
+                                     std::size_t initial)
+    : options_(options) {
+  options_.min_replicas = std::max<std::size_t>(options_.min_replicas, 1);
+  options_.max_replicas =
+      std::max(options_.max_replicas, options_.min_replicas);
+  options_.up_ticks = std::max<std::size_t>(options_.up_ticks, 1);
+  options_.down_ticks = std::max<std::size_t>(options_.down_ticks, 1);
+  current_ = std::clamp(initial, options_.min_replicas, options_.max_replicas);
+}
+
+std::size_t ReplicaAutoscaler::decide(double queue_ms_percentile) {
+  if (queue_ms_percentile > options_.scale_up_queue_ms) {
+    ++above_;
+    below_ = 0;
+  } else if (queue_ms_percentile < options_.scale_down_queue_ms) {
+    ++below_;
+    above_ = 0;
+  } else {
+    // Dead band: reset both streaks — a decision requires the signal to
+    // hold CONSECUTIVELY, which is what keeps an oscillating load from
+    // flapping the replica count.
+    above_ = 0;
+    below_ = 0;
+  }
+  if (above_ >= options_.up_ticks && current_ < options_.max_replicas) {
+    ++current_;
+    ++scale_ups_;
+    above_ = 0;
+  } else if (below_ >= options_.down_ticks &&
+             current_ > options_.min_replicas) {
+    --current_;
+    ++scale_downs_;
+    below_ = 0;
+  }
+  return current_;
+}
+
+}  // namespace lightator::serve::sched

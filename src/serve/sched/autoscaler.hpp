@@ -1,0 +1,71 @@
+// ReplicaAutoscaler: queue-wait-percentile-driven replica sizing with
+// hysteresis.
+//
+// The decision kernel is deliberately tiny and pure: each control tick
+// feeds it the queue-wait percentile observed over the last window (the
+// LoadEstimator's windowed serve.queue_ms view) and it returns the desired
+// active replica count. Scale-up fires only after `up_ticks` consecutive
+// windows above the high-water mark, scale-down after `down_ticks`
+// consecutive windows below the low-water mark — asymmetric hysteresis, so
+// a single burst scales up quickly while a lull must persist before
+// capacity is released, and oscillating load between the two marks changes
+// nothing (the no-flapping property the tests assert by replaying an
+// oscillating signal). Being a pure function of the observation sequence,
+// the kernel is deterministic by construction — no wall clock, no RNG.
+//
+// The server side keeps a WARM pool: all max_replicas replicas (contexts,
+// thread pools, scratch arenas) are constructed at startup and their worker
+// threads parked; scaling up just raises the active count and wakes parked
+// workers — no compile, no allocation, nothing on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lightator::serve::sched {
+
+struct AutoscalerOptions {
+  /// Off by default: an unconfigured server keeps its fixed replica count.
+  bool enabled = false;
+  std::size_t min_replicas = 1;
+  /// Warm-pool size; 0 = ServerOptions::replicas.
+  std::size_t max_replicas = 0;
+  /// Queue-wait percentile the decision reads (0.95 = p95).
+  double percentile = 0.95;
+  /// Scale up after `up_ticks` consecutive windows with the percentile
+  /// above this mark (ms).
+  double scale_up_queue_ms = 5.0;
+  /// Scale down after `down_ticks` consecutive windows below this mark (ms).
+  /// Must sit well under scale_up_queue_ms — the dead band between the two
+  /// is what absorbs oscillation.
+  double scale_down_queue_ms = 0.5;
+  /// Control-loop tick interval (the server's decision thread).
+  double interval_ms = 20.0;
+  std::size_t up_ticks = 2;
+  std::size_t down_ticks = 5;
+};
+
+class ReplicaAutoscaler {
+ public:
+  /// `initial` is clamped into [min_replicas, max_replicas].
+  ReplicaAutoscaler(AutoscalerOptions options, std::size_t initial);
+
+  /// One control tick. Pure hysteresis kernel: the returned count is a
+  /// function of the observation sequence fed so far. Allocation-free.
+  std::size_t decide(double queue_ms_percentile);
+
+  std::size_t current() const { return current_; }
+  std::uint64_t scale_ups() const { return scale_ups_; }
+  std::uint64_t scale_downs() const { return scale_downs_; }
+  const AutoscalerOptions& options() const { return options_; }
+
+ private:
+  AutoscalerOptions options_;
+  std::size_t current_;
+  std::size_t above_ = 0;  // consecutive ticks above the up mark
+  std::size_t below_ = 0;  // consecutive ticks below the down mark
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+};
+
+}  // namespace lightator::serve::sched

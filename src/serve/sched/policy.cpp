@@ -1,0 +1,22 @@
+#include "serve/sched/policy.hpp"
+
+namespace lightator::serve::sched {
+
+const char* class_name(RequestClass klass) {
+  switch (klass) {
+    case RequestClass::kBestEffort:
+      return "best_effort";
+    case RequestClass::kStandard:
+      return "standard";
+    case RequestClass::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+const SchedClock& system_clock() {
+  static const SchedClock clock;
+  return clock;
+}
+
+}  // namespace lightator::serve::sched

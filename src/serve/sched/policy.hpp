@@ -1,0 +1,119 @@
+// Scheduling policy vocabulary for SLO-driven serving.
+//
+// Requests carry a priority class and an optional deadline. The BatchQueue
+// orders dispatch by (class, earliest deadline, arrival) instead of pure
+// FIFO, the admission controller sheds lower classes first under overload,
+// and the autoscaler sizes the replica set off queue-wait percentiles. This
+// header owns the shared vocabulary: RequestClass, per-class policy knobs,
+// the SubmitOptions callers attach to a request, and the SchedClock hook
+// that makes every scheduling decision a pure function of (arrival order,
+// clock) — tests inject a ManualClock and replay scenarios deterministically.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace lightator::serve::sched {
+
+/// Priority classes, lowest to highest. The numeric order is load-shedding
+/// order: under overload best-effort is shed first, critical last.
+enum class RequestClass : std::uint8_t {
+  kBestEffort = 0,
+  kStandard = 1,
+  kCritical = 2,
+};
+
+inline constexpr std::size_t kNumClasses = 3;
+
+/// Stable lowercase name ("best_effort", "standard", "critical") — used for
+/// metric names (serve.shed.<class>) and JSON keys.
+const char* class_name(RequestClass klass);
+
+inline std::size_t class_index(RequestClass klass) {
+  return static_cast<std::size_t>(klass);
+}
+
+/// Virtual time source for the scheduler. Every deadline comparison and
+/// coalescing-window decision in BatchQueue reads this clock, so a test can
+/// install a ManualClock and step time explicitly: expiry and EDF ordering
+/// become a pure function of (pushed requests, clock value) with no real
+/// sleeps. Production uses the steady_clock-backed default.
+class SchedClock {
+ public:
+  virtual ~SchedClock() = default;
+  virtual std::chrono::steady_clock::time_point now() const {
+    return std::chrono::steady_clock::now();
+  }
+};
+
+/// The process-wide default (steady_clock) instance.
+const SchedClock& system_clock();
+
+/// Test clock: time only moves when the test says so. Thread-safe.
+class ManualClock : public SchedClock {
+ public:
+  ManualClock() : ns_(0) {}
+  std::chrono::steady_clock::time_point now() const override {
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(ns_.load(std::memory_order_acquire)));
+  }
+  void advance_us(std::int64_t us) {
+    ns_.fetch_add(us * 1000, std::memory_order_acq_rel);
+  }
+  void set_us(std::int64_t us) {
+    ns_.store(us * 1000, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::int64_t> ns_;
+};
+
+/// Per-class scheduling knobs. A class inherits the queue-wide defaults for
+/// any field left at its sentinel.
+struct ClassPolicy {
+  /// Coalescing window for a head-of-line request of this class; < 0
+  /// inherits SchedPolicy::base_max_wait_us. Critical traffic typically runs
+  /// a shorter window than best-effort: it trades batch size for latency.
+  double max_wait_us = -1.0;
+  /// Deadline attached to requests of this class that submit without an
+  /// explicit one, in milliseconds after admission. 0 = no deadline (the
+  /// request can never expire).
+  double default_deadline_ms = 0.0;
+};
+
+/// Queue-level scheduling policy: the dynamic-batcher knobs (max_batch /
+/// base coalescing window — the former BatchPolicy) plus per-class
+/// overrides. Dispatch order is (class desc, deadline asc, arrival asc);
+/// with no classes and no deadlines this degenerates to exactly the old
+/// FIFO bucket behavior.
+struct SchedPolicy {
+  /// Dispatch a geometry bucket as soon as it holds this many requests.
+  std::size_t max_batch = 16;
+  /// Default coalescing window (µs) when the head request's class has no
+  /// override. 0 = never coalesce-wait.
+  double base_max_wait_us = 200.0;
+  std::array<ClassPolicy, kNumClasses> classes{};
+
+  double max_wait_us(RequestClass klass) const {
+    const double w = classes[class_index(klass)].max_wait_us;
+    return w < 0.0 ? base_max_wait_us : w;
+  }
+  double default_deadline_ms(RequestClass klass) const {
+    return classes[class_index(klass)].default_deadline_ms;
+  }
+};
+
+/// Per-request scheduling options attached at submit().
+struct SubmitOptions {
+  RequestClass klass = RequestClass::kStandard;
+  /// Deadline in milliseconds after admission; 0 inherits the class default
+  /// (which itself defaults to "no deadline"). A request still queued when
+  /// its deadline passes is completed with InferStatus::kDeadlineExceeded
+  /// instead of occupying a batch slot.
+  double deadline_ms = 0.0;
+};
+
+}  // namespace lightator::serve::sched

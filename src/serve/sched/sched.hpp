@@ -1,0 +1,25 @@
+// Umbrella header for the scheduling subsystem: priority classes + EDF
+// dispatch policy, per-class admission control, and the replica autoscaler.
+// ServerOptions embeds a SchedOptions; an unconfigured one is inert (all
+// requests kStandard, no deadlines, no shedding beyond queue-full, fixed
+// replica count) so the scheduler composes invisibly with existing callers.
+#pragma once
+
+#include "serve/sched/admission.hpp"
+#include "serve/sched/autoscaler.hpp"
+#include "serve/sched/policy.hpp"
+
+namespace lightator::serve::sched {
+
+struct SchedOptions {
+  /// Per-class dispatch knobs folded into the queue's SchedPolicy (the
+  /// max_batch / base window half still comes from ServerOptions::batch).
+  std::array<ClassPolicy, kNumClasses> classes{};
+  AdmissionOptions admission;
+  AutoscalerOptions autoscale;
+  /// Test hook: virtual time source for every scheduler decision (expiry,
+  /// coalescing windows). nullptr = steady_clock. Must outlive the server.
+  const SchedClock* clock = nullptr;
+};
+
+}  // namespace lightator::serve::sched

@@ -34,10 +34,20 @@ struct InferenceServer::Telemetry {
         completed(registry.counter(prefix + ".completed")),
         failed(registry.counter(prefix + ".failed")),
         batches(registry.counter(prefix + ".batches")),
+        expired(registry.counter(prefix + ".sched.expired")),
+        scale_ups(registry.counter(prefix + ".sched.scale_ups")),
+        scale_downs(registry.counter(prefix + ".sched.scale_downs")),
         queue_depth(registry.gauge(prefix + ".queue_depth")),
+        replicas(registry.gauge(prefix + ".replicas")),
         latency_ms(registry.histogram(prefix + ".latency_ms")),
         queue_ms(registry.histogram(prefix + ".queue_ms")),
-        batch_size(registry.histogram(prefix + ".batch_size")) {}
+        batch_size(registry.histogram(prefix + ".batch_size")) {
+    for (std::size_t c = 0; c < sched::kNumClasses; ++c) {
+      shed[c] = &registry.counter(
+          prefix + ".shed." +
+          sched::class_name(static_cast<sched::RequestClass>(c)));
+    }
+  }
 
   obs::MetricsRegistry& registry;
   obs::Counter& submitted;
@@ -45,10 +55,15 @@ struct InferenceServer::Telemetry {
   obs::Counter& completed;
   obs::Counter& failed;
   obs::Counter& batches;
+  obs::Counter& expired;
+  obs::Counter& scale_ups;
+  obs::Counter& scale_downs;
   obs::Gauge& queue_depth;
+  obs::Gauge& replicas;
   obs::Histogram& latency_ms;
   obs::Histogram& queue_ms;
   obs::Histogram& batch_size;
+  std::array<obs::Counter*, sched::kNumClasses> shed{};
 };
 
 /// One serving replica: a private pool and an ExecutionContext wired for
@@ -84,6 +99,27 @@ core::CompileOptions server_compile_options(const ServerOptions& options,
   return co;
 }
 
+/// The queue's dispatch policy: the BatchPolicy half (max_batch / base
+/// window) plus the per-class overrides from SchedOptions.
+sched::SchedPolicy queue_policy(const ServerOptions& options) {
+  sched::SchedPolicy sp;
+  sp.max_batch = options.batch.max_batch;
+  sp.base_max_wait_us = options.batch.max_wait_us;
+  sp.classes = options.sched.classes;
+  return sp;
+}
+
+/// Warm-pool size: room for the autoscaler's ceiling when it is enabled.
+std::size_t warm_pool_size(const ServerOptions& options) {
+  std::size_t n = std::max<std::size_t>(options.replicas, 1);
+  if (options.sched.autoscale.enabled) {
+    const auto& as = options.sched.autoscale;
+    n = std::max(n, as.max_replicas);
+    n = std::max(n, std::max<std::size_t>(as.min_replicas, 1));
+  }
+  return n;
+}
+
 }  // namespace
 
 InferenceServer::InferenceServer(const core::LightatorSystem& system,
@@ -93,7 +129,9 @@ InferenceServer::InferenceServer(const core::LightatorSystem& system,
     : options_(options),
       compiled_(system.compile(
           model, server_compile_options(options, std::move(schedule)))),
-      queue_(options.queue_capacity, options.batch) {
+      admission_(options_.sched.admission, options_.queue_capacity),
+      queue_(options_.queue_capacity, queue_policy(options_),
+             options_.sched.clock) {
   start_replicas();
 }
 
@@ -101,7 +139,9 @@ InferenceServer::InferenceServer(core::CompiledModel compiled,
                                  ServerOptions options)
     : options_(std::move(options)),
       compiled_(std::move(compiled)),
-      queue_(options_.queue_capacity, options_.batch) {
+      admission_(options_.sched.admission, options_.queue_capacity),
+      queue_(options_.queue_capacity, queue_policy(options_),
+             options_.sched.clock) {
   if (!compiled_.valid()) {
     throw std::invalid_argument(
         "InferenceServer: compiled model handle is invalid");
@@ -114,38 +154,104 @@ void InferenceServer::start_replicas() {
   telemetry_ = std::make_unique<Telemetry>(options_.metric_prefix.empty()
                                                ? std::string("serve")
                                                : options_.metric_prefix);
-  const std::size_t n = std::max<std::size_t>(options_.replicas, 1);
+  const std::size_t n = warm_pool_size(options_);
+  std::size_t active = std::max<std::size_t>(options_.replicas, 1);
+  if (options_.sched.autoscale.enabled) {
+    autoscaler_ = std::make_unique<sched::ReplicaAutoscaler>(
+        options_.sched.autoscale, active);
+    active = autoscaler_->current();
+  }
+  active_replicas_.store(std::min(active, n), std::memory_order_release);
+  telemetry_->replicas.set(static_cast<double>(active_replicas_.load()));
   replicas_.reserve(n);
   workers_.reserve(n);
+  // The WHOLE pool is built warm up front — contexts, thread pools, scratch
+  // arenas. Scaling later only moves active_replicas_; it never constructs
+  // anything, which is what keeps scale-up off the allocator entirely.
   for (std::size_t i = 0; i < n; ++i) {
     replicas_.push_back(std::make_unique<Replica>(i, options_));
   }
   for (std::size_t i = 0; i < n; ++i) {
     workers_.emplace_back([this, i] { worker_loop(*replicas_[i]); });
   }
+  if (autoscaler_) {
+    control_ = std::thread([this] { control_loop(); });
+  }
 }
 
 InferenceServer::~InferenceServer() { shutdown(); }
 
 void InferenceServer::shutdown() {
+  stopping_.store(true, std::memory_order_release);
+  scale_cv_.notify_all();
   queue_.close();
   // Serialize racing shutdown() callers (including the destructor): exactly
   // one of them joins the workers.
   std::lock_guard<std::mutex> lock(shutdown_mutex_);
   if (joined_) return;
   joined_ = true;
+  if (control_.joinable()) control_.join();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
 }
 
+void InferenceServer::set_active_replicas(std::size_t n) {
+  n = std::clamp<std::size_t>(n, 1, replicas_.size());
+  std::size_t prev;
+  {
+    std::lock_guard<std::mutex> lock(scale_mutex_);
+    prev = active_replicas_.load(std::memory_order_relaxed);
+    if (n == prev) return;
+    active_replicas_.store(n, std::memory_order_release);
+  }
+  scale_cv_.notify_all();
+  telemetry_->replicas.set(static_cast<double>(n));
+  if (n > prev) {
+    telemetry_->scale_ups.add(1);
+  } else {
+    telemetry_->scale_downs.add(1);
+  }
+}
+
+void InferenceServer::control_loop() {
+  const auto& as = options_.sched.autoscale;
+  const auto interval = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::milli>(
+          std::max(as.interval_ms, 1.0)));
+  std::unique_lock<std::mutex> lock(scale_mutex_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    scale_cv_.wait_for(lock, interval);
+    if (stopping_.load(std::memory_order_acquire)) break;
+    lock.unlock();
+    const double signal =
+        estimator_.window_queue_ms_quantile_and_reset(as.percentile);
+    set_active_replicas(autoscaler_->decide(signal));
+    lock.lock();
+  }
+}
+
 SubmitTicket InferenceServer::submit(tensor::Tensor input) {
   return submit(std::move(input),
-                next_request_id_.fetch_add(1, std::memory_order_relaxed));
+                next_request_id_.fetch_add(1, std::memory_order_relaxed),
+                sched::SubmitOptions{});
 }
 
 SubmitTicket InferenceServer::submit(tensor::Tensor input,
                                      std::uint64_t request_id) {
+  return submit(std::move(input), request_id, sched::SubmitOptions{});
+}
+
+SubmitTicket InferenceServer::submit(tensor::Tensor input,
+                                     sched::SubmitOptions opts) {
+  return submit(std::move(input),
+                next_request_id_.fetch_add(1, std::memory_order_relaxed),
+                opts);
+}
+
+SubmitTicket InferenceServer::submit(tensor::Tensor input,
+                                     std::uint64_t request_id,
+                                     sched::SubmitOptions opts) {
   LIGHTATOR_TRACE_SPAN_REQ("submit", "serve", request_id);
   if (input.rank() == 3) {
     input.reshape({1, input.dim(0), input.dim(1), input.dim(2)});
@@ -154,11 +260,26 @@ SubmitTicket InferenceServer::submit(tensor::Tensor input,
     throw std::invalid_argument(
         "InferenceServer::submit expects one frame, [C,H,W] or [1,C,H,W]");
   }
+  const std::size_t klass_idx = sched::class_index(opts.klass);
   PendingRequest req;
   req.key = GeometryKey{input.dim(1), input.dim(2), input.dim(3)};
   req.input = std::move(input);
   req.request_id = request_id;
-  req.enqueued = Clock::now();
+  req.klass = opts.klass;
+  // All scheduling time stamps read the QUEUE's clock, so deadlines,
+  // expiry, and coalescing windows live on one timeline — the injectable
+  // one in tests.
+  req.enqueued = queue_.clock().now();
+  const double deadline_ms =
+      opts.deadline_ms > 0.0
+          ? opts.deadline_ms
+          : queue_policy(options_).default_deadline_ms(opts.klass);
+  if (deadline_ms > 0.0) {
+    req.deadline =
+        req.enqueued +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double, std::milli>(deadline_ms));
+  }
 
   // Count the submission (and pin first_submit_) before the request becomes
   // visible to workers, so stats() can never observe a completion that
@@ -166,19 +287,49 @@ SubmitTicket InferenceServer::submit(tensor::Tensor input,
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.submitted;
+    ++stats_.by_class[klass_idx].submitted;
     if (!any_submit_) {
       any_submit_ = true;
       first_submit_ = req.enqueued;
     }
   }
   telemetry_->submitted.add(1);
+
   SubmitTicket ticket;
+  // Per-class admission: shed BEFORE the queue sees the request. Decided
+  // from the current depth and the expected-completion estimate — under
+  // overload this is what turns best-effort away while critical still
+  // rides, and what fail-fasts a deadline that cannot be met anyway.
+  if (!admission_.admit(opts.klass, deadline_ms, queue_.depth(), estimator_,
+                        active_replicas())) {
+    ticket.status = SubmitStatus::kShed;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.shed;
+      ++stats_.by_class[klass_idx].shed;
+    }
+    telemetry_->shed[klass_idx]->add(1);
+#if !defined(LIGHTATOR_DISABLE_TRACING)
+    {
+      obs::TraceRecorder& rec = obs::TraceRecorder::global();
+      if (rec.enabled()) {
+        rec.record("shed", "serve", rec.now_us(), 0, request_id, "class",
+                   sched::class_name(opts.klass));
+      }
+    }
+#endif
+    return ticket;
+  }
+
   ticket.result = req.promise.get_future();
   ticket.status = queue_.push(std::move(req));
   telemetry_->queue_depth.set(static_cast<double>(queue_.depth()));
   if (ticket.status != SubmitStatus::kAccepted) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
-    if (ticket.status == SubmitStatus::kRejected) ++stats_.rejected;
+    if (ticket.status == SubmitStatus::kRejected) {
+      ++stats_.rejected;
+      ++stats_.by_class[klass_idx].rejected;
+    }
   }
   if (ticket.status == SubmitStatus::kRejected) telemetry_->rejected.add(1);
   if (ticket.status != SubmitStatus::kAccepted) {
@@ -192,10 +343,54 @@ InferResult InferenceServer::infer(tensor::Tensor input) {
   if (ticket.status == SubmitStatus::kRejected) {
     throw std::runtime_error("InferenceServer: queue full (backpressure)");
   }
+  if (ticket.status == SubmitStatus::kShed) {
+    throw std::runtime_error("InferenceServer: request shed (overload)");
+  }
   if (ticket.status == SubmitStatus::kClosed) {
     throw std::runtime_error("InferenceServer: server is shut down");
   }
   return ticket.result.get();
+}
+
+void InferenceServer::complete_expired(std::vector<PendingRequest>& expired) {
+  const Clock::time_point now = queue_.clock().now();
+#if !defined(LIGHTATOR_DISABLE_TRACING)
+  {
+    obs::TraceRecorder& rec = obs::TraceRecorder::global();
+    if (rec.enabled()) {
+      const std::int64_t now_us = rec.to_us(now);
+      for (const PendingRequest& req : expired) {
+        // Balance the request's async queue residency span, then mark the
+        // typed outcome — both attributed to the request id so a trace
+        // query can follow a shed/expired request end to end.
+        const std::int64_t enq_us = rec.to_us(req.enqueued);
+        rec.record_async("queue", "serve", enq_us, now_us - enq_us,
+                         req.request_id);
+        rec.record("deadline_exceeded", "serve", now_us, 0, req.request_id,
+                   "class", sched::class_name(req.klass));
+      }
+    }
+  }
+#endif
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    for (const PendingRequest& req : expired) {
+      ++stats_.expired;
+      ++stats_.by_class[sched::class_index(req.klass)].expired;
+    }
+    if (now > last_complete_) last_complete_ = now;
+  }
+  telemetry_->expired.add(expired.size());
+  for (PendingRequest& req : expired) {
+    InferResult result;
+    result.status = InferStatus::kDeadlineExceeded;
+    result.request_id = req.request_id;
+    result.klass = req.klass;
+    result.batch_size = 0;
+    result.queue_seconds = seconds_between(req.enqueued, now);
+    result.total_seconds = result.queue_seconds;
+    req.promise.set_value(std::move(result));
+  }
 }
 
 void InferenceServer::worker_loop(Replica& replica) {
@@ -208,9 +403,30 @@ void InferenceServer::worker_loop(Replica& replica) {
     replica.ctx.stats.clear();
   };
   for (;;) {
-    std::vector<PendingRequest> batch = queue_.pop_batch();
-    if (batch.empty()) return;  // closed and drained
-    const Clock::time_point dispatched = Clock::now();
+    // Autoscaler parking: a replica beyond the active count sleeps here
+    // until scaled back in (or shutdown). Scale-down is lazy — a worker
+    // already blocked in pop_batch finishes at most one more lease before
+    // it parks — which trades a bounded overshoot for a lock-free dispatch
+    // path.
+    {
+      std::unique_lock<std::mutex> lock(scale_mutex_);
+      scale_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) ||
+               replica.index <
+                   active_replicas_.load(std::memory_order_acquire);
+      });
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        replica.index >= active_replicas_.load(std::memory_order_acquire)) {
+      // Shutdown while parked: the active replicas drain the queue.
+      return;
+    }
+    BatchLease lease = queue_.pop_batch();
+    if (!lease.expired.empty()) complete_expired(lease.expired);
+    if (lease.done()) return;  // closed and drained
+    if (lease.batch.empty()) continue;
+    std::vector<PendingRequest>& batch = lease.batch;
+    const Clock::time_point dispatched = queue_.clock().now();
     bool recorded = false;
     try {
       // Run the batched forward straight off the queued frames (the gather
@@ -224,7 +440,7 @@ void InferenceServer::worker_loop(Replica& replica) {
         replica.ctx.noise_stream_ids[i] = batch[i].request_id;
       }
       core::BatchOutput out = compiled_.run(replica.frames, replica.ctx);
-      const Clock::time_point finished = Clock::now();
+      const Clock::time_point finished = queue_.clock().now();
 
 #if !defined(LIGHTATOR_DISABLE_TRACING)
       // The request-path spans: per-request queue residency (async —
@@ -265,6 +481,7 @@ void InferenceServer::worker_loop(Replica& replica) {
           result.request_id = batch[i].request_id;
           result.replica = replica.index;
           result.batch_size = batch.size();
+          result.klass = batch[i].klass;
           result.queue_seconds = seconds_between(batch[i].enqueued, dispatched);
           result.total_seconds = seconds_between(batch[i].enqueued, finished);
           batch[i].promise.set_value(std::move(result));
@@ -273,7 +490,8 @@ void InferenceServer::worker_loop(Replica& replica) {
     } catch (...) {
       const std::exception_ptr error = std::current_exception();
       if (!recorded) {
-        record_batch(batch, dispatched, Clock::now(), /*failed=*/true);
+        record_batch(batch, dispatched, queue_.clock().now(),
+                     /*failed=*/true);
       }
       fold_layer_stats();
       for (PendingRequest& req : batch) {
@@ -291,6 +509,7 @@ void InferenceServer::worker_loop(Replica& replica) {
 void InferenceServer::record_batch(const std::vector<PendingRequest>& batch,
                                    Clock::time_point dispatched,
                                    Clock::time_point finished, bool failed) {
+  double queue_ms_sum = 0.0;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.batches;
@@ -301,8 +520,23 @@ void InferenceServer::record_batch(const std::vector<PendingRequest>& batch,
     } else {
       stats_.completed += batch.size();
       for (const PendingRequest& req : batch) {
-        stats_.queue_seconds.add(seconds_between(req.enqueued, dispatched));
-        stats_.latency_seconds.add(seconds_between(req.enqueued, finished));
+        const double queue_s = seconds_between(req.enqueued, dispatched);
+        const double total_s = seconds_between(req.enqueued, finished);
+        queue_ms_sum += queue_s * 1e3;
+        stats_.queue_seconds.add(queue_s);
+        stats_.latency_seconds.add(total_s);
+        ClassStats& cs = stats_.by_class[sched::class_index(req.klass)];
+        ++cs.completed;
+        cs.latency_seconds.add(total_s);
+        if (req.has_deadline()) {
+          // A request that dispatched in time can still finish late (the
+          // batch itself takes time); both outcomes land in the hit-rate.
+          if (finished <= req.deadline) {
+            ++cs.deadline_met;
+          } else {
+            ++cs.deadline_missed;
+          }
+        }
       }
     }
     // Monotonic: workers race into this lock, and a batch that finished
@@ -327,6 +561,11 @@ void InferenceServer::record_batch(const std::vector<PendingRequest>& batch,
       telemetry_->latency_ms.observe(seconds_between(req.enqueued, finished) *
                                      1e3);
     }
+    // Feed the admission/autoscaler estimator: mean queue wait of this
+    // batch and its per-request service time.
+    const double n = static_cast<double>(batch.size());
+    estimator_.observe_batch(queue_ms_sum / n,
+                             seconds_between(dispatched, finished) * 1e3 / n);
   }
 }
 
@@ -334,7 +573,8 @@ ServerStats InferenceServer::stats() const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   ServerStats snapshot = stats_;
   snapshot.wall_seconds =
-      any_submit_ && (stats_.completed > 0 || stats_.failed > 0)
+      any_submit_ &&
+              (stats_.completed > 0 || stats_.failed > 0 || stats_.expired > 0)
           ? seconds_between(first_submit_, last_complete_)
           : 0.0;
   return snapshot;

@@ -11,6 +11,22 @@
 // CompiledModel::run, and complete the futures with zero-copy row views
 // into the ref-counted batch logits.
 //
+// SLO-driven serving (serve/sched/): requests carry a priority class and an
+// optional deadline (sched::SubmitOptions). Dispatch is priority + EDF
+// instead of FIFO, per-class admission control sheds best-effort before
+// standard before critical under overload (SubmitStatus::kShed — decided
+// BEFORE the request touches the queue, from queue depth and the
+// expected-completion estimate the batch-latency EWMAs feed), requests
+// whose deadline passes while queued complete with
+// InferStatus::kDeadlineExceeded instead of being silently served late, and
+// an optional sched::ReplicaAutoscaler moves the ACTIVE replica count
+// between min and max off queue-wait percentiles. The full max-replica set
+// is constructed warm at startup (contexts, pools, arenas) and surplus
+// workers park on a condition variable, so a scale-up never compiles or
+// allocates — it flips a counter and wakes threads. An unconfigured
+// SchedOptions is inert: all-standard, deadline-free traffic schedules
+// exactly like the historical FIFO server.
+//
 // Two properties make the batching safe to enable blindly:
 //   * determinism — replica contexts run with per_item_act_scale, so every
 //     request's output is bit-identical to its batch-of-1 serial result no
@@ -23,10 +39,12 @@
 //     off the queued frames (zero-copy gather), and each response is a row
 //     view into the shared batch output (zero-copy response path).
 // ServerStats (serve/stats.hpp) reports throughput, the batch-size
-// histogram, and streaming p50/p95/p99 latency.
+// histogram, per-class shed/expired/deadline-hit counters, and streaming
+// p50/p95/p99 latency.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -36,6 +54,7 @@
 #include "core/lightator.hpp"
 #include "nn/qat.hpp"
 #include "serve/batch_queue.hpp"
+#include "serve/sched/sched.hpp"
 #include "serve/stats.hpp"
 
 namespace lightator::serve {
@@ -65,6 +84,10 @@ struct ServerOptions {
   /// route its own "serve.<model>" namespace so dashboards separate tenants
   /// (obs::sanitize_metric_component keeps names registry-safe).
   std::string metric_prefix = "serve";
+  /// SLO scheduling: per-class dispatch windows/deadlines, admission
+  /// control, autoscaling, and the injectable scheduler clock. Defaults are
+  /// inert (see serve/sched/sched.hpp).
+  sched::SchedOptions sched;
 };
 
 /// submit() outcome: `result` is valid only when status == kAccepted.
@@ -93,15 +116,20 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Asynchronous submission of one frame, shape [C, H, W] or [1, C, H, W].
-  /// Never blocks: a full queue returns kRejected (backpressure). The
-  /// request id (auto-assigned in admission order) seeds the request's
-  /// physical-backend noise stream; callers that need noisy results to be
-  /// reproducible across submission orders pass their own stable id.
+  /// Never blocks: a full queue returns kRejected (backpressure), admission
+  /// control returns kShed (class policy). The request id (auto-assigned in
+  /// admission order) seeds the request's physical-backend noise stream;
+  /// callers that need noisy results to be reproducible across submission
+  /// orders pass their own stable id. The SubmitOptions overloads attach a
+  /// priority class and deadline (see serve/sched/policy.hpp).
   SubmitTicket submit(tensor::Tensor input);
   SubmitTicket submit(tensor::Tensor input, std::uint64_t request_id);
+  SubmitTicket submit(tensor::Tensor input, sched::SubmitOptions opts);
+  SubmitTicket submit(tensor::Tensor input, std::uint64_t request_id,
+                      sched::SubmitOptions opts);
 
   /// Synchronous convenience: submit + wait. Throws std::runtime_error when
-  /// the queue rejects or the server is shut down.
+  /// the queue rejects/sheds or the server is shut down.
   InferResult infer(tensor::Tensor input);
 
   /// Stops admission, drains queued requests, joins the replicas.
@@ -121,7 +149,18 @@ class InferenceServer {
   /// The one artifact every replica executes (introspection/test hook).
   const core::CompiledModel& compiled() const { return compiled_; }
 
+  /// Warm-pool size (constructed replicas; fixed for the server's life).
   std::size_t replica_count() const { return replicas_.size(); }
+  /// Replicas currently draining the queue (<= replica_count()); the
+  /// autoscaler moves this, or tests drive it directly.
+  std::size_t active_replicas() const {
+    return active_replicas_.load(std::memory_order_acquire);
+  }
+  /// Manually resizes the active set (clamped to [1, replica_count()]).
+  /// Never allocates or compiles: surplus workers park on a cv, a raise
+  /// wakes them. The autoscaler control loop calls this; tests may too.
+  void set_active_replicas(std::size_t n);
+
   std::size_t queue_depth() const { return queue_.depth(); }
   const ServerOptions& options() const { return options_; }
 
@@ -129,19 +168,30 @@ class InferenceServer {
   struct Replica;
   void start_replicas();
   void worker_loop(Replica& replica);
+  void control_loop();
   void record_batch(const std::vector<PendingRequest>& batch,
                     std::chrono::steady_clock::time_point dispatched,
                     std::chrono::steady_clock::time_point finished,
                     bool failed);
+  void complete_expired(std::vector<PendingRequest>& expired);
 
   ServerOptions options_;
   std::atomic<std::uint64_t> next_request_id_{0};
   core::CompiledModel compiled_;  // shared by every replica
+  sched::AdmissionController admission_;
+  sched::LoadEstimator estimator_;
   BatchQueue queue_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::thread> workers_;
+  std::thread control_;  // autoscaler tick loop (only when enabled)
   std::mutex shutdown_mutex_;
   bool joined_ = false;  // guarded by shutdown_mutex_
+
+  std::atomic<std::size_t> active_replicas_{1};
+  std::atomic<bool> stopping_{false};
+  std::mutex scale_mutex_;
+  std::condition_variable scale_cv_;
+  std::unique_ptr<sched::ReplicaAutoscaler> autoscaler_;
 
   mutable std::mutex stats_mutex_;
   ServerStats stats_;

@@ -6,6 +6,14 @@
 
 namespace lightator::serve {
 
+double ClassStats::deadline_hit_rate() const {
+  const std::uint64_t with_deadline = deadline_met + deadline_missed + expired;
+  return with_deadline > 0
+             ? static_cast<double>(deadline_met) /
+                   static_cast<double>(with_deadline)
+             : 1.0;
+}
+
 double ServerStats::mean_batch_size() const {
   return batches > 0
              ? static_cast<double>(completed) / static_cast<double>(batches)
@@ -21,8 +29,20 @@ double ServerStats::throughput_rps() const {
 std::string ServerStats::to_text() const {
   std::ostringstream out;
   out << "requests:   " << completed << " completed, " << rejected
-      << " rejected, " << failed << " failed (of " << submitted
-      << " submitted)\n";
+      << " rejected, " << shed << " shed, " << expired << " expired, "
+      << failed << " failed (of " << submitted << " submitted)\n";
+  for (std::size_t c = 0; c < sched::kNumClasses; ++c) {
+    const ClassStats& cs = by_class[c];
+    if (cs.submitted == 0) continue;
+    out << "  " << sched::class_name(static_cast<sched::RequestClass>(c))
+        << ": " << cs.completed << " completed, " << cs.shed << " shed, "
+        << cs.expired << " expired";
+    if (cs.deadline_met + cs.deadline_missed + cs.expired > 0) {
+      out << ", hit rate "
+          << util::format_fixed(cs.deadline_hit_rate() * 100.0, 1) << "%";
+    }
+    out << "\n";
+  }
   out << "batches:    " << batches << " (mean size "
       << util::format_fixed(mean_batch_size(), 2) << ")  hist:";
   for (const auto& [size, count] : batch_size_hist) {
@@ -49,7 +69,31 @@ std::string ServerStats::to_json(const std::string& indent) const {
   out << i1 << "\"submitted\": " << submitted << ",\n";
   out << i1 << "\"completed\": " << completed << ",\n";
   out << i1 << "\"rejected\": " << rejected << ",\n";
+  out << i1 << "\"shed\": " << shed << ",\n";
+  out << i1 << "\"expired\": " << expired << ",\n";
   out << i1 << "\"failed\": " << failed << ",\n";
+  out << i1 << "\"classes\": {";
+  {
+    bool cfirst = true;
+    for (std::size_t c = 0; c < sched::kNumClasses; ++c) {
+      const ClassStats& cs = by_class[c];
+      if (cs.submitted == 0) continue;
+      if (!cfirst) out << ", ";
+      cfirst = false;
+      out << "\"" << sched::class_name(static_cast<sched::RequestClass>(c))
+          << "\": {\"submitted\": " << cs.submitted
+          << ", \"completed\": " << cs.completed
+          << ", \"rejected\": " << cs.rejected << ", \"shed\": " << cs.shed
+          << ", \"expired\": " << cs.expired
+          << ", \"deadline_met\": " << cs.deadline_met
+          << ", \"deadline_missed\": " << cs.deadline_missed
+          << ", \"deadline_hit_rate\": " << cs.deadline_hit_rate()
+          << ", \"latency_p50_ms\": " << cs.latency_seconds.quantile(0.5) * 1e3
+          << ", \"latency_p99_ms\": " << cs.latency_seconds.quantile(0.99) * 1e3
+          << "}";
+    }
+  }
+  out << "},\n";
   out << i1 << "\"batches\": " << batches << ",\n";
   out << i1 << "\"mean_batch_size\": " << mean_batch_size() << ",\n";
   out << i1 << "\"throughput_rps\": " << throughput_rps() << ",\n";

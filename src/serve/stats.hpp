@@ -14,21 +14,49 @@
 // stays the exact per-server view, the registry the process-wide one.
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
 
+#include "serve/sched/policy.hpp"
 #include "util/streaming_quantiles.hpp"
 
 namespace lightator::serve {
 
+/// Per-priority-class slice of the serving counters. `expired` are requests
+/// completed with the typed deadline_exceeded status (never served);
+/// `shed` are requests the admission controller turned away; deadline_met /
+/// deadline_missed partition the COMPLETED deadline-carrying requests by
+/// whether the result was ready by the deadline.
+struct ClassStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t deadline_met = 0;
+  std::uint64_t deadline_missed = 0;
+  util::StreamingQuantiles latency_seconds;  // completed requests only
+
+  /// Of the ADMITTED deadline-carrying requests, the fraction whose result
+  /// was ready in time: met / (met + missed + expired). 1.0 when no request
+  /// of this class carried a deadline.
+  double deadline_hit_rate() const;
+};
+
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t completed = 0;
-  std::uint64_t rejected = 0;  // admission control turned the request away
+  std::uint64_t rejected = 0;  // queue full (capacity backpressure)
   std::uint64_t failed = 0;    // forward threw; the future carries the error
   std::uint64_t batches = 0;
+  std::uint64_t shed = 0;      // admission control (class policy) turn-aways
+  std::uint64_t expired = 0;   // typed deadline_exceeded completions
+
+  /// Per-class view of the same stream (indexed by sched::class_index).
+  std::array<ClassStats, sched::kNumClasses> by_class{};
 
   /// batch size -> number of batches dispatched at that size.
   std::map<std::size_t, std::uint64_t> batch_size_hist;

@@ -12,6 +12,8 @@
 #include "core/experiment.hpp"
 #include "nn/models.hpp"
 #include "obs/trace.hpp"
+#include "serve/sched/admission.hpp"
+#include "serve/sched/autoscaler.hpp"
 #include "util/alloc_trace.hpp"
 
 namespace lightator::core {
@@ -147,6 +149,44 @@ TEST(AllocTrace, SteadyStateRunWithTracingEnabledIsAllocationFree) {
       << "tracing was enabled but run() recorded no spans";
 #endif
   rec.clear();
+}
+
+TEST(AllocTrace, SchedulerDecisionPathsAreAllocationFree) {
+  // The scheduler's per-submit and per-tick decisions sit on the serving
+  // hot path: AdmissionController::admit runs before every push and
+  // ReplicaAutoscaler::decide on every control tick. Both must stay
+  // heap-free — a live SLO config must not cost the zero-alloc contract.
+  if (!util::alloc_trace::available()) {
+    GTEST_SKIP() << "built without LIGHTATOR_ALLOC_TRACE";
+  }
+  using namespace lightator::serve::sched;
+  AdmissionOptions ao;
+  ao.shed_depth = {0.25, 0.5, 1.0};
+  const AdmissionController admission(ao, /*queue_capacity=*/64);
+  LoadEstimator estimator;
+  estimator.observe_batch(/*queue_ms=*/2.0, /*service_ms_per_request=*/1.5);
+
+  AutoscalerOptions sc;
+  sc.enabled = true;
+  sc.min_replicas = 1;
+  sc.max_replicas = 4;
+  ReplicaAutoscaler autoscaler(sc, /*initial=*/2);
+
+  bool admit_sink = false;
+  std::size_t scale_sink = 0;
+  util::alloc_trace::Scope scope;
+  for (int r = 0; r < 100; ++r) {
+    admit_sink ^= admission.admit(RequestClass::kBestEffort, 0.0,
+                                  static_cast<std::size_t>(r % 64), estimator,
+                                  autoscaler.current());
+    admit_sink ^= admission.admit(RequestClass::kCritical, /*deadline_ms=*/5.0,
+                                  static_cast<std::size_t>(r % 64), estimator,
+                                  autoscaler.current());
+    scale_sink += autoscaler.decide(r % 2 == 0 ? 10.0 : 0.1);
+  }
+  EXPECT_EQ(scope.allocations(), 0u)
+      << "scheduler decision paths allocated (sinks=" << admit_sink << ","
+      << scale_sink << ")";
 }
 
 }  // namespace

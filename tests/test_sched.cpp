@@ -1,0 +1,683 @@
+// SLO-scheduler suite: EDF + class-priority dispatch vs the FIFO baseline,
+// typed deadline expiry (never occupying a batch slot), per-class shed order
+// under synthetic overload, autoscaler hysteresis (no flapping under an
+// oscillating signal — replayed on an injected tick sequence), registry
+// eviction/refcounting, open-loop schedule determinism, and the serving
+// determinism contract with the scheduler live: every ADMITTED request's
+// output stays bit-identical to the serial batch-of-1 baseline across
+// scheduling policies, replica counts, and thread counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/lightator.hpp"
+#include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "serve/batch_queue.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/registry.hpp"
+#include "serve/router.hpp"
+#include "serve/sched/sched.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace lightator::serve {
+namespace {
+
+using sched::ManualClock;
+using sched::RequestClass;
+
+void expect_bit_exact(const tensor::Tensor& a, const tensor::Tensor& b,
+                      const std::string& label) {
+  ASSERT_EQ(a.shape(), b.shape()) << label;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << label << " diverges at flat index " << i;
+  }
+}
+
+std::vector<tensor::Tensor> make_inputs(std::size_t count, std::uint64_t seed) {
+  std::vector<tensor::Tensor> inputs;
+  util::Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    tensor::Tensor x({1, 1, 28, 28});
+    x.fill_uniform(rng, 0.0f, 1.0f);
+    inputs.push_back(std::move(x));
+  }
+  return inputs;
+}
+
+/// Serial batch-of-1 baseline for the closed loop's seeded input stream.
+std::vector<tensor::Tensor> serial_baseline(
+    const core::LightatorSystem& sys, const nn::Network& net,
+    const std::vector<tensor::Tensor>& inputs, const LoadGenOptions& lg) {
+  util::Rng pick(lg.seed);
+  const core::CompiledModel compiled = sys.compile(net, {});
+  core::ExecutionContext ctx;
+  util::ThreadPool pool(1);
+  ctx.pool = &pool;
+  std::vector<tensor::Tensor> out(lg.requests);
+  for (std::size_t i = 0; i < lg.requests; ++i) {
+    const auto& x = inputs[pick.uniform_index(inputs.size())];
+    out[i] = compiled.run(x, ctx).take();
+  }
+  return out;
+}
+
+PendingRequest make_request(RequestClass klass, double deadline_ms,
+                            const ManualClock& clock, std::uint64_t id,
+                            std::size_t h = 4) {
+  PendingRequest req;
+  req.input = tensor::Tensor({1, 1, h, h}, static_cast<float>(id));
+  req.key = GeometryKey{1, h, h};
+  req.request_id = id;
+  req.klass = klass;
+  req.enqueued = clock.now();
+  if (deadline_ms > 0.0) {
+    req.deadline =
+        clock.now() + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              deadline_ms));
+  }
+  return req;
+}
+
+// ---------------------------------------------------------------- queue ---
+
+TEST(SchedQueue, ClassPriorityOrdersDispatch) {
+  ManualClock clock;
+  sched::SchedPolicy policy;
+  policy.max_batch = 1;           // one request per lease: exposes rank order
+  policy.base_max_wait_us = 0.0;  // never coalesce-wait
+  BatchQueue queue(32, policy, &clock);
+  ASSERT_EQ(queue.push(make_request(RequestClass::kBestEffort, 0, clock, 0)),
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 0, clock, 1)),
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(queue.push(make_request(RequestClass::kCritical, 0, clock, 2)),
+            SubmitStatus::kAccepted);
+
+  EXPECT_EQ(queue.pop_batch().batch.at(0).request_id, 2u);  // critical
+  EXPECT_EQ(queue.pop_batch().batch.at(0).request_id, 1u);  // standard
+  EXPECT_EQ(queue.pop_batch().batch.at(0).request_id, 0u);  // best-effort
+}
+
+TEST(SchedQueue, EarliestDeadlineFirstWithinClass) {
+  ManualClock clock;
+  sched::SchedPolicy policy;
+  policy.max_batch = 1;
+  policy.base_max_wait_us = 0.0;
+  BatchQueue queue(32, policy, &clock);
+  // Same class, deadlines out of arrival order; a deadline-free straggler.
+  ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 30, clock, 0)),
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 10, clock, 1)),
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 20, clock, 2)),
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 0, clock, 3)),
+            SubmitStatus::kAccepted);
+
+  EXPECT_EQ(queue.pop_batch().batch.at(0).request_id, 1u);  // 10ms
+  EXPECT_EQ(queue.pop_batch().batch.at(0).request_id, 2u);  // 20ms
+  EXPECT_EQ(queue.pop_batch().batch.at(0).request_id, 0u);  // 30ms
+  EXPECT_EQ(queue.pop_batch().batch.at(0).request_id, 3u);  // no deadline
+}
+
+TEST(SchedQueue, DegeneratesToFifoWhenUnconfigured) {
+  // All-standard, deadline-free: dispatch must be pure arrival order — the
+  // scheduler is invisible to pre-sched callers.
+  ManualClock clock;
+  sched::SchedPolicy policy;
+  policy.max_batch = 1;
+  policy.base_max_wait_us = 0.0;
+  BatchQueue queue(32, policy, &clock);
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 0, clock, id)),
+              SubmitStatus::kAccepted);
+  }
+  for (std::uint64_t id = 0; id < 5; ++id) {
+    EXPECT_EQ(queue.pop_batch().batch.at(0).request_id, id);
+  }
+}
+
+TEST(SchedQueue, ExpiredRequestsNeverOccupyBatchSlots) {
+  ManualClock clock;
+  sched::SchedPolicy policy;
+  policy.max_batch = 8;
+  policy.base_max_wait_us = 0.0;
+  BatchQueue queue(32, policy, &clock);
+  ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 5, clock, 0)),
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 0, clock, 1)),
+            SubmitStatus::kAccepted);
+  clock.advance_us(10'000);  // past request 0's 5ms deadline
+
+  // The first lease surfaces the expired request alone — it must not ride
+  // in (or delay) a batch.
+  BatchLease lease = queue.pop_batch();
+  ASSERT_EQ(lease.expired.size(), 1u);
+  EXPECT_EQ(lease.expired[0].request_id, 0u);
+  EXPECT_TRUE(lease.batch.empty());
+
+  lease = queue.pop_batch();
+  ASSERT_EQ(lease.batch.size(), 1u);
+  EXPECT_EQ(lease.batch[0].request_id, 1u);
+  EXPECT_TRUE(lease.expired.empty());
+}
+
+TEST(SchedQueue, CoalescingWindowIsPerClass) {
+  // Critical runs a zero window (dispatch immediately); standard inherits a
+  // long base window. A lone critical head must dispatch without the clock
+  // moving; a lone standard head must NOT dispatch until the window passes.
+  ManualClock clock;
+  sched::SchedPolicy policy;
+  policy.max_batch = 8;
+  policy.base_max_wait_us = 50'000.0;  // 50ms base window
+  policy.classes[sched::class_index(RequestClass::kCritical)].max_wait_us =
+      0.0;
+  BatchQueue queue(32, policy, &clock);
+
+  ASSERT_EQ(queue.push(make_request(RequestClass::kCritical, 0, clock, 7)),
+            SubmitStatus::kAccepted);
+  // Dispatches with time frozen: the critical window is zero.
+  EXPECT_EQ(queue.pop_batch().batch.at(0).request_id, 7u);
+
+  ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 0, clock, 8)),
+            SubmitStatus::kAccepted);
+  ASSERT_EQ(queue.push(make_request(RequestClass::kStandard, 0, clock, 9)),
+            SubmitStatus::kAccepted);
+  clock.advance_us(60'000);  // both now past the standard window
+  BatchLease lease = queue.pop_batch();
+  ASSERT_EQ(lease.batch.size(), 2u);  // coalesced while the window ran
+}
+
+// ------------------------------------------------------------ admission ---
+
+TEST(Admission, ShedsStrictlyInClassOrder) {
+  sched::AdmissionOptions opts;
+  opts.shed_depth = {0.25, 0.5, 1.0};
+  sched::AdmissionController ctrl(opts, /*queue_capacity=*/16);
+  sched::LoadEstimator cold;
+
+  // Depth limits: best-effort 4, standard 8, critical disabled.
+  auto admit = [&](RequestClass k, std::size_t depth) {
+    return ctrl.admit(k, /*deadline_ms=*/0.0, depth, cold,
+                      /*active_replicas=*/1);
+  };
+  EXPECT_TRUE(admit(RequestClass::kBestEffort, 3));
+  EXPECT_FALSE(admit(RequestClass::kBestEffort, 4));
+  EXPECT_TRUE(admit(RequestClass::kStandard, 7));
+  EXPECT_FALSE(admit(RequestClass::kStandard, 8));
+  EXPECT_TRUE(admit(RequestClass::kCritical, 15));  // only queue-full stops it
+
+  // At every depth, an admitted class implies every higher class admits too.
+  for (std::size_t depth = 0; depth < 16; ++depth) {
+    if (admit(RequestClass::kBestEffort, depth)) {
+      EXPECT_TRUE(admit(RequestClass::kStandard, depth)) << depth;
+    }
+    if (admit(RequestClass::kStandard, depth)) {
+      EXPECT_TRUE(admit(RequestClass::kCritical, depth)) << depth;
+    }
+  }
+}
+
+TEST(Admission, InertDefaultsNeverShedOnDepth) {
+  sched::AdmissionController ctrl(sched::AdmissionOptions{},
+                                  /*queue_capacity=*/8);
+  sched::LoadEstimator cold;
+  for (std::size_t depth = 0; depth < 8; ++depth) {
+    EXPECT_TRUE(ctrl.admit(RequestClass::kBestEffort, 0.0, depth, cold, 1));
+  }
+  // A cold estimator must never shed a deadline request on a guess.
+  EXPECT_TRUE(ctrl.admit(RequestClass::kStandard, 0.001, 7, cold, 1));
+}
+
+TEST(Admission, DeadlineGateFailsFastWhenCompletionCannotMakeIt) {
+  sched::AdmissionController ctrl(sched::AdmissionOptions{},
+                                  /*queue_capacity=*/64);
+  sched::LoadEstimator est;
+  est.observe_batch(/*queue_ms=*/5.0, /*service_ms_per_request=*/2.0);
+
+  // depth 10, 1 replica: expected = (10/1 + 1) * 2 = 22ms.
+  EXPECT_FALSE(ctrl.admit(RequestClass::kStandard, /*deadline_ms=*/10.0, 10,
+                          est, 1));
+  EXPECT_TRUE(ctrl.admit(RequestClass::kStandard, /*deadline_ms=*/30.0, 10,
+                         est, 1));
+  // More active replicas drain faster: (10/4 + 1) * 2 = 7ms < 10ms.
+  EXPECT_TRUE(ctrl.admit(RequestClass::kStandard, /*deadline_ms=*/10.0, 10,
+                         est, 4));
+  // No deadline = the gate never applies.
+  EXPECT_TRUE(ctrl.admit(RequestClass::kBestEffort, 0.0, 10, est, 1));
+}
+
+// ----------------------------------------------------------- autoscaler ---
+
+TEST(Autoscaler, OscillatingSignalNeverFlaps) {
+  sched::AutoscalerOptions opts;
+  opts.enabled = true;
+  opts.min_replicas = 1;
+  opts.max_replicas = 4;
+  opts.scale_up_queue_ms = 5.0;
+  opts.scale_down_queue_ms = 0.5;
+  opts.up_ticks = 2;
+  opts.down_ticks = 3;
+  sched::ReplicaAutoscaler scaler(opts, /*initial=*/2);
+
+  // Alternating above/below the band: every tick resets the other streak,
+  // so neither ever reaches its threshold.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(scaler.decide(i % 2 == 0 ? 8.0 : 0.1), 2u) << "tick " << i;
+  }
+  EXPECT_EQ(scaler.scale_ups(), 0u);
+  EXPECT_EQ(scaler.scale_downs(), 0u);
+
+  // Signal inside the dead band also resets a building streak.
+  scaler.decide(8.0);   // above x1
+  scaler.decide(2.0);   // dead band: streak gone
+  EXPECT_EQ(scaler.decide(8.0), 2u);  // above x1 again — still no scale
+}
+
+TEST(Autoscaler, SustainedLoadScalesWithHysteresisAndBounds) {
+  sched::AutoscalerOptions opts;
+  opts.enabled = true;
+  opts.min_replicas = 1;
+  opts.max_replicas = 3;
+  opts.scale_up_queue_ms = 5.0;
+  opts.scale_down_queue_ms = 0.5;
+  opts.up_ticks = 2;
+  opts.down_ticks = 3;
+  sched::ReplicaAutoscaler scaler(opts, /*initial=*/1);
+
+  EXPECT_EQ(scaler.decide(9.0), 1u);  // above x1
+  EXPECT_EQ(scaler.decide(9.0), 2u);  // above x2 -> up
+  EXPECT_EQ(scaler.decide(9.0), 2u);  // streak reset on action
+  EXPECT_EQ(scaler.decide(9.0), 3u);  // up again
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(scaler.decide(9.0), 3u);  // clamped at max
+  }
+  EXPECT_EQ(scaler.scale_ups(), 2u);
+
+  EXPECT_EQ(scaler.decide(0.0), 3u);  // below x1
+  EXPECT_EQ(scaler.decide(0.0), 3u);  // below x2
+  EXPECT_EQ(scaler.decide(0.0), 2u);  // below x3 -> down
+  EXPECT_EQ(scaler.decide(0.0), 2u);
+  EXPECT_EQ(scaler.decide(0.0), 2u);
+  EXPECT_EQ(scaler.decide(0.0), 1u);  // down again
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(scaler.decide(0.0), 1u);  // clamped at min
+  }
+  EXPECT_EQ(scaler.scale_downs(), 2u);
+}
+
+// --------------------------------------------------------------- server ---
+
+TEST(SchedServer, ExpiredRequestCompletesWithTypedStatus) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(31);
+  const nn::Network net = nn::build_lenet(rng);
+  ManualClock clock;
+  ServerOptions so;
+  so.replicas = 1;
+  so.sched.clock = &clock;
+  InferenceServer server(sys, net, nn::PrecisionSchedule::uniform(4), so);
+
+  tensor::Tensor x({1, 1, 28, 28}, 0.5f);
+  SubmitTicket ticket =
+      server.submit(x, 42, sched::SubmitOptions{RequestClass::kStandard,
+                                                /*deadline_ms=*/5.0});
+  ASSERT_EQ(ticket.status, SubmitStatus::kAccepted);
+  clock.advance_us(10'000);  // deadline passes while queued
+
+  InferResult result = ticket.result.get();
+  EXPECT_EQ(result.status, InferStatus::kDeadlineExceeded);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.request_id, 42u);
+  EXPECT_EQ(result.batch_size, 0u);  // never occupied a batch slot
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.by_class[sched::class_index(RequestClass::kStandard)]
+                .expired,
+            1u);
+  server.shutdown();
+}
+
+TEST(SchedServer, RequestServedWhenDeadlineHolds) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(31);
+  const nn::Network net = nn::build_lenet(rng);
+  ManualClock clock;
+  ServerOptions so;
+  so.replicas = 1;
+  so.batch.max_wait_us = 0.0;  // dispatch immediately, no window to step
+  so.sched.clock = &clock;
+  InferenceServer server(sys, net, nn::PrecisionSchedule::uniform(4), so);
+
+  tensor::Tensor x({1, 1, 28, 28}, 0.5f);
+  SubmitTicket ticket = server.submit(
+      x, 7, sched::SubmitOptions{RequestClass::kCritical,
+                                 /*deadline_ms=*/1000.0});
+  ASSERT_EQ(ticket.status, SubmitStatus::kAccepted);
+  InferResult result = ticket.result.get();
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.batch_size, 1u);
+
+  const ServerStats stats = server.stats();
+  const auto& crit =
+      stats.by_class[sched::class_index(RequestClass::kCritical)];
+  EXPECT_EQ(crit.deadline_met, 1u);
+  EXPECT_EQ(crit.deadline_missed, 0u);
+  EXPECT_DOUBLE_EQ(crit.deadline_hit_rate(), 1.0);
+  server.shutdown();
+}
+
+TEST(SchedServer, ShedSurfacesAsTypedSubmitStatus) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(31);
+  const nn::Network net = nn::build_lenet(rng);
+  ManualClock clock;  // frozen: queued requests never dispatch, depth holds
+  ServerOptions so;
+  so.replicas = 1;
+  so.queue_capacity = 8;
+  so.sched.clock = &clock;
+  so.sched.admission.shed_depth = {0.25, 0.5, 1.0};  // BE limit 2, STD 4
+  InferenceServer server(sys, net, nn::PrecisionSchedule::uniform(4), so);
+
+  tensor::Tensor x({1, 1, 28, 28}, 0.5f);
+  auto submit_as = [&](RequestClass k) {
+    return server
+        .submit(x, sched::SubmitOptions{k, /*deadline_ms=*/0.0})
+        .status;
+  };
+  // Fill to depth 2 with best-effort, then the class limits bite in order.
+  EXPECT_EQ(submit_as(RequestClass::kBestEffort), SubmitStatus::kAccepted);
+  EXPECT_EQ(submit_as(RequestClass::kBestEffort), SubmitStatus::kAccepted);
+  EXPECT_EQ(submit_as(RequestClass::kBestEffort), SubmitStatus::kShed);
+  EXPECT_EQ(submit_as(RequestClass::kStandard), SubmitStatus::kAccepted);
+  EXPECT_EQ(submit_as(RequestClass::kStandard), SubmitStatus::kAccepted);
+  EXPECT_EQ(submit_as(RequestClass::kStandard), SubmitStatus::kShed);
+  EXPECT_EQ(submit_as(RequestClass::kCritical), SubmitStatus::kAccepted);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(
+      stats.by_class[sched::class_index(RequestClass::kBestEffort)].shed, 1u);
+  EXPECT_EQ(stats.by_class[sched::class_index(RequestClass::kStandard)].shed,
+            1u);
+  EXPECT_EQ(stats.by_class[sched::class_index(RequestClass::kCritical)].shed,
+            0u);
+  // Unfreeze the queue so shutdown can drain the admitted requests.
+  clock.advance_us(1'000'000);
+  server.shutdown();
+}
+
+TEST(SchedServer, SetActiveReplicasMovesWithinWarmPool) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(31);
+  const nn::Network net = nn::build_lenet(rng);
+  ServerOptions so;
+  so.replicas = 3;
+  InferenceServer server(sys, net, nn::PrecisionSchedule::uniform(4), so);
+  EXPECT_EQ(server.replica_count(), 3u);
+  EXPECT_EQ(server.active_replicas(), 3u);
+
+  server.set_active_replicas(1);
+  EXPECT_EQ(server.active_replicas(), 1u);
+  // Still serving on the reduced set.
+  tensor::Tensor x({1, 1, 28, 28}, 0.25f);
+  EXPECT_TRUE(server.infer(x).ok());
+
+  server.set_active_replicas(99);  // clamped to the warm pool
+  EXPECT_EQ(server.active_replicas(), 3u);
+  EXPECT_TRUE(server.infer(x).ok());
+  server.shutdown();
+}
+
+// ----------------------------------------------------- determinism (SLO) ---
+
+TEST(SchedServer, AdmittedOutputsBitExactAcrossPoliciesAndReplicas) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(61);
+  const nn::Network net = nn::build_lenet(rng);
+  const auto inputs = make_inputs(6, 17);
+  LoadGenOptions lg;
+  lg.requests = 24;
+  lg.concurrency = 8;
+  lg.seed = 5;
+  // Mixed classes, no deadlines: EDF + priority reorder dispatch, but every
+  // request is admitted and must still match the serial baseline bit-for-bit.
+  lg.classes = {{RequestClass::kBestEffort, 0.3, 0.0},
+                {RequestClass::kStandard, 0.5, 0.0},
+                {RequestClass::kCritical, 0.2, 0.0}};
+  const auto expected = serial_baseline(sys, net, inputs, lg);
+
+  struct Config {
+    std::size_t replicas, threads;
+    double wait_us;
+  };
+  for (const Config& cfg :
+       {Config{1, 1, 0.0}, Config{2, 2, 200.0}, Config{4, 1, 1000.0}}) {
+    ServerOptions so;
+    so.replicas = cfg.replicas;
+    so.threads_per_replica = cfg.threads;
+    so.batch.max_wait_us = cfg.wait_us;
+    // Per-class windows differ too — scheduling must never leak into math.
+    so.sched.classes[sched::class_index(RequestClass::kCritical)]
+        .max_wait_us = 0.0;
+    InferenceServer server(sys, net, nn::PrecisionSchedule::uniform(4), so);
+    const LoadGenReport report = run_closed_loop(server, inputs, lg);
+    server.shutdown();
+    EXPECT_EQ(report.shed, 0u);
+    EXPECT_EQ(report.expired, 0u);
+    for (std::size_t i = 0; i < lg.requests; ++i) {
+      expect_bit_exact(report.outputs[i], expected[i],
+                       "request " + std::to_string(i) + " @replicas=" +
+                           std::to_string(cfg.replicas));
+    }
+  }
+}
+
+TEST(SchedServer, AdmittedOutputsBitExactWithAutoscalerLive) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  util::Rng rng(61);
+  const nn::Network net = nn::build_lenet(rng);
+  const auto inputs = make_inputs(6, 17);
+  LoadGenOptions lg;
+  lg.requests = 32;
+  lg.concurrency = 16;
+  lg.seed = 9;
+  const auto expected = serial_baseline(sys, net, inputs, lg);
+
+  ServerOptions so;
+  so.replicas = 1;
+  so.sched.autoscale.enabled = true;
+  so.sched.autoscale.min_replicas = 1;
+  so.sched.autoscale.max_replicas = 4;
+  so.sched.autoscale.interval_ms = 1.0;  // many scale decisions mid-load
+  so.sched.autoscale.scale_up_queue_ms = 0.01;
+  so.sched.autoscale.up_ticks = 1;
+  InferenceServer server(sys, net, nn::PrecisionSchedule::uniform(4), so);
+  EXPECT_EQ(server.replica_count(), 4u);  // warm pool at the ceiling
+  const LoadGenReport report = run_closed_loop(server, inputs, lg);
+  server.shutdown();
+  for (std::size_t i = 0; i < lg.requests; ++i) {
+    expect_bit_exact(report.outputs[i], expected[i],
+                     "autoscaled request " + std::to_string(i));
+  }
+}
+
+// ------------------------------------------------------------- open loop ---
+
+TEST(OpenLoop, ScheduleIsAPureFunctionOfOptions) {
+  OpenLoopOptions opts;
+  opts.requests = 200;
+  opts.rate_rps = 5000.0;
+  opts.seed = 11;
+  opts.shape = TrafficShape::kPoisson;
+  opts.classes = {{RequestClass::kBestEffort, 0.5, 0.0},
+                  {RequestClass::kCritical, 0.5, 20.0}};
+  const auto a = make_arrival_schedule(opts, 6);
+  const auto b = make_arrival_schedule(opts, 6);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at_seconds, b[i].at_seconds) << i;
+    EXPECT_EQ(a[i].input_index, b[i].input_index) << i;
+    EXPECT_EQ(a[i].klass, b[i].klass) << i;
+    EXPECT_EQ(a[i].deadline_ms, b[i].deadline_ms) << i;
+  }
+  // Arrival times strictly increase; the mean rate lands near the target.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GT(a[i].at_seconds, a[i - 1].at_seconds);
+  }
+  const double measured_rate =
+      static_cast<double>(a.size()) / a.back().at_seconds;
+  EXPECT_GT(measured_rate, opts.rate_rps * 0.7);
+  EXPECT_LT(measured_rate, opts.rate_rps * 1.4);
+
+  // A different seed is a different schedule.
+  opts.seed = 12;
+  const auto c = make_arrival_schedule(opts, 6);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff = any_diff || a[i].at_seconds != c[i].at_seconds;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(OpenLoop, BurstShapePacksArrivalsIntoBurstWindows) {
+  OpenLoopOptions opts;
+  opts.requests = 2000;
+  opts.rate_rps = 10000.0;
+  opts.seed = 3;
+  opts.shape = TrafficShape::kBurst;
+  opts.burst_factor = 8.0;
+  opts.burst_period_seconds = 0.05;
+  opts.burst_duty = 0.25;
+  const auto schedule = make_arrival_schedule(opts, 4);
+  std::size_t in_burst = 0;
+  for (const Arrival& a : schedule) {
+    const double phase = std::fmod(a.at_seconds, opts.burst_period_seconds);
+    if (phase < opts.burst_duty * opts.burst_period_seconds) ++in_burst;
+  }
+  // 25% of the time carries burst_factor x the rate: arrivals concentrate
+  // there (2/3 < expected 8/(8*0.25+0.75) * 0.25 ≈ 0.727 share).
+  EXPECT_GT(static_cast<double>(in_burst) /
+                static_cast<double>(schedule.size()),
+            0.5);
+}
+
+TEST(OpenLoop, ClassSharesAreHonored) {
+  OpenLoopOptions opts;
+  opts.requests = 4000;
+  opts.rate_rps = 1000.0;
+  opts.seed = 21;
+  opts.classes = {{RequestClass::kBestEffort, 0.25, 0.0},
+                  {RequestClass::kStandard, 0.5, 0.0},
+                  {RequestClass::kCritical, 0.25, 10.0}};
+  const auto schedule = make_arrival_schedule(opts, 4);
+  std::array<std::size_t, sched::kNumClasses> counts{};
+  for (const Arrival& a : schedule) ++counts[sched::class_index(a.klass)];
+  const double n = static_cast<double>(schedule.size());
+  EXPECT_NEAR(counts[0] / n, 0.25, 0.05);
+  EXPECT_NEAR(counts[1] / n, 0.5, 0.05);
+  EXPECT_NEAR(counts[2] / n, 0.25, 0.05);
+  // Deadlines ride the class mix.
+  for (const Arrival& a : schedule) {
+    if (a.klass == RequestClass::kCritical) {
+      EXPECT_EQ(a.deadline_ms, 10.0);
+    } else {
+      EXPECT_EQ(a.deadline_ms, 0.0);
+    }
+  }
+}
+
+// -------------------------------------------------------------- registry ---
+
+core::CompiledModel compile_lenet(const core::LightatorSystem& sys,
+                                  std::uint64_t seed) {
+  util::Rng rng(seed);
+  const nn::Network net = nn::build_lenet(rng);
+  return sys.compile(net, {});
+}
+
+TEST(RegistryEviction, ByteBudgetEvictsLruUnpinnedOnly) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  ModelRegistry registry;
+  core::CompiledModel m1 = compile_lenet(sys, 1);
+  const std::size_t model_bytes = m1.resident_bytes();
+  ASSERT_GT(model_bytes, 0u);
+
+  registry.add("m", "v1", std::move(m1));
+  registry.add("m", "v2", compile_lenet(sys, 2));
+  EXPECT_EQ(registry.resident_bytes(), 2 * model_bytes);
+
+  // Budget for two models; v1 is the LRU... but pinned, so v2 must go when
+  // v3 arrives.
+  registry.set_byte_budget(2 * model_bytes);
+  registry.pin("m@v1");
+  registry.add("m", "v3", compile_lenet(sys, 3));
+  EXPECT_TRUE(registry.contains("m@v1"));   // pinned: survives despite LRU
+  EXPECT_FALSE(registry.contains("m@v2"));  // evicted
+  EXPECT_TRUE(registry.contains("m@v3"));   // the newcomer is never a victim
+  EXPECT_EQ(registry.evictions(), 1u);
+  EXPECT_EQ(registry.resident_bytes(), 2 * model_bytes);
+
+  // get() refreshes recency: touch v1... it's pinned anyway; unpin it, touch
+  // v3, then v1 is the LRU unpinned entry and a shrunk budget evicts it.
+  registry.unpin("m@v1");
+  (void)registry.get("m@v3");
+  registry.set_byte_budget(model_bytes);
+  EXPECT_FALSE(registry.contains("m@v1"));
+  EXPECT_TRUE(registry.contains("m@v3"));
+  EXPECT_EQ(registry.evictions(), 2u);
+}
+
+TEST(RegistryEviction, PinBlocksUnloadAndUnpinRestoresIt) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  ModelRegistry registry;
+  registry.add("m", "v1", compile_lenet(sys, 1));
+  registry.pin("m@v1");
+  EXPECT_EQ(registry.pin_count("m@v1"), 1u);
+  EXPECT_THROW(registry.unload("m@v1"), std::logic_error);
+  registry.unpin("m@v1");
+  EXPECT_EQ(registry.pin_count("m@v1"), 0u);
+  EXPECT_THROW(registry.unpin("m@v1"), std::logic_error);  // not pinned
+  registry.unload("m@v1");
+  EXPECT_FALSE(registry.contains("m@v1"));
+  EXPECT_THROW(registry.pin("nope"), std::out_of_range);
+}
+
+TEST(RegistryEviction, RouterPinsLiveRoutesAcrossSwapAndUndeploy) {
+  const core::LightatorSystem sys(core::ArchConfig::defaults());
+  InferenceRouter router;
+  ServerOptions so;
+  so.replicas = 1;
+  router.deploy("m", "v1", compile_lenet(sys, 1), so);
+  EXPECT_EQ(router.registry().pin_count("m@v1"), 1u);
+
+  // The deployed version survives any budget; only undeployed versions are
+  // evictable.
+  const std::size_t model_bytes = router.registry().resident_bytes();
+  router.registry().set_byte_budget(model_bytes);
+  EXPECT_TRUE(router.registry().contains("m@v1"));
+
+  router.swap("m", "v2", compile_lenet(sys, 2));
+  EXPECT_EQ(router.registry().pin_count("m@v2"), 1u);
+  // v1 lost its pin; with the one-model budget the swap evicted it.
+  EXPECT_FALSE(router.registry().contains("m@v1"));
+
+  router.undeploy("m");
+  // Undeploy unpins but does NOT unload: v2 stays addressable.
+  EXPECT_TRUE(router.registry().contains("m@v2"));
+  EXPECT_EQ(router.registry().pin_count("m@v2"), 0u);
+}
+
+}  // namespace
+}  // namespace lightator::serve

@@ -79,14 +79,14 @@ TEST(BatchQueue, BucketsByGeometryAndPreservesArrivalOrder) {
   push(4, 4.f);
 
   // Head-of-line bucket first: all three 4x4 frames, in arrival order.
-  auto batch = queue.pop_batch();
+  auto batch = queue.pop_batch().batch;
   ASSERT_EQ(batch.size(), 3u);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     EXPECT_EQ(batch[i].key, (GeometryKey{1, 4, 4}));
     EXPECT_EQ(batch[i].input[0], static_cast<float>(2 * i));
   }
   // Then the 6x6 bucket.
-  batch = queue.pop_batch();
+  batch = queue.pop_batch().batch;
   ASSERT_EQ(batch.size(), 2u);
   for (const auto& req : batch) {
     EXPECT_EQ(req.key, (GeometryKey{1, 6, 6}));
@@ -108,7 +108,7 @@ TEST(BatchQueue, FullBucketDispatchesBeforeHeadDeadline) {
   push(5);
   push(5);
   const auto start = std::chrono::steady_clock::now();
-  const auto batch = queue.pop_batch();
+  const auto batch = queue.pop_batch().batch;
   const double waited =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -132,9 +132,9 @@ TEST(BatchQueue, RejectsWhenFullAndClosesCleanly) {
   queue.close();
   EXPECT_EQ(queue.push(make()), SubmitStatus::kClosed);
   // Queued requests still drain after close...
-  EXPECT_EQ(queue.pop_batch().size(), 2u);
+  EXPECT_EQ(queue.pop_batch().batch.size(), 2u);
   // ...and a drained closed queue signals the workers to exit.
-  EXPECT_TRUE(queue.pop_batch().empty());
+  EXPECT_TRUE(queue.pop_batch().done());
 }
 
 TEST(InferenceServer, BitIdenticalToSerialAcrossReplicaCounts) {
